@@ -1,0 +1,204 @@
+package repro_test
+
+// Integration smoke test for the command-line tools: builds the four
+// Keylime binaries, wires them over localhost exactly as README describes,
+// and exercises the tenant workflow end to end. Skipped with -short.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// freePort grabs an ephemeral port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	_ = ln.Close()
+	return port
+}
+
+// waitForPort polls until the address accepts connections.
+func waitForPort(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("service at %s did not come up", addr)
+}
+
+// startDaemon launches a built binary and kills it at cleanup.
+func startDaemon(t *testing.T, bin string, args ...string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI integration test in -short mode")
+	}
+	binDir := t.TempDir()
+	workDir := t.TempDir()
+	for _, tool := range []string{"keylime-registrar", "keylime-agent", "keylime-verifier", "keylime-tenant"} {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	regPort := freePort(t)
+	agPort := freePort(t)
+	verPort := freePort(t)
+	caPath := filepath.Join(workDir, "ca.pem")
+	policyPath := filepath.Join(workDir, "policy.json")
+	statePath := filepath.Join(workDir, "state.json")
+	const agentUUID = "d432fbb3-d2f1-4a97-9ef7-75bd81c00001"
+
+	// 1. Registrar (creates the manufacturer CA bundle).
+	startDaemon(t, filepath.Join(binDir, "keylime-registrar"),
+		"-init", "-ca", caPath, "-listen", fmt.Sprintf("127.0.0.1:%d", regPort))
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", regPort))
+
+	// 2. Agent host.
+	startDaemon(t, filepath.Join(binDir, "keylime-agent"),
+		"-ca", caPath,
+		"-registrar", fmt.Sprintf("http://127.0.0.1:%d", regPort),
+		"-listen", fmt.Sprintf("127.0.0.1:%d", agPort),
+		"-contact-url", fmt.Sprintf("http://127.0.0.1:%d", agPort),
+		"-policy-out", policyPath,
+		"-uuid", agentUUID,
+	)
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", agPort))
+
+	// 3. Verifier with fast polling and state persistence.
+	startDaemon(t, filepath.Join(binDir, "keylime-verifier"),
+		"-listen", fmt.Sprintf("127.0.0.1:%d", verPort),
+		"-registrar", fmt.Sprintf("http://127.0.0.1:%d", regPort),
+		"-poll-interval", "200ms",
+		"-state", statePath,
+	)
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", verPort))
+
+	tenant := func(args ...string) (string, error) {
+		full := append([]string{"-verifier", fmt.Sprintf("http://127.0.0.1:%d", verPort)}, args...)
+		out, err := exec.Command(filepath.Join(binDir, "keylime-tenant"), full...).CombinedOutput()
+		return string(out), err
+	}
+
+	// 4. Enroll the agent via the tenant.
+	out, err := tenant("add", "-agent-id", agentUUID,
+		"-agent-url", fmt.Sprintf("http://127.0.0.1:%d", agPort),
+		"-policy", policyPath)
+	if err != nil {
+		t.Fatalf("tenant add: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "enrolled") {
+		t.Fatalf("tenant add output: %s", out)
+	}
+
+	// 5. Wait for healthy attestations to accumulate.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		out, err = tenant("status", "-agent-id", agentUUID)
+		if err != nil {
+			t.Fatalf("tenant status: %v\n%s", err, out)
+		}
+		if strings.Contains(out, "state:            Get Quote") &&
+			!strings.Contains(out, "attestations:     0") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent never reached healthy attestation:\n%s", out)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	if strings.Contains(out, "halted:           true") {
+		t.Fatalf("agent halted unexpectedly:\n%s", out)
+	}
+
+	// 6. The verifier persists its state file.
+	stateDeadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(statePath); err == nil && len(data) > 2 {
+			break
+		}
+		if time.Now().After(stateDeadline) {
+			t.Fatal("verifier never wrote its state file")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// 7. Remove the agent.
+	if out, err := tenant("remove", "-agent-id", agentUUID); err != nil {
+		t.Fatalf("tenant remove: %v\n%s", err, out)
+	}
+	if out, err := tenant("status", "-agent-id", agentUUID); err == nil {
+		t.Fatalf("status after remove succeeded:\n%s", out)
+	}
+}
+
+func TestCLIPolicygen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI test in -short mode")
+	}
+	workDir := t.TempDir()
+	out := filepath.Join(workDir, "policy.json")
+	cmd := exec.Command("go", "run", "./cmd/policygen", "-days", "3", "-scale", "small", "-out", out)
+	output, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("policygen: %v\n%s", err, output)
+	}
+	text := string(output)
+	if !strings.Contains(text, "initial policy:") || !strings.Contains(text, "day 03:") {
+		t.Fatalf("policygen output incomplete:\n%s", text)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading %s: %v", out, err)
+	}
+	if len(data) < 100 || !strings.Contains(string(data), "digests") {
+		t.Fatalf("policy file looks wrong (%d bytes)", len(data))
+	}
+}
+
+func TestCLIReproFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI test in -short mode")
+	}
+	csvDir := t.TempDir()
+	cmd := exec.Command("go", "run", "./cmd/repro", "-exp", "fig3", "-csv", csvDir)
+	output, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("repro -exp fig3: %v\n%s", err, output)
+	}
+	text := string(output)
+	for _, want := range []string{"Fig. 3", "day 01", "mean="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("repro output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command keylime-agent runs a simulated prover node with its Keylime
+// agent: it manufactures a TPM from the shared manufacturer CA bundle,
+// installs a synthetic base OS, writes the matching runtime policy to a
+// file (for the tenant to enroll with), registers with the registrar, and
+// serves integrity quotes. With -activity it keeps executing random
+// binaries so the IMA log grows like a live machine's.
+//
+// Usage:
+//
+//	keylime-agent -ca ca.pem -registrar http://localhost:8891 \
+//	  -listen :8892 -policy-out policy.json -activity 2s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/machine"
+	"repro/internal/mirror"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("keylime-agent: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", ":8892", "address to serve the quote API on")
+		caPath       = flag.String("ca", "ca.pem", "manufacturer CA bundle (with key) to manufacture the TPM from")
+		registrarURL = flag.String("registrar", "http://localhost:8891", "registrar base URL")
+		contactURL   = flag.String("contact-url", "", "URL the verifier should poll (default http://localhost<listen>)")
+		uuid         = flag.String("uuid", "d432fbb3-d2f1-4a97-9ef7-75bd81c00001", "agent UUID")
+		policyOut    = flag.String("policy-out", "policy.json", "write the machine's runtime policy here")
+		activity     = flag.Duration("activity", 0, "execute a random binary this often (0 = off)")
+		seed         = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	data, err := os.ReadFile(*caPath)
+	if err != nil {
+		return fmt.Errorf("reading CA bundle: %w", err)
+	}
+	ca, err := tpm.LoadManufacturerCA(data)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(ca, machine.WithUUID(*uuid), machine.WithHostname("sim-node"))
+	if err != nil {
+		return err
+	}
+
+	// Install a synthetic base OS.
+	scale := workload.ScaleSmall()
+	scale.Seed = *seed
+	archive := mirror.NewArchive()
+	base := workload.BaseRelease(scale, m.RunningKernel())
+	if _, err := archive.Publish(time.Now(), base...); err != nil {
+		return err
+	}
+	mir := mirror.NewMirror(archive)
+	mir.Sync(time.Now())
+	if err := m.InstallRelease(mir.Release()); err != nil {
+		return err
+	}
+
+	// Snapshot the runtime policy the verifier should use.
+	pol, err := core.SnapshotPolicy(m.FS(), []string{"/tmp/.*"})
+	if err != nil {
+		return err
+	}
+	polJSON, err := json.MarshalIndent(pol, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*policyOut, polJSON, 0o644); err != nil {
+		return fmt.Errorf("writing policy: %w", err)
+	}
+	fmt.Printf("wrote runtime policy (%d entries) to %s\n", pol.Lines(), *policyOut)
+
+	ag := agent.New(m)
+	contact := *contactURL
+	if contact == "" {
+		contact = "http://localhost" + *listen
+	}
+	if err := ag.Register(*registrarURL, contact); err != nil {
+		return err
+	}
+	fmt.Printf("registered agent %s with %s\n", *uuid, *registrarURL)
+
+	if *activity > 0 {
+		var execs []string
+		if err := m.FS().Walk("/usr/bin", func(info vfs.FileInfo) error {
+			if info.Mode.IsExec() {
+				execs = append(execs, info.Path)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		go func() {
+			ticker := time.NewTicker(*activity)
+			defer ticker.Stop()
+			for range ticker.C {
+				if len(execs) == 0 {
+					continue
+				}
+				p := execs[rng.Intn(len(execs))]
+				if err := m.Exec(p); err != nil {
+					log.Printf("activity exec %s: %v", p, err)
+				}
+			}
+		}()
+		fmt.Printf("background activity every %v\n", *activity)
+	}
+
+	fmt.Printf("keylime-agent listening on %s\n", *listen)
+	return http.ListenAndServe(*listen, ag.Handler())
+}

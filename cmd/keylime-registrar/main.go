@@ -1,0 +1,66 @@
+// Command keylime-registrar runs the Keylime registrar as a standalone HTTP
+// service. It trusts the TPM manufacturer CA in the given bundle; with
+// -init it creates a fresh simulated manufacturer first (certificate + key)
+// so agent hosts can manufacture TPMs that chain to it.
+//
+// Usage:
+//
+//	keylime-registrar -init -ca ca.pem -listen :8891
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/keylime/registrar"
+	"repro/internal/tpm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("keylime-registrar: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		listen = flag.String("listen", ":8891", "address to serve the registrar API on")
+		caPath = flag.String("ca", "ca.pem", "manufacturer CA bundle (root certificate, optionally with key)")
+		doInit = flag.Bool("init", false, "create the CA bundle if it does not exist")
+	)
+	flag.Parse()
+
+	if _, err := os.Stat(*caPath); os.IsNotExist(err) {
+		if !*doInit {
+			return fmt.Errorf("CA bundle %s not found (pass -init to create a simulated manufacturer)", *caPath)
+		}
+		ca, err := tpm.NewManufacturerCA(rand.Reader)
+		if err != nil {
+			return err
+		}
+		bundle, err := ca.MarshalPEM()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*caPath, bundle, 0o600); err != nil {
+			return fmt.Errorf("writing CA bundle: %w", err)
+		}
+		fmt.Printf("created simulated manufacturer CA bundle at %s\n", *caPath)
+	}
+	data, err := os.ReadFile(*caPath)
+	if err != nil {
+		return fmt.Errorf("reading CA bundle: %w", err)
+	}
+	roots, err := tpm.LoadCARoots(data)
+	if err != nil {
+		return err
+	}
+	reg := registrar.New(roots)
+	fmt.Printf("keylime-registrar listening on %s (trusting %s)\n", *listen, *caPath)
+	return http.ListenAndServe(*listen, reg.Handler())
+}

@@ -1,0 +1,130 @@
+// Command keylime-tenant is the operator's management tool: it enrolls
+// agents with a verifier, pushes runtime policies, queries attestation
+// status, and resumes halted agents.
+//
+// Usage:
+//
+//	keylime-tenant -verifier http://localhost:8893 add -agent-id <uuid> \
+//	  -agent-url http://localhost:8892 -policy policy.json
+//	keylime-tenant -verifier http://localhost:8893 status -agent-id <uuid>
+//	keylime-tenant -verifier http://localhost:8893 update-policy -agent-id <uuid> -policy policy.json
+//	keylime-tenant -verifier http://localhost:8893 resume -agent-id <uuid>
+//	keylime-tenant -verifier http://localhost:8893 remove -agent-id <uuid>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/keylime/tenant"
+	"repro/internal/policy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("keylime-tenant: %v", err)
+	}
+}
+
+func run() error {
+	verifierURL := flag.String("verifier", "http://localhost:8893", "verifier management base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand: add | status | update-policy | resume | remove | list")
+	}
+	cmd, rest := args[0], args[1:]
+	tn := tenant.New(*verifierURL)
+
+	if cmd == "list" {
+		ids, err := tn.ListAgents()
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		fmt.Printf("%d agent(s) monitored\n", len(ids))
+		return nil
+	}
+
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	agentID := sub.String("agent-id", "", "agent UUID")
+	agentURL := sub.String("agent-url", "", "agent quote API base URL (add only)")
+	policyPath := sub.String("policy", "", "runtime policy JSON file (add / update-policy)")
+	if err := sub.Parse(rest); err != nil {
+		return err
+	}
+	if *agentID == "" {
+		return fmt.Errorf("%s: -agent-id is required", cmd)
+	}
+
+	loadPolicy := func() (*policy.RuntimePolicy, error) {
+		if *policyPath == "" {
+			return nil, fmt.Errorf("%s: -policy is required", cmd)
+		}
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return nil, err
+		}
+		pol := policy.New()
+		if err := json.Unmarshal(data, pol); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", *policyPath, err)
+		}
+		return pol, nil
+	}
+
+	switch cmd {
+	case "add":
+		if *agentURL == "" {
+			return fmt.Errorf("add: -agent-url is required")
+		}
+		pol, err := loadPolicy()
+		if err != nil {
+			return err
+		}
+		if err := tn.AddAgent(*agentID, *agentURL, pol); err != nil {
+			return err
+		}
+		fmt.Printf("agent %s enrolled (%d policy entries)\n", *agentID, pol.Lines())
+	case "status":
+		st, err := tn.Status(*agentID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("agent:            %s\n", st.AgentID)
+		fmt.Printf("state:            %s\n", st.State)
+		fmt.Printf("attestations:     %d\n", st.Attestations)
+		fmt.Printf("verified entries: %d\n", st.VerifiedEntries)
+		fmt.Printf("halted:           %v\n", st.Halted)
+		for _, f := range st.Failures {
+			fmt.Printf("failure: [%s] %s path=%s detail=%s\n", f.Time, f.Type, f.Path, f.Detail)
+		}
+	case "update-policy":
+		pol, err := loadPolicy()
+		if err != nil {
+			return err
+		}
+		if err := tn.UpdatePolicy(*agentID, pol); err != nil {
+			return err
+		}
+		fmt.Printf("policy for %s updated (%d entries)\n", *agentID, pol.Lines())
+	case "resume":
+		if err := tn.Resume(*agentID); err != nil {
+			return err
+		}
+		fmt.Printf("agent %s resumed\n", *agentID)
+	case "remove":
+		if err := tn.RemoveAgent(*agentID); err != nil {
+			return err
+		}
+		fmt.Printf("agent %s removed\n", *agentID)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+// Command keylime-verifier runs the Keylime verifier as a standalone HTTP
+// service: it serves the management API (used by keylime-tenant) and polls
+// every enrolled agent at the configured interval.
+//
+// Usage:
+//
+//	keylime-verifier -listen :8893 -registrar http://localhost:8891 \
+//	  -poll-interval 10s [-continue-on-failure]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/verifier"
+	"repro/internal/keylime/webhook"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("keylime-verifier: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		listen       = flag.String("listen", ":8893", "address to serve the management API on")
+		registrarURL = flag.String("registrar", "http://localhost:8891", "registrar base URL")
+		pollInterval = flag.Duration("poll-interval", 10*time.Second, "attestation polling interval")
+		continueOn   = flag.Bool("continue-on-failure", false,
+			"keep polling after attestation failures (the paper's P2 mitigation)")
+		statePath  = flag.String("state", "", "persist/restore verification state at this path")
+		auditPath  = flag.String("audit-log", "", "append the durable attestation log to this path")
+		webhookURL = flag.String("webhook", "", "POST signed revocation notifications to this URL")
+		webhookKey = flag.String("webhook-secret", "", "HMAC secret for webhook signatures")
+	)
+	flag.Parse()
+
+	auditLog := audit.NewLog()
+	opts := []verifier.Option{
+		verifier.WithPollInterval(*pollInterval),
+		verifier.WithContinueOnFailure(*continueOn),
+	}
+	if *auditPath != "" {
+		opts = append(opts, verifier.WithAuditLog(auditLog))
+	}
+	var notifier *webhook.Notifier
+	if *webhookURL != "" {
+		notifier = webhook.New(webhook.Config{
+			Endpoints: []string{*webhookURL},
+			Secret:    []byte(*webhookKey),
+		})
+		defer notifier.Close()
+		opts = append(opts, verifier.WithRevocationHandler(notifier.Handler()))
+	} else {
+		opts = append(opts, verifier.WithRevocationHandler(func(agentID string, f verifier.Failure) {
+			log.Printf("REVOCATION agent=%s type=%s path=%s detail=%s", agentID, f.Type, f.Path, f.Detail)
+		}))
+	}
+	v := verifier.New(*registrarURL, opts...)
+
+	if *statePath != "" {
+		if data, err := os.ReadFile(*statePath); err == nil {
+			var snap verifier.Snapshot
+			if err := json.Unmarshal(data, &snap); err != nil {
+				return fmt.Errorf("parsing state %s: %w", *statePath, err)
+			}
+			if err := v.RestoreState(snap); err != nil {
+				return fmt.Errorf("restoring state: %w", err)
+			}
+			fmt.Printf("restored %d agents from %s\n", len(snap.Agents), *statePath)
+		}
+	}
+
+	persist := func() {
+		if *statePath != "" {
+			snap, err := v.ExportState()
+			if err == nil {
+				if data, err := json.Marshal(snap); err == nil {
+					_ = os.WriteFile(*statePath, data, 0o600)
+				}
+			}
+		}
+		if *auditPath != "" {
+			f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
+			if err == nil {
+				_ = auditLog.Export(f)
+				_ = f.Close()
+			}
+		}
+	}
+	go func() {
+		ctx := context.Background()
+		for {
+			time.Sleep(*pollInterval)
+			v.PollAll(ctx)
+			persist()
+		}
+	}()
+	fmt.Printf("keylime-verifier listening on %s (registrar %s, poll every %v, continue-on-failure=%v)\n",
+		*listen, *registrarURL, *pollInterval, *continueOn)
+	return http.ListenAndServe(*listen, v.ManagementHandler())
+}

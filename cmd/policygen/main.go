@@ -1,0 +1,110 @@
+// Command policygen runs the dynamic policy generator standalone over a
+// synthetic distribution: it builds the initial policy, then simulates N
+// days of upstream updates, regenerating the policy incrementally each day
+// and printing the per-update statistics (the quantities behind the
+// paper's Figs. 3-5).
+//
+// Usage:
+//
+//	policygen -days 31 -scale small -out policy.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mirror"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("policygen: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		days      = flag.Int("days", 31, "days of updates to simulate")
+		scaleName = flag.String("scale", "small", "distribution scale: small | paper")
+		out       = flag.String("out", "policy.json", "write the final policy here")
+		kernel    = flag.String("kernel", "5.15.0-100-generic", "running kernel version")
+		seed      = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleName {
+	case "small":
+		scale = workload.ScaleSmall()
+	case "paper":
+		scale = workload.ScalePaper()
+	default:
+		return fmt.Errorf("unknown scale %q (small | paper)", *scaleName)
+	}
+	scale.Seed = *seed
+
+	start := time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC)
+	archive := mirror.NewArchive()
+	base := workload.BaseRelease(scale, *kernel)
+	if _, err := archive.Publish(start.Add(-24*time.Hour), base...); err != nil {
+		return err
+	}
+	stream := workload.NewStream(archive, base, workload.DefaultStreamConfig(scale))
+	mir := mirror.NewMirror(archive)
+	gen := core.NewGenerator(mir, core.WithExcludes([]string{"/tmp/.*"}))
+
+	pol, rep, err := gen.GenerateInitial(start, *kernel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initial policy: %d entries (%.1f MB), %d packages measured, modeled time %.1f min\n",
+		pol.Lines(), float64(pol.SizeBytes())/(1<<20), rep.PackagesChanged, rep.ModeledDuration.Minutes())
+
+	running := *kernel
+	for day := 1; day <= *days; day++ {
+		at := start.Add(time.Duration(day) * 24 * time.Hour)
+		if _, err := stream.PublishDay(at.Add(-2 * time.Hour)); err != nil {
+			return err
+		}
+		pol, upd, err := gen.Update(at, running)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("day %02d: %3d pkgs (%d exec, %d high-pri)  +%5d entries (%.2f MB)  %6.2f min  policy=%d lines\n",
+			day, upd.PackagesChanged, upd.PackagesWithExecutables, upd.HighPriority,
+			upd.EntriesAdded, float64(upd.BytesAdded)/(1<<20),
+			upd.ModeledDuration.Minutes(), pol.Lines())
+		for _, k := range upd.DeferredKernels {
+			if _, added, err := gen.RefreshKernel(at.Add(time.Hour), k); err != nil {
+				return err
+			} else {
+				fmt.Printf("day %02d: kernel %s staged (+%d entries), rebooting into it\n", day, k, added)
+			}
+			running = k
+		}
+		if _, err := gen.DedupAfterUpdate(); err != nil {
+			return err
+		}
+	}
+
+	final, err := gen.Policy()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(final)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("final policy: %d entries written to %s\n", final.Lines(), *out)
+	return nil
+}

@@ -1,0 +1,203 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation:
+//
+//	repro -exp all              # everything (default)
+//	repro -exp fp-week          # §III-B false-positive causes
+//	repro -exp fig3|fig4|fig5   # Figs. 3-5, daily-update experiment
+//	repro -exp fig3-weekly ...  # weekly analogues (supplementary materials)
+//	repro -exp table1           # Table I daily vs weekly summary
+//	repro -exp effectiveness    # 66-day zero-FP result
+//	repro -exp table2           # Table II attack detection matrix
+//	repro -exp table2-sec       # Table II with script execution control
+//	repro -exp attack=Vlany     # narrated single-attack timeline
+//
+// -scale paper sizes the synthetic distribution so the initial policy
+// reaches the paper's ~323k entries (slower; the default small scale
+// reproduces all shapes in seconds). -csv DIR additionally writes the
+// figure/table series as CSV for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("repro: %v", err)
+	}
+}
+
+func run() error {
+	var (
+		exp = flag.String("exp", "all",
+			"experiment: all | fp-week | fig3 | fig4 | fig5 | fig3-weekly | fig4-weekly | fig5-weekly | table1 | effectiveness | table2 | table2-sec | attack=<name>")
+		scaleName = flag.String("scale", "small", "distribution scale: small | paper")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csvDir    = flag.String("csv", "", "also write figure/table CSVs into this directory")
+	)
+	flag.Parse()
+
+	var scale workload.Scale
+	switch *scaleName {
+	case "small":
+		scale = workload.ScaleSmall()
+	case "paper":
+		scale = workload.ScalePaper()
+	default:
+		return fmt.Errorf("unknown scale %q (small | paper)", *scaleName)
+	}
+	scale.Seed = *seed
+	stack := experiments.StackConfig{Scale: scale}
+
+	out := os.Stdout
+	writeCSV := func(name string, fn func(w *os.File) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		if err := fn(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", filepath.Join(*csvDir, name))
+		return nil
+	}
+
+	if name, ok := strings.CutPrefix(*exp, "attack="); ok {
+		outStr, err := experiments.AttackTimeline(stack, name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, outStr)
+		return nil
+	}
+	needDaily := map[string]bool{"all": true, "fig3": true, "fig4": true, "fig5": true, "table1": true, "effectiveness": true}
+	needWeekly := map[string]bool{
+		"all": true, "table1": true, "effectiveness": true,
+		// Weekly-update analogues of Figs. 3-5 (the paper's supplementary
+		// materials present the second experiment this way).
+		"fig3-weekly": true, "fig4-weekly": true, "fig5-weekly": true,
+	}
+
+	var daily, weekly experiments.DynamicRunResult
+	var err error
+	if needDaily[*exp] {
+		cfg := experiments.DailyRunConfig()
+		cfg.Stack = stack
+		fmt.Fprintln(out, "running 31-day daily-update experiment ...")
+		if daily, err = experiments.DynamicRun(cfg); err != nil {
+			return err
+		}
+	}
+	if needWeekly[*exp] {
+		cfg := experiments.WeeklyRunConfig()
+		cfg.Stack = stack
+		fmt.Fprintln(out, "running 35-day weekly-update experiment ...")
+		if weekly, err = experiments.DynamicRun(cfg); err != nil {
+			return err
+		}
+	}
+
+	section := func(s string) { fmt.Fprintln(out); fmt.Fprintln(out, s) }
+
+	switch *exp {
+	case "fp-week", "all":
+		fmt.Fprintln(out, "running 7-day false-positive experiment (static policy) ...")
+		res, err := experiments.FPWeek(stack)
+		if err != nil {
+			return err
+		}
+		section(experiments.RenderFPWeek(res))
+		if *exp != "all" {
+			return nil
+		}
+	}
+	switch *exp {
+	case "fig3":
+		section(experiments.RenderFig3(daily))
+		return nil
+	case "fig4":
+		section(experiments.RenderFig4(daily))
+		return nil
+	case "fig5":
+		section(experiments.RenderFig5(daily))
+		return nil
+	case "fig3-weekly":
+		section(experiments.RenderFig3(weekly))
+		return nil
+	case "fig4-weekly":
+		section(experiments.RenderFig4(weekly))
+		return nil
+	case "fig5-weekly":
+		section(experiments.RenderFig5(weekly))
+		return nil
+	case "table1":
+		section(experiments.RenderTable1(daily, weekly))
+		return nil
+	case "effectiveness":
+		section(experiments.RenderEffectiveness(daily, weekly))
+		return nil
+	case "table2":
+		fmt.Fprintln(out, "running attack matrix (8 samples x basic/adaptive/mitigated) ...")
+		res, err := experiments.AttackMatrix(stack)
+		if err != nil {
+			return err
+		}
+		section(experiments.RenderTable2(res))
+		return nil
+	case "table2-sec":
+		fmt.Fprintln(out, "running attack matrix with script execution control in the mitigated column ...")
+		secStack := stack
+		secStack.ScriptExecControl = true
+		res, err := experiments.AttackMatrix(secStack)
+		if err != nil {
+			return err
+		}
+		section(experiments.RenderTable2(res))
+		fmt.Fprintln(out, "Mitigated column includes script execution control (§IV-C): interpreters")
+		fmt.Fprintln(out, "opt in, IMA measures SCRIPT_CHECK, and the pure-Python Aoyama is caught too.")
+		return nil
+	case "all":
+		section(experiments.RenderFig3(daily))
+		section(experiments.RenderFig4(daily))
+		section(experiments.RenderFig5(daily))
+		section(experiments.RenderTable1(daily, weekly))
+		section(experiments.RenderEffectiveness(daily, weekly))
+		if err := writeCSV("figures-daily.csv", func(f *os.File) error {
+			return experiments.WriteFiguresCSV(f, daily)
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV("figures-weekly.csv", func(f *os.File) error {
+			return experiments.WriteFiguresCSV(f, weekly)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "running attack matrix (8 samples x basic/adaptive/mitigated) ...")
+		matrix, err := experiments.AttackMatrix(stack)
+		if err != nil {
+			return err
+		}
+		section(experiments.RenderTable2(matrix))
+		if err := writeCSV("table2.csv", func(f *os.File) error {
+			return experiments.WriteAttackMatrixCSV(f, matrix)
+		}); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}

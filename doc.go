@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "Towards Continuous
+// Integrity Attestation and Its Challenges in Practice: A Case Study of
+// Keylime" (DSN 2025).
+//
+// The implementation lives under internal/:
+//
+//   - internal/tpm, internal/ima, internal/vfs, internal/machine — the
+//     attested prover substrate (software TPM 2.0, IMA measurement engine,
+//     filesystem and execution model);
+//   - internal/keylime/{agent,registrar,verifier,tenant} — the Keylime
+//     components speaking HTTP/JSON;
+//   - internal/mirror, internal/workload — the Ubuntu-style archive, local
+//     mirror and calibrated update stream;
+//   - internal/core — the paper's contribution: dynamic policy generation;
+//   - internal/attacks, internal/experiments — the §III/§IV experiments,
+//     reproducing Figures 3-5 and Tables I-II.
+//
+// See README.md for a tour, cmd/repro for the experiment runner, and
+// bench_test.go (this directory) for the per-table/figure benchmarks.
+package repro

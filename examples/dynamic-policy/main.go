@@ -1,0 +1,61 @@
+// Dynamic policy generation (the paper's §III-C contribution), end to end:
+// a 31-day simulation where a local mirror is synced ahead of each daily
+// system update, the runtime policy is regenerated incrementally and pushed
+// to the verifier BEFORE the machine updates — so Keylime attests
+// continuously with zero false positives, including across a kernel update
+// and reboot. The one alert of the run is the paper's injected operator
+// misconfiguration (installing from the official archive instead of the
+// mirror).
+//
+// Run with:
+//
+//	go run ./examples/dynamic-policy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("dynamic-policy: %v", err)
+	}
+}
+
+func run() error {
+	cfg := experiments.DailyRunConfig()
+	fmt.Printf("simulating %d days of daily updates (misconfiguration injected on day %d)...\n\n",
+		cfg.Days, cfg.MisconfigDay)
+	res, err := experiments.DynamicRun(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("initial policy: %d entries (%.2f MB)\n\n",
+		res.InitialPolicyLines, float64(res.InitialPolicyBytes)/(1<<20))
+	for _, day := range res.Days {
+		marker := ""
+		if day.Rebooted {
+			marker += "  [kernel update + reboot]"
+		}
+		if day.MisconfigEvent {
+			marker += "  [MISCONFIGURATION EVENT]"
+		}
+		fmt.Printf("day %02d: %3d pkgs w/ executables  +%5d policy entries  %5.2f min  FPs=%d%s\n",
+			day.Day, day.Report.PackagesWithExecutables, day.Report.EntriesAdded,
+			day.Report.ModeledDuration.Minutes(), len(day.FPAlerts), marker)
+		for _, a := range day.FPAlerts {
+			fmt.Printf("        alert: %s (%s)\n", a.Path, a.Cause)
+		}
+	}
+
+	fmt.Printf("\nresult: %d updates, %d false positives (%d from the misconfiguration event)\n",
+		res.TotalUpdates, res.TotalFPs, res.MisconfigFPs)
+	fmt.Println("paper:  31 daily updates, zero false positives except the Mar-27 operator error")
+	fmt.Print("\n", experiments.RenderFig3(res))
+	return nil
+}

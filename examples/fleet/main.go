@@ -1,0 +1,126 @@
+// Fleet attestation: one verifier continuously monitoring several nodes —
+// the cloud-provider deployment the paper targets. Three machines enroll;
+// all attest cleanly until a rootkit lands on one of them, whose next poll
+// raises a revocation alert while the rest of the fleet stays green.
+//
+// Run with:
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+type node struct {
+	m     *machine.Machine
+	srv   *httptest.Server
+	agent *agent.Agent
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("fleet: %v", err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		return err
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+
+	v := verifier.New(regSrv.URL, verifier.WithRevocationHandler(func(id string, f verifier.Failure) {
+		fmt.Printf("  !! REVOCATION agent=%s type=%s path=%s\n", id[:8], f.Type, f.Path)
+	}))
+
+	// Bring up three identical nodes.
+	var nodes []*node
+	for i := 0; i < 3; i++ {
+		uuid := fmt.Sprintf("a%d432fbb-d2f1-4a97-9ef7-75bd81c0000%d", i, i)
+		m, err := machine.New(ca,
+			machine.WithHostname(fmt.Sprintf("node-%d", i+1)),
+			machine.WithUUID(uuid),
+		)
+		if err != nil {
+			return err
+		}
+		for path, content := range map[string]string{
+			"/usr/bin/ls":    "\x7fELF ls",
+			"/usr/sbin/sshd": "\x7fELF sshd",
+		} {
+			if err := m.WriteFile(path, []byte(content), vfs.ModeExecutable); err != nil {
+				return err
+			}
+		}
+		ag := agent.New(m)
+		srv := httptest.NewServer(ag.Handler())
+		defer srv.Close()
+		if err := ag.Register(regSrv.URL, srv.URL); err != nil {
+			return err
+		}
+		pol, err := core.SnapshotPolicy(m.FS(), nil)
+		if err != nil {
+			return err
+		}
+		if err := v.AddAgent(m.UUID(), srv.URL, pol); err != nil {
+			return err
+		}
+		nodes = append(nodes, &node{m: m, srv: srv, agent: ag})
+		fmt.Printf("enrolled %s (%s)\n", m.Hostname(), uuid[:8])
+	}
+
+	// Fleet activity + a clean polling round.
+	for _, n := range nodes {
+		if err := n.m.Exec("/usr/sbin/sshd"); err != nil {
+			return err
+		}
+	}
+	attested, failed := v.PollAll(ctx)
+	fmt.Printf("\npoll round 1: %d attested, %d failed\n", attested, failed)
+
+	// Node 2 is compromised: a rootkit shared object is injected.
+	victim := nodes[1]
+	fmt.Printf("\ncompromising %s with an LD_PRELOAD rootkit...\n", victim.m.Hostname())
+	if err := victim.m.WriteFile("/usr/lib/vlany.so", []byte("ELF-so vlany"), vfs.ModeExecutable); err != nil {
+		return err
+	}
+	if err := victim.m.MmapExec("/usr/lib/vlany.so"); err != nil {
+		return err
+	}
+
+	attested, failed = v.PollAll(ctx)
+	fmt.Printf("poll round 2: %d attested, %d failed\n\n", attested, failed)
+
+	for _, n := range nodes {
+		st, err := v.Status(n.m.UUID())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: state=%s attestations=%d failures=%d halted=%v\n",
+			n.m.Hostname(), st.State, st.Attestations, len(st.Failures), st.Halted)
+	}
+	fmt.Println("\nnode-2 is quarantined (stop-on-failure); node-1 and node-3 keep attesting")
+
+	// The healthy fleet continues.
+	attested, failed = v.PollAll(ctx)
+	fmt.Printf("poll round 3: %d attested (halted node skipped), %d failed\n", attested, failed)
+	return nil
+}

@@ -1,0 +1,141 @@
+// Quickstart: stand up a complete continuous-integrity-attestation stack
+// in one process — a simulated machine with TPM and IMA, a registrar, an
+// agent, and a verifier — then watch a healthy attestation, an OS drift
+// alert, and the policy fix.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("quickstart: %v", err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// 1. A TPM manufacturer, and a machine whose TPM it certified.
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		return err
+	}
+	m, err := machine.New(ca, machine.WithHostname("node-1"))
+	if err != nil {
+		return err
+	}
+	// Give the machine some system executables.
+	for path, content := range map[string]string{
+		"/usr/bin/ls":      "\x7fELF coreutils-ls",
+		"/usr/bin/curl":    "\x7fELF curl-7.81",
+		"/usr/sbin/sshd":   "\x7fELF openssh-server",
+		"/usr/bin/python3": "\x7fELF python-3.10",
+	} {
+		if err := m.WriteFile(path, []byte(content), vfs.ModeExecutable); err != nil {
+			return err
+		}
+	}
+	fmt.Println("machine ready:", m.Hostname(), "uuid", m.UUID())
+
+	// 2. Registrar: verifies the TPM's EK certificate chain and runs the
+	// credential-activation protocol when the agent enrolls.
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+
+	// 3. Agent on the machine: creates its AK and enrolls.
+	ag := agent.New(m)
+	agSrv := httptest.NewServer(ag.Handler())
+	defer agSrv.Close()
+	if err := ag.Register(regSrv.URL, agSrv.URL); err != nil {
+		return err
+	}
+	fmt.Println("agent enrolled: EK certificate verified, credential activated")
+
+	// 4. Runtime policy: the allowlist of executable digests.
+	pol, err := core.SnapshotPolicy(m.FS(), []string{"/tmp/.*"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("runtime policy built: %d entries\n", pol.Lines())
+
+	// 5. Verifier: fetches the trusted AK from the registrar and starts
+	// monitoring.
+	v := verifier.New(regSrv.URL, verifier.WithRevocationHandler(func(id string, f verifier.Failure) {
+		fmt.Printf("  !! ALERT agent=%s type=%s path=%s\n", id, f.Type, f.Path)
+	}))
+	if err := v.AddAgent(m.UUID(), agSrv.URL, pol); err != nil {
+		return err
+	}
+
+	// 6. Normal operation: executions are measured by IMA, quoted by the
+	// TPM, and verified against the policy.
+	for _, p := range []string{"/usr/bin/ls", "/usr/sbin/sshd"} {
+		if err := m.Exec(p); err != nil {
+			return err
+		}
+	}
+	res, err := v.AttestOnce(ctx, m.UUID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attestation #1: verified %d measurement entries, failure=%v\n",
+		res.VerifiedEntries, res.Failure)
+
+	// 7. Drift: someone replaces curl outside the controlled update path.
+	if err := m.WriteFile("/usr/bin/curl", []byte("\x7fELF curl-TAMPERED"), vfs.ModeExecutable); err != nil {
+		return err
+	}
+	if err := m.Exec("/usr/bin/curl"); err != nil {
+		return err
+	}
+	res, err = v.AttestOnce(ctx, m.UUID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attestation #2: failure type=%s path=%s (hash mismatch against policy)\n",
+		res.Failure.Type, res.Failure.Path)
+	st, _ := v.Status(m.UUID())
+	fmt.Printf("verifier state: %s, halted=%v (Keylime stops polling on failure — paper problem P2)\n",
+		st.State, st.Halted)
+
+	// 8. The operator vets the change, updates the policy, and resumes.
+	info, err := m.FS().Stat("/usr/bin/curl")
+	if err != nil {
+		return err
+	}
+	pol.Add("/usr/bin/curl", info.Digest)
+	if err := v.UpdatePolicy(m.UUID(), pol); err != nil {
+		return err
+	}
+	if err := v.Resume(m.UUID()); err != nil {
+		return err
+	}
+	res, err = v.AttestOnce(ctx, m.UUID())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attestation #3 after policy update: failure=%v, verified=%d entries\n",
+		res.Failure, res.VerifiedEntries)
+	fmt.Println("done — see examples/dynamic-policy for the automated version of step 8")
+	return nil
+}

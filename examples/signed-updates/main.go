@@ -1,0 +1,87 @@
+// Vendor-signed updates (the §V "hashes generated and then signed by the
+// package maintainers" improvement): the distribution vendor signs every
+// executable at publish time, signatures travel with the files as
+// security.ima xattrs and appear in the IMA log (ima-sig template), and the
+// verifier appraises vendor-signed files by key. The runtime policy is
+// frozen on day one — yet a week of unattended upgrades produces zero
+// false positives, while unsigned or rogue-signed payloads are still
+// flagged.
+//
+// Run with:
+//
+//	go run ./examples/signed-updates
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/vfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatalf("signed-updates: %v", err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	d, err := experiments.NewDeployment(experiments.StackConfig{VendorSigning: true})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.RefreshPolicyFromMachine(); err != nil {
+		return err
+	}
+	fmt.Println("deployment up: vendor signs all executables; verifier trusts the vendor key")
+	fmt.Println("runtime policy FROZEN at day 0 — no dynamic policy generation in this run")
+	fmt.Println()
+
+	for day := 1; day <= 7; day++ {
+		upd, err := d.Stream.PublishDay(d.Clock.Now())
+		if err != nil {
+			return err
+		}
+		if err := d.InstallFromArchive(upd.Published); err != nil {
+			return err
+		}
+		if err := experiments.ExecUpdated(d, upd, 3); err != nil {
+			return err
+		}
+		res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+		if err != nil {
+			return err
+		}
+		status := "PASS"
+		if res.Failure != nil {
+			status = fmt.Sprintf("FAIL (%s %s)", res.Failure.Type, res.Failure.Path)
+		}
+		fmt.Printf("day %d: %2d packages upgraded, attestation %s\n", day, len(upd.Published), status)
+	}
+
+	fmt.Println("\nnow an attacker drops an unsigned binary and runs it ...")
+	if err := d.Machine.WriteFile("/usr/local/bin/cryptominer", []byte("\x7fELF evil"), vfs.ModeExecutable); err != nil {
+		return err
+	}
+	if err := d.Machine.Exec("/usr/local/bin/cryptominer"); err != nil {
+		return err
+	}
+	res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+	if err != nil {
+		return err
+	}
+	if res.Failure == nil {
+		return fmt.Errorf("unsigned payload was not flagged")
+	}
+	fmt.Printf("ALERT: %s %s — signature trust does not whitelist unsigned code\n",
+		res.Failure.Type, res.Failure.Path)
+	fmt.Println("\ncompare: examples/dynamic-policy achieves the same zero-FP result by")
+	fmt.Println("regenerating the policy before every update (the paper's contribution);")
+	fmt.Println("signed files remove that churn but need vendor cooperation (§V).")
+	return nil
+}

@@ -1,0 +1,264 @@
+// Package attacks implements the paper's false-negative test suite (§IV):
+// eight attack samples across the three categories cloud providers commonly
+// face — ransomware, rootkits, and botnet command-and-control — each in a
+// *basic* variant (the attacker is unaware of Keylime) and an *adaptive*
+// variant that exploits one or more of the five discovered problems:
+//
+//	P1 — Keylime policy excludes directories (/tmp)
+//	P2 — Keylime stops polling on failure (incomplete attestation log)
+//	P3 — IMA ignores whole filesystems (tmpfs, procfs, ...)
+//	P4 — IMA never re-measures an inode moved within a filesystem
+//	P5 — interpreter invocation measures the interpreter, not the script
+//
+// Attacks are expressed as scenarios: ordered steps of concrete machine
+// operations (drop, compile, move, exec, insmod, LD_PRELOAD-style mmap,
+// interpreter runs). The experiment harness attests between steps, so
+// detection timing (live vs fresh-attestation vs post-reboot) is
+// observable. Every file an attack creates or touches is recorded as an
+// artifact; "detected" means an attestation failure names an artifact.
+package attacks
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/vfs"
+)
+
+// Category classifies an attack.
+type Category int
+
+// Attack categories from the paper.
+const (
+	CategoryRansomware Category = iota + 1
+	CategoryRootkit
+	CategoryBotnetCC
+)
+
+var categoryNames = map[Category]string{
+	CategoryRansomware: "Ransomware",
+	CategoryRootkit:    "Rootkit",
+	CategoryBotnetCC:   "Botnet C&C",
+}
+
+// String returns the category label.
+func (c Category) String() string {
+	if n, ok := categoryNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// Problem identifies one of the paper's five discovered problems.
+type Problem int
+
+// The five problems.
+const (
+	P1UnmonitoredDirectories Problem = iota + 1
+	P2IncompleteAttestationLog
+	P3UnmonitoredFilesystems
+	P4NoReEvaluation
+	P5ScriptInterpreters
+)
+
+var problemNames = map[Problem]string{
+	P1UnmonitoredDirectories:   "P1",
+	P2IncompleteAttestationLog: "P2",
+	P3UnmonitoredFilesystems:   "P3",
+	P4NoReEvaluation:           "P4",
+	P5ScriptInterpreters:       "P5",
+}
+
+// String returns the short problem label.
+func (p Problem) String() string {
+	if n, ok := problemNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("P?(%d)", int(p))
+}
+
+// Describe returns the paper's one-line description of the problem.
+func (p Problem) Describe() string {
+	switch p {
+	case P1UnmonitoredDirectories:
+		return "Unmonitored directories in the Keylime policy (e.g. /tmp)"
+	case P2IncompleteAttestationLog:
+		return "Keylime stops polling on failure, leaving an incomplete attestation log"
+	case P3UnmonitoredFilesystems:
+		return "IMA policy ignores whole filesystems (tmpfs, procfs, ...)"
+	case P4NoReEvaluation:
+		return "IMA does not re-evaluate a file renamed within the same filesystem"
+	case P5ScriptInterpreters:
+		return "Interpreter invocation attests the interpreter, not the script"
+	default:
+		return "unknown problem"
+	}
+}
+
+// Variant selects the attacker model.
+type Variant int
+
+// Attack variants.
+const (
+	// VariantBasic: the attacker is unaware of Keylime.
+	VariantBasic Variant = iota + 1
+	// VariantAdaptive: the attacker exploits P1-P5 to evade detection.
+	VariantAdaptive
+)
+
+// String returns the variant label.
+func (v Variant) String() string {
+	if v == VariantBasic {
+		return "basic"
+	}
+	return "adaptive"
+}
+
+// Env is the attack's view of the compromised machine.
+type Env struct {
+	M *machine.Machine
+	// artifacts lists every path the attack created or relocated payloads
+	// to; detection is judged against this set.
+	artifacts map[string]bool
+	// fpPath is the benign file planted to trigger a false positive (P2);
+	// it is NOT an artifact — flagging it is not detecting the attack.
+	fpPath string
+}
+
+// NewEnv wraps a machine for one attack run.
+func NewEnv(m *machine.Machine) *Env {
+	return &Env{M: m, artifacts: make(map[string]bool)}
+}
+
+// Artifacts returns the recorded artifact paths.
+func (e *Env) Artifacts() []string {
+	out := make([]string, 0, len(e.artifacts))
+	for p := range e.artifacts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsArtifact reports whether path belongs to the attack.
+func (e *Env) IsArtifact(path string) bool { return e.artifacts[path] }
+
+// record adds an artifact path.
+func (e *Env) record(path string) { e.artifacts[path] = true }
+
+// drop writes an attacker-controlled file and records it.
+func (e *Env) drop(path string, content []byte, mode vfs.Mode) error {
+	if err := e.M.WriteFile(path, content, mode); err != nil {
+		return fmt.Errorf("attacks: dropping %s: %w", path, err)
+	}
+	e.record(path)
+	return nil
+}
+
+// move relocates an artifact (the P4 primitive).
+func (e *Env) move(from, to string) error {
+	if err := e.M.FS().Rename(from, to); err != nil {
+		return fmt.Errorf("attacks: moving %s -> %s: %w", from, to, err)
+	}
+	e.record(to)
+	return nil
+}
+
+// triggerBenignFP plants and runs a benign executable that is not in the
+// policy — the P2 primitive that halts a stop-on-failure verifier.
+func (e *Env) triggerBenignFP() error {
+	const p = "/usr/local/bin/helpful-utility"
+	if err := e.M.WriteFile(p, []byte("\x7fELF benign helper"), vfs.ModeExecutable); err != nil {
+		return fmt.Errorf("attacks: planting benign FP file: %w", err)
+	}
+	e.fpPath = p
+	if err := e.M.Exec(p); err != nil {
+		return fmt.Errorf("attacks: executing benign FP file: %w", err)
+	}
+	return nil
+}
+
+// FPPath returns the benign decoy path ("" if the attack used none).
+func (e *Env) FPPath() string { return e.fpPath }
+
+// Step is one stage of an attack scenario.
+type Step struct {
+	// Name describes the stage ("stage payload", "load kernel module").
+	Name string
+	// Final marks the step completing the attack's objective; detection
+	// strictly before the final step counts as "live" detection.
+	Final bool
+	// Do performs the stage's machine operations.
+	Do func(*Env) error
+}
+
+// Scenario is an ordered attack plan.
+type Scenario struct {
+	Attack  *Attack
+	Variant Variant
+	Steps   []Step
+}
+
+// Attack describes one sample from the paper's Table II.
+type Attack struct {
+	Name     string
+	Category Category
+	// Exploits lists the problems the adaptive variant leans on
+	// (reconstructed from the paper's Table II bullets and narrative).
+	Exploits []Problem
+	// PureInterpreter marks samples implemented entirely in a scripting
+	// language (Aoyama): P5 makes them unmitigable today.
+	PureInterpreter bool
+	basic           []Step
+	adaptive        []Step
+	// reactivate re-runs the attack's persistence hook after a reboot
+	// (what init/cron/module autoload would do), used by the mitigation
+	// experiment's "detectable upon reboot" check.
+	reactivate func(*Env) error
+}
+
+// Scenario returns the step plan for the chosen variant.
+func (a *Attack) Scenario(v Variant) Scenario {
+	steps := a.basic
+	if v == VariantAdaptive {
+		steps = a.adaptive
+	}
+	return Scenario{Attack: a, Variant: v, Steps: steps}
+}
+
+// Reactivate replays the persistence hook after a reboot. Attacks without
+// persistence return ErrNoPersistence.
+func (a *Attack) Reactivate(e *Env) error {
+	if a.reactivate == nil {
+		return ErrNoPersistence
+	}
+	return a.reactivate(e)
+}
+
+// ErrNoPersistence marks attacks that do not survive a reboot.
+var ErrNoPersistence = errors.New("attacks: sample has no persistence mechanism")
+
+// Interpreter and toolchain paths the environment must provide (§IV setup:
+// packages aligned with the mirror; these are stand-ins for the build and
+// scripting tools every sample relies on).
+const (
+	ShellPath  = "/bin/sh"
+	PythonPath = "/usr/bin/python3"
+	MakePath   = "/usr/bin/make"
+	GCCPath    = "/usr/bin/gcc"
+)
+
+// InstallToolchain writes the interpreter/toolchain binaries the attacks
+// invoke. Call it before snapshotting the machine's policy so the tools are
+// trusted (they are ordinary distro packages).
+func InstallToolchain(m *machine.Machine) error {
+	for _, p := range []string{ShellPath, PythonPath, MakePath, GCCPath} {
+		if m.FS().Exists(p) {
+			continue
+		}
+		if err := m.WriteFile(p, []byte("\x7fELF "+p), vfs.ModeExecutable); err != nil {
+			return fmt.Errorf("attacks: installing toolchain %s: %w", p, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,331 @@
+package attacks
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ima"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// config selects the Table II column being reproduced.
+type config int
+
+const (
+	configStock config = iota + 1 // paper's experiment setup (problems present)
+	configMitigated
+)
+
+// testStack is one full deployment per attack run (the paper resets the
+// machine to the same initial state before each attack).
+type testStack struct {
+	m *machine.Machine
+	h *Harness
+}
+
+// newTestStack builds a machine + Keylime deployment in the given config.
+func newTestStack(t *testing.T, cfg config) *testStack {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	var machineOpts []machine.Option
+	machineOpts = append(machineOpts, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if cfg == configMitigated {
+		machineOpts = append(machineOpts, machine.WithIMAOptions(
+			ima.WithPolicy(ima.MitigatedPolicy()),
+			ima.WithReEvaluateOnPathChange(true),
+		))
+	}
+	m, err := machine.New(ca, machineOpts...)
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	if err := InstallToolchain(m); err != nil {
+		t.Fatalf("InstallToolchain: %v", err)
+	}
+	// Victim data for the ransomware sample.
+	for i := 0; i < 5; i++ {
+		p := fmt.Sprintf("/usr/share/docs/report%d.txt", i)
+		if err := m.WriteFile(p, []byte("confidential"), vfs.ModeRegular); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	excludes := []string{"/tmp/.*", "/var/log/.*", "/snap/.*"} // the original policy's P1 setup
+	if cfg == configMitigated {
+		excludes = nil // enriched policy: no directory wildcards
+	}
+	pol, err := core.SnapshotPolicy(m.FS(), excludes)
+	if err != nil {
+		t.Fatalf("SnapshotPolicy: %v", err)
+	}
+
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+	ag := agent.New(m)
+	agSrv := httptest.NewServer(ag.Handler())
+	t.Cleanup(agSrv.Close)
+	if err := ag.Register(regSrv.URL, agSrv.URL); err != nil {
+		t.Fatalf("agent.Register: %v", err)
+	}
+	var vOpts []verifier.Option
+	if cfg == configMitigated {
+		vOpts = append(vOpts, verifier.WithContinueOnFailure(true))
+	}
+	v := verifier.New(regSrv.URL, vOpts...)
+	if err := v.AddAgent(m.UUID(), agSrv.URL, pol); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	// Baseline attestation: the clean machine must pass.
+	res, err := v.AttestOnce(context.Background(), m.UUID())
+	if err != nil {
+		t.Fatalf("baseline AttestOnce: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("clean machine failed baseline attestation: %+v", res.Failure)
+	}
+	h := &Harness{Verifier: v, AgentID: m.UUID(), AttestEveryStep: true}
+	if cfg == configMitigated {
+		h.CheckReboot = true
+		h.AttestEveryStep = false
+	}
+	return &testStack{m: m, h: h}
+}
+
+func TestBasicAttacksAllDetected(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			s := newTestStack(t, configStock)
+			env := NewEnv(s.m)
+			res, err := s.h.Run(context.Background(), env, a.Scenario(VariantBasic))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Outcome.Detected() {
+				t.Fatalf("%s basic = %v, want detected (paper Table II)", a.Name, res.Outcome)
+			}
+			if len(res.ArtifactFailures) == 0 {
+				t.Fatal("detected without artifact failures")
+			}
+		})
+	}
+}
+
+func TestAdaptiveAttacksAllEvade(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			s := newTestStack(t, configStock)
+			env := NewEnv(s.m)
+			res, err := s.h.Run(context.Background(), env, a.Scenario(VariantAdaptive))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.Outcome != OutcomeUndetected {
+				t.Fatalf("%s adaptive = %v (failures: %+v), want undetected (paper Table II)",
+					a.Name, res.Outcome, res.ArtifactFailures)
+			}
+		})
+	}
+}
+
+func TestMitigatedDetectionMatchesPaper(t *testing.T) {
+	// Paper §IV-C: with the recommended fixes, 7/8 adaptive attacks become
+	// detectable upon reboot or fresh attestation; Aoyama (pure Python)
+	// still evades because P5 cannot be fully mitigated.
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			s := newTestStack(t, configMitigated)
+			env := NewEnv(s.m)
+			res, err := s.h.Run(context.Background(), env, a.Scenario(VariantAdaptive))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if a.Name == "Aoyama" {
+				if res.Outcome != OutcomeUndetected {
+					t.Fatalf("Aoyama mitigated = %v, want undetected (P5 unmitigable)", res.Outcome)
+				}
+				return
+			}
+			if !res.Outcome.Detected() {
+				t.Fatalf("%s mitigated = %v, want detected", a.Name, res.Outcome)
+			}
+		})
+	}
+}
+
+func TestReptileAdaptiveOpensP2BlindWindow(t *testing.T) {
+	s := newTestStack(t, configStock)
+	env := NewEnv(s.m)
+	a, err := ByName("Reptile")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	res, err := s.h.Run(context.Background(), env, a.Scenario(VariantAdaptive))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.HaltedDuringRun {
+		t.Fatal("P2 attack did not halt the verifier")
+	}
+	// The only failures must be the benign decoy, never the rootkit.
+	if len(res.ArtifactFailures) != 0 {
+		t.Fatalf("artifact failures inside blind window: %+v", res.ArtifactFailures)
+	}
+	if len(res.OtherFailures) == 0 {
+		t.Fatal("no decoy failure recorded")
+	}
+	if res.OtherFailures[0].Path != env.FPPath() {
+		t.Fatalf("decoy failure path = %q, want %q", res.OtherFailures[0].Path, env.FPPath())
+	}
+}
+
+func TestSamplesMetadata(t *testing.T) {
+	all := All()
+	if len(all) != 8 {
+		t.Fatalf("All() = %d samples, want 8", len(all))
+	}
+	categories := map[Category]int{}
+	for _, a := range all {
+		categories[a.Category]++
+		if len(a.basic) == 0 || len(a.adaptive) == 0 {
+			t.Fatalf("%s missing scenario steps", a.Name)
+		}
+		finals := 0
+		for _, st := range a.adaptive {
+			if st.Final {
+				finals++
+			}
+		}
+		if finals != 1 {
+			t.Fatalf("%s adaptive has %d final steps, want exactly 1", a.Name, finals)
+		}
+		if len(a.Exploits) == 0 {
+			t.Fatalf("%s lists no exploitable problems", a.Name)
+		}
+	}
+	if categories[CategoryRansomware] != 1 || categories[CategoryRootkit] != 3 || categories[CategoryBotnetCC] != 4 {
+		t.Fatalf("category split = %v, want 1/3/4", categories)
+	}
+	// Per the paper, P5 applies to all samples except AvosLocker.
+	for _, a := range all {
+		hasP5 := false
+		for _, p := range a.Exploits {
+			if p == P5ScriptInterpreters {
+				hasP5 = true
+			}
+		}
+		if a.Name == "AvosLocker" && hasP5 {
+			t.Fatal("AvosLocker must not list P5 (binary-only sample)")
+		}
+		if a.Name != "AvosLocker" && !hasP5 {
+			t.Fatalf("%s must list P5", a.Name)
+		}
+	}
+	onlyPure := 0
+	for _, a := range all {
+		if a.PureInterpreter {
+			onlyPure++
+			if a.Name != "Aoyama" {
+				t.Fatalf("%s marked pure-interpreter", a.Name)
+			}
+		}
+	}
+	if onlyPure != 1 {
+		t.Fatalf("pure-interpreter samples = %d, want 1 (Aoyama)", onlyPure)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("NotARealSample"); err == nil {
+		t.Fatal("ByName of unknown sample succeeded")
+	}
+}
+
+func TestProblemDescriptions(t *testing.T) {
+	for _, p := range []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog,
+		P3UnmonitoredFilesystems, P4NoReEvaluation, P5ScriptInterpreters} {
+		if p.Describe() == "unknown problem" {
+			t.Fatalf("%v lacks a description", p)
+		}
+		if p.String() == "" {
+			t.Fatalf("%v lacks a label", p)
+		}
+	}
+}
+
+func TestOutcomeSymbols(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeDetectedLive:   "✓",
+		OutcomeDetectedFresh:  "✓*",
+		OutcomeDetectedReboot: "✓*",
+		OutcomeUndetected:     "✗",
+	}
+	for o, want := range cases {
+		if got := o.Symbol(); got != want {
+			t.Fatalf("%v.Symbol() = %q, want %q", o, got, want)
+		}
+	}
+	if OutcomeUndetected.Detected() {
+		t.Fatal("undetected reports detected")
+	}
+	if !OutcomeDetectedReboot.Detected() {
+		t.Fatal("reboot detection not counted as detected")
+	}
+}
+
+func TestEnvArtifactTracking(t *testing.T) {
+	s := newTestStack(t, configStock)
+	env := NewEnv(s.m)
+	if err := env.drop("/tmp/x", []byte("x"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if err := env.move("/tmp/x", "/usr/bin/x"); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	for _, p := range []string{"/tmp/x", "/usr/bin/x"} {
+		if !env.IsArtifact(p) {
+			t.Fatalf("%s not tracked as artifact", p)
+		}
+	}
+	if env.IsArtifact("/usr/bin/ls") {
+		t.Fatal("unrelated path tracked as artifact")
+	}
+}
+
+func TestReactivateWithoutPersistence(t *testing.T) {
+	s := newTestStack(t, configStock)
+	env := NewEnv(s.m)
+	a, err := ByName("Mirai")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	// Adaptive Mirai lives on tmpfs only: after a reboot there is nothing
+	// to reactivate.
+	sc := a.Scenario(VariantAdaptive)
+	for _, st := range sc.Steps {
+		if err := st.Do(env); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if err := env.M.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	if err := a.Reactivate(env); !errors.Is(err, ErrNoPersistence) {
+		t.Fatalf("Reactivate = %v, want ErrNoPersistence", err)
+	}
+}

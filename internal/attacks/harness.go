@@ -1,0 +1,181 @@
+package attacks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/keylime/verifier"
+)
+
+// Outcome classifies how an attack run ended, matching Table II's legend.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeDetectedLive: an attestation before the attack completed
+	// flagged an artifact (Table II "✓").
+	OutcomeDetectedLive Outcome = iota + 1
+	// OutcomeDetectedFresh: the first attestation after completion
+	// flagged an artifact (Table II "✓*", fresh attestation).
+	OutcomeDetectedFresh
+	// OutcomeDetectedReboot: only the post-reboot attestation flagged an
+	// artifact (Table II "✓*", upon reboot).
+	OutcomeDetectedReboot
+	// OutcomeUndetected: no attestation ever flagged an artifact ("✗").
+	OutcomeUndetected
+)
+
+// Detected reports whether the attack was caught at any point.
+func (o Outcome) Detected() bool { return o != OutcomeUndetected }
+
+// Symbol renders the Table II legend symbol.
+func (o Outcome) Symbol() string {
+	switch o {
+	case OutcomeDetectedLive:
+		return "✓"
+	case OutcomeDetectedFresh, OutcomeDetectedReboot:
+		return "✓*"
+	default:
+		return "✗"
+	}
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeDetectedLive:
+		return "detected-live"
+	case OutcomeDetectedFresh:
+		return "detected-fresh-attestation"
+	case OutcomeDetectedReboot:
+		return "detected-upon-reboot"
+	case OutcomeUndetected:
+		return "undetected"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// RunResult reports one scenario execution.
+type RunResult struct {
+	Attack  string
+	Variant Variant
+	Outcome Outcome
+	// DetectedAtStep is the 1-based step index whose following attestation
+	// flagged an artifact (0 if none).
+	DetectedAtStep int
+	// ArtifactFailures are the failures naming attack artifacts.
+	ArtifactFailures []verifier.Failure
+	// OtherFailures are failures on non-artifact paths (e.g. the benign
+	// decoy of a P2 attack).
+	OtherFailures []verifier.Failure
+	// HaltedDuringRun reports that stop-on-failure froze the verifier at
+	// some point (the P2 blind window was open).
+	HaltedDuringRun bool
+}
+
+// Harness drives a scenario against a monitored machine: it performs each
+// step, attests after it (modeling continuous polling at a cadence faster
+// than the attack), and classifies the outcome. With CheckReboot set, an
+// undetected run is followed by a reboot, the sample's persistence
+// reactivation, and a final fresh attestation.
+type Harness struct {
+	Verifier *verifier.Verifier
+	AgentID  string
+	// CheckReboot enables the post-reboot detection phase.
+	CheckReboot bool
+	// AttestEveryStep attests after every step (polling faster than the
+	// attack progresses). When false, only the post-completion fresh
+	// attestation (and the optional reboot check) run — the realistic
+	// cadence for second-scale attacks against a minutes-scale poller,
+	// and the mode the paper's mitigation column is judged in.
+	AttestEveryStep bool
+}
+
+// attestAndClassify runs one attestation round and splits new failures into
+// artifact/other. ErrHalted is not an error: it is the P2 blind window.
+func (h *Harness) attestAndClassify(ctx context.Context, env *Env, res *RunResult, seen *int) (foundArtifact bool, err error) {
+	_, aerr := h.Verifier.AttestOnce(ctx, h.AgentID)
+	if aerr != nil {
+		if errors.Is(aerr, verifier.ErrHalted) {
+			res.HaltedDuringRun = true
+			return false, nil
+		}
+		return false, aerr
+	}
+	st, err := h.Verifier.Status(h.AgentID)
+	if err != nil {
+		return false, err
+	}
+	if st.Halted {
+		res.HaltedDuringRun = true
+	}
+	newFailures := st.Failures[*seen:]
+	*seen = len(st.Failures)
+	for _, f := range newFailures {
+		if env.IsArtifact(f.Path) {
+			res.ArtifactFailures = append(res.ArtifactFailures, f)
+			foundArtifact = true
+		} else {
+			res.OtherFailures = append(res.OtherFailures, f)
+		}
+	}
+	return foundArtifact, nil
+}
+
+// Run executes the scenario.
+func (h *Harness) Run(ctx context.Context, env *Env, sc Scenario) (RunResult, error) {
+	res := RunResult{Attack: sc.Attack.Name, Variant: sc.Variant, Outcome: OutcomeUndetected}
+	seen := 0
+	lastStep := len(sc.Steps) - 1
+	for i, step := range sc.Steps {
+		if err := step.Do(env); err != nil {
+			return res, fmt.Errorf("attacks: %s %s step %d (%s): %w",
+				sc.Attack.Name, sc.Variant, i+1, step.Name, err)
+		}
+		if !h.AttestEveryStep {
+			continue
+		}
+		found, err := h.attestAndClassify(ctx, env, &res, &seen)
+		if err != nil {
+			return res, err
+		}
+		if found && res.Outcome == OutcomeUndetected {
+			res.DetectedAtStep = i + 1
+			if i < lastStep {
+				res.Outcome = OutcomeDetectedLive
+			} else {
+				res.Outcome = OutcomeDetectedFresh
+			}
+		}
+	}
+	if res.Outcome == OutcomeUndetected {
+		// One more fresh attestation after completion (the verifier's next
+		// regular poll).
+		found, err := h.attestAndClassify(ctx, env, &res, &seen)
+		if err != nil {
+			return res, err
+		}
+		if found {
+			res.DetectedAtStep = len(sc.Steps)
+			res.Outcome = OutcomeDetectedFresh
+		}
+	}
+	if res.Outcome == OutcomeUndetected && h.CheckReboot {
+		if err := env.M.Reboot(); err != nil {
+			return res, fmt.Errorf("attacks: rebooting for detection check: %w", err)
+		}
+		if err := sc.Attack.Reactivate(env); err != nil && !errors.Is(err, ErrNoPersistence) {
+			return res, fmt.Errorf("attacks: reactivating %s: %w", sc.Attack.Name, err)
+		}
+		found, err := h.attestAndClassify(ctx, env, &res, &seen)
+		if err != nil {
+			return res, err
+		}
+		if found {
+			res.Outcome = OutcomeDetectedReboot
+		}
+	}
+	return res, nil
+}

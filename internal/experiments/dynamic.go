@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keylime/verifier"
+	"repro/internal/mirror"
+	"repro/internal/simclock"
+	"repro/internal/workload"
+)
+
+// DynamicRunConfig configures a dynamic-policy-generation experiment
+// (§III-D: 31 days of daily updates, or 35 days of weekly updates).
+type DynamicRunConfig struct {
+	Stack StackConfig
+	// Days the experiment runs.
+	Days int
+	// UpdateEveryNDays: 1 reproduces the daily experiment, 7 the weekly.
+	UpdateEveryNDays int
+	// MisconfigDay injects the paper's one real-world failure: on that
+	// day the upstream publishes a release AFTER the 5:00 mirror sync and
+	// the operator installs from the official archive instead of the
+	// mirror (0 = no event).
+	MisconfigDay int
+	// BenignStepsPerDay is the background activity level.
+	BenignStepsPerDay int
+	// Epoch is the simulated start date.
+	Epoch time.Time
+}
+
+// DailyRunConfig reproduces the paper's first experiment (Feb 26 - Mar 28,
+// 2024: 31 days, daily updates, misconfiguration on day 31, which was
+// March 27).
+func DailyRunConfig() DynamicRunConfig {
+	return DynamicRunConfig{
+		Days:              31,
+		UpdateEveryNDays:  1,
+		MisconfigDay:      31,
+		BenignStepsPerDay: 40,
+		Epoch:             Epoch,
+	}
+}
+
+// WeeklyRunConfig reproduces the second experiment (May 6 - Jun 3, 2024:
+// 35 days, weekly updates).
+func WeeklyRunConfig() DynamicRunConfig {
+	return DynamicRunConfig{
+		Days:              35,
+		UpdateEveryNDays:  7,
+		BenignStepsPerDay: 40,
+		Epoch:             WeeklyEpoch,
+	}
+}
+
+// DayRecord is one day of a dynamic-policy run.
+type DayRecord struct {
+	Day  int
+	Date time.Time
+	// UpdateRan reports that the update procedure executed today.
+	UpdateRan bool
+	// Report carries the generator's update statistics (Figs 3-5).
+	Report core.UpdateReport
+	// FPAlerts observed today (the headline result: zero except the
+	// misconfiguration event).
+	FPAlerts []FPAlert
+	// Rebooted reports a kernel-update reboot.
+	Rebooted bool
+	// MisconfigEvent marks the injected operator error.
+	MisconfigEvent bool
+}
+
+// DynamicRunResult is the outcome of one experiment.
+type DynamicRunResult struct {
+	Config DynamicRunConfig
+	Days   []DayRecord
+	// InitialPolicyLines / InitialPolicyBytes describe the day-one policy.
+	InitialPolicyLines int
+	InitialPolicyBytes int64
+	// TotalUpdates counts update-procedure runs (the paper counts 36
+	// across both experiments: 31 daily + 5 weekly).
+	TotalUpdates int
+	// TotalFPs counts all false-positive alerts.
+	TotalFPs int
+	// MisconfigFPs counts alerts attributable to the injected event.
+	MisconfigFPs int
+	// AttestationRounds counts verifier polls.
+	AttestationRounds int
+}
+
+// UpdateDays returns the records of days the updater ran.
+func (r DynamicRunResult) UpdateDays() []DayRecord {
+	var out []DayRecord
+	for _, d := range r.Days {
+		if d.UpdateRan {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DynamicRun executes one dynamic-policy experiment.
+func DynamicRun(cfg DynamicRunConfig) (DynamicRunResult, error) {
+	if cfg.Days <= 0 || cfg.UpdateEveryNDays <= 0 {
+		return DynamicRunResult{}, fmt.Errorf("experiments: invalid run config %+v", cfg)
+	}
+	stack := cfg.Stack
+	if stack.Clock == nil {
+		epoch := cfg.Epoch
+		if epoch.IsZero() {
+			epoch = Epoch
+		}
+		stack.Clock = simclock.NewSimulated(epoch)
+	}
+	d, err := NewDeployment(stack)
+	if err != nil {
+		return DynamicRunResult{}, err
+	}
+	defer d.Close()
+	ctx := context.Background()
+	res := DynamicRunResult{Config: cfg}
+	res.InitialPolicyLines = d.Policy.Lines()
+	res.InitialPolicyBytes = d.Policy.SizeBytes()
+
+	sim, _ := d.Clock.(*simclock.Simulated)
+	advance := func(dur time.Duration) {
+		if sim != nil {
+			sim.Advance(dur)
+		}
+	}
+
+	benign, err := workload.NewBenignOps(d.Machine, workload.DefaultBenignOpsConfig(stack.Scale.Seed+31))
+	if err != nil {
+		return DynamicRunResult{}, err
+	}
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		return DynamicRunResult{}, err
+	}
+
+	seenFailures := 0
+	// attest runs one verifier poll and returns any new alerts.
+	attest := func(day int) ([]FPAlert, error) {
+		_, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+		res.AttestationRounds++
+		if err != nil && !errors.Is(err, verifier.ErrHalted) {
+			return nil, err
+		}
+		st, err := d.V.Status(d.Machine.UUID())
+		if err != nil {
+			return nil, err
+		}
+		newFailures := st.Failures[seenFailures:]
+		seenFailures = len(st.Failures)
+		var alerts []FPAlert
+		for _, f := range newFailures {
+			alerts = append(alerts, FPAlert{Day: day, Cause: classifyFP(d, nil, f), Path: f.Path, Type: f.Type, Time: f.Time})
+		}
+		return alerts, nil
+	}
+
+	// pushGeneratorPolicy folds local extras into the generator's policy
+	// and pushes the result.
+	pushGeneratorPolicy := func() error {
+		pol, err := d.Gen.Policy()
+		if err != nil {
+			return err
+		}
+		pol.Merge(d.LocalExtras)
+		return d.PushPolicy(pol)
+	}
+
+	for day := 1; day <= cfg.Days; day++ {
+		rec := DayRecord{Day: day, Date: d.Clock.Now()}
+
+		// 03:00 — upstream publishes overnight.
+		advance(3 * time.Hour)
+		upstream, err := d.Stream.PublishDay(d.Clock.Now())
+		if err != nil {
+			return res, err
+		}
+
+		// 05:00 — on update days: sync mirror, regenerate policy, push it,
+		// THEN update the machine from the mirror.
+		advance(2 * time.Hour)
+		updateDay := day%cfg.UpdateEveryNDays == 0 || cfg.UpdateEveryNDays == 1
+		if updateDay {
+			rec.UpdateRan = true
+			res.TotalUpdates++
+			_, rep, err := d.Gen.Update(d.Clock.Now(), d.Machine.RunningKernel())
+			if err != nil {
+				return res, err
+			}
+			rec.Report = rep
+			if err := pushGeneratorPolicy(); err != nil {
+				return res, err
+			}
+
+			if day == cfg.MisconfigDay {
+				// The paper's one failure: a release lands after the 5:00
+				// sync, and the operator pulls from the official archive
+				// instead of the mirror.
+				rec.MisconfigEvent = true
+				late, err := d.Stream.PublishDay(d.Clock.Now().Add(4 * time.Hour))
+				if err != nil {
+					return res, err
+				}
+				if err := d.InstallFromArchive(append(upstream.Published, late.Published...)); err != nil {
+					return res, err
+				}
+				if err := execUpdatedExecutables(d, late, 2); err != nil {
+					return res, err
+				}
+			} else {
+				// Controlled update from the local mirror.
+				delta := diffPackagesSince(d, upstream)
+				if err := d.InstallFromMirror(delta); err != nil {
+					return res, err
+				}
+			}
+
+			// Kernel handling: refresh the policy for a pending kernel
+			// before rebooting into it.
+			if pending := d.Machine.PendingKernel(); pending != "" {
+				if _, _, err := d.Gen.RefreshKernel(d.Clock.Now(), pending); err != nil {
+					return res, err
+				}
+				if err := pushGeneratorPolicy(); err != nil {
+					return res, err
+				}
+				if err := d.Machine.Reboot(); err != nil {
+					return res, err
+				}
+				rec.Rebooted = true
+			}
+			if err := benign.Recatalog(); err != nil {
+				return res, err
+			}
+			// Touch freshly updated executables right away.
+			if err := execUpdatedExecutables(d, upstream, 3); err != nil && day != cfg.MisconfigDay {
+				return res, err
+			}
+		}
+
+		// Working hours: benign operations with periodic attestation.
+		for phase := 0; phase < 3; phase++ {
+			if _, err := benign.Run(cfg.BenignStepsPerDay / 3); err != nil {
+				return res, err
+			}
+			advance(5 * time.Hour)
+			alerts, err := attest(day)
+			if err != nil {
+				return res, err
+			}
+			rec.FPAlerts = append(rec.FPAlerts, alerts...)
+			if len(alerts) > 0 {
+				// Operator resolution: resync the mirror, regenerate and
+				// push the policy, then resume attestation.
+				if _, _, err := d.Gen.Update(d.Clock.Now(), d.Machine.RunningKernel()); err != nil {
+					return res, err
+				}
+				if err := pushGeneratorPolicy(); err != nil {
+					return res, err
+				}
+				if err := d.refreshPolicyFromMachine(); err != nil {
+					return res, err
+				}
+				if err := d.V.Resume(d.Machine.UUID()); err != nil {
+					return res, err
+				}
+			}
+		}
+
+		// Post-update deduplication (outside the update window).
+		if updateDay {
+			if _, err := d.Gen.DedupAfterUpdate(); err != nil {
+				return res, err
+			}
+		}
+		advance(4 * time.Hour) // complete the 24h day
+
+		res.TotalFPs += len(rec.FPAlerts)
+		if rec.MisconfigEvent {
+			res.MisconfigFPs += len(rec.FPAlerts)
+		}
+		res.Days = append(res.Days, rec)
+	}
+	return res, nil
+}
+
+// diffPackagesSince lists the mirror packages the machine should install
+// for today's update (everything whose mirrored version differs from the
+// installed one).
+func diffPackagesSince(d *Deployment, upd workload.DayUpdate) []mirror.Package {
+	rel := d.Mirror.Release()
+	var out []mirror.Package
+	for name, p := range rel.Packages {
+		installed, err := d.Machine.InstalledVersion(name)
+		if err != nil || installed != p.Version {
+			out = append(out, p)
+		}
+	}
+	_ = upd
+	return out
+}

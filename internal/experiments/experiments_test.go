@@ -1,0 +1,665 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/filesig"
+	"repro/internal/workload"
+)
+
+func TestDeploymentBaselineAttestationPasses(t *testing.T) {
+	d, err := NewDeployment(StackConfig{})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	res, err := d.V.AttestOnce(context.Background(), d.Machine.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("baseline attestation failed: %+v", res.Failure)
+	}
+	if d.Policy.Lines() == 0 {
+		t.Fatal("initial policy empty")
+	}
+}
+
+func TestFPWeekReproducesAllThreeCauses(t *testing.T) {
+	res, err := FPWeek(StackConfig{})
+	if err != nil {
+		t.Fatalf("FPWeek: %v", err)
+	}
+	counts := res.CountByCause()
+	if counts[CauseUpdateHashMismatch] == 0 {
+		t.Fatal("no hash-mismatch false positives from system updates")
+	}
+	if counts[CauseUpdateMissingFile] == 0 {
+		t.Fatal("no missing-file false positives from system updates")
+	}
+	if counts[CauseSNAPTruncation] == 0 {
+		t.Fatal("no SNAP truncation false positive")
+	}
+	if counts[CauseOther] != 0 {
+		t.Fatalf("unexplained false positives: %d", counts[CauseOther])
+	}
+	if res.BenignOps.Execs == 0 || res.BenignOps.Scripts == 0 {
+		t.Fatalf("benign workload incomplete: %+v", res.BenignOps)
+	}
+	out := RenderFPWeek(res)
+	if !strings.Contains(out, "hash mismatch") {
+		t.Fatalf("render missing cause rows:\n%s", out)
+	}
+}
+
+func TestDailyDynamicRunZeroFPsExceptMisconfig(t *testing.T) {
+	cfg := DailyRunConfig()
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	if len(res.Days) != 31 {
+		t.Fatalf("days = %d, want 31", len(res.Days))
+	}
+	if res.TotalUpdates != 31 {
+		t.Fatalf("updates = %d, want 31 (daily)", res.TotalUpdates)
+	}
+	// The headline result: the only false positives come from the injected
+	// misconfiguration event.
+	if res.MisconfigFPs == 0 {
+		t.Fatal("misconfiguration event produced no false positive")
+	}
+	if res.TotalFPs != res.MisconfigFPs {
+		t.Fatalf("FPs outside the misconfiguration event: total=%d misconfig=%d",
+			res.TotalFPs, res.MisconfigFPs)
+	}
+	// Kernel updates occurred and were survived without false positives.
+	reboots := 0
+	for _, day := range res.Days {
+		if day.Rebooted {
+			reboots++
+		}
+	}
+	if reboots == 0 {
+		t.Fatal("no kernel-update reboot exercised in 31 days")
+	}
+	if res.InitialPolicyLines == 0 {
+		t.Fatal("initial policy stats missing")
+	}
+}
+
+func TestDailyDynamicRunWithoutMisconfigIsClean(t *testing.T) {
+	cfg := DailyRunConfig()
+	cfg.Days = 10
+	cfg.MisconfigDay = 0
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	if res.TotalFPs != 0 {
+		t.Fatalf("FPs = %d, want 0 over a clean run", res.TotalFPs)
+	}
+}
+
+func TestWeeklyDynamicRun(t *testing.T) {
+	cfg := WeeklyRunConfig()
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	if len(res.Days) != 35 {
+		t.Fatalf("days = %d, want 35", len(res.Days))
+	}
+	if res.TotalUpdates != 5 {
+		t.Fatalf("updates = %d, want 5 (weekly over 35 days)", res.TotalUpdates)
+	}
+	if res.TotalFPs != 0 {
+		t.Fatalf("FPs = %d, want 0", res.TotalFPs)
+	}
+}
+
+func TestTable1WeeklyCostsMoreThanDaily(t *testing.T) {
+	daily, err := DynamicRun(DynamicRunConfig{
+		Days: 14, UpdateEveryNDays: 1, BenignStepsPerDay: 20, Epoch: Epoch,
+	})
+	if err != nil {
+		t.Fatalf("daily run: %v", err)
+	}
+	weekly, err := DynamicRun(DynamicRunConfig{
+		Days: 14, UpdateEveryNDays: 7, BenignStepsPerDay: 20, Epoch: WeeklyEpoch,
+	})
+	if err != nil {
+		t.Fatalf("weekly run: %v", err)
+	}
+	_, _, dailyFiles, dailyMins := runStats(daily)
+	_, _, weeklyFiles, weeklyMins := runStats(weekly)
+	// A weekly update batches ~a week of churn: more files and more time
+	// per update than a daily one (Table I's shape).
+	if weeklyFiles <= dailyFiles {
+		t.Fatalf("weekly files/update (%.0f) <= daily (%.0f); want batching effect", weeklyFiles, dailyFiles)
+	}
+	if weeklyMins <= dailyMins {
+		t.Fatalf("weekly minutes/update (%.2f) <= daily (%.2f)", weeklyMins, dailyMins)
+	}
+	out := RenderTable1(daily, weekly)
+	if !strings.Contains(out, "Daily Update") || !strings.Contains(out, "Weekly Update") {
+		t.Fatalf("Table I render incomplete:\n%s", out)
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	cfg := DailyRunConfig()
+	cfg.Days = 6
+	cfg.MisconfigDay = 0
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	for name, out := range map[string]string{
+		"fig3": RenderFig3(res),
+		"fig4": RenderFig4(res),
+		"fig5": RenderFig5(res),
+	} {
+		if !strings.Contains(out, "day 01") || !strings.Contains(out, "mean=") {
+			t.Fatalf("%s render incomplete:\n%s", name, out)
+		}
+	}
+	eff := RenderEffectiveness(res, res)
+	if !strings.Contains(eff, "Combined") {
+		t.Fatalf("effectiveness render incomplete:\n%s", eff)
+	}
+}
+
+func TestAttackMatrixReproducesTable2(t *testing.T) {
+	res, err := AttackMatrix(StackConfig{})
+	if err != nil {
+		t.Fatalf("AttackMatrix: %v", err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if !row.Basic.Detected() {
+			t.Errorf("%s basic = %v, want detected", row.Name, row.Basic)
+		}
+		if row.Adaptive.Detected() {
+			t.Errorf("%s adaptive = %v, want undetected", row.Name, row.Adaptive)
+		}
+		if row.Name == "Aoyama" {
+			if row.Mitigated.Detected() {
+				t.Errorf("Aoyama mitigated = %v, want undetected (P5)", row.Mitigated)
+			}
+		} else if !row.Mitigated.Detected() {
+			t.Errorf("%s mitigated = %v, want detected", row.Name, row.Mitigated)
+		}
+	}
+	out := RenderTable2(res)
+	for _, want := range []string{"AvosLocker", "Aoyama", "Mitigat.", "✓", "✗", "•"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMitigatedDeploymentHasNoExcludes(t *testing.T) {
+	d, err := NewDeployment(StackConfig{Mitigated: true})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if len(d.Policy.Excludes()) != 0 {
+		t.Fatalf("mitigated policy has excludes: %v", d.Policy.Excludes())
+	}
+	if d.Policy.IsExcluded("/tmp/x") {
+		t.Fatal("mitigated policy still excludes /tmp")
+	}
+}
+
+func TestRunAttackExportedDetectsBasicRansomware(t *testing.T) {
+	a, err := attacks.ByName("AvosLocker")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	res, err := RunAttack(StackConfig{}, a, attacks.VariantBasic, false)
+	if err != nil {
+		t.Fatalf("runAttack: %v", err)
+	}
+	if !res.Outcome.Detected() {
+		t.Fatalf("outcome = %v, want detected", res.Outcome)
+	}
+}
+
+func TestDeploymentScalesConfigurable(t *testing.T) {
+	sc := workload.ScaleSmall()
+	sc.Packages = 10
+	d, err := NewDeployment(StackConfig{Scale: sc})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if got := d.Machine.InstalledCount(); got != 11 { // 10 + kernel
+		t.Fatalf("installed packages = %d, want 11", got)
+	}
+}
+
+func TestScriptExecControlCatchesAoyama(t *testing.T) {
+	a, err := attacks.ByName("Aoyama")
+	if err != nil {
+		t.Fatalf("ByName: %v", err)
+	}
+	// Mitigations alone cannot catch the pure-Python sample...
+	plain, err := RunAttack(StackConfig{}, a, attacks.VariantAdaptive, true)
+	if err != nil {
+		t.Fatalf("RunAttack: %v", err)
+	}
+	if plain.Outcome.Detected() {
+		t.Fatalf("Aoyama mitigated without SEC = %v, want undetected", plain.Outcome)
+	}
+	// ...but with script execution control the interpreter flags the
+	// script open and IMA measures it.
+	sec, err := RunAttack(StackConfig{ScriptExecControl: true}, a, attacks.VariantAdaptive, true)
+	if err != nil {
+		t.Fatalf("RunAttack(SEC): %v", err)
+	}
+	if !sec.Outcome.Detected() {
+		t.Fatalf("Aoyama mitigated with SEC = %v, want detected", sec.Outcome)
+	}
+}
+
+func TestAttackMatrixWithSECDetectsAll8(t *testing.T) {
+	cfg := StackConfig{ScriptExecControl: true}
+	res, err := AttackMatrix(cfg)
+	if err != nil {
+		t.Fatalf("AttackMatrix: %v", err)
+	}
+	for _, row := range res.Rows {
+		// Basic/adaptive columns are unchanged (stock setup).
+		if !row.Basic.Detected() || row.Adaptive.Detected() {
+			t.Errorf("%s stock columns changed under SEC config: basic=%v adaptive=%v",
+				row.Name, row.Basic, row.Adaptive)
+		}
+		if !row.Mitigated.Detected() {
+			t.Errorf("%s mitigated+SEC = %v, want detected (all 8 with SEC)", row.Name, row.Mitigated)
+		}
+	}
+}
+
+func TestFPWeekWithSnapsDisabled(t *testing.T) {
+	res, err := FPWeek(StackConfig{DisableSnaps: true})
+	if err != nil {
+		t.Fatalf("FPWeek: %v", err)
+	}
+	counts := res.CountByCause()
+	if counts[CauseSNAPTruncation] != 0 {
+		t.Fatalf("SNAP alerts = %d with SNAP disabled, want 0 (paper fix (b))", counts[CauseSNAPTruncation])
+	}
+	// Update-caused FPs remain: disabling SNAP fixes only the SNAP cause.
+	if counts[CauseUpdateHashMismatch] == 0 && counts[CauseUpdateMissingFile] == 0 {
+		t.Fatal("update-caused FPs disappeared unexpectedly")
+	}
+}
+
+func TestVendorSigningEliminatesPolicyChurn(t *testing.T) {
+	// The §V signed-hashes improvement as an alternative to dynamic policy
+	// generation: with vendor-signed executables appraised by key, the
+	// runtime policy is NEVER updated, yet ten days of unattended upgrades
+	// produce zero false positives.
+	d, err := NewDeployment(StackConfig{VendorSigning: true})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	ctx := context.Background()
+	for day := 1; day <= 10; day++ {
+		upd, err := d.Stream.PublishDay(d.Clock.Now())
+		if err != nil {
+			t.Fatalf("PublishDay: %v", err)
+		}
+		// Unattended upgrade straight from the archive — the scenario that
+		// caused the FP week's alerts — but the new files carry vendor
+		// signatures.
+		if err := d.InstallFromArchive(upd.Published); err != nil {
+			t.Fatalf("InstallFromArchive: %v", err)
+		}
+		if err := execUpdatedExecutables(d, upd, 3); err != nil {
+			t.Fatalf("execUpdatedExecutables: %v", err)
+		}
+		res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+		if err != nil {
+			t.Fatalf("AttestOnce day %d: %v", day, err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("day %d: false positive despite vendor signatures: %+v", day, res.Failure)
+		}
+	}
+	// The protection is signature-based, not permissive: an UNSIGNED new
+	// executable still fails policy.
+	if err := d.Machine.WriteFile("/usr/local/bin/unsigned", []byte("\x7fELF x"), vfsModeExec()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := d.Machine.Exec("/usr/local/bin/unsigned"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Path != "/usr/local/bin/unsigned" {
+		t.Fatalf("unsigned file not flagged: %+v", res.Failure)
+	}
+}
+
+func TestVendorSigningRejectsForgedSignature(t *testing.T) {
+	// An attacker self-signing their payload with a rogue key gains
+	// nothing: only the distribution vendor's key is trusted.
+	d, err := NewDeployment(StackConfig{VendorSigning: true})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	rogue, err := filesig.NewSigner(cryptoRandReader())
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	if err := d.Machine.WriteFile("/usr/local/bin/evil", []byte("\x7fELF evil"), vfsModeExec()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, err := d.Machine.FS().Stat("/usr/local/bin/evil")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	sig, err := rogue.SignHex(info.Digest)
+	if err != nil {
+		t.Fatalf("SignHex: %v", err)
+	}
+	if err := d.Machine.FS().SetXattr("/usr/local/bin/evil", vfsIMAXattr(), sig); err != nil {
+		t.Fatalf("SetXattr: %v", err)
+	}
+	if err := d.Machine.Exec("/usr/local/bin/evil"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	res, err := d.V.AttestOnce(context.Background(), d.Machine.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Path != "/usr/local/bin/evil" {
+		t.Fatalf("rogue-signed payload not flagged: %+v", res.Failure)
+	}
+}
+
+func TestWriteFiguresCSV(t *testing.T) {
+	cfg := DailyRunConfig()
+	cfg.Days = 4
+	cfg.MisconfigDay = 0
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	var buf strings.Builder
+	if err := WriteFiguresCSV(&buf, res); err != nil {
+		t.Fatalf("WriteFiguresCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 days
+		t.Fatalf("CSV lines = %d, want 5:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "day,packages_changed") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestWriteAttackMatrixCSV(t *testing.T) {
+	res := AttackMatrixResult{Rows: []AttackRow{{
+		Name: "AvosLocker", Category: "Ransomware",
+		Basic: attacks.OutcomeDetectedFresh, Adaptive: attacks.OutcomeUndetected,
+		Mitigated: attacks.OutcomeDetectedFresh,
+		Exploits:  []attacks.Problem{attacks.P1UnmonitoredDirectories},
+	}}}
+	var buf strings.Builder
+	if err := WriteAttackMatrixCSV(&buf, res); err != nil {
+		t.Fatalf("WriteAttackMatrixCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "AvosLocker,Ransomware,true,false,true,false,false,false,false,detected-fresh-attestation") {
+		t.Fatalf("CSV = %q", out)
+	}
+}
+
+func TestWriteFPWeekCSV(t *testing.T) {
+	res := FPWeekResult{Alerts: []FPAlert{{Day: 2, Cause: CauseSNAPTruncation, Path: "/usr/bin/jq"}}}
+	var buf strings.Builder
+	if err := WriteFPWeekCSV(&buf, res); err != nil {
+		t.Fatalf("WriteFPWeekCSV: %v", err)
+	}
+	if !strings.Contains(buf.String(), "2,SNAP: truncated measurement path") {
+		t.Fatalf("CSV = %q", buf.String())
+	}
+}
+
+func TestAttackTimelineNarrative(t *testing.T) {
+	out, err := AttackTimeline(StackConfig{}, "Mortem-qBot")
+	if err != nil {
+		t.Fatalf("AttackTimeline: %v", err)
+	}
+	for _, want := range []string{
+		"basic attack vs stock Keylime",
+		"adaptive attack vs stock Keylime",
+		"adaptive attack vs mitigated Keylime",
+		"verdict: DETECTED",
+		"verdict: UNDETECTED",
+		"P4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAttackTimelineUnknownSample(t *testing.T) {
+	if _, err := AttackTimeline(StackConfig{}, "NotASample"); err == nil {
+		t.Fatal("unknown sample accepted")
+	}
+}
+
+// Property: random benign activity against a machine-derived policy never
+// raises an alert — the no-false-positive invariant the dynamic policy
+// generator maintains.
+func TestBenignActivityNeverAlertsProperty(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		sc := workload.ScaleSmall()
+		sc.Seed = seed
+		d, err := NewDeployment(StackConfig{Scale: sc})
+		if err != nil {
+			t.Fatalf("NewDeployment: %v", err)
+		}
+		benign, err := workload.NewBenignOps(d.Machine, workload.DefaultBenignOpsConfig(seed*100))
+		if err != nil {
+			d.Close()
+			t.Fatalf("NewBenignOps: %v", err)
+		}
+		if err := d.refreshPolicyFromMachine(); err != nil {
+			d.Close()
+			t.Fatalf("refreshPolicyFromMachine: %v", err)
+		}
+		ctx := context.Background()
+		for round := 0; round < 5; round++ {
+			if _, err := benign.Run(40); err != nil {
+				d.Close()
+				t.Fatalf("benign.Run: %v", err)
+			}
+			res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+			if err != nil {
+				d.Close()
+				t.Fatalf("AttestOnce: %v", err)
+			}
+			if res.Failure != nil {
+				d.Close()
+				t.Fatalf("seed %d round %d: benign activity alerted: %+v", seed, round, res.Failure)
+			}
+		}
+		d.Close()
+	}
+}
+
+// Property: any unknown executable run from a monitored location is always
+// flagged — the detection invariant for non-adaptive attackers.
+func TestUnknownExecutableAlwaysFlaggedProperty(t *testing.T) {
+	d, err := NewDeployment(StackConfig{})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	ctx := context.Background()
+	dirs := []string{"/usr/bin", "/usr/local/bin", "/usr/sbin", "/opt/app", "/usr/libexec"}
+	for i := 0; i < 10; i++ {
+		path := fmt.Sprintf("%s/unknown-%d", dirs[i%len(dirs)], i)
+		if err := d.Machine.WriteFile(path, []byte(fmt.Sprintf("\x7fELF %d", i)), vfsModeExec()); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		if err := d.Machine.Exec(path); err != nil {
+			t.Fatalf("Exec: %v", err)
+		}
+		res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+		if err != nil {
+			t.Fatalf("AttestOnce: %v", err)
+		}
+		if res.Failure == nil || res.Failure.Path != path {
+			t.Fatalf("unknown executable %s not flagged: %+v", path, res.Failure)
+		}
+		// Operator whitelists and resumes so the next probe starts clean.
+		if err := d.whitelist(path, nil); err != nil {
+			t.Fatalf("whitelist: %v", err)
+		}
+		if err := d.V.Resume(d.Machine.UUID()); err != nil {
+			t.Fatalf("Resume: %v", err)
+		}
+	}
+}
+
+func TestFleetSharedDynamicPolicy(t *testing.T) {
+	// The datacenter scenario: one mirror and one dynamic policy shared by
+	// a small fleet. All nodes must stay green across a multi-day update
+	// cycle, since they install the same packages the generator measured.
+	base, err := NewDeployment(StackConfig{})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer base.Close()
+	if err := base.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	ctx := context.Background()
+
+	// Two more machines enrolled with the same verifier under the same
+	// policy (reusing the deployment's CA via fresh deployments would give
+	// different mirror states; instead enroll clones of the base machine's
+	// release on the same stack).
+	type node struct {
+		d *Deployment
+	}
+	nodes := []node{{base}}
+	for i := 0; i < 2; i++ {
+		extra, err := NewDeployment(StackConfig{})
+		if err != nil {
+			t.Fatalf("NewDeployment extra: %v", err)
+		}
+		defer extra.Close()
+		if err := extra.refreshPolicyFromMachine(); err != nil {
+			t.Fatalf("refreshPolicyFromMachine: %v", err)
+		}
+		nodes = append(nodes, node{extra})
+	}
+
+	for day := 1; day <= 5; day++ {
+		for ni, n := range nodes {
+			upd, err := n.d.Stream.PublishDay(n.d.Clock.Now())
+			if err != nil {
+				t.Fatalf("PublishDay: %v", err)
+			}
+			if _, _, err := n.d.Gen.Update(n.d.Clock.Now(), n.d.Machine.RunningKernel()); err != nil {
+				t.Fatalf("Gen.Update: %v", err)
+			}
+			if err := n.d.PushGeneratorPolicy(); err != nil {
+				t.Fatalf("PushGeneratorPolicy: %v", err)
+			}
+			if err := n.d.InstallFromMirror(upd.Published); err != nil {
+				t.Fatalf("InstallFromMirror: %v", err)
+			}
+			if err := ExecUpdated(n.d, upd, 2); err != nil {
+				t.Fatalf("ExecUpdated: %v", err)
+			}
+			res, err := n.d.V.AttestOnce(ctx, n.d.Machine.UUID())
+			if err != nil {
+				t.Fatalf("node %d day %d AttestOnce: %v", ni, day, err)
+			}
+			if res.Failure != nil {
+				t.Fatalf("node %d day %d: FP under shared dynamic policy: %+v", ni, day, res.Failure)
+			}
+		}
+	}
+}
+
+func TestConcurrentAttestationStress(t *testing.T) {
+	// Concurrent polls against one agent must stay consistent: no panics,
+	// no spurious failures, and the verified frontier only grows.
+	d, err := NewDeployment(StackConfig{})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		t.Fatalf("refreshPolicyFromMachine: %v", err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Failure != nil {
+					errs <- fmt.Errorf("spurious failure: %+v", res.Failure)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent attestation: %v", err)
+	}
+	st, err := d.V.Status(d.Machine.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Attestations < 32 {
+		t.Fatalf("attestations = %d, want 32", st.Attestations)
+	}
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/keylime/verifier"
+	"repro/internal/workload"
+)
+
+// FPCause classifies a false positive by root cause (§III-B).
+type FPCause int
+
+// The causes the paper identifies.
+const (
+	// CauseUpdateHashMismatch: an OS update modified a file, so the IMA
+	// measurement no longer matches the (stale) policy digest.
+	CauseUpdateHashMismatch FPCause = iota + 1
+	// CauseUpdateMissingFile: an OS update added a file absent from the
+	// policy.
+	CauseUpdateMissingFile
+	// CauseSNAPTruncation: a SNAP binary was measured under its truncated
+	// in-sandbox path, which the policy (listing full /snap/... paths)
+	// does not contain.
+	CauseSNAPTruncation
+	// CauseOther: anything else (expected to stay zero).
+	CauseOther
+)
+
+var fpCauseNames = map[FPCause]string{
+	CauseUpdateHashMismatch: "system-update: hash mismatch",
+	CauseUpdateMissingFile:  "system-update: file missing from policy",
+	CauseSNAPTruncation:     "SNAP: truncated measurement path",
+	CauseOther:              "other",
+}
+
+// String names the cause.
+func (c FPCause) String() string {
+	if n, ok := fpCauseNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("cause(%d)", int(c))
+}
+
+// FPAlert is one false-positive alert observed during the week.
+type FPAlert struct {
+	Day   int
+	Cause FPCause
+	Path  string
+	Type  verifier.FailureType
+	Time  time.Time
+}
+
+// FPWeekResult summarizes the §III false-positive experiment.
+type FPWeekResult struct {
+	Days              int
+	Alerts            []FPAlert
+	AttestationRounds int
+	BenignOps         workload.OpCounts
+	// UpdatedPackages counts packages installed by unattended upgrades.
+	UpdatedPackages int
+}
+
+// CountByCause tallies alerts per cause.
+func (r FPWeekResult) CountByCause() map[FPCause]int {
+	out := map[FPCause]int{}
+	for _, a := range r.Alerts {
+		out[a.Cause]++
+	}
+	return out
+}
+
+// FPWeek runs the paper's one-week false-positive experiment: a static
+// snapshot policy, benign operations only, Ubuntu-style unattended upgrades
+// pulling straight from the upstream archive, and one SNAP installed
+// mid-week. Every attestation failure is a false positive by construction;
+// after recording an alert the operator whitelists the flagged entry and
+// resumes — the manual toil the dynamic policy generator eliminates.
+func FPWeek(cfg StackConfig) (FPWeekResult, error) {
+	d, err := NewDeployment(cfg)
+	if err != nil {
+		return FPWeekResult{}, err
+	}
+	defer d.Close()
+	ctx := context.Background()
+	res := FPWeekResult{Days: 7}
+
+	sim, _ := d.Clock.(interface{ Advance(time.Duration) })
+	advance := func(dur time.Duration) {
+		if sim != nil {
+			sim.Advance(dur)
+		}
+	}
+
+	benign, err := workload.NewBenignOps(d.Machine, workload.DefaultBenignOpsConfig(cfg.Scale.Seed+7))
+	if err != nil {
+		return FPWeekResult{}, err
+	}
+	// The admin scripts and /bin/sh written by NewBenignOps postdate the
+	// enrollment policy; fold them in (the operator's day-0 baseline).
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		return FPWeekResult{}, err
+	}
+
+	// snapInnerPaths maps truncated in-sandbox paths to full /snap paths.
+	snapInnerPaths := map[string]string{}
+
+	// attestAndResolve runs attestation rounds, recording each false
+	// positive and whitelisting it, until a round passes.
+	seenFailures := 0
+	attestAndResolve := func(day int) error {
+		for rounds := 0; rounds < 200; rounds++ {
+			_, err := d.V.AttestOnce(ctx, d.Machine.UUID())
+			res.AttestationRounds++
+			if err != nil && !errors.Is(err, verifier.ErrHalted) {
+				return err
+			}
+			st, err := d.V.Status(d.Machine.UUID())
+			if err != nil {
+				return err
+			}
+			newFailures := st.Failures[seenFailures:]
+			seenFailures = len(st.Failures)
+			if len(newFailures) == 0 && !st.Halted {
+				return nil // clean round
+			}
+			for _, f := range newFailures {
+				res.Alerts = append(res.Alerts, FPAlert{
+					Day:   day,
+					Cause: classifyFP(d, snapInnerPaths, f),
+					Path:  f.Path,
+					Type:  f.Type,
+					Time:  f.Time,
+				})
+				if err := d.whitelist(f.Path, snapInnerPaths); err != nil {
+					return err
+				}
+			}
+			if err := d.V.Resume(d.Machine.UUID()); err != nil {
+				return err
+			}
+		}
+		return fmt.Errorf("experiments: FP resolution did not converge")
+	}
+
+	for day := 1; day <= 7; day++ {
+		// Morning benign operations.
+		ops, err := benign.Run(60)
+		if err != nil {
+			return FPWeekResult{}, err
+		}
+		res.BenignOps.Execs += ops.Execs
+		res.BenignOps.Opens += ops.Opens
+		res.BenignOps.Scripts += ops.Scripts
+		res.BenignOps.Walks += ops.Walks
+		advance(6 * time.Hour)
+		if err := attestAndResolve(day); err != nil {
+			return FPWeekResult{}, err
+		}
+
+		// Unattended upgrade pulls straight from the upstream archive.
+		upd, err := d.Stream.PublishDay(d.Clock.Now())
+		if err != nil {
+			return FPWeekResult{}, err
+		}
+		if err := d.InstallFromArchive(upd.Published); err != nil {
+			return FPWeekResult{}, err
+		}
+		res.UpdatedPackages += len(upd.Published)
+		if err := benign.Recatalog(); err != nil {
+			return FPWeekResult{}, err
+		}
+		// Normal operations touch the freshly updated executables.
+		if err := execUpdatedExecutables(d, upd, 5); err != nil {
+			return FPWeekResult{}, err
+		}
+		advance(2 * time.Hour)
+		if err := attestAndResolve(day); err != nil {
+			return FPWeekResult{}, err
+		}
+
+		// Mid-week: a SNAP is installed and used (unless the operator
+		// disabled SNAP — the paper's fix (b)).
+		if day == 3 && !cfg.DisableSnaps {
+			full, err := d.installSnapCore()
+			if err != nil {
+				return FPWeekResult{}, err
+			}
+			inner := full[len("/snap/core20/1974"):]
+			snapInnerPaths[inner] = full
+			if err := d.Machine.Exec(full); err != nil {
+				return FPWeekResult{}, err
+			}
+			advance(time.Hour)
+			if err := attestAndResolve(day); err != nil {
+				return FPWeekResult{}, err
+			}
+		}
+
+		// Evening benign operations.
+		if _, err := benign.Run(40); err != nil {
+			return FPWeekResult{}, err
+		}
+		advance(16 * time.Hour)
+		if err := attestAndResolve(day); err != nil {
+			return FPWeekResult{}, err
+		}
+	}
+	return res, nil
+}
+
+// classifyFP assigns a root cause to one failure.
+func classifyFP(d *Deployment, snapInner map[string]string, f verifier.Failure) FPCause {
+	switch f.Type {
+	case verifier.FailureHashMismatch:
+		return CauseUpdateHashMismatch
+	case verifier.FailureNotInPolicy:
+		if _, ok := snapInner[f.Path]; ok {
+			return CauseSNAPTruncation
+		}
+		return CauseUpdateMissingFile
+	default:
+		return CauseOther
+	}
+}
+
+// whitelist adds the measured digest of the flagged path to the policy —
+// the operator's manual resolution step.
+func (d *Deployment) whitelist(path string, snapInner map[string]string) error {
+	full := path
+	if p, ok := snapInner[path]; ok {
+		full = p
+	}
+	info, err := d.Machine.FS().Stat(full)
+	if err != nil {
+		return fmt.Errorf("experiments: whitelisting %s: %w", path, err)
+	}
+	pol, err := d.currentPolicy()
+	if err != nil {
+		return err
+	}
+	pol.Add(path, info.Digest)
+	return d.PushPolicy(pol)
+}

@@ -1,0 +1,13 @@
+package experiments
+
+import (
+	"crypto/rand"
+	"io"
+
+	"repro/internal/vfs"
+)
+
+// Small indirections keeping the main test file free of extra imports.
+func vfsModeExec() vfs.Mode       { return vfs.ModeExecutable }
+func vfsIMAXattr() string         { return vfs.IMAXattr }
+func cryptoRandReader() io.Reader { return rand.Reader }

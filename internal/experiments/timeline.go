@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/attacks"
+)
+
+// AttackTimeline runs one attack in all three configurations and renders a
+// detailed step-by-step narrative: what the attacker did, what landed in
+// the IMA log, which attestations fired alerts. Used by
+// `cmd/repro -exp attack=<name>`.
+func AttackTimeline(cfg StackConfig, name string) (string, error) {
+	sample, err := attacks.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Attack timeline — %s (%s)\n", sample.Name, sample.Category)
+	fmt.Fprintf(&b, "adaptive exploits: ")
+	for i, p := range sample.Exploits {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("\n")
+	for _, p := range sample.Exploits {
+		fmt.Fprintf(&b, "  %s — %s\n", p, p.Describe())
+	}
+	b.WriteString("\n")
+
+	type runSpec struct {
+		label     string
+		variant   attacks.Variant
+		mitigated bool
+	}
+	for _, spec := range []runSpec{
+		{"basic attack vs stock Keylime", attacks.VariantBasic, false},
+		{"adaptive attack vs stock Keylime", attacks.VariantAdaptive, false},
+		{"adaptive attack vs mitigated Keylime", attacks.VariantAdaptive, true},
+	} {
+		fmt.Fprintf(&b, "== %s ==\n", spec.label)
+		out, err := runTimeline(cfg, sample, spec.variant, spec.mitigated)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// runTimeline executes one configuration with a narrated per-step log.
+func runTimeline(cfg StackConfig, sample *attacks.Attack, variant attacks.Variant, mitigated bool) (string, error) {
+	stack := cfg
+	stack.Mitigated = mitigated
+	stack.Clock = nil
+	d, err := NewDeployment(stack)
+	if err != nil {
+		return "", err
+	}
+	defer d.Close()
+	if err := d.refreshPolicyFromMachine(); err != nil {
+		return "", err
+	}
+	ctx := context.Background()
+	if res, err := d.V.AttestOnce(ctx, d.Machine.UUID()); err != nil || res.Failure != nil {
+		return "", fmt.Errorf("experiments: baseline attestation: %v %+v", err, res.Failure)
+	}
+
+	var b strings.Builder
+	env := attacks.NewEnv(d.Machine)
+	sc := sample.Scenario(variant)
+	seenFailures := 0
+	logBefore := d.Machine.IMA().Len()
+	for i, step := range sc.Steps {
+		if err := step.Do(env); err != nil {
+			return "", fmt.Errorf("experiments: step %d: %w", i+1, err)
+		}
+		logAfter := d.Machine.IMA().Len()
+		fmt.Fprintf(&b, "step %d: %s\n", i+1, step.Name)
+		fmt.Fprintf(&b, "        IMA log: +%d measurement(s)\n", logAfter-logBefore)
+		logBefore = logAfter
+		_, aerr := d.V.AttestOnce(ctx, d.Machine.UUID())
+		if aerr != nil {
+			fmt.Fprintf(&b, "        verifier: HALTED (stop-on-failure, P2 blind window)\n")
+			continue
+		}
+		st, err := d.V.Status(d.Machine.UUID())
+		if err != nil {
+			return "", err
+		}
+		newFailures := st.Failures[seenFailures:]
+		seenFailures = len(st.Failures)
+		if len(newFailures) == 0 {
+			fmt.Fprintf(&b, "        verifier: attestation PASS\n")
+		}
+		for _, f := range newFailures {
+			tag := "benign decoy"
+			if env.IsArtifact(f.Path) {
+				tag = "ATTACK ARTIFACT"
+			}
+			fmt.Fprintf(&b, "        verifier: ALERT %s %s (%s)\n", f.Type, f.Path, tag)
+		}
+	}
+	// Final verdict sweep.
+	detected := false
+	st, err := d.V.Status(d.Machine.UUID())
+	if err != nil {
+		return "", err
+	}
+	for _, f := range st.Failures {
+		if env.IsArtifact(f.Path) {
+			detected = true
+		}
+	}
+	if detected {
+		b.WriteString("verdict: DETECTED\n")
+	} else {
+		b.WriteString("verdict: UNDETECTED (no alert ever named an attack artifact)\n")
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,132 @@
+package filesig
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tpm"
+)
+
+func newSigner(t *testing.T) *Signer {
+	t.Helper()
+	s, err := NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	return s
+}
+
+func setOf(t *testing.T, signers ...*Signer) *VerifySet {
+	t.Helper()
+	var pubs [][]byte
+	for _, s := range signers {
+		pub, err := s.Public()
+		if err != nil {
+			t.Fatalf("Public: %v", err)
+		}
+		pubs = append(pubs, pub)
+	}
+	vs, err := NewVerifySet(pubs...)
+	if err != nil {
+		t.Fatalf("NewVerifySet: %v", err)
+	}
+	return vs
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s := newSigner(t)
+	vs := setOf(t, s)
+	d := sha256.Sum256([]byte("content"))
+	sig, err := s.Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if !vs.Verify(d, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	other := sha256.Sum256([]byte("other"))
+	if vs.Verify(other, sig) {
+		t.Fatal("signature accepted for wrong digest")
+	}
+}
+
+func TestSignHexRoundTrip(t *testing.T) {
+	s := newSigner(t)
+	vs := setOf(t, s)
+	d := sha256.Sum256([]byte("content"))
+	sigHex, err := s.SignHex(d)
+	if err != nil {
+		t.Fatalf("SignHex: %v", err)
+	}
+	if !vs.VerifyHex(d, sigHex) {
+		t.Fatal("hex signature rejected")
+	}
+	if vs.VerifyHex(d, "zz-not-hex") {
+		t.Fatal("garbage hex accepted")
+	}
+}
+
+func TestUntrustedVendorRejected(t *testing.T) {
+	vendor := newSigner(t)
+	rogue := newSigner(t)
+	vs := setOf(t, vendor)
+	d := sha256.Sum256([]byte("x"))
+	sig, err := rogue.Sign(d)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if vs.Verify(d, sig) {
+		t.Fatal("rogue vendor signature accepted")
+	}
+}
+
+func TestMultiVendorSet(t *testing.T) {
+	a, b := newSigner(t), newSigner(t)
+	vs := setOf(t, a, b)
+	if vs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", vs.Len())
+	}
+	d := sha256.Sum256([]byte("x"))
+	for _, s := range []*Signer{a, b} {
+		sig, err := s.Sign(d)
+		if err != nil {
+			t.Fatalf("Sign: %v", err)
+		}
+		if !vs.Verify(d, sig) {
+			t.Fatal("signature from trusted vendor rejected")
+		}
+	}
+}
+
+func TestVerifySetRejectsBadKey(t *testing.T) {
+	if _, err := NewVerifySet([]byte("garbage")); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("err = %v, want ErrBadKey", err)
+	}
+}
+
+// Property: a signature never verifies for a different digest.
+func TestSignatureBindingProperty(t *testing.T) {
+	s := newSigner(t)
+	vs := setOf(t, s)
+	f := func(a, b []byte) bool {
+		da := tpm.Digest(sha256.Sum256(a))
+		db := tpm.Digest(sha256.Sum256(b))
+		sig, err := s.Sign(da)
+		if err != nil {
+			return false
+		}
+		if !vs.Verify(da, sig) {
+			return false
+		}
+		if da != db && vs.Verify(db, sig) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package ima
+
+import (
+	"crypto/sha256"
+	"testing"
+)
+
+// FuzzParseLog exercises the measurement-list parser with arbitrary input:
+// it must never panic, and anything it accepts must round-trip.
+func FuzzParseLog(f *testing.F) {
+	d := sha256.Sum256([]byte("seed"))
+	e := Entry{PCR: 10, FileDigest: d, Path: "/usr/bin/seed"}
+	e.TemplateHash = TemplateHash(d, e.Path)
+	f.Add(FormatLog([]Entry{e}))
+	f.Add("")
+	f.Add("10 zz ima-ng sha256:zz /x\n")
+	f.Add("10 00 ima-ng sha256:00 /x\n10 00 ima-ng sha256:00 /y\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		entries, err := ParseLog(input)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip exactly.
+		again, err := ParseLog(FormatLog(entries))
+		if err != nil {
+			t.Fatalf("reparse of formatted log failed: %v", err)
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round trip changed entry count: %d -> %d", len(entries), len(again))
+		}
+		for i := range entries {
+			if entries[i] != again[i] {
+				t.Fatalf("round trip changed entry %d", i)
+			}
+		}
+	})
+}
+
+// FuzzParseEntry must never panic on arbitrary single lines.
+func FuzzParseEntry(f *testing.F) {
+	f.Add("10 00 ima-ng sha256:00 /bin/x")
+	f.Add("not an entry at all")
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseEntry(line)
+		if err != nil {
+			return
+		}
+		if FormatEntry(e) == "" {
+			t.Fatal("accepted entry formats to empty string")
+		}
+	})
+}

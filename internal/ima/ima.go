@@ -1,0 +1,481 @@
+// Package ima simulates the Linux Integrity Measurement Architecture in its
+// basic (measure + log + PCR extend) mode, which is what Keylime's
+// continuous integrity attestation consumes.
+//
+// The simulation reproduces the behaviours the paper's findings hinge on:
+//
+//   - policy rules that skip whole filesystem types (tmpfs, procfs, ...);
+//     the stock policy shipped with Keylime's documentation ignores them,
+//     which is the paper's problem P3;
+//   - a measure-once cache keyed by (filesystem, inode, content
+//     generation): a file measured once is not measured again when merely
+//     re-executed or renamed within the same filesystem — problem P4;
+//     content changes bump the generation and do trigger re-measurement
+//     (i_version semantics), which is what turns OS updates into the
+//     paper's "hash mismatch" false positives;
+//   - measurement happens at specific hooks (exec, mmap-exec, kernel module
+//     load); a script run as "python3 script.py" only measures the
+//     interpreter binary, never the script — problem P5;
+//   - every measurement extends TPM PCR 10 with the entry's template hash,
+//     so the verifier can replay the log and compare against a quote.
+//
+// A mitigation switch (WithReEvaluateOnPathChange) implements the paper's
+// recommended P4 fix: including the path in the cache key so relocated
+// files are re-measured.
+package ima
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// Hook identifies the kernel point where a measurement is taken.
+type Hook int
+
+// Measurement hooks (subset of the kernel's ima_hooks).
+const (
+	// HookBprmCheck fires when a file is directly executed.
+	HookBprmCheck Hook = iota + 1
+	// HookFileMmap fires when a file is mapped with PROT_EXEC (shared
+	// libraries, LD_PRELOAD objects).
+	HookFileMmap
+	// HookModuleCheck fires when a kernel module is loaded.
+	HookModuleCheck
+	// HookFileCheck fires for plain opens covered by policy (used by the
+	// paper's observation that /tmp files opened for exec ARE measured by
+	// IMA even though Keylime ignores the directory).
+	HookFileCheck
+	// HookScriptCheck fires when an interpreter that opted into "script
+	// execution control" (the O_MAYEXEC patch set the paper's §IV-C
+	// points to) opens a script for execution. It is the forward-looking
+	// fix for problem P5.
+	HookScriptCheck
+)
+
+var hookNames = map[Hook]string{
+	HookBprmCheck:   "BPRM_CHECK",
+	HookFileMmap:    "FILE_MMAP",
+	HookModuleCheck: "MODULE_CHECK",
+	HookFileCheck:   "FILE_CHECK",
+	HookScriptCheck: "SCRIPT_CHECK",
+}
+
+// String returns the kernel-style hook name.
+func (h Hook) String() string {
+	if s, ok := hookNames[h]; ok {
+		return s
+	}
+	return fmt.Sprintf("hook(%d)", int(h))
+}
+
+// Action is what a policy rule does when it matches.
+type Action int
+
+// Rule actions.
+const (
+	ActionMeasure Action = iota + 1
+	ActionDontMeasure
+)
+
+// Rule is a single IMA policy rule. Rules are evaluated in order; the first
+// match decides. A zero Hook, empty FSTypes set or empty PathPrefixes set
+// matches anything.
+type Rule struct {
+	Action Action
+	// Hook restricts the rule to one measurement hook (0 = any).
+	Hook Hook
+	// FSTypes restricts the rule to files on the listed filesystem types
+	// (empty = any).
+	FSTypes []vfs.FSType
+	// PathPrefixes restricts the rule to files under the listed directory
+	// prefixes (empty = any). Used to measure critical static files —
+	// the paper's §V positioning says Keylime should verify "a known list
+	// of executables AND static files".
+	PathPrefixes []string
+}
+
+func (r Rule) matches(hook Hook, fsType vfs.FSType, path string) bool {
+	if r.Hook != 0 && r.Hook != hook {
+		return false
+	}
+	if len(r.FSTypes) > 0 {
+		found := false
+		for _, t := range r.FSTypes {
+			if t == fsType {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if len(r.PathPrefixes) > 0 {
+		found := false
+		for _, prefix := range r.PathPrefixes {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// Policy is an ordered rule list.
+type Policy []Rule
+
+// ShouldMeasure reports whether a file at path on fsType hit at hook is
+// measured. With no matching rule the file is not measured (kernel default).
+func (p Policy) ShouldMeasure(hook Hook, fsType vfs.FSType, path string) bool {
+	for _, r := range p {
+		if r.matches(hook, fsType, path) {
+			return r.Action == ActionMeasure
+		}
+	}
+	return false
+}
+
+// StaticFilesRule measures plain opens (FILE_CHECK) of files under the
+// given directories — coverage for critical configuration files like
+// /etc/passwd or sshd_config that never pass through exec.
+func StaticFilesRule(dirs ...string) Rule {
+	return Rule{Action: ActionMeasure, Hook: HookFileCheck, PathPrefixes: dirs}
+}
+
+// IgnoredFSTypes is the set of filesystem types the stock policy refuses to
+// measure — exactly the list the paper reports for problem P3.
+func IgnoredFSTypes() []vfs.FSType {
+	return []vfs.FSType{
+		vfs.FSTypeTmpfs,
+		vfs.FSTypeProcfs,
+		vfs.FSTypeSysfs,
+		vfs.FSTypeDebugfs,
+		vfs.FSTypeRamfs,
+		vfs.FSTypeSecurityfs,
+		vfs.FSTypeOverlayfs,
+		vfs.FSTypeDevtmpfs,
+	}
+}
+
+// DefaultPolicy returns the policy derived from Keylime's documentation:
+// don't-measure rules for the ignored filesystems followed by measure rules
+// for exec, mmap-exec and module-load hooks.
+func DefaultPolicy() Policy {
+	return Policy{
+		{Action: ActionDontMeasure, FSTypes: IgnoredFSTypes()},
+		{Action: ActionMeasure, Hook: HookBprmCheck},
+		{Action: ActionMeasure, Hook: HookFileMmap},
+		{Action: ActionMeasure, Hook: HookModuleCheck},
+	}
+}
+
+// MitigatedPolicy returns the paper's recommended enriched policy: the
+// commonly-writable pseudo filesystems (tmpfs, ramfs, overlayfs, procfs) are
+// measured too, so attacks executed from /tmp or /proc reach the log.
+func MitigatedPolicy() Policy {
+	return Policy{
+		// Still skip the read-only informational filesystems.
+		{Action: ActionDontMeasure, FSTypes: []vfs.FSType{
+			vfs.FSTypeSysfs, vfs.FSTypeDebugfs, vfs.FSTypeSecurityfs, vfs.FSTypeDevtmpfs,
+		}},
+		{Action: ActionMeasure, Hook: HookBprmCheck},
+		{Action: ActionMeasure, Hook: HookFileMmap},
+		{Action: ActionMeasure, Hook: HookModuleCheck},
+	}
+}
+
+// ScriptExecControlRule measures script opens flagged by opted-in
+// interpreters. Appending it to a policy enables the paper's P5 fix for
+// interpreters that support script execution control.
+func ScriptExecControlRule() Rule {
+	return Rule{Action: ActionMeasure, Hook: HookScriptCheck}
+}
+
+// SECPolicy is the mitigated policy plus script-execution-control
+// measurement — the full set of fixes §IV-C describes.
+func SECPolicy() Policy {
+	return append(MitigatedPolicy(), ScriptExecControlRule())
+}
+
+// Template names for measurement entries.
+const (
+	// TemplateName is the default template (digest + path).
+	TemplateName = "ima-ng"
+	// TemplateNameSig additionally records the file's vendor signature
+	// from the security.ima xattr.
+	TemplateNameSig = "ima-sig"
+)
+
+// BootAggregatePath is the path recorded for the first post-boot entry.
+const BootAggregatePath = "boot_aggregate"
+
+// Entry is one measurement list record.
+type Entry struct {
+	// PCR is the register the entry was extended into (always 10 here).
+	PCR int
+	// TemplateHash is the digest folded into the PCR.
+	TemplateHash tpm.Digest
+	// FileDigest is the SHA-256 of the measured file content.
+	FileDigest tpm.Digest
+	// Path is the file path as seen at measurement time. For files
+	// executed inside containers/chroots this is the truncated in-
+	// namespace path (the paper's SNAP false-positive cause).
+	Path string
+	// Signature is the hex vendor signature ("" for ima-ng entries).
+	Signature string
+}
+
+// Template returns the entry's template name.
+func (e Entry) Template() string {
+	if e.Signature != "" {
+		return TemplateNameSig
+	}
+	return TemplateName
+}
+
+// templateHashFields hashes the length-prefixed template fields shared by
+// ima-ng and ima-sig.
+func templateHashFields(fileDigest tpm.Digest, path, sigHex string) tpm.Digest {
+	h := sha256.New()
+	var lenBuf [4]byte
+	dField := make([]byte, 0, 7+len(fileDigest))
+	dField = append(dField, []byte("sha256:")...)
+	dField = append(dField, fileDigest[:]...)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dField)))
+	h.Write(lenBuf[:])
+	h.Write(dField)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(path)+1))
+	h.Write(lenBuf[:])
+	h.Write([]byte(path))
+	h.Write([]byte{0})
+	if sigHex != "" {
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(sigHex)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(sigHex))
+	}
+	var out tpm.Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// TemplateHash computes the ima-ng template digest for a (file digest,
+// path) pair: SHA-256 over length-prefixed "sha256:<digest>" and
+// NUL-terminated path fields.
+func TemplateHash(fileDigest tpm.Digest, path string) tpm.Digest {
+	return templateHashFields(fileDigest, path, "")
+}
+
+// TemplateHashSig computes the ima-sig template digest, which additionally
+// seals the vendor signature.
+func TemplateHashSig(fileDigest tpm.Digest, path, sigHex string) tpm.Digest {
+	return templateHashFields(fileDigest, path, sigHex)
+}
+
+// Valid reports whether the entry's template hash matches its fields.
+func (e Entry) Valid() bool {
+	return e.TemplateHash == templateHashFields(e.FileDigest, e.Path, e.Signature)
+}
+
+// Sentinel errors.
+var (
+	ErrNoPCRBank = errors.New("ima: no PCR bank attached")
+)
+
+// cacheKey identifies a measured object for the measure-once cache.
+type cacheKey struct {
+	fsID  uint32
+	inode uint64
+	// path participates only when re-evaluation on path change is enabled
+	// (the paper's P4 mitigation); otherwise it is empty.
+	path string
+}
+
+// Option configures the IMA subsystem.
+type Option interface{ apply(*imaOptions) }
+
+type imaOptions struct {
+	policy     Policy
+	reEvaluate bool
+}
+
+type policyOption Policy
+
+func (o policyOption) apply(opts *imaOptions) { opts.policy = Policy(o) }
+
+// WithPolicy installs a custom measurement policy.
+func WithPolicy(p Policy) Option { return policyOption(p) }
+
+type reEvalOption bool
+
+func (o reEvalOption) apply(opts *imaOptions) { opts.reEvaluate = bool(o) }
+
+// WithReEvaluateOnPathChange enables the paper's recommended P4 mitigation:
+// the measure-once cache keys on path as well as inode, so files relocated
+// within a filesystem are measured again at the new path.
+func WithReEvaluateOnPathChange(on bool) Option { return reEvalOption(on) }
+
+// IMA is the measurement subsystem of one machine. Construct with New; it
+// extends the supplied PCR bank at register 10.
+type IMA struct {
+	mu         sync.Mutex
+	policy     Policy
+	pcrs       *tpm.PCRBank
+	entries    []Entry
+	cache      map[cacheKey]uint64 // -> generation measured
+	reEvaluate bool
+	bootCount  uint64
+}
+
+// New creates the subsystem bound to a PCR bank and records the
+// boot_aggregate entry for the first boot.
+func New(pcrs *tpm.PCRBank, opts ...Option) (*IMA, error) {
+	if pcrs == nil {
+		return nil, ErrNoPCRBank
+	}
+	o := imaOptions{policy: DefaultPolicy()}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	m := &IMA{
+		policy:     o.policy,
+		pcrs:       pcrs,
+		cache:      make(map[cacheKey]uint64),
+		reEvaluate: o.reEvaluate,
+	}
+	m.bootAggregate()
+	return m, nil
+}
+
+// bootAggregate appends the post-boot aggregate entry. Caller must not hold mu.
+func (m *IMA) bootAggregate() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bootCount++
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], m.bootCount)
+	digest := sha256.Sum256(append([]byte("boot-aggregate-pcr0-9:"), seed[:]...))
+	m.appendLocked(digest, BootAggregatePath)
+}
+
+// appendLocked appends an entry and extends PCR 10. Caller holds mu.
+func (m *IMA) appendLocked(fileDigest tpm.Digest, path string) Entry {
+	return m.appendSignedLocked(fileDigest, path, "")
+}
+
+// appendSignedLocked appends an entry (ima-sig when sigHex is non-empty)
+// and extends PCR 10. Caller holds mu.
+func (m *IMA) appendSignedLocked(fileDigest tpm.Digest, path, sigHex string) Entry {
+	e := Entry{
+		PCR:          tpm.PCRIMA,
+		TemplateHash: templateHashFields(fileDigest, path, sigHex),
+		FileDigest:   fileDigest,
+		Path:         path,
+		Signature:    sigHex,
+	}
+	// Extending the bank cannot fail for the constant valid index.
+	if err := m.pcrs.Extend(tpm.PCRIMA, e.TemplateHash); err != nil {
+		panic(fmt.Sprintf("ima: extending PCR %d: %v", tpm.PCRIMA, err))
+	}
+	m.entries = append(m.entries, e)
+	return e
+}
+
+// Policy returns the active policy.
+func (m *IMA) Policy() Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append(Policy(nil), m.policy...)
+}
+
+// SetPolicy replaces the active policy (new rules apply to future
+// measurements only, like loading a new kernel policy).
+func (m *IMA) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = append(Policy(nil), p...)
+}
+
+// Measure runs the measurement pipeline for a file event. visiblePath is
+// the path as the measuring kernel sees it (it may differ from info.Path
+// for containerized/chrooted execution, e.g. SNAPs). It returns the created
+// entry and true when a new measurement was recorded.
+func (m *IMA) Measure(info vfs.FileInfo, visiblePath string, hook Hook) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.policy.ShouldMeasure(hook, info.FSType, visiblePath) {
+		return Entry{}, false
+	}
+	key := cacheKey{fsID: info.FSID, inode: info.Inode}
+	if m.reEvaluate {
+		key.path = visiblePath
+	}
+	if gen, ok := m.cache[key]; ok && gen == info.Generation {
+		// Measured once already and unchanged: the kernel does not
+		// re-measure (paper problem P4).
+		return Entry{}, false
+	}
+	m.cache[key] = info.Generation
+	// Files carrying a vendor signature in security.ima are recorded with
+	// the ima-sig template so verifiers can appraise them by key.
+	return m.appendSignedLocked(info.Digest, visiblePath, info.IMASignature), true
+}
+
+// Entries returns a copy of the measurement list starting at offset (the
+// Keylime agent serves incremental log suffixes).
+func (m *IMA) Entries(offset int) []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(m.entries) {
+		return nil
+	}
+	out := make([]Entry, len(m.entries)-offset)
+	copy(out, m.entries[offset:])
+	return out
+}
+
+// Len reports the measurement list length.
+func (m *IMA) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.entries)
+}
+
+// Reboot clears the measurement list and cache, resets the PCR bank and
+// records a fresh boot aggregate — the semantics behind the paper's
+// "detectable upon reboot / fresh attestation" verdicts.
+func (m *IMA) Reboot() {
+	m.mu.Lock()
+	m.entries = nil
+	m.cache = make(map[cacheKey]uint64)
+	m.pcrs.Reset()
+	m.mu.Unlock()
+	m.bootAggregate()
+}
+
+// ReplayAggregate folds the template hashes of entries into a fresh PCR
+// value, reproducing what PCR 10 should contain if the log is intact.
+func ReplayAggregate(entries []Entry) tpm.Digest {
+	var pcr tpm.Digest
+	h := sha256.New()
+	for _, e := range entries {
+		h.Reset()
+		h.Write(pcr[:])
+		h.Write(e.TemplateHash[:])
+		copy(pcr[:], h.Sum(nil))
+	}
+	return pcr
+}

@@ -1,0 +1,593 @@
+package ima
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// newMachineFS builds a vfs with the standard mounts used in tests.
+func newMachineFS(t *testing.T) *vfs.VFS {
+	t.Helper()
+	v := vfs.New()
+	for point, typ := range map[string]vfs.FSType{
+		"/tmp":  vfs.FSTypeTmpfs,
+		"/proc": vfs.FSTypeProcfs,
+		"/sys":  vfs.FSTypeSysfs,
+	} {
+		if err := v.Mount(point, typ); err != nil {
+			t.Fatalf("Mount %s: %v", point, err)
+		}
+	}
+	return v
+}
+
+func newIMA(t *testing.T, opts ...Option) (*IMA, *tpm.PCRBank) {
+	t.Helper()
+	var bank tpm.PCRBank
+	m, err := New(&bank, opts...)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m, &bank
+}
+
+func writeExec(t *testing.T, v *vfs.VFS, path, content string) vfs.FileInfo {
+	t.Helper()
+	if err := v.WriteFile(path, []byte(content), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile %s: %v", path, err)
+	}
+	info, err := v.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat %s: %v", path, err)
+	}
+	return info
+}
+
+func TestNewRecordsBootAggregate(t *testing.T) {
+	m, bank := newIMA(t)
+	entries := m.Entries(0)
+	if len(entries) != 1 {
+		t.Fatalf("len(entries) = %d, want 1 (boot aggregate)", len(entries))
+	}
+	if entries[0].Path != BootAggregatePath {
+		t.Fatalf("entry path = %q, want boot_aggregate", entries[0].Path)
+	}
+	pcr, _ := bank.Read(tpm.PCRIMA)
+	if pcr == (tpm.Digest{}) {
+		t.Fatal("PCR10 not extended by boot aggregate")
+	}
+}
+
+func TestNewNilBankRejected(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) succeeded, want error")
+	}
+}
+
+func TestMeasureExecutableAppendsEntryAndExtendsPCR(t *testing.T) {
+	v := newMachineFS(t)
+	m, bank := newIMA(t)
+	info := writeExec(t, v, "/usr/bin/tool", "binary-v1")
+	before, _ := bank.Read(tpm.PCRIMA)
+	e, measured := m.Measure(info, info.Path, HookBprmCheck)
+	if !measured {
+		t.Fatal("executable on ext4 not measured")
+	}
+	if e.Path != "/usr/bin/tool" {
+		t.Fatalf("entry path = %q", e.Path)
+	}
+	if want := sha256.Sum256([]byte("binary-v1")); e.FileDigest != want {
+		t.Fatalf("file digest = %x, want %x", e.FileDigest, want)
+	}
+	if !e.Valid() {
+		t.Fatal("entry template hash inconsistent")
+	}
+	after, _ := bank.Read(tpm.PCRIMA)
+	if before == after {
+		t.Fatal("PCR10 unchanged after measurement")
+	}
+}
+
+func TestMeasureOncePerInode_P4(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	info := writeExec(t, v, "/usr/bin/tool", "x")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("first measurement skipped")
+	}
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); measured {
+		t.Fatal("second measurement of unchanged file recorded; want skip")
+	}
+}
+
+func TestRenameWithinFSNotReMeasured_P4(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	// Stage at a path Keylime ignores but IMA measures, then move to /usr.
+	info := writeExec(t, v, "/var/staging/payload", "evil")
+	if _, measured := m.Measure(info, info.Path, HookFileCheck); measured {
+		// default policy has no FILE_CHECK measure rule
+		t.Fatal("FILE_CHECK measured under default policy")
+	}
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("staged payload not measured at exec")
+	}
+	if err := v.Rename("/var/staging/payload", "/usr/bin/payload"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	moved, _ := v.Stat("/usr/bin/payload")
+	if _, measured := m.Measure(moved, moved.Path, HookBprmCheck); measured {
+		t.Fatal("IMA re-measured renamed file; P4 behaviour requires skip")
+	}
+	// The log must still show only the OLD path.
+	for _, e := range m.Entries(0) {
+		if e.Path == "/usr/bin/payload" {
+			t.Fatal("log contains destination path; want only staging path")
+		}
+	}
+}
+
+func TestReEvaluateOnPathChangeMitigation(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t, WithReEvaluateOnPathChange(true))
+	info := writeExec(t, v, "/var/staging/payload", "evil")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("first measurement skipped")
+	}
+	if err := v.Rename("/var/staging/payload", "/usr/bin/payload"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	moved, _ := v.Stat("/usr/bin/payload")
+	if _, measured := m.Measure(moved, moved.Path, HookBprmCheck); !measured {
+		t.Fatal("mitigated IMA did not re-measure after path change")
+	}
+	found := false
+	for _, e := range m.Entries(0) {
+		if e.Path == "/usr/bin/payload" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("destination path missing from log under mitigation")
+	}
+}
+
+func TestContentChangeTriggersReMeasurement(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	info := writeExec(t, v, "/usr/bin/tool", "v1")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("first measurement skipped")
+	}
+	info2 := writeExec(t, v, "/usr/bin/tool", "v2") // overwrite bumps generation
+	e, measured := m.Measure(info2, info2.Path, HookBprmCheck)
+	if !measured {
+		t.Fatal("updated file not re-measured")
+	}
+	if want := sha256.Sum256([]byte("v2")); e.FileDigest != want {
+		t.Fatalf("re-measured digest = %x, want new content digest", e.FileDigest)
+	}
+}
+
+func TestIgnoredFilesystemsNotMeasured_P3(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	for _, p := range []string{"/tmp/dropper", "/proc/fake-exec"} {
+		info := writeExec(t, v, p, "payload:"+p)
+		if _, measured := m.Measure(info, info.Path, HookBprmCheck); measured {
+			t.Fatalf("file on ignored filesystem measured: %s", p)
+		}
+	}
+	if got := m.Len(); got != 1 {
+		t.Fatalf("log length = %d, want 1 (only boot aggregate)", got)
+	}
+}
+
+func TestMitigatedPolicyMeasuresTmpfsAndProcfs(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t, WithPolicy(MitigatedPolicy()))
+	for _, p := range []string{"/tmp/dropper", "/proc/fake-exec"} {
+		info := writeExec(t, v, p, "payload:"+p)
+		if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+			t.Fatalf("mitigated policy did not measure %s", p)
+		}
+	}
+	// sysfs stays ignored.
+	info := writeExec(t, v, "/sys/thing", "x")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); measured {
+		t.Fatal("mitigated policy measured sysfs")
+	}
+}
+
+func TestVisiblePathRecordedNotRealPath(t *testing.T) {
+	// Models the SNAP truncation: the kernel sees the in-namespace path.
+	v := vfs.New()
+	m, _ := newIMA(t)
+	if err := v.WriteFile("/snap/core20/1234/usr/bin/python3", []byte("py"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, _ := v.Stat("/snap/core20/1234/usr/bin/python3")
+	e, measured := m.Measure(info, "/usr/bin/python3", HookBprmCheck)
+	if !measured {
+		t.Fatal("snap binary not measured")
+	}
+	if e.Path != "/usr/bin/python3" {
+		t.Fatalf("recorded path = %q, want truncated visible path", e.Path)
+	}
+}
+
+func TestRebootClearsLogAndCache(t *testing.T) {
+	v := newMachineFS(t)
+	m, bank := newIMA(t)
+	info := writeExec(t, v, "/usr/bin/tool", "x")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("not measured")
+	}
+	m.Reboot()
+	entries := m.Entries(0)
+	if len(entries) != 1 || entries[0].Path != BootAggregatePath {
+		t.Fatalf("after reboot entries = %+v, want fresh boot aggregate only", entries)
+	}
+	// Cache cleared: the same file is measured again.
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("file not re-measured after reboot")
+	}
+	// Replay of the fresh log matches PCR10.
+	pcr, _ := bank.Read(tpm.PCRIMA)
+	if ReplayAggregate(m.Entries(0)) != pcr {
+		t.Fatal("replay mismatch after reboot")
+	}
+}
+
+func TestBootAggregateDiffersAcrossBoots(t *testing.T) {
+	m, _ := newIMA(t)
+	first := m.Entries(0)[0]
+	m.Reboot()
+	second := m.Entries(0)[0]
+	if first.FileDigest == second.FileDigest {
+		t.Fatal("boot aggregate identical across boots")
+	}
+}
+
+func TestEntriesOffsetAndCopy(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	for i, p := range []string{"/bin/a", "/bin/b", "/bin/c"} {
+		info := writeExec(t, v, p, p)
+		if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+			t.Fatalf("entry %d not measured", i)
+		}
+	}
+	tail := m.Entries(2)
+	if len(tail) != 2 { // boot aggregate + 3 files, offset 2 -> entries 2,3
+		t.Fatalf("Entries(2) len = %d, want 2", len(tail))
+	}
+	if tail[0].Path != "/bin/b" {
+		t.Fatalf("Entries(2)[0].Path = %q, want /bin/b", tail[0].Path)
+	}
+	if got := m.Entries(99); got != nil {
+		t.Fatalf("Entries(99) = %v, want nil", got)
+	}
+	// Mutating the returned slice must not corrupt the log.
+	tail[0].Path = "/mutated"
+	if m.Entries(2)[0].Path != "/bin/b" {
+		t.Fatal("Entries returned internal slice")
+	}
+	if m.Entries(-5) == nil {
+		t.Fatal("negative offset should clamp to full log")
+	}
+}
+
+func TestReplayAggregateMatchesPCR(t *testing.T) {
+	v := newMachineFS(t)
+	m, bank := newIMA(t)
+	for _, p := range []string{"/bin/a", "/bin/b", "/usr/lib/c.so"} {
+		info := writeExec(t, v, p, "content:"+p)
+		hook := HookBprmCheck
+		if p == "/usr/lib/c.so" {
+			hook = HookFileMmap
+		}
+		if _, measured := m.Measure(info, info.Path, hook); !measured {
+			t.Fatalf("%s not measured", p)
+		}
+	}
+	pcr, _ := bank.Read(tpm.PCRIMA)
+	if got := ReplayAggregate(m.Entries(0)); got != pcr {
+		t.Fatalf("replay = %x, PCR10 = %x", got, pcr)
+	}
+}
+
+func TestReplayDetectsTampering(t *testing.T) {
+	v := newMachineFS(t)
+	m, bank := newIMA(t)
+	info := writeExec(t, v, "/bin/a", "a")
+	_, _ = m.Measure(info, info.Path, HookBprmCheck)
+	entries := m.Entries(0)
+	pcr, _ := bank.Read(tpm.PCRIMA)
+	// Attacker deletes the incriminating entry.
+	truncated := entries[:1]
+	if ReplayAggregate(truncated) == pcr {
+		t.Fatal("truncated log still replays to PCR value")
+	}
+	// Attacker rewrites an entry's digest.
+	entries[1].FileDigest = sha256.Sum256([]byte("benign"))
+	entries[1].TemplateHash = TemplateHash(entries[1].FileDigest, entries[1].Path)
+	if ReplayAggregate(entries) == pcr {
+		t.Fatal("rewritten log still replays to PCR value")
+	}
+}
+
+func TestPolicyFirstMatchWins(t *testing.T) {
+	p := Policy{
+		{Action: ActionDontMeasure, FSTypes: []vfs.FSType{vfs.FSTypeTmpfs}},
+		{Action: ActionMeasure, Hook: HookBprmCheck},
+	}
+	if p.ShouldMeasure(HookBprmCheck, vfs.FSTypeTmpfs, "/tmp/x") {
+		t.Fatal("dont_measure rule did not take precedence")
+	}
+	if !p.ShouldMeasure(HookBprmCheck, vfs.FSTypeExt4, "/usr/bin/x") {
+		t.Fatal("measure rule did not match ext4 exec")
+	}
+	if p.ShouldMeasure(HookFileCheck, vfs.FSTypeExt4, "/etc/x") {
+		t.Fatal("unmatched hook measured; kernel default is no measurement")
+	}
+}
+
+func TestSetPolicyAffectsFutureMeasurements(t *testing.T) {
+	v := newMachineFS(t)
+	m, _ := newIMA(t)
+	info := writeExec(t, v, "/tmp/x", "x")
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); measured {
+		t.Fatal("tmpfs measured under default policy")
+	}
+	m.SetPolicy(MitigatedPolicy())
+	if _, measured := m.Measure(info, info.Path, HookBprmCheck); !measured {
+		t.Fatal("tmpfs not measured after policy change")
+	}
+}
+
+func TestFormatParseEntryRoundTrip(t *testing.T) {
+	e := Entry{
+		PCR:        10,
+		FileDigest: sha256.Sum256([]byte("content")),
+		Path:       "/usr/bin/python3.10",
+	}
+	e.TemplateHash = TemplateHash(e.FileDigest, e.Path)
+	line := FormatEntry(e)
+	got, err := ParseEntry(line)
+	if err != nil {
+		t.Fatalf("ParseEntry(%q): %v", line, err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+}
+
+func TestParseEntryPathWithSpaces(t *testing.T) {
+	e := Entry{PCR: 10, FileDigest: sha256.Sum256([]byte("x")), Path: "/opt/My App/run me.sh"}
+	e.TemplateHash = TemplateHash(e.FileDigest, e.Path)
+	got, err := ParseEntry(FormatEntry(e))
+	if err != nil {
+		t.Fatalf("ParseEntry: %v", err)
+	}
+	if got.Path != e.Path {
+		t.Fatalf("path = %q, want %q", got.Path, e.Path)
+	}
+}
+
+func TestParseLogRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"10 zzzz ima-ng sha256:00 /bin/x",
+		"10 00 ima-ng sha256:00 /bin/x",
+		"ten 00 ima-ng sha256:00 /bin/x",
+		"10 00 ima-sig sha256:00 /bin/x",
+		"10 00 ima-ng md5:00 /bin/x",
+		"10 00 ima-ng",
+	}
+	for _, line := range cases {
+		if _, err := ParseLog(line + "\n"); err == nil {
+			t.Fatalf("ParseLog(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestFormatParseLogRoundTripProperty(t *testing.T) {
+	f := func(paths []string, seeds []byte) bool {
+		n := len(paths)
+		if len(seeds) < n {
+			n = len(seeds)
+		}
+		entries := make([]Entry, 0, n)
+		for i := 0; i < n; i++ {
+			p := "/x/" + sanitizePath(paths[i])
+			e := Entry{PCR: 10, FileDigest: sha256.Sum256([]byte{seeds[i]}), Path: p}
+			e.TemplateHash = TemplateHash(e.FileDigest, e.Path)
+			entries = append(entries, e)
+		}
+		parsed, err := ParseLog(FormatLog(entries))
+		if err != nil {
+			return false
+		}
+		if len(parsed) != len(entries) {
+			return false
+		}
+		for i := range parsed {
+			if parsed[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitizePath strips newlines/CRs which the line-oriented format cannot carry.
+func sanitizePath(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '\n' || r == '\r' {
+			continue
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// Property: ReplayAggregate over a log prefix equals extending step by step.
+func TestReplayPrefixConsistencyProperty(t *testing.T) {
+	f := func(contents [][8]byte) bool {
+		entries := make([]Entry, len(contents))
+		for i, c := range contents {
+			d := sha256.Sum256(c[:])
+			entries[i] = Entry{PCR: 10, FileDigest: d, Path: "/p"}
+			entries[i].TemplateHash = TemplateHash(d, "/p")
+		}
+		var bank tpm.PCRBank
+		for i := range entries {
+			_ = bank.Extend(tpm.PCRIMA, entries[i].TemplateHash)
+			pcr, _ := bank.Read(tpm.PCRIMA)
+			if ReplayAggregate(entries[:i+1]) != pcr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIMASigTemplateForSignedFiles(t *testing.T) {
+	v := newMachineFS(t)
+	m, bank := newIMA(t)
+	if err := v.WriteFile("/usr/bin/signed", []byte("vendor-bin"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := v.SetXattr("/usr/bin/signed", vfs.IMAXattr, "deadbeef"); err != nil {
+		t.Fatalf("SetXattr: %v", err)
+	}
+	info, _ := v.Stat("/usr/bin/signed")
+	if info.IMASignature != "deadbeef" {
+		t.Fatalf("IMASignature = %q", info.IMASignature)
+	}
+	e, measured := m.Measure(info, info.Path, HookBprmCheck)
+	if !measured {
+		t.Fatal("signed file not measured")
+	}
+	if e.Template() != TemplateNameSig {
+		t.Fatalf("template = %q, want ima-sig", e.Template())
+	}
+	if e.Signature != "deadbeef" {
+		t.Fatalf("entry signature = %q", e.Signature)
+	}
+	if !e.Valid() {
+		t.Fatal("ima-sig entry template hash inconsistent")
+	}
+	// Replay still matches PCR 10.
+	pcr, _ := bank.Read(tpm.PCRIMA)
+	if ReplayAggregate(m.Entries(0)) != pcr {
+		t.Fatal("replay mismatch with ima-sig entries")
+	}
+}
+
+func TestIMASigSerializationRoundTrip(t *testing.T) {
+	d := sha256.Sum256([]byte("content"))
+	e := Entry{PCR: 10, FileDigest: d, Path: "/usr/bin/My Tool/run", Signature: "ab12cd34"}
+	e.TemplateHash = TemplateHashSig(d, e.Path, e.Signature)
+	line := FormatEntry(e)
+	got, err := ParseEntry(line)
+	if err != nil {
+		t.Fatalf("ParseEntry(%q): %v", line, err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v, want %+v", got, e)
+	}
+	if !got.Valid() {
+		t.Fatal("parsed ima-sig entry invalid")
+	}
+}
+
+func TestIMASigParseRejectsMissingSignature(t *testing.T) {
+	d := sha256.Sum256([]byte("x"))
+	e := Entry{PCR: 10, FileDigest: d, Path: "/bin/x", Signature: "ab"}
+	e.TemplateHash = TemplateHashSig(d, e.Path, e.Signature)
+	line := FormatEntry(e)
+	// Truncate the signature token entirely.
+	trunc := line[:strings.LastIndexByte(line, ' ')]
+	if _, err := ParseEntry(trunc); err == nil {
+		t.Fatal("ima-sig line without signature accepted")
+	}
+}
+
+func TestTamperedSignatureBreaksEntry(t *testing.T) {
+	d := sha256.Sum256([]byte("x"))
+	e := Entry{PCR: 10, FileDigest: d, Path: "/bin/x", Signature: "ab12"}
+	e.TemplateHash = TemplateHashSig(d, e.Path, e.Signature)
+	e.Signature = "cd34"
+	if e.Valid() {
+		t.Fatal("entry with swapped signature still valid")
+	}
+}
+
+func TestStaticFilesRuleMeasuresConfigReads(t *testing.T) {
+	v := newMachineFS(t)
+	pol := append(DefaultPolicy(), StaticFilesRule("/etc"))
+	m, _ := newIMA(t, WithPolicy(pol))
+	if err := v.WriteFile("/etc/ssh/sshd_config", []byte("PermitRootLogin no"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := v.WriteFile("/var/lib/data", []byte("blob"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, _ := v.Stat("/etc/ssh/sshd_config")
+	if _, measured := m.Measure(info, info.Path, HookFileCheck); !measured {
+		t.Fatal("config read under /etc not measured by static-files rule")
+	}
+	other, _ := v.Stat("/var/lib/data")
+	if _, measured := m.Measure(other, other.Path, HookFileCheck); measured {
+		t.Fatal("read outside the static dirs measured")
+	}
+	// Prefix matching is path-segment aware: /etcetera must not match /etc.
+	if err := v.WriteFile("/etcetera/x", []byte("x"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	sib, _ := v.Stat("/etcetera/x")
+	if _, measured := m.Measure(sib, sib.Path, HookFileCheck); measured {
+		t.Fatal("sibling directory matched by prefix rule")
+	}
+}
+
+func TestStaticFileTamperDetectableViaPolicy(t *testing.T) {
+	// End-to-end shape of the §V positioning: critical static files are in
+	// the known list; tampering is re-measured (content change bumps the
+	// generation) and the new digest would fail the allowlist.
+	v := newMachineFS(t)
+	m, _ := newIMA(t, WithPolicy(append(DefaultPolicy(), StaticFilesRule("/etc"))))
+	if err := v.WriteFile("/etc/passwd", []byte("root:x:0:0"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, _ := v.Stat("/etc/passwd")
+	first, measured := m.Measure(info, info.Path, HookFileCheck)
+	if !measured {
+		t.Fatal("baseline config read not measured")
+	}
+	// Attacker adds a root account.
+	if err := v.WriteFile("/etc/passwd", []byte("root:x:0:0\nevil:x:0:0"), vfs.ModeRegular); err != nil {
+		t.Fatalf("tamper: %v", err)
+	}
+	info2, _ := v.Stat("/etc/passwd")
+	second, measured := m.Measure(info2, info2.Path, HookFileCheck)
+	if !measured {
+		t.Fatal("tampered config read not re-measured")
+	}
+	if first.FileDigest == second.FileDigest {
+		t.Fatal("tampering left the measured digest unchanged")
+	}
+}

@@ -1,0 +1,142 @@
+package ima
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/tpm"
+)
+
+// Serialization of the measurement list in the kernel's ASCII format:
+//
+//	10 <template-hash> ima-ng  sha256:<file-digest> <path>
+//	10 <template-hash> ima-sig sha256:<file-digest> <path> <sig-hex>
+//
+// one entry per line, as exposed via
+// /sys/kernel/security/ima/ascii_runtime_measurements.
+
+// Sentinel parse errors.
+var (
+	ErrMalformedEntry = errors.New("ima: malformed measurement entry")
+)
+
+// FormatEntry renders one entry as a log line (without trailing newline).
+func FormatEntry(e Entry) string {
+	var b strings.Builder
+	b.Grow(24 + 2*len(e.TemplateHash) + 2*len(e.FileDigest) + len(e.Path) + len(e.Signature))
+	b.WriteString(strconv.Itoa(e.PCR))
+	b.WriteByte(' ')
+	b.WriteString(hex.EncodeToString(e.TemplateHash[:]))
+	b.WriteByte(' ')
+	b.WriteString(e.Template())
+	b.WriteString(" sha256:")
+	b.WriteString(hex.EncodeToString(e.FileDigest[:]))
+	b.WriteByte(' ')
+	b.WriteString(e.Path)
+	if e.Signature != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Signature)
+	}
+	return b.String()
+}
+
+// FormatLog renders the whole measurement list, one entry per line.
+func FormatLog(entries []Entry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		b.WriteString(FormatEntry(e))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ParseEntry parses a single log line.
+func ParseEntry(line string) (Entry, error) {
+	fields := strings.SplitN(line, " ", 5)
+	if len(fields) != 5 {
+		return Entry{}, fmt.Errorf("%w: %d fields in %q", ErrMalformedEntry, len(fields), line)
+	}
+	pcr, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return Entry{}, fmt.Errorf("%w: bad PCR %q: %v", ErrMalformedEntry, fields[0], err)
+	}
+	th, err := parseDigest(fields[1])
+	if err != nil {
+		return Entry{}, fmt.Errorf("%w: template hash: %v", ErrMalformedEntry, err)
+	}
+	if fields[2] != TemplateName && fields[2] != TemplateNameSig {
+		return Entry{}, fmt.Errorf("%w: unsupported template %q", ErrMalformedEntry, fields[2])
+	}
+	algDigest, ok := strings.CutPrefix(fields[3], "sha256:")
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: unsupported digest algorithm in %q", ErrMalformedEntry, fields[3])
+	}
+	fd, err := parseDigest(algDigest)
+	if err != nil {
+		return Entry{}, fmt.Errorf("%w: file digest: %v", ErrMalformedEntry, err)
+	}
+	path, sig := fields[4], ""
+	if fields[2] == TemplateNameSig {
+		// The signature is the last space-separated token; the path may
+		// itself contain spaces.
+		idx := strings.LastIndexByte(path, ' ')
+		if idx <= 0 {
+			return Entry{}, fmt.Errorf("%w: ima-sig entry missing signature", ErrMalformedEntry)
+		}
+		path, sig = path[:idx], path[idx+1:]
+		if sig == "" || !isHex(sig) {
+			return Entry{}, fmt.Errorf("%w: ima-sig signature %q not hex", ErrMalformedEntry, sig)
+		}
+	}
+	return Entry{PCR: pcr, TemplateHash: th, FileDigest: fd, Path: path, Signature: sig}, nil
+}
+
+// isHex reports whether s is non-empty even-length hex.
+func isHex(s string) bool {
+	if len(s) == 0 || len(s)%2 != 0 {
+		return false
+	}
+	_, err := hex.DecodeString(s)
+	return err == nil
+}
+
+func parseDigest(s string) (tpm.Digest, error) {
+	var d tpm.Digest
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return d, err
+	}
+	if len(raw) != len(d) {
+		return d, fmt.Errorf("digest is %d bytes, want %d", len(raw), len(d))
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// ParseLog parses a full ASCII measurement list.
+func ParseLog(s string) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r")
+		if line == "" {
+			continue
+		}
+		e, err := ParseEntry(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ima: scanning log: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+// Package agent implements the Keylime agent — the only component running
+// on the untrusted prover. It enrolls the machine's TPM with the registrar
+// (EK certificate + AK, credential activation) and serves integrity quotes:
+// a TPM quote over the requested nonce plus the IMA measurement list from a
+// requested offset, exactly the evidence the verifier consumes.
+package agent
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/ima"
+	"repro/internal/keylime/api"
+	"repro/internal/machine"
+	"repro/internal/measuredboot"
+	"repro/internal/tpm"
+)
+
+// Sentinel errors.
+var (
+	ErrNotRegistered   = errors.New("agent: not registered")
+	ErrRegistration    = errors.New("agent: registration failed")
+	ErrMissingNonce    = errors.New("agent: missing nonce parameter")
+	ErrAlreadyEnrolled = errors.New("agent: already registered")
+)
+
+// Agent runs on one machine. Construct with New; safe for concurrent use.
+type Agent struct {
+	m      *machine.Machine
+	client *http.Client
+
+	mu         sync.Mutex
+	akPub      []byte
+	contactURL string
+	registered bool
+}
+
+// Option configures the agent.
+type Option interface{ apply(*Agent) }
+
+type clientOption struct{ c *http.Client }
+
+func (o clientOption) apply(a *Agent) { a.client = o.c }
+
+// WithHTTPClient sets the HTTP client used to reach the registrar.
+func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
+
+// New creates an agent for the given machine.
+func New(m *machine.Machine, opts ...Option) *Agent {
+	a := &Agent{m: m, client: http.DefaultClient}
+	for _, opt := range opts {
+		opt.apply(a)
+	}
+	return a
+}
+
+// Machine returns the machine this agent runs on.
+func (a *Agent) Machine() *machine.Machine { return a.m }
+
+// Registered reports whether enrollment completed.
+func (a *Agent) Registered() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.registered
+}
+
+// Register enrolls with the registrar at registrarURL: it creates the AK,
+// submits the EK certificate, activates the returned credential, and
+// records contactURL as the address the verifier should poll.
+func (a *Agent) Register(registrarURL, contactURL string) error {
+	a.mu.Lock()
+	if a.registered {
+		a.mu.Unlock()
+		return ErrAlreadyEnrolled
+	}
+	a.mu.Unlock()
+
+	dev := a.m.TPM()
+	akPub, err := dev.CreateAK()
+	if err != nil && !errors.Is(err, tpm.ErrDuplicateQuoteAK) {
+		return fmt.Errorf("%w: creating AK: %v", ErrRegistration, err)
+	}
+	if akPub == nil {
+		if akPub, err = dev.AKPublic(); err != nil {
+			return fmt.Errorf("%w: reading AK: %v", ErrRegistration, err)
+		}
+	}
+	var intermediates []string
+	for _, der := range dev.EKIntermediates() {
+		intermediates = append(intermediates, base64.StdEncoding.EncodeToString(der))
+	}
+	reqBody, err := json.Marshal(api.RegisterRequest{
+		AgentID:         a.m.UUID(),
+		EKCert:          base64.StdEncoding.EncodeToString(dev.EKCertificate()),
+		EKIntermediates: intermediates,
+		AKPub:           base64.StdEncoding.EncodeToString(akPub),
+		ContactURL:      contactURL,
+	})
+	if err != nil {
+		return fmt.Errorf("%w: encoding request: %v", ErrRegistration, err)
+	}
+	var regResp api.RegisterResponse
+	if err := a.postJSON(registrarURL+"/v2/agents/"+a.m.UUID(), reqBody, &regResp); err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistration, err)
+	}
+	encSecret, err := base64.StdEncoding.DecodeString(regResp.EncryptedSecret)
+	if err != nil {
+		return fmt.Errorf("%w: decoding challenge: %v", ErrRegistration, err)
+	}
+	nameRaw, err := hex.DecodeString(regResp.AKNameBound)
+	if err != nil || len(nameRaw) != len(tpm.Digest{}) {
+		return fmt.Errorf("%w: decoding AK name", ErrRegistration)
+	}
+	var name tpm.Digest
+	copy(name[:], nameRaw)
+	proof, err := dev.ActivateCredential(tpm.Credential{EncryptedSecret: encSecret, AKNameBound: name})
+	if err != nil {
+		return fmt.Errorf("%w: activating credential: %v", ErrRegistration, err)
+	}
+	actBody, err := json.Marshal(api.ActivateRequest{AgentID: a.m.UUID(), Proof: hex.EncodeToString(proof[:])})
+	if err != nil {
+		return fmt.Errorf("%w: encoding activation: %v", ErrRegistration, err)
+	}
+	if err := a.postJSON(registrarURL+"/v2/agents/"+a.m.UUID()+"/activate", actBody, nil); err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistration, err)
+	}
+	a.mu.Lock()
+	a.akPub = akPub
+	a.contactURL = contactURL
+	a.registered = true
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Agent) postJSON(url string, body []byte, out any) error {
+	resp, err := a.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// IntegrityQuote produces the attestation evidence: a quote over the
+// measured-boot PCRs (0, 4) and the IMA PCR (10) with the supplied nonce,
+// the IMA log from the given entry offset, and the boot event log.
+//
+// The log read and the quote are not one atomic operation; a measurement
+// landing between them would make the quoted PCR 10 and the returned log
+// disagree and fail replay at the verifier. The evidence is therefore
+// collected in a read-quote-recheck loop and only returned once the
+// measurement list was stable across the quote.
+func (a *Agent) IntegrityQuote(nonce []byte, offset int) (api.QuoteResponse, error) {
+	const maxAttempts = 5
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		total := a.m.IMA().Len()
+		reqOffset := offset
+		if reqOffset > total {
+			// The verifier is ahead of our log: it will detect the reboot
+			// via TotalEntries and refetch from zero.
+			reqOffset = total
+		}
+		entries := a.m.IMA().Entries(reqOffset)
+		q, err := a.m.TPM().Quote(nonce, []int{measuredboot.PCRFirmware, measuredboot.PCRBoot, tpm.PCRIMA})
+		if err != nil {
+			return api.QuoteResponse{}, fmt.Errorf("agent: quoting: %w", err)
+		}
+		if a.m.IMA().Len() != total {
+			// A measurement raced the quote; retry for a consistent pair.
+			lastErr = fmt.Errorf("agent: measurement list changed during quote (attempt %d)", attempt+1)
+			continue
+		}
+		return api.QuoteResponse{
+			Quote:         api.EncodeQuote(q),
+			IMALog:        ima.FormatLog(entries),
+			Offset:        reqOffset,
+			TotalEntries:  total,
+			RunningKernel: a.m.RunningKernel(),
+			MBLog:         api.EncodeBootLog(a.m.BootLog()),
+		}, nil
+	}
+	return api.QuoteResponse{}, lastErr
+}
+
+// Handler returns the agent's HTTP API:
+//
+//	GET /v2/quotes/integrity?nonce=<b64url>&offset=<n> -> QuoteResponse
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/quotes/integrity", func(w http.ResponseWriter, req *http.Request) {
+		nonceParam := req.URL.Query().Get("nonce")
+		if nonceParam == "" {
+			writeErr(w, http.StatusBadRequest, ErrMissingNonce)
+			return
+		}
+		nonce, err := base64.URLEncoding.DecodeString(nonceParam)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("agent: bad nonce encoding: %w", err))
+			return
+		}
+		offset := 0
+		if o := req.URL.Query().Get("offset"); o != "" {
+			offset, err = strconv.Atoi(o)
+			if err != nil || offset < 0 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("agent: bad offset %q", o))
+				return
+			}
+		}
+		resp, err := a.IntegrityQuote(nonce, offset)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+	return mux
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,176 @@
+package agent
+
+import (
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/registrar"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+func newAgentStack(t *testing.T) (*Agent, *registrar.Registrar, *httptest.Server) {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+	return New(m), reg, regSrv
+}
+
+func TestRegisterFlow(t *testing.T) {
+	a, reg, regSrv := newAgentStack(t)
+	if a.Registered() {
+		t.Fatal("fresh agent claims registered")
+	}
+	if err := a.Register(regSrv.URL, "http://agent:9002"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !a.Registered() {
+		t.Fatal("agent not registered after flow")
+	}
+	info, err := reg.Agent(a.Machine().UUID())
+	if err != nil {
+		t.Fatalf("registrar.Agent: %v", err)
+	}
+	if !info.Active {
+		t.Fatal("registrar record not active")
+	}
+	if info.ContactURL != "http://agent:9002" {
+		t.Fatalf("ContactURL = %q", info.ContactURL)
+	}
+}
+
+func TestRegisterTwiceRejected(t *testing.T) {
+	a, _, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := a.Register(regSrv.URL, "u"); !errors.Is(err, ErrAlreadyEnrolled) {
+		t.Fatalf("second Register: %v, want ErrAlreadyEnrolled", err)
+	}
+}
+
+func TestRegisterUnreachableRegistrar(t *testing.T) {
+	a, _, _ := newAgentStack(t)
+	if err := a.Register("http://127.0.0.1:1", "u"); !errors.Is(err, ErrRegistration) {
+		t.Fatalf("err = %v, want ErrRegistration", err)
+	}
+}
+
+func TestIntegrityQuoteEvidence(t *testing.T) {
+	a, _, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	m := a.Machine()
+	if err := m.WriteFile("/usr/bin/tool", []byte("bin"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	nonce := []byte("verifier-nonce")
+	resp, err := a.IntegrityQuote(nonce, 0)
+	if err != nil {
+		t.Fatalf("IntegrityQuote: %v", err)
+	}
+	if resp.TotalEntries != 2 { // boot aggregate + tool
+		t.Fatalf("TotalEntries = %d, want 2", resp.TotalEntries)
+	}
+	q, err := api.DecodeQuote(resp.Quote)
+	if err != nil {
+		t.Fatalf("DecodeQuote: %v", err)
+	}
+	akPub, err := m.TPM().AKPublic()
+	if err != nil {
+		t.Fatalf("AKPublic: %v", err)
+	}
+	pcrs, err := tpm.VerifyQuote(akPub, q, nonce)
+	if err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	if _, ok := pcrs[tpm.PCRIMA]; !ok {
+		t.Fatal("quote does not cover PCR 10")
+	}
+}
+
+func TestIntegrityQuoteOffsetBeyondLogClamped(t *testing.T) {
+	a, _, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	resp, err := a.IntegrityQuote([]byte("n"), 100)
+	if err != nil {
+		t.Fatalf("IntegrityQuote: %v", err)
+	}
+	if resp.IMALog != "" {
+		t.Fatalf("IMALog = %q, want empty for offset beyond log", resp.IMALog)
+	}
+	if resp.TotalEntries != 1 {
+		t.Fatalf("TotalEntries = %d, want 1", resp.TotalEntries)
+	}
+}
+
+func TestHTTPQuoteEndpoint(t *testing.T) {
+	a, _, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	nonce := base64.URLEncoding.EncodeToString([]byte("n"))
+	resp, err := http.Get(srv.URL + "/v2/quotes/integrity?nonce=" + nonce + "&offset=0")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr api.QuoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if qr.TotalEntries < 1 {
+		t.Fatalf("TotalEntries = %d", qr.TotalEntries)
+	}
+}
+
+func TestHTTPQuoteEndpointValidation(t *testing.T) {
+	a, _, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	for _, u := range []string{
+		"/v2/quotes/integrity",                          // missing nonce
+		"/v2/quotes/integrity?nonce=%%%",                // invalid encoding
+		"/v2/quotes/integrity?nonce=bm9uY2U=&offset=-1", // negative offset
+		"/v2/quotes/integrity?nonce=bm9uY2U=&offset=x",  // non-numeric offset
+	} {
+		resp, err := http.Get(srv.URL + u)
+		if err != nil {
+			t.Fatalf("GET %s: %v", u, err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s status = %d, want 400", u, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package api defines the JSON wire types spoken between the Keylime
+// components (agent, registrar, verifier, tenant) and the conversions
+// between wire and internal representations. The shapes mirror Keylime's
+// REST API (versioned /v2 endpoints, base64/hex encodings) reduced to the
+// fields continuous integrity attestation uses.
+package api
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/measuredboot"
+	"repro/internal/tpm"
+)
+
+// Sentinel errors.
+var (
+	ErrBadEncoding = errors.New("api: bad field encoding")
+)
+
+// RegisterRequest enrolls an agent with the registrar.
+type RegisterRequest struct {
+	AgentID string `json:"agent_id"`
+	// EKCert is the endorsement certificate, base64 DER.
+	EKCert string `json:"ek_cert"`
+	// EKIntermediates are intermediate CA certificates (base64 DER) the
+	// EK chains through (vTPM guests chain through their host CA).
+	EKIntermediates []string `json:"ek_intermediates,omitempty"`
+	// AKPub is the attestation public key, base64 PKIX DER.
+	AKPub string `json:"ak_pub"`
+	// ContactURL is where the verifier can reach the agent's quote API.
+	ContactURL string `json:"contact_url"`
+}
+
+// RegisterResponse carries the credential-activation challenge.
+type RegisterResponse struct {
+	// EncryptedSecret is the RSA-OAEP blob only the genuine EK can open.
+	EncryptedSecret string `json:"encrypted_secret"`
+	// AKNameBound is the hex AK name the challenge is bound to.
+	AKNameBound string `json:"ak_name_bound"`
+}
+
+// ActivateRequest completes enrollment with the recovered proof.
+type ActivateRequest struct {
+	AgentID string `json:"agent_id"`
+	// Proof is the hex HMAC proving the TPM recovered the secret.
+	Proof string `json:"proof"`
+}
+
+// AgentInfo is the registrar's record of an enrolled agent.
+type AgentInfo struct {
+	AgentID    string `json:"agent_id"`
+	AKPub      string `json:"ak_pub"`
+	ContactURL string `json:"contact_url"`
+	Active     bool   `json:"active"`
+}
+
+// WireQuote is the JSON form of a TPM quote.
+type WireQuote struct {
+	// NonceB64 is the qualifying data, base64.
+	NonceB64 string `json:"nonce"`
+	// Selection lists quoted PCR indices.
+	Selection []int `json:"selection"`
+	// PCRDigest is the attested composite, hex.
+	PCRDigest string `json:"pcr_digest"`
+	// FirmwareVersion mirrors the attested clock field.
+	FirmwareVersion uint64 `json:"firmware_version"`
+	// PCRValues are the raw register values, hex, in selection order.
+	PCRValues []string `json:"pcr_values"`
+	// Signature is the AK's ASN.1 ECDSA signature, base64.
+	Signature string `json:"signature"`
+}
+
+// WireBootEvent is one measured-boot event on the wire.
+type WireBootEvent struct {
+	PCR         int    `json:"pcr"`
+	Type        string `json:"type"`
+	Description string `json:"description"`
+	// Digest is hex SHA-256.
+	Digest string `json:"digest"`
+}
+
+// QuoteResponse is the agent's answer to an integrity-quote request.
+type QuoteResponse struct {
+	Quote WireQuote `json:"quote"`
+	// IMALog is the ASCII measurement list starting at the requested
+	// offset (Keylime's incremental log fetch).
+	IMALog string `json:"ima_measurement_list"`
+	// Offset echoes the requested starting entry index.
+	Offset int `json:"ima_ml_offset"`
+	// TotalEntries is the full measurement list length; a value smaller
+	// than the verifier's stored offset signals a reboot.
+	TotalEntries int `json:"ima_ml_entries"`
+	// BootCount would let the verifier disambiguate reboots; the log
+	// length check suffices here.
+	RunningKernel string `json:"running_kernel,omitempty"`
+	// MBLog is the measured-boot event log (Keylime's mb_measurement_list).
+	MBLog []WireBootEvent `json:"mb_measurement_list,omitempty"`
+}
+
+// EncodeBootLog converts a measured-boot log to wire form.
+func EncodeBootLog(l measuredboot.Log) []WireBootEvent {
+	out := make([]WireBootEvent, len(l))
+	for i, e := range l {
+		out[i] = WireBootEvent{
+			PCR:         e.PCR,
+			Type:        e.Type.String(),
+			Description: e.Description,
+			Digest:      hex.EncodeToString(e.Digest[:]),
+		}
+	}
+	return out
+}
+
+// DecodeBootLog converts wire events back to a measured-boot log. Event
+// types travel as labels; the digest/PCR content is what validation uses.
+func DecodeBootLog(events []WireBootEvent) (measuredboot.Log, error) {
+	out := make(measuredboot.Log, len(events))
+	for i, e := range events {
+		d, err := decodeDigest(e.Digest)
+		if err != nil {
+			return nil, fmt.Errorf("%w: mb event %d digest: %v", ErrBadEncoding, i, err)
+		}
+		out[i] = measuredboot.Event{PCR: e.PCR, Description: e.Description, Digest: d}
+	}
+	return out, nil
+}
+
+// EncodeQuote converts an internal quote to the wire form.
+func EncodeQuote(q tpm.Quote) WireQuote {
+	wq := WireQuote{
+		NonceB64:        base64.StdEncoding.EncodeToString(q.Attested.Nonce),
+		Selection:       append([]int(nil), q.Attested.Selection...),
+		PCRDigest:       hex.EncodeToString(q.Attested.PCRDigest[:]),
+		FirmwareVersion: q.Attested.FirmwareVersion,
+		Signature:       base64.StdEncoding.EncodeToString(q.Signature),
+	}
+	wq.PCRValues = make([]string, len(q.PCRValues))
+	for i, v := range q.PCRValues {
+		wq.PCRValues[i] = hex.EncodeToString(v[:])
+	}
+	return wq
+}
+
+// DecodeQuote converts a wire quote back to the internal form.
+func DecodeQuote(wq WireQuote) (tpm.Quote, error) {
+	nonce, err := base64.StdEncoding.DecodeString(wq.NonceB64)
+	if err != nil {
+		return tpm.Quote{}, fmt.Errorf("%w: nonce: %v", ErrBadEncoding, err)
+	}
+	sig, err := base64.StdEncoding.DecodeString(wq.Signature)
+	if err != nil {
+		return tpm.Quote{}, fmt.Errorf("%w: signature: %v", ErrBadEncoding, err)
+	}
+	pcrDigest, err := decodeDigest(wq.PCRDigest)
+	if err != nil {
+		return tpm.Quote{}, fmt.Errorf("%w: pcr_digest: %v", ErrBadEncoding, err)
+	}
+	q := tpm.Quote{
+		Attested: tpm.Attested{
+			Nonce:           nonce,
+			Selection:       append([]int(nil), wq.Selection...),
+			PCRDigest:       pcrDigest,
+			FirmwareVersion: wq.FirmwareVersion,
+		},
+		Signature: sig,
+	}
+	q.PCRValues = make([]tpm.Digest, len(wq.PCRValues))
+	for i, h := range wq.PCRValues {
+		v, err := decodeDigest(h)
+		if err != nil {
+			return tpm.Quote{}, fmt.Errorf("%w: pcr_values[%d]: %v", ErrBadEncoding, i, err)
+		}
+		q.PCRValues[i] = v
+	}
+	return q, nil
+}
+
+func decodeDigest(h string) (tpm.Digest, error) {
+	var d tpm.Digest
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return d, err
+	}
+	if len(raw) != len(d) {
+		return d, fmt.Errorf("digest is %d bytes, want %d", len(raw), len(d))
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/tpm"
+)
+
+func sampleQuote(t *testing.T) (tpm.Quote, []byte) {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	dev, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	if err := dev.PCRs().Extend(tpm.PCRIMA, tpm.Digest{1, 2, 3}); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	q, err := dev.Quote([]byte("nonce-1"), []int{tpm.PCRBootAggregate, tpm.PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	return q, akPub
+}
+
+func TestQuoteEncodeDecodeRoundTrip(t *testing.T) {
+	q, akPub := sampleQuote(t)
+	wire := EncodeQuote(q)
+	back, err := DecodeQuote(wire)
+	if err != nil {
+		t.Fatalf("DecodeQuote: %v", err)
+	}
+	// The decoded quote must still verify — the strongest round-trip check.
+	if _, err := tpm.VerifyQuote(akPub, back, []byte("nonce-1")); err != nil {
+		t.Fatalf("VerifyQuote after round trip: %v", err)
+	}
+}
+
+func TestQuoteJSONRoundTrip(t *testing.T) {
+	q, akPub := sampleQuote(t)
+	data, err := json.Marshal(EncodeQuote(q))
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var wire WireQuote
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	back, err := DecodeQuote(wire)
+	if err != nil {
+		t.Fatalf("DecodeQuote: %v", err)
+	}
+	if _, err := tpm.VerifyQuote(akPub, back, []byte("nonce-1")); err != nil {
+		t.Fatalf("VerifyQuote after JSON round trip: %v", err)
+	}
+}
+
+func TestDecodeQuoteBadFields(t *testing.T) {
+	q, _ := sampleQuote(t)
+	good := EncodeQuote(q)
+
+	cases := map[string]func(w *WireQuote){
+		"nonce":      func(w *WireQuote) { w.NonceB64 = "%%%" },
+		"signature":  func(w *WireQuote) { w.Signature = "%%%" },
+		"pcr_digest": func(w *WireQuote) { w.PCRDigest = "zz" },
+		"pcr_values": func(w *WireQuote) { w.PCRValues = []string{"zz"} },
+		"pcr_len":    func(w *WireQuote) { w.PCRDigest = "00" },
+	}
+	for name, corrupt := range cases {
+		w := good
+		w.PCRValues = append([]string(nil), good.PCRValues...)
+		corrupt(&w)
+		if _, err := DecodeQuote(w); !errors.Is(err, ErrBadEncoding) {
+			t.Fatalf("%s: err = %v, want ErrBadEncoding", name, err)
+		}
+	}
+}
+
+func TestDecodeQuotePreservesSelection(t *testing.T) {
+	q, _ := sampleQuote(t)
+	back, err := DecodeQuote(EncodeQuote(q))
+	if err != nil {
+		t.Fatalf("DecodeQuote: %v", err)
+	}
+	if len(back.Attested.Selection) != 2 ||
+		back.Attested.Selection[0] != tpm.PCRBootAggregate ||
+		back.Attested.Selection[1] != tpm.PCRIMA {
+		t.Fatalf("selection = %v", back.Attested.Selection)
+	}
+}

@@ -1,0 +1,233 @@
+// Package audit implements durable attestation: an append-only,
+// hash-chained log of attestation outcomes that makes the verifier's
+// decisions auditable after the fact (the paper cites Keylime's "durable
+// attestation makes security auditable" work). Every attestation round
+// appends a record whose hash covers the previous record's hash, so
+// truncation, reordering or in-place edits of history are detectable.
+package audit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Errors.
+var (
+	ErrChainBroken  = errors.New("audit: hash chain broken")
+	ErrBadRecord    = errors.New("audit: malformed record")
+	ErrOutOfOrder   = errors.New("audit: record sequence out of order")
+	ErrEmptyAgentID = errors.New("audit: record requires an agent id")
+)
+
+// Hash is the chain digest type.
+type Hash = [sha256.Size]byte
+
+// Outcome of one attestation round.
+type Outcome string
+
+// Outcomes.
+const (
+	OutcomePass Outcome = "pass"
+	OutcomeFail Outcome = "fail"
+)
+
+// Record is one attestation event. The Hash field seals (PrevHash + all
+// other fields); records form a chain from the zero hash.
+type Record struct {
+	Seq             uint64    `json:"seq"`
+	Time            time.Time `json:"time"`
+	AgentID         string    `json:"agent_id"`
+	Outcome         Outcome   `json:"outcome"`
+	FailureType     string    `json:"failure_type,omitempty"`
+	FailurePath     string    `json:"failure_path,omitempty"`
+	NewEntries      int       `json:"new_entries"`
+	VerifiedEntries int       `json:"verified_entries"`
+	RebootDetected  bool      `json:"reboot_detected"`
+	PrevHash        Hash      `json:"prev_hash"`
+	Hash            Hash      `json:"hash"`
+}
+
+// sealInput canonically encodes the sealed fields.
+func sealInput(r Record) []byte {
+	var b strings.Builder
+	var u64 [8]byte
+	b.Write(r.PrevHash[:])
+	binary.BigEndian.PutUint64(u64[:], r.Seq)
+	b.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(r.Time.UnixNano()))
+	b.Write(u64[:])
+	for _, s := range []string{r.AgentID, string(r.Outcome), r.FailureType, r.FailurePath} {
+		binary.BigEndian.PutUint64(u64[:], uint64(len(s)))
+		b.Write(u64[:])
+		b.WriteString(s)
+	}
+	binary.BigEndian.PutUint64(u64[:], uint64(r.NewEntries))
+	b.Write(u64[:])
+	binary.BigEndian.PutUint64(u64[:], uint64(r.VerifiedEntries))
+	b.Write(u64[:])
+	if r.RebootDetected {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	return []byte(b.String())
+}
+
+// seal computes the record hash.
+func seal(r Record) Hash {
+	return sha256.Sum256(sealInput(r))
+}
+
+// Valid reports whether the record's hash matches its contents.
+func (r Record) Valid() bool { return r.Hash == seal(r) }
+
+// Log is a thread-safe, append-only, hash-chained attestation history.
+// The zero value is NOT usable; construct with NewLog.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+	head    Hash
+}
+
+// NewLog returns an empty audit log.
+func NewLog() *Log { return &Log{} }
+
+// Entry is the caller-supplied portion of a record.
+type Entry struct {
+	Time            time.Time
+	AgentID         string
+	Outcome         Outcome
+	FailureType     string
+	FailurePath     string
+	NewEntries      int
+	VerifiedEntries int
+	RebootDetected  bool
+}
+
+// Append seals and stores a new record, returning it.
+func (l *Log) Append(e Entry) (Record, error) {
+	if e.AgentID == "" {
+		return Record{}, ErrEmptyAgentID
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := Record{
+		Seq:             uint64(len(l.records)),
+		Time:            e.Time,
+		AgentID:         e.AgentID,
+		Outcome:         e.Outcome,
+		FailureType:     e.FailureType,
+		FailurePath:     e.FailurePath,
+		NewEntries:      e.NewEntries,
+		VerifiedEntries: e.VerifiedEntries,
+		RebootDetected:  e.RebootDetected,
+		PrevHash:        l.head,
+	}
+	r.Hash = seal(r)
+	l.records = append(l.records, r)
+	l.head = r.Hash
+	return r, nil
+}
+
+// Len reports the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Head returns the chain head hash.
+func (l *Log) Head() Hash {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Records returns a copy of the history.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.records...)
+}
+
+// VerifyChain checks an exported history: sequence numbers, per-record
+// seals, and the prev-hash links from the zero hash.
+func VerifyChain(records []Record) error {
+	var prev Hash
+	for i, r := range records {
+		if r.Seq != uint64(i) {
+			return fmt.Errorf("%w: record %d has seq %d", ErrOutOfOrder, i, r.Seq)
+		}
+		if r.PrevHash != prev {
+			return fmt.Errorf("%w: record %d prev-hash mismatch", ErrChainBroken, i)
+		}
+		if !r.Valid() {
+			return fmt.Errorf("%w: record %d seal mismatch", ErrChainBroken, i)
+		}
+		prev = r.Hash
+	}
+	return nil
+}
+
+// Export writes the history as JSON lines.
+func (l *Log) Export(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range l.Records() {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("audit: exporting record %d: %w", r.Seq, err)
+		}
+	}
+	return nil
+}
+
+// Import parses a JSON-lines export and verifies the chain. The returned
+// log continues the imported chain.
+func Import(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var records []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrBadRecord, lineNo, err)
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: reading export: %w", err)
+	}
+	if err := VerifyChain(records); err != nil {
+		return nil, err
+	}
+	l := NewLog()
+	l.records = records
+	if len(records) > 0 {
+		l.head = records[len(records)-1].Hash
+	}
+	return l, nil
+}
+
+// ByAgent filters an exported history for one agent.
+func ByAgent(records []Record, agentID string) []Record {
+	var out []Record
+	for _, r := range records {
+		if r.AgentID == agentID {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,333 @@
+// Package registrar implements the Keylime registrar: it manages initial
+// agent enrollment and guards against spoofed or compromised TPM devices by
+// verifying the EK certificate chain against trusted manufacturer roots and
+// running the credential-activation protocol that proves the agent's AK
+// lives inside the TPM certified by that EK.
+package registrar
+
+import (
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/keylime/api"
+	"repro/internal/tpm"
+)
+
+// Sentinel errors.
+var (
+	ErrUnknownAgent = errors.New("registrar: unknown agent")
+	ErrBadProof     = errors.New("registrar: credential activation proof mismatch")
+	ErrNotActive    = errors.New("registrar: agent not activated")
+	ErrBadRequest   = errors.New("registrar: bad request")
+)
+
+// record is the registrar's state for one agent.
+type record struct {
+	akPub         []byte
+	contactURL    string
+	expectedProof tpm.Digest
+	active        bool
+}
+
+// Registrar verifies TPM identities and stores enrolled agents. Construct
+// with New; it is safe for concurrent use.
+type Registrar struct {
+	roots *x509.CertPool
+	rng   io.Reader
+
+	mu     sync.Mutex
+	agents map[string]*record
+}
+
+// New creates a registrar trusting the given TPM manufacturer roots.
+func New(roots *x509.CertPool) *Registrar {
+	return &Registrar{roots: roots, rng: rand.Reader, agents: make(map[string]*record)}
+}
+
+// Register starts enrollment: it verifies the EK certificate chain and
+// returns a credential challenge bound to the presented AK. Re-registering
+// an agent resets it to inactive.
+func (r *Registrar) Register(agentID string, ekCertDER, akPub []byte, contactURL string) (tpm.Credential, error) {
+	return r.RegisterWithChain(agentID, ekCertDER, nil, akPub, contactURL)
+}
+
+// RegisterWithChain enrolls an agent whose EK certificate chains through
+// intermediates (e.g. a vTPM guest chaining through its host CA).
+func (r *Registrar) RegisterWithChain(agentID string, ekCertDER []byte, ekIntermediates [][]byte, akPub []byte, contactURL string) (tpm.Credential, error) {
+	if agentID == "" {
+		return tpm.Credential{}, fmt.Errorf("%w: empty agent id", ErrBadRequest)
+	}
+	ekCert, err := tpm.VerifyEKCertChain(ekCertDER, ekIntermediates, r.roots)
+	if err != nil {
+		return tpm.Credential{}, fmt.Errorf("registrar: rejecting EK: %w", err)
+	}
+	cred, proof, err := tpm.MakeCredential(r.rng, ekCert, akPub)
+	if err != nil {
+		return tpm.Credential{}, fmt.Errorf("registrar: building credential: %w", err)
+	}
+	r.mu.Lock()
+	r.agents[agentID] = &record{
+		akPub:         append([]byte(nil), akPub...),
+		contactURL:    contactURL,
+		expectedProof: proof,
+	}
+	r.mu.Unlock()
+	return cred, nil
+}
+
+// Activate completes enrollment by checking the activation proof.
+func (r *Registrar) Activate(agentID string, proof tpm.Digest) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.agents[agentID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	if rec.expectedProof != proof {
+		return fmt.Errorf("%w: agent %s", ErrBadProof, agentID)
+	}
+	rec.active = true
+	return nil
+}
+
+// Agent returns the enrollment record for a registered agent. Verifiers
+// call this to obtain the trusted AK public key.
+func (r *Registrar) Agent(agentID string) (api.AgentInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.agents[agentID]
+	if !ok {
+		return api.AgentInfo{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	return api.AgentInfo{
+		AgentID:    agentID,
+		AKPub:      base64.StdEncoding.EncodeToString(rec.akPub),
+		ContactURL: rec.contactURL,
+		Active:     rec.active,
+	}, nil
+}
+
+// AKPub returns the raw AK public key (PKIX DER) of an activated agent.
+func (r *Registrar) AKPub(agentID string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec, ok := r.agents[agentID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	if !rec.active {
+		return nil, fmt.Errorf("%w: %s", ErrNotActive, agentID)
+	}
+	return append([]byte(nil), rec.akPub...), nil
+}
+
+// AgentCount reports how many agents are registered.
+func (r *Registrar) AgentCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.agents)
+}
+
+// AgentIDs returns the registered agent ids, sorted.
+func (r *Registrar) AgentIDs() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.agents))
+	for id := range r.agents {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AgentRecord is the serialized enrollment state of one agent.
+type AgentRecord struct {
+	AgentID       string `json:"agent_id"`
+	AKPub         string `json:"ak_pub"`
+	ContactURL    string `json:"contact_url"`
+	ExpectedProof string `json:"expected_proof"`
+	Active        bool   `json:"active"`
+}
+
+// Snapshot is the registrar's serialized agent table.
+type Snapshot struct {
+	Agents []AgentRecord `json:"agents"`
+}
+
+// ExportState snapshots the enrollment table so a registrar restart does
+// not lose registered agents.
+func (r *Registrar) ExportState() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var st Snapshot
+	for _, id := range r.agentIDsLocked() {
+		rec := r.agents[id]
+		st.Agents = append(st.Agents, AgentRecord{
+			AgentID:       id,
+			AKPub:         base64.StdEncoding.EncodeToString(rec.akPub),
+			ContactURL:    rec.contactURL,
+			ExpectedProof: hex.EncodeToString(rec.expectedProof[:]),
+			Active:        rec.active,
+		})
+	}
+	return st
+}
+
+// RestoreState loads a snapshot into an empty registrar.
+func (r *Registrar) RestoreState(st Snapshot) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.agents) != 0 {
+		return fmt.Errorf("%w: RestoreState requires an empty registrar", ErrBadRequest)
+	}
+	for _, rec := range st.Agents {
+		akPub, err := base64.StdEncoding.DecodeString(rec.AKPub)
+		if err != nil {
+			return fmt.Errorf("registrar: restoring %s: ak_pub: %w", rec.AgentID, err)
+		}
+		var proof tpm.Digest
+		raw, err := hex.DecodeString(rec.ExpectedProof)
+		if err != nil || len(raw) != len(proof) {
+			return fmt.Errorf("registrar: restoring %s: bad proof", rec.AgentID)
+		}
+		copy(proof[:], raw)
+		r.agents[rec.AgentID] = &record{
+			akPub:         akPub,
+			contactURL:    rec.ContactURL,
+			expectedProof: proof,
+			active:        rec.Active,
+		}
+	}
+	return nil
+}
+
+// agentIDsLocked returns sorted ids; caller holds r.mu.
+func (r *Registrar) agentIDsLocked() []string {
+	out := make([]string, 0, len(r.agents))
+	for id := range r.agents {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Deregister removes an agent's enrollment record.
+func (r *Registrar) Deregister(agentID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.agents[agentID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	delete(r.agents, agentID)
+	return nil
+}
+
+// Handler returns the registrar's HTTP API:
+//
+//	POST /v2/agents/{id}          RegisterRequest  -> RegisterResponse
+//	POST /v2/agents/{id}/activate ActivateRequest  -> 200
+//	GET  /v2/agents/{id}                           -> AgentInfo
+func (r *Registrar) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		var body api.RegisterRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		agentID := req.PathValue("id")
+		ekCert, err := base64.StdEncoding.DecodeString(body.EKCert)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("ek_cert: %w", err))
+			return
+		}
+		akPub, err := base64.StdEncoding.DecodeString(body.AKPub)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("ak_pub: %w", err))
+			return
+		}
+		var intermediates [][]byte
+		for i, enc := range body.EKIntermediates {
+			der, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("ek_intermediates[%d]: %w", i, err))
+				return
+			}
+			intermediates = append(intermediates, der)
+		}
+		cred, err := r.RegisterWithChain(agentID, ekCert, intermediates, akPub, body.ContactURL)
+		if err != nil {
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
+		writeJSON(w, api.RegisterResponse{
+			EncryptedSecret: base64.StdEncoding.EncodeToString(cred.EncryptedSecret),
+			AKNameBound:     hex.EncodeToString(cred.AKNameBound[:]),
+		})
+	})
+	mux.HandleFunc("POST /v2/agents/{id}/activate", func(w http.ResponseWriter, req *http.Request) {
+		var body api.ActivateRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		raw, err := hex.DecodeString(body.Proof)
+		if err != nil || len(raw) != len(tpm.Digest{}) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("%w: proof encoding", ErrBadRequest))
+			return
+		}
+		var proof tpm.Digest
+		copy(proof[:], raw)
+		if err := r.Activate(req.PathValue("id"), proof); err != nil {
+			status := http.StatusForbidden
+			if errors.Is(err, ErrUnknownAgent) {
+				status = http.StatusNotFound
+			}
+			writeErr(w, status, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		info, err := r.Agent(req.PathValue("id"))
+		if err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, info)
+	})
+	mux.HandleFunc("GET /v2/agents", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, map[string][]string{"agents": r.AgentIDs()})
+	})
+	mux.HandleFunc("DELETE /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if err := r.Deregister(req.PathValue("id")); err != nil {
+			writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do.
+		return
+	}
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,313 @@
+package registrar
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/keylime/api"
+	"repro/internal/tpm"
+)
+
+func newCAAndTPM(t *testing.T) (*tpm.ManufacturerCA, *tpm.TPM) {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	dev, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("New TPM: %v", err)
+	}
+	return ca, dev
+}
+
+func TestRegisterActivateFlow(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	cred, err := r.Register("agent-1", dev.EKCertificate(), akPub, "http://agent:9002")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	info, err := r.Agent("agent-1")
+	if err != nil {
+		t.Fatalf("Agent: %v", err)
+	}
+	if info.Active {
+		t.Fatal("agent active before credential activation")
+	}
+	if _, err := r.AKPub("agent-1"); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("AKPub before activation: %v, want ErrNotActive", err)
+	}
+	proof, err := dev.ActivateCredential(cred)
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	if err := r.Activate("agent-1", proof); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	got, err := r.AKPub("agent-1")
+	if err != nil {
+		t.Fatalf("AKPub: %v", err)
+	}
+	if !bytes.Equal(got, akPub) {
+		t.Fatal("AKPub mismatch")
+	}
+	if r.AgentCount() != 1 {
+		t.Fatalf("AgentCount = %d", r.AgentCount())
+	}
+}
+
+func TestRegisterRejectsForeignEK(t *testing.T) {
+	_, dev := newCAAndTPM(t)
+	otherCA, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	r := New(otherCA.Pool())
+	akPub, _ := dev.CreateAK()
+	if _, err := r.Register("agent-1", dev.EKCertificate(), akPub, ""); !errors.Is(err, tpm.ErrEKCertificate) {
+		t.Fatalf("Register with foreign EK: %v, want ErrEKCertificate", err)
+	}
+}
+
+func TestActivateWrongProofRejected(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	akPub, _ := dev.CreateAK()
+	if _, err := r.Register("agent-1", dev.EKCertificate(), akPub, ""); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	var wrong tpm.Digest
+	wrong[0] = 0xab
+	if err := r.Activate("agent-1", wrong); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("Activate wrong proof: %v, want ErrBadProof", err)
+	}
+	if info, _ := r.Agent("agent-1"); info.Active {
+		t.Fatal("agent activated despite bad proof")
+	}
+}
+
+func TestActivateUnknownAgent(t *testing.T) {
+	ca, _ := newCAAndTPM(t)
+	r := New(ca.Pool())
+	if err := r.Activate("ghost", tpm.Digest{}); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("err = %v, want ErrUnknownAgent", err)
+	}
+}
+
+func TestRegisterEmptyID(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	akPub, _ := dev.CreateAK()
+	if _, err := r.Register("", dev.EKCertificate(), akPub, ""); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	akPub, _ := dev.CreateAK()
+
+	// Register over HTTP.
+	body, err := json.Marshal(api.RegisterRequest{
+		AgentID: "agent-http",
+		EKCert:  base64.StdEncoding.EncodeToString(dev.EKCertificate()),
+		AKPub:   base64.StdEncoding.EncodeToString(akPub),
+	})
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	resp, err := http.Post(srv.URL+"/v2/agents/agent-http", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST register: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status = %d", resp.StatusCode)
+	}
+	var reg api.RegisterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	_ = resp.Body.Close()
+
+	// Activate over HTTP.
+	encSecret, _ := base64.StdEncoding.DecodeString(reg.EncryptedSecret)
+	nameRaw, _ := hex.DecodeString(reg.AKNameBound)
+	var name tpm.Digest
+	copy(name[:], nameRaw)
+	proof, err := dev.ActivateCredential(tpm.Credential{EncryptedSecret: encSecret, AKNameBound: name})
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	actBody, _ := json.Marshal(api.ActivateRequest{AgentID: "agent-http", Proof: hex.EncodeToString(proof[:])})
+	resp2, err := http.Post(srv.URL+"/v2/agents/agent-http/activate", "application/json", bytes.NewReader(actBody))
+	if err != nil {
+		t.Fatalf("POST activate: %v", err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("activate status = %d", resp2.StatusCode)
+	}
+
+	// GET agent info.
+	resp3, err := http.Get(srv.URL + "/v2/agents/agent-http")
+	if err != nil {
+		t.Fatalf("GET agent: %v", err)
+	}
+	defer func() { _ = resp3.Body.Close() }()
+	var info api.AgentInfo
+	if err := json.NewDecoder(resp3.Body).Decode(&info); err != nil {
+		t.Fatalf("decode info: %v", err)
+	}
+	if !info.Active {
+		t.Fatal("agent not active after HTTP flow")
+	}
+}
+
+func TestHTTPUnknownAgent404(t *testing.T) {
+	ca, _ := newCAAndTPM(t)
+	srv := httptest.NewServer(New(ca.Pool()).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v2/agents/ghost")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadBody400(t *testing.T) {
+	ca, _ := newCAAndTPM(t)
+	srv := httptest.NewServer(New(ca.Pool()).Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v2/agents/x", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAgentIDsAndDeregister(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	akPub, _ := dev.CreateAK()
+	for _, id := range []string{"agent-b", "agent-a"} {
+		if _, err := r.Register(id, dev.EKCertificate(), akPub, ""); err != nil {
+			t.Fatalf("Register %s: %v", id, err)
+		}
+	}
+	ids := r.AgentIDs()
+	if len(ids) != 2 || ids[0] != "agent-a" || ids[1] != "agent-b" {
+		t.Fatalf("AgentIDs = %v, want sorted pair", ids)
+	}
+	if err := r.Deregister("agent-a"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if err := r.Deregister("agent-a"); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("double deregister: %v, want ErrUnknownAgent", err)
+	}
+	if r.AgentCount() != 1 {
+		t.Fatalf("AgentCount = %d, want 1", r.AgentCount())
+	}
+}
+
+func TestHTTPListAndDelete(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	akPub, _ := dev.CreateAK()
+	if _, err := r.Register("agent-x", dev.EKCertificate(), akPub, ""); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	resp, err := http.Get(srv.URL + "/v2/agents")
+	if err != nil {
+		t.Fatalf("GET list: %v", err)
+	}
+	var body map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	_ = resp.Body.Close()
+	if len(body["agents"]) != 1 || body["agents"][0] != "agent-x" {
+		t.Fatalf("list = %v", body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v2/agents/agent-x", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	_ = resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp2.StatusCode)
+	}
+	if r.AgentCount() != 0 {
+		t.Fatalf("AgentCount = %d after delete", r.AgentCount())
+	}
+}
+
+func TestRegistrarStatePersistence(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	r := New(ca.Pool())
+	akPub, _ := dev.CreateAK()
+	cred, err := r.Register("agent-1", dev.EKCertificate(), akPub, "http://a:1")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	proof, err := dev.ActivateCredential(cred)
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	if err := r.Activate("agent-1", proof); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+
+	// "Restart": export, JSON round trip, restore into a fresh registrar.
+	snap := r.ExportState()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	r2 := New(ca.Pool())
+	if err := r2.RestoreState(back); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	got, err := r2.AKPub("agent-1")
+	if err != nil {
+		t.Fatalf("AKPub after restore: %v", err)
+	}
+	if !bytes.Equal(got, akPub) {
+		t.Fatal("AK lost through restart")
+	}
+	info, _ := r2.Agent("agent-1")
+	if !info.Active || info.ContactURL != "http://a:1" {
+		t.Fatalf("restored record = %+v", info)
+	}
+	// Restore into a non-empty registrar is refused.
+	if err := r2.RestoreState(back); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("restore into non-empty: %v, want ErrBadRequest", err)
+	}
+}

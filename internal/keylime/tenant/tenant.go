@@ -1,0 +1,159 @@
+// Package tenant implements the Keylime tenant: the command-line-oriented
+// management client operators use to enroll nodes with a verifier, push
+// runtime policies, and query attestation status. It is a thin HTTP client
+// over the verifier's management API (see verifier.ManagementHandler).
+package tenant
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"repro/internal/policy"
+)
+
+// Sentinel errors.
+var (
+	ErrRequestFailed = errors.New("tenant: request failed")
+)
+
+// AddAgentRequest is the body for enrolling an agent with the verifier.
+type AddAgentRequest struct {
+	AgentURL string          `json:"agent_url"`
+	Policy   json.RawMessage `json:"policy"`
+}
+
+// StatusResponse mirrors verifier.Status over the wire.
+type StatusResponse struct {
+	AgentID         string        `json:"agent_id"`
+	State           string        `json:"operational_state"`
+	Attestations    int           `json:"attestation_count"`
+	VerifiedEntries int           `json:"verified_entries"`
+	Halted          bool          `json:"halted"`
+	Failures        []WireFailure `json:"failures"`
+}
+
+// WireFailure is one failure record over the wire.
+type WireFailure struct {
+	Time   string `json:"time"`
+	Type   string `json:"type"`
+	Path   string `json:"path,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// Tenant is the management client. Construct with New.
+type Tenant struct {
+	verifierURL string
+	client      *http.Client
+}
+
+// Option configures the tenant.
+type Option interface{ apply(*Tenant) }
+
+type clientOption struct{ c *http.Client }
+
+func (o clientOption) apply(t *Tenant) { t.client = o.c }
+
+// WithHTTPClient sets the HTTP client.
+func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
+
+// New creates a tenant talking to the given verifier management URL.
+func New(verifierURL string, opts ...Option) *Tenant {
+	t := &Tenant{verifierURL: verifierURL, client: http.DefaultClient}
+	for _, opt := range opts {
+		opt.apply(t)
+	}
+	return t
+}
+
+// AddAgent enrolls an agent with the verifier under the given policy.
+func (t *Tenant) AddAgent(agentID, agentURL string, pol *policy.RuntimePolicy) error {
+	polJSON, err := json.Marshal(pol)
+	if err != nil {
+		return fmt.Errorf("tenant: encoding policy: %w", err)
+	}
+	body, err := json.Marshal(AddAgentRequest{AgentURL: agentURL, Policy: polJSON})
+	if err != nil {
+		return fmt.Errorf("tenant: encoding request: %w", err)
+	}
+	return t.do(http.MethodPost, "/v2/agents/"+url.PathEscape(agentID), body, nil)
+}
+
+// UpdatePolicy pushes a new runtime policy for an agent.
+func (t *Tenant) UpdatePolicy(agentID string, pol *policy.RuntimePolicy) error {
+	body, err := json.Marshal(pol)
+	if err != nil {
+		return fmt.Errorf("tenant: encoding policy: %w", err)
+	}
+	return t.do(http.MethodPut, "/v2/agents/"+url.PathEscape(agentID)+"/policy", body, nil)
+}
+
+// UpdateSignedPolicy pushes a signed policy envelope (accepted only by
+// verifiers configured with a policy trust store).
+func (t *Tenant) UpdateSignedPolicy(agentID string, env policy.Envelope) error {
+	body, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("tenant: encoding envelope: %w", err)
+	}
+	return t.do(http.MethodPut, "/v2/agents/"+url.PathEscape(agentID)+"/policy-signed", body, nil)
+}
+
+// Status fetches an agent's attestation status.
+func (t *Tenant) Status(agentID string) (StatusResponse, error) {
+	var out StatusResponse
+	err := t.do(http.MethodGet, "/v2/agents/"+url.PathEscape(agentID), nil, &out)
+	return out, err
+}
+
+// Resume re-arms a halted agent after operator intervention.
+func (t *Tenant) Resume(agentID string) error {
+	return t.do(http.MethodPost, "/v2/agents/"+url.PathEscape(agentID)+"/resume", nil, nil)
+}
+
+// RemoveAgent stops monitoring an agent.
+func (t *Tenant) RemoveAgent(agentID string) error {
+	return t.do(http.MethodDelete, "/v2/agents/"+url.PathEscape(agentID), nil, nil)
+}
+
+// ListAgents returns the ids of all monitored agents.
+func (t *Tenant) ListAgents() ([]string, error) {
+	var out map[string][]string
+	if err := t.do(http.MethodGet, "/v2/agents", nil, &out); err != nil {
+		return nil, err
+	}
+	return out["agents"], nil
+}
+
+func (t *Tenant) do(method, path string, body []byte, out any) error {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, t.verifierURL+path, reader)
+	if err != nil {
+		return fmt.Errorf("tenant: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRequestFailed, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%w: %s %s: status %d: %s", ErrRequestFailed, method, path, resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("tenant: decoding response: %w", err)
+	}
+	return nil
+}

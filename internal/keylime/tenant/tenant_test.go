@@ -1,0 +1,147 @@
+package tenant
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// fakeVerifier captures the requests a tenant sends.
+type fakeVerifier struct {
+	mux      *http.ServeMux
+	added    map[string]AddAgentRequest
+	policies map[string]json.RawMessage
+	resumed  map[string]int
+	removed  map[string]int
+}
+
+func newFakeVerifier() *fakeVerifier {
+	f := &fakeVerifier{
+		mux:      http.NewServeMux(),
+		added:    map[string]AddAgentRequest{},
+		policies: map[string]json.RawMessage{},
+		resumed:  map[string]int{},
+		removed:  map[string]int{},
+	}
+	f.mux.HandleFunc("POST /v2/agents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		var body AddAgentRequest
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.added[r.PathValue("id")] = body
+	})
+	f.mux.HandleFunc("GET /v2/agents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if _, ok := f.added[id]; !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(StatusResponse{AgentID: id, State: "Get Quote", Attestations: 3})
+	})
+	f.mux.HandleFunc("PUT /v2/agents/{id}/policy", func(w http.ResponseWriter, r *http.Request) {
+		var raw json.RawMessage
+		if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		f.policies[r.PathValue("id")] = raw
+	})
+	f.mux.HandleFunc("POST /v2/agents/{id}/resume", func(w http.ResponseWriter, r *http.Request) {
+		f.resumed[r.PathValue("id")]++
+	})
+	f.mux.HandleFunc("DELETE /v2/agents/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.removed[r.PathValue("id")]++
+	})
+	return f
+}
+
+func newTestTenant(t *testing.T) (*Tenant, *fakeVerifier) {
+	t.Helper()
+	f := newFakeVerifier()
+	srv := httptest.NewServer(f.mux)
+	t.Cleanup(srv.Close)
+	return New(srv.URL), f
+}
+
+func samplePolicy() *policy.RuntimePolicy {
+	p := policy.New()
+	p.Add("/bin/bash", sha256.Sum256([]byte("bash")))
+	return p
+}
+
+func TestAddAgentSendsPolicy(t *testing.T) {
+	tn, f := newTestTenant(t)
+	if err := tn.AddAgent("agent-1", "http://agent:9002", samplePolicy()); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	req, ok := f.added["agent-1"]
+	if !ok {
+		t.Fatal("verifier did not receive add request")
+	}
+	if req.AgentURL != "http://agent:9002" {
+		t.Fatalf("AgentURL = %q", req.AgentURL)
+	}
+	var pol policy.RuntimePolicy
+	if err := json.Unmarshal(req.Policy, &pol); err != nil {
+		t.Fatalf("policy payload: %v", err)
+	}
+	if !pol.Has("/bin/bash") {
+		t.Fatal("policy content lost in transit")
+	}
+}
+
+func TestUpdatePolicy(t *testing.T) {
+	tn, f := newTestTenant(t)
+	if err := tn.AddAgent("a", "u", samplePolicy()); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	if err := tn.UpdatePolicy("a", samplePolicy()); err != nil {
+		t.Fatalf("UpdatePolicy: %v", err)
+	}
+	if _, ok := f.policies["a"]; !ok {
+		t.Fatal("policy update not received")
+	}
+}
+
+func TestStatusAndErrors(t *testing.T) {
+	tn, _ := newTestTenant(t)
+	if err := tn.AddAgent("a", "u", samplePolicy()); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	st, err := tn.Status("a")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != "Get Quote" || st.Attestations != 3 {
+		t.Fatalf("Status = %+v", st)
+	}
+	if _, err := tn.Status("ghost"); !errors.Is(err, ErrRequestFailed) {
+		t.Fatalf("Status(ghost) = %v, want ErrRequestFailed", err)
+	}
+}
+
+func TestResumeAndRemove(t *testing.T) {
+	tn, f := newTestTenant(t)
+	if err := tn.Resume("a"); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	if err := tn.RemoveAgent("a"); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	if f.resumed["a"] != 1 || f.removed["a"] != 1 {
+		t.Fatalf("resume/remove counts = %d/%d", f.resumed["a"], f.removed["a"])
+	}
+}
+
+func TestUnreachableVerifier(t *testing.T) {
+	tn := New("http://127.0.0.1:1")
+	if err := tn.AddAgent("a", "u", samplePolicy()); !errors.Is(err, ErrRequestFailed) {
+		t.Fatalf("err = %v, want ErrRequestFailed", err)
+	}
+}

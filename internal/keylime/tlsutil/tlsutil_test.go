@@ -1,0 +1,174 @@
+package tlsutil
+
+import (
+	"crypto/rand"
+	"crypto/tls"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+)
+
+func newAuthority(t *testing.T) *Authority {
+	t.Helper()
+	a, err := NewAuthority(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewAuthority: %v", err)
+	}
+	return a
+}
+
+// newMTLSServer wraps a handler in a mutual-TLS httptest server.
+func newMTLSServer(t *testing.T, a *Authority, h http.Handler) *httptest.Server {
+	t.Helper()
+	id, err := a.IssueServer("registrar")
+	if err != nil {
+		t.Fatalf("IssueServer: %v", err)
+	}
+	srv := httptest.NewUnstartedServer(h)
+	srv.TLS = a.ServerConfig(id)
+	srv.StartTLS()
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func clientWith(t *testing.T, cfg *tls.Config) *http.Client {
+	t.Helper()
+	return &http.Client{Transport: &http.Transport{TLSClientConfig: cfg}}
+}
+
+func TestMutualTLSRoundTrip(t *testing.T) {
+	a := newAuthority(t)
+	srv := newMTLSServer(t, a, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.TLS.PeerCertificates) == 0 {
+			http.Error(w, "no client cert", http.StatusForbidden)
+			return
+		}
+		_, _ = io.WriteString(w, r.TLS.PeerCertificates[0].Subject.CommonName)
+	}))
+	clientID, err := a.IssueClient("verifier")
+	if err != nil {
+		t.Fatalf("IssueClient: %v", err)
+	}
+	c := clientWith(t, a.ClientConfig(clientID))
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "verifier" {
+		t.Fatalf("server saw client CN %q, want verifier", body)
+	}
+}
+
+func TestServerRejectsClientWithoutCert(t *testing.T) {
+	a := newAuthority(t)
+	srv := newMTLSServer(t, a, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	// Client trusts the CA but presents no certificate.
+	c := clientWith(t, &tls.Config{RootCAs: a.Pool(), MinVersion: tls.VersionTLS12})
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("request without client certificate succeeded")
+	}
+}
+
+func TestServerRejectsForeignClientCert(t *testing.T) {
+	a := newAuthority(t)
+	srv := newMTLSServer(t, a, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	other := newAuthority(t)
+	foreignID, err := other.IssueClient("intruder")
+	if err != nil {
+		t.Fatalf("IssueClient: %v", err)
+	}
+	cfg := other.ClientConfig(foreignID)
+	cfg.RootCAs = a.Pool() // trusts the right server, presents wrong client cert
+	c := clientWith(t, cfg)
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("request with foreign client certificate succeeded")
+	}
+}
+
+func TestClientRejectsForeignServer(t *testing.T) {
+	a := newAuthority(t)
+	rogue := newAuthority(t)
+	srv := newMTLSServer(t, rogue, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	id, err := a.IssueClient("verifier")
+	if err != nil {
+		t.Fatalf("IssueClient: %v", err)
+	}
+	c := clientWith(t, a.ClientConfig(id))
+	if _, err := c.Get(srv.URL); err == nil {
+		t.Fatal("connection to rogue server succeeded")
+	}
+}
+
+func TestIssueRequiresName(t *testing.T) {
+	a := newAuthority(t)
+	if _, err := a.IssueClient(""); !errors.Is(err, ErrBadName) {
+		t.Fatalf("err = %v, want ErrBadName", err)
+	}
+}
+
+func TestRegistrarOverMutualTLS(t *testing.T) {
+	// A full component flow over mTLS: the agent registers with a
+	// registrar that only accepts mutually authenticated connections.
+	deployCA := newAuthority(t)
+	mfrCA, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	reg := registrar.New(mfrCA.Pool())
+	srv := newMTLSServer(t, deployCA, reg.Handler())
+
+	agentID, err := deployCA.IssueClient("agent-host")
+	if err != nil {
+		t.Fatalf("IssueClient: %v", err)
+	}
+	c := clientWith(t, deployCA.ClientConfig(agentID))
+	// Probe the API through mTLS (unknown agent -> 404 proves we reached
+	// the handler through the authenticated channel).
+	resp, err := c.Get(srv.URL + "/v2/agents/ghost")
+	if err != nil {
+		t.Fatalf("GET over mTLS: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404 from registrar handler", resp.StatusCode)
+	}
+}
+
+func TestAgentRegistrationOverMutualTLS(t *testing.T) {
+	deployCA := newAuthority(t)
+	mfrCA, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(mfrCA, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	reg := registrar.New(mfrCA.Pool())
+	srv := newMTLSServer(t, deployCA, reg.Handler())
+
+	agentTLS, err := deployCA.IssueClient("agent-host")
+	if err != nil {
+		t.Fatalf("IssueClient: %v", err)
+	}
+	ag := agent.New(m, agent.WithHTTPClient(clientWith(t, deployCA.ClientConfig(agentTLS))))
+	if err := ag.Register(srv.URL, "https://agent:8892"); err != nil {
+		t.Fatalf("Register over mTLS: %v", err)
+	}
+	info, err := reg.Agent(m.UUID())
+	if err != nil {
+		t.Fatalf("Agent: %v", err)
+	}
+	if !info.Active {
+		t.Fatal("agent not active after mTLS registration")
+	}
+}

@@ -1,0 +1,151 @@
+package verifier
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+
+	"repro/internal/keylime/api"
+	"repro/internal/policy"
+)
+
+// addAgentRequest mirrors tenant.AddAgentRequest without importing it.
+type addAgentRequest struct {
+	AgentURL string          `json:"agent_url"`
+	Policy   json.RawMessage `json:"policy"`
+}
+
+// wireStatus is the JSON form of Status.
+type wireStatus struct {
+	AgentID         string        `json:"agent_id"`
+	State           string        `json:"operational_state"`
+	Attestations    int           `json:"attestation_count"`
+	VerifiedEntries int           `json:"verified_entries"`
+	Halted          bool          `json:"halted"`
+	Failures        []wireFailure `json:"failures"`
+}
+
+type wireFailure struct {
+	Time   string `json:"time"`
+	Type   string `json:"type"`
+	Path   string `json:"path,omitempty"`
+	Detail string `json:"detail"`
+}
+
+// ManagementHandler returns the verifier's management HTTP API, consumed by
+// the tenant tool:
+//
+//	POST   /v2/agents/{id}         {agent_url, policy} -> enroll agent
+//	GET    /v2/agents/{id}                             -> status
+//	PUT    /v2/agents/{id}/policy  policy JSON         -> update policy
+//	POST   /v2/agents/{id}/resume                      -> resume after failure
+//	DELETE /v2/agents/{id}                             -> stop monitoring
+func (v *Verifier) ManagementHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		var body addAgentRequest
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeMgmtErr(w, http.StatusBadRequest, err)
+			return
+		}
+		pol := policy.New()
+		if len(body.Policy) > 0 {
+			if err := json.Unmarshal(body.Policy, pol); err != nil {
+				writeMgmtErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		if err := v.AddAgent(req.PathValue("id"), body.AgentURL, pol); err != nil {
+			status := http.StatusBadGateway
+			switch {
+			case errors.Is(err, ErrDuplicate):
+				status = http.StatusConflict
+			case errors.Is(err, ErrAgentInactive):
+				status = http.StatusForbidden
+			}
+			writeMgmtErr(w, status, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		st, err := v.Status(req.PathValue("id"))
+		if err != nil {
+			writeMgmtErr(w, http.StatusNotFound, err)
+			return
+		}
+		out := wireStatus{
+			AgentID:         st.AgentID,
+			State:           st.State.String(),
+			Attestations:    st.Attestations,
+			VerifiedEntries: st.VerifiedEntries,
+			Halted:          st.Halted,
+		}
+		for _, f := range st.Failures {
+			out.Failures = append(out.Failures, wireFailure{
+				Time:   f.Time.UTC().Format("2006-01-02T15:04:05Z07:00"),
+				Type:   f.Type.String(),
+				Path:   f.Path,
+				Detail: f.Detail,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("PUT /v2/agents/{id}/policy", func(w http.ResponseWriter, req *http.Request) {
+		pol := policy.New()
+		if err := json.NewDecoder(req.Body).Decode(pol); err != nil {
+			writeMgmtErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := v.UpdatePolicy(req.PathValue("id"), pol); err != nil {
+			writeMgmtErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("PUT /v2/agents/{id}/policy-signed", func(w http.ResponseWriter, req *http.Request) {
+		var env policy.Envelope
+		if err := json.NewDecoder(req.Body).Decode(&env); err != nil {
+			writeMgmtErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := v.UpdateSignedPolicy(req.PathValue("id"), env); err != nil {
+			status := http.StatusForbidden
+			if errors.Is(err, ErrUnknownAgent) {
+				status = http.StatusNotFound
+			}
+			writeMgmtErr(w, status, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("POST /v2/agents/{id}/resume", func(w http.ResponseWriter, req *http.Request) {
+		if err := v.Resume(req.PathValue("id")); err != nil {
+			writeMgmtErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("DELETE /v2/agents/{id}", func(w http.ResponseWriter, req *http.Request) {
+		if err := v.RemoveAgent(req.PathValue("id")); err != nil {
+			writeMgmtErr(w, http.StatusNotFound, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v2/agents", func(w http.ResponseWriter, req *http.Request) {
+		ids := v.AgentIDs()
+		sort.Strings(ids)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string][]string{"agents": ids})
+	})
+	return mux
+}
+
+func writeMgmtErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,159 @@
+package verifier
+
+// Verifier state persistence: real Keylime keeps its per-agent verification
+// state in a database so a verifier restart does not lose the verification
+// frontier (which would force a full IMA log re-fetch and re-evaluation, or
+// worse, re-trust decisions). ExportState/RestoreState serialize the
+// monitored-agent table — enrollment data, policy, verified prefix,
+// failure history and measured-boot golden values — as JSON.
+
+import (
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/measuredboot"
+	"repro/internal/policy"
+	"repro/internal/tpm"
+)
+
+// FailureState is the serialized form of a Failure.
+type FailureState struct {
+	Time   time.Time `json:"time"`
+	Type   int       `json:"type"`
+	Path   string    `json:"path,omitempty"`
+	Detail string    `json:"detail"`
+}
+
+// AgentState is the serialized verification state of one monitored agent.
+type AgentState struct {
+	AgentID string `json:"agent_id"`
+	URL     string `json:"url"`
+	// AKPub is base64 PKIX DER.
+	AKPub  string          `json:"ak_pub"`
+	Policy json.RawMessage `json:"policy"`
+	State  int             `json:"state"`
+	Halted bool            `json:"halted"`
+	// NextOffset / PrefixAggregate are the verification frontier.
+	NextOffset      int            `json:"next_offset"`
+	PrefixAggregate string         `json:"prefix_aggregate"`
+	Attestations    int            `json:"attestations"`
+	Failures        []FailureState `json:"failures,omitempty"`
+	// BootGolden maps PCR index to hex digest.
+	BootGolden map[int]string `json:"boot_golden,omitempty"`
+}
+
+// Snapshot is the verifier's full serialized agent table.
+type Snapshot struct {
+	Agents []AgentState `json:"agents"`
+}
+
+// ExportState snapshots the monitored-agent table.
+func (v *Verifier) ExportState() (Snapshot, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var st Snapshot
+	for _, a := range v.agents {
+		polJSON, err := json.Marshal(a.pol)
+		if err != nil {
+			return Snapshot{}, fmt.Errorf("verifier: serializing policy for %s: %w", a.id, err)
+		}
+		as := AgentState{
+			AgentID:         a.id,
+			URL:             a.url,
+			AKPub:           base64.StdEncoding.EncodeToString(a.akPub),
+			Policy:          polJSON,
+			State:           int(a.state),
+			Halted:          a.halted,
+			NextOffset:      a.nextOffset,
+			PrefixAggregate: hex.EncodeToString(a.prefixAggregate[:]),
+			Attestations:    a.attestations,
+		}
+		for _, f := range a.failures {
+			as.Failures = append(as.Failures, FailureState{
+				Time: f.Time, Type: int(f.Type), Path: f.Path, Detail: f.Detail,
+			})
+		}
+		if a.bootGolden != nil {
+			as.BootGolden = make(map[int]string, len(a.bootGolden))
+			for pcr, d := range a.bootGolden {
+				as.BootGolden[pcr] = hex.EncodeToString(d[:])
+			}
+		}
+		st.Agents = append(st.Agents, as)
+	}
+	return st, nil
+}
+
+// RestoreState loads a snapshot into an empty verifier; monitoring resumes
+// at the persisted verification frontier.
+func (v *Verifier) RestoreState(st Snapshot) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.agents) != 0 {
+		return fmt.Errorf("verifier: RestoreState requires an empty verifier (%d agents present)", len(v.agents))
+	}
+	for _, as := range st.Agents {
+		akPub, err := base64.StdEncoding.DecodeString(as.AKPub)
+		if err != nil {
+			return fmt.Errorf("verifier: restoring %s: ak_pub: %w", as.AgentID, err)
+		}
+		pol := policy.New()
+		if len(as.Policy) > 0 {
+			if err := json.Unmarshal(as.Policy, pol); err != nil {
+				return fmt.Errorf("verifier: restoring %s: policy: %w", as.AgentID, err)
+			}
+		}
+		var prefix tpm.Digest
+		raw, err := hex.DecodeString(as.PrefixAggregate)
+		if err != nil || len(raw) != len(prefix) {
+			return fmt.Errorf("verifier: restoring %s: bad prefix aggregate", as.AgentID)
+		}
+		copy(prefix[:], raw)
+		a := &monitored{
+			id:              as.AgentID,
+			url:             as.URL,
+			akPub:           akPub,
+			pol:             pol,
+			state:           restoreStateEnum(as.State),
+			halted:          as.Halted,
+			nextOffset:      as.NextOffset,
+			prefixAggregate: prefix,
+			attestations:    as.Attestations,
+		}
+		for _, f := range as.Failures {
+			a.failures = append(a.failures, Failure{
+				Time: f.Time, Type: FailureType(f.Type), Path: f.Path, Detail: f.Detail,
+			})
+		}
+		if len(as.BootGolden) > 0 {
+			g := make(measuredboot.Golden, len(as.BootGolden))
+			for pcr, h := range as.BootGolden {
+				var d tpm.Digest
+				rawD, err := hex.DecodeString(h)
+				if err != nil || len(rawD) != len(d) {
+					return fmt.Errorf("verifier: restoring %s: bad golden PCR %d", as.AgentID, pcr)
+				}
+				copy(d[:], rawD)
+				g[pcr] = d
+			}
+			a.bootGolden = g
+		}
+		v.agents[as.AgentID] = a
+	}
+	return nil
+}
+
+// restoreStateEnum converts a persisted int back to a State value,
+// defaulting to StateStart for unknown values.
+func restoreStateEnum(i int) State {
+	s := State(i)
+	switch s {
+	case StateStart, StateAttesting, StateFailed:
+		return s
+	default:
+		return StateStart
+	}
+}

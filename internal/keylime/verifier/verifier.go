@@ -1,0 +1,725 @@
+// Package verifier implements the Keylime verifier: the trusted component
+// that periodically challenges agents with fresh nonces, validates TPM
+// quotes, replays the IMA measurement list against the quoted PCR 10
+// aggregate, and evaluates every new measurement entry against the agent's
+// runtime policy.
+//
+// Two behaviours studied by the paper are modeled explicitly:
+//
+//   - Stop-on-failure (problem P2): by default the verifier halts polling
+//     for an agent after an attestation failure, leaving an incomplete
+//     attestation log; an attacker can trigger a benign failure and act
+//     inside the blind window. WithContinueOnFailure enables the paper's
+//     recommended mitigation (always complete the full attestation).
+//   - Incremental log verification: the verifier stores a running replay
+//     aggregate over the prefix it has verified and fetches only new
+//     entries, detecting reboots via the log-length counter.
+package verifier
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/filesig"
+	"repro/internal/ima"
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/audit"
+	"repro/internal/measuredboot"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/tpm"
+)
+
+// State is the operational state of a monitored agent.
+type State int
+
+// Agent states (reduced from Keylime's operational_state set).
+const (
+	// StateStart: agent added, no attestation attempted yet.
+	StateStart State = iota + 1
+	// StateAttesting: last attestation succeeded; polling continues.
+	StateAttesting
+	// StateFailed: last attestation failed; with stop-on-failure the
+	// verifier no longer polls this agent until an operator resumes it.
+	StateFailed
+)
+
+var stateNames = map[State]string{
+	StateStart:     "Start",
+	StateAttesting: "Get Quote",
+	StateFailed:    "Failed",
+}
+
+// String returns the Keylime-style state name.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// FailureType classifies attestation failures.
+type FailureType int
+
+// Failure types.
+const (
+	// FailureComms: the agent could not be reached or answered garbage.
+	FailureComms FailureType = iota + 1
+	// FailureQuoteInvalid: bad signature, stale nonce, or inconsistent
+	// quote structure.
+	FailureQuoteInvalid
+	// FailureLogTampered: an IMA entry's template hash does not match its
+	// fields.
+	FailureLogTampered
+	// FailureAggregateMismatch: replaying the log does not reproduce the
+	// quoted PCR 10 value.
+	FailureAggregateMismatch
+	// FailureHashMismatch: a measured file's digest differs from every
+	// allowed digest in the policy (the paper's FP error type 1).
+	FailureHashMismatch
+	// FailureNotInPolicy: a measured file is absent from the policy (the
+	// paper's FP error type 2).
+	FailureNotInPolicy
+	// FailureMeasuredBoot: the boot event log does not replay to the
+	// quoted PCR 0/4 values, or they diverge from the golden reference
+	// state (bootloader/kernel substitution).
+	FailureMeasuredBoot
+)
+
+var failureNames = map[FailureType]string{
+	FailureComms:             "comms-error",
+	FailureQuoteInvalid:      "invalid-quote",
+	FailureLogTampered:       "log-tampered",
+	FailureAggregateMismatch: "aggregate-mismatch",
+	FailureHashMismatch:      "hash-mismatch",
+	FailureNotInPolicy:       "file-not-in-policy",
+	FailureMeasuredBoot:      "measured-boot-mismatch",
+}
+
+// String returns a short failure-type label.
+func (t FailureType) String() string {
+	if n, ok := failureNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("failure(%d)", int(t))
+}
+
+// Failure records one attestation failure.
+type Failure struct {
+	Time time.Time
+	Type FailureType
+	// Path is the measured path involved, when applicable.
+	Path string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// Result summarizes one attestation round.
+type Result struct {
+	// NewEntries is how many measurement entries were fetched this round.
+	NewEntries int
+	// VerifiedEntries is the total prefix length verified so far.
+	VerifiedEntries int
+	// RebootDetected reports that the agent's log restarted.
+	RebootDetected bool
+	// Failure is non-nil when the round failed.
+	Failure *Failure
+}
+
+// Status is the externally visible state of a monitored agent.
+type Status struct {
+	AgentID         string
+	State           State
+	Attestations    int
+	VerifiedEntries int
+	Failures        []Failure
+	// Halted reports that polling is stopped pending operator action.
+	Halted bool
+}
+
+// Sentinel errors.
+var (
+	ErrUnknownAgent   = errors.New("verifier: unknown agent")
+	ErrHalted         = errors.New("verifier: agent halted after failure (stop-on-failure)")
+	ErrDuplicate      = errors.New("verifier: agent already monitored")
+	ErrRegistrar      = errors.New("verifier: registrar lookup failed")
+	ErrAgentInactive  = errors.New("verifier: agent not activated at registrar")
+	ErrUnsignedPolicy = errors.New("verifier: policy trust enforced; unsigned policy update rejected")
+	ErrNoPolicyTrust  = errors.New("verifier: no policy trust store configured")
+)
+
+// monitored is the verifier's per-agent state.
+type monitored struct {
+	// pollMu serializes attestation rounds for this agent: interleaved
+	// polls would race on the verification frontier (offset + prefix
+	// aggregate) and mis-replay the log.
+	pollMu sync.Mutex
+
+	id    string
+	url   string
+	akPub []byte
+
+	pol             *policy.RuntimePolicy
+	bootGolden      measuredboot.Golden
+	state           State
+	halted          bool
+	nextOffset      int
+	prefixAggregate tpm.Digest
+	attestations    int
+	failures        []Failure
+}
+
+// Option configures the verifier.
+type Option interface{ apply(*Verifier) }
+
+type optionFunc func(*Verifier)
+
+func (f optionFunc) apply(v *Verifier) { f(v) }
+
+// WithClock sets the clock used for timestamps and polling.
+func WithClock(c simclock.Clock) Option {
+	return optionFunc(func(v *Verifier) { v.clock = c })
+}
+
+// WithHTTPClient sets the client used to reach agents and the registrar.
+func WithHTTPClient(c *http.Client) Option {
+	return optionFunc(func(v *Verifier) { v.client = c })
+}
+
+// WithPollInterval sets the continuous polling interval (default 2 min,
+// Keylime's quote interval order of magnitude).
+func WithPollInterval(d time.Duration) Option {
+	return optionFunc(func(v *Verifier) { v.pollInterval = d })
+}
+
+// WithContinueOnFailure keeps polling and evaluating after attestation
+// failures — the paper's recommended mitigation for problem P2.
+func WithContinueOnFailure(on bool) Option {
+	return optionFunc(func(v *Verifier) { v.continueOnFailure = on })
+}
+
+// WithRevocationHandler registers a callback invoked on every failure (the
+// alerting/revocation webhook).
+func WithRevocationHandler(fn func(agentID string, f Failure)) Option {
+	return optionFunc(func(v *Verifier) { v.onRevocation = fn })
+}
+
+// WithPolicyTrust requires runtime-policy updates to arrive as envelopes
+// signed by a trusted policy generator (the paper's §V ostree-style
+// improvement). With a trust store installed, UpdatePolicy rejects unsigned
+// policies; use UpdateSignedPolicy.
+func WithPolicyTrust(ts *policy.TrustStore) Option {
+	return optionFunc(func(v *Verifier) { v.policyTrust = ts })
+}
+
+// WithAuditLog records every attestation round into the hash-chained audit
+// log (durable attestation).
+func WithAuditLog(l *audit.Log) Option {
+	return optionFunc(func(v *Verifier) { v.auditLog = l })
+}
+
+// WithFileSignatureTrust accepts any measured file whose ima-sig vendor
+// signature verifies against the trusted vendor keys, without requiring
+// its digest in the runtime policy — the §V signed-hashes improvement.
+// Unsigned files (and files with invalid signatures) still go through the
+// policy.
+func WithFileSignatureTrust(vs *filesig.VerifySet) Option {
+	return optionFunc(func(v *Verifier) { v.fileSigTrust = vs })
+}
+
+// Verifier monitors a fleet of agents. Construct with New; it is safe for
+// concurrent use.
+type Verifier struct {
+	registrarURL      string
+	client            *http.Client
+	clock             simclock.Clock
+	pollInterval      time.Duration
+	continueOnFailure bool
+	onRevocation      func(string, Failure)
+	policyTrust       *policy.TrustStore
+	auditLog          *audit.Log
+	fileSigTrust      *filesig.VerifySet
+	rng               io.Reader
+
+	mu     sync.Mutex
+	agents map[string]*monitored
+}
+
+// New creates a verifier. registrarURL may be empty when agents are added
+// with AddAgentWithAK.
+func New(registrarURL string, opts ...Option) *Verifier {
+	v := &Verifier{
+		registrarURL: registrarURL,
+		client:       http.DefaultClient,
+		clock:        simclock.Real{},
+		pollInterval: 2 * time.Minute,
+		rng:          rand.Reader,
+		agents:       make(map[string]*monitored),
+	}
+	for _, opt := range opts {
+		opt.apply(v)
+	}
+	return v
+}
+
+// AddAgent starts monitoring an agent: the AK public key is fetched from
+// the registrar, which must report the agent as activated.
+func (v *Verifier) AddAgent(agentID, agentURL string, pol *policy.RuntimePolicy) error {
+	resp, err := v.client.Get(v.registrarURL + "/v2/agents/" + url.PathEscape(agentID))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrRegistrar, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: status %d", ErrRegistrar, resp.StatusCode)
+	}
+	var info api.AgentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return fmt.Errorf("%w: decoding agent info: %v", ErrRegistrar, err)
+	}
+	if !info.Active {
+		return fmt.Errorf("%w: %s", ErrAgentInactive, agentID)
+	}
+	akPub, err := base64.StdEncoding.DecodeString(info.AKPub)
+	if err != nil {
+		return fmt.Errorf("%w: decoding AK: %v", ErrRegistrar, err)
+	}
+	return v.AddAgentWithAK(agentID, agentURL, akPub, pol)
+}
+
+// AddAgentWithAK starts monitoring an agent with an out-of-band trusted AK.
+func (v *Verifier) AddAgentWithAK(agentID, agentURL string, akPub []byte, pol *policy.RuntimePolicy) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, exists := v.agents[agentID]; exists {
+		return fmt.Errorf("%w: %s", ErrDuplicate, agentID)
+	}
+	v.agents[agentID] = &monitored{
+		id:    agentID,
+		url:   agentURL,
+		akPub: append([]byte(nil), akPub...),
+		pol:   pol.Clone(),
+		state: StateStart,
+	}
+	return nil
+}
+
+// RemoveAgent stops monitoring an agent.
+func (v *Verifier) RemoveAgent(agentID string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.agents[agentID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	delete(v.agents, agentID)
+	return nil
+}
+
+// UpdatePolicy atomically replaces the runtime policy for an agent — the
+// operation the dynamic policy generator performs before each system
+// update. With a policy trust store installed, unsigned updates are
+// rejected (use UpdateSignedPolicy).
+func (v *Verifier) UpdatePolicy(agentID string, pol *policy.RuntimePolicy) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.policyTrust != nil {
+		return ErrUnsignedPolicy
+	}
+	return v.updatePolicyLocked(agentID, pol)
+}
+
+// UpdateSignedPolicy verifies the envelope against the trusted policy-
+// generator keys and installs the contained policy.
+func (v *Verifier) UpdateSignedPolicy(agentID string, env policy.Envelope) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.policyTrust == nil {
+		return ErrNoPolicyTrust
+	}
+	pol, err := v.policyTrust.Verify(env)
+	if err != nil {
+		return fmt.Errorf("verifier: rejecting policy update: %w", err)
+	}
+	return v.updatePolicyLocked(agentID, pol)
+}
+
+// updatePolicyLocked swaps the policy. Caller holds v.mu.
+func (v *Verifier) updatePolicyLocked(agentID string, pol *policy.RuntimePolicy) error {
+	a, ok := v.agents[agentID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	a.pol = pol.Clone()
+	return nil
+}
+
+// SetBootGolden installs the measured-boot reference state for an agent:
+// subsequent attestations validate the boot event log against the quoted
+// PCR 0/4 values and these golden values. Pass nil to disable.
+func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	a, ok := v.agents[agentID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	if g == nil {
+		a.bootGolden = nil
+		return nil
+	}
+	cp := make(measuredboot.Golden, len(g))
+	for pcr, d := range g {
+		cp[pcr] = d
+	}
+	a.bootGolden = cp
+	return nil
+}
+
+// Resume re-arms polling for a failed agent after the operator resolved the
+// failure (e.g. fixed the policy). Verified-prefix state is retained, so
+// attestation picks up at the entry that failed.
+func (v *Verifier) Resume(agentID string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	a, ok := v.agents[agentID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	a.halted = false
+	if a.state == StateFailed {
+		a.state = StateAttesting
+	}
+	return nil
+}
+
+// Status reports the current state of an agent.
+func (v *Verifier) Status(agentID string) (Status, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	a, ok := v.agents[agentID]
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	return Status{
+		AgentID:         a.id,
+		State:           a.state,
+		Attestations:    a.attestations,
+		VerifiedEntries: a.nextOffset,
+		Failures:        append([]Failure(nil), a.failures...),
+		Halted:          a.halted,
+	}, nil
+}
+
+// AgentIDs returns the monitored agent ids.
+func (v *Verifier) AgentIDs() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.agents))
+	for id := range v.agents {
+		out = append(out, id)
+	}
+	return out
+}
+
+// fail records a failure, fires the revocation handler, and halts the agent
+// unless continue-on-failure is enabled.
+func (v *Verifier) fail(a *monitored, f Failure) *Failure {
+	v.mu.Lock()
+	a.failures = append(a.failures, f)
+	a.state = StateFailed
+	if !v.continueOnFailure {
+		a.halted = true
+	}
+	handler := v.onRevocation
+	v.mu.Unlock()
+	if handler != nil {
+		handler(a.id, f)
+	}
+	return &f
+}
+
+// AttestOnce runs one attestation round for the agent. When the agent is
+// halted (stop-on-failure), it returns ErrHalted without contacting the
+// agent — the blind window of problem P2. With an audit log configured,
+// every completed round (pass or fail) is recorded durably.
+func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, error) {
+	res, err := v.attestOnce(ctx, agentID)
+	if err == nil && v.auditLog != nil {
+		entry := audit.Entry{
+			Time:            v.clock.Now(),
+			AgentID:         agentID,
+			Outcome:         audit.OutcomePass,
+			NewEntries:      res.NewEntries,
+			VerifiedEntries: res.VerifiedEntries,
+			RebootDetected:  res.RebootDetected,
+		}
+		if res.Failure != nil {
+			entry.Outcome = audit.OutcomeFail
+			entry.FailureType = res.Failure.Type.String()
+			entry.FailurePath = res.Failure.Path
+		}
+		if _, aerr := v.auditLog.Append(entry); aerr != nil {
+			return res, fmt.Errorf("verifier: recording attestation: %w", aerr)
+		}
+	}
+	return res, err
+}
+
+// attestOnce performs the attestation round. Rounds for one agent are
+// serialized on the agent's poll mutex.
+func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, error) {
+	v.mu.Lock()
+	a, ok := v.agents[agentID]
+	v.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	a.pollMu.Lock()
+	defer a.pollMu.Unlock()
+
+	v.mu.Lock()
+	if a.halted {
+		v.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: %s", ErrHalted, agentID)
+	}
+	offset := a.nextOffset
+	pol := a.pol
+	akPub := a.akPub
+	agentURL := a.url
+	bootGolden := a.bootGolden
+	v.mu.Unlock()
+
+	now := v.clock.Now()
+	resp, err := v.fetchQuote(ctx, agentURL, offset)
+	if err != nil {
+		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureComms, Detail: err.Error()})}, nil
+	}
+	rebooted := false
+	if resp.resp.TotalEntries < offset {
+		// The agent's measurement list is shorter than the verified
+		// prefix: the machine rebooted. Restart verification from zero.
+		rebooted = true
+		offset = 0
+		resp, err = v.fetchQuote(ctx, agentURL, 0)
+		if err != nil {
+			return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureComms, Detail: err.Error()})}, nil
+		}
+	}
+
+	quote, err := api.DecodeQuote(resp.resp.Quote)
+	if err != nil {
+		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
+	}
+	pcrs, err := tpm.VerifyQuote(akPub, quote, resp.nonce)
+	if err != nil {
+		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
+	}
+	entries, err := ima.ParseLog(resp.resp.IMALog)
+	if err != nil {
+		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureLogTampered, Detail: err.Error()})}, nil
+	}
+
+	// Measured boot validation (when a golden reference state is set):
+	// the boot event log must replay to the quoted PCR 0/4 values, which
+	// must match the golden values.
+	if bootGolden != nil {
+		mbLog, err := api.DecodeBootLog(resp.resp.MBLog)
+		if err != nil {
+			return Result{RebootDetected: rebooted,
+				Failure: v.fail(a, Failure{Time: now, Type: FailureMeasuredBoot, Detail: err.Error()})}, nil
+		}
+		if err := bootGolden.Validate(mbLog, pcrs); err != nil {
+			return Result{RebootDetected: rebooted,
+				Failure: v.fail(a, Failure{Time: now, Type: FailureMeasuredBoot, Detail: err.Error()})}, nil
+		}
+	}
+
+	// Structural validation: template hashes must match entry fields, and
+	// replaying prefix+new entries must reproduce the quoted PCR 10.
+	for _, e := range entries {
+		if !e.Valid() {
+			f := Failure{Time: now, Type: FailureLogTampered, Path: e.Path,
+				Detail: "template hash does not match entry fields"}
+			return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
+		}
+	}
+	v.mu.Lock()
+	prefix := a.prefixAggregate
+	if rebooted {
+		prefix = tpm.Digest{}
+	}
+	v.mu.Unlock()
+	aggregate := foldEntries(prefix, entries)
+	if aggregate != pcrs[tpm.PCRIMA] {
+		f := Failure{Time: now, Type: FailureAggregateMismatch,
+			Detail: "IMA log replay does not match quoted PCR 10"}
+		return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
+	}
+
+	// Policy evaluation, entry by entry. Under stop-on-failure (Keylime's
+	// default, problem P2) evaluation stops at the first failing entry,
+	// which stays at the verification frontier so a resumed attestation
+	// re-evaluates it. Under the continue-on-failure mitigation every
+	// entry is evaluated and each failure is recorded.
+	verified := 0
+	var firstFailure *Failure
+	for i, e := range entries {
+		if e.Path == ima.BootAggregatePath {
+			verified = i + 1
+			continue
+		}
+		if v.fileSigTrust != nil && e.Signature != "" &&
+			v.fileSigTrust.VerifyHex(e.FileDigest, e.Signature) {
+			// Vendor-signed file: appraised by key, no policy entry
+			// required (§V signed-hashes improvement).
+			verified = i + 1
+			continue
+		}
+		if err := pol.Check(e.Path, e.FileDigest); err != nil {
+			ftype := FailureNotInPolicy
+			if errors.Is(err, policy.ErrHashMismatch) {
+				ftype = FailureHashMismatch
+			}
+			f := v.fail(a, Failure{Time: now, Type: ftype, Path: e.Path, Detail: err.Error()})
+			if firstFailure == nil {
+				firstFailure = f
+			}
+			if !v.continueOnFailure {
+				break
+			}
+		}
+		verified = i + 1
+	}
+
+	v.mu.Lock()
+	a.nextOffset = offset + verified
+	a.prefixAggregate = foldEntries(prefix, entries[:verified])
+	if firstFailure == nil {
+		a.state = StateAttesting
+		a.attestations++
+	}
+	res := Result{
+		NewEntries:      len(entries),
+		VerifiedEntries: a.nextOffset,
+		RebootDetected:  rebooted,
+		Failure:         firstFailure,
+	}
+	v.mu.Unlock()
+	return res, nil
+}
+
+// foldEntries extends the running aggregate with each entry's template hash.
+func foldEntries(prefix tpm.Digest, entries []ima.Entry) tpm.Digest {
+	pcr := prefix
+	for _, e := range entries {
+		pcr = extendDigest(pcr, e.TemplateHash)
+	}
+	return pcr
+}
+
+func extendDigest(pcr, d tpm.Digest) tpm.Digest {
+	h := sha256.New()
+	h.Write(pcr[:])
+	h.Write(d[:])
+	var out tpm.Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+type fetched struct {
+	resp  api.QuoteResponse
+	nonce []byte
+}
+
+// fetchQuote challenges the agent with a fresh nonce.
+func (v *Verifier) fetchQuote(ctx context.Context, agentURL string, offset int) (fetched, error) {
+	nonce := make([]byte, 20)
+	if _, err := io.ReadFull(v.rng, nonce); err != nil {
+		return fetched{}, fmt.Errorf("verifier: generating nonce: %w", err)
+	}
+	u := agentURL + "/v2/quotes/integrity?nonce=" + base64.URLEncoding.EncodeToString(nonce) +
+		"&offset=" + strconv.Itoa(offset)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fetched{}, fmt.Errorf("verifier: building request: %w", err)
+	}
+	httpResp, err := v.client.Do(req)
+	if err != nil {
+		return fetched{}, fmt.Errorf("verifier: quote request: %w", err)
+	}
+	defer func() { _ = httpResp.Body.Close() }()
+	if httpResp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return fetched{}, fmt.Errorf("verifier: quote request: status %d: %s", httpResp.StatusCode, body)
+	}
+	var qr api.QuoteResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&qr); err != nil {
+		return fetched{}, fmt.Errorf("verifier: decoding quote response: %w", err)
+	}
+	return fetched{resp: qr, nonce: nonce}, nil
+}
+
+// PollAll runs one attestation round for every monitored agent, skipping
+// halted ones. It returns how many agents were attested and how many of
+// those rounds failed.
+func (v *Verifier) PollAll(ctx context.Context) (attested, failed int) {
+	for _, id := range v.AgentIDs() {
+		res, err := v.AttestOnce(ctx, id)
+		if err != nil {
+			continue // halted or removed concurrently
+		}
+		attested++
+		if res.Failure != nil {
+			failed++
+		}
+	}
+	return attested, failed
+}
+
+// Run polls every monitored agent at the configured interval until the
+// context is cancelled. Agents added while running are picked up on the
+// next tick.
+func (v *Verifier) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-v.clock.After(v.pollInterval):
+		}
+		v.PollAll(ctx)
+	}
+}
+
+// StartPolling runs the continuous attestation loop for one agent until the
+// context is cancelled or (under stop-on-failure) the agent halts. It
+// returns the number of attestation rounds performed.
+func (v *Verifier) StartPolling(ctx context.Context, agentID string) (int, error) {
+	rounds := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return rounds, ctx.Err()
+		case <-v.clock.After(v.pollInterval):
+		}
+		_, err := v.AttestOnce(ctx, agentID)
+		if errors.Is(err, ErrHalted) {
+			// Problem P2: the verifier stops polling after a failure.
+			return rounds, err
+		}
+		if err != nil {
+			return rounds, err
+		}
+		rounds++
+	}
+}

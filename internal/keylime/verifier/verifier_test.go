@@ -1,0 +1,1096 @@
+package verifier_test
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ima"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/tenant"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/measuredboot"
+	"repro/internal/mirror"
+	"repro/internal/policy"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// stack wires a full Keylime deployment over loopback HTTP.
+type stack struct {
+	m      *machine.Machine
+	ag     *agent.Agent
+	reg    *registrar.Registrar
+	regSrv *httptest.Server
+	agSrv  *httptest.Server
+	v      *verifier.Verifier
+}
+
+func newStack(t *testing.T, machineOpts []machine.Option, vOpts ...verifier.Option) *stack {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	machineOpts = append([]machine.Option{machine.WithTPMOptions(tpm.WithEKBits(1024))}, machineOpts...)
+	m, err := machine.New(ca, machineOpts...)
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+	ag := agent.New(m)
+	agSrv := httptest.NewServer(ag.Handler())
+	t.Cleanup(agSrv.Close)
+	if err := ag.Register(regSrv.URL, agSrv.URL); err != nil {
+		t.Fatalf("agent.Register: %v", err)
+	}
+	v := verifier.New(regSrv.URL, vOpts...)
+	return &stack{m: m, ag: ag, reg: reg, regSrv: regSrv, agSrv: agSrv, v: v}
+}
+
+// policyFromMachine builds a runtime policy covering every executable
+// currently on persistent filesystems.
+func policyFromMachine(t *testing.T, m *machine.Machine, excludes ...string) *policy.RuntimePolicy {
+	t.Helper()
+	pol := policy.New()
+	err := m.FS().Walk("/", func(info vfs.FileInfo) error {
+		if info.Mode.IsExec() {
+			pol.Add(info.Path, info.Digest)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	if err := pol.SetExcludes(excludes); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	return pol
+}
+
+func addAgent(t *testing.T, s *stack, pol *policy.RuntimePolicy) {
+	t.Helper()
+	if err := s.v.AddAgent(s.m.UUID(), s.agSrv.URL, pol); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+}
+
+func attest(t *testing.T, s *stack) verifier.Result {
+	t.Helper()
+	res, err := s.v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	return res
+}
+
+func writeExec(t *testing.T, m *machine.Machine, path, content string) {
+	t.Helper()
+	if err := m.WriteFile(path, []byte(content), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile %s: %v", path, err)
+	}
+}
+
+func exec(t *testing.T, m *machine.Machine, path string) {
+	t.Helper()
+	if err := m.Exec(path); err != nil {
+		t.Fatalf("Exec %s: %v", path, err)
+	}
+}
+
+func TestEndToEndSuccessfulAttestation(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "bin-1")
+	writeExec(t, s.m, "/usr/bin/other", "bin-2")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	exec(t, s.m, "/usr/bin/other")
+
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation failed: %+v", res.Failure)
+	}
+	if res.VerifiedEntries != 3 { // boot aggregate + two tools
+		t.Fatalf("VerifiedEntries = %d, want 3", res.VerifiedEntries)
+	}
+	st, err := s.v.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.State != verifier.StateAttesting || st.Attestations != 1 {
+		t.Fatalf("Status = %+v", st)
+	}
+}
+
+func TestIncrementalAttestationOnlyFetchesNewEntries(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/a", "a")
+	writeExec(t, s.m, "/usr/bin/b", "b")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/a")
+	res1 := attest(t, s)
+	if res1.NewEntries != 2 {
+		t.Fatalf("first round NewEntries = %d, want 2", res1.NewEntries)
+	}
+	exec(t, s.m, "/usr/bin/b")
+	res2 := attest(t, s)
+	if res2.NewEntries != 1 {
+		t.Fatalf("second round NewEntries = %d, want 1 (incremental)", res2.NewEntries)
+	}
+	// No activity: zero new entries, still a successful round.
+	res3 := attest(t, s)
+	if res3.NewEntries != 0 || res3.Failure != nil {
+		t.Fatalf("idle round = %+v", res3)
+	}
+}
+
+func TestHashMismatchFailure(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	// The file changes after the policy was built — an unscheduled update.
+	writeExec(t, s.m, "/usr/bin/tool", "v2")
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure == nil || res.Failure.Type != verifier.FailureHashMismatch {
+		t.Fatalf("Failure = %+v, want hash mismatch", res.Failure)
+	}
+	if res.Failure.Path != "/usr/bin/tool" {
+		t.Fatalf("failure path = %q", res.Failure.Path)
+	}
+}
+
+func TestNotInPolicyFailure(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policyFromMachine(t, s.m))
+	writeExec(t, s.m, "/usr/bin/new-tool", "fresh") // newly added file
+	exec(t, s.m, "/usr/bin/new-tool")
+	res := attest(t, s)
+	if res.Failure == nil || res.Failure.Type != verifier.FailureNotInPolicy {
+		t.Fatalf("Failure = %+v, want file-not-in-policy", res.Failure)
+	}
+}
+
+func TestExcludedDirectoryPasses_P1(t *testing.T) {
+	// Keylime-side exclusion: even when IMA measures a file (mitigated IMA
+	// policy covers tmpfs), a Keylime exclude for /tmp waves it through.
+	s := newStack(t, []machine.Option{machine.WithIMAOptions(ima.WithPolicy(ima.MitigatedPolicy()))})
+	addAgent(t, s, policyFromMachine(t, s.m, "/tmp/.*"))
+	writeExec(t, s.m, "/tmp/dropper", "evil")
+	exec(t, s.m, "/tmp/dropper")
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("excluded path flagged: %+v", res.Failure)
+	}
+	if res.NewEntries != 2 { // boot aggregate + dropper (measured, excluded)
+		t.Fatalf("NewEntries = %d, want 2", res.NewEntries)
+	}
+}
+
+func TestStopOnFailureHaltsPolling_P2(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+
+	// Attacker first triggers a benign false positive.
+	writeExec(t, s.m, "/usr/local/bin/benign-new", "benign")
+	exec(t, s.m, "/usr/local/bin/benign-new")
+	res := attest(t, s)
+	if res.Failure == nil {
+		t.Fatal("benign FP not flagged")
+	}
+
+	// Keylime is now halted: the attack executes inside the blind window.
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	exec(t, s.m, "/usr/bin/backdoor")
+	if _, err := s.v.AttestOnce(context.Background(), s.m.UUID()); !errors.Is(err, verifier.ErrHalted) {
+		t.Fatalf("AttestOnce while halted: %v, want ErrHalted", err)
+	}
+	st, _ := s.v.Status(s.m.UUID())
+	if !st.Halted || st.State != verifier.StateFailed {
+		t.Fatalf("Status = %+v, want halted+failed", st)
+	}
+	for _, f := range st.Failures {
+		if f.Path == "/usr/bin/backdoor" {
+			t.Fatal("backdoor reported while verifier was halted")
+		}
+	}
+
+	// Operator resolves the FP (adds the benign file) and resumes: the
+	// backdoor is then discovered at the frontier.
+	fixed := policyFromMachine(t, s.m)
+	fixed.Remove("/usr/bin/backdoor") // operator only fixes the benign file
+	if err := s.v.UpdatePolicy(s.m.UUID(), fixed); err != nil {
+		t.Fatalf("UpdatePolicy: %v", err)
+	}
+	if err := s.v.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res = attest(t, s)
+	if res.Failure == nil || res.Failure.Path != "/usr/bin/backdoor" {
+		t.Fatalf("after resume Failure = %+v, want backdoor detection", res.Failure)
+	}
+}
+
+func TestContinueOnFailureEvaluatesFullLog(t *testing.T) {
+	s := newStack(t, nil, verifier.WithContinueOnFailure(true))
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+
+	// Two unknown executables in one round: both must be reported.
+	writeExec(t, s.m, "/usr/local/bin/benign-new", "benign")
+	exec(t, s.m, "/usr/local/bin/benign-new")
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	exec(t, s.m, "/usr/bin/backdoor")
+	res := attest(t, s)
+	if res.Failure == nil {
+		t.Fatal("no failure reported")
+	}
+	st, _ := s.v.Status(s.m.UUID())
+	if st.Halted {
+		t.Fatal("continue-on-failure agent halted")
+	}
+	var paths []string
+	for _, f := range st.Failures {
+		paths = append(paths, f.Path)
+	}
+	joined := strings.Join(paths, ",")
+	if !strings.Contains(joined, "/usr/local/bin/benign-new") || !strings.Contains(joined, "/usr/bin/backdoor") {
+		t.Fatalf("failures = %v, want both entries flagged", paths)
+	}
+	// Polling continues: the next round works and re-flags nothing new.
+	res2 := attest(t, s)
+	if res2.NewEntries != 0 {
+		t.Fatalf("NewEntries = %d after full evaluation, want 0", res2.NewEntries)
+	}
+}
+
+func TestRebootDetectionResetsVerification(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.VerifiedEntries != 2 {
+		t.Fatalf("VerifiedEntries = %d, want 2", res.VerifiedEntries)
+	}
+	if err := s.m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	res = attest(t, s)
+	if !res.RebootDetected {
+		t.Fatal("reboot not detected")
+	}
+	if res.Failure != nil {
+		t.Fatalf("reboot caused failure: %+v", res.Failure)
+	}
+	if res.VerifiedEntries != 1 { // fresh boot aggregate
+		t.Fatalf("VerifiedEntries after reboot = %d, want 1", res.VerifiedEntries)
+	}
+	// Re-execution after reboot is re-measured and passes.
+	exec(t, s.m, "/usr/bin/tool")
+	res = attest(t, s)
+	if res.Failure != nil || res.VerifiedEntries != 2 {
+		t.Fatalf("post-reboot attestation = %+v", res)
+	}
+}
+
+// tamperingProxy forwards quote requests to the real agent but rewrites the
+// measurement list, modeling an attacker doctoring the log in transit.
+func tamperingProxy(t *testing.T, agentURL string, tamper func(*api.QuoteResponse)) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		resp, err := http.Get(agentURL + req.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		var qr api.QuoteResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		tamper(&qr)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(qr)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTamperedLogEntryDetected(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	addAgent(t, s, policy.New()) // empty policy: the entry WOULD fail
+	exec(t, s.m, "/usr/bin/backdoor")
+
+	// Attacker rewrites the log to hide the backdoor behind a benign path,
+	// recomputing the template hash (so entries stay self-consistent) —
+	// replay then diverges from the quoted PCR.
+	proxy := tamperingProxy(t, s.agSrv.URL, func(qr *api.QuoteResponse) {
+		entries, err := ima.ParseLog(qr.IMALog)
+		if err != nil {
+			return
+		}
+		for i := range entries {
+			if entries[i].Path == "/usr/bin/backdoor" {
+				entries[i].Path = "/usr/bin/benign"
+				entries[i].TemplateHash = ima.TemplateHash(entries[i].FileDigest, entries[i].Path)
+			}
+		}
+		qr.IMALog = ima.FormatLog(entries)
+	})
+	v2 := verifier.New(s.regSrv.URL)
+	if err := v2.AddAgent(s.m.UUID(), proxy.URL, policy.New()); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	res, err := v2.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Type != verifier.FailureAggregateMismatch {
+		t.Fatalf("Failure = %+v, want aggregate mismatch", res.Failure)
+	}
+}
+
+func TestInconsistentEntryDetected(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "x")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	proxy := tamperingProxy(t, s.agSrv.URL, func(qr *api.QuoteResponse) {
+		// Rewrite a file digest without fixing the template hash.
+		entries, err := ima.ParseLog(qr.IMALog)
+		if err != nil || len(entries) < 2 {
+			return
+		}
+		entries[1].FileDigest[0] ^= 0xff
+		qr.IMALog = ima.FormatLog(entries)
+	})
+	v2 := verifier.New(s.regSrv.URL)
+	if err := v2.AddAgent(s.m.UUID(), proxy.URL, policyFromMachine(t, s.m)); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	res, err := v2.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Type != verifier.FailureLogTampered {
+		t.Fatalf("Failure = %+v, want log-tampered", res.Failure)
+	}
+}
+
+func TestUnreachableAgentCommsFailure(t *testing.T) {
+	s := newStack(t, nil)
+	v := verifier.New(s.regSrv.URL)
+	if err := v.AddAgent(s.m.UUID(), "http://127.0.0.1:1", policy.New()); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	res, err := v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Type != verifier.FailureComms {
+		t.Fatalf("Failure = %+v, want comms-error", res.Failure)
+	}
+}
+
+func TestAddAgentRequiresActivation(t *testing.T) {
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+	// Register but never activate.
+	akPub, err := m.TPM().CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	if _, err := reg.Register(m.UUID(), m.TPM().EKCertificate(), akPub, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	v := verifier.New(regSrv.URL)
+	if err := v.AddAgent(m.UUID(), "u", policy.New()); !errors.Is(err, verifier.ErrAgentInactive) {
+		t.Fatalf("AddAgent: %v, want ErrAgentInactive", err)
+	}
+}
+
+func TestRevocationHandlerFires(t *testing.T) {
+	var fired []verifier.Failure
+	s := newStack(t, nil, verifier.WithRevocationHandler(func(id string, f verifier.Failure) {
+		fired = append(fired, f)
+	}))
+	addAgent(t, s, policy.New())
+	writeExec(t, s.m, "/usr/bin/x", "x")
+	exec(t, s.m, "/usr/bin/x")
+	_ = attest(t, s)
+	if len(fired) != 1 || fired[0].Path != "/usr/bin/x" {
+		t.Fatalf("revocation handler calls = %+v", fired)
+	}
+}
+
+func TestDuplicateAndUnknownAgentErrors(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	if err := s.v.AddAgentWithAK(s.m.UUID(), "u", nil, policy.New()); !errors.Is(err, verifier.ErrDuplicate) {
+		t.Fatalf("duplicate add: %v, want ErrDuplicate", err)
+	}
+	if _, err := s.v.AttestOnce(context.Background(), "ghost"); !errors.Is(err, verifier.ErrUnknownAgent) {
+		t.Fatalf("attest unknown: %v, want ErrUnknownAgent", err)
+	}
+	if err := s.v.Resume("ghost"); !errors.Is(err, verifier.ErrUnknownAgent) {
+		t.Fatalf("resume unknown: %v, want ErrUnknownAgent", err)
+	}
+	if err := s.v.RemoveAgent("ghost"); !errors.Is(err, verifier.ErrUnknownAgent) {
+		t.Fatalf("remove unknown: %v, want ErrUnknownAgent", err)
+	}
+	if err := s.v.RemoveAgent(s.m.UUID()); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	if ids := s.v.AgentIDs(); len(ids) != 0 {
+		t.Fatalf("AgentIDs = %v, want empty", ids)
+	}
+}
+
+func TestPolicyUpdateUnblocksUpdatedFile(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	// Simulate a controlled update: the dynamic policy generator pushes the
+	// new digest BEFORE the file changes on disk.
+	updated := policyFromMachine(t, s.m)
+	newDigest := vfsDigest("v2")
+	updated.Add("/usr/bin/tool", newDigest)
+	if err := s.v.UpdatePolicy(s.m.UUID(), updated); err != nil {
+		t.Fatalf("UpdatePolicy: %v", err)
+	}
+	writeExec(t, s.m, "/usr/bin/tool", "v2")
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation failed despite pre-pushed policy: %+v", res.Failure)
+	}
+}
+
+func vfsDigest(content string) tpm.Digest {
+	return sha256.Sum256([]byte(content))
+}
+
+func TestManagementAPIWithTenant(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	mgmtSrv := httptest.NewServer(s.v.ManagementHandler())
+	defer mgmtSrv.Close()
+	tn := tenant.New(mgmtSrv.URL)
+	pol := policyFromMachine(t, s.m)
+	if err := tn.AddAgent(s.m.UUID(), s.agSrv.URL, pol); err != nil {
+		t.Fatalf("tenant.AddAgent: %v", err)
+	}
+	exec(t, s.m, "/usr/bin/tool")
+	_ = attest(t, s)
+	st, err := tn.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("tenant.Status: %v", err)
+	}
+	if st.State != "Get Quote" || st.Attestations != 1 {
+		t.Fatalf("tenant status = %+v", st)
+	}
+	// Trigger a failure, resume via tenant.
+	writeExec(t, s.m, "/usr/bin/unknown", "x")
+	exec(t, s.m, "/usr/bin/unknown")
+	_ = attest(t, s)
+	st, _ = tn.Status(s.m.UUID())
+	if !st.Halted || len(st.Failures) != 1 {
+		t.Fatalf("status after failure = %+v", st)
+	}
+	fixed := policyFromMachine(t, s.m)
+	if err := tn.UpdatePolicy(s.m.UUID(), fixed); err != nil {
+		t.Fatalf("tenant.UpdatePolicy: %v", err)
+	}
+	if err := tn.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("tenant.Resume: %v", err)
+	}
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation failed after tenant fix: %+v", res.Failure)
+	}
+	if err := tn.RemoveAgent(s.m.UUID()); err != nil {
+		t.Fatalf("tenant.RemoveAgent: %v", err)
+	}
+	if _, err := tn.Status(s.m.UUID()); err == nil {
+		t.Fatal("status of removed agent succeeded")
+	}
+}
+
+func TestPollingLoopRunsAndHaltsOnFailure(t *testing.T) {
+	s := newStack(t, nil, verifier.WithPollInterval(time.Millisecond))
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var rounds int
+	var loopErr error
+	go func() {
+		rounds, loopErr = s.v.StartPolling(ctx, s.m.UUID())
+		close(done)
+	}()
+	// Let a few healthy rounds pass, then plant an unknown executable.
+	for {
+		st, err := s.v.Status(s.m.UUID())
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.Attestations >= 3 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+		if ctx.Err() != nil {
+			t.Fatal("polling did not make progress")
+		}
+	}
+	writeExec(t, s.m, "/usr/bin/unknown", "x")
+	exec(t, s.m, "/usr/bin/unknown")
+	select {
+	case <-done:
+	case <-ctx.Done():
+		t.Fatal("polling loop did not halt after failure")
+	}
+	if !errors.Is(loopErr, verifier.ErrHalted) {
+		t.Fatalf("loop err = %v, want ErrHalted", loopErr)
+	}
+	if rounds < 3 {
+		t.Fatalf("rounds = %d, want >= 3", rounds)
+	}
+}
+
+func TestSignedPolicyEnforcement(t *testing.T) {
+	signer, err := policy.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	pub, err := signer.Public()
+	if err != nil {
+		t.Fatalf("Public: %v", err)
+	}
+	ts, err := policy.NewTrustStore(pub)
+	if err != nil {
+		t.Fatalf("NewTrustStore: %v", err)
+	}
+	s := newStack(t, nil, verifier.WithPolicyTrust(ts))
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+
+	// Unsigned updates are rejected outright.
+	if err := s.v.UpdatePolicy(s.m.UUID(), policyFromMachine(t, s.m)); !errors.Is(err, verifier.ErrUnsignedPolicy) {
+		t.Fatalf("UpdatePolicy err = %v, want ErrUnsignedPolicy", err)
+	}
+
+	// A signed update from the trusted generator is accepted and used.
+	updated := policyFromMachine(t, s.m)
+	updated.Add("/usr/bin/tool", vfsDigest("v2"))
+	env, err := signer.Sign(updated)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), env); err != nil {
+		t.Fatalf("UpdateSignedPolicy: %v", err)
+	}
+	writeExec(t, s.m, "/usr/bin/tool", "v2")
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation failed after signed policy update: %+v", res.Failure)
+	}
+
+	// A forged envelope from an untrusted key is rejected.
+	rogue, err := policy.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	permissive := policy.New()
+	forged, err := rogue.Sign(permissive)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), forged); err == nil {
+		t.Fatal("forged policy envelope accepted")
+	}
+}
+
+func TestUpdateSignedPolicyWithoutTrustStore(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), policy.Envelope{}); !errors.Is(err, verifier.ErrNoPolicyTrust) {
+		t.Fatalf("err = %v, want ErrNoPolicyTrust", err)
+	}
+}
+
+func TestSignedPolicyOverManagementAPI(t *testing.T) {
+	signer, err := policy.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	pub, _ := signer.Public()
+	ts, err := policy.NewTrustStore(pub)
+	if err != nil {
+		t.Fatalf("NewTrustStore: %v", err)
+	}
+	s := newStack(t, nil, verifier.WithPolicyTrust(ts))
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	mgmtSrv := httptest.NewServer(s.v.ManagementHandler())
+	defer mgmtSrv.Close()
+	tn := tenant.New(mgmtSrv.URL)
+
+	env, err := signer.Sign(policyFromMachine(t, s.m))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if err := tn.UpdateSignedPolicy(s.m.UUID(), env); err != nil {
+		t.Fatalf("tenant.UpdateSignedPolicy: %v", err)
+	}
+	// Unsigned tenant pushes are refused by the trust-enforcing verifier.
+	if err := tn.UpdatePolicy(s.m.UUID(), policy.New()); err == nil {
+		t.Fatal("unsigned policy accepted over management API")
+	}
+}
+
+func TestMeasuredBootValidation(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	golden := measuredboot.GoldenFromLog(s.m.BootLog())
+	if err := s.v.SetBootGolden(s.m.UUID(), golden); err != nil {
+		t.Fatalf("SetBootGolden: %v", err)
+	}
+	// Healthy boot: attestation passes including the measured-boot check.
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation with golden boot state failed: %+v", res.Failure)
+	}
+	// A reboot into the same kernel still matches the golden state.
+	if err := s.m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	res = attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("post-reboot attestation failed: %+v", res.Failure)
+	}
+}
+
+func TestMeasuredBootDetectsKernelSwap(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policyFromMachine(t, s.m))
+	golden := measuredboot.GoldenFromLog(s.m.BootLog())
+	if err := s.v.SetBootGolden(s.m.UUID(), golden); err != nil {
+		t.Fatalf("SetBootGolden: %v", err)
+	}
+	// An attacker-controlled kernel is installed and booted.
+	k := workloadKernelPackage("5.15.0-evil")
+	if err := s.m.InstallPackage(k); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	if err := s.m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	res := attest(t, s)
+	if res.Failure == nil || res.Failure.Type != verifier.FailureMeasuredBoot {
+		t.Fatalf("Failure = %+v, want measured-boot-mismatch", res.Failure)
+	}
+	// The operator vets the new kernel and updates the golden state.
+	if err := s.v.SetBootGolden(s.m.UUID(), measuredboot.GoldenFromLog(s.m.BootLog())); err != nil {
+		t.Fatalf("SetBootGolden: %v", err)
+	}
+	if err := s.v.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res = attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation after golden refresh failed: %+v", res.Failure)
+	}
+}
+
+func TestSetBootGoldenUnknownAgent(t *testing.T) {
+	s := newStack(t, nil)
+	if err := s.v.SetBootGolden("ghost", nil); !errors.Is(err, verifier.ErrUnknownAgent) {
+		t.Fatalf("err = %v, want ErrUnknownAgent", err)
+	}
+}
+
+// workloadKernelPackage builds a minimal kernel image package for tests.
+func workloadKernelPackage(version string) mirror.Package {
+	return mirror.Package{
+		Name:     "linux-image-" + version,
+		Version:  version + ".1",
+		Suite:    mirror.SuiteUpdates,
+		Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{
+			{Path: "/boot/vmlinuz-" + version, Mode: vfs.ModeExecutable, Size: 4096},
+		},
+	}
+}
+
+func TestAuditLogRecordsAttestations(t *testing.T) {
+	auditLog := audit.NewLog()
+	s := newStack(t, nil, verifier.WithAuditLog(auditLog))
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	_ = attest(t, s) // pass
+	writeExec(t, s.m, "/usr/bin/unknown", "x")
+	exec(t, s.m, "/usr/bin/unknown")
+	_ = attest(t, s) // fail
+	// Halted round: not a completed attestation, not recorded.
+	_, err := s.v.AttestOnce(context.Background(), s.m.UUID())
+	if !errors.Is(err, verifier.ErrHalted) {
+		t.Fatalf("err = %v, want ErrHalted", err)
+	}
+
+	records := auditLog.Records()
+	if len(records) != 2 {
+		t.Fatalf("audit records = %d, want 2", len(records))
+	}
+	if records[0].Outcome != audit.OutcomePass {
+		t.Fatalf("record 0 outcome = %v, want pass", records[0].Outcome)
+	}
+	if records[1].Outcome != audit.OutcomeFail || records[1].FailurePath != "/usr/bin/unknown" {
+		t.Fatalf("record 1 = %+v, want failure on /usr/bin/unknown", records[1])
+	}
+	if err := audit.VerifyChain(records); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+func TestAgentOutageAndRecovery(t *testing.T) {
+	// Failure injection: the agent process dies mid-monitoring; the
+	// verifier records a comms failure; after the agent returns at the
+	// same address and the operator resumes, incremental attestation
+	// continues from the stored offset.
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil || res.VerifiedEntries != 2 {
+		t.Fatalf("baseline = %+v", res)
+	}
+
+	// Take the agent down (close its listener, keep the address).
+	addr := s.agSrv.Listener.Addr().String()
+	s.agSrv.Close()
+	res = attest(t, s)
+	if res.Failure == nil || res.Failure.Type != verifier.FailureComms {
+		t.Fatalf("Failure = %+v, want comms-error", res.Failure)
+	}
+	st, _ := s.v.Status(s.m.UUID())
+	if !st.Halted {
+		t.Fatal("verifier not halted after comms failure")
+	}
+
+	// Restart the agent on the same address.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := &http.Server{Handler: s.ag.Handler()}
+	go func() { _ = srv2.Serve(ln) }()
+	t.Cleanup(func() { _ = srv2.Close() })
+
+	writeExec(t, s.m, "/usr/bin/second", "ok2")
+	fixed := policyFromMachine(t, s.m)
+	if err := s.v.UpdatePolicy(s.m.UUID(), fixed); err != nil {
+		t.Fatalf("UpdatePolicy: %v", err)
+	}
+	if err := s.v.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	exec(t, s.m, "/usr/bin/second")
+	res = attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation after recovery failed: %+v", res.Failure)
+	}
+	if res.NewEntries != 1 {
+		t.Fatalf("NewEntries = %d, want 1 (incremental state survived the outage)", res.NewEntries)
+	}
+}
+
+func TestQuoteReplayAttackRejected(t *testing.T) {
+	// A man-in-the-middle caches one valid quote response and replays it
+	// for every subsequent challenge: the stale nonce fails verification.
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	pol := policyFromMachine(t, s.m)
+
+	var mu sync.Mutex
+	var cached []byte
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		replay := cached
+		mu.Unlock()
+		if replay != nil {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(replay)
+			return
+		}
+		resp, err := http.Get(s.agSrv.URL + req.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		body, _ := io.ReadAll(resp.Body)
+		mu.Lock()
+		cached = body
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(body)
+	}))
+	defer proxy.Close()
+
+	v := verifier.New(s.regSrv.URL)
+	if err := v.AddAgent(s.m.UUID(), proxy.URL, pol); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	// First round: genuine response passes (and is cached by the MITM).
+	res, err := v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil || res.Failure != nil {
+		t.Fatalf("first round = %+v, %v", res, err)
+	}
+	// Second round: the replayed quote carries the old nonce.
+	if err := v.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	res, err = v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure == nil || res.Failure.Type != verifier.FailureQuoteInvalid {
+		t.Fatalf("Failure = %+v, want invalid-quote (nonce replay)", res.Failure)
+	}
+}
+
+func TestVerifierStatePersistenceAcrossRestart(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	if err := s.v.SetBootGolden(s.m.UUID(), measuredboot.GoldenFromLog(s.m.BootLog())); err != nil {
+		t.Fatalf("SetBootGolden: %v", err)
+	}
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil || res.VerifiedEntries != 2 {
+		t.Fatalf("baseline = %+v", res)
+	}
+
+	// "Restart": export state, build a fresh verifier, restore.
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("Marshal snapshot: %v", err)
+	}
+	var back verifier.Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal snapshot: %v", err)
+	}
+	v2 := verifier.New(s.regSrv.URL)
+	if err := v2.RestoreState(back); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	st, err := v2.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status after restore: %v", err)
+	}
+	if st.VerifiedEntries != 2 || st.Attestations != 1 {
+		t.Fatalf("restored status = %+v", st)
+	}
+
+	// New activity after the restart: the restored verifier continues
+	// incrementally from the persisted frontier.
+	writeExec(t, s.m, "/usr/bin/post-restart", "n")
+	// Not in the restored policy -> must be flagged (proves the policy and
+	// boot golden survived too).
+	exec(t, s.m, "/usr/bin/post-restart")
+	res2, err := v2.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce after restore: %v", err)
+	}
+	if res2.NewEntries != 1 {
+		t.Fatalf("NewEntries = %d, want 1 (incremental after restore)", res2.NewEntries)
+	}
+	if res2.Failure == nil || res2.Failure.Path != "/usr/bin/post-restart" {
+		t.Fatalf("Failure = %+v, want post-restart flagged", res2.Failure)
+	}
+}
+
+func TestRestoreStateRequiresEmptyVerifier(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if err := s.v.RestoreState(snap); err == nil {
+		t.Fatal("RestoreState into non-empty verifier succeeded")
+	}
+}
+
+func TestRestoreStateRejectsCorruptSnapshot(t *testing.T) {
+	v := verifier.New("")
+	bad := verifier.Snapshot{Agents: []verifier.AgentState{{
+		AgentID: "a", AKPub: "%%%", PrefixAggregate: "00",
+	}}}
+	if err := v.RestoreState(bad); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestManagementListAgents(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	mgmtSrv := httptest.NewServer(s.v.ManagementHandler())
+	defer mgmtSrv.Close()
+	tn := tenant.New(mgmtSrv.URL)
+	ids, err := tn.ListAgents()
+	if err != nil {
+		t.Fatalf("ListAgents: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != s.m.UUID() {
+		t.Fatalf("ListAgents = %v", ids)
+	}
+	if err := tn.RemoveAgent(s.m.UUID()); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	ids, err = tn.ListAgents()
+	if err != nil {
+		t.Fatalf("ListAgents after remove: %v", err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("ListAgents after remove = %v, want empty", ids)
+	}
+}
+
+func TestRunLoopPollsAllAgents(t *testing.T) {
+	s := newStack(t, nil, verifier.WithPollInterval(time.Millisecond))
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.v.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := s.v.Status(s.m.UUID())
+		if err != nil {
+			t.Fatalf("Status: %v", err)
+		}
+		if st.Attestations >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Run loop made no progress")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not exit after cancel")
+	}
+}
+
+func TestStatusFailuresAreACopy(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	writeExec(t, s.m, "/usr/bin/x", "x")
+	exec(t, s.m, "/usr/bin/x")
+	_ = attest(t, s)
+	st, _ := s.v.Status(s.m.UUID())
+	if len(st.Failures) != 1 {
+		t.Fatalf("failures = %d", len(st.Failures))
+	}
+	st.Failures[0].Path = "/mutated"
+	st2, _ := s.v.Status(s.m.UUID())
+	if st2.Failures[0].Path != "/usr/bin/x" {
+		t.Fatal("Status returned internal failure slice")
+	}
+}
+
+func TestAttestationUnderConcurrentActivity(t *testing.T) {
+	// Continuous polling while the machine keeps executing new (policy-
+	// covered) binaries: the agent's read-quote-recheck loop must keep the
+	// quoted PCR and the returned log consistent, so no aggregate-mismatch
+	// failures appear.
+	s := newStack(t, nil, verifier.WithContinueOnFailure(true))
+	pol := policyFromMachine(t, s.m)
+	// Pre-authorize everything the activity goroutine will execute.
+	for i := 0; i < 200; i++ {
+		path := fmt.Sprintf("/usr/bin/act-%d", i)
+		content := fmt.Sprintf("\x7fELF %d", i)
+		writeExec(t, s.m, path, content)
+	}
+	pol = policyFromMachine(t, s.m)
+	addAgent(t, s, pol)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = s.m.Exec(fmt.Sprintf("/usr/bin/act-%d", i%200))
+		}
+	}()
+	ctx := context.Background()
+	for round := 0; round < 50; round++ {
+		res, err := s.v.AttestOnce(ctx, s.m.UUID())
+		if err != nil {
+			t.Fatalf("AttestOnce: %v", err)
+		}
+		if res.Failure != nil {
+			t.Fatalf("round %d failed under concurrent activity: %+v", round, res.Failure)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,240 @@
+// Package webhook implements Keylime's revocation-notification framework:
+// when an agent fails attestation, the verifier posts a signed notification
+// to operator-configured webhook endpoints (SIEMs, ticketing, node
+// quarantine automation). Deliveries are HMAC-signed so receivers can
+// authenticate them, queued asynchronously, and retried with exponential
+// backoff on transient failures.
+package webhook
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/keylime/verifier"
+	"repro/internal/simclock"
+)
+
+// SignatureHeader carries the hex HMAC-SHA256 of the request body.
+const SignatureHeader = "X-Keylime-Signature"
+
+// Notification is the JSON body delivered to webhook receivers.
+type Notification struct {
+	AgentID string    `json:"agent_id"`
+	Type    string    `json:"type"`
+	Path    string    `json:"path,omitempty"`
+	Detail  string    `json:"detail"`
+	Time    time.Time `json:"time"`
+	// Attempt counts delivery attempts (1-based).
+	Attempt int `json:"attempt"`
+}
+
+// Errors.
+var (
+	ErrClosed = errors.New("webhook: notifier closed")
+)
+
+// Config tunes the notifier.
+type Config struct {
+	// Endpoints are the receiver URLs.
+	Endpoints []string
+	// Secret keys the HMAC signature (shared with receivers).
+	Secret []byte
+	// MaxAttempts per delivery (default 4).
+	MaxAttempts int
+	// InitialBackoff between retries, doubled each attempt (default 1s).
+	InitialBackoff time.Duration
+	// Client is the HTTP client used for deliveries.
+	Client *http.Client
+	// Clock drives retry backoff (default real time).
+	Clock simclock.Clock
+	// QueueSize bounds pending notifications (default 256).
+	QueueSize int
+}
+
+// DeliveryResult records the outcome of one notification delivery.
+type DeliveryResult struct {
+	Endpoint string
+	AgentID  string
+	Attempts int
+	Err      error
+}
+
+// Notifier delivers failure notifications. Construct with New; Close to
+// drain and stop.
+type Notifier struct {
+	cfg   Config
+	queue chan queued
+	done  chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	results []DeliveryResult
+}
+
+type queued struct {
+	endpoint string
+	n        Notification
+}
+
+// New starts a notifier with one delivery worker.
+func New(cfg Config) *Notifier {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.InitialBackoff <= 0 {
+		cfg.InitialBackoff = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	n := &Notifier{
+		cfg:   cfg,
+		queue: make(chan queued, cfg.QueueSize),
+		done:  make(chan struct{}),
+	}
+	go n.worker()
+	return n
+}
+
+// Handler returns the verifier revocation callback that feeds this
+// notifier; wire it with verifier.WithRevocationHandler(n.Handler()).
+func (n *Notifier) Handler() func(agentID string, f verifier.Failure) {
+	return func(agentID string, f verifier.Failure) {
+		n.Notify(Notification{
+			AgentID: agentID,
+			Type:    f.Type.String(),
+			Path:    f.Path,
+			Detail:  f.Detail,
+			Time:    f.Time,
+		})
+	}
+}
+
+// Notify enqueues a notification for every configured endpoint. It never
+// blocks: when the queue is full the notification is dropped and recorded
+// as a failed delivery.
+func (n *Notifier) Notify(note Notification) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	for _, ep := range n.cfg.Endpoints {
+		select {
+		case n.queue <- queued{endpoint: ep, n: note}:
+		default:
+			n.record(DeliveryResult{Endpoint: ep, AgentID: note.AgentID, Err: errors.New("webhook: queue full")})
+		}
+	}
+}
+
+// Close stops accepting notifications, drains the queue, and waits for the
+// worker to finish.
+func (n *Notifier) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.queue)
+	<-n.done
+}
+
+// Results returns the delivery outcomes so far.
+func (n *Notifier) Results() []DeliveryResult {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]DeliveryResult(nil), n.results...)
+}
+
+func (n *Notifier) record(r DeliveryResult) {
+	n.mu.Lock()
+	n.results = append(n.results, r)
+	n.mu.Unlock()
+}
+
+// worker drains the queue, delivering with retries.
+func (n *Notifier) worker() {
+	defer close(n.done)
+	for q := range n.queue {
+		attempts, err := n.deliver(q.endpoint, q.n)
+		n.record(DeliveryResult{Endpoint: q.endpoint, AgentID: q.n.AgentID, Attempts: attempts, Err: err})
+	}
+}
+
+// deliver posts one notification with retry/backoff.
+func (n *Notifier) deliver(endpoint string, note Notification) (int, error) {
+	backoff := n.cfg.InitialBackoff
+	var lastErr error
+	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
+		note.Attempt = attempt
+		lastErr = n.post(endpoint, note)
+		if lastErr == nil {
+			return attempt, nil
+		}
+		if attempt < n.cfg.MaxAttempts {
+			n.cfg.Clock.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	return n.cfg.MaxAttempts, fmt.Errorf("webhook: delivery to %s failed: %w", endpoint, lastErr)
+}
+
+// Sign computes the HMAC signature receivers should verify.
+func Sign(secret, body []byte) string {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySignature checks a received signature against the body.
+func VerifySignature(secret, body []byte, signature string) bool {
+	want, err := hex.DecodeString(signature)
+	if err != nil {
+		return false
+	}
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(body)
+	return hmac.Equal(want, mac.Sum(nil))
+}
+
+func (n *Notifier) post(endpoint string, note Notification) error {
+	body, err := json.Marshal(note)
+	if err != nil {
+		return fmt.Errorf("webhook: encoding notification: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("webhook: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if len(n.cfg.Secret) > 0 {
+		req.Header.Set(SignatureHeader, Sign(n.cfg.Secret, body))
+	}
+	resp, err := n.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("webhook: endpoint returned %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package webhook
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/verifier"
+)
+
+// receiver captures webhook deliveries.
+type receiver struct {
+	mu       sync.Mutex
+	bodies   [][]byte
+	sigs     []string
+	failures int // respond 500 for the first N requests
+}
+
+func (r *receiver) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		body, _ := io.ReadAll(req.Body)
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.failures > 0 {
+			r.failures--
+			http.Error(w, "try later", http.StatusInternalServerError)
+			return
+		}
+		r.bodies = append(r.bodies, body)
+		r.sigs = append(r.sigs, req.Header.Get(SignatureHeader))
+	})
+}
+
+func (r *receiver) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.bodies)
+}
+
+func TestDeliverySignedAndReceived(t *testing.T) {
+	rcv := &receiver{}
+	srv := httptest.NewServer(rcv.handler())
+	defer srv.Close()
+	secret := []byte("shared-secret")
+	n := New(Config{Endpoints: []string{srv.URL}, Secret: secret, InitialBackoff: time.Millisecond})
+	n.Notify(Notification{AgentID: "agent-1", Type: "hash-mismatch", Path: "/usr/bin/x", Time: time.Now()})
+	n.Close()
+
+	if rcv.count() != 1 {
+		t.Fatalf("deliveries = %d, want 1", rcv.count())
+	}
+	rcv.mu.Lock()
+	body, sig := rcv.bodies[0], rcv.sigs[0]
+	rcv.mu.Unlock()
+	if !VerifySignature(secret, body, sig) {
+		t.Fatal("delivery signature invalid")
+	}
+	var note Notification
+	if err := json.Unmarshal(body, &note); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if note.AgentID != "agent-1" || note.Type != "hash-mismatch" || note.Attempt != 1 {
+		t.Fatalf("notification = %+v", note)
+	}
+	results := n.Results()
+	if len(results) != 1 || results[0].Err != nil || results[0].Attempts != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestRetryOnTransientFailure(t *testing.T) {
+	rcv := &receiver{failures: 2}
+	srv := httptest.NewServer(rcv.handler())
+	defer srv.Close()
+	n := New(Config{Endpoints: []string{srv.URL}, InitialBackoff: time.Millisecond})
+	n.Notify(Notification{AgentID: "agent-1", Type: "comms-error"})
+	n.Close()
+	if rcv.count() != 1 {
+		t.Fatalf("deliveries = %d, want 1 after retries", rcv.count())
+	}
+	results := n.Results()
+	if len(results) != 1 || results[0].Err != nil || results[0].Attempts != 3 {
+		t.Fatalf("results = %+v, want success on attempt 3", results)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	rcv := &receiver{failures: 100}
+	srv := httptest.NewServer(rcv.handler())
+	defer srv.Close()
+	n := New(Config{Endpoints: []string{srv.URL}, MaxAttempts: 3, InitialBackoff: time.Millisecond})
+	n.Notify(Notification{AgentID: "agent-1", Type: "x"})
+	n.Close()
+	results := n.Results()
+	if len(results) != 1 || results[0].Err == nil || results[0].Attempts != 3 {
+		t.Fatalf("results = %+v, want failure after 3 attempts", results)
+	}
+}
+
+func TestFanOutToMultipleEndpoints(t *testing.T) {
+	a, b := &receiver{}, &receiver{}
+	srvA := httptest.NewServer(a.handler())
+	defer srvA.Close()
+	srvB := httptest.NewServer(b.handler())
+	defer srvB.Close()
+	n := New(Config{Endpoints: []string{srvA.URL, srvB.URL}, InitialBackoff: time.Millisecond})
+	n.Notify(Notification{AgentID: "agent-1", Type: "x"})
+	n.Close()
+	if a.count() != 1 || b.count() != 1 {
+		t.Fatalf("deliveries = %d/%d, want 1/1", a.count(), b.count())
+	}
+}
+
+func TestNotifyAfterCloseIsNoop(t *testing.T) {
+	n := New(Config{Endpoints: []string{"http://127.0.0.1:1"}, MaxAttempts: 1, InitialBackoff: time.Millisecond})
+	n.Close()
+	n.Notify(Notification{AgentID: "late"})
+	n.Close() // double close is safe
+	if got := len(n.Results()); got != 0 {
+		t.Fatalf("results after closed notify = %d, want 0", got)
+	}
+}
+
+func TestVerifySignatureRejects(t *testing.T) {
+	secret := []byte("s")
+	body := []byte("payload")
+	sig := Sign(secret, body)
+	if !VerifySignature(secret, body, sig) {
+		t.Fatal("valid signature rejected")
+	}
+	if VerifySignature([]byte("other"), body, sig) {
+		t.Fatal("wrong secret accepted")
+	}
+	if VerifySignature(secret, []byte("tampered"), sig) {
+		t.Fatal("tampered body accepted")
+	}
+	if VerifySignature(secret, body, "zz") {
+		t.Fatal("garbage signature accepted")
+	}
+}
+
+func TestHandlerBridgesVerifierFailures(t *testing.T) {
+	rcv := &receiver{}
+	srv := httptest.NewServer(rcv.handler())
+	defer srv.Close()
+	n := New(Config{Endpoints: []string{srv.URL}, InitialBackoff: time.Millisecond})
+	h := n.Handler()
+	h("agent-9", verifier.Failure{
+		Time: time.Now(), Type: verifier.FailureNotInPolicy, Path: "/usr/bin/evil", Detail: "not in policy",
+	})
+	n.Close()
+	if rcv.count() != 1 {
+		t.Fatalf("deliveries = %d, want 1", rcv.count())
+	}
+	var note Notification
+	if err := json.Unmarshal(rcv.bodies[0], &note); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if note.Type != "file-not-in-policy" || note.Path != "/usr/bin/evil" {
+		t.Fatalf("notification = %+v", note)
+	}
+}

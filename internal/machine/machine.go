@@ -1,0 +1,492 @@
+// Package machine models the attested prover node: a virtual filesystem,
+// a simulated TPM, the IMA subsystem, and the execution model connecting
+// them. The execution model carries the behaviours the paper's false
+// negatives exploit:
+//
+//   - Exec of a shebang script measures the script file (and its
+//     interpreter); ExecInterpreter("python3", script) measures only the
+//     interpreter binary — problem P5;
+//   - binaries executed inside a SNAP sandbox are measured under their
+//     truncated in-namespace path, which is the paper's SNAP false-positive
+//     cause;
+//   - tmpfs and friends are wiped at reboot, and the IMA log/PCRs reset,
+//     which is why several attacks are only "detectable upon reboot".
+//
+// Package installation writes digest-only files (contents derived from the
+// same deterministic seeds the mirror packs), keeping paper-scale images
+// (~300k executables) cheap.
+package machine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/ima"
+	"repro/internal/measuredboot"
+	"repro/internal/mirror"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// Sentinel errors.
+var (
+	ErrNotExecutable = errors.New("machine: file is not executable")
+	ErrNoInterpreter = errors.New("machine: interpreter not installed")
+	ErrNotInstalled  = errors.New("machine: package not installed")
+)
+
+// snapPathRE matches /snap/<name>/<revision>/<inner-path>.
+var snapPathRE = regexp.MustCompile(`^/snap/[^/]+/[^/]+(/.+)$`)
+
+// Option configures machine construction.
+type Option interface{ apply(*options) }
+
+type options struct {
+	hostname      string
+	uuid          string
+	imaOpts       []ima.Option
+	tpmOpts       []tpm.Option
+	device        *tpm.TPM
+	kernelVer     string
+	firmwareVer   string
+	bootloaderVer string
+	cmdline       string
+}
+
+type hostnameOption string
+
+func (o hostnameOption) apply(opts *options) { opts.hostname = string(o) }
+
+// WithHostname sets the machine hostname.
+func WithHostname(h string) Option { return hostnameOption(h) }
+
+type uuidOption string
+
+func (o uuidOption) apply(opts *options) { opts.uuid = string(o) }
+
+// WithUUID sets the agent UUID used for Keylime enrollment.
+func WithUUID(u string) Option { return uuidOption(u) }
+
+type imaOptsOption []ima.Option
+
+func (o imaOptsOption) apply(opts *options) { opts.imaOpts = append(opts.imaOpts, o...) }
+
+// WithIMAOptions forwards options to the machine's IMA subsystem.
+func WithIMAOptions(io ...ima.Option) Option { return imaOptsOption(io) }
+
+type tpmOptsOption []tpm.Option
+
+func (o tpmOptsOption) apply(opts *options) { opts.tpmOpts = append(opts.tpmOpts, o...) }
+
+// WithTPMOptions forwards options to the machine's TPM.
+func WithTPMOptions(to ...tpm.Option) Option { return tpmOptsOption(to) }
+
+type kernelOption string
+
+func (o kernelOption) apply(opts *options) { opts.kernelVer = string(o) }
+
+// WithKernel sets the initially running kernel version.
+func WithKernel(v string) Option { return kernelOption(v) }
+
+type firmwareOption string
+
+func (o firmwareOption) apply(opts *options) { opts.firmwareVer = string(o) }
+
+// WithFirmware sets the platform firmware version measured into PCR 0.
+func WithFirmware(v string) Option { return firmwareOption(v) }
+
+type bootloaderOption string
+
+func (o bootloaderOption) apply(opts *options) { opts.bootloaderVer = string(o) }
+
+// WithBootloader sets the bootloader version measured into PCR 4.
+func WithBootloader(v string) Option { return bootloaderOption(v) }
+
+type deviceOption struct{ dev *tpm.TPM }
+
+func (o deviceOption) apply(opts *options) { opts.device = o.dev }
+
+// WithTPMDevice attaches an existing TPM instead of manufacturing one —
+// how a virtual machine uses the vTPM its host provisioned for it.
+func WithTPMDevice(dev *tpm.TPM) Option { return deviceOption{dev: dev} }
+
+// Machine is one simulated prover node.
+type Machine struct {
+	mu sync.Mutex
+
+	fs  *vfs.VFS
+	dev *tpm.TPM
+	ms  *ima.IMA
+
+	hostname string
+	uuid     string
+
+	installed     map[string]string // package name -> version
+	runningKernel string
+	pendingKernel string
+	// secInterpreters holds interpreters that opted into script execution
+	// control: they open scripts with the executable flag, so IMA's
+	// SCRIPT_CHECK hook sees them (the paper's forward-looking P5 fix).
+	secInterpreters map[string]bool
+
+	// Measured boot identity (PCR 0/4 chain).
+	firmwareVer   string
+	bootloaderVer string
+	cmdline       string
+	bootLog       measuredboot.Log
+}
+
+// New builds a machine with the standard Linux mount layout and a TPM
+// manufactured by the given CA.
+func New(ca *tpm.ManufacturerCA, opts ...Option) (*Machine, error) {
+	o := options{
+		hostname:      "node-1",
+		uuid:          "d432fbb3-d2f1-4a97-9ef7-75bd81c00000",
+		kernelVer:     "5.15.0-100-generic",
+		firmwareVer:   "edk2-2023.11",
+		bootloaderVer: "grub-2.06",
+		cmdline:       "root=/dev/vda1 ro ima_policy=tcb",
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	dev := o.device
+	if dev == nil {
+		var err error
+		dev, err = tpm.New(ca, o.tpmOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("machine: creating TPM: %w", err)
+		}
+	}
+	ms, err := ima.New(dev.PCRs(), o.imaOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("machine: creating IMA: %w", err)
+	}
+	fs := vfs.New()
+	// NOTE: /tmp deliberately stays on the root ext4 filesystem, matching
+	// Ubuntu 22.04. IMA therefore measures executions in /tmp, while the
+	// Keylime policy excludes the directory — the combination behind the
+	// paper's P1 and P4 findings.
+	mounts := map[string]vfs.FSType{
+		"/run":                 vfs.FSTypeRamfs,
+		"/dev":                 vfs.FSTypeDevtmpfs,
+		"/dev/shm":             vfs.FSTypeTmpfs,
+		"/proc":                vfs.FSTypeProcfs,
+		"/sys":                 vfs.FSTypeSysfs,
+		"/sys/kernel/debug":    vfs.FSTypeDebugfs,
+		"/sys/kernel/security": vfs.FSTypeSecurityfs,
+	}
+	for point, typ := range mounts {
+		if err := fs.Mount(point, typ); err != nil {
+			return nil, fmt.Errorf("machine: mounting %s: %w", point, err)
+		}
+	}
+	m := &Machine{
+		fs:              fs,
+		dev:             dev,
+		ms:              ms,
+		hostname:        o.hostname,
+		uuid:            o.uuid,
+		installed:       make(map[string]string),
+		runningKernel:   o.kernelVer,
+		secInterpreters: make(map[string]bool),
+		firmwareVer:     o.firmwareVer,
+		bootloaderVer:   o.bootloaderVer,
+		cmdline:         o.cmdline,
+	}
+	if err := m.measureBootChain(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// measureBootChain builds the boot event log for the running kernel and
+// extends PCRs 0 and 4 — what firmware and bootloader do before the kernel
+// starts. Caller must hold no locks; the PCR bank is internally locked.
+func (m *Machine) measureBootChain() error {
+	m.mu.Lock()
+	log := measuredboot.BuildLog(m.firmwareVer, m.bootloaderVer, m.runningKernel, m.cmdline)
+	m.bootLog = log
+	m.mu.Unlock()
+	if err := log.Extend(m.dev.PCRs()); err != nil {
+		return fmt.Errorf("machine: measuring boot chain: %w", err)
+	}
+	return nil
+}
+
+// BootLog returns the current boot event log.
+func (m *Machine) BootLog() measuredboot.Log {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append(measuredboot.Log(nil), m.bootLog...)
+}
+
+// Hostname returns the machine hostname.
+func (m *Machine) Hostname() string { return m.hostname }
+
+// UUID returns the agent UUID.
+func (m *Machine) UUID() string { return m.uuid }
+
+// FS exposes the virtual filesystem.
+func (m *Machine) FS() *vfs.VFS { return m.fs }
+
+// TPM exposes the simulated TPM device.
+func (m *Machine) TPM() *tpm.TPM { return m.dev }
+
+// IMA exposes the measurement subsystem.
+func (m *Machine) IMA() *ima.IMA { return m.ms }
+
+// RunningKernel returns the currently booted kernel version.
+func (m *Machine) RunningKernel() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runningKernel
+}
+
+// PendingKernel returns a kernel installed but not yet booted ("" if none).
+func (m *Machine) PendingKernel() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pendingKernel
+}
+
+// InstalledVersion returns the installed version of a package.
+func (m *Machine) InstalledVersion(name string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.installed[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotInstalled, name)
+	}
+	return v, nil
+}
+
+// InstalledCount reports how many packages are installed.
+func (m *Machine) InstalledCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.installed)
+}
+
+// InstallPackage installs (or upgrades to) the given package version,
+// writing each shipped file into the filesystem with its deterministic
+// content digest. Kernel image packages become the pending kernel until the
+// next reboot (§III-C "Handling Kernel Modules").
+func (m *Machine) InstallPackage(p mirror.Package) error {
+	for _, f := range p.Files {
+		digest := vfs.SyntheticDigest(p.ContentSeed(f), f.Size)
+		if err := m.fs.WriteFileDigest(f.Path, digest, int64(f.Size), f.Mode); err != nil {
+			return fmt.Errorf("machine: installing %s file %s: %w", p.Name, f.Path, err)
+		}
+		if f.Signature != "" {
+			// The vendor signature ships with the package and lands in
+			// the file's security.ima xattr (dpkg/rpm plugin behaviour).
+			if err := m.fs.SetXattr(f.Path, vfs.IMAXattr, f.Signature); err != nil {
+				return fmt.Errorf("machine: installing %s xattr: %w", p.Name, err)
+			}
+		}
+	}
+	m.mu.Lock()
+	m.installed[p.Name] = p.Version
+	if v, ok := p.KernelVersion(); ok && v != m.runningKernel {
+		m.pendingKernel = v
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// InstallRelease installs every package of a release (base image build).
+func (m *Machine) InstallRelease(rel mirror.Release) error {
+	for _, p := range rel.Packages {
+		if err := m.InstallPackage(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFile writes a content-backed file (scripts, attacker payloads).
+func (m *Machine) WriteFile(path string, content []byte, mode vfs.Mode) error {
+	return m.fs.WriteFile(path, content, mode)
+}
+
+// visiblePath returns the path the measuring kernel records. SNAP binaries
+// run inside a mount namespace, so their measured path is truncated to the
+// in-sandbox path (the paper's SNAP false-positive cause).
+func visiblePath(path string) string {
+	if match := snapPathRE.FindStringSubmatch(path); match != nil {
+		return match[1]
+	}
+	return path
+}
+
+// measure runs the IMA pipeline for path at the given hook.
+func (m *Machine) measure(path string, hook ima.Hook) (vfs.FileInfo, error) {
+	info, err := m.fs.Stat(path)
+	if err != nil {
+		return vfs.FileInfo{}, err
+	}
+	m.ms.Measure(info, visiblePath(path), hook)
+	return info, nil
+}
+
+// shebangInterpreter extracts the interpreter path from script content.
+func shebangInterpreter(content []byte) (string, bool) {
+	if !bytes.HasPrefix(content, []byte("#!")) {
+		return "", false
+	}
+	line := content[2:]
+	if i := bytes.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) == 0 {
+		return "", false
+	}
+	return fields[0], true
+}
+
+// Exec directly executes the file at path (./prog): the kernel's BPRM_CHECK
+// hook measures the file itself. If the file is a shebang script, the
+// interpreter binary named on the shebang line is executed (and measured)
+// as well. This is the invocation style IMA covers properly.
+func (m *Machine) Exec(path string) error {
+	info, err := m.fs.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.Mode.IsExec() {
+		return fmt.Errorf("%w: %s", ErrNotExecutable, path)
+	}
+	if _, err := m.measure(path, ima.HookBprmCheck); err != nil {
+		return err
+	}
+	// Shebang handling requires readable content; digest-only files are
+	// treated as ELF binaries.
+	if content, err := m.fs.ReadFile(path); err == nil {
+		if interp, ok := shebangInterpreter(content); ok {
+			if !m.fs.Exists(interp) {
+				return fmt.Errorf("%w: %s", ErrNoInterpreter, interp)
+			}
+			if _, err := m.measure(interp, ima.HookBprmCheck); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// EnableScriptExecControl marks an interpreter as supporting script
+// execution control: from now on, scripts it runs are opened with the
+// executable flag and hit IMA's SCRIPT_CHECK hook (the §IV-C fix for P5).
+func (m *Machine) EnableScriptExecControl(interpreter string) error {
+	if !m.fs.Exists(interpreter) {
+		return fmt.Errorf("%w: %s", ErrNoInterpreter, interpreter)
+	}
+	m.mu.Lock()
+	m.secInterpreters[interpreter] = true
+	m.mu.Unlock()
+	return nil
+}
+
+// ScriptExecControlEnabled reports whether the interpreter opted in.
+func (m *Machine) ScriptExecControlEnabled(interpreter string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.secInterpreters[interpreter]
+}
+
+// ExecInterpreter runs "interpreter script" (e.g. python3 exploit.py). Only
+// the interpreter binary passes through BPRM_CHECK; the script is opened as
+// data (FILE_CHECK hook), which the stock policy does not measure — the
+// paper's problem P5. If the interpreter opted into script execution
+// control, the script is opened for execution instead (SCRIPT_CHECK hook),
+// making it measurable.
+func (m *Machine) ExecInterpreter(interpreter, script string) error {
+	if !m.fs.Exists(interpreter) {
+		return fmt.Errorf("%w: %s", ErrNoInterpreter, interpreter)
+	}
+	if _, err := m.measure(interpreter, ima.HookBprmCheck); err != nil {
+		return err
+	}
+	if _, err := m.fs.Stat(script); err != nil {
+		// The script needs no exec bit when fed to an interpreter, but it
+		// must exist.
+		return err
+	}
+	hook := ima.HookFileCheck
+	if m.ScriptExecControlEnabled(interpreter) {
+		hook = ima.HookScriptCheck
+	}
+	if _, err := m.measure(script, hook); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MmapExec maps a file with PROT_EXEC (shared objects, LD_PRELOAD rootkits);
+// the FILE_MMAP hook measures it.
+func (m *Machine) MmapExec(path string) error {
+	if _, err := m.measure(path, ima.HookFileMmap); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadModule loads a kernel module through the MODULE_CHECK hook.
+func (m *Machine) LoadModule(path string) error {
+	if _, err := m.measure(path, ima.HookModuleCheck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// OpenRead opens a file for reading (FILE_CHECK hook; not measured by the
+// stock policy). Used by the benign-operations workload.
+func (m *Machine) OpenRead(path string) error {
+	if _, err := m.measure(path, ima.HookFileCheck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// InstallSnap mounts a read-only squashfs at /snap/<name>/<rev> and
+// populates it with the given files.
+func (m *Machine) InstallSnap(name, revision string, files []mirror.UnpackedFile) error {
+	base := "/snap/" + name + "/" + revision
+	if err := m.fs.MountReadOnly(base, vfs.FSTypeSquashfs); err != nil {
+		return fmt.Errorf("machine: mounting snap %s: %w", name, err)
+	}
+	for _, f := range files {
+		if err := m.fs.WriteFile(base+f.Path, f.Content, f.Mode); err != nil {
+			return fmt.Errorf("machine: populating snap %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Reboot models a full reboot: the IMA log and PCRs reset, the measurement
+// cache clears, volatile filesystems are wiped (and /tmp cleaned by
+// systemd-tmpfiles), and a pending kernel (if any) becomes the running
+// kernel.
+func (m *Machine) Reboot() error {
+	for _, volatile := range []string{"/tmp", "/run", "/dev/shm", "/proc"} {
+		if _, err := m.fs.RemoveAll(volatile); err != nil {
+			return fmt.Errorf("machine: wiping %s at reboot: %w", volatile, err)
+		}
+	}
+	m.ms.Reboot()
+	m.mu.Lock()
+	if m.pendingKernel != "" {
+		m.runningKernel = m.pendingKernel
+		m.pendingKernel = ""
+	}
+	m.mu.Unlock()
+	// The fresh boot re-measures the (possibly new) boot chain into the
+	// reset PCR bank.
+	return m.measureBootChain()
+}

@@ -1,0 +1,570 @@
+package machine
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ima"
+	"repro/internal/mirror"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// testCA is shared across tests; creating a CA is cheap (ECDSA) but there
+// is no reason to repeat it.
+func newTestMachine(t *testing.T, opts ...Option) *Machine {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	opts = append([]Option{WithTPMOptions(tpm.WithEKBits(1024))}, opts...)
+	m, err := New(ca, opts...)
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	return m
+}
+
+// logPaths returns the set of paths in the current IMA log.
+func logPaths(m *Machine) map[string]int {
+	out := map[string]int{}
+	for _, e := range m.IMA().Entries(0) {
+		out[e.Path]++
+	}
+	return out
+}
+
+func TestNewMachineMountLayout(t *testing.T) {
+	m := newTestMachine(t)
+	mounts := m.FS().MountPoints()
+	want := map[string]vfs.FSType{
+		"/":        vfs.FSTypeExt4,
+		"/proc":    vfs.FSTypeProcfs,
+		"/dev/shm": vfs.FSTypeTmpfs,
+	}
+	for point, typ := range want {
+		if got := mounts[point]; got != typ {
+			t.Fatalf("mount %s = %v, want %v", point, got, typ)
+		}
+	}
+	// Ubuntu keeps /tmp on the root filesystem; the simulation must too,
+	// or the paper's P1/P4 interplay cannot be reproduced.
+	if _, mounted := mounts["/tmp"]; mounted {
+		t.Fatal("/tmp must not be a separate mount (Ubuntu layout)")
+	}
+	info, err := m.FS().Stat("/tmp/probe")
+	_ = info
+	if err == nil {
+		t.Fatal("unexpected /tmp/probe")
+	}
+	if err := m.WriteFile("/tmp/probe", []byte("x"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile /tmp: %v", err)
+	}
+	pi, err := m.FS().Stat("/tmp/probe")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if pi.FSType != vfs.FSTypeExt4 {
+		t.Fatalf("/tmp fs type = %v, want ext4", pi.FSType)
+	}
+}
+
+func TestTmpStagingMoveKeepsInode_P4Precondition(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/tmp/payload", []byte("evil"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before, _ := m.FS().Stat("/tmp/payload")
+	if err := m.FS().Rename("/tmp/payload", "/usr/bin/payload"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	after, _ := m.FS().Stat("/usr/bin/payload")
+	if before.FSID != after.FSID || before.Inode != after.Inode {
+		t.Fatal("/tmp -> /usr move must preserve inode (same filesystem)")
+	}
+}
+
+func TestExecBinaryMeasured(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/bin/tool", []byte("\x7fELF-binary"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if logPaths(m)["/usr/bin/tool"] != 1 {
+		t.Fatalf("log = %v, want /usr/bin/tool measured once", logPaths(m))
+	}
+}
+
+func TestExecNonExecutableRejected(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/etc/conf", []byte("data"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/etc/conf"); !errors.Is(err, ErrNotExecutable) {
+		t.Fatalf("Exec err = %v, want ErrNotExecutable", err)
+	}
+}
+
+func TestExecMissingFile(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.Exec("/usr/bin/ghost"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("Exec err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestExecShebangScriptMeasuresScriptAndInterpreter_P5(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/bin/python3", []byte("\x7fELF-python"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	script := []byte("#!/usr/bin/python3\nprint('hi')\n")
+	if err := m.WriteFile("/opt/task.py", script, vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/opt/task.py"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	paths := logPaths(m)
+	if paths["/opt/task.py"] != 1 {
+		t.Fatal("direct shebang execution must measure the script")
+	}
+	if paths["/usr/bin/python3"] != 1 {
+		t.Fatal("shebang execution must measure the interpreter")
+	}
+}
+
+func TestExecInterpreterMeasuresOnlyInterpreter_P5(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/bin/python3", []byte("\x7fELF-python"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// Script without exec bit — typical "python3 exploit.py" usage.
+	if err := m.WriteFile("/opt/exploit.py", []byte("import os\n"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.ExecInterpreter("/usr/bin/python3", "/opt/exploit.py"); err != nil {
+		t.Fatalf("ExecInterpreter: %v", err)
+	}
+	paths := logPaths(m)
+	if paths["/usr/bin/python3"] != 1 {
+		t.Fatal("interpreter binary not measured")
+	}
+	if paths["/opt/exploit.py"] != 0 {
+		t.Fatal("script measured despite interpreter invocation; P5 requires it to be invisible")
+	}
+}
+
+func TestExecInterpreterMissingInterpreter(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/opt/x.py", []byte("pass"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.ExecInterpreter("/usr/bin/python3", "/opt/x.py"); !errors.Is(err, ErrNoInterpreter) {
+		t.Fatalf("err = %v, want ErrNoInterpreter", err)
+	}
+}
+
+func TestExecShebangMissingInterpreter(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/opt/t.sh", []byte("#!/bin/zsh\necho\n"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/opt/t.sh"); !errors.Is(err, ErrNoInterpreter) {
+		t.Fatalf("err = %v, want ErrNoInterpreter", err)
+	}
+}
+
+func TestSnapExecutionRecordsTruncatedPath(t *testing.T) {
+	m := newTestMachine(t)
+	files := []mirror.UnpackedFile{
+		{Path: "/usr/bin/jq", Mode: vfs.ModeExecutable, Content: []byte("\x7fELF-jq")},
+	}
+	if err := m.InstallSnap("core20", "1234", files); err != nil {
+		t.Fatalf("InstallSnap: %v", err)
+	}
+	if err := m.Exec("/snap/core20/1234/usr/bin/jq"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	paths := logPaths(m)
+	if paths["/usr/bin/jq"] != 1 {
+		t.Fatalf("log = %v, want truncated path /usr/bin/jq", paths)
+	}
+	if paths["/snap/core20/1234/usr/bin/jq"] != 0 {
+		t.Fatal("full snap path leaked into measurement log")
+	}
+}
+
+func TestMmapExecMeasuresSharedObject(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/lib/evil.so", []byte("\x7fELF-so"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.MmapExec("/usr/lib/evil.so"); err != nil {
+		t.Fatalf("MmapExec: %v", err)
+	}
+	if logPaths(m)["/usr/lib/evil.so"] != 1 {
+		t.Fatal("mmap'd object not measured")
+	}
+}
+
+func TestLoadModuleMeasured(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/lib/modules/5.15.0-100-generic/evil.ko", []byte("module"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.LoadModule("/usr/lib/modules/5.15.0-100-generic/evil.ko"); err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if logPaths(m)["/usr/lib/modules/5.15.0-100-generic/evil.ko"] != 1 {
+		t.Fatal("module load not measured")
+	}
+}
+
+func TestOpenReadNotMeasuredByDefaultPolicy(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/etc/passwd", []byte("root:x:0:0"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.OpenRead("/etc/passwd"); err != nil {
+		t.Fatalf("OpenRead: %v", err)
+	}
+	if logPaths(m)["/etc/passwd"] != 0 {
+		t.Fatal("plain read measured under default policy")
+	}
+}
+
+func TestExecFromTmpfsNotMeasured_P3(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/dev/shm/payload", []byte("evil"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/dev/shm/payload"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if logPaths(m)["/dev/shm/payload"] != 0 {
+		t.Fatal("tmpfs execution measured under stock policy; P3 expects blind spot")
+	}
+}
+
+func TestInstallPackageWritesDigestFiles(t *testing.T) {
+	m := newTestMachine(t)
+	p := mirror.Package{
+		Name: "bash", Version: "5.1-6", Suite: mirror.SuiteMain, Priority: mirror.PriorityRequired,
+		Files: []mirror.PackageFile{
+			{Path: "/bin/bash", Mode: vfs.ModeExecutable, Size: 1234},
+			{Path: "/usr/share/doc/bash/README", Mode: vfs.ModeRegular, Size: 10},
+		},
+	}
+	if err := m.InstallPackage(p); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	info, err := m.FS().Stat("/bin/bash")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	want := vfs.SyntheticDigest(p.ContentSeed(p.Files[0]), 1234)
+	if info.Digest != want {
+		t.Fatal("installed digest does not match package seed digest")
+	}
+	if v, err := m.InstalledVersion("bash"); err != nil || v != "5.1-6" {
+		t.Fatalf("InstalledVersion = %q, %v", v, err)
+	}
+	if _, err := m.InstalledVersion("curl"); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("err = %v, want ErrNotInstalled", err)
+	}
+}
+
+func TestUpgradeChangesDigestAndTriggersRemeasure(t *testing.T) {
+	m := newTestMachine(t)
+	v1 := mirror.Package{Name: "curl", Version: "7.81-1", Suite: mirror.SuiteMain, Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{{Path: "/usr/bin/curl", Mode: vfs.ModeExecutable, Size: 100}}}
+	if err := m.InstallPackage(v1); err != nil {
+		t.Fatalf("install v1: %v", err)
+	}
+	if err := m.Exec("/usr/bin/curl"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	v2 := v1
+	v2.Version = "7.81-2"
+	if err := m.InstallPackage(v2); err != nil {
+		t.Fatalf("install v2: %v", err)
+	}
+	if err := m.Exec("/usr/bin/curl"); err != nil {
+		t.Fatalf("Exec after upgrade: %v", err)
+	}
+	if got := logPaths(m)["/usr/bin/curl"]; got != 2 {
+		t.Fatalf("/usr/bin/curl measured %d times, want 2 (before and after upgrade)", got)
+	}
+}
+
+func TestKernelPackagePendingUntilReboot(t *testing.T) {
+	m := newTestMachine(t, WithKernel("5.15.0-100-generic"))
+	k := mirror.Package{
+		Name: "linux-image-5.15.0-101-generic", Version: "5.15.0-101.111",
+		Suite: mirror.SuiteUpdates, Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{
+			{Path: "/boot/vmlinuz-5.15.0-101-generic", Mode: vfs.ModeExecutable, Size: 5000},
+			{Path: "/usr/lib/modules/5.15.0-101-generic/kernel/fs/ext4.ko", Mode: vfs.ModeRegular, Size: 800},
+		},
+	}
+	if err := m.InstallPackage(k); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	if got := m.RunningKernel(); got != "5.15.0-100-generic" {
+		t.Fatalf("RunningKernel = %q; new kernel must not run before reboot", got)
+	}
+	if got := m.PendingKernel(); got != "5.15.0-101-generic" {
+		t.Fatalf("PendingKernel = %q", got)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	if got := m.RunningKernel(); got != "5.15.0-101-generic" {
+		t.Fatalf("RunningKernel after reboot = %q", got)
+	}
+	if got := m.PendingKernel(); got != "" {
+		t.Fatalf("PendingKernel after reboot = %q, want empty", got)
+	}
+}
+
+func TestRebootWipesVolatileAndResetsIMA(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.WriteFile("/tmp/staged", []byte("x"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.WriteFile("/usr/bin/tool", []byte("y"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	if m.FS().Exists("/tmp/staged") {
+		t.Fatal("tmpfs survived reboot")
+	}
+	if !m.FS().Exists("/usr/bin/tool") {
+		t.Fatal("persistent file lost at reboot")
+	}
+	entries := m.IMA().Entries(0)
+	if len(entries) != 1 || entries[0].Path != ima.BootAggregatePath {
+		t.Fatalf("IMA log after reboot = %v, want boot aggregate only", entries)
+	}
+}
+
+func TestShebangParsing(t *testing.T) {
+	cases := []struct {
+		content string
+		want    string
+		ok      bool
+	}{
+		{"#!/bin/sh\necho", "/bin/sh", true},
+		{"#!/usr/bin/env python3\n", "/usr/bin/env", true},
+		{"#! /bin/bash -e\n", "/bin/bash", true},
+		{"\x7fELF...", "", false},
+		{"#!\n", "", false},
+		{"", "", false},
+	}
+	for _, c := range cases {
+		got, ok := shebangInterpreter([]byte(c.content))
+		if got != c.want || ok != c.ok {
+			t.Fatalf("shebangInterpreter(%q) = %q, %v; want %q, %v", c.content, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestVisiblePathSnapTruncation(t *testing.T) {
+	cases := map[string]string{
+		"/snap/core20/1234/usr/bin/python3": "/usr/bin/python3",
+		"/snap/firefox/567/firefox":         "/firefox",
+		"/usr/bin/python3":                  "/usr/bin/python3",
+		"/snap":                             "/snap",
+		"/snap/core20":                      "/snap/core20",
+	}
+	for in, want := range cases {
+		if got := visiblePath(in); got != want {
+			t.Fatalf("visiblePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScriptExecControlMeasuresScript(t *testing.T) {
+	m := newTestMachine(t, WithIMAOptions(ima.WithPolicy(ima.SECPolicy())))
+	if err := m.WriteFile("/usr/bin/python3", []byte("\x7fELF-python"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.WriteFile("/opt/exploit.py", []byte("import os"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if m.ScriptExecControlEnabled("/usr/bin/python3") {
+		t.Fatal("SEC enabled before opt-in")
+	}
+	// Before opt-in: interpreter invocation hides the script (P5).
+	if err := m.ExecInterpreter("/usr/bin/python3", "/opt/exploit.py"); err != nil {
+		t.Fatalf("ExecInterpreter: %v", err)
+	}
+	if logPaths(m)["/opt/exploit.py"] != 0 {
+		t.Fatal("script measured before SEC opt-in")
+	}
+	// After opt-in: the script hits SCRIPT_CHECK and is measured.
+	if err := m.EnableScriptExecControl("/usr/bin/python3"); err != nil {
+		t.Fatalf("EnableScriptExecControl: %v", err)
+	}
+	if err := m.ExecInterpreter("/usr/bin/python3", "/opt/exploit.py"); err != nil {
+		t.Fatalf("ExecInterpreter: %v", err)
+	}
+	if logPaths(m)["/opt/exploit.py"] != 1 {
+		t.Fatalf("log = %v; SEC interpreter invocation must measure the script", logPaths(m))
+	}
+}
+
+func TestScriptExecControlNeedsSECPolicyRule(t *testing.T) {
+	// Opting in at the interpreter is not enough: the IMA policy must
+	// measure SCRIPT_CHECK (default policy has no such rule).
+	m := newTestMachine(t)
+	if err := m.WriteFile("/usr/bin/python3", []byte("\x7fELF-python"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.WriteFile("/opt/x.py", []byte("pass"), vfs.ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.EnableScriptExecControl("/usr/bin/python3"); err != nil {
+		t.Fatalf("EnableScriptExecControl: %v", err)
+	}
+	if err := m.ExecInterpreter("/usr/bin/python3", "/opt/x.py"); err != nil {
+		t.Fatalf("ExecInterpreter: %v", err)
+	}
+	if logPaths(m)["/opt/x.py"] != 0 {
+		t.Fatal("script measured without a SCRIPT_CHECK policy rule")
+	}
+}
+
+func TestEnableScriptExecControlMissingInterpreter(t *testing.T) {
+	m := newTestMachine(t)
+	if err := m.EnableScriptExecControl("/usr/bin/ruby"); !errors.Is(err, ErrNoInterpreter) {
+		t.Fatalf("err = %v, want ErrNoInterpreter", err)
+	}
+}
+
+func TestInstallPackageSetsVendorSignatureXattr(t *testing.T) {
+	m := newTestMachine(t)
+	p := mirror.Package{
+		Name: "curl", Version: "7.81", Suite: mirror.SuiteMain, Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{
+			{Path: "/usr/bin/curl", Mode: vfs.ModeExecutable, Size: 128, Signature: "abcd1234"},
+		},
+	}
+	if err := m.InstallPackage(p); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	sig, ok := m.FS().Xattr("/usr/bin/curl", vfs.IMAXattr)
+	if !ok || sig != "abcd1234" {
+		t.Fatalf("security.ima = %q, %v", sig, ok)
+	}
+	// Execution produces an ima-sig entry carrying the signature.
+	if err := m.Exec("/usr/bin/curl"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	found := false
+	for _, e := range m.IMA().Entries(0) {
+		if e.Path == "/usr/bin/curl" {
+			found = true
+			if e.Signature != "abcd1234" || e.Template() != "ima-sig" {
+				t.Fatalf("entry = %+v, want ima-sig with signature", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no measurement for signed binary")
+	}
+}
+
+func TestBootLogMatchesRunningKernel(t *testing.T) {
+	m := newTestMachine(t, WithKernel("5.15.0-100-generic"))
+	log := m.BootLog()
+	if len(log) != 4 {
+		t.Fatalf("boot log has %d events, want 4", len(log))
+	}
+	found := false
+	for _, e := range log {
+		if e.Description == "kernel 5.15.0-100-generic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("boot log lacks running kernel event: %+v", log)
+	}
+	// PCR 0 and 4 hold the boot chain.
+	for _, pcr := range []int{0, 4} {
+		v, err := m.TPM().PCRs().Read(pcr)
+		if err != nil {
+			t.Fatalf("Read PCR %d: %v", pcr, err)
+		}
+		if v == (tpm.Digest{}) {
+			t.Fatalf("PCR %d empty after boot", pcr)
+		}
+	}
+	// Replaying the boot log reproduces the PCR values.
+	replayed := log.Replay()
+	for pcr, want := range replayed {
+		got, _ := m.TPM().PCRs().Read(pcr)
+		if got != want {
+			t.Fatalf("PCR %d replay mismatch", pcr)
+		}
+	}
+}
+
+func TestRebootIntoNewKernelChangesBootPCR(t *testing.T) {
+	m := newTestMachine(t)
+	before, _ := m.TPM().PCRs().Read(4)
+	k := mirror.Package{
+		Name: "linux-image-6.1.0-1-generic", Version: "6.1.0-1.1",
+		Suite: mirror.SuiteUpdates, Priority: mirror.PriorityOptional,
+		Files: []mirror.PackageFile{{Path: "/boot/vmlinuz-6.1.0-1-generic", Mode: vfs.ModeExecutable, Size: 100}},
+	}
+	if err := m.InstallPackage(k); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	if err := m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	after, _ := m.TPM().PCRs().Read(4)
+	if before == after {
+		t.Fatal("PCR 4 unchanged after booting a different kernel")
+	}
+}
+
+func TestInstallReleaseInstallsEverything(t *testing.T) {
+	m := newTestMachine(t)
+	a := mirror.NewArchive()
+	base := []mirror.Package{
+		{Name: "a", Version: "1", Suite: mirror.SuiteMain, Priority: mirror.PriorityOptional,
+			Files: []mirror.PackageFile{{Path: "/usr/bin/a", Mode: vfs.ModeExecutable, Size: 8}}},
+		{Name: "b", Version: "1", Suite: mirror.SuiteMain, Priority: mirror.PriorityOptional,
+			Files: []mirror.PackageFile{{Path: "/usr/bin/b", Mode: vfs.ModeExecutable, Size: 8}}},
+	}
+	if _, err := a.Publish(timeNow(), base...); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	mir := mirror.NewMirror(a)
+	mir.Sync(timeNow())
+	if err := m.InstallRelease(mir.Release()); err != nil {
+		t.Fatalf("InstallRelease: %v", err)
+	}
+	if m.InstalledCount() != 2 {
+		t.Fatalf("InstalledCount = %d, want 2", m.InstalledCount())
+	}
+	for _, p := range []string{"/usr/bin/a", "/usr/bin/b"} {
+		if !m.FS().Exists(p) {
+			t.Fatalf("%s missing after InstallRelease", p)
+		}
+	}
+}
+
+func timeNow() time.Time { return time.Date(2024, 2, 26, 0, 0, 0, 0, time.UTC) }

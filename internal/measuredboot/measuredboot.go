@@ -1,0 +1,158 @@
+// Package measuredboot models measured boot attestation — the part of the
+// chain of trust that runs before IMA picks up (paper §II). Firmware,
+// bootloader and kernel are measured into TPM PCRs 0 and 4 as a boot event
+// log; a verifier replays the log against quoted PCR values and compares
+// them to operator-supplied golden values, detecting bootloader/kernel
+// substitution that file-level attestation alone cannot see.
+package measuredboot
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/tpm"
+)
+
+// EventType classifies a boot measurement event (reduced from the TCG
+// PC-client event types).
+type EventType int
+
+// Event types.
+const (
+	// EventFirmware covers platform firmware volumes (PCR 0).
+	EventFirmware EventType = iota + 1
+	// EventBootLoader covers the bootloader binary (PCR 4).
+	EventBootLoader
+	// EventKernel covers the booted kernel image (PCR 4).
+	EventKernel
+	// EventKernelCmdline covers the kernel command line (PCR 4).
+	EventKernelCmdline
+)
+
+var eventTypeNames = map[EventType]string{
+	EventFirmware:      "EV_FIRMWARE",
+	EventBootLoader:    "EV_BOOT_LOADER",
+	EventKernel:        "EV_KERNEL",
+	EventKernelCmdline: "EV_KERNEL_CMDLINE",
+}
+
+// String returns the event type label.
+func (t EventType) String() string {
+	if n, ok := eventTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// Event is one boot measurement.
+type Event struct {
+	PCR         int
+	Type        EventType
+	Description string
+	Digest      tpm.Digest
+}
+
+// Log is the ordered boot event log.
+type Log []Event
+
+// Errors.
+var (
+	ErrGoldenMismatch = errors.New("measuredboot: PCR does not match golden value")
+	ErrReplayMismatch = errors.New("measuredboot: event log replay does not match quoted PCR")
+)
+
+// PCRs used by measured boot in this model.
+const (
+	PCRFirmware = 0
+	PCRBoot     = 4
+)
+
+// Replay folds the log into per-PCR aggregates (from zeroed PCRs).
+func (l Log) Replay() map[int]tpm.Digest {
+	out := map[int]tpm.Digest{}
+	for _, e := range l {
+		prev := out[e.PCR]
+		h := sha256.New()
+		h.Write(prev[:])
+		h.Write(e.Digest[:])
+		var next tpm.Digest
+		copy(next[:], h.Sum(nil))
+		out[e.PCR] = next
+	}
+	return out
+}
+
+// Extend writes the log's measurements into a PCR bank (what firmware and
+// bootloader do at boot).
+func (l Log) Extend(bank *tpm.PCRBank) error {
+	for _, e := range l {
+		if err := bank.Extend(e.PCR, e.Digest); err != nil {
+			return fmt.Errorf("measuredboot: extending PCR %d: %w", e.PCR, err)
+		}
+	}
+	return nil
+}
+
+// FirmwareDigest derives the measurement of a firmware build.
+func FirmwareDigest(version string) tpm.Digest {
+	return sha256.Sum256([]byte("firmware:" + version))
+}
+
+// BootLoaderDigest derives the measurement of a bootloader build.
+func BootLoaderDigest(version string) tpm.Digest {
+	return sha256.Sum256([]byte("bootloader:" + version))
+}
+
+// KernelDigest derives the measurement of a kernel image.
+func KernelDigest(version string) tpm.Digest {
+	return sha256.Sum256([]byte("kernel:" + version))
+}
+
+// CmdlineDigest derives the measurement of the kernel command line.
+func CmdlineDigest(cmdline string) tpm.Digest {
+	return sha256.Sum256([]byte("cmdline:" + cmdline))
+}
+
+// BuildLog assembles the canonical boot chain for a platform: firmware into
+// PCR 0; bootloader, kernel and command line into PCR 4.
+func BuildLog(firmwareVer, bootloaderVer, kernelVer, cmdline string) Log {
+	return Log{
+		{PCR: PCRFirmware, Type: EventFirmware, Description: "firmware " + firmwareVer, Digest: FirmwareDigest(firmwareVer)},
+		{PCR: PCRBoot, Type: EventBootLoader, Description: "bootloader " + bootloaderVer, Digest: BootLoaderDigest(bootloaderVer)},
+		{PCR: PCRBoot, Type: EventKernel, Description: "kernel " + kernelVer, Digest: KernelDigest(kernelVer)},
+		{PCR: PCRBoot, Type: EventKernelCmdline, Description: "cmdline", Digest: CmdlineDigest(cmdline)},
+	}
+}
+
+// Golden holds the operator's expected post-boot PCR values (the measured
+// boot reference state).
+type Golden map[int]tpm.Digest
+
+// GoldenFromLog computes the reference state an intact boot of this chain
+// produces.
+func GoldenFromLog(l Log) Golden {
+	return Golden(l.Replay())
+}
+
+// Validate checks a boot event log against quoted PCR values and the golden
+// reference state:
+//
+//  1. the log must replay to the quoted PCR values (log integrity);
+//  2. the quoted values must match the golden values (boot-chain identity).
+func (g Golden) Validate(l Log, quoted map[int]tpm.Digest) error {
+	replayed := l.Replay()
+	for pcr, want := range replayed {
+		got, ok := quoted[pcr]
+		if !ok || got != want {
+			return fmt.Errorf("%w: PCR %d", ErrReplayMismatch, pcr)
+		}
+	}
+	for pcr, want := range g {
+		got, ok := quoted[pcr]
+		if !ok || got != want {
+			return fmt.Errorf("%w: PCR %d", ErrGoldenMismatch, pcr)
+		}
+	}
+	return nil
+}

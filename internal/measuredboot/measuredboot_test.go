@@ -1,0 +1,130 @@
+package measuredboot
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tpm"
+)
+
+func TestBuildLogShape(t *testing.T) {
+	l := BuildLog("fw-1", "grub-2.06", "5.15.0-100-generic", "ro quiet")
+	if len(l) != 4 {
+		t.Fatalf("log has %d events, want 4", len(l))
+	}
+	if l[0].PCR != PCRFirmware || l[0].Type != EventFirmware {
+		t.Fatalf("first event = %+v, want firmware in PCR 0", l[0])
+	}
+	for _, e := range l[1:] {
+		if e.PCR != PCRBoot {
+			t.Fatalf("event %v in PCR %d, want PCR 4", e.Type, e.PCR)
+		}
+	}
+}
+
+func TestReplayMatchesExtend(t *testing.T) {
+	l := BuildLog("fw-1", "grub-2.06", "5.15.0-100-generic", "ro")
+	var bank tpm.PCRBank
+	if err := l.Extend(&bank); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	replayed := l.Replay()
+	for _, pcr := range []int{PCRFirmware, PCRBoot} {
+		want, _ := bank.Read(pcr)
+		if replayed[pcr] != want {
+			t.Fatalf("replay PCR %d = %x, bank has %x", pcr, replayed[pcr], want)
+		}
+	}
+}
+
+func TestGoldenValidateAccepts(t *testing.T) {
+	l := BuildLog("fw-1", "grub-2.06", "5.15.0-100-generic", "ro")
+	golden := GoldenFromLog(l)
+	quoted := l.Replay()
+	if err := golden.Validate(l, quoted); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestGoldenValidateRejectsKernelSwap(t *testing.T) {
+	good := BuildLog("fw-1", "grub-2.06", "5.15.0-100-generic", "ro")
+	golden := GoldenFromLog(good)
+	// The machine actually booted a different (malicious) kernel.
+	evil := BuildLog("fw-1", "grub-2.06", "5.15.0-evil", "ro")
+	quoted := evil.Replay()
+	if err := golden.Validate(evil, quoted); !errors.Is(err, ErrGoldenMismatch) {
+		t.Fatalf("Validate = %v, want ErrGoldenMismatch", err)
+	}
+}
+
+func TestGoldenValidateRejectsDoctoredLog(t *testing.T) {
+	good := BuildLog("fw-1", "grub-2.06", "5.15.0-100-generic", "ro")
+	golden := GoldenFromLog(good)
+	// The attacker booted an evil kernel but reports the benign log; the
+	// quoted PCRs tell the truth.
+	evil := BuildLog("fw-1", "grub-2.06", "5.15.0-evil", "ro")
+	quoted := evil.Replay()
+	if err := golden.Validate(good, quoted); !errors.Is(err, ErrReplayMismatch) {
+		t.Fatalf("Validate = %v, want ErrReplayMismatch", err)
+	}
+}
+
+func TestGoldenValidateRejectsMissingPCR(t *testing.T) {
+	l := BuildLog("fw-1", "grub-2.06", "k", "ro")
+	golden := GoldenFromLog(l)
+	quoted := l.Replay()
+	delete(quoted, PCRBoot)
+	if err := golden.Validate(l, quoted); err == nil {
+		t.Fatal("Validate accepted quote missing PCR 4")
+	}
+}
+
+func TestDigestsDistinct(t *testing.T) {
+	seen := map[tpm.Digest]string{}
+	for name, d := range map[string]tpm.Digest{
+		"fw":      FirmwareDigest("v"),
+		"boot":    BootLoaderDigest("v"),
+		"kernel":  KernelDigest("v"),
+		"cmdline": CmdlineDigest("v"),
+	} {
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("digest collision between %s and %s", prev, name)
+		}
+		seen[d] = name
+	}
+}
+
+// Property: any change to any boot component changes the golden state.
+func TestGoldenSensitivityProperty(t *testing.T) {
+	base := GoldenFromLog(BuildLog("fw", "bl", "k", "c"))
+	f := func(which uint8, suffix string) bool {
+		fw, bl, k, c := "fw", "bl", "k", "c"
+		if suffix == "" {
+			return true
+		}
+		switch which % 4 {
+		case 0:
+			fw += suffix
+		case 1:
+			bl += suffix
+		case 2:
+			k += suffix
+		case 3:
+			c += suffix
+		}
+		other := GoldenFromLog(BuildLog(fw, bl, k, c))
+		return other[PCRFirmware] != base[PCRFirmware] || other[PCRBoot] != base[PCRBoot]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for _, et := range []EventType{EventFirmware, EventBootLoader, EventKernel, EventKernelCmdline} {
+		if et.String() == "" || et.String()[:3] != "EV_" {
+			t.Fatalf("EventType %d string = %q", et, et.String())
+		}
+	}
+}

@@ -1,0 +1,465 @@
+// Package mirror simulates a Debian/Ubuntu-style package archive and the
+// operator-controlled local mirror the paper's dynamic policy generation
+// scheme depends on (§III-C).
+//
+// The upstream Archive publishes package versions into the three suites the
+// paper mirrors (Main, Security, Updates). A Mirror syncs against the
+// archive and reports the delta (added and changed packages) since its last
+// sync — the input to the dynamic policy generator. Package payloads are
+// real gzip-compressed blobs of deterministic synthetic content, so
+// "download, uncompress and hash the executables" is actual work the
+// benchmarks can measure.
+package mirror
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/filesig"
+	"repro/internal/vfs"
+)
+
+// Suite identifies an archive sub-repository.
+type Suite int
+
+// The suites the paper's mirror carries. Universe/Multiverse exist upstream
+// but are deliberately not mirrored ("not needed to run a base OS").
+const (
+	SuiteMain Suite = iota + 1
+	SuiteSecurity
+	SuiteUpdates
+)
+
+var suiteNames = map[Suite]string{
+	SuiteMain:     "main",
+	SuiteSecurity: "security",
+	SuiteUpdates:  "updates",
+}
+
+// String returns the archive name of the suite.
+func (s Suite) String() string {
+	if n, ok := suiteNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("suite(%d)", int(s))
+}
+
+// Priority is the Debian package priority.
+type Priority int
+
+// Debian priorities. The paper buckets Essential/Required/Important/Standard
+// as high priority and Optional/Extra as low priority.
+const (
+	PriorityEssential Priority = iota + 1
+	PriorityRequired
+	PriorityImportant
+	PriorityStandard
+	PriorityOptional
+	PriorityExtra
+)
+
+var priorityNames = map[Priority]string{
+	PriorityEssential: "essential",
+	PriorityRequired:  "required",
+	PriorityImportant: "important",
+	PriorityStandard:  "standard",
+	PriorityOptional:  "optional",
+	PriorityExtra:     "extra",
+}
+
+// String returns the Debian name of the priority.
+func (p Priority) String() string {
+	if n, ok := priorityNames[p]; ok {
+		return n
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// High reports whether the paper counts this priority as high.
+func (p Priority) High() bool {
+	return p >= PriorityEssential && p <= PriorityStandard
+}
+
+// PackageFile is one file shipped by a package.
+type PackageFile struct {
+	// Path is the absolute installation path.
+	Path string
+	Mode vfs.Mode
+	// Size of the synthetic content in bytes.
+	Size int
+	// Signature is the vendor's hex ECDSA signature over the content
+	// digest ("" when the archive has no vendor key). Installed as the
+	// file's security.ima xattr (§V's signed-hashes improvement).
+	Signature string
+}
+
+// IsExec reports whether the file carries an execute bit — the only files
+// IMA measures and the policy generator hashes.
+func (f PackageFile) IsExec() bool { return f.Mode.IsExec() }
+
+// Package is one package version in the archive.
+type Package struct {
+	Name     string
+	Version  string
+	Suite    Suite
+	Priority Priority
+	Files    []PackageFile
+}
+
+// ContentSeed returns the deterministic seed the whole simulation uses for
+// the content of one file of this package version. Installing the package
+// and unpacking its payload therefore agree on every byte.
+func (p Package) ContentSeed(f PackageFile) string {
+	return "pkg:" + p.Name + "_" + p.Version + ":" + f.Path
+}
+
+// ExecutableFiles returns the subset of files with an execute bit.
+func (p Package) ExecutableFiles() []PackageFile {
+	var out []PackageFile
+	for _, f := range p.Files {
+		if f.IsExec() {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HasExecutables reports whether the package ships at least one executable.
+func (p Package) HasExecutables() bool {
+	for _, f := range p.Files {
+		if f.IsExec() {
+			return true
+		}
+	}
+	return false
+}
+
+// PayloadSize returns the total uncompressed payload size in bytes.
+func (p Package) PayloadSize() int64 {
+	var n int64
+	for _, f := range p.Files {
+		n += int64(f.Size)
+	}
+	return n
+}
+
+// IsKernelImage reports whether this is a kernel image package (the dynamic
+// policy generator treats kernels specially, §III-C).
+func (p Package) IsKernelImage() bool {
+	return strings.HasPrefix(p.Name, "linux-image-")
+}
+
+// KernelVersion extracts the kernel version from a kernel image package
+// name ("linux-image-5.15.0-101-generic" -> "5.15.0-101-generic").
+func (p Package) KernelVersion() (string, bool) {
+	v, ok := strings.CutPrefix(p.Name, "linux-image-")
+	return v, ok
+}
+
+// Release is an immutable snapshot of the archive at one publication point.
+type Release struct {
+	// Seq increases with every publication.
+	Seq int
+	// Time is when the release was published.
+	Time time.Time
+	// Packages maps name to the latest version at this release.
+	Packages map[string]Package
+}
+
+// clonePackages deep-copies a package map (Files slices included).
+func clonePackages(in map[string]Package) map[string]Package {
+	out := make(map[string]Package, len(in))
+	for k, v := range in {
+		v.Files = append([]PackageFile(nil), v.Files...)
+		out[k] = v
+	}
+	return out
+}
+
+// Archive is the upstream distribution publisher.
+type Archive struct {
+	mu       sync.Mutex
+	packages map[string]Package
+	seq      int
+	lastPub  time.Time
+	vendor   *filesig.Signer
+}
+
+// NewArchive returns an empty archive.
+func NewArchive() *Archive {
+	return &Archive{packages: make(map[string]Package)}
+}
+
+// SetVendor installs the vendor signing key: from now on every published
+// executable carries a signature over its content digest (the paper's §V
+// "hashes generated and then signed by the package maintainers").
+func (a *Archive) SetVendor(s *filesig.Signer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.vendor = s
+}
+
+// Sentinel errors.
+var (
+	ErrUnknownPackage = errors.New("mirror: unknown package")
+	ErrStaleVersion   = errors.New("mirror: published version is not newer")
+	ErrCorruptPayload = errors.New("mirror: corrupt package payload")
+)
+
+// Publish adds or upgrades packages, creating a new release. Publishing a
+// version identical to the current one is rejected.
+func (a *Archive) Publish(at time.Time, pkgs ...Package) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, p := range pkgs {
+		if cur, ok := a.packages[p.Name]; ok && cur.Version == p.Version {
+			return 0, fmt.Errorf("%w: %s %s", ErrStaleVersion, p.Name, p.Version)
+		}
+	}
+	for _, p := range pkgs {
+		p.Files = append([]PackageFile(nil), p.Files...)
+		if a.vendor != nil {
+			for i := range p.Files {
+				if !p.Files[i].IsExec() {
+					continue
+				}
+				digest := vfs.SyntheticDigest(p.ContentSeed(p.Files[i]), p.Files[i].Size)
+				sig, err := a.vendor.SignHex(digest)
+				if err != nil {
+					return 0, fmt.Errorf("mirror: vendor-signing %s %s: %w", p.Name, p.Files[i].Path, err)
+				}
+				p.Files[i].Signature = sig
+			}
+		}
+		a.packages[p.Name] = p
+	}
+	a.seq++
+	a.lastPub = at
+	return a.seq, nil
+}
+
+// Snapshot returns the current release.
+func (a *Archive) Snapshot() Release {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Release{Seq: a.seq, Time: a.lastPub, Packages: clonePackages(a.packages)}
+}
+
+// Package returns the latest version of a named package.
+func (a *Archive) Package(name string) (Package, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.packages[name]
+	if !ok {
+		return Package{}, fmt.Errorf("%w: %s", ErrUnknownPackage, name)
+	}
+	p.Files = append([]PackageFile(nil), p.Files...)
+	return p, nil
+}
+
+// Delta describes what changed between two mirror syncs.
+type Delta struct {
+	// Added are packages that did not exist at the previous sync.
+	Added []Package
+	// Changed are packages whose version advanced.
+	Changed []Package
+}
+
+// All returns added and changed packages sorted by name.
+func (d Delta) All() []Package {
+	out := make([]Package, 0, len(d.Added)+len(d.Changed))
+	out = append(out, d.Added...)
+	out = append(out, d.Changed...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Empty reports whether the delta carries no package changes.
+func (d Delta) Empty() bool { return len(d.Added) == 0 && len(d.Changed) == 0 }
+
+// WithExecutables returns only the delta packages shipping executables —
+// what the policy generator and the paper's Fig. 4 count.
+func (d Delta) WithExecutables() []Package {
+	var out []Package
+	for _, p := range d.All() {
+		if p.HasExecutables() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mirror is the operator's local copy of the archive.
+type Mirror struct {
+	archive *Archive
+
+	mu       sync.Mutex
+	current  Release
+	lastSync time.Time
+}
+
+// NewMirror creates a mirror of the given archive. It starts empty; the
+// first Sync copies the full archive.
+func NewMirror(archive *Archive) *Mirror {
+	return &Mirror{archive: archive, current: Release{Packages: map[string]Package{}}}
+}
+
+// Sync refreshes the mirror from the archive and returns the delta since
+// the previous sync.
+func (m *Mirror) Sync(at time.Time) Delta {
+	snap := m.archive.Snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var d Delta
+	for name, pkg := range snap.Packages {
+		prev, ok := m.current.Packages[name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, pkg)
+		case prev.Version != pkg.Version:
+			d.Changed = append(d.Changed, pkg)
+		}
+	}
+	sort.Slice(d.Added, func(i, j int) bool { return d.Added[i].Name < d.Added[j].Name })
+	sort.Slice(d.Changed, func(i, j int) bool { return d.Changed[i].Name < d.Changed[j].Name })
+	m.current = snap
+	m.lastSync = at
+	return d
+}
+
+// Release returns the mirror's current release snapshot.
+func (m *Mirror) Release() Release {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Release{Seq: m.current.Seq, Time: m.current.Time, Packages: clonePackages(m.current.Packages)}
+}
+
+// LastSync returns when the mirror last synced.
+func (m *Mirror) LastSync() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSync
+}
+
+// Package returns the mirror's copy of a package.
+func (m *Mirror) Package(name string) (Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.current.Packages[name]
+	if !ok {
+		return Package{}, fmt.Errorf("%w: %s (not mirrored)", ErrUnknownPackage, name)
+	}
+	p.Files = append([]PackageFile(nil), p.Files...)
+	return p, nil
+}
+
+// UnpackedFile is one file extracted from a package payload.
+type UnpackedFile struct {
+	Path    string
+	Mode    vfs.Mode
+	Content []byte
+	// Signature is the vendor signature shipped with the file (hex).
+	Signature string
+}
+
+// Pack serializes the package's files (with synthetic contents) into a
+// gzip-compressed payload — the simulation's ".deb".
+func Pack(p Package) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	var u32 [4]byte
+	for _, f := range p.Files {
+		binary.BigEndian.PutUint32(u32[:], uint32(len(f.Path)))
+		if _, err := zw.Write(u32[:]); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		if _, err := io.WriteString(zw, f.Path); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		binary.BigEndian.PutUint32(u32[:], uint32(f.Mode))
+		if _, err := zw.Write(u32[:]); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		binary.BigEndian.PutUint32(u32[:], uint32(len(f.Signature)))
+		if _, err := zw.Write(u32[:]); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		if _, err := io.WriteString(zw, f.Signature); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		content := vfs.SyntheticContent(p.ContentSeed(f), f.Size)
+		binary.BigEndian.PutUint32(u32[:], uint32(len(content)))
+		if _, err := zw.Write(u32[:]); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+		if _, err := zw.Write(content); err != nil {
+			return nil, fmt.Errorf("mirror: packing %s: %w", p.Name, err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("mirror: closing payload of %s: %w", p.Name, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unpack parses a payload produced by Pack.
+func Unpack(payload []byte) ([]UnpackedFile, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorruptPayload, err)
+	}
+	defer func() { _ = zr.Close() }()
+	var out []UnpackedFile
+	var u32 [4]byte
+	for {
+		if _, err := io.ReadFull(zr, u32[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return out, nil
+			}
+			return nil, fmt.Errorf("%w: reading path length: %v", ErrCorruptPayload, err)
+		}
+		pathLen := binary.BigEndian.Uint32(u32[:])
+		if pathLen > 1<<16 {
+			return nil, fmt.Errorf("%w: absurd path length %d", ErrCorruptPayload, pathLen)
+		}
+		pathBuf := make([]byte, pathLen)
+		if _, err := io.ReadFull(zr, pathBuf); err != nil {
+			return nil, fmt.Errorf("%w: reading path: %v", ErrCorruptPayload, err)
+		}
+		if _, err := io.ReadFull(zr, u32[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading mode: %v", ErrCorruptPayload, err)
+		}
+		mode := vfs.Mode(binary.BigEndian.Uint32(u32[:]))
+		if _, err := io.ReadFull(zr, u32[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading signature length: %v", ErrCorruptPayload, err)
+		}
+		sigLen := binary.BigEndian.Uint32(u32[:])
+		if sigLen > 1<<12 {
+			return nil, fmt.Errorf("%w: absurd signature length %d", ErrCorruptPayload, sigLen)
+		}
+		sigBuf := make([]byte, sigLen)
+		if _, err := io.ReadFull(zr, sigBuf); err != nil {
+			return nil, fmt.Errorf("%w: reading signature: %v", ErrCorruptPayload, err)
+		}
+		if _, err := io.ReadFull(zr, u32[:]); err != nil {
+			return nil, fmt.Errorf("%w: reading content length: %v", ErrCorruptPayload, err)
+		}
+		contentLen := binary.BigEndian.Uint32(u32[:])
+		if contentLen > 1<<30 {
+			return nil, fmt.Errorf("%w: absurd content length %d", ErrCorruptPayload, contentLen)
+		}
+		content := make([]byte, contentLen)
+		if _, err := io.ReadFull(zr, content); err != nil {
+			return nil, fmt.Errorf("%w: reading content: %v", ErrCorruptPayload, err)
+		}
+		out = append(out, UnpackedFile{Path: string(pathBuf), Mode: mode, Content: content, Signature: string(sigBuf)})
+	}
+}

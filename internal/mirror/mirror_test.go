@@ -1,0 +1,385 @@
+package mirror
+
+import (
+	"bytes"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/filesig"
+	"repro/internal/vfs"
+)
+
+var t0 = time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC)
+
+func pkg(name, version string, suite Suite, prio Priority, files ...PackageFile) Package {
+	return Package{Name: name, Version: version, Suite: suite, Priority: prio, Files: files}
+}
+
+func execFile(path string, size int) PackageFile {
+	return PackageFile{Path: path, Mode: vfs.ModeExecutable, Size: size}
+}
+
+func dataFile(path string, size int) PackageFile {
+	return PackageFile{Path: path, Mode: vfs.ModeRegular, Size: size}
+}
+
+func TestPriorityBuckets(t *testing.T) {
+	high := []Priority{PriorityEssential, PriorityRequired, PriorityImportant, PriorityStandard}
+	for _, p := range high {
+		if !p.High() {
+			t.Fatalf("%v should be high priority", p)
+		}
+	}
+	for _, p := range []Priority{PriorityOptional, PriorityExtra} {
+		if p.High() {
+			t.Fatalf("%v should be low priority", p)
+		}
+	}
+}
+
+func TestPublishAndSnapshot(t *testing.T) {
+	a := NewArchive()
+	seq, err := a.Publish(t0, pkg("bash", "5.1-6", SuiteMain, PriorityRequired, execFile("/bin/bash", 1000)))
+	if err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if seq != 1 {
+		t.Fatalf("seq = %d, want 1", seq)
+	}
+	snap := a.Snapshot()
+	if len(snap.Packages) != 1 || snap.Packages["bash"].Version != "5.1-6" {
+		t.Fatalf("Snapshot = %+v", snap)
+	}
+}
+
+func TestPublishSameVersionRejected(t *testing.T) {
+	a := NewArchive()
+	p := pkg("bash", "5.1-6", SuiteMain, PriorityRequired)
+	if _, err := a.Publish(t0, p); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if _, err := a.Publish(t0.Add(time.Hour), p); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("re-publish err = %v, want ErrStaleVersion", err)
+	}
+}
+
+func TestArchivePackageUnknown(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Package("nope"); !errors.Is(err, ErrUnknownPackage) {
+		t.Fatalf("err = %v, want ErrUnknownPackage", err)
+	}
+}
+
+func TestMirrorFirstSyncIsAllAdded(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Publish(t0,
+		pkg("bash", "5.1-6", SuiteMain, PriorityRequired, execFile("/bin/bash", 100)),
+		pkg("vim", "8.2", SuiteMain, PriorityOptional, execFile("/usr/bin/vim", 100)),
+	); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m := NewMirror(a)
+	d := m.Sync(t0.Add(time.Hour))
+	if len(d.Added) != 2 || len(d.Changed) != 0 {
+		t.Fatalf("delta = %+v, want 2 added", d)
+	}
+	if !m.LastSync().Equal(t0.Add(time.Hour)) {
+		t.Fatalf("LastSync = %v", m.LastSync())
+	}
+}
+
+func TestMirrorDeltaTracksChanges(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Publish(t0, pkg("bash", "5.1-6", SuiteMain, PriorityRequired, execFile("/bin/bash", 100))); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m := NewMirror(a)
+	m.Sync(t0)
+	// Upgrade bash, add curl.
+	if _, err := a.Publish(t0.Add(24*time.Hour),
+		pkg("bash", "5.1-7", SuiteSecurity, PriorityRequired, execFile("/bin/bash", 100)),
+		pkg("curl", "7.81", SuiteUpdates, PriorityOptional, execFile("/usr/bin/curl", 100)),
+	); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	d := m.Sync(t0.Add(25 * time.Hour))
+	if len(d.Added) != 1 || d.Added[0].Name != "curl" {
+		t.Fatalf("Added = %+v, want curl", d.Added)
+	}
+	if len(d.Changed) != 1 || d.Changed[0].Name != "bash" || d.Changed[0].Version != "5.1-7" {
+		t.Fatalf("Changed = %+v, want bash 5.1-7", d.Changed)
+	}
+	// Second sync with no publication: empty delta.
+	if d := m.Sync(t0.Add(26 * time.Hour)); !d.Empty() {
+		t.Fatalf("delta after no-op sync = %+v, want empty", d)
+	}
+}
+
+func TestDeltaWithExecutablesFiltersDataOnly(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Publish(t0,
+		pkg("bash", "5.1", SuiteMain, PriorityRequired, execFile("/bin/bash", 10)),
+		pkg("tzdata", "2024a", SuiteMain, PriorityRequired, dataFile("/usr/share/zoneinfo/UTC", 10)),
+	); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m := NewMirror(a)
+	d := m.Sync(t0)
+	withExec := d.WithExecutables()
+	if len(withExec) != 1 || withExec[0].Name != "bash" {
+		t.Fatalf("WithExecutables = %+v, want [bash]", withExec)
+	}
+}
+
+func TestKernelPackageDetection(t *testing.T) {
+	k := pkg("linux-image-5.15.0-101-generic", "5.15.0-101.111", SuiteUpdates, PriorityOptional)
+	if !k.IsKernelImage() {
+		t.Fatal("kernel image not detected")
+	}
+	v, ok := k.KernelVersion()
+	if !ok || v != "5.15.0-101-generic" {
+		t.Fatalf("KernelVersion = %q, %v", v, ok)
+	}
+	if pkg("bash", "5.1", SuiteMain, PriorityRequired).IsKernelImage() {
+		t.Fatal("bash detected as kernel image")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	p := pkg("bash", "5.1-6", SuiteMain, PriorityRequired,
+		execFile("/bin/bash", 2048),
+		dataFile("/usr/share/doc/bash/README", 512),
+		execFile("/usr/bin/bashbug", 300),
+	)
+	payload, err := Pack(p)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	files, err := Unpack(payload)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("unpacked %d files, want 3", len(files))
+	}
+	for i, f := range files {
+		if f.Path != p.Files[i].Path || f.Mode != p.Files[i].Mode {
+			t.Fatalf("file %d = %+v, want %+v", i, f, p.Files[i])
+		}
+		want := vfs.SyntheticContent(p.ContentSeed(p.Files[i]), p.Files[i].Size)
+		if !bytes.Equal(f.Content, want) {
+			t.Fatalf("file %d content mismatch", i)
+		}
+	}
+}
+
+func TestUnpackedContentMatchesInstalledDigest(t *testing.T) {
+	// The property the whole pipeline rests on: hashing the unpacked
+	// payload yields the same digest as installing via synthetic digest.
+	p := pkg("coreutils", "8.32", SuiteMain, PriorityRequired, execFile("/usr/bin/ls", 4096))
+	payload, err := Pack(p)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	files, err := Unpack(payload)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	fromPayload := sha256.Sum256(files[0].Content)
+	fromInstall := vfs.SyntheticDigest(p.ContentSeed(p.Files[0]), p.Files[0].Size)
+	if fromPayload != fromInstall {
+		t.Fatal("payload digest != install digest")
+	}
+}
+
+func TestUnpackCorruptPayload(t *testing.T) {
+	if _, err := Unpack([]byte("not gzip")); !errors.Is(err, ErrCorruptPayload) {
+		t.Fatalf("err = %v, want ErrCorruptPayload", err)
+	}
+	// Truncated valid gzip stream.
+	p := pkg("x", "1", SuiteMain, PriorityOptional, execFile("/x", 100))
+	payload, err := Pack(p)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	if _, err := Unpack(payload[:len(payload)/2]); err == nil {
+		t.Fatal("Unpack of truncated payload succeeded")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Publish(t0, pkg("bash", "5.1", SuiteMain, PriorityRequired, execFile("/bin/bash", 10))); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	snap := a.Snapshot()
+	// Mutating the snapshot must not affect the archive.
+	p := snap.Packages["bash"]
+	p.Files[0].Path = "/mutated"
+	got, err := a.Package("bash")
+	if err != nil {
+		t.Fatalf("Package: %v", err)
+	}
+	if got.Files[0].Path != "/bin/bash" {
+		t.Fatal("archive mutated via snapshot")
+	}
+}
+
+// Property: after any publish sequence, syncing a fresh mirror twice yields
+// (full delta, empty delta); and Added+Changed of incremental syncs never
+// overlap.
+func TestMirrorSyncProperty(t *testing.T) {
+	f := func(versions []uint8) bool {
+		a := NewArchive()
+		m := NewMirror(a)
+		now := t0
+		seen := map[string]string{}
+		for i, v := range versions {
+			name := fmt.Sprintf("pkg%d", int(v)%7)
+			ver := fmt.Sprintf("1.%d", i)
+			if seen[name] == ver {
+				continue
+			}
+			if _, err := a.Publish(now, pkg(name, ver, SuiteUpdates, PriorityOptional, execFile("/usr/bin/"+name, 16))); err != nil {
+				return false
+			}
+			seen[name] = ver
+			now = now.Add(time.Hour)
+			d := m.Sync(now)
+			names := map[string]bool{}
+			for _, p := range d.Added {
+				if names[p.Name] {
+					return false
+				}
+				names[p.Name] = true
+			}
+			for _, p := range d.Changed {
+				if names[p.Name] {
+					return false
+				}
+				names[p.Name] = true
+			}
+		}
+		// A final sync with no new publication must be empty.
+		return m.Sync(now.Add(time.Hour)).Empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Pack/Unpack round-trips arbitrary file lists.
+func TestPackUnpackProperty(t *testing.T) {
+	f := func(names []uint8, execBits []bool) bool {
+		n := len(names)
+		if len(execBits) < n {
+			n = len(execBits)
+		}
+		if n > 20 {
+			n = 20
+		}
+		files := make([]PackageFile, 0, n)
+		for i := 0; i < n; i++ {
+			mode := vfs.ModeRegular
+			if execBits[i] {
+				mode = vfs.ModeExecutable
+			}
+			files = append(files, PackageFile{
+				Path: fmt.Sprintf("/opt/f%d-%d", i, names[i]),
+				Mode: mode,
+				Size: int(names[i]) * 3,
+			})
+		}
+		p := Package{Name: "prop", Version: "1", Suite: SuiteMain, Priority: PriorityOptional, Files: files}
+		payload, err := Pack(p)
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(payload)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(files) {
+			return false
+		}
+		for i := range got {
+			if got[i].Path != files[i].Path || got[i].Mode != files[i].Mode || len(got[i].Content) != files[i].Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVendorSigningAtPublish(t *testing.T) {
+	vendor, err := filesig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	a := NewArchive()
+	a.SetVendor(vendor)
+	p := pkg("bash", "5.1-6", SuiteMain, PriorityRequired,
+		execFile("/bin/bash", 512), dataFile("/usr/share/doc/x", 64))
+	if _, err := a.Publish(t0, p); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	got, err := a.Package("bash")
+	if err != nil {
+		t.Fatalf("Package: %v", err)
+	}
+	pub, _ := vendor.Public()
+	vs, err := filesig.NewVerifySet(pub)
+	if err != nil {
+		t.Fatalf("NewVerifySet: %v", err)
+	}
+	for _, f := range got.Files {
+		if !f.IsExec() {
+			if f.Signature != "" {
+				t.Fatalf("data file %s signed", f.Path)
+			}
+			continue
+		}
+		if f.Signature == "" {
+			t.Fatalf("executable %s unsigned", f.Path)
+		}
+		digest := vfs.SyntheticDigest(got.ContentSeed(f), f.Size)
+		if !vs.VerifyHex(digest, f.Signature) {
+			t.Fatalf("signature on %s does not verify", f.Path)
+		}
+	}
+}
+
+func TestPackUnpackCarriesSignatures(t *testing.T) {
+	vendor, err := filesig.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	a := NewArchive()
+	a.SetVendor(vendor)
+	if _, err := a.Publish(t0, pkg("curl", "7.81", SuiteMain, PriorityOptional, execFile("/usr/bin/curl", 256))); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	signed, err := a.Package("curl")
+	if err != nil {
+		t.Fatalf("Package: %v", err)
+	}
+	payload, err := Pack(signed)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	files, err := Unpack(payload)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if files[0].Signature != signed.Files[0].Signature {
+		t.Fatal("signature lost through Pack/Unpack")
+	}
+}

@@ -1,0 +1,52 @@
+package policy_test
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// ExampleRuntimePolicy_Check shows the verifier-side evaluation of measured
+// entries, including the two false-positive error classes from the paper.
+func ExampleRuntimePolicy_Check() {
+	pol := policy.New()
+	good := sha256.Sum256([]byte("bash 5.1-6"))
+	pol.Add("/bin/bash", good)
+	_ = pol.SetExcludes([]string{"/tmp/.*"})
+
+	fmt.Println(pol.Check("/bin/bash", good))                             // known file, right digest
+	fmt.Println(pol.Check("/bin/bash", sha256.Sum256([]byte("patched")))) // hash mismatch
+	fmt.Println(pol.Check("/usr/bin/new-tool", good))                     // missing from policy
+	fmt.Println(pol.Check("/tmp/anything", good))                         // excluded (P1)
+	// Output:
+	// <nil>
+	// policy: file digest does not match any allowed digest: /bin/bash
+	// policy: file not present in policy: /usr/bin/new-tool
+	// <nil>
+}
+
+// ExampleRuntimePolicy_Merge shows the update-window consistency rule: old
+// and new digests coexist during an update, then dedup drops stale ones.
+func ExampleRuntimePolicy_Merge() {
+	current := policy.New()
+	oldDigest := sha256.Sum256([]byte("curl 7.81-1"))
+	current.Add("/usr/bin/curl", oldDigest)
+
+	update := policy.New()
+	newDigest := sha256.Sum256([]byte("curl 7.81-2"))
+	update.Add("/usr/bin/curl", newDigest)
+
+	stats := current.Merge(update)
+	fmt.Println("added entries:", stats.AddedEntries)
+	fmt.Println("old digest still valid during window:", current.Check("/usr/bin/curl", oldDigest) == nil)
+
+	removed := current.Dedup(nil)
+	fmt.Println("stale digests removed after update:", removed)
+	fmt.Println("old digest valid after dedup:", current.Check("/usr/bin/curl", oldDigest) == nil)
+	// Output:
+	// added entries: 1
+	// old digest still valid during window: true
+	// stale digests removed after update: 1
+	// old digest valid after dedup: false
+}

@@ -1,0 +1,59 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseFlat exercises the flat-allowlist parser: no panics, and
+// accepted input round-trips through FormatFlat.
+func FuzzParseFlat(f *testing.F) {
+	p := New()
+	p.Add("/bin/bash", sha256.Sum256([]byte("bash")))
+	f.Add(p.FormatFlat())
+	f.Add("# comment\n\n")
+	f.Add("zz /bin/x\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ParseFlat(input)
+		if err != nil {
+			return
+		}
+		again, err := ParseFlat(parsed.FormatFlat())
+		if err != nil {
+			t.Fatalf("reparse of formatted policy failed: %v", err)
+		}
+		if again.Lines() != parsed.Lines() {
+			t.Fatalf("round trip changed line count: %d -> %d", parsed.Lines(), again.Lines())
+		}
+	})
+}
+
+// FuzzUnmarshalJSON exercises the runtime-policy JSON decoder.
+func FuzzUnmarshalJSON(f *testing.F) {
+	p := New()
+	p.Add("/bin/bash", sha256.Sum256([]byte("bash")))
+	_ = p.SetExcludes([]string{"/tmp/.*"})
+	good, _ := json.Marshal(p)
+	f.Add(string(good))
+	f.Add(`{"meta":{},"digests":{},"excludes":[]}`)
+	f.Add(`{"digests":{"/x":["zz"]}}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		var q RuntimePolicy
+		if err := json.Unmarshal([]byte(input), &q); err != nil {
+			return
+		}
+		// Accepted policies must re-serialize and re-parse.
+		data, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted policy failed: %v", err)
+		}
+		var r RuntimePolicy
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if r.Lines() != q.Lines() {
+			t.Fatalf("round trip changed lines: %d -> %d", q.Lines(), r.Lines())
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package policy implements the Keylime runtime policy: the allowlist of
+// file digests the verifier checks IMA measurement entries against, plus
+// exclude patterns for paths the operator elects not to attest.
+//
+// The paper's false-positive findings are policy/measurement mismatches
+// (stale digests after OS updates, paths missing from the policy, SNAP
+// path truncation), and its P1 finding is an overly permissive exclude
+// (the /tmp wildcard). The dynamic policy generator (internal/core)
+// produces and incrementally updates values of this type.
+//
+// A RuntimePolicy is a plain data structure and is not safe for concurrent
+// mutation; the verifier swaps complete policies atomically.
+package policy
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/tpm"
+)
+
+// Digest aliases the TPM digest type used throughout the system.
+type Digest = tpm.Digest
+
+// Sentinel errors for policy evaluation and parsing.
+var (
+	ErrHashMismatch = errors.New("policy: file digest does not match any allowed digest")
+	ErrNotInPolicy  = errors.New("policy: file not present in policy")
+	ErrBadExclude   = errors.New("policy: invalid exclude pattern")
+	ErrBadFormat    = errors.New("policy: malformed serialized policy")
+)
+
+// Meta carries provenance information for a policy.
+type Meta struct {
+	Generator string    `json:"generator"`
+	Timestamp time.Time `json:"timestamp"`
+	// Release is the mirror release sequence the policy was built from.
+	Release int `json:"release"`
+}
+
+// RuntimePolicy is the verifier-side allowlist.
+type RuntimePolicy struct {
+	meta     Meta
+	digests  map[string][]Digest
+	excludes []string
+	compiled []*regexp.Regexp
+}
+
+// New returns an empty policy.
+func New() *RuntimePolicy {
+	return &RuntimePolicy{digests: make(map[string][]Digest)}
+}
+
+// Meta returns the policy metadata.
+func (p *RuntimePolicy) Meta() Meta { return p.meta }
+
+// SetMeta replaces the policy metadata.
+func (p *RuntimePolicy) SetMeta(m Meta) { p.meta = m }
+
+// Add records an allowed digest for path, deduplicating. It reports whether
+// a new entry was added.
+func (p *RuntimePolicy) Add(path string, d Digest) bool {
+	for _, existing := range p.digests[path] {
+		if existing == d {
+			return false
+		}
+	}
+	p.digests[path] = append(p.digests[path], d)
+	return true
+}
+
+// Remove deletes every digest recorded for path.
+func (p *RuntimePolicy) Remove(path string) {
+	delete(p.digests, path)
+}
+
+// Allowed returns the digests recorded for path.
+func (p *RuntimePolicy) Allowed(path string) []Digest {
+	return append([]Digest(nil), p.digests[path]...)
+}
+
+// Has reports whether path has at least one allowed digest.
+func (p *RuntimePolicy) Has(path string) bool {
+	return len(p.digests[path]) > 0
+}
+
+// Paths returns every path in the policy, sorted.
+func (p *RuntimePolicy) Paths() []string {
+	out := make([]string, 0, len(p.digests))
+	for path := range p.digests {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetExcludes replaces the exclude pattern list. Patterns are anchored
+// regular expressions (Keylime semantics).
+func (p *RuntimePolicy) SetExcludes(patterns []string) error {
+	compiled := make([]*regexp.Regexp, 0, len(patterns))
+	for _, pat := range patterns {
+		re, err := regexp.Compile("^(?:" + pat + ")")
+		if err != nil {
+			return fmt.Errorf("%w: %q: %v", ErrBadExclude, pat, err)
+		}
+		compiled = append(compiled, re)
+	}
+	p.excludes = append([]string(nil), patterns...)
+	p.compiled = compiled
+	return nil
+}
+
+// AddExclude appends one exclude pattern.
+func (p *RuntimePolicy) AddExclude(pattern string) error {
+	return p.SetExcludes(append(p.Excludes(), pattern))
+}
+
+// Excludes returns the exclude pattern list.
+func (p *RuntimePolicy) Excludes() []string {
+	return append([]string(nil), p.excludes...)
+}
+
+// IsExcluded reports whether the path matches any exclude pattern.
+func (p *RuntimePolicy) IsExcluded(path string) bool {
+	for _, re := range p.compiled {
+		if re.MatchString(path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check evaluates one measured (path, digest) pair against the policy:
+// excluded paths pass unconditionally; otherwise the digest must be one of
+// the allowed digests for the path. The two failure modes are the paper's
+// false-positive error types: ErrNotInPolicy ("missing file in the policy")
+// and ErrHashMismatch.
+func (p *RuntimePolicy) Check(path string, d Digest) error {
+	if p.IsExcluded(path) {
+		return nil
+	}
+	allowed, ok := p.digests[path]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotInPolicy, path)
+	}
+	for _, a := range allowed {
+		if a == d {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrHashMismatch, path)
+}
+
+// Lines counts (path, digest) entries — the unit the paper reports policy
+// sizes in (e.g. "1,271 lines per daily update").
+func (p *RuntimePolicy) Lines() int {
+	n := 0
+	for _, ds := range p.digests {
+		n += len(ds)
+	}
+	return n
+}
+
+// SizeBytes returns the size of the flat allowlist serialization.
+func (p *RuntimePolicy) SizeBytes() int64 {
+	var n int64
+	for path, ds := range p.digests {
+		// "<64 hex>  <path>\n"
+		n += int64(len(ds)) * int64(2*len(Digest{})+2+len(path)+1)
+	}
+	return n
+}
+
+// Clone deep-copies the policy.
+func (p *RuntimePolicy) Clone() *RuntimePolicy {
+	out := New()
+	out.meta = p.meta
+	for path, ds := range p.digests {
+		out.digests[path] = append([]Digest(nil), ds...)
+	}
+	if err := out.SetExcludes(p.excludes); err != nil {
+		// The patterns compiled when first set; recompiling cannot fail.
+		panic(fmt.Sprintf("policy: recompiling excludes: %v", err))
+	}
+	return out
+}
+
+// MergeStats summarizes what a Merge changed.
+type MergeStats struct {
+	// AddedEntries is the number of new (path, digest) pairs.
+	AddedEntries int
+	// NewPaths is how many of those were for previously unknown paths.
+	NewPaths int
+}
+
+// Merge folds every entry of other into p (union of digests per path). The
+// paper's update-window consistency rule (§III-C) is exactly this: keep the
+// old digests, add the new ones, dedup later.
+func (p *RuntimePolicy) Merge(other *RuntimePolicy) MergeStats {
+	var st MergeStats
+	for path, ds := range other.digests {
+		known := p.Has(path)
+		for _, d := range ds {
+			if p.Add(path, d) {
+				st.AddedEntries++
+				if !known {
+					st.NewPaths++
+					known = true
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Dedup retains only the newest digest per path according to keep: for each
+// path with multiple digests, keep decides which single digest survives.
+// Passing nil keeps the last-added digest (the paper's post-update
+// deduplication of outdated hashes).
+func (p *RuntimePolicy) Dedup(keep func(path string, ds []Digest) Digest) int {
+	removed := 0
+	for path, ds := range p.digests {
+		if len(ds) <= 1 {
+			continue
+		}
+		var chosen Digest
+		if keep != nil {
+			chosen = keep(path, ds)
+		} else {
+			chosen = ds[len(ds)-1]
+		}
+		removed += len(ds) - 1
+		p.digests[path] = []Digest{chosen}
+	}
+	return removed
+}
+
+// jsonPolicy is the serialized form (mirrors Keylime's runtime policy JSON).
+type jsonPolicy struct {
+	Meta     Meta                `json:"meta"`
+	Digests  map[string][]string `json:"digests"`
+	Excludes []string            `json:"excludes"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *RuntimePolicy) MarshalJSON() ([]byte, error) {
+	jp := jsonPolicy{Meta: p.meta, Digests: make(map[string][]string, len(p.digests)), Excludes: p.excludes}
+	for path, ds := range p.digests {
+		hexes := make([]string, len(ds))
+		for i, d := range ds {
+			hexes[i] = hex.EncodeToString(d[:])
+		}
+		jp.Digests[path] = hexes
+	}
+	return json.Marshal(jp)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *RuntimePolicy) UnmarshalJSON(data []byte) error {
+	var jp jsonPolicy
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	p.meta = jp.Meta
+	p.digests = make(map[string][]Digest, len(jp.Digests))
+	for path, hexes := range jp.Digests {
+		ds := make([]Digest, 0, len(hexes))
+		for _, h := range hexes {
+			raw, err := hex.DecodeString(h)
+			if err != nil || len(raw) != len(Digest{}) {
+				return fmt.Errorf("%w: digest %q for %s", ErrBadFormat, h, path)
+			}
+			var d Digest
+			copy(d[:], raw)
+			ds = append(ds, d)
+		}
+		p.digests[path] = ds
+	}
+	return p.SetExcludes(jp.Excludes)
+}
+
+// FormatFlat renders the policy as a legacy flat allowlist
+// ("<sha256-hex>  <path>") sorted by path.
+func (p *RuntimePolicy) FormatFlat() string {
+	var b strings.Builder
+	for _, path := range p.Paths() {
+		for _, d := range p.digests[path] {
+			b.WriteString(hex.EncodeToString(d[:]))
+			b.WriteString("  ")
+			b.WriteString(path)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// ParseFlat parses the flat allowlist format.
+func ParseFlat(s string) (*RuntimePolicy, error) {
+	p := New()
+	sc := bufio.NewScanner(strings.NewReader(s))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		hexPart, path, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadFormat, lineNo, line)
+		}
+		path = strings.TrimSpace(path)
+		raw, err := hex.DecodeString(hexPart)
+		if err != nil || len(raw) != len(Digest{}) || path == "" {
+			return nil, fmt.Errorf("%w: line %d: %q", ErrBadFormat, lineNo, line)
+		}
+		var d Digest
+		copy(d[:], raw)
+		p.Add(path, d)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("policy: scanning flat allowlist: %w", err)
+	}
+	return p, nil
+}
+
+// DiffStats compares two policies.
+type DiffStats struct {
+	// OnlyInNew counts (path,digest) entries present in new but not old.
+	OnlyInNew int
+	// OnlyInOld counts entries present in old but not new.
+	OnlyInOld int
+	// PathsChanged counts paths present in both with different digest sets.
+	PathsChanged int
+}
+
+// Diff computes entry-level differences between two policies.
+func Diff(old, updated *RuntimePolicy) DiffStats {
+	var st DiffStats
+	contains := func(ds []Digest, d Digest) bool {
+		for _, x := range ds {
+			if x == d {
+				return true
+			}
+		}
+		return false
+	}
+	for path, ds := range updated.digests {
+		oldDs := old.digests[path]
+		changed := false
+		for _, d := range ds {
+			if !contains(oldDs, d) {
+				st.OnlyInNew++
+				changed = true
+			}
+		}
+		if changed && len(oldDs) > 0 {
+			st.PathsChanged++
+		}
+	}
+	for path, ds := range old.digests {
+		newDs := updated.digests[path]
+		for _, d := range ds {
+			if !contains(newDs, d) {
+				st.OnlyInOld++
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,350 @@
+package policy
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func d(s string) Digest { return sha256.Sum256([]byte(s)) }
+
+func TestAddAndCheck(t *testing.T) {
+	p := New()
+	if !p.Add("/bin/bash", d("bash-v1")) {
+		t.Fatal("first Add returned false")
+	}
+	if p.Add("/bin/bash", d("bash-v1")) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if err := p.Check("/bin/bash", d("bash-v1")); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if err := p.Check("/bin/bash", d("bash-v2")); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("Check wrong digest: %v, want ErrHashMismatch", err)
+	}
+	if err := p.Check("/bin/evil", d("evil")); !errors.Is(err, ErrNotInPolicy) {
+		t.Fatalf("Check unknown path: %v, want ErrNotInPolicy", err)
+	}
+}
+
+func TestMultipleDigestsPerPath(t *testing.T) {
+	// During the update window a path legitimately has two valid digests.
+	p := New()
+	p.Add("/bin/bash", d("old"))
+	p.Add("/bin/bash", d("new"))
+	for _, version := range []string{"old", "new"} {
+		if err := p.Check("/bin/bash", d(version)); err != nil {
+			t.Fatalf("Check(%s): %v", version, err)
+		}
+	}
+	if got := len(p.Allowed("/bin/bash")); got != 2 {
+		t.Fatalf("Allowed len = %d, want 2", got)
+	}
+}
+
+func TestExcludedPathsPassAnything(t *testing.T) {
+	p := New()
+	if err := p.SetExcludes([]string{"/tmp/.*", "/var/log/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	if err := p.Check("/tmp/anything/at/all", d("whatever")); err != nil {
+		t.Fatalf("excluded path failed check: %v", err)
+	}
+	if !p.IsExcluded("/tmp/x") {
+		t.Fatal("IsExcluded(/tmp/x) = false")
+	}
+	if p.IsExcluded("/usr/tmp/x") {
+		t.Fatal("exclude pattern matched mid-path; must be anchored")
+	}
+}
+
+func TestSetExcludesInvalidPattern(t *testing.T) {
+	p := New()
+	if err := p.SetExcludes([]string{"/tmp/["}); !errors.Is(err, ErrBadExclude) {
+		t.Fatalf("err = %v, want ErrBadExclude", err)
+	}
+}
+
+func TestAddExcludeAppends(t *testing.T) {
+	p := New()
+	if err := p.AddExclude("/tmp/.*"); err != nil {
+		t.Fatalf("AddExclude: %v", err)
+	}
+	if err := p.AddExclude("/proc/.*"); err != nil {
+		t.Fatalf("AddExclude: %v", err)
+	}
+	if got := len(p.Excludes()); got != 2 {
+		t.Fatalf("Excludes len = %d, want 2", got)
+	}
+	if !p.IsExcluded("/proc/self/exe") {
+		t.Fatal("second exclude not active")
+	}
+}
+
+func TestLinesAndSize(t *testing.T) {
+	p := New()
+	p.Add("/bin/a", d("a"))
+	p.Add("/bin/a", d("a2"))
+	p.Add("/bin/b", d("b"))
+	if got := p.Lines(); got != 3 {
+		t.Fatalf("Lines = %d, want 3", got)
+	}
+	// Size: 64 hex + 2 spaces + len(path) + newline per entry.
+	want := int64(2*(64+2+len("/bin/a")+1) + (64 + 2 + len("/bin/b") + 1))
+	if got := p.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, want %d", got, want)
+	}
+	if got := int64(len(p.FormatFlat())); got != want {
+		t.Fatalf("FormatFlat length = %d, want SizeBytes %d", got, want)
+	}
+}
+
+func TestMergeUnionAndStats(t *testing.T) {
+	base := New()
+	base.Add("/bin/a", d("a1"))
+	base.Add("/bin/b", d("b1"))
+	delta := New()
+	delta.Add("/bin/a", d("a2")) // changed file: second digest
+	delta.Add("/bin/c", d("c1")) // new file
+	delta.Add("/bin/b", d("b1")) // unchanged: no-op
+	st := base.Merge(delta)
+	if st.AddedEntries != 2 {
+		t.Fatalf("AddedEntries = %d, want 2", st.AddedEntries)
+	}
+	if st.NewPaths != 1 {
+		t.Fatalf("NewPaths = %d, want 1", st.NewPaths)
+	}
+	// Both digests of /bin/a valid during the update window.
+	for _, v := range []string{"a1", "a2"} {
+		if err := base.Check("/bin/a", d(v)); err != nil {
+			t.Fatalf("Check after merge: %v", err)
+		}
+	}
+}
+
+func TestDedupKeepsLastAdded(t *testing.T) {
+	p := New()
+	p.Add("/bin/a", d("old"))
+	p.Add("/bin/a", d("new"))
+	p.Add("/bin/b", d("only"))
+	removed := p.Dedup(nil)
+	if removed != 1 {
+		t.Fatalf("Dedup removed %d, want 1", removed)
+	}
+	if err := p.Check("/bin/a", d("new")); err != nil {
+		t.Fatalf("newest digest dropped: %v", err)
+	}
+	if err := p.Check("/bin/a", d("old")); !errors.Is(err, ErrHashMismatch) {
+		t.Fatalf("outdated digest survived dedup: %v", err)
+	}
+}
+
+func TestDedupCustomKeep(t *testing.T) {
+	p := New()
+	p.Add("/bin/a", d("x"))
+	p.Add("/bin/a", d("y"))
+	p.Dedup(func(path string, ds []Digest) Digest { return ds[0] })
+	if err := p.Check("/bin/a", d("x")); err != nil {
+		t.Fatalf("keep-chosen digest dropped: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := New()
+	p.Add("/bin/a", d("a"))
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	c := p.Clone()
+	c.Add("/bin/a", d("a2"))
+	c.Remove("/bin/a")
+	if !p.Has("/bin/a") {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.IsExcluded("/tmp/x") {
+		t.Fatal("clone lost excludes")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New()
+	p.SetMeta(Meta{Generator: "dynamic-policy-generator", Timestamp: time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC), Release: 7})
+	p.Add("/bin/bash", d("bash"))
+	p.Add("/usr/bin/python3", d("py1"))
+	p.Add("/usr/bin/python3", d("py2"))
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var q RuntimePolicy
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if q.Meta() != p.Meta() {
+		t.Fatalf("meta = %+v, want %+v", q.Meta(), p.Meta())
+	}
+	if q.Lines() != p.Lines() {
+		t.Fatalf("lines = %d, want %d", q.Lines(), p.Lines())
+	}
+	if err := q.Check("/usr/bin/python3", d("py2")); err != nil {
+		t.Fatalf("Check after round trip: %v", err)
+	}
+	if !q.IsExcluded("/tmp/x") {
+		t.Fatal("excludes lost in round trip")
+	}
+}
+
+func TestUnmarshalRejectsBadDigest(t *testing.T) {
+	var q RuntimePolicy
+	bad := `{"meta":{},"digests":{"/bin/x":["zz"]},"excludes":[]}`
+	if err := json.Unmarshal([]byte(bad), &q); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestFlatRoundTrip(t *testing.T) {
+	p := New()
+	p.Add("/bin/bash", d("bash"))
+	p.Add("/opt/My App/run", d("app"))
+	flat := p.FormatFlat()
+	q, err := ParseFlat(flat)
+	if err != nil {
+		t.Fatalf("ParseFlat: %v", err)
+	}
+	if q.Lines() != 2 {
+		t.Fatalf("Lines = %d, want 2", q.Lines())
+	}
+	if err := q.Check("/opt/My App/run", d("app")); err != nil {
+		t.Fatalf("Check path with spaces: %v", err)
+	}
+}
+
+func TestParseFlatSkipsCommentsAndBlank(t *testing.T) {
+	input := "# allowlist\n\n" + fmt.Sprintf("%x  /bin/a\n", d("a"))
+	p, err := ParseFlat(input)
+	if err != nil {
+		t.Fatalf("ParseFlat: %v", err)
+	}
+	if p.Lines() != 1 {
+		t.Fatalf("Lines = %d, want 1", p.Lines())
+	}
+}
+
+func TestParseFlatRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{"nothex  /bin/a\n", "deadbeef  /bin/a\n", "no-path-line\n"} {
+		if _, err := ParseFlat(bad); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("ParseFlat(%q) err = %v, want ErrBadFormat", bad, err)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := New()
+	old.Add("/bin/a", d("a1"))
+	old.Add("/bin/b", d("b1"))
+	updated := old.Clone()
+	updated.Add("/bin/a", d("a2")) // changed
+	updated.Add("/bin/c", d("c1")) // added
+	updated.Remove("/bin/b")       // removed
+	st := Diff(old, updated)
+	if st.OnlyInNew != 2 {
+		t.Fatalf("OnlyInNew = %d, want 2", st.OnlyInNew)
+	}
+	if st.OnlyInOld != 1 {
+		t.Fatalf("OnlyInOld = %d, want 1", st.OnlyInOld)
+	}
+	if st.PathsChanged != 1 {
+		t.Fatalf("PathsChanged = %d, want 1", st.PathsChanged)
+	}
+}
+
+// Property: merge is idempotent — merging the same delta twice adds nothing
+// the second time.
+func TestMergeIdempotentProperty(t *testing.T) {
+	f := func(paths []uint8, seeds []uint8) bool {
+		n := min(len(paths), len(seeds), 30)
+		base := New()
+		delta := New()
+		for i := 0; i < n; i++ {
+			delta.Add(fmt.Sprintf("/bin/p%d", paths[i]%10), d(fmt.Sprintf("s%d", seeds[i]%5)))
+		}
+		base.Merge(delta)
+		lines := base.Lines()
+		st := base.Merge(delta)
+		return st.AddedEntries == 0 && base.Lines() == lines
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after Merge, every entry of the delta passes Check.
+func TestMergeSoundnessProperty(t *testing.T) {
+	f := func(paths []uint8, seeds []uint8) bool {
+		n := min(len(paths), len(seeds), 30)
+		base := New()
+		base.Add("/bin/existing", d("e"))
+		delta := New()
+		type pair struct {
+			path string
+			dig  Digest
+		}
+		var pairs []pair
+		for i := 0; i < n; i++ {
+			path := fmt.Sprintf("/bin/p%d", paths[i]%10)
+			dig := d(fmt.Sprintf("s%d", seeds[i]))
+			delta.Add(path, dig)
+			pairs = append(pairs, pair{path, dig})
+		}
+		base.Merge(delta)
+		for _, pr := range pairs {
+			if err := base.Check(pr.path, pr.dig); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: JSON round trip preserves Check outcomes.
+func TestJSONRoundTripProperty(t *testing.T) {
+	f := func(paths []uint8, seeds []uint8) bool {
+		n := min(len(paths), len(seeds), 20)
+		p := New()
+		for i := 0; i < n; i++ {
+			p.Add(fmt.Sprintf("/usr/bin/f%d", paths[i]), d(fmt.Sprintf("c%d", seeds[i])))
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			return false
+		}
+		var q RuntimePolicy
+		if err := json.Unmarshal(data, &q); err != nil {
+			return false
+		}
+		if q.Lines() != p.Lines() {
+			return false
+		}
+		for _, path := range p.Paths() {
+			for _, dig := range p.Allowed(path) {
+				if err := q.Check(path, dig); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

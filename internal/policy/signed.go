@@ -1,0 +1,139 @@
+package policy
+
+// Signed policies implement the improvement the paper's §V discussion asks
+// for: "file hashes in packages generated and then signed" (ostree-style),
+// so a verifier only accepts runtime policies from trusted policy
+// generators and a compromised management channel cannot push a permissive
+// policy. An Envelope carries the serialized policy with an ECDSA-P256
+// signature and the signer's key id; verifiers keep a set of trusted keys.
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Signing errors.
+var (
+	ErrUntrustedKey = errors.New("policy: envelope signed by untrusted key")
+	ErrBadSignature = errors.New("policy: envelope signature invalid")
+	ErrBadEnvelope  = errors.New("policy: malformed envelope")
+)
+
+// Envelope is a signed, serialized runtime policy.
+type Envelope struct {
+	// Payload is the policy's JSON serialization (the exact signed bytes).
+	Payload []byte `json:"payload"`
+	// KeyID identifies the signing key (hex SHA-256 of its PKIX form).
+	KeyID string `json:"key_id"`
+	// Signature is an ASN.1 ECDSA signature over SHA-256(Payload).
+	Signature []byte `json:"signature"`
+}
+
+// Signer produces policy envelopes. Construct with NewSigner.
+type Signer struct {
+	key   *ecdsa.PrivateKey
+	keyID string
+	rng   io.Reader
+}
+
+// KeyIDOf computes the key id of a PKIX-encoded public key.
+func KeyIDOf(pubDER []byte) string {
+	sum := sha256.Sum256(pubDER)
+	return hex.EncodeToString(sum[:])
+}
+
+// NewSigner generates a fresh ECDSA-P256 signing key.
+func NewSigner(rng io.Reader) (*Signer, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("policy: generating signing key: %w", err)
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("policy: marshaling signing key: %w", err)
+	}
+	return &Signer{key: key, keyID: KeyIDOf(pubDER), rng: rng}, nil
+}
+
+// Public returns the signer's public key in PKIX DER form.
+func (s *Signer) Public() ([]byte, error) {
+	return x509.MarshalPKIXPublicKey(&s.key.PublicKey)
+}
+
+// KeyID returns the signer's key id.
+func (s *Signer) KeyID() string { return s.keyID }
+
+// Sign serializes and signs a policy.
+func (s *Signer) Sign(p *RuntimePolicy) (Envelope, error) {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("policy: serializing for signature: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	sig, err := ecdsa.SignASN1(s.rng, s.key, sum[:])
+	if err != nil {
+		return Envelope{}, fmt.Errorf("policy: signing: %w", err)
+	}
+	return Envelope{Payload: payload, KeyID: s.keyID, Signature: sig}, nil
+}
+
+// TrustStore holds the public keys a verifier accepts policies from.
+type TrustStore struct {
+	keys map[string]*ecdsa.PublicKey
+}
+
+// NewTrustStore builds a store from PKIX-encoded public keys.
+func NewTrustStore(pubDERs ...[]byte) (*TrustStore, error) {
+	ts := &TrustStore{keys: make(map[string]*ecdsa.PublicKey, len(pubDERs))}
+	for _, der := range pubDERs {
+		if err := ts.Add(der); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+// Add trusts one more key.
+func (ts *TrustStore) Add(pubDER []byte) error {
+	pub, err := x509.ParsePKIXPublicKey(pubDER)
+	if err != nil {
+		return fmt.Errorf("policy: parsing trusted key: %w", err)
+	}
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return fmt.Errorf("policy: trusted key is %T, want *ecdsa.PublicKey", pub)
+	}
+	ts.keys[KeyIDOf(pubDER)] = ecPub
+	return nil
+}
+
+// Len reports how many keys are trusted.
+func (ts *TrustStore) Len() int { return len(ts.keys) }
+
+// Verify checks the envelope against the trusted keys and returns the
+// contained policy.
+func (ts *TrustStore) Verify(env Envelope) (*RuntimePolicy, error) {
+	if len(env.Payload) == 0 || env.KeyID == "" {
+		return nil, ErrBadEnvelope
+	}
+	pub, ok := ts.keys[env.KeyID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUntrustedKey, env.KeyID)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if !ecdsa.VerifyASN1(pub, sum[:], env.Signature) {
+		return nil, ErrBadSignature
+	}
+	pol := New()
+	if err := json.Unmarshal(env.Payload, pol); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrBadEnvelope, err)
+	}
+	return pol, nil
+}

@@ -1,0 +1,177 @@
+package policy
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newSignedFixture(t *testing.T) (*Signer, *RuntimePolicy) {
+	t.Helper()
+	s, err := NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	p := New()
+	p.Add("/bin/bash", sha256.Sum256([]byte("bash")))
+	p.Add("/usr/bin/python3", sha256.Sum256([]byte("py")))
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	return s, p
+}
+
+func trustOf(t *testing.T, signers ...*Signer) *TrustStore {
+	t.Helper()
+	var pubs [][]byte
+	for _, s := range signers {
+		pub, err := s.Public()
+		if err != nil {
+			t.Fatalf("Public: %v", err)
+		}
+		pubs = append(pubs, pub)
+	}
+	ts, err := NewTrustStore(pubs...)
+	if err != nil {
+		t.Fatalf("NewTrustStore: %v", err)
+	}
+	return ts
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s, p := newSignedFixture(t)
+	env, err := s.Sign(p)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	if env.KeyID != s.KeyID() {
+		t.Fatalf("KeyID = %q, want %q", env.KeyID, s.KeyID())
+	}
+	ts := trustOf(t, s)
+	got, err := ts.Verify(env)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if got.Lines() != p.Lines() {
+		t.Fatalf("lines = %d, want %d", got.Lines(), p.Lines())
+	}
+	if !got.IsExcluded("/tmp/x") {
+		t.Fatal("excludes lost through envelope")
+	}
+	if err := got.Check("/bin/bash", sha256.Sum256([]byte("bash"))); err != nil {
+		t.Fatalf("Check after verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsUntrustedKey(t *testing.T) {
+	s, p := newSignedFixture(t)
+	env, err := s.Sign(p)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	other, err := NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	ts := trustOf(t, other)
+	if _, err := ts.Verify(env); !errors.Is(err, ErrUntrustedKey) {
+		t.Fatalf("err = %v, want ErrUntrustedKey", err)
+	}
+}
+
+func TestVerifyRejectsTamperedPayload(t *testing.T) {
+	s, p := newSignedFixture(t)
+	env, err := s.Sign(p)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	ts := trustOf(t, s)
+	// Flip one byte inside the payload (e.g. a digest hex char).
+	tampered := env
+	tampered.Payload = append([]byte(nil), env.Payload...)
+	idx := len(tampered.Payload) / 2
+	tampered.Payload[idx] ^= 0x01
+	if _, err := ts.Verify(tampered); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongKeyIDForSignature(t *testing.T) {
+	s1, p := newSignedFixture(t)
+	s2, err := NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	env, err := s1.Sign(p)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	// Attacker rewrites the key id to a trusted key they don't hold.
+	env.KeyID = s2.KeyID()
+	ts := trustOf(t, s2)
+	if _, err := ts.Verify(env); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsEmptyEnvelope(t *testing.T) {
+	s, _ := newSignedFixture(t)
+	ts := trustOf(t, s)
+	if _, err := ts.Verify(Envelope{}); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("err = %v, want ErrBadEnvelope", err)
+	}
+}
+
+func TestTrustStoreMultipleKeys(t *testing.T) {
+	s1, p := newSignedFixture(t)
+	s2, err := NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	ts := trustOf(t, s1, s2)
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ts.Len())
+	}
+	for _, s := range []*Signer{s1, s2} {
+		env, err := s.Sign(p)
+		if err != nil {
+			t.Fatalf("Sign: %v", err)
+		}
+		if _, err := ts.Verify(env); err != nil {
+			t.Fatalf("Verify with key %s: %v", s.KeyID(), err)
+		}
+	}
+}
+
+func TestTrustStoreRejectsBadKeyBytes(t *testing.T) {
+	if _, err := NewTrustStore([]byte("not a key")); err == nil {
+		t.Fatal("NewTrustStore accepted garbage")
+	}
+}
+
+// Property: any single-byte corruption of payload or signature is rejected.
+func TestEnvelopeTamperProperty(t *testing.T) {
+	s, p := newSignedFixture(t)
+	env, err := s.Sign(p)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	ts := trustOf(t, s)
+	f := func(offset uint16, inPayload bool, bit uint8) bool {
+		tampered := env
+		if inPayload {
+			tampered.Payload = append([]byte(nil), env.Payload...)
+			tampered.Payload[int(offset)%len(tampered.Payload)] ^= 1 << (bit % 8)
+		} else {
+			tampered.Signature = append([]byte(nil), env.Signature...)
+			tampered.Signature[int(offset)%len(tampered.Signature)] ^= 1 << (bit % 8)
+		}
+		_, err := ts.Verify(tampered)
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package report renders experiment results as aligned ASCII tables and
+// simple bar-chart series, used by cmd/repro and EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table with aligned columns.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", runeLen(t.Title)))
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-runeLen(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// runeLen counts display runes (the Table II symbols are multi-byte).
+func runeLen(s string) int { return len([]rune(s)) }
+
+// Series is a titled sequence of (label, value) points rendered as a
+// horizontal bar chart with summary statistics.
+type Series struct {
+	Title  string
+	YLabel string
+	Labels []string
+	Values []float64
+	// Unit renders each value (default "%.2f").
+	Unit string
+}
+
+// Add appends one point.
+func (s *Series) Add(label string, value float64) {
+	s.Labels = append(s.Labels, label)
+	s.Values = append(s.Values, value)
+}
+
+// Render draws the series.
+func (s *Series) Render() string {
+	unit := s.Unit
+	if unit == "" {
+		unit = "%.2f"
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		b.WriteString(s.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", runeLen(s.Title)))
+		b.WriteByte('\n')
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range s.Values {
+		if v > maxV {
+			maxV = v
+		}
+		if runeLen(s.Labels[i]) > maxLabel {
+			maxLabel = runeLen(s.Labels[i])
+		}
+	}
+	const barWidth = 50
+	for i, v := range s.Values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(math.Round(v / maxV * barWidth))
+		}
+		fmt.Fprintf(&b, "%-*s | %-*s %s\n",
+			maxLabel, s.Labels[i],
+			barWidth, strings.Repeat("#", bar),
+			fmt.Sprintf(unit, v))
+	}
+	fmt.Fprintf(&b, "%s: mean=%s stddev=%s min=%s max=%s n=%d\n",
+		s.YLabel,
+		fmt.Sprintf(unit, Mean(s.Values)),
+		fmt.Sprintf(unit, StdDev(s.Values)),
+		fmt.Sprintf(unit, Min(s.Values)),
+		fmt.Sprintf(unit, Max(s.Values)),
+		len(s.Values))
+	return b.String()
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (0 for empty input).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += (x - m) * (x - m)
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

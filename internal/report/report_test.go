@@ -1,0 +1,113 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tbl.AddRow("short", "1")
+	tbl.AddRow("a-much-longer-name", "22")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// The value column must start at the same offset in both rows.
+	iShort := strings.Index(lines[4], "1")
+	iLong := strings.Index(lines[5], "22")
+	if iShort != iLong {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRenderUnicodeWidths(t *testing.T) {
+	tbl := &Table{Headers: []string{"Sym", "X"}}
+	tbl.AddRow("✓*", "a")
+	tbl.AddRow("✗", "b")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	ia := strings.Index(lines[2], "a")
+	ib := strings.Index(lines[3], "b")
+	// Byte offsets differ for multi-byte runes; rune offsets must match.
+	ra := len([]rune(lines[2][:ia]))
+	rb := len([]rune(lines[3][:ib]))
+	if ra != rb {
+		t.Fatalf("unicode columns misaligned:\n%s", out)
+	}
+}
+
+func TestSeriesRenderStats(t *testing.T) {
+	s := &Series{Title: "T", YLabel: "minutes"}
+	s.Add("day 1", 1)
+	s.Add("day 2", 3)
+	out := s.Render()
+	if !strings.Contains(out, "mean=2.00") {
+		t.Fatalf("mean missing:\n%s", out)
+	}
+	if !strings.Contains(out, "stddev=1.00") {
+		t.Fatalf("stddev missing:\n%s", out)
+	}
+	if !strings.Contains(out, "n=2") {
+		t.Fatalf("count missing:\n%s", out)
+	}
+}
+
+func TestSeriesRenderEmptyAndZero(t *testing.T) {
+	s := &Series{Title: "empty", YLabel: "y"}
+	if out := s.Render(); !strings.Contains(out, "n=0") {
+		t.Fatalf("empty series render:\n%s", out)
+	}
+	z := &Series{Title: "zeros", YLabel: "y"}
+	z.Add("a", 0)
+	if out := z.Render(); !strings.Contains(out, "n=1") {
+		t.Fatalf("zero series render:\n%s", out)
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 1e-9 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+	if mn := Min(xs); mn != 2 {
+		t.Fatalf("Min = %v", mn)
+	}
+	if mx := Max(xs); mx != 9 {
+		t.Fatalf("Max = %v", mx)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 {
+		t.Fatal("empty-input stats should be 0")
+	}
+}
+
+// Property: Min <= Mean <= Max for any non-empty input.
+func TestStatsOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		m := Mean(xs)
+		return Min(xs) <= m && m <= Max(xs) && StdDev(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package simclock provides a Clock abstraction with a real implementation
+// backed by the time package and a deterministic simulated implementation
+// used to drive multi-week experiments in milliseconds of wall time.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that sleep or timestamp events, so
+// tests and long-horizon experiments can run on virtual time.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks until the clock has advanced by d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock time once the clock
+	// has advanced by d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the time package. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// waiter is a pending timer on a simulated clock.
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+	// seq breaks ties so that waiters fire in registration order.
+	seq uint64
+}
+
+// waiterHeap orders waiters by deadline, then registration order.
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x any)   { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Simulated is a deterministic Clock whose time only moves when Advance is
+// called. Sleepers and After-channels fire synchronously during Advance.
+type Simulated struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     uint64
+}
+
+var _ Clock = (*Simulated)(nil)
+
+// NewSimulated returns a simulated clock starting at the given instant.
+func NewSimulated(start time.Time) *Simulated {
+	return &Simulated{now: start}
+}
+
+// Now implements Clock.
+func (c *Simulated) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. The returned channel has capacity one, so Advance
+// never blocks on a receiver.
+func (c *Simulated) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.seq++
+	heap.Push(&c.waiters, &waiter{at: c.now.Add(d), ch: ch, seq: c.seq})
+	return ch
+}
+
+// Sleep implements Clock. It blocks the calling goroutine until another
+// goroutine advances the clock past the deadline.
+func (c *Simulated) Sleep(d time.Duration) {
+	<-c.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls inside the window in deadline order.
+func (c *Simulated) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for c.waiters.Len() > 0 && !c.waiters[0].at.After(target) {
+		w := heap.Pop(&c.waiters).(*waiter)
+		c.now = w.at
+		w.ch <- c.now
+	}
+	c.now = target
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to instant t (no-op if t is in the past).
+func (c *Simulated) AdvanceTo(t time.Time) {
+	c.mu.Lock()
+	now := c.now
+	c.mu.Unlock()
+	if t.After(now) {
+		c.Advance(t.Sub(now))
+	}
+}
+
+// PendingWaiters reports how many timers have not fired yet.
+func (c *Simulated) PendingWaiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.waiters.Len()
+}

@@ -1,0 +1,137 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2024, 2, 26, 0, 0, 0, 0, time.UTC)
+
+func TestSimulatedNowStartsAtEpoch(t *testing.T) {
+	c := NewSimulated(epoch)
+	if got := c.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestSimulatedAdvanceMovesNow(t *testing.T) {
+	c := NewSimulated(epoch)
+	c.Advance(90 * time.Minute)
+	want := epoch.Add(90 * time.Minute)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestSimulatedAfterFiresAtDeadline(t *testing.T) {
+	c := NewSimulated(epoch)
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before deadline")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if want := epoch.Add(10 * time.Second); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestSimulatedAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewSimulated(epoch)
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-c.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestSimulatedTimersFireInDeadlineOrder(t *testing.T) {
+	c := NewSimulated(epoch)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second} {
+		wg.Add(1)
+		ch := c.After(d)
+		go func(i int) {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}(i)
+	}
+	// Fire one at a time so goroutine scheduling cannot reorder appends.
+	for j := 0; j < 3; j++ {
+		c.Advance(10 * time.Second)
+		time.Sleep(10 * time.Millisecond)
+	}
+	wg.Wait()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimulatedSleepUnblocksOnAdvance(t *testing.T) {
+	c := NewSimulated(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(time.Minute)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for c.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	c.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestSimulatedAdvanceTo(t *testing.T) {
+	c := NewSimulated(epoch)
+	target := epoch.Add(48 * time.Hour)
+	c.AdvanceTo(target)
+	if got := c.Now(); !got.Equal(target) {
+		t.Fatalf("Now() = %v, want %v", got, target)
+	}
+	// Moving backwards is a no-op.
+	c.AdvanceTo(epoch)
+	if got := c.Now(); !got.Equal(target) {
+		t.Fatalf("Now() after backwards AdvanceTo = %v, want %v", got, target)
+	}
+}
+
+func TestRealClockNow(t *testing.T) {
+	var c Real
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}

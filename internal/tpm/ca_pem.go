@@ -1,0 +1,93 @@
+package tpm
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// PEM serialization for the simulated manufacturer CA, so separately
+// started processes (registrar, agents) can share one manufacturer: the
+// registrar loads only the root certificate; agent hosts load the full
+// bundle (certificate + key) to manufacture TPMs whose EK certificates
+// chain to it.
+
+// ErrBadCABundle reports malformed CA PEM input.
+var ErrBadCABundle = errors.New("tpm: bad CA bundle")
+
+const (
+	caCertPEMType = "CERTIFICATE"
+	caKeyPEMType  = "EC PRIVATE KEY"
+)
+
+// MarshalPEM serializes the CA as a certificate block followed by an EC
+// private key block.
+func (ca *ManufacturerCA) MarshalPEM() ([]byte, error) {
+	keyDER, err := x509.MarshalECPrivateKey(ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: marshaling CA key: %w", err)
+	}
+	out := pem.EncodeToMemory(&pem.Block{Type: caCertPEMType, Bytes: ca.cert.Raw})
+	out = append(out, pem.EncodeToMemory(&pem.Block{Type: caKeyPEMType, Bytes: keyDER})...)
+	return out, nil
+}
+
+// LoadManufacturerCA parses a full CA bundle (certificate + private key).
+func LoadManufacturerCA(data []byte) (*ManufacturerCA, error) {
+	ca := &ManufacturerCA{}
+	rest := data
+	for {
+		var block *pem.Block
+		block, rest = pem.Decode(rest)
+		if block == nil {
+			break
+		}
+		switch block.Type {
+		case caCertPEMType:
+			cert, err := x509.ParseCertificate(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("%w: certificate: %v", ErrBadCABundle, err)
+			}
+			ca.cert = cert
+		case caKeyPEMType:
+			key, err := x509.ParseECPrivateKey(block.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("%w: key: %v", ErrBadCABundle, err)
+			}
+			ca.key = key
+		}
+	}
+	if ca.cert == nil || ca.key == nil {
+		return nil, fmt.Errorf("%w: bundle must contain certificate and key", ErrBadCABundle)
+	}
+	return ca, nil
+}
+
+// LoadCARoots parses only the certificate blocks of a bundle into a pool —
+// what a registrar (which must never hold the manufacturer key) loads.
+func LoadCARoots(data []byte) (*x509.CertPool, error) {
+	pool := x509.NewCertPool()
+	found := false
+	rest := data
+	for {
+		var block *pem.Block
+		block, rest = pem.Decode(rest)
+		if block == nil {
+			break
+		}
+		if block.Type != caCertPEMType {
+			continue
+		}
+		cert, err := x509.ParseCertificate(block.Bytes)
+		if err != nil {
+			return nil, fmt.Errorf("%w: certificate: %v", ErrBadCABundle, err)
+		}
+		pool.AddCert(cert)
+		found = true
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: no certificates found", ErrBadCABundle)
+	}
+	return pool, nil
+}

@@ -1,0 +1,46 @@
+package tpm_test
+
+import (
+	"crypto/rand"
+	"fmt"
+
+	"repro/internal/tpm"
+)
+
+// Example shows the full quote lifecycle: manufacture a TPM, create an AK,
+// extend a PCR, quote it with a nonce, and verify.
+func Example() {
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		panic(err)
+	}
+	dev, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		panic(err)
+	}
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		panic(err)
+	}
+
+	// The kernel extends IMA measurements into PCR 10.
+	_ = dev.PCRs().Extend(tpm.PCRIMA, tpm.Digest{1, 2, 3})
+
+	nonce := []byte("verifier-challenge")
+	quote, err := dev.Quote(nonce, []int{tpm.PCRIMA})
+	if err != nil {
+		panic(err)
+	}
+	pcrs, err := tpm.VerifyQuote(akPub, quote, nonce)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("quote verified, PCR 10 attested:", pcrs[tpm.PCRIMA] != tpm.Digest{})
+
+	// A replayed quote fails against a fresh nonce.
+	_, err = tpm.VerifyQuote(akPub, quote, []byte("newer-challenge"))
+	fmt.Println("replay rejected:", err != nil)
+	// Output:
+	// quote verified, PCR 10 attested: true
+	// replay rejected: true
+}

@@ -1,0 +1,134 @@
+package tpm
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"encoding/binary"
+	"fmt"
+)
+
+// quoteMagic marks a well-formed attested blob (TPM_GENERATED_VALUE in the
+// real specification).
+const quoteMagic = 0xff544347 // "\xffTCG"
+
+// Attested is the signed portion of a quote (TPMS_ATTEST, reduced).
+type Attested struct {
+	// Nonce is the verifier-supplied qualifying data (anti-replay).
+	Nonce []byte
+	// Selection lists the quoted PCR indices in order.
+	Selection []int
+	// PCRDigest is SHA-256 over the concatenated selected PCR values.
+	PCRDigest Digest
+	// FirmwareVersion is a free-form clock/version field (monotonic in
+	// real TPMs; constant here).
+	FirmwareVersion uint64
+}
+
+// Quote is a signed attestation over a PCR selection. PCRValues carries the
+// raw register values so the verifier can both check them against the
+// attested composite digest and use individual registers (e.g. PCR 10 for
+// IMA log replay).
+type Quote struct {
+	Attested  Attested
+	PCRValues []Digest
+	// Signature is an ASN.1 ECDSA signature by the AK over the canonical
+	// encoding of Attested.
+	Signature []byte
+}
+
+// encodeAttested produces the canonical byte encoding that is signed.
+func encodeAttested(a Attested) []byte {
+	var buf bytes.Buffer
+	var u32 [4]byte
+	var u64 [8]byte
+	binary.BigEndian.PutUint32(u32[:], quoteMagic)
+	buf.Write(u32[:])
+	binary.BigEndian.PutUint32(u32[:], uint32(len(a.Nonce)))
+	buf.Write(u32[:])
+	buf.Write(a.Nonce)
+	binary.BigEndian.PutUint32(u32[:], uint32(len(a.Selection)))
+	buf.Write(u32[:])
+	for _, idx := range a.Selection {
+		binary.BigEndian.PutUint32(u32[:], uint32(idx))
+		buf.Write(u32[:])
+	}
+	buf.Write(a.PCRDigest[:])
+	binary.BigEndian.PutUint64(u64[:], a.FirmwareVersion)
+	buf.Write(u64[:])
+	return buf.Bytes()
+}
+
+// compositeDigest hashes the concatenation of PCR values in selection order.
+func compositeDigest(values []Digest) Digest {
+	h := sha256.New()
+	for _, v := range values {
+		h.Write(v[:])
+	}
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Quote produces a signed attestation of the selected PCRs with the given
+// qualifying nonce (TPM2_Quote).
+func (t *TPM) Quote(nonce []byte, selection []int) (Quote, error) {
+	t.mu.Lock()
+	ak := t.ak
+	rng := t.rng
+	t.mu.Unlock()
+	if ak == nil {
+		return Quote{}, ErrNoAK
+	}
+	values, err := t.pcrs.snapshot(selection)
+	if err != nil {
+		return Quote{}, err
+	}
+	att := Attested{
+		Nonce:     append([]byte(nil), nonce...),
+		Selection: append([]int(nil), selection...),
+		PCRDigest: compositeDigest(values),
+	}
+	sum := sha256.Sum256(encodeAttested(att))
+	sig, err := ecdsa.SignASN1(rng, ak, sum[:])
+	if err != nil {
+		return Quote{}, fmt.Errorf("tpm: signing quote: %w", err)
+	}
+	return Quote{Attested: att, PCRValues: values, Signature: sig}, nil
+}
+
+// VerifyQuote checks a quote end to end against the AK public key (PKIX DER)
+// and the expected nonce: signature, magic via canonical encoding, nonce
+// equality, and consistency of the carried PCR values with the attested
+// composite digest. On success it returns the quoted PCR values keyed by
+// register index.
+func VerifyQuote(akPubDER []byte, q Quote, nonce []byte) (map[int]Digest, error) {
+	pub, err := x509.ParsePKIXPublicKey(akPubDER)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: parsing AK public key: %w", err)
+	}
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("tpm: AK is not ECDSA (got %T)", pub)
+	}
+	sum := sha256.Sum256(encodeAttested(q.Attested))
+	if !ecdsa.VerifyASN1(ecPub, sum[:], q.Signature) {
+		return nil, ErrQuoteSignature
+	}
+	if !bytes.Equal(q.Attested.Nonce, nonce) {
+		return nil, ErrQuoteNonce
+	}
+	if len(q.PCRValues) != len(q.Attested.Selection) {
+		return nil, fmt.Errorf("%w: %d values for %d selected registers",
+			ErrQuoteComposite, len(q.PCRValues), len(q.Attested.Selection))
+	}
+	if compositeDigest(q.PCRValues) != q.Attested.PCRDigest {
+		return nil, ErrQuoteComposite
+	}
+	out := make(map[int]Digest, len(q.PCRValues))
+	for i, idx := range q.Attested.Selection {
+		out[idx] = q.PCRValues[i]
+	}
+	return out, nil
+}

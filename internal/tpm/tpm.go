@@ -1,0 +1,432 @@
+// Package tpm implements a software TPM 2.0 reduced to the command surface
+// continuous integrity attestation uses:
+//
+//   - a bank of 24 SHA-256 Platform Configuration Registers with the
+//     standard extend semantics (PCR' = H(PCR || digest));
+//   - an RSA endorsement key (EK) whose x509 certificate is signed by a
+//     simulated manufacturer CA, providing the hardware root of trust the
+//     registrar verifies at enrollment;
+//   - an ECDSA P-256 attestation key (AK) used to sign quotes;
+//   - credential activation (the registrar proves the AK lives in the same
+//     TPM as the certified EK);
+//   - TPM2_Quote over a PCR selection with caller-supplied qualifying data
+//     (the verifier's anti-replay nonce).
+//
+// The quote wire format is a deterministic binary encoding defined in
+// quote.go; signatures are real ECDSA-SHA256 signatures over that encoding.
+package tpm
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// NumPCRs is the number of platform configuration registers in the bank.
+const NumPCRs = 24
+
+// DigestSize is the size of all digests used by the simulated TPM.
+const DigestSize = sha256.Size
+
+// Well-known PCR indices.
+const (
+	// PCRBootAggregate is where measured boot lands (PCRs 0-7 in real
+	// systems; we use 0 as the representative register).
+	PCRBootAggregate = 0
+	// PCRIMA is the register Linux IMA extends with measurement entries.
+	PCRIMA = 10
+)
+
+// Sentinel errors.
+var (
+	ErrPCRIndex         = errors.New("tpm: PCR index out of range")
+	ErrNoAK             = errors.New("tpm: attestation key not created")
+	ErrBadCredential    = errors.New("tpm: credential activation failed")
+	ErrQuoteSignature   = errors.New("tpm: quote signature invalid")
+	ErrQuoteNonce       = errors.New("tpm: quote nonce mismatch")
+	ErrQuoteComposite   = errors.New("tpm: PCR composite does not match attested digest")
+	ErrEmptySelection   = errors.New("tpm: empty PCR selection")
+	ErrWrongMagic       = errors.New("tpm: attested blob has wrong magic")
+	ErrEKCertificate    = errors.New("tpm: EK certificate verification failed")
+	ErrDuplicateQuoteAK = errors.New("tpm: AK already created")
+)
+
+// Digest is a SHA-256 digest.
+type Digest = [DigestSize]byte
+
+// PCRBank holds the PCR values. It is safe for concurrent use.
+type PCRBank struct {
+	mu   sync.RWMutex
+	pcrs [NumPCRs]Digest
+}
+
+// Extend folds digest into PCR idx: PCR' = SHA-256(PCR || digest).
+func (b *PCRBank) Extend(idx int, digest Digest) error {
+	if idx < 0 || idx >= NumPCRs {
+		return fmt.Errorf("%w: %d", ErrPCRIndex, idx)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := sha256.New()
+	h.Write(b.pcrs[idx][:])
+	h.Write(digest[:])
+	copy(b.pcrs[idx][:], h.Sum(nil))
+	return nil
+}
+
+// Read returns the current value of PCR idx.
+func (b *PCRBank) Read(idx int) (Digest, error) {
+	if idx < 0 || idx >= NumPCRs {
+		return Digest{}, fmt.Errorf("%w: %d", ErrPCRIndex, idx)
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.pcrs[idx], nil
+}
+
+// Reset zeroes every PCR, modeling a platform reset.
+func (b *PCRBank) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pcrs = [NumPCRs]Digest{}
+}
+
+// snapshot returns a copy of the selected PCRs in selection order.
+func (b *PCRBank) snapshot(sel []int) ([]Digest, error) {
+	if len(sel) == 0 {
+		return nil, ErrEmptySelection
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Digest, len(sel))
+	for i, idx := range sel {
+		if idx < 0 || idx >= NumPCRs {
+			return nil, fmt.Errorf("%w: %d", ErrPCRIndex, idx)
+		}
+		out[i] = b.pcrs[idx]
+	}
+	return out, nil
+}
+
+// ManufacturerCA is the simulated TPM vendor certificate authority that
+// signs endorsement key certificates. Registrars trust its root.
+type ManufacturerCA struct {
+	key  *ecdsa.PrivateKey
+	cert *x509.Certificate
+}
+
+// NewManufacturerCA creates a CA with a fresh ECDSA P-256 root.
+func NewManufacturerCA(rng io.Reader) (*ManufacturerCA, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating CA key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "Simulated TPM Manufacturer Root CA", Organization: []string{"repro"}},
+		NotBefore:             time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rng, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: self-signing CA cert: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: parsing CA cert: %w", err)
+	}
+	return &ManufacturerCA{key: key, cert: cert}, nil
+}
+
+// Root returns the CA root certificate registrars should trust.
+func (ca *ManufacturerCA) Root() *x509.Certificate { return ca.cert }
+
+// SignIntermediate certifies a subordinate CA key (used by vTPM hosts whose
+// per-guest endorsement certificates chain through a host intermediate).
+func (ca *ManufacturerCA) SignIntermediate(rng io.Reader, tmpl *x509.Certificate, pub *ecdsa.PublicKey) ([]byte, error) {
+	der, err := x509.CreateCertificate(rng, tmpl, ca.cert, pub, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: signing intermediate: %w", err)
+	}
+	return der, nil
+}
+
+// SetKeyPair installs an existing key/certificate into the CA, letting a
+// certified intermediate (e.g. a vTPM host) act as an EK issuer.
+func (ca *ManufacturerCA) SetKeyPair(key *ecdsa.PrivateKey, cert *x509.Certificate) {
+	ca.key = key
+	ca.cert = cert
+}
+
+// Pool returns an x509 pool holding the CA root.
+func (ca *ManufacturerCA) Pool() *x509.CertPool {
+	pool := x509.NewCertPool()
+	pool.AddCert(ca.cert)
+	return pool
+}
+
+// issueEKCert signs an endorsement certificate for the given EK public key.
+func (ca *ManufacturerCA) issueEKCert(rng io.Reader, ekPub *rsa.PublicKey, serial string) (*x509.Certificate, error) {
+	sn, err := rand.Int(rng, new(big.Int).Lsh(big.NewInt(1), 120))
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating EK cert serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: sn,
+		Subject:      pkix.Name{CommonName: "TPM EK " + serial, Organization: []string{"repro"}},
+		NotBefore:    time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC),
+		KeyUsage:     x509.KeyUsageKeyEncipherment,
+	}
+	der, err := x509.CreateCertificate(rng, tmpl, ca.cert, ekPub, ca.key)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: signing EK cert: %w", err)
+	}
+	return x509.ParseCertificate(der)
+}
+
+// Option configures TPM construction.
+type Option interface{ apply(*options) }
+
+type options struct {
+	rng             io.Reader
+	ekBits          int
+	serial          string
+	ekIntermediates [][]byte
+}
+
+type rngOption struct{ r io.Reader }
+
+func (o rngOption) apply(opts *options) { opts.rng = o.r }
+
+// WithRand sets the randomness source used for key generation (tests may
+// pass a deterministic reader).
+func WithRand(r io.Reader) Option { return rngOption{r: r} }
+
+type ekBitsOption int
+
+func (o ekBitsOption) apply(opts *options) { opts.ekBits = int(o) }
+
+// WithEKBits sets the RSA endorsement key size. Tests use 1024 for speed.
+func WithEKBits(bits int) Option { return ekBitsOption(bits) }
+
+type serialOption string
+
+func (o serialOption) apply(opts *options) { opts.serial = string(o) }
+
+// WithSerial sets the device serial embedded in the EK certificate subject.
+func WithSerial(s string) Option { return serialOption(s) }
+
+type ekIntermediatesOption [][]byte
+
+func (o ekIntermediatesOption) apply(opts *options) {
+	opts.ekIntermediates = append(opts.ekIntermediates, o...)
+}
+
+// WithEKIntermediates attaches intermediate CA certificates (DER) that the
+// device presents alongside its EK certificate so verifiers can build the
+// chain to a manufacturer root (vTPM guests chain through their host).
+func WithEKIntermediates(certsDER ...[]byte) Option {
+	cp := make([][]byte, len(certsDER))
+	for i, c := range certsDER {
+		cp[i] = append([]byte(nil), c...)
+	}
+	return ekIntermediatesOption(cp)
+}
+
+// TPM is a simulated TPM 2.0 device. Construct with New.
+type TPM struct {
+	mu              sync.Mutex
+	pcrs            PCRBank
+	ek              *rsa.PrivateKey
+	ekCert          *x509.Certificate
+	ekIntermediates [][]byte
+	ak              *ecdsa.PrivateKey
+	serial          string
+	rng             io.Reader
+}
+
+// New manufactures a TPM: generates the EK and has the CA sign its
+// endorsement certificate.
+func New(ca *ManufacturerCA, opts ...Option) (*TPM, error) {
+	o := options{rng: rand.Reader, ekBits: 2048, serial: "SIM-0001"}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	ek, err := rsa.GenerateKey(o.rng, o.ekBits)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating EK: %w", err)
+	}
+	cert, err := ca.issueEKCert(o.rng, &ek.PublicKey, o.serial)
+	if err != nil {
+		return nil, err
+	}
+	return &TPM{ek: ek, ekCert: cert, ekIntermediates: o.ekIntermediates, serial: o.serial, rng: o.rng}, nil
+}
+
+// Serial returns the device serial number.
+func (t *TPM) Serial() string { return t.serial }
+
+// EKCertificate returns the endorsement certificate in DER form.
+func (t *TPM) EKCertificate() []byte {
+	return append([]byte(nil), t.ekCert.Raw...)
+}
+
+// EKIntermediates returns the intermediate certificates (DER) presented
+// with the EK certificate (empty for directly-rooted devices).
+func (t *TPM) EKIntermediates() [][]byte {
+	out := make([][]byte, len(t.ekIntermediates))
+	for i, c := range t.ekIntermediates {
+		out[i] = append([]byte(nil), c...)
+	}
+	return out
+}
+
+// PCRs exposes the PCR bank (the IMA subsystem extends it directly, like
+// the kernel writing to the hardware device).
+func (t *TPM) PCRs() *PCRBank { return &t.pcrs }
+
+// CreateAK generates the attestation key and returns its public half in
+// PKIX DER form. A TPM holds at most one AK in this simulation.
+func (t *TPM) CreateAK() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ak != nil {
+		return nil, ErrDuplicateQuoteAK
+	}
+	ak, err := ecdsa.GenerateKey(elliptic.P256(), t.rng)
+	if err != nil {
+		return nil, fmt.Errorf("tpm: generating AK: %w", err)
+	}
+	t.ak = ak
+	return x509.MarshalPKIXPublicKey(&ak.PublicKey)
+}
+
+// AKPublic returns the AK public key in PKIX DER form.
+func (t *TPM) AKPublic() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ak == nil {
+		return nil, ErrNoAK
+	}
+	return x509.MarshalPKIXPublicKey(&t.ak.PublicKey)
+}
+
+// AKName returns the TPM2 "name" of the AK: a digest binding the credential
+// challenge to this specific key.
+func AKName(akPubDER []byte) Digest {
+	return sha256.Sum256(akPubDER)
+}
+
+// Credential is the encrypted challenge a registrar sends during enrollment
+// (TPM2_MakeCredential, simplified).
+type Credential struct {
+	// EncryptedSecret is the challenge secret encrypted to the EK with
+	// RSA-OAEP; only the TPM holding the certified EK can recover it.
+	EncryptedSecret []byte
+	// AKNameBound is the AK name the credential is bound to.
+	AKNameBound Digest
+}
+
+// MakeCredential builds a credential challenge for the TPM that owns ekCert,
+// bound to the AK with the given public key. It returns the credential and
+// the expected proof the registrar should compare against.
+func MakeCredential(rng io.Reader, ekCert *x509.Certificate, akPubDER []byte) (Credential, Digest, error) {
+	ekPub, ok := ekCert.PublicKey.(*rsa.PublicKey)
+	if !ok {
+		return Credential{}, Digest{}, fmt.Errorf("%w: EK is not RSA", ErrEKCertificate)
+	}
+	secret := make([]byte, 32)
+	if _, err := io.ReadFull(rng, secret); err != nil {
+		return Credential{}, Digest{}, fmt.Errorf("tpm: generating credential secret: %w", err)
+	}
+	name := AKName(akPubDER)
+	enc, err := rsa.EncryptOAEP(sha256.New(), rng, ekPub, secret, name[:])
+	if err != nil {
+		return Credential{}, Digest{}, fmt.Errorf("tpm: encrypting credential: %w", err)
+	}
+	return Credential{EncryptedSecret: enc, AKNameBound: name}, credentialProof(secret, name), nil
+}
+
+// credentialProof derives the activation proof from the secret and AK name.
+func credentialProof(secret []byte, akName Digest) Digest {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write(akName[:])
+	var out Digest
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// ActivateCredential recovers the challenge secret with the EK and returns
+// the activation proof. It fails if the credential is bound to a different
+// AK than the one resident in this TPM (TPM2_ActivateCredential semantics).
+func (t *TPM) ActivateCredential(cred Credential) (Digest, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ak == nil {
+		return Digest{}, ErrNoAK
+	}
+	akDER, err := x509.MarshalPKIXPublicKey(&t.ak.PublicKey)
+	if err != nil {
+		return Digest{}, fmt.Errorf("tpm: marshaling AK: %w", err)
+	}
+	name := AKName(akDER)
+	if name != cred.AKNameBound {
+		return Digest{}, fmt.Errorf("%w: credential bound to different AK", ErrBadCredential)
+	}
+	secret, err := rsa.DecryptOAEP(sha256.New(), nil, t.ek, cred.EncryptedSecret, name[:])
+	if err != nil {
+		return Digest{}, fmt.Errorf("%w: %v", ErrBadCredential, err)
+	}
+	return credentialProof(secret, name), nil
+}
+
+// VerifyEKCert checks the endorsement certificate chain against the trusted
+// manufacturer roots and returns the parsed certificate.
+func VerifyEKCert(der []byte, roots *x509.CertPool) (*x509.Certificate, error) {
+	return VerifyEKCertChain(der, nil, roots)
+}
+
+// VerifyEKCertChain checks an endorsement certificate that may chain
+// through intermediates (vTPM guests chain through their host's CA).
+func VerifyEKCertChain(der []byte, intermediatesDER [][]byte, roots *x509.CertPool) (*x509.Certificate, error) {
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEKCertificate, err)
+	}
+	var inter *x509.CertPool
+	if len(intermediatesDER) > 0 {
+		inter = x509.NewCertPool()
+		for _, iDER := range intermediatesDER {
+			ic, err := x509.ParseCertificate(iDER)
+			if err != nil {
+				return nil, fmt.Errorf("%w: intermediate: %v", ErrEKCertificate, err)
+			}
+			inter.AddCert(ic)
+		}
+	}
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:         roots,
+		Intermediates: inter,
+		// EK certs carry KeyEncipherment usage, not the default server auth.
+		KeyUsages:   []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+		CurrentTime: time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC),
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrEKCertificate, err)
+	}
+	return cert, nil
+}

@@ -1,0 +1,335 @@
+package tpm
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// newTestTPM builds a CA + TPM with a small EK for test speed.
+func newTestTPM(t *testing.T) (*ManufacturerCA, *TPM) {
+	t.Helper()
+	ca, err := NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	dev, err := New(ca, WithEKBits(1024), WithSerial("TEST-42"))
+	if err != nil {
+		t.Fatalf("New TPM: %v", err)
+	}
+	return ca, dev
+}
+
+func TestPCRExtendChainsHashes(t *testing.T) {
+	var b PCRBank
+	d1 := sha256.Sum256([]byte("one"))
+	d2 := sha256.Sum256([]byte("two"))
+	if err := b.Extend(10, d1); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if err := b.Extend(10, d2); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	// Recompute by hand.
+	var zero Digest
+	h := sha256.New()
+	h.Write(zero[:])
+	h.Write(d1[:])
+	var step1 Digest
+	copy(step1[:], h.Sum(nil))
+	h.Reset()
+	h.Write(step1[:])
+	h.Write(d2[:])
+	var want Digest
+	copy(want[:], h.Sum(nil))
+	got, err := b.Read(10)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != want {
+		t.Fatalf("PCR10 = %x, want %x", got, want)
+	}
+}
+
+func TestPCRExtendOrderMatters(t *testing.T) {
+	var a, b PCRBank
+	d1 := sha256.Sum256([]byte("one"))
+	d2 := sha256.Sum256([]byte("two"))
+	_ = a.Extend(0, d1)
+	_ = a.Extend(0, d2)
+	_ = b.Extend(0, d2)
+	_ = b.Extend(0, d1)
+	av, _ := a.Read(0)
+	bv, _ := b.Read(0)
+	if av == bv {
+		t.Fatal("extend should not be commutative")
+	}
+}
+
+func TestPCRIndexBounds(t *testing.T) {
+	var b PCRBank
+	if err := b.Extend(NumPCRs, Digest{}); !errors.Is(err, ErrPCRIndex) {
+		t.Fatalf("Extend out of range: %v, want ErrPCRIndex", err)
+	}
+	if err := b.Extend(-1, Digest{}); !errors.Is(err, ErrPCRIndex) {
+		t.Fatalf("Extend(-1): %v, want ErrPCRIndex", err)
+	}
+	if _, err := b.Read(NumPCRs); !errors.Is(err, ErrPCRIndex) {
+		t.Fatalf("Read out of range: %v, want ErrPCRIndex", err)
+	}
+}
+
+func TestPCRResetZeroes(t *testing.T) {
+	var b PCRBank
+	_ = b.Extend(10, sha256.Sum256([]byte("x")))
+	b.Reset()
+	v, _ := b.Read(10)
+	if v != (Digest{}) {
+		t.Fatalf("PCR10 after reset = %x, want zero", v)
+	}
+}
+
+func TestEKCertVerifiesAgainstCA(t *testing.T) {
+	ca, dev := newTestTPM(t)
+	cert, err := VerifyEKCert(dev.EKCertificate(), ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyEKCert: %v", err)
+	}
+	if cert.Subject.CommonName != "TPM EK TEST-42" {
+		t.Fatalf("CommonName = %q", cert.Subject.CommonName)
+	}
+}
+
+func TestEKCertRejectedByWrongCA(t *testing.T) {
+	_, dev := newTestTPM(t)
+	otherCA, err := NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	if _, err := VerifyEKCert(dev.EKCertificate(), otherCA.Pool()); !errors.Is(err, ErrEKCertificate) {
+		t.Fatalf("VerifyEKCert with wrong CA: %v, want ErrEKCertificate", err)
+	}
+}
+
+func TestCredentialActivationRoundTrip(t *testing.T) {
+	ca, dev := newTestTPM(t)
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	ekCert, err := VerifyEKCert(dev.EKCertificate(), ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyEKCert: %v", err)
+	}
+	cred, wantProof, err := MakeCredential(rand.Reader, ekCert, akPub)
+	if err != nil {
+		t.Fatalf("MakeCredential: %v", err)
+	}
+	gotProof, err := dev.ActivateCredential(cred)
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	if gotProof != wantProof {
+		t.Fatal("activation proof mismatch")
+	}
+}
+
+func TestCredentialBoundToAK(t *testing.T) {
+	ca, dev := newTestTPM(t)
+	if _, err := dev.CreateAK(); err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	// Build a credential bound to some OTHER key's name.
+	_, otherDev := newTestTPM(t)
+	otherAK, err := otherDev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK(other): %v", err)
+	}
+	ekCert, err := VerifyEKCert(dev.EKCertificate(), ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyEKCert: %v", err)
+	}
+	cred, _, err := MakeCredential(rand.Reader, ekCert, otherAK)
+	if err != nil {
+		t.Fatalf("MakeCredential: %v", err)
+	}
+	if _, err := dev.ActivateCredential(cred); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("ActivateCredential with foreign binding: %v, want ErrBadCredential", err)
+	}
+}
+
+func TestCredentialRequiresMatchingEK(t *testing.T) {
+	ca, dev := newTestTPM(t)
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	// Credential encrypted to a different TPM's EK cannot be activated here.
+	otherDev, err := New(ca, WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("New other TPM: %v", err)
+	}
+	otherEKCert, err := VerifyEKCert(otherDev.EKCertificate(), ca.Pool())
+	if err != nil {
+		t.Fatalf("VerifyEKCert: %v", err)
+	}
+	cred, _, err := MakeCredential(rand.Reader, otherEKCert, akPub)
+	if err != nil {
+		t.Fatalf("MakeCredential: %v", err)
+	}
+	if _, err := dev.ActivateCredential(cred); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("ActivateCredential with foreign EK: %v, want ErrBadCredential", err)
+	}
+}
+
+func TestCreateAKTwiceRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	if _, err := dev.CreateAK(); err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	if _, err := dev.CreateAK(); !errors.Is(err, ErrDuplicateQuoteAK) {
+		t.Fatalf("second CreateAK: %v, want ErrDuplicateQuoteAK", err)
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	_, dev := newTestTPM(t)
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	_ = dev.PCRs().Extend(PCRIMA, sha256.Sum256([]byte("entry-1")))
+	_ = dev.PCRs().Extend(PCRIMA, sha256.Sum256([]byte("entry-2")))
+	nonce := []byte("fresh-nonce-123")
+	q, err := dev.Quote(nonce, []int{PCRBootAggregate, PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	pcrs, err := VerifyQuote(akPub, q, nonce)
+	if err != nil {
+		t.Fatalf("VerifyQuote: %v", err)
+	}
+	want, _ := dev.PCRs().Read(PCRIMA)
+	if pcrs[PCRIMA] != want {
+		t.Fatalf("quoted PCR10 = %x, want %x", pcrs[PCRIMA], want)
+	}
+}
+
+func TestQuoteWrongNonceRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	akPub, _ := dev.CreateAK()
+	q, err := dev.Quote([]byte("nonce-a"), []int{PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if _, err := VerifyQuote(akPub, q, []byte("nonce-b")); !errors.Is(err, ErrQuoteNonce) {
+		t.Fatalf("VerifyQuote: %v, want ErrQuoteNonce", err)
+	}
+}
+
+func TestQuoteTamperedPCRValuesRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	akPub, _ := dev.CreateAK()
+	_ = dev.PCRs().Extend(PCRIMA, sha256.Sum256([]byte("real")))
+	nonce := []byte("n")
+	q, err := dev.Quote(nonce, []int{PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	q.PCRValues[0] = sha256.Sum256([]byte("forged"))
+	if _, err := VerifyQuote(akPub, q, nonce); !errors.Is(err, ErrQuoteComposite) {
+		t.Fatalf("VerifyQuote: %v, want ErrQuoteComposite", err)
+	}
+}
+
+func TestQuoteTamperedAttestedRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	akPub, _ := dev.CreateAK()
+	nonce := []byte("n")
+	q, err := dev.Quote(nonce, []int{PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	q.Attested.PCRDigest[0] ^= 0xff
+	if _, err := VerifyQuote(akPub, q, nonce); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("VerifyQuote: %v, want ErrQuoteSignature", err)
+	}
+}
+
+func TestQuoteWrongKeyRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	_, otherDev := newTestTPM(t)
+	_, _ = dev.CreateAK()
+	otherAK, _ := otherDev.CreateAK()
+	nonce := []byte("n")
+	q, err := dev.Quote(nonce, []int{PCRIMA})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+	if _, err := VerifyQuote(otherAK, q, nonce); !errors.Is(err, ErrQuoteSignature) {
+		t.Fatalf("VerifyQuote with wrong AK: %v, want ErrQuoteSignature", err)
+	}
+}
+
+func TestQuoteEmptySelectionRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	_, _ = dev.CreateAK()
+	if _, err := dev.Quote([]byte("n"), nil); !errors.Is(err, ErrEmptySelection) {
+		t.Fatalf("Quote(nil selection): %v, want ErrEmptySelection", err)
+	}
+}
+
+func TestQuoteWithoutAKRejected(t *testing.T) {
+	_, dev := newTestTPM(t)
+	if _, err := dev.Quote([]byte("n"), []int{0}); !errors.Is(err, ErrNoAK) {
+		t.Fatalf("Quote without AK: %v, want ErrNoAK", err)
+	}
+}
+
+// Property: extending two banks with the same digest sequence yields equal
+// PCR values; diverging at any point yields different values afterwards.
+func TestPCRExtendDeterministicProperty(t *testing.T) {
+	f := func(seq [][16]byte, divergeAt uint8) bool {
+		if len(seq) == 0 {
+			return true
+		}
+		var a, b PCRBank
+		for _, s := range seq {
+			d := sha256.Sum256(s[:])
+			_ = a.Extend(10, d)
+			_ = b.Extend(10, d)
+		}
+		av, _ := a.Read(10)
+		bv, _ := b.Read(10)
+		if av != bv {
+			return false
+		}
+		// Diverge: one more extend on a only.
+		_ = a.Extend(10, sha256.Sum256([]byte{divergeAt}))
+		av2, _ := a.Read(10)
+		return av2 != bv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encodeAttested is injective over nonce content for fixed other
+// fields (no ambiguity between nonce bytes and selection encoding).
+func TestAttestedEncodingInjectiveProperty(t *testing.T) {
+	f := func(n1, n2 []byte) bool {
+		a1 := Attested{Nonce: n1, Selection: []int{10}, PCRDigest: Digest{}}
+		a2 := Attested{Nonce: n2, Selection: []int{10}, PCRDigest: Digest{}}
+		e1 := string(encodeAttested(a1))
+		e2 := string(encodeAttested(a2))
+		if string(n1) == string(n2) {
+			return e1 == e2
+		}
+		return e1 != e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

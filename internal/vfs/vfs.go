@@ -1,0 +1,559 @@
+// Package vfs implements the virtual filesystem used by the simulated prover
+// machine. It models exactly the pieces of Linux filesystem semantics that
+// the paper's findings depend on:
+//
+//   - mounts with filesystem types (ext4, tmpfs, procfs, ...), because IMA
+//     policies ignore whole filesystem types (problem P3 in the paper);
+//   - inode identity that is preserved by rename within a filesystem but not
+//     across filesystems, because IMA's measure-once cache is keyed by
+//     inode (problem P4);
+//   - per-file generation counters bumped on content writes, because IMA
+//     re-measures a file whose contents changed (the source of the paper's
+//     "hash mismatch" false positives during OS updates);
+//   - the executable bit, because both IMA and the Keylime policy only
+//     consider executable files.
+//
+// File contents may be stored inline or as a precomputed digest ("digest
+// only") so paper-scale filesystems (hundreds of thousands of entries) stay
+// cheap.
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FSType identifies a filesystem type. The set mirrors the types the paper
+// calls out as ignored by the stock IMA policy, plus ext4 and squashfs.
+type FSType int
+
+// Filesystem types.
+const (
+	FSTypeExt4 FSType = iota + 1
+	FSTypeTmpfs
+	FSTypeProcfs
+	FSTypeSysfs
+	FSTypeDebugfs
+	FSTypeRamfs
+	FSTypeSecurityfs
+	FSTypeOverlayfs
+	FSTypeSquashfs
+	FSTypeDevtmpfs
+)
+
+var fsTypeNames = map[FSType]string{
+	FSTypeExt4:       "ext4",
+	FSTypeTmpfs:      "tmpfs",
+	FSTypeProcfs:     "proc",
+	FSTypeSysfs:      "sysfs",
+	FSTypeDebugfs:    "debugfs",
+	FSTypeRamfs:      "ramfs",
+	FSTypeSecurityfs: "securityfs",
+	FSTypeOverlayfs:  "overlay",
+	FSTypeSquashfs:   "squashfs",
+	FSTypeDevtmpfs:   "devtmpfs",
+}
+
+// String returns the Linux name of the filesystem type.
+func (t FSType) String() string {
+	if s, ok := fsTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("fstype(%d)", int(t))
+}
+
+// Sentinel errors returned by filesystem operations.
+var (
+	ErrNotExist     = errors.New("vfs: file does not exist")
+	ErrExist        = errors.New("vfs: file already exists")
+	ErrNotMounted   = errors.New("vfs: no filesystem mounted at path")
+	ErrMountExists  = errors.New("vfs: mount point already in use")
+	ErrNotAbsolute  = errors.New("vfs: path is not absolute")
+	ErrIsDirectory  = errors.New("vfs: path is a directory")
+	ErrCrossDevice  = errors.New("vfs: cross-device rename not permitted")
+	ErrNoContent    = errors.New("vfs: file stores digest only, content unavailable")
+	ErrReadOnlyFS   = errors.New("vfs: filesystem is read-only")
+	ErrMountedBusy  = errors.New("vfs: mount point busy")
+	ErrEmptyContent = errors.New("vfs: digest-only file requires explicit size")
+)
+
+// Mode holds the subset of file mode bits the simulation cares about.
+type Mode uint32
+
+// Mode bits.
+const (
+	// ModeExec marks a file executable (any of the x bits set).
+	ModeExec Mode = 0o111
+	// ModeRegular is a plain rw file.
+	ModeRegular Mode = 0o644
+	// ModeExecutable is the usual rwxr-xr-x.
+	ModeExecutable Mode = 0o755
+)
+
+// IsExec reports whether any execute bit is set.
+func (m Mode) IsExec() bool { return m&ModeExec != 0 }
+
+// IMAXattr is the extended attribute carrying a vendor file signature
+// (Linux's security.ima).
+const IMAXattr = "security.ima"
+
+// FileInfo is the caller-visible view of a file.
+type FileInfo struct {
+	Path string
+	// FSID identifies the filesystem instance holding the file.
+	FSID uint32
+	// FSType is the type of that filesystem.
+	FSType FSType
+	// Inode is unique within the filesystem and survives rename.
+	Inode uint64
+	// Generation increments every time the file's content changes.
+	Generation uint64
+	Mode       Mode
+	Size       int64
+	// Digest is the SHA-256 of the file content.
+	Digest [sha256.Size]byte
+	// IMASignature is the hex vendor signature from the security.ima
+	// xattr ("" when unsigned).
+	IMASignature string
+}
+
+// file is the internal representation.
+type file struct {
+	fsID       uint32
+	inode      uint64
+	generation uint64
+	mode       Mode
+	size       int64
+	digest     [sha256.Size]byte
+	// content is nil for digest-only files.
+	content []byte
+	// xattrs holds extended attributes (e.g. security.ima). Like Linux
+	// xattrs they survive in-place rewrites and renames but not removal.
+	xattrs map[string]string
+}
+
+// mount is a mounted filesystem instance.
+type mount struct {
+	point    string
+	fsType   FSType
+	fsID     uint32
+	readOnly bool
+	nextIno  uint64
+}
+
+// VFS is a thread-safe virtual filesystem tree. Construct with New.
+type VFS struct {
+	mu       sync.RWMutex
+	mounts   []*mount // sorted by descending mount point length
+	files    map[string]*file
+	nextFSID uint32
+}
+
+// New returns a VFS with a single ext4 root filesystem mounted at "/".
+func New() *VFS {
+	v := &VFS{files: make(map[string]*file)}
+	if err := v.Mount("/", FSTypeExt4); err != nil {
+		// Mounting the root of an empty tree cannot fail.
+		panic(fmt.Sprintf("vfs: mounting root: %v", err))
+	}
+	return v
+}
+
+func cleanPath(p string) (string, error) {
+	if !strings.HasPrefix(p, "/") {
+		return "", fmt.Errorf("%w: %q", ErrNotAbsolute, p)
+	}
+	return path.Clean(p), nil
+}
+
+// Mount attaches a new filesystem instance of the given type at point.
+func (v *VFS) Mount(point string, t FSType) error {
+	return v.mountOpts(point, t, false)
+}
+
+// MountReadOnly attaches a read-only filesystem (e.g. squashfs for SNAPs).
+func (v *VFS) MountReadOnly(point string, t FSType) error {
+	return v.mountOpts(point, t, true)
+}
+
+func (v *VFS) mountOpts(point string, t FSType, ro bool) error {
+	point, err := cleanPath(point)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, m := range v.mounts {
+		if m.point == point {
+			return fmt.Errorf("%w: %q", ErrMountExists, point)
+		}
+	}
+	v.nextFSID++
+	v.mounts = append(v.mounts, &mount{point: point, fsType: t, fsID: v.nextFSID, readOnly: ro, nextIno: 1})
+	sort.Slice(v.mounts, func(i, j int) bool {
+		return len(v.mounts[i].point) > len(v.mounts[j].point)
+	})
+	return nil
+}
+
+// Unmount detaches the filesystem at point, dropping every file on it.
+func (v *VFS) Unmount(point string) error {
+	point, err := cleanPath(point)
+	if err != nil {
+		return err
+	}
+	if point == "/" {
+		return fmt.Errorf("%w: cannot unmount root", ErrMountedBusy)
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	idx := -1
+	for i, m := range v.mounts {
+		if m.point == point {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("%w: %q", ErrNotMounted, point)
+	}
+	fsID := v.mounts[idx].fsID
+	v.mounts = append(v.mounts[:idx], v.mounts[idx+1:]...)
+	for p, f := range v.files {
+		if f.fsID == fsID {
+			delete(v.files, p)
+		}
+	}
+	return nil
+}
+
+// mountFor returns the mount owning path p (longest-prefix match).
+// Caller must hold v.mu.
+func (v *VFS) mountFor(p string) (*mount, error) {
+	for _, m := range v.mounts { // sorted longest-first
+		if m.point == "/" || p == m.point || strings.HasPrefix(p, m.point+"/") {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotMounted, p)
+}
+
+// MountPoints returns the active mounts as (point, type) pairs sorted by path.
+func (v *VFS) MountPoints() map[string]FSType {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]FSType, len(v.mounts))
+	for _, m := range v.mounts {
+		out[m.point] = m.fsType
+	}
+	return out
+}
+
+// WriteFile creates or overwrites the file at p with the given content and
+// mode. Overwriting preserves the inode and bumps the generation counter.
+func (v *VFS) WriteFile(p string, content []byte, mode Mode) error {
+	p, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(content)
+	c := make([]byte, len(content))
+	copy(c, content)
+	return v.put(p, mode, int64(len(content)), digest, c)
+}
+
+// WriteFileDigest creates or overwrites the file at p recording only its
+// digest and size. Used for paper-scale filesystems where storing hundreds
+// of thousands of content blobs would be wasteful.
+func (v *VFS) WriteFileDigest(p string, digest [sha256.Size]byte, size int64, mode Mode) error {
+	p, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	if size < 0 {
+		return ErrEmptyContent
+	}
+	return v.put(p, mode, size, digest, nil)
+}
+
+func (v *VFS) put(p string, mode Mode, size int64, digest [sha256.Size]byte, content []byte) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, err := v.mountFor(p)
+	if err != nil {
+		return err
+	}
+	if m.readOnly {
+		if _, exists := v.files[p]; exists {
+			return fmt.Errorf("%w: %q", ErrReadOnlyFS, p)
+		}
+		// Allow initial population of read-only filesystems (image build).
+	}
+	if f, ok := v.files[p]; ok {
+		if f.digest != digest {
+			f.generation++
+		}
+		f.mode = mode
+		f.size = size
+		f.digest = digest
+		f.content = content
+		return nil
+	}
+	ino := m.nextIno
+	m.nextIno++
+	v.files[p] = &file{fsID: m.fsID, inode: ino, mode: mode, size: size, digest: digest, content: content}
+	return nil
+}
+
+// Chmod changes the mode of the file at p.
+func (v *VFS) Chmod(p string, mode Mode) error {
+	p, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.files[p]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	f.mode = mode
+	return nil
+}
+
+// Remove deletes the file at p.
+func (v *VFS) Remove(p string) error {
+	p, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.files[p]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	delete(v.files, p)
+	return nil
+}
+
+// RemoveAll deletes every file under prefix (inclusive). It reports how many
+// files were removed.
+func (v *VFS) RemoveAll(prefix string) (int, error) {
+	prefix, err := cleanPath(prefix)
+	if err != nil {
+		return 0, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for p := range v.files {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			delete(v.files, p)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Rename moves a file. Within one filesystem the inode and generation are
+// preserved — the semantics IMA's measure-once cache keys on (paper P4).
+// Across filesystems Rename behaves like copy+delete: the file receives a
+// fresh inode on the destination filesystem.
+func (v *VFS) Rename(oldPath, newPath string) error {
+	oldPath, err := cleanPath(oldPath)
+	if err != nil {
+		return err
+	}
+	newPath, err = cleanPath(newPath)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.files[oldPath]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, oldPath)
+	}
+	dst, err := v.mountFor(newPath)
+	if err != nil {
+		return err
+	}
+	if dst.readOnly {
+		return fmt.Errorf("%w: %q", ErrReadOnlyFS, newPath)
+	}
+	delete(v.files, oldPath)
+	if dst.fsID != f.fsID {
+		// Cross-device: new identity on the destination filesystem.
+		nf := *f
+		nf.fsID = dst.fsID
+		nf.inode = dst.nextIno
+		nf.generation = 0
+		dst.nextIno++
+		v.files[newPath] = &nf
+		return nil
+	}
+	v.files[newPath] = f
+	return nil
+}
+
+// Stat returns the FileInfo for p.
+func (v *VFS) Stat(p string) (FileInfo, error) {
+	p, err := cleanPath(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	f, ok := v.files[p]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	m, err := v.mountFor(p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{
+		Path:         p,
+		FSID:         f.fsID,
+		FSType:       m.fsType,
+		Inode:        f.inode,
+		Generation:   f.generation,
+		Mode:         f.mode,
+		Size:         f.size,
+		Digest:       f.digest,
+		IMASignature: f.xattrs[IMAXattr],
+	}, nil
+}
+
+// SetXattr sets an extended attribute on an existing file.
+func (v *VFS) SetXattr(p, name, value string) error {
+	p, err := cleanPath(p)
+	if err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.files[p]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	if f.xattrs == nil {
+		f.xattrs = make(map[string]string)
+	}
+	f.xattrs[name] = value
+	return nil
+}
+
+// Xattr reads an extended attribute.
+func (v *VFS) Xattr(p, name string) (string, bool) {
+	p, err := cleanPath(p)
+	if err != nil {
+		return "", false
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	f, ok := v.files[p]
+	if !ok {
+		return "", false
+	}
+	val, ok := f.xattrs[name]
+	return val, ok
+}
+
+// Exists reports whether a file exists at p.
+func (v *VFS) Exists(p string) bool {
+	_, err := v.Stat(p)
+	return err == nil
+}
+
+// ReadFile returns a copy of the file's content. Digest-only files return
+// ErrNoContent.
+func (v *VFS) ReadFile(p string) ([]byte, error) {
+	p, err := cleanPath(p)
+	if err != nil {
+		return nil, err
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	f, ok := v.files[p]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotExist, p)
+	}
+	if f.content == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoContent, p)
+	}
+	out := make([]byte, len(f.content))
+	copy(out, f.content)
+	return out, nil
+}
+
+// Walk calls fn for every file whose path starts with prefix, in sorted path
+// order. Returning a non-nil error from fn stops the walk.
+func (v *VFS) Walk(prefix string, fn func(info FileInfo) error) error {
+	prefix, err := cleanPath(prefix)
+	if err != nil {
+		return err
+	}
+	v.mu.RLock()
+	paths := make([]string, 0, len(v.files))
+	for p := range v.files {
+		if prefix == "/" || p == prefix || strings.HasPrefix(p, prefix+"/") {
+			paths = append(paths, p)
+		}
+	}
+	v.mu.RUnlock()
+	sort.Strings(paths)
+	for _, p := range paths {
+		info, err := v.Stat(p)
+		if err != nil {
+			if errors.Is(err, ErrNotExist) {
+				continue // removed concurrently
+			}
+			return err
+		}
+		if err := fn(info); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len reports the number of files in the tree.
+func (v *VFS) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.files)
+}
+
+// SyntheticContent deterministically expands a seed string into size bytes
+// using a SHA-256 based PRF. It lets the mirror, machine and policy
+// generator agree on file contents without shipping real binaries.
+func SyntheticContent(seed string, size int) []byte {
+	out := make([]byte, 0, size+sha256.Size)
+	var counter uint64
+	h := sha256.New()
+	for len(out) < size {
+		h.Reset()
+		var ctr [8]byte
+		binary.BigEndian.PutUint64(ctr[:], counter)
+		h.Write([]byte(seed))
+		h.Write(ctr[:])
+		out = h.Sum(out)
+		counter++
+	}
+	return out[:size]
+}
+
+// SyntheticDigest returns the SHA-256 digest of SyntheticContent(seed, size)
+// without materializing the content when size is a multiple of the block
+// output; it simply hashes the expanded stream. The helper exists so
+// paper-scale runs can populate digest-only files cheaply.
+func SyntheticDigest(seed string, size int) [sha256.Size]byte {
+	return sha256.Sum256(SyntheticContent(seed, size))
+}

@@ -1,0 +1,474 @@
+package vfs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHasRootMount(t *testing.T) {
+	v := New()
+	mounts := v.MountPoints()
+	if got, ok := mounts["/"]; !ok || got != FSTypeExt4 {
+		t.Fatalf("MountPoints()[/] = %v, %v; want ext4 mount", got, ok)
+	}
+}
+
+func TestWriteAndReadFile(t *testing.T) {
+	v := New()
+	content := []byte("#!/bin/sh\necho hi\n")
+	if err := v.WriteFile("/usr/bin/hello", content, ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := v.ReadFile("/usr/bin/hello")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatalf("ReadFile = %q, want %q", got, content)
+	}
+	info, err := v.Stat("/usr/bin/hello")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if want := sha256.Sum256(content); info.Digest != want {
+		t.Fatalf("Digest = %x, want %x", info.Digest, want)
+	}
+	if !info.Mode.IsExec() {
+		t.Fatal("file should be executable")
+	}
+	if info.FSType != FSTypeExt4 {
+		t.Fatalf("FSType = %v, want ext4", info.FSType)
+	}
+}
+
+func TestReadFileCopiesContent(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("/a", []byte("abc"), ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := v.ReadFile("/a")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	got[0] = 'X'
+	again, err := v.ReadFile("/a")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Fatalf("internal content mutated via returned slice: %q", again)
+	}
+}
+
+func TestWriteFileRelativePathRejected(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("usr/bin/x", nil, ModeRegular); !errors.Is(err, ErrNotAbsolute) {
+		t.Fatalf("err = %v, want ErrNotAbsolute", err)
+	}
+}
+
+func TestOverwriteBumpsGenerationAndKeepsInode(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("/bin/ls", []byte("v1"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before, _ := v.Stat("/bin/ls")
+	if err := v.WriteFile("/bin/ls", []byte("v2"), ModeExecutable); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	after, _ := v.Stat("/bin/ls")
+	if after.Inode != before.Inode {
+		t.Fatalf("inode changed on overwrite: %d -> %d", before.Inode, after.Inode)
+	}
+	if after.Generation != before.Generation+1 {
+		t.Fatalf("generation = %d, want %d", after.Generation, before.Generation+1)
+	}
+}
+
+func TestOverwriteSameContentKeepsGeneration(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("/bin/ls", []byte("v1"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before, _ := v.Stat("/bin/ls")
+	if err := v.WriteFile("/bin/ls", []byte("v1"), ModeExecutable); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	after, _ := v.Stat("/bin/ls")
+	if after.Generation != before.Generation {
+		t.Fatalf("generation bumped for identical content: %d -> %d", before.Generation, after.Generation)
+	}
+}
+
+func TestRenameSameFSPreservesInode(t *testing.T) {
+	v := New()
+	if err := v.WriteFile("/tmp-stage", []byte("payload"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before, _ := v.Stat("/tmp-stage")
+	if err := v.Rename("/tmp-stage", "/usr/bin/payload"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if v.Exists("/tmp-stage") {
+		t.Fatal("source still exists after rename")
+	}
+	after, err := v.Stat("/usr/bin/payload")
+	if err != nil {
+		t.Fatalf("Stat dest: %v", err)
+	}
+	if after.Inode != before.Inode || after.FSID != before.FSID {
+		t.Fatalf("identity changed on same-fs rename: (%d,%d) -> (%d,%d)",
+			before.FSID, before.Inode, after.FSID, after.Inode)
+	}
+}
+
+func TestRenameCrossFSGetsNewInode(t *testing.T) {
+	v := New()
+	if err := v.Mount("/tmp", FSTypeTmpfs); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if err := v.WriteFile("/tmp/payload", []byte("payload"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	before, _ := v.Stat("/tmp/payload")
+	if before.FSType != FSTypeTmpfs {
+		t.Fatalf("FSType = %v, want tmpfs", before.FSType)
+	}
+	if err := v.Rename("/tmp/payload", "/usr/bin/payload"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	after, _ := v.Stat("/usr/bin/payload")
+	if after.FSID == before.FSID {
+		t.Fatal("cross-fs rename kept the filesystem id")
+	}
+	if after.FSType != FSTypeExt4 {
+		t.Fatalf("dest FSType = %v, want ext4", after.FSType)
+	}
+	if after.Digest != before.Digest {
+		t.Fatal("content digest changed across rename")
+	}
+}
+
+func TestRenameMissingSource(t *testing.T) {
+	v := New()
+	if err := v.Rename("/nope", "/also-nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMountLongestPrefixWins(t *testing.T) {
+	v := New()
+	if err := v.Mount("/var", FSTypeExt4); err != nil {
+		t.Fatalf("Mount /var: %v", err)
+	}
+	if err := v.Mount("/var/tmp", FSTypeTmpfs); err != nil {
+		t.Fatalf("Mount /var/tmp: %v", err)
+	}
+	if err := v.WriteFile("/var/tmp/x", []byte("x"), ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info, _ := v.Stat("/var/tmp/x")
+	if info.FSType != FSTypeTmpfs {
+		t.Fatalf("FSType = %v, want tmpfs (longest prefix)", info.FSType)
+	}
+	// A sibling that merely shares the string prefix is NOT on the mount.
+	if err := v.WriteFile("/var/tmpdir/y", []byte("y"), ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	info2, _ := v.Stat("/var/tmpdir/y")
+	if info2.FSType != FSTypeExt4 {
+		t.Fatalf("FSType = %v, want ext4 for /var/tmpdir", info2.FSType)
+	}
+}
+
+func TestDuplicateMountRejected(t *testing.T) {
+	v := New()
+	if err := v.Mount("/tmp", FSTypeTmpfs); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if err := v.Mount("/tmp", FSTypeRamfs); !errors.Is(err, ErrMountExists) {
+		t.Fatalf("err = %v, want ErrMountExists", err)
+	}
+}
+
+func TestUnmountDropsFiles(t *testing.T) {
+	v := New()
+	if err := v.Mount("/tmp", FSTypeTmpfs); err != nil {
+		t.Fatalf("Mount: %v", err)
+	}
+	if err := v.WriteFile("/tmp/a", []byte("a"), ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := v.WriteFile("/keep", []byte("k"), ModeRegular); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := v.Unmount("/tmp"); err != nil {
+		t.Fatalf("Unmount: %v", err)
+	}
+	if v.Exists("/tmp/a") {
+		t.Fatal("tmpfs file survived unmount")
+	}
+	if !v.Exists("/keep") {
+		t.Fatal("root file lost on unrelated unmount")
+	}
+}
+
+func TestUnmountRootRejected(t *testing.T) {
+	v := New()
+	if err := v.Unmount("/"); err == nil {
+		t.Fatal("unmounting root succeeded, want error")
+	}
+}
+
+func TestReadOnlyMountRejectsOverwriteAndRenameIn(t *testing.T) {
+	v := New()
+	if err := v.MountReadOnly("/snap/core20/1234", FSTypeSquashfs); err != nil {
+		t.Fatalf("MountReadOnly: %v", err)
+	}
+	// Initial population is allowed (image build).
+	if err := v.WriteFile("/snap/core20/1234/bin/sh", []byte("sh"), ModeExecutable); err != nil {
+		t.Fatalf("initial write to ro fs: %v", err)
+	}
+	if err := v.WriteFile("/snap/core20/1234/bin/sh", []byte("evil"), ModeExecutable); !errors.Is(err, ErrReadOnlyFS) {
+		t.Fatalf("overwrite on ro fs: err = %v, want ErrReadOnlyFS", err)
+	}
+	if err := v.WriteFile("/x", []byte("x"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := v.Rename("/x", "/snap/core20/1234/bin/x"); !errors.Is(err, ErrReadOnlyFS) {
+		t.Fatalf("rename into ro fs: err = %v, want ErrReadOnlyFS", err)
+	}
+}
+
+func TestRemoveAndRemoveAll(t *testing.T) {
+	v := New()
+	for _, p := range []string{"/opt/a/1", "/opt/a/2", "/opt/ab", "/opt/b"} {
+		if err := v.WriteFile(p, []byte(p), ModeRegular); err != nil {
+			t.Fatalf("WriteFile %s: %v", p, err)
+		}
+	}
+	if err := v.Remove("/opt/b"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := v.Remove("/opt/b"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double Remove err = %v, want ErrNotExist", err)
+	}
+	n, err := v.RemoveAll("/opt/a")
+	if err != nil {
+		t.Fatalf("RemoveAll: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("RemoveAll removed %d, want 2", n)
+	}
+	if !v.Exists("/opt/ab") {
+		t.Fatal("RemoveAll(/opt/a) removed sibling /opt/ab")
+	}
+}
+
+func TestWalkSortedAndScoped(t *testing.T) {
+	v := New()
+	paths := []string{"/usr/bin/zz", "/usr/bin/aa", "/usr/lib/x", "/etc/conf"}
+	for _, p := range paths {
+		if err := v.WriteFile(p, []byte(p), ModeRegular); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	var got []string
+	if err := v.Walk("/usr/bin", func(info FileInfo) error {
+		got = append(got, info.Path)
+		return nil
+	}); err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	want := []string{"/usr/bin/aa", "/usr/bin/zz"}
+	if len(got) != len(want) {
+		t.Fatalf("Walk returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Walk returned %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWalkStopsOnError(t *testing.T) {
+	v := New()
+	for i := 0; i < 5; i++ {
+		if err := v.WriteFile(fmt.Sprintf("/f%d", i), nil, ModeRegular); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+	sentinel := errors.New("stop")
+	count := 0
+	err := v.Walk("/", func(FileInfo) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Walk err = %v, want sentinel", err)
+	}
+	if count != 2 {
+		t.Fatalf("Walk visited %d files after error, want 2", count)
+	}
+}
+
+func TestDigestOnlyFiles(t *testing.T) {
+	v := New()
+	digest := SyntheticDigest("pkg:bash:5.1/bin/bash", 1024)
+	if err := v.WriteFileDigest("/bin/bash", digest, 1024, ModeExecutable); err != nil {
+		t.Fatalf("WriteFileDigest: %v", err)
+	}
+	info, err := v.Stat("/bin/bash")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if info.Digest != digest || info.Size != 1024 {
+		t.Fatalf("Stat = %+v, want digest/size preserved", info)
+	}
+	if _, err := v.ReadFile("/bin/bash"); !errors.Is(err, ErrNoContent) {
+		t.Fatalf("ReadFile err = %v, want ErrNoContent", err)
+	}
+}
+
+func TestWriteFileDigestNegativeSize(t *testing.T) {
+	v := New()
+	if err := v.WriteFileDigest("/x", [32]byte{}, -1, ModeRegular); !errors.Is(err, ErrEmptyContent) {
+		t.Fatalf("err = %v, want ErrEmptyContent", err)
+	}
+}
+
+func TestSyntheticContentDeterministic(t *testing.T) {
+	a := SyntheticContent("seed", 1000)
+	b := SyntheticContent("seed", 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("SyntheticContent not deterministic")
+	}
+	c := SyntheticContent("other", 1000)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical content")
+	}
+	if len(a) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(a))
+	}
+}
+
+func TestSyntheticDigestMatchesContent(t *testing.T) {
+	want := sha256.Sum256(SyntheticContent("s", 333))
+	if got := SyntheticDigest("s", 333); got != want {
+		t.Fatalf("SyntheticDigest = %x, want %x", got, want)
+	}
+}
+
+// Property: inode numbers are unique per filesystem across arbitrary
+// create/remove sequences.
+func TestInodeUniquenessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := New()
+		live := make(map[string]bool)
+		seen := make(map[uint64]string) // inode -> path at allocation (root fs only)
+		for i := 0; i < 200; i++ {
+			p := fmt.Sprintf("/d%d/f%d", rng.Intn(5), rng.Intn(50))
+			switch rng.Intn(3) {
+			case 0, 1:
+				existed := live[p]
+				if err := v.WriteFile(p, []byte{byte(rng.Intn(256))}, ModeRegular); err != nil {
+					return false
+				}
+				info, _ := v.Stat(p)
+				if !existed {
+					if prior, dup := seen[info.Inode]; dup && live[prior] && prior != p {
+						return false // reused a live inode
+					}
+					seen[info.Inode] = p
+				}
+				live[p] = true
+			case 2:
+				if live[p] {
+					if err := v.Remove(p); err != nil {
+						return false
+					}
+					live[p] = false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rename within the root filesystem never changes (FSID, Inode,
+// Digest) regardless of the paths involved.
+func TestRenamePreservesIdentityProperty(t *testing.T) {
+	f := func(a, b uint8, content []byte) bool {
+		v := New()
+		src := fmt.Sprintf("/src/f%d", a)
+		dst := fmt.Sprintf("/dst/f%d", b)
+		if err := v.WriteFile(src, content, ModeExecutable); err != nil {
+			return false
+		}
+		before, _ := v.Stat(src)
+		if err := v.Rename(src, dst); err != nil {
+			return false
+		}
+		after, _ := v.Stat(dst)
+		return before.FSID == after.FSID && before.Inode == after.Inode && before.Digest == after.Digest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXattrLifecycle(t *testing.T) {
+	v := New()
+	if err := v.SetXattr("/missing", IMAXattr, "x"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("SetXattr on missing file: %v, want ErrNotExist", err)
+	}
+	if err := v.WriteFile("/bin/tool", []byte("v1"), ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, ok := v.Xattr("/bin/tool", IMAXattr); ok {
+		t.Fatal("xattr present before being set")
+	}
+	if err := v.SetXattr("/bin/tool", IMAXattr, "sig-hex"); err != nil {
+		t.Fatalf("SetXattr: %v", err)
+	}
+	info, _ := v.Stat("/bin/tool")
+	if info.IMASignature != "sig-hex" {
+		t.Fatalf("IMASignature = %q", info.IMASignature)
+	}
+	// Survives in-place rewrite (like Linux xattrs across truncate+write).
+	if err := v.WriteFile("/bin/tool", []byte("v2"), ModeExecutable); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if got, _ := v.Xattr("/bin/tool", IMAXattr); got != "sig-hex" {
+		t.Fatalf("xattr after rewrite = %q", got)
+	}
+	// Survives rename.
+	if err := v.Rename("/bin/tool", "/usr/bin/tool"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if got, _ := v.Xattr("/usr/bin/tool", IMAXattr); got != "sig-hex" {
+		t.Fatalf("xattr after rename = %q", got)
+	}
+	// Gone after remove + recreate.
+	if err := v.Remove("/usr/bin/tool"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := v.WriteFile("/usr/bin/tool", []byte("v3"), ModeExecutable); err != nil {
+		t.Fatalf("recreate: %v", err)
+	}
+	if _, ok := v.Xattr("/usr/bin/tool", IMAXattr); ok {
+		t.Fatal("xattr survived unlink+recreate")
+	}
+}

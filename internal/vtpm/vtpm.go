@@ -1,0 +1,166 @@
+// Package vtpm implements a virtual TPM host for virtual machines, modeled
+// on the ephemeral-vTPM design the paper cites (§II, "a recent work uses
+// Keylime to build a virtual trusted platform module that virtualizes the
+// hardware root of trust for virtual machines' remote attestation").
+//
+// The host owns a hardware-rooted intermediate CA: its signing key is
+// certified by the TPM manufacturer-style root, and each guest VM receives
+// its own software TPM whose EK certificate is issued by that intermediate.
+// A registrar that trusts the manufacturer root can verify a guest EK by
+// walking the chain guest-EK -> host-intermediate -> root, so guests attest
+// exactly like physical machines — including the credential-activation
+// step — without sharing TPM state with each other.
+package vtpm
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/tpm"
+)
+
+// Errors.
+var (
+	ErrDuplicateGuest = errors.New("vtpm: guest already has a vTPM")
+	ErrUnknownGuest   = errors.New("vtpm: unknown guest")
+)
+
+// Host multiplexes per-guest virtual TPMs. Construct with NewHost.
+type Host struct {
+	interKey  *ecdsa.PrivateKey
+	interCert *x509.Certificate
+	rng       io.Reader
+	ekBits    int
+
+	mu     sync.Mutex
+	guests map[string]*tpm.TPM
+}
+
+// HostOption configures the host.
+type HostOption interface{ apply(*Host) }
+
+type hostOptionFunc func(*Host)
+
+func (f hostOptionFunc) apply(h *Host) { f(h) }
+
+// WithGuestEKBits sets the RSA key size of guest endorsement keys (tests
+// use 1024 for speed).
+func WithGuestEKBits(bits int) HostOption {
+	return hostOptionFunc(func(h *Host) { h.ekBits = bits })
+}
+
+// WithRand sets the randomness source.
+func WithRand(r io.Reader) HostOption {
+	return hostOptionFunc(func(h *Host) { h.rng = r })
+}
+
+// NewHost creates a vTPM host whose intermediate CA is certified by the
+// given manufacturer-style root (the hardware root of trust).
+func NewHost(root *tpm.ManufacturerCA, hostName string, opts ...HostOption) (*Host, error) {
+	h := &Host{rng: rand.Reader, ekBits: 2048, guests: make(map[string]*tpm.TPM)}
+	for _, opt := range opts {
+		opt.apply(h)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), h.rng)
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: generating intermediate key: %w", err)
+	}
+	sn, err := rand.Int(h.rng, new(big.Int).Lsh(big.NewInt(1), 120))
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: generating serial: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          sn,
+		Subject:               pkix.Name{CommonName: "vTPM host " + hostName, Organization: []string{"repro"}},
+		NotBefore:             time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:                  true,
+		MaxPathLen:            0,
+		MaxPathLenZero:        true,
+		KeyUsage:              x509.KeyUsageCertSign,
+		BasicConstraintsValid: true,
+	}
+	der, err := root.SignIntermediate(h.rng, tmpl, &key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: certifying intermediate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: parsing intermediate cert: %w", err)
+	}
+	h.interKey = key
+	h.interCert = cert
+	return h, nil
+}
+
+// IntermediateCert returns the host CA certificate (DER) that guest EK
+// chains include.
+func (h *Host) IntermediateCert() []byte {
+	return append([]byte(nil), h.interCert.Raw...)
+}
+
+// CreateGuestTPM provisions a fresh vTPM for the named guest VM. The
+// returned TPM behaves exactly like a hardware one; its EK certificate is
+// signed by the host intermediate.
+func (h *Host) CreateGuestTPM(guestID string) (*tpm.TPM, error) {
+	h.mu.Lock()
+	if _, exists := h.guests[guestID]; exists {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateGuest, guestID)
+	}
+	h.mu.Unlock()
+	ca := &tpm.ManufacturerCA{}
+	ca.SetKeyPair(h.interKey, h.interCert)
+	dev, err := tpm.New(ca,
+		tpm.WithRand(h.rng),
+		tpm.WithEKBits(h.ekBits),
+		tpm.WithSerial("VTPM-"+guestID),
+		tpm.WithEKIntermediates(h.interCert.Raw),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("vtpm: provisioning guest %s: %w", guestID, err)
+	}
+	h.mu.Lock()
+	h.guests[guestID] = dev
+	h.mu.Unlock()
+	return dev, nil
+}
+
+// GuestTPM returns an existing guest vTPM.
+func (h *Host) GuestTPM(guestID string) (*tpm.TPM, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	dev, ok := h.guests[guestID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownGuest, guestID)
+	}
+	return dev, nil
+}
+
+// DestroyGuestTPM drops a guest's vTPM (VM teardown). Ephemeral vTPM state
+// disappears with the VM.
+func (h *Host) DestroyGuestTPM(guestID string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.guests[guestID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownGuest, guestID)
+	}
+	delete(h.guests, guestID)
+	return nil
+}
+
+// GuestCount reports the number of provisioned vTPMs.
+func (h *Host) GuestCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.guests)
+}

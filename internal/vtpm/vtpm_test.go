@@ -1,0 +1,166 @@
+package vtpm
+
+import (
+	"crypto/rand"
+	"errors"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+func newHost(t *testing.T) (*tpm.ManufacturerCA, *Host) {
+	t.Helper()
+	root, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	h, err := NewHost(root, "hv-01", WithGuestEKBits(1024))
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	return root, h
+}
+
+func TestGuestEKChainsToManufacturerRoot(t *testing.T) {
+	root, h := newHost(t)
+	dev, err := h.CreateGuestTPM("vm-1")
+	if err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	// Direct verification fails (the leaf is signed by the intermediate).
+	if _, err := tpm.VerifyEKCert(dev.EKCertificate(), root.Pool()); err == nil {
+		t.Fatal("guest EK verified without intermediates")
+	}
+	// With the presented chain it verifies.
+	if _, err := tpm.VerifyEKCertChain(dev.EKCertificate(), dev.EKIntermediates(), root.Pool()); err != nil {
+		t.Fatalf("VerifyEKCertChain: %v", err)
+	}
+}
+
+func TestGuestLifecycle(t *testing.T) {
+	_, h := newHost(t)
+	if _, err := h.CreateGuestTPM("vm-1"); err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	if _, err := h.CreateGuestTPM("vm-1"); !errors.Is(err, ErrDuplicateGuest) {
+		t.Fatalf("duplicate guest: %v, want ErrDuplicateGuest", err)
+	}
+	if _, err := h.GuestTPM("vm-1"); err != nil {
+		t.Fatalf("GuestTPM: %v", err)
+	}
+	if h.GuestCount() != 1 {
+		t.Fatalf("GuestCount = %d, want 1", h.GuestCount())
+	}
+	if err := h.DestroyGuestTPM("vm-1"); err != nil {
+		t.Fatalf("DestroyGuestTPM: %v", err)
+	}
+	if _, err := h.GuestTPM("vm-1"); !errors.Is(err, ErrUnknownGuest) {
+		t.Fatalf("after destroy: %v, want ErrUnknownGuest", err)
+	}
+	if err := h.DestroyGuestTPM("vm-1"); !errors.Is(err, ErrUnknownGuest) {
+		t.Fatalf("double destroy: %v, want ErrUnknownGuest", err)
+	}
+}
+
+func TestGuestsAreIsolated(t *testing.T) {
+	_, h := newHost(t)
+	a, err := h.CreateGuestTPM("vm-a")
+	if err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	b, err := h.CreateGuestTPM("vm-b")
+	if err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	// Extending one guest's PCRs must not affect the other's.
+	if err := a.PCRs().Extend(tpm.PCRIMA, tpm.Digest{1}); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	av, _ := a.PCRs().Read(tpm.PCRIMA)
+	bv, _ := b.PCRs().Read(tpm.PCRIMA)
+	if av == bv {
+		t.Fatal("guest PCR state shared between vTPMs")
+	}
+}
+
+func TestGuestVMFullAttestationFlow(t *testing.T) {
+	// End to end: a VM with a vTPM registers (EK chain through the host
+	// intermediate), and the verifier attests it like a physical node.
+	root, h := newHost(t)
+	dev, err := h.CreateGuestTPM("vm-1")
+	if err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	m, err := machine.New(nil,
+		machine.WithTPMDevice(dev),
+		machine.WithUUID("e532fbb3-d2f1-4a97-9ef7-75bd81c00042"),
+		machine.WithHostname("vm-1"),
+	)
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	if err := m.WriteFile("/usr/bin/tool", []byte("\x7fELF tool"), vfs.ModeExecutable); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	reg := registrar.New(root.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+	ag := agent.New(m)
+	agSrv := httptest.NewServer(ag.Handler())
+	defer agSrv.Close()
+	if err := ag.Register(regSrv.URL, agSrv.URL); err != nil {
+		t.Fatalf("Register (vTPM chain): %v", err)
+	}
+
+	pol, err := core.SnapshotPolicy(m.FS(), nil)
+	if err != nil {
+		t.Fatalf("SnapshotPolicy: %v", err)
+	}
+	v := verifier.New(regSrv.URL)
+	if err := v.AddAgent(m.UUID(), agSrv.URL, pol); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	res, err := v.AttestOnce(t.Context(), m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("guest attestation failed: %+v", res.Failure)
+	}
+	if res.VerifiedEntries != 2 {
+		t.Fatalf("VerifiedEntries = %d, want 2", res.VerifiedEntries)
+	}
+}
+
+func TestForeignHostIntermediateRejected(t *testing.T) {
+	// A guest provisioned by a host whose intermediate chains to a
+	// DIFFERENT root must be rejected by the registrar.
+	_, h := newHost(t)
+	otherRoot, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	dev, err := h.CreateGuestTPM("vm-evil")
+	if err != nil {
+		t.Fatalf("CreateGuestTPM: %v", err)
+	}
+	reg := registrar.New(otherRoot.Pool())
+	akPub, err := dev.CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	if _, err := reg.RegisterWithChain("vm-evil", dev.EKCertificate(), dev.EKIntermediates(), akPub, ""); err == nil {
+		t.Fatal("registrar accepted guest chained to a foreign root")
+	}
+}

@@ -1,0 +1,6 @@
+package workload
+
+import "math/rand"
+
+// randNew builds a seeded generator for statistics tests.
+func randNew(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,457 @@
+// Package workload generates the synthetic workloads driving the paper's
+// experiments:
+//
+//   - a base OS release (the day-one state of the mirror), sized either for
+//     fast tests or at paper scale (a ~323k-entry initial policy);
+//   - a daily update stream calibrated to the statistics the paper
+//     measured on Ubuntu 22.04 between Feb 26 and Mar 28 2024: a mean of
+//     16.5 packages-with-executables per daily update (σ 26.8), 0.9 of
+//     them high-priority (σ 2.2), and ~1,271 new policy entries per day;
+//   - the benign-operations mix (navigating the filesystem, opening and
+//     closing files, launching scripts, executing binaries) used in the
+//     false-positive week.
+//
+// All randomness is drawn from seeded generators, so runs are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/mirror"
+	"repro/internal/vfs"
+)
+
+// Scale sizes the synthetic distribution.
+type Scale struct {
+	// Packages in the base release.
+	Packages int
+	// MeanExecPerPkg is the mean executable files per package
+	// (heavy-tailed; most packages ship a handful, some ship hundreds).
+	MeanExecPerPkg float64
+	// MeanDataPerPkg is the mean non-executable files per package.
+	MeanDataPerPkg float64
+	// MeanFileSize is the mean synthetic file size in bytes.
+	MeanFileSize float64
+	// Seed makes the release deterministic.
+	Seed int64
+}
+
+// ScaleSmall is the default test scale (hundreds of policy entries).
+func ScaleSmall() Scale {
+	return Scale{Packages: 60, MeanExecPerPkg: 8, MeanDataPerPkg: 4, MeanFileSize: 512, Seed: 1}
+}
+
+// ScalePaper approximates the paper's numbers: the initial policy lands
+// around 323,734 lines (±2%; ~324k measured with seed 1).
+func ScalePaper() Scale {
+	return Scale{Packages: 4800, MeanExecPerPkg: 69.2, MeanDataPerPkg: 10, MeanFileSize: 2048, Seed: 1}
+}
+
+// lognormal draws a lognormal sample with the given mean and coefficient of
+// variation.
+func lognormal(rng *rand.Rand, mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*rng.NormFloat64())
+}
+
+// clampInt converts a float to an int bounded to [lo, hi].
+func clampInt(f float64, lo, hi int) int {
+	n := int(math.Round(f))
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// priorityFor draws a Debian priority with a realistic skew: a few percent
+// of packages are high priority, the bulk optional/extra.
+func priorityFor(rng *rand.Rand) mirror.Priority {
+	switch r := rng.Float64(); {
+	case r < 0.005:
+		return mirror.PriorityEssential
+	case r < 0.02:
+		return mirror.PriorityRequired
+	case r < 0.04:
+		return mirror.PriorityImportant
+	case r < 0.055: // ~5.5% high total: matches 0.9/16.5 in the stream
+		return mirror.PriorityStandard
+	case r < 0.75:
+		return mirror.PriorityOptional
+	default:
+		return mirror.PriorityExtra
+	}
+}
+
+// installDirs are where synthetic executables land, weighted roughly like a
+// real filesystem.
+var installDirs = []string{
+	"/usr/bin", "/usr/bin", "/usr/bin",
+	"/usr/sbin",
+	"/usr/lib", "/usr/lib",
+	"/usr/libexec",
+	"/bin", "/sbin",
+	"/usr/lib/x86_64-linux-gnu",
+}
+
+// makeFiles builds the file list for one package version.
+func makeFiles(rng *rand.Rand, name string, sc Scale, execs, datas int) []mirror.PackageFile {
+	files := make([]mirror.PackageFile, 0, execs+datas)
+	for i := 0; i < execs; i++ {
+		dir := installDirs[rng.Intn(len(installDirs))]
+		size := clampInt(lognormal(rng, sc.MeanFileSize, 1.0), 64, 64<<10)
+		files = append(files, mirror.PackageFile{
+			Path: fmt.Sprintf("%s/%s-bin%d", dir, name, i),
+			Mode: vfs.ModeExecutable,
+			Size: size,
+		})
+	}
+	for i := 0; i < datas; i++ {
+		size := clampInt(lognormal(rng, sc.MeanFileSize, 1.0), 16, 64<<10)
+		files = append(files, mirror.PackageFile{
+			Path: fmt.Sprintf("/usr/share/%s/data%d", name, i),
+			Mode: vfs.ModeRegular,
+			Size: size,
+		})
+	}
+	return files
+}
+
+// suiteFor assigns a suite: base packages live in Main; the stream marks
+// updates as Security or Updates.
+func suiteFor(rng *rand.Rand, update bool) mirror.Suite {
+	if !update {
+		return mirror.SuiteMain
+	}
+	if rng.Float64() < 0.3 {
+		return mirror.SuiteSecurity
+	}
+	return mirror.SuiteUpdates
+}
+
+// BaseRelease generates the day-one package set for the given scale,
+// including one kernel image package for the running kernel.
+func BaseRelease(sc Scale, runningKernel string) []mirror.Package {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	pkgs := make([]mirror.Package, 0, sc.Packages+1)
+	for i := 0; i < sc.Packages; i++ {
+		name := fmt.Sprintf("pkg%04d", i)
+		execs := clampInt(lognormal(rng, sc.MeanExecPerPkg, 1.2), 0, 900)
+		datas := clampInt(lognormal(rng, sc.MeanDataPerPkg, 1.0), 0, 200)
+		pkgs = append(pkgs, mirror.Package{
+			Name:     name,
+			Version:  "1.0-1",
+			Suite:    suiteFor(rng, false),
+			Priority: priorityFor(rng),
+			Files:    makeFiles(rng, name, sc, execs, datas),
+		})
+	}
+	pkgs = append(pkgs, KernelPackage(runningKernel, "1"))
+	return pkgs
+}
+
+// KernelPackage builds a linux-image package for the given kernel version.
+func KernelPackage(kernelVersion, pkgRevision string) mirror.Package {
+	files := []mirror.PackageFile{
+		{Path: "/boot/vmlinuz-" + kernelVersion, Mode: vfs.ModeExecutable, Size: 8 << 10},
+		{Path: "/boot/config-" + kernelVersion, Mode: vfs.ModeRegular, Size: 1 << 10},
+	}
+	for _, mod := range []string{"kernel/fs/ext4.ko", "kernel/net/ipv6.ko", "kernel/drivers/virtio.ko"} {
+		files = append(files, mirror.PackageFile{
+			Path: "/usr/lib/modules/" + kernelVersion + "/" + mod,
+			Mode: vfs.ModeExecutable,
+			Size: 4 << 10,
+		})
+	}
+	return mirror.Package{
+		Name:     "linux-image-" + kernelVersion,
+		Version:  kernelVersion + "." + pkgRevision,
+		Suite:    mirror.SuiteUpdates,
+		Priority: mirror.PriorityOptional,
+		Files:    files,
+	}
+}
+
+// StreamConfig calibrates the daily update stream.
+type StreamConfig struct {
+	Seed int64
+	// MeanPkgsPerDay / PkgsCV control the heavy-tailed count of updated
+	// packages-with-executables per day (paper: 16.5, σ 26.8 → CV≈1.6).
+	MeanPkgsPerDay float64
+	PkgsCV         float64
+	// HighPriorityFraction of updated packages (paper: 0.9/16.5 ≈ 5.5%).
+	HighPriorityFraction float64
+	// MeanExecPerUpdatedPkg drives entries/day (paper: 1271/16.5 ≈ 77).
+	MeanExecPerUpdatedPkg float64
+	// NewPackageFraction of updates that introduce a brand-new package.
+	NewPackageFraction float64
+	// KernelEveryNDays publishes a new kernel image every N days (0 = never).
+	KernelEveryNDays int
+	// Scale reuses the base release's size parameters for file shapes.
+	Scale Scale
+}
+
+// DefaultStreamConfig matches the paper's daily-update statistics.
+func DefaultStreamConfig(sc Scale) StreamConfig {
+	return StreamConfig{
+		Seed:                  sc.Seed + 1000,
+		MeanPkgsPerDay:        16.5,
+		PkgsCV:                1.62,
+		HighPriorityFraction:  0.055,
+		MeanExecPerUpdatedPkg: 77,
+		NewPackageFraction:    0.15,
+		KernelEveryNDays:      14,
+		Scale:                 sc,
+	}
+}
+
+// Stream publishes daily batches of package updates into an archive.
+// Construct with NewStream.
+type Stream struct {
+	cfg      StreamConfig
+	rng      *rand.Rand
+	archive  *mirror.Archive
+	names    []string
+	versions map[string]int
+	kernelN  int
+	day      int
+}
+
+// NewStream creates a stream over an archive already holding baseRelease.
+func NewStream(archive *mirror.Archive, baseRelease []mirror.Package, cfg StreamConfig) *Stream {
+	s := &Stream{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		archive:  archive,
+		versions: make(map[string]int, len(baseRelease)),
+	}
+	for _, p := range baseRelease {
+		if p.IsKernelImage() {
+			continue
+		}
+		s.names = append(s.names, p.Name)
+		s.versions[p.Name] = 1
+	}
+	return s
+}
+
+// DayUpdate describes what one day's publication contained.
+type DayUpdate struct {
+	Day       int
+	Published []mirror.Package
+	// NewKernel is the kernel version published today ("" if none).
+	NewKernel string
+}
+
+// PublishDay draws and publishes one day's updates. Days with zero package
+// updates occur naturally from the heavy-tailed draw.
+func (s *Stream) PublishDay(at time.Time) (DayUpdate, error) {
+	s.day++
+	count := clampInt(lognormal(s.rng, s.cfg.MeanPkgsPerDay, s.cfg.PkgsCV), 0, 250)
+	// ~15% of days see no updates at all (quiet weekend days).
+	if s.rng.Float64() < 0.15 {
+		count = 0
+	}
+	upd := DayUpdate{Day: s.day}
+	seen := map[string]bool{}
+	for i := 0; i < count; i++ {
+		var name string
+		if s.rng.Float64() < s.cfg.NewPackageFraction {
+			name = fmt.Sprintf("pkg-new-%04d", len(s.names))
+			s.names = append(s.names, name)
+			s.versions[name] = 0
+		} else {
+			// Redraw on collision so small catalogs still produce the
+			// calibrated per-day counts; fall back to a new package when
+			// the catalog is almost exhausted for the day.
+			for tries := 0; ; tries++ {
+				name = s.names[s.rng.Intn(len(s.names))]
+				if !seen[name] {
+					break
+				}
+				if tries >= 8 {
+					name = fmt.Sprintf("pkg-new-%04d", len(s.names))
+					s.names = append(s.names, name)
+					s.versions[name] = 0
+					break
+				}
+			}
+		}
+		seen[name] = true
+		s.versions[name]++
+		execs := clampInt(lognormal(s.rng, s.cfg.MeanExecPerUpdatedPkg, 1.3), 1, 1200)
+		datas := clampInt(lognormal(s.rng, s.cfg.Scale.MeanDataPerPkg, 1.0), 0, 100)
+		prio := mirror.PriorityOptional
+		if s.rng.Float64() < s.cfg.HighPriorityFraction {
+			prio = []mirror.Priority{
+				mirror.PriorityEssential, mirror.PriorityRequired,
+				mirror.PriorityImportant, mirror.PriorityStandard,
+			}[s.rng.Intn(4)]
+		} else if s.rng.Float64() < 0.3 {
+			prio = mirror.PriorityExtra
+		}
+		upd.Published = append(upd.Published, mirror.Package{
+			Name:     name,
+			Version:  fmt.Sprintf("1.0-%d", s.versions[name]),
+			Suite:    suiteFor(s.rng, true),
+			Priority: prio,
+			Files:    makeFiles(s.rng, name, s.cfg.Scale, execs, datas),
+		})
+	}
+	if s.cfg.KernelEveryNDays > 0 && s.day%s.cfg.KernelEveryNDays == 0 {
+		s.kernelN++
+		ver := fmt.Sprintf("5.15.0-%d-generic", 100+s.kernelN)
+		upd.Published = append(upd.Published, KernelPackage(ver, "1"))
+		upd.NewKernel = ver
+	}
+	if len(upd.Published) > 0 {
+		if _, err := s.archive.Publish(at, upd.Published...); err != nil {
+			return DayUpdate{}, fmt.Errorf("workload: publishing day %d: %w", s.day, err)
+		}
+	}
+	return upd, nil
+}
+
+// BenignOpsConfig calibrates the benign operation mix.
+type BenignOpsConfig struct {
+	Seed int64
+	// Weights of each operation class; they need not sum to 1.
+	ExecWeight, OpenWeight, ScriptWeight, WalkWeight float64
+}
+
+// DefaultBenignOpsConfig mirrors the paper's normal-operations description.
+func DefaultBenignOpsConfig(seed int64) BenignOpsConfig {
+	return BenignOpsConfig{Seed: seed, ExecWeight: 0.55, OpenWeight: 0.25, ScriptWeight: 0.15, WalkWeight: 0.05}
+}
+
+// BenignOps drives a machine through normal operations. Construct with
+// NewBenignOps after the machine's packages are installed.
+type BenignOps struct {
+	cfg     BenignOpsConfig
+	rng     *rand.Rand
+	m       *machine.Machine
+	execs   []string
+	regular []string
+	scripts []string
+}
+
+// NewBenignOps catalogs the machine's files and prepares the op mix. It
+// installs a small set of admin scripts (with shebangs) under
+// /usr/local/scripts, mirroring the "launching scripts to perform tasks"
+// part of the paper's workload.
+func NewBenignOps(m *machine.Machine, cfg BenignOpsConfig) (*BenignOps, error) {
+	b := &BenignOps{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), m: m}
+	// Admin scripts need an interpreter on disk.
+	if !m.FS().Exists("/bin/sh") {
+		if err := m.WriteFile("/bin/sh", []byte("\x7fELF-dash"), vfs.ModeExecutable); err != nil {
+			return nil, fmt.Errorf("workload: installing /bin/sh: %w", err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		p := fmt.Sprintf("/usr/local/scripts/task%d.sh", i)
+		content := fmt.Sprintf("#!/bin/sh\necho task %d\n", i)
+		if err := m.WriteFile(p, []byte(content), vfs.ModeExecutable); err != nil {
+			return nil, fmt.Errorf("workload: installing script: %w", err)
+		}
+		b.scripts = append(b.scripts, p)
+	}
+	if err := b.Recatalog(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Recatalog rescans the machine for executables and regular files; call it
+// after system updates change the file population.
+func (b *BenignOps) Recatalog() error {
+	b.execs = b.execs[:0]
+	b.regular = b.regular[:0]
+	err := b.m.FS().Walk("/usr", func(info vfs.FileInfo) error {
+		if info.Mode.IsExec() {
+			b.execs = append(b.execs, info.Path)
+		} else {
+			b.regular = append(b.regular, info.Path)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("workload: cataloging machine: %w", err)
+	}
+	return nil
+}
+
+// OpCounts tallies operations performed.
+type OpCounts struct {
+	Execs, Opens, Scripts, Walks int
+}
+
+// Step performs one random benign operation.
+func (b *BenignOps) Step() (OpCounts, error) {
+	var c OpCounts
+	total := b.cfg.ExecWeight + b.cfg.OpenWeight + b.cfg.ScriptWeight + b.cfg.WalkWeight
+	r := b.rng.Float64() * total
+	switch {
+	case r < b.cfg.ExecWeight && len(b.execs) > 0:
+		p := b.execs[b.rng.Intn(len(b.execs))]
+		if err := b.m.Exec(p); err != nil {
+			return c, fmt.Errorf("workload: benign exec %s: %w", p, err)
+		}
+		c.Execs++
+	case r < b.cfg.ExecWeight+b.cfg.OpenWeight && len(b.regular) > 0:
+		p := b.regular[b.rng.Intn(len(b.regular))]
+		if err := b.m.OpenRead(p); err != nil {
+			return c, fmt.Errorf("workload: benign open %s: %w", p, err)
+		}
+		c.Opens++
+	case r < b.cfg.ExecWeight+b.cfg.OpenWeight+b.cfg.ScriptWeight && len(b.scripts) > 0:
+		p := b.scripts[b.rng.Intn(len(b.scripts))]
+		if err := b.m.Exec(p); err != nil {
+			return c, fmt.Errorf("workload: benign script %s: %w", p, err)
+		}
+		c.Scripts++
+	default:
+		// Navigate the filesystem: stat a handful of entries.
+		n := 0
+		err := b.m.FS().Walk("/usr/bin", func(vfs.FileInfo) error {
+			n++
+			if n >= 10 {
+				return errStopWalk
+			}
+			return nil
+		})
+		if err != nil && err != errStopWalk {
+			return c, fmt.Errorf("workload: benign walk: %w", err)
+		}
+		c.Walks++
+	}
+	return c, nil
+}
+
+// Run performs n benign operations and returns the tallies.
+func (b *BenignOps) Run(n int) (OpCounts, error) {
+	var total OpCounts
+	for i := 0; i < n; i++ {
+		c, err := b.Step()
+		if err != nil {
+			return total, err
+		}
+		total.Execs += c.Execs
+		total.Opens += c.Opens
+		total.Scripts += c.Scripts
+		total.Walks += c.Walks
+	}
+	return total, nil
+}
+
+// errStopWalk terminates a bounded walk early.
+var errStopWalk = fmt.Errorf("workload: stop walk")

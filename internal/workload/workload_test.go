@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"crypto/rand"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/ima"
+	"repro/internal/machine"
+	"repro/internal/mirror"
+	"repro/internal/tpm"
+)
+
+var t0 = time.Date(2024, 2, 26, 5, 0, 0, 0, time.UTC)
+
+const kernel = "5.15.0-100-generic"
+
+func TestBaseReleaseDeterministic(t *testing.T) {
+	a := BaseRelease(ScaleSmall(), kernel)
+	b := BaseRelease(ScaleSmall(), kernel)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Version != b[i].Version || len(a[i].Files) != len(b[i].Files) {
+			t.Fatalf("package %d differs between runs", i)
+		}
+	}
+}
+
+func TestBaseReleaseIncludesKernel(t *testing.T) {
+	rel := BaseRelease(ScaleSmall(), kernel)
+	found := false
+	for _, p := range rel {
+		if p.Name == "linux-image-"+kernel {
+			found = true
+			if len(p.ExecutableFiles()) < 3 {
+				t.Fatalf("kernel package has %d executables", len(p.ExecutableFiles()))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("base release lacks the running kernel package")
+	}
+}
+
+func TestBaseReleaseSmallScaleShape(t *testing.T) {
+	rel := BaseRelease(ScaleSmall(), kernel)
+	if len(rel) != ScaleSmall().Packages+1 {
+		t.Fatalf("packages = %d, want %d", len(rel), ScaleSmall().Packages+1)
+	}
+	execs := 0
+	for _, p := range rel {
+		execs += len(p.ExecutableFiles())
+	}
+	// Mean 8 exec/pkg over 60 packages: expect a few hundred.
+	if execs < 150 || execs > 1500 {
+		t.Fatalf("total executables = %d, outside sane range", execs)
+	}
+}
+
+func TestStreamCalibrationMatchesPaper(t *testing.T) {
+	// Generate many days and verify the long-run statistics against the
+	// paper's Table I / Figs 4-5 numbers.
+	sc := ScaleSmall()
+	archive := mirror.NewArchive()
+	base := BaseRelease(sc, kernel)
+	if _, err := archive.Publish(t0.Add(-24*time.Hour), base...); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	cfg := DefaultStreamConfig(sc)
+	cfg.KernelEveryNDays = 0 // keep the statistics pure
+	s := NewStream(archive, base, cfg)
+
+	const days = 400
+	var pkgsWithExec, highPri, entries float64
+	var perDay []float64
+	for d := 0; d < days; d++ {
+		upd, err := s.PublishDay(t0.Add(time.Duration(d) * 24 * time.Hour))
+		if err != nil {
+			t.Fatalf("PublishDay %d: %v", d, err)
+		}
+		dayCount := 0.0
+		for _, p := range upd.Published {
+			if !p.HasExecutables() {
+				continue
+			}
+			dayCount++
+			pkgsWithExec++
+			if p.Priority.High() {
+				highPri++
+			}
+			entries += float64(len(p.ExecutableFiles()))
+		}
+		perDay = append(perDay, dayCount)
+	}
+	meanPkgs := pkgsWithExec / days
+	if meanPkgs < 10 || meanPkgs > 24 {
+		t.Fatalf("mean pkgs/day = %.1f, want near the paper's 16.5", meanPkgs)
+	}
+	meanHigh := highPri / days
+	if meanHigh < 0.3 || meanHigh > 2.0 {
+		t.Fatalf("mean high-priority/day = %.2f, want near the paper's 0.9", meanHigh)
+	}
+	meanEntries := entries / days
+	if meanEntries < 700 || meanEntries > 2100 {
+		t.Fatalf("mean entries/day = %.0f, want near the paper's 1271", meanEntries)
+	}
+	// Heavy tail: the std deviation should exceed the mean (paper: σ 26.8
+	// vs mean 16.5).
+	var varSum float64
+	for _, v := range perDay {
+		varSum += (v - meanPkgs) * (v - meanPkgs)
+	}
+	stddev := math.Sqrt(varSum / days)
+	if stddev < meanPkgs*0.8 {
+		t.Fatalf("stddev = %.1f for mean %.1f; update sizes should be heavy-tailed", stddev, meanPkgs)
+	}
+}
+
+func TestStreamPublishesKernels(t *testing.T) {
+	sc := ScaleSmall()
+	archive := mirror.NewArchive()
+	base := BaseRelease(sc, kernel)
+	if _, err := archive.Publish(t0.Add(-24*time.Hour), base...); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	cfg := DefaultStreamConfig(sc)
+	cfg.KernelEveryNDays = 5
+	s := NewStream(archive, base, cfg)
+	kernels := 0
+	for d := 0; d < 15; d++ {
+		upd, err := s.PublishDay(t0.Add(time.Duration(d) * 24 * time.Hour))
+		if err != nil {
+			t.Fatalf("PublishDay: %v", err)
+		}
+		if upd.NewKernel != "" {
+			kernels++
+		}
+	}
+	if kernels != 3 {
+		t.Fatalf("kernels published = %d over 15 days with period 5, want 3", kernels)
+	}
+}
+
+func TestStreamVersionsAlwaysAdvance(t *testing.T) {
+	sc := ScaleSmall()
+	archive := mirror.NewArchive()
+	base := BaseRelease(sc, kernel)
+	if _, err := archive.Publish(t0.Add(-24*time.Hour), base...); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	s := NewStream(archive, base, DefaultStreamConfig(sc))
+	// Publishing must never collide with an existing version (the archive
+	// rejects stale versions).
+	for d := 0; d < 60; d++ {
+		if _, err := s.PublishDay(t0.Add(time.Duration(d) * 24 * time.Hour)); err != nil {
+			t.Fatalf("PublishDay %d: %v", d, err)
+		}
+	}
+}
+
+func newWorkloadMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)), machine.WithKernel(kernel))
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	return m
+}
+
+func TestBenignOpsRunAgainstInstalledMachine(t *testing.T) {
+	m := newWorkloadMachine(t)
+	base := BaseRelease(ScaleSmall(), kernel)
+	for _, p := range base {
+		if err := m.InstallPackage(p); err != nil {
+			t.Fatalf("InstallPackage: %v", err)
+		}
+	}
+	b, err := NewBenignOps(m, DefaultBenignOpsConfig(7))
+	if err != nil {
+		t.Fatalf("NewBenignOps: %v", err)
+	}
+	counts, err := b.Run(300)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if counts.Execs == 0 || counts.Opens == 0 || counts.Scripts == 0 {
+		t.Fatalf("op mix incomplete: %+v", counts)
+	}
+	// Benign execs generate measurements.
+	if m.IMA().Len() < 10 {
+		t.Fatalf("IMA log after benign ops = %d entries, want many", m.IMA().Len())
+	}
+	// Scripts run by direct shebang invocation: the script files appear.
+	foundScript := false
+	for _, e := range m.IMA().Entries(0) {
+		if e.Path == "/usr/local/scripts/task0.sh" || e.Path == "/usr/local/scripts/task1.sh" ||
+			e.Path == "/usr/local/scripts/task2.sh" || e.Path == "/usr/local/scripts/task3.sh" {
+			foundScript = true
+		}
+	}
+	if !foundScript && counts.Scripts > 0 {
+		t.Fatal("script execution left no measurement")
+	}
+	_ = ima.BootAggregatePath
+}
+
+func TestBenignOpsDeterministic(t *testing.T) {
+	run := func() (OpCounts, int) {
+		m := newWorkloadMachine(t)
+		for _, p := range BaseRelease(ScaleSmall(), kernel) {
+			if err := m.InstallPackage(p); err != nil {
+				t.Fatalf("InstallPackage: %v", err)
+			}
+		}
+		b, err := NewBenignOps(m, DefaultBenignOpsConfig(42))
+		if err != nil {
+			t.Fatalf("NewBenignOps: %v", err)
+		}
+		c, err := b.Run(100)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return c, m.IMA().Len()
+	}
+	c1, l1 := run()
+	c2, l2 := run()
+	if c1 != c2 || l1 != l2 {
+		t.Fatalf("benign ops not deterministic: %+v/%d vs %+v/%d", c1, l1, c2, l2)
+	}
+}
+
+func TestRecatalogPicksUpNewFiles(t *testing.T) {
+	m := newWorkloadMachine(t)
+	for _, p := range BaseRelease(ScaleSmall(), kernel) {
+		if err := m.InstallPackage(p); err != nil {
+			t.Fatalf("InstallPackage: %v", err)
+		}
+	}
+	b, err := NewBenignOps(m, DefaultBenignOpsConfig(1))
+	if err != nil {
+		t.Fatalf("NewBenignOps: %v", err)
+	}
+	before := len(b.execs)
+	newPkg := KernelPackage("9.9.9-test", "1")
+	newPkg.Files[0].Path = "/usr/bin/brand-new-tool"
+	if err := m.InstallPackage(newPkg); err != nil {
+		t.Fatalf("InstallPackage: %v", err)
+	}
+	if err := b.Recatalog(); err != nil {
+		t.Fatalf("Recatalog: %v", err)
+	}
+	if len(b.execs) <= before {
+		t.Fatalf("catalog did not grow: %d -> %d", before, len(b.execs))
+	}
+}
+
+func TestLognormalMeanApproximate(t *testing.T) {
+	rng := randNew(123)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += lognormal(rng, 16.5, 1.62)
+	}
+	mean := sum / n
+	if mean < 13 || mean > 20 {
+		t.Fatalf("lognormal sample mean = %.2f, want ≈16.5", mean)
+	}
+}
+
+func TestClampInt(t *testing.T) {
+	if got := clampInt(-3, 0, 10); got != 0 {
+		t.Fatalf("clampInt(-3) = %d", got)
+	}
+	if got := clampInt(99, 0, 10); got != 10 {
+		t.Fatalf("clampInt(99) = %d", got)
+	}
+	if got := clampInt(5.4, 0, 10); got != 5 {
+		t.Fatalf("clampInt(5.4) = %d", got)
+	}
+}
