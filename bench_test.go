@@ -546,9 +546,9 @@ func BenchmarkFleetPollAll(b *testing.B) {
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		attested, failed := v.PollAll(ctx)
-		if attested != fleet || failed != 0 {
-			b.Fatalf("PollAll = %d attested, %d failed", attested, failed)
+		stats := v.PollAll(ctx)
+		if stats.Attested != fleet || stats.Failed != 0 {
+			b.Fatalf("PollAll = %+v", stats)
 		}
 	}
 	b.ReportMetric(float64(fleet), "agents/round")

@@ -101,6 +101,16 @@ func run() error {
 		fmt.Printf("attestations:     %d\n", st.Attestations)
 		fmt.Printf("verified entries: %d\n", st.VerifiedEntries)
 		fmt.Printf("halted:           %v\n", st.Halted)
+		if st.Degraded || st.ConsecutiveFaults > 0 {
+			fmt.Printf("degraded:         %v (%d consecutive faults)\n", st.Degraded, st.ConsecutiveFaults)
+		}
+		if st.Breaker != "" && st.Breaker != "closed" {
+			fmt.Printf("breaker:          %s", st.Breaker)
+			if st.BreakerOpenUntil != "" {
+				fmt.Printf(" (reprobe after %s)", st.BreakerOpenUntil)
+			}
+			fmt.Println()
+		}
 		for _, f := range st.Failures {
 			fmt.Printf("failure: [%s] %s path=%s detail=%s\n", f.Time, f.Type, f.Path, f.Detail)
 		}

@@ -41,6 +41,20 @@ func run() error {
 		auditPath  = flag.String("audit-log", "", "append the durable attestation log to this path")
 		webhookURL = flag.String("webhook", "", "POST signed revocation notifications to this URL")
 		webhookKey = flag.String("webhook-secret", "", "HMAC secret for webhook signatures")
+
+		retryAttempts = flag.Int("retry-attempts", 3, "quote/registrar fetch attempts per round")
+		retryBackoff  = flag.Duration("retry-backoff", 200*time.Millisecond,
+			"initial retry backoff (doubled per retry, jittered)")
+		retryMaxBackoff = flag.Duration("retry-max-backoff", 5*time.Second, "retry backoff cap")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second,
+			"per-request timeout including the body read")
+		faultBudget = flag.Int("comms-fault-budget", 3,
+			"consecutive faulted rounds tolerated before a comms failure is recorded (never halts)")
+		breakerThreshold = flag.Int("breaker-threshold", 5,
+			"consecutive faulted rounds that quarantine an agent (negative disables)")
+		breakerInterval = flag.Duration("breaker-interval", time.Minute, "initial quarantine reprobe interval")
+		breakerMax      = flag.Duration("breaker-max-interval", 15*time.Minute, "quarantine reprobe interval cap")
+		pollConcurrency = flag.Int("poll-concurrency", 8, "concurrent agent rounds per polling sweep")
 	)
 	flag.Parse()
 
@@ -48,6 +62,19 @@ func run() error {
 	opts := []verifier.Option{
 		verifier.WithPollInterval(*pollInterval),
 		verifier.WithContinueOnFailure(*continueOn),
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    *retryAttempts,
+			InitialBackoff: *retryBackoff,
+			MaxBackoff:     *retryMaxBackoff,
+			RequestTimeout: *requestTimeout,
+		}),
+		verifier.WithCommsFaultBudget(*faultBudget),
+		verifier.WithCircuitBreaker(verifier.BreakerConfig{
+			Threshold:       *breakerThreshold,
+			InitialInterval: *breakerInterval,
+			MaxInterval:     *breakerMax,
+		}),
+		verifier.WithPollConcurrency(*pollConcurrency),
 	}
 	if *auditPath != "" {
 		opts = append(opts, verifier.WithAuditLog(auditLog))
@@ -101,7 +128,11 @@ func run() error {
 		ctx := context.Background()
 		for {
 			time.Sleep(*pollInterval)
-			v.PollAll(ctx)
+			stats := v.PollAll(ctx)
+			if stats.Failed > 0 || stats.Degraded > 0 || stats.Halted > 0 || stats.Quarantined > 0 {
+				log.Printf("poll sweep: attested=%d failed=%d degraded=%d halted=%d quarantined=%d",
+					stats.Attested, stats.Failed, stats.Degraded, stats.Halted, stats.Quarantined)
+			}
 			persist()
 		}
 	}()

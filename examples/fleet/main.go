@@ -93,8 +93,8 @@ func run() error {
 			return err
 		}
 	}
-	attested, failed := v.PollAll(ctx)
-	fmt.Printf("\npoll round 1: %d attested, %d failed\n", attested, failed)
+	stats := v.PollAll(ctx)
+	fmt.Printf("\npoll round 1: %d attested, %d failed\n", stats.Attested, stats.Failed)
 
 	// Node 2 is compromised: a rootkit shared object is injected.
 	victim := nodes[1]
@@ -106,8 +106,8 @@ func run() error {
 		return err
 	}
 
-	attested, failed = v.PollAll(ctx)
-	fmt.Printf("poll round 2: %d attested, %d failed\n\n", attested, failed)
+	stats = v.PollAll(ctx)
+	fmt.Printf("poll round 2: %d attested, %d failed\n\n", stats.Attested, stats.Failed)
 
 	for _, n := range nodes {
 		st, err := v.Status(n.m.UUID())
@@ -120,7 +120,8 @@ func run() error {
 	fmt.Println("\nnode-2 is quarantined (stop-on-failure); node-1 and node-3 keep attesting")
 
 	// The healthy fleet continues.
-	attested, failed = v.PollAll(ctx)
-	fmt.Printf("poll round 3: %d attested (halted node skipped), %d failed\n", attested, failed)
+	stats = v.PollAll(ctx)
+	fmt.Printf("poll round 3: %d attested (%d halted node skipped), %d failed\n",
+		stats.Attested, stats.Halted, stats.Failed)
 	return nil
 }

@@ -98,8 +98,8 @@ func run() error {
 		}
 	}
 
-	attested, failed := v.PollAll(ctx)
-	fmt.Printf("\npoll round: %d guests attested, %d failed\n", attested, failed)
+	stats := v.PollAll(ctx)
+	fmt.Printf("\npoll round: %d guests attested, %d failed\n", stats.Attested, stats.Failed)
 	for _, id := range v.AgentIDs() {
 		st, err := v.Status(id)
 		if err != nil {

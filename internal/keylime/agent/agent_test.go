@@ -2,13 +2,19 @@ package agent
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/ima"
 	"repro/internal/keylime/api"
 	"repro/internal/keylime/registrar"
 	"repro/internal/machine"
@@ -172,5 +178,98 @@ func TestHTTPQuoteEndpointValidation(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Fatalf("GET %s status = %d, want 400", u, resp.StatusCode)
 		}
+	}
+}
+
+func TestIntegrityQuoteConsistentUnderConcurrentMeasurements(t *testing.T) {
+	// The read-quote-recheck loop must hand out evidence where the quoted
+	// PCR 10 and the returned log agree even while measurements land
+	// concurrently — otherwise the verifier replays a log that does not
+	// match the quote and flags a healthy machine. Run with -race.
+	a, reg, regSrv := newAgentStack(t)
+	if err := a.Register(regSrv.URL, "u"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	info, err := reg.Agent(a.Machine().UUID())
+	if err != nil {
+		t.Fatalf("registrar.Agent: %v", err)
+	}
+	akPub, err := base64.StdEncoding.DecodeString(info.AKPub)
+	if err != nil {
+		t.Fatalf("decoding AK: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Paced churn: enough concurrent measurements to race the quote
+		// loop without growing the log quadratically under -race.
+		for i := 0; i < 3000; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			path := fmt.Sprintf("/usr/bin/churn-%d", i)
+			if err := a.Machine().WriteFile(path, []byte(fmt.Sprintf("bin-%d", i)), vfs.ModeExecutable); err != nil {
+				return
+			}
+			if err := a.Machine().Exec(path); err != nil {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	nonce := make([]byte, 20)
+	successes := 0
+	for i := 0; i < 30; i++ {
+		if _, err := rand.Read(nonce); err != nil {
+			t.Fatalf("nonce: %v", err)
+		}
+		resp, err := a.IntegrityQuote(nonce, 0)
+		if err != nil {
+			// All retry attempts raced — tolerable under extreme churn,
+			// but it must be the documented consistency error.
+			if !strings.Contains(err.Error(), "measurement list changed") {
+				t.Fatalf("IntegrityQuote: %v", err)
+			}
+			continue
+		}
+		successes++
+		quote, err := api.DecodeQuote(resp.Quote)
+		if err != nil {
+			t.Fatalf("DecodeQuote: %v", err)
+		}
+		pcrs, err := tpm.VerifyQuote(akPub, quote, nonce)
+		if err != nil {
+			t.Fatalf("VerifyQuote: %v", err)
+		}
+		entries, err := ima.ParseLog(resp.IMALog)
+		if err != nil {
+			t.Fatalf("ParseLog: %v", err)
+		}
+		if len(entries) != resp.TotalEntries {
+			t.Fatalf("log has %d entries, TotalEntries = %d", len(entries), resp.TotalEntries)
+		}
+		// Replaying the full returned log must reproduce the quoted PCR 10:
+		// the evidence pair is internally consistent.
+		var pcr tpm.Digest
+		for _, e := range entries {
+			h := sha256.New()
+			h.Write(pcr[:])
+			h.Write(e.TemplateHash[:])
+			copy(pcr[:], h.Sum(nil))
+		}
+		if pcr != pcrs[tpm.PCRIMA] {
+			t.Fatalf("quote %d: replayed aggregate does not match quoted PCR 10 (%d entries)", i, len(entries))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if successes < 15 {
+		t.Fatalf("only %d/30 quotes succeeded; consistency loop starving under churn", successes)
 	}
 }

@@ -1,0 +1,327 @@
+// Package faultinject provides a fault-injecting http.RoundTripper used to
+// chaos-test the attestation pipeline. It can drop connections, time out,
+// answer with 5xx statuses, hang a response body, or truncate it mid-stream,
+// all on a deterministic schedule so multi-day simulated runs are exactly
+// reproducible.
+//
+// Faults are decided per request by a Plan. The built-in plans are:
+//
+//   - Rates: seeded pseudo-random faults at configured per-kind rates
+//   - Burst: every request in a half-open request-number window faults
+//   - Toggle: a switch the test flips to start/stop an outage
+//   - Schedule: composes bursts over background rates with a request filter
+//
+// The Transport wraps any base RoundTripper, keeps per-kind injection
+// counters, and is safe for concurrent use.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Kind enumerates injectable fault kinds.
+type Kind int
+
+// Fault kinds.
+const (
+	// None passes the request through untouched.
+	None Kind = iota
+	// Reset fails the request with a connection-reset transport error.
+	Reset
+	// Timeout fails the request with a net.Error whose Timeout() is true.
+	Timeout
+	// Status answers with a synthetic HTTP error status (default 503)
+	// without contacting the upstream.
+	Status
+	// SlowBody performs the real request but the response body blocks on
+	// the first read until the request context is cancelled — a hung
+	// agent. Callers without a read deadline stall forever.
+	SlowBody
+	// Truncate performs the real request but cuts the body off halfway,
+	// so decoders see an unexpected EOF.
+	Truncate
+)
+
+var kindNames = map[Kind]string{
+	None:     "none",
+	Reset:    "reset",
+	Timeout:  "timeout",
+	Status:   "status",
+	SlowBody: "slow-body",
+	Truncate: "truncate",
+}
+
+// String returns the fault kind label.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Fault is one injection decision.
+type Fault struct {
+	Kind Kind
+	// StatusCode is the synthetic status for Kind Status (default 503).
+	StatusCode int
+}
+
+// Plan decides the fault for the n-th request (1-based) seen by a Transport.
+type Plan interface {
+	Decide(n int, req *http.Request) Fault
+}
+
+// Rates injects faults pseudo-randomly at the configured per-kind
+// probabilities. The decision for request n depends only on (Seed, n), so a
+// run is exactly reproducible. Rates are fractions in [0, 1]; their sum
+// should stay below 1.
+type Rates struct {
+	Seed     uint64
+	Reset    float64
+	Timeout  float64
+	Status   float64
+	SlowBody float64
+	Truncate float64
+}
+
+// Decide implements Plan.
+func (r Rates) Decide(n int, _ *http.Request) Fault {
+	u := unitFloat(splitmix64(r.Seed ^ uint64(n)*0x9e3779b97f4a7c15))
+	for _, c := range []struct {
+		rate float64
+		kind Kind
+	}{
+		{r.Reset, Reset},
+		{r.Timeout, Timeout},
+		{r.Status, Status},
+		{r.SlowBody, SlowBody},
+		{r.Truncate, Truncate},
+	} {
+		if u < c.rate {
+			return Fault{Kind: c.kind}
+		}
+		u -= c.rate
+	}
+	return Fault{}
+}
+
+// Burst faults every request whose 1-based number falls in [From, To].
+type Burst struct {
+	From, To int
+	Fault    Fault
+}
+
+// Schedule composes deterministic bursts over background rates. Bursts take
+// precedence. When Match is non-nil, only matching requests are considered
+// for injection; the request counter still covers every request, Match just
+// exempts non-matching ones from faults.
+type Schedule struct {
+	Rates  Rates
+	Bursts []Burst
+	// Match restricts injection to matching requests (nil matches all).
+	Match func(*http.Request) bool
+}
+
+// Decide implements Plan.
+func (s Schedule) Decide(n int, req *http.Request) Fault {
+	if s.Match != nil && !s.Match(req) {
+		return Fault{}
+	}
+	for _, b := range s.Bursts {
+		if n >= b.From && n <= b.To {
+			return b.Fault
+		}
+	}
+	return s.Rates.Decide(n, req)
+}
+
+// Toggle is a Plan the test flips on and off to model an outage window with
+// exact boundaries. While on, every (matching) request gets Fault.
+type Toggle struct {
+	mu    sync.Mutex
+	on    bool
+	fault Fault
+	match func(*http.Request) bool
+}
+
+// NewToggle returns an off Toggle injecting the given fault when switched
+// on. match restricts injection (nil matches all requests).
+func NewToggle(f Fault, match func(*http.Request) bool) *Toggle {
+	return &Toggle{fault: f, match: match}
+}
+
+// Set switches the outage on or off.
+func (t *Toggle) Set(on bool) {
+	t.mu.Lock()
+	t.on = on
+	t.mu.Unlock()
+}
+
+// Decide implements Plan.
+func (t *Toggle) Decide(_ int, req *http.Request) Fault {
+	t.mu.Lock()
+	on := t.on
+	t.mu.Unlock()
+	if !on || (t.match != nil && !t.match(req)) {
+		return Fault{}
+	}
+	return t.fault
+}
+
+// Stats counts requests and injections per kind.
+type Stats struct {
+	Requests int
+	Injected map[Kind]int
+}
+
+// InjectedTotal is the number of requests that received any fault.
+func (s Stats) InjectedTotal() int {
+	total := 0
+	for _, n := range s.Injected {
+		total += n
+	}
+	return total
+}
+
+// Transport is the fault-injecting RoundTripper. The zero value passes
+// everything through; set Plan to inject.
+type Transport struct {
+	// Base performs real requests (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Plan decides per-request faults (nil injects nothing).
+	Plan Plan
+
+	mu    sync.Mutex
+	n     int
+	stats Stats
+}
+
+// Stats returns a copy of the injection counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := Stats{Requests: t.stats.Requests, Injected: make(map[Kind]int, len(t.stats.Injected))}
+	for k, v := range t.stats.Injected {
+		out.Injected[k] = v
+	}
+	return out
+}
+
+// timeoutError is a net.Error with Timeout() true, as returned by real
+// transports on I/O deadlines.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultinject: injected i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+var _ net.Error = timeoutError{}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	t.n++
+	n := t.n
+	t.stats.Requests++
+	var fault Fault
+	if t.Plan != nil {
+		fault = t.Plan.Decide(n, req)
+	}
+	if fault.Kind != None {
+		if t.stats.Injected == nil {
+			t.stats.Injected = make(map[Kind]int)
+		}
+		t.stats.Injected[fault.Kind]++
+	}
+	t.mu.Unlock()
+
+	switch fault.Kind {
+	case Reset:
+		return nil, &net.OpError{Op: "read", Net: "tcp",
+			Err: errors.New("faultinject: connection reset by peer")}
+	case Timeout:
+		return nil, timeoutError{}
+	case Status:
+		code := fault.StatusCode
+		if code == 0 {
+			code = http.StatusServiceUnavailable
+		}
+		return synthesize(req, code), nil
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch fault.Kind {
+	case SlowBody:
+		resp.Body = &hangingBody{underlying: resp.Body, ctx: req.Context()}
+	case Truncate:
+		resp.Body = truncatedBody(resp.Body)
+		resp.ContentLength = -1
+	}
+	return resp, nil
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// synthesize builds a server-less HTTP response with the given status.
+func synthesize(req *http.Request, code int) *http.Response {
+	body := fmt.Sprintf("faultinject: injected status %d", code)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// hangingBody blocks the first Read until the request context is done, then
+// reports the context error — a response that never arrives.
+type hangingBody struct {
+	underlying io.ReadCloser
+	ctx        interface{ Done() <-chan struct{}; Err() error }
+}
+
+func (b *hangingBody) Read([]byte) (int, error) {
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
+func (b *hangingBody) Close() error { return b.underlying.Close() }
+
+// truncatedBody returns the first half of the underlying body, then EOF.
+func truncatedBody(rc io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(rc)
+	_ = rc.Close()
+	return io.NopCloser(strings.NewReader(string(data[:len(data)/2])))
+}
+
+// splitmix64 is the SplitMix64 mixing function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unitFloat maps a uint64 to [0, 1).
+func unitFloat(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,229 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func upstream(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, tr *Transport, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	return tr.RoundTrip(req)
+}
+
+func TestPassThroughWithoutPlan(t *testing.T) {
+	srv := upstream(t, "hello")
+	tr := &Transport{}
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+	st := tr.Stats()
+	if st.Requests != 1 || st.InjectedTotal() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestResetAndTimeoutFaults(t *testing.T) {
+	srv := upstream(t, "x")
+	tr := &Transport{Plan: Schedule{Bursts: []Burst{
+		{From: 1, To: 1, Fault: Fault{Kind: Reset}},
+		{From: 2, To: 2, Fault: Fault{Kind: Timeout}},
+	}}}
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("reset fault returned no error")
+	} else {
+		var op *net.OpError
+		if !errors.As(err, &op) {
+			t.Fatalf("reset error = %T %v, want *net.OpError", err, err)
+		}
+	}
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("timeout fault returned no error")
+	} else {
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("timeout error = %v, want net.Error with Timeout()", err)
+		}
+	}
+	// Burst over: the third request succeeds.
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("post-burst RoundTrip: %v", err)
+	}
+	_ = resp.Body.Close()
+	st := tr.Stats()
+	if st.Requests != 3 || st.Injected[Reset] != 1 || st.Injected[Timeout] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatusFaultNeverHitsUpstream(t *testing.T) {
+	hits := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) { hits++ }))
+	defer srv.Close()
+	tr := &Transport{Plan: Burstless503{}}
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatalf("upstream hit %d times, want 0", hits)
+	}
+}
+
+// Burstless503 is a Plan that always answers 503.
+type Burstless503 struct{}
+
+func (Burstless503) Decide(int, *http.Request) Fault { return Fault{Kind: Status} }
+
+func TestSlowBodyBlocksUntilContextDone(t *testing.T) {
+	srv := upstream(t, "slow")
+	tr := &Transport{Plan: Schedule{Bursts: []Burst{{From: 1, To: 1, Fault: Fault{Kind: SlowBody}}}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := tr.RoundTrip(req)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	read := make(chan error, 1)
+	go func() {
+		_, err := io.ReadAll(resp.Body)
+		read <- err
+	}()
+	select {
+	case err := <-read:
+		t.Fatalf("slow body read returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-read:
+		if err == nil {
+			t.Fatal("slow body read succeeded after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("slow body read did not unblock on context cancel")
+	}
+}
+
+func TestTruncateCutsBodyInHalf(t *testing.T) {
+	srv := upstream(t, "0123456789")
+	tr := &Transport{Plan: Schedule{Bursts: []Burst{{From: 1, To: 1, Fault: Fault{Kind: Truncate}}}}}
+	resp, err := get(t, tr, srv.URL)
+	if err != nil {
+		t.Fatalf("RoundTrip: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "01234" {
+		t.Fatalf("truncated body = %q, want first half", body)
+	}
+}
+
+func TestRatesAreDeterministicAndRoughlyCalibrated(t *testing.T) {
+	r := Rates{Seed: 42, Reset: 0.05, Timeout: 0.05, Status: 0.05}
+	const n = 10000
+	counts := map[Kind]int{}
+	for i := 1; i <= n; i++ {
+		counts[r.Decide(i, nil).Kind]++
+	}
+	// Re-running the same schedule yields the identical decision sequence.
+	for i := 1; i <= 100; i++ {
+		if r.Decide(i, nil) != r.Decide(i, nil) {
+			t.Fatalf("Decide(%d) not deterministic", i)
+		}
+	}
+	total := counts[Reset] + counts[Timeout] + counts[Status]
+	if frac := float64(total) / n; frac < 0.10 || frac > 0.20 {
+		t.Fatalf("injected fraction = %.3f, want ~0.15", frac)
+	}
+	for _, k := range []Kind{Reset, Timeout, Status} {
+		if frac := float64(counts[k]) / n; frac < 0.02 || frac > 0.09 {
+			t.Fatalf("kind %v fraction = %.3f, want ~0.05", k, frac)
+		}
+	}
+}
+
+func TestScheduleMatchExemptsRequests(t *testing.T) {
+	srv := upstream(t, "ok")
+	tr := &Transport{Plan: Schedule{
+		Bursts: []Burst{{From: 1, To: 1000, Fault: Fault{Kind: Reset}}},
+		Match:  func(req *http.Request) bool { return strings.Contains(req.URL.Path, "/quotes/") },
+	}}
+	resp, err := get(t, tr, srv.URL+"/v2/agents/x")
+	if err != nil {
+		t.Fatalf("non-matching request faulted: %v", err)
+	}
+	_ = resp.Body.Close()
+	if _, err := get(t, tr, srv.URL+"/v2/quotes/integrity"); err == nil {
+		t.Fatal("matching request not faulted")
+	}
+}
+
+func TestToggle(t *testing.T) {
+	srv := upstream(t, "ok")
+	tg := NewToggle(Fault{Kind: Reset}, nil)
+	tr := &Transport{Plan: tg}
+	if resp, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("request with toggle off: %v", err)
+	} else {
+		_ = resp.Body.Close()
+	}
+	tg.Set(true)
+	if _, err := get(t, tr, srv.URL); err == nil {
+		t.Fatal("request with toggle on did not fault")
+	}
+	tg.Set(false)
+	if resp, err := get(t, tr, srv.URL); err != nil {
+		t.Fatalf("request after toggle off: %v", err)
+	} else {
+		_ = resp.Body.Close()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		None: "none", Reset: "reset", Timeout: "timeout",
+		Status: "status", SlowBody: "slow-body", Truncate: "truncate",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}

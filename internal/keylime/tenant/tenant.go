@@ -29,12 +29,18 @@ type AddAgentRequest struct {
 
 // StatusResponse mirrors verifier.Status over the wire.
 type StatusResponse struct {
-	AgentID         string        `json:"agent_id"`
-	State           string        `json:"operational_state"`
-	Attestations    int           `json:"attestation_count"`
-	VerifiedEntries int           `json:"verified_entries"`
-	Halted          bool          `json:"halted"`
-	Failures        []WireFailure `json:"failures"`
+	AgentID         string `json:"agent_id"`
+	State           string `json:"operational_state"`
+	Attestations    int    `json:"attestation_count"`
+	VerifiedEntries int    `json:"verified_entries"`
+	Halted          bool   `json:"halted"`
+	// Degraded reports a current run of transient infrastructure faults.
+	Degraded          bool `json:"degraded"`
+	ConsecutiveFaults int  `json:"consecutive_faults"`
+	// Breaker is the circuit-breaker state: closed, open, or half-open.
+	Breaker          string        `json:"breaker"`
+	BreakerOpenUntil string        `json:"breaker_open_until,omitempty"`
+	Failures         []WireFailure `json:"failures"`
 }
 
 // WireFailure is one failure record over the wire.

@@ -1,0 +1,127 @@
+package verifier
+
+// Per-agent circuit breaker: a persistently unreachable agent must not be
+// hot-looped (wasting fleet poll budget on dead hosts) nor halted (the
+// paper's P2 blind window). After BreakerConfig.Threshold consecutive
+// faulted rounds the breaker opens and the agent is quarantined; it is
+// re-probed at an exponentially growing, capped interval, and a single
+// successful round closes the breaker and resumes normal polling.
+
+import (
+	"fmt"
+	"time"
+)
+
+// BreakerState is the circuit-breaker state of one agent.
+type BreakerState int
+
+// Breaker states.
+const (
+	// BreakerClosed: normal polling.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the agent is quarantined; rounds are skipped until the
+	// reprobe deadline.
+	BreakerOpen
+	// BreakerHalfOpen: the reprobe deadline passed; the next round is a
+	// probe that either closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+var breakerNames = map[BreakerState]string{
+	BreakerClosed:   "closed",
+	BreakerOpen:     "open",
+	BreakerHalfOpen: "half-open",
+}
+
+// String returns the breaker state label.
+func (s BreakerState) String() string {
+	if n, ok := breakerNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("breaker(%d)", int(s))
+}
+
+// BreakerConfig tunes the per-agent circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-fault count that opens the breaker
+	// (default 5). Zero or negative disables quarantining entirely.
+	Threshold int
+	// InitialInterval is the first reprobe delay (default 1 min).
+	InitialInterval time.Duration
+	// MaxInterval caps the exponential reprobe growth (default 15 min),
+	// so a long outage never turns into a multi-hour blind spot.
+	MaxInterval time.Duration
+}
+
+// withDefaults fills zero fields with the default configuration. A
+// Threshold that was explicitly set negative stays disabled.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.InitialInterval <= 0 {
+		c.InitialInterval = time.Minute
+	}
+	if c.MaxInterval < c.InitialInterval {
+		c.MaxInterval = 15 * time.Minute
+	}
+	return c
+}
+
+// breaker is the per-agent circuit state. All methods are called with the
+// verifier mutex held.
+type breaker struct {
+	state     BreakerState
+	openUntil time.Time
+	interval  time.Duration
+	opens     int
+}
+
+// allow reports whether a round may run now. Transitioning Open→HalfOpen
+// happens here, when the reprobe deadline has passed.
+func (b *breaker) allow(now time.Time) bool {
+	if b.state != BreakerOpen {
+		return true
+	}
+	if now.Before(b.openUntil) {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// recordFault updates the breaker after a faulted round and reports
+// whether the breaker is (still) open afterwards. A failed half-open probe
+// re-opens with a doubled, capped interval.
+func (b *breaker) recordFault(now time.Time, cfg BreakerConfig, consecutiveFaults int) bool {
+	if cfg.Threshold <= 0 {
+		return false
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		b.interval *= 2
+		if b.interval > cfg.MaxInterval {
+			b.interval = cfg.MaxInterval
+		}
+		b.state = BreakerOpen
+		b.openUntil = now.Add(b.interval)
+		b.opens++
+		return true
+	case BreakerClosed:
+		if consecutiveFaults >= cfg.Threshold {
+			b.interval = cfg.InitialInterval
+			b.state = BreakerOpen
+			b.openUntil = now.Add(b.interval)
+			b.opens++
+			return true
+		}
+	}
+	return false
+}
+
+// recordSuccess closes the breaker after any successful fetch.
+func (b *breaker) recordSuccess() {
+	b.state = BreakerClosed
+	b.openUntil = time.Time{}
+	b.interval = 0
+}

@@ -1,0 +1,600 @@
+package verifier_test
+
+// Chaos suite: the fault-injection harness (internal/keylime/faultinject)
+// drives the verifier through multi-day simulated runs with a double-digit
+// injected fault rate, asserting the paper-motivated invariants:
+//
+//   - transient infrastructure faults never escalate to FailureComms while
+//     the fault budget holds, and never halt a healthy agent;
+//   - injected integrity violations are still detected through the noise;
+//   - a real outage escalates exactly once, quarantines via the circuit
+//     breaker, and recovers automatically with the verification frontier
+//     intact;
+//   - a hung agent delays only its own round, not the fleet sweep.
+//
+// Tests run on the simulated clock: runWithClock advances virtual time
+// whenever the round blocks on a timer (backoff sleep, request watchdog).
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// quoteRequests matches only verifier→agent quote traffic, so enrollment
+// and registrar lookups stay clean.
+func quoteRequests(req *http.Request) bool {
+	return req != nil && strings.Contains(req.URL.Path, "/quotes/")
+}
+
+// runWithClock runs fn to completion, advancing the simulated clock to the
+// next pending timer deadline whenever fn stays blocked. A spuriously early
+// watchdog fire (the clock advancing while a request is still progressing
+// in real time) surfaces as a transient fault and is absorbed by the retry
+// machinery, so assertions stay statistically robust.
+func runWithClock(t *testing.T, clk *simclock.Simulated, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(2 * time.Millisecond):
+			clk.AdvanceToNext()
+		}
+	}
+}
+
+// chaosRetryPolicy keeps virtual backoffs well below the poll interval.
+func chaosRetryPolicy() verifier.RetryPolicy {
+	return verifier.RetryPolicy{
+		MaxAttempts:    3,
+		InitialBackoff: 500 * time.Millisecond,
+		MaxBackoff:     5 * time.Second,
+		RequestTimeout: 10 * time.Second,
+	}
+}
+
+func TestChaosTransientFaultsNeverEscalate(t *testing.T) {
+	// A ~12% injected fault rate over a two-day simulated run: every round
+	// must still reach a verdict or degrade gracefully — zero FailureComms,
+	// zero halts, breaker never opens.
+	ft := &faultinject.Transport{Plan: faultinject.Schedule{
+		Rates: faultinject.Rates{
+			Seed:     7,
+			Reset:    0.04,
+			Timeout:  0.03,
+			Status:   0.03,
+			SlowBody: 0.01,
+			Truncate: 0.01,
+		},
+		Match: quoteRequests,
+	}}
+	clk := simclock.NewSimulated(time.Unix(1_700_000_000, 0))
+	s := newStack(t, nil,
+		verifier.WithClock(clk),
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(chaosRetryPolicy()),
+		verifier.WithCommsFaultBudget(3),
+	)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	const rounds = 1500 // 2 min poll interval → ~50 simulated hours
+	ctx := context.Background()
+	degraded := 0
+	for round := 0; round < rounds; round++ {
+		if round%97 == 42 {
+			// Fleet churn: new software lands and is executed mid-run.
+			path := fmt.Sprintf("/usr/bin/pkg-%d", round)
+			writeExec(t, s.m, path, fmt.Sprintf("bin-%d", round))
+			if err := s.v.UpdatePolicy(s.m.UUID(), policyFromMachine(t, s.m)); err != nil {
+				t.Fatalf("UpdatePolicy: %v", err)
+			}
+			exec(t, s.m, path)
+		}
+		runWithClock(t, clk, func() {
+			res, err := s.v.AttestOnce(ctx, s.m.UUID())
+			if err != nil {
+				t.Errorf("round %d: AttestOnce: %v", round, err)
+				return
+			}
+			if res.Failure != nil {
+				t.Errorf("round %d: failure %+v from injected infrastructure faults", round, res.Failure)
+			}
+			if res.Degraded {
+				degraded++
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+		clk.Advance(2 * time.Minute)
+	}
+
+	st, err := s.v.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if len(st.Failures) != 0 {
+		t.Fatalf("failures = %+v, want none over %d faulted-but-budgeted rounds", st.Failures, rounds)
+	}
+	if st.Halted {
+		t.Fatal("healthy agent halted by transient faults")
+	}
+	if st.Breaker != verifier.BreakerClosed {
+		t.Fatalf("breaker = %v, want closed", st.Breaker)
+	}
+	stats := ft.Stats()
+	if stats.InjectedTotal() < rounds/12 {
+		t.Fatalf("injected %d faults over %d requests, harness not exercising the pipeline",
+			stats.InjectedTotal(), stats.Requests)
+	}
+	if st.Attestations < rounds*8/10 {
+		t.Fatalf("attestations = %d of %d rounds, too many degraded rounds (%d)",
+			st.Attestations, rounds, degraded)
+	}
+	t.Logf("rounds=%d attested=%d degraded=%d injected=%d/%d requests",
+		rounds, st.Attestations, degraded, stats.InjectedTotal(), stats.Requests)
+}
+
+func TestChaosIntegrityViolationsDetectedThroughNoise(t *testing.T) {
+	// Same fault storm, continue-on-failure enabled, with periodic real
+	// integrity violations (unauthorized executions): every violation must
+	// be detected despite the infrastructure noise, and no comms failure
+	// may pollute the verdict stream.
+	ft := &faultinject.Transport{Plan: faultinject.Schedule{
+		Rates: faultinject.Rates{
+			Seed:    99,
+			Reset:   0.05,
+			Timeout: 0.04,
+			Status:  0.03,
+		},
+		Match: quoteRequests,
+	}}
+	clk := simclock.NewSimulated(time.Unix(1_700_000_000, 0))
+	s := newStack(t, nil,
+		verifier.WithClock(clk),
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(chaosRetryPolicy()),
+		verifier.WithCommsFaultBudget(3),
+		verifier.WithContinueOnFailure(true),
+	)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	const rounds = 600
+	const violationEvery = 60
+	ctx := context.Background()
+	injected := 0
+	for round := 0; round < rounds; round++ {
+		if round > 0 && round%violationEvery == 0 {
+			// An attacker drops and runs an unauthorized binary.
+			path := fmt.Sprintf("/tmp/implant-%d", round)
+			writeExec(t, s.m, path, fmt.Sprintf("evil-%d", round))
+			exec(t, s.m, path)
+			injected++
+		}
+		runWithClock(t, clk, func() {
+			if _, err := s.v.AttestOnce(ctx, s.m.UUID()); err != nil {
+				t.Errorf("round %d: AttestOnce: %v", round, err)
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+		clk.Advance(2 * time.Minute)
+	}
+
+	st, err := s.v.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.Halted {
+		t.Fatal("agent halted under continue-on-failure")
+	}
+	detected := 0
+	for _, f := range st.Failures {
+		switch f.Type {
+		case verifier.FailureNotInPolicy:
+			detected++
+		case verifier.FailureComms:
+			t.Fatalf("comms escalation %+v leaked into the verdict stream", f)
+		default:
+			t.Fatalf("unexpected failure %+v", f)
+		}
+	}
+	if detected != injected {
+		t.Fatalf("detected %d of %d injected integrity violations", detected, injected)
+	}
+}
+
+func TestChaosOutageQuarantineAndAutoRecovery(t *testing.T) {
+	// A hard outage: every quote request faults until the toggle flips
+	// back. The fault budget escalates exactly one FailureComms, the
+	// breaker quarantines the agent at a capped reprobe interval, and when
+	// the agent returns, polling resumes on its own with the verification
+	// frontier intact.
+	tg := faultinject.NewToggle(faultinject.Fault{Kind: faultinject.Reset}, quoteRequests)
+	ft := &faultinject.Transport{Plan: tg}
+	clk := simclock.NewSimulated(time.Unix(1_700_000_000, 0))
+	s := newStack(t, nil,
+		verifier.WithClock(clk),
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(chaosRetryPolicy()),
+		verifier.WithCommsFaultBudget(2),
+		verifier.WithCircuitBreaker(verifier.BreakerConfig{
+			Threshold:       3,
+			InitialInterval: 4 * time.Minute,
+			MaxInterval:     16 * time.Minute,
+		}),
+	)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	ctx := context.Background()
+	id := s.m.UUID()
+	runWithClock(t, clk, func() {
+		if res, err := s.v.AttestOnce(ctx, id); err != nil || res.Failure != nil {
+			t.Errorf("baseline round: res=%+v err=%v", res, err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	baseline, _ := s.v.Status(id)
+
+	tg.Set(true)
+	// Rounds 1..3 all fault: escalation at round 2 (budget), breaker opens
+	// at round 3 (threshold).
+	for round := 1; round <= 3; round++ {
+		clk.Advance(2 * time.Minute)
+		runWithClock(t, clk, func() {
+			res, err := s.v.AttestOnce(ctx, id)
+			if err != nil {
+				t.Errorf("outage round %d: %v", round, err)
+				return
+			}
+			if !res.Degraded {
+				t.Errorf("outage round %d not degraded: %+v", round, res)
+			}
+			if (res.Failure != nil) != (round == 2) {
+				t.Errorf("outage round %d failure = %+v, escalation expected only at the budget", round, res.Failure)
+			}
+		})
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+	st, _ := s.v.Status(id)
+	if st.State != verifier.StateQuarantined || st.Breaker != verifier.BreakerOpen {
+		t.Fatalf("status after outage = %+v, want quarantined with open breaker", st)
+	}
+	if st.Halted {
+		t.Fatal("outage halted the agent")
+	}
+
+	// While the breaker is open, rounds are skipped without touching the
+	// network.
+	before := ft.Stats().Requests
+	if _, err := s.v.AttestOnce(ctx, id); !errors.Is(err, verifier.ErrQuarantined) {
+		t.Fatalf("AttestOnce during quarantine: %v, want ErrQuarantined", err)
+	}
+	if ft.Stats().Requests != before {
+		t.Fatal("quarantined round still contacted the agent")
+	}
+
+	// Reprobe deadline passes; the half-open probe fails and re-opens with
+	// a doubled interval.
+	clk.Advance(5 * time.Minute)
+	runWithClock(t, clk, func() {
+		if res, err := s.v.AttestOnce(ctx, id); err != nil || !res.Degraded {
+			t.Errorf("half-open probe: res=%+v err=%v, want degraded", res, err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	st, _ = s.v.Status(id)
+	if st.Breaker != verifier.BreakerOpen {
+		t.Fatalf("breaker after failed probe = %v, want re-opened", st.Breaker)
+	}
+
+	// The outage ends; the next probe closes the breaker and attestation
+	// picks up exactly where it left off.
+	tg.Set(false)
+	clk.Advance(10 * time.Minute)
+	runWithClock(t, clk, func() {
+		res, err := s.v.AttestOnce(ctx, id)
+		if err != nil || res.Failure != nil || res.Degraded {
+			t.Errorf("recovery round: res=%+v err=%v", res, err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	st, _ = s.v.Status(id)
+	if st.State != verifier.StateAttesting || st.Breaker != verifier.BreakerClosed || st.ConsecutiveFaults != 0 {
+		t.Fatalf("status after recovery = %+v, want attesting with closed breaker", st)
+	}
+	if st.VerifiedEntries != baseline.VerifiedEntries {
+		t.Fatalf("verification frontier moved during outage: %d != %d",
+			st.VerifiedEntries, baseline.VerifiedEntries)
+	}
+	comms := 0
+	for _, f := range st.Failures {
+		if f.Type == verifier.FailureComms {
+			comms++
+		}
+	}
+	if comms != 1 {
+		t.Fatalf("FailureComms count = %d, want exactly 1 for the whole outage", comms)
+	}
+}
+
+// rebootBlipPlan faults the first `left` refetch requests (offset=0) once
+// armed — a network blip exactly in the reboot-detection window.
+type rebootBlipPlan struct {
+	mu    sync.Mutex
+	armed bool
+	left  int
+}
+
+func (p *rebootBlipPlan) Decide(_ int, req *http.Request) faultinject.Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.armed || p.left == 0 || req == nil ||
+		!strings.Contains(req.URL.RawQuery, "offset=0") || !quoteRequests(req) {
+		return faultinject.Fault{}
+	}
+	p.left--
+	return faultinject.Fault{Kind: faultinject.Reset}
+}
+
+func TestRebootDetectedThroughNetworkBlip(t *testing.T) {
+	// The agent reboots AND the refetch-from-zero hits transient faults:
+	// the refetch must retry under the same policy instead of converting
+	// the blip into a verdict, and reboot handling must then complete.
+	plan := &rebootBlipPlan{}
+	ft := &faultinject.Transport{Plan: plan}
+	s := newStack(t, nil,
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    3,
+			InitialBackoff: time.Millisecond,
+			RequestTimeout: time.Second,
+		}),
+	)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	if res := attest(t, s); res.VerifiedEntries != 2 {
+		t.Fatalf("baseline = %+v", res)
+	}
+
+	if err := s.m.Reboot(); err != nil {
+		t.Fatalf("Reboot: %v", err)
+	}
+	plan.mu.Lock()
+	plan.armed, plan.left = true, 2
+	plan.mu.Unlock()
+
+	res := attest(t, s)
+	if !res.RebootDetected {
+		t.Fatal("reboot not detected through the blip")
+	}
+	if res.Degraded || res.Failure != nil {
+		t.Fatalf("blip during reboot produced a verdict: %+v", res)
+	}
+	// 1 attempt at the old offset + 3 refetch attempts (2 faulted).
+	if res.Attempts != 4 {
+		t.Fatalf("Attempts = %d, want 4", res.Attempts)
+	}
+	if res.VerifiedEntries != 1 { // fresh boot aggregate
+		t.Fatalf("VerifiedEntries after reboot = %d, want 1", res.VerifiedEntries)
+	}
+}
+
+func TestHungAgentDelaysOnlyItsOwnRound(t *testing.T) {
+	// Fleet sweep with one hung agent (accepted connection, body never
+	// arrives): the three healthy agents must complete in real time while
+	// the hung round is still pending, and the sweep ends once the virtual
+	// request watchdog cuts the hung round off.
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+
+	const fleet = 4
+	var hungHost string
+	tg := faultinject.NewToggle(faultinject.Fault{Kind: faultinject.SlowBody},
+		func(req *http.Request) bool {
+			return req != nil && req.URL.Host == hungHost && quoteRequests(req)
+		})
+	ft := &faultinject.Transport{Plan: tg}
+	clk := simclock.NewSimulated(time.Unix(1_700_000_000, 0))
+	v := verifier.New(regSrv.URL,
+		verifier.WithClock(clk),
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    2,
+			InitialBackoff: time.Second,
+			RequestTimeout: 30 * time.Second,
+		}),
+		verifier.WithPollConcurrency(fleet),
+	)
+
+	var healthy []string
+	for i := 0; i < fleet; i++ {
+		m, err := machine.New(ca,
+			machine.WithTPMOptions(tpm.WithEKBits(1024)),
+			machine.WithUUID(fmt.Sprintf("chaos-%02d-4a97-9ef7-75bd81c000%02d", i, i)),
+		)
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		ag := agent.New(m)
+		srv := httptest.NewServer(ag.Handler())
+		t.Cleanup(srv.Close)
+		if err := ag.Register(regSrv.URL, srv.URL); err != nil {
+			t.Fatalf("Register %d: %v", i, err)
+		}
+		pol := policyFromMachine(t, m)
+		if err := v.AddAgent(m.UUID(), srv.URL, pol); err != nil {
+			t.Fatalf("AddAgent %d: %v", i, err)
+		}
+		if i == 0 {
+			hungHost = strings.TrimPrefix(srv.URL, "http://")
+		} else {
+			healthy = append(healthy, m.UUID())
+		}
+	}
+	tg.Set(true)
+
+	done := make(chan verifier.PollStats, 1)
+	go func() { done <- v.PollAll(context.Background()) }()
+
+	// The healthy rounds finish in real time with NO clock advancement:
+	// they are provably not queued behind the hung agent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := 0
+		for _, id := range healthy {
+			if st, err := v.Status(id); err == nil && st.Attestations == 1 {
+				n++
+			}
+		}
+		if n == len(healthy) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy agents attested = %d of %d while one agent hung", n, len(healthy))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case st := <-done:
+		t.Fatalf("PollAll returned %+v while an agent was still hung", st)
+	default:
+	}
+
+	// Release the hung round: advance virtual time through its request
+	// watchdogs and retry backoff.
+	var stats verifier.PollStats
+	for {
+		select {
+		case stats = <-done:
+		case <-time.After(2 * time.Millisecond):
+			clk.AdvanceToNext()
+			continue
+		}
+		break
+	}
+	if stats.Attested != fleet-1 || stats.Degraded != 1 || stats.Halted != 0 {
+		t.Fatalf("PollAll = %+v, want %d attested and 1 degraded", stats, fleet-1)
+	}
+}
+
+// BenchmarkPollAllUnderFaults measures fleet sweep throughput with a ~10%
+// injected fault rate on the real clock: the robustness machinery's
+// steady-state overhead, not its outage behaviour.
+func BenchmarkPollAllUnderFaults(b *testing.B) {
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		b.Fatalf("NewManufacturerCA: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	defer regSrv.Close()
+	ft := &faultinject.Transport{Plan: faultinject.Schedule{
+		Rates: faultinject.Rates{Seed: 3, Reset: 0.05, Status: 0.05},
+		Match: quoteRequests,
+	}}
+	v := verifier.New(regSrv.URL,
+		verifier.WithHTTPClient(&http.Client{Transport: ft}),
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    3,
+			InitialBackoff: time.Millisecond,
+			MaxBackoff:     4 * time.Millisecond,
+			RequestTimeout: 5 * time.Second,
+		}),
+		verifier.WithCommsFaultBudget(1 << 30),
+	)
+	const fleet = 8
+	for i := 0; i < fleet; i++ {
+		m, err := machine.New(ca,
+			machine.WithTPMOptions(tpm.WithEKBits(1024)),
+			machine.WithUUID(fmt.Sprintf("bench-%02d-4a97-9ef7-75bd81c000%02d", i, i)),
+		)
+		if err != nil {
+			b.Fatalf("machine %d: %v", i, err)
+		}
+		ag := agent.New(m)
+		srv := httptest.NewServer(ag.Handler())
+		defer srv.Close()
+		if err := ag.Register(regSrv.URL, srv.URL); err != nil {
+			b.Fatalf("Register %d: %v", i, err)
+		}
+		if err := v.AddAgent(m.UUID(), srv.URL, policyFromMachineTB(b, m)); err != nil {
+			b.Fatalf("AddAgent %d: %v", i, err)
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	attested, degraded := 0, 0
+	for i := 0; i < b.N; i++ {
+		stats := v.PollAll(ctx)
+		if stats.Attested+stats.Degraded != fleet || stats.Failed != 0 || stats.Halted != 0 {
+			b.Fatalf("PollAll = %+v", stats)
+		}
+		attested += stats.Attested
+		degraded += stats.Degraded
+	}
+	b.ReportMetric(float64(fleet), "agents/round")
+	if attested+degraded > 0 {
+		b.ReportMetric(100*float64(degraded)/float64(attested+degraded), "degraded%")
+	}
+}
+
+// policyFromMachineTB is policyFromMachine for benchmarks (testing.TB).
+func policyFromMachineTB(tb testing.TB, m *machine.Machine) *policy.RuntimePolicy {
+	tb.Helper()
+	pol := policy.New()
+	err := m.FS().Walk("/", func(info vfs.FileInfo) error {
+		if info.Mode.IsExec() {
+			pol.Add(info.Path, info.Digest)
+		}
+		return nil
+	})
+	if err != nil {
+		tb.Fatalf("Walk: %v", err)
+	}
+	return pol
+}

@@ -18,12 +18,16 @@ type addAgentRequest struct {
 
 // wireStatus is the JSON form of Status.
 type wireStatus struct {
-	AgentID         string        `json:"agent_id"`
-	State           string        `json:"operational_state"`
-	Attestations    int           `json:"attestation_count"`
-	VerifiedEntries int           `json:"verified_entries"`
-	Halted          bool          `json:"halted"`
-	Failures        []wireFailure `json:"failures"`
+	AgentID           string        `json:"agent_id"`
+	State             string        `json:"operational_state"`
+	Attestations      int           `json:"attestation_count"`
+	VerifiedEntries   int           `json:"verified_entries"`
+	Halted            bool          `json:"halted"`
+	Degraded          bool          `json:"degraded"`
+	ConsecutiveFaults int           `json:"consecutive_faults"`
+	Breaker           string        `json:"breaker"`
+	BreakerOpenUntil  string        `json:"breaker_open_until,omitempty"`
+	Failures          []wireFailure `json:"failures"`
 }
 
 type wireFailure struct {
@@ -76,11 +80,17 @@ func (v *Verifier) ManagementHandler() http.Handler {
 			return
 		}
 		out := wireStatus{
-			AgentID:         st.AgentID,
-			State:           st.State.String(),
-			Attestations:    st.Attestations,
-			VerifiedEntries: st.VerifiedEntries,
-			Halted:          st.Halted,
+			AgentID:           st.AgentID,
+			State:             st.State.String(),
+			Attestations:      st.Attestations,
+			VerifiedEntries:   st.VerifiedEntries,
+			Halted:            st.Halted,
+			Degraded:          st.Degraded,
+			ConsecutiveFaults: st.ConsecutiveFaults,
+			Breaker:           st.Breaker.String(),
+		}
+		if !st.BreakerOpenUntil.IsZero() {
+			out.BreakerOpenUntil = st.BreakerOpenUntil.UTC().Format("2006-01-02T15:04:05Z07:00")
 		}
 		for _, f := range st.Failures {
 			out.Failures = append(out.Failures, wireFailure{

@@ -27,6 +27,22 @@ type FailureState struct {
 	Detail string    `json:"detail"`
 }
 
+// FaultState is the serialized form of a transient Fault.
+type FaultState struct {
+	Time     time.Time `json:"time"`
+	Attempts int       `json:"attempts"`
+	Detail   string    `json:"detail"`
+}
+
+// BreakerSnapshot is the serialized circuit-breaker state, so a verifier
+// restart neither forgets an open quarantine nor hot-loops a dead host.
+type BreakerSnapshot struct {
+	State     int       `json:"state"`
+	OpenUntil time.Time `json:"open_until,omitempty"`
+	IntervalS float64   `json:"interval_s,omitempty"`
+	Opens     int       `json:"opens,omitempty"`
+}
+
 // AgentState is the serialized verification state of one monitored agent.
 type AgentState struct {
 	AgentID string `json:"agent_id"`
@@ -43,6 +59,10 @@ type AgentState struct {
 	Failures        []FailureState `json:"failures,omitempty"`
 	// BootGolden maps PCR index to hex digest.
 	BootGolden map[int]string `json:"boot_golden,omitempty"`
+	// Transient-fault tracking state.
+	ConsecutiveFaults int              `json:"consecutive_faults,omitempty"`
+	Faults            []FaultState     `json:"faults,omitempty"`
+	Breaker           *BreakerSnapshot `json:"breaker,omitempty"`
 }
 
 // Snapshot is the verifier's full serialized agent table.
@@ -75,6 +95,20 @@ func (v *Verifier) ExportState() (Snapshot, error) {
 			as.Failures = append(as.Failures, FailureState{
 				Time: f.Time, Type: int(f.Type), Path: f.Path, Detail: f.Detail,
 			})
+		}
+		as.ConsecutiveFaults = a.consecutiveFaults
+		for _, f := range a.faults {
+			as.Faults = append(as.Faults, FaultState{
+				Time: f.Time, Attempts: f.Attempts, Detail: f.Detail,
+			})
+		}
+		if a.breaker.state != BreakerClosed || a.breaker.opens > 0 {
+			as.Breaker = &BreakerSnapshot{
+				State:     int(a.breaker.state),
+				OpenUntil: a.breaker.openUntil,
+				IntervalS: a.breaker.interval.Seconds(),
+				Opens:     a.breaker.opens,
+			}
 		}
 		if a.bootGolden != nil {
 			as.BootGolden = make(map[int]string, len(a.bootGolden))
@@ -128,6 +162,20 @@ func (v *Verifier) RestoreState(st Snapshot) error {
 				Time: f.Time, Type: FailureType(f.Type), Path: f.Path, Detail: f.Detail,
 			})
 		}
+		a.consecutiveFaults = as.ConsecutiveFaults
+		for _, f := range as.Faults {
+			a.faults = append(a.faults, Fault{
+				Time: f.Time, Attempts: f.Attempts, Detail: f.Detail,
+			})
+		}
+		if as.Breaker != nil {
+			a.breaker = breaker{
+				state:     restoreBreakerEnum(as.Breaker.State),
+				openUntil: as.Breaker.OpenUntil,
+				interval:  time.Duration(as.Breaker.IntervalS * float64(time.Second)),
+				opens:     as.Breaker.Opens,
+			}
+		}
 		if len(as.BootGolden) > 0 {
 			g := make(measuredboot.Golden, len(as.BootGolden))
 			for pcr, h := range as.BootGolden {
@@ -151,9 +199,21 @@ func (v *Verifier) RestoreState(st Snapshot) error {
 func restoreStateEnum(i int) State {
 	s := State(i)
 	switch s {
-	case StateStart, StateAttesting, StateFailed:
+	case StateStart, StateAttesting, StateFailed, StateDegraded, StateQuarantined:
 		return s
 	default:
 		return StateStart
+	}
+}
+
+// restoreBreakerEnum converts a persisted int back to a BreakerState,
+// defaulting to closed for unknown values.
+func restoreBreakerEnum(i int) BreakerState {
+	s := BreakerState(i)
+	switch s {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+		return s
+	default:
+		return BreakerClosed
 	}
 }

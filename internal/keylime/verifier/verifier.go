@@ -53,12 +53,20 @@ const (
 	// StateFailed: last attestation failed; with stop-on-failure the
 	// verifier no longer polls this agent until an operator resumes it.
 	StateFailed
+	// StateDegraded: the last round(s) hit transient infrastructure
+	// faults; no integrity verdict was reached and polling continues.
+	StateDegraded
+	// StateQuarantined: the circuit breaker opened after persistent
+	// faults; the agent is re-probed at a capped interval.
+	StateQuarantined
 )
 
 var stateNames = map[State]string{
-	StateStart:     "Start",
-	StateAttesting: "Get Quote",
-	StateFailed:    "Failed",
+	StateStart:       "Start",
+	StateAttesting:   "Get Quote",
+	StateFailed:      "Failed",
+	StateDegraded:    "Degraded",
+	StateQuarantined: "Quarantined",
 }
 
 // String returns the Keylime-style state name.
@@ -125,6 +133,18 @@ type Failure struct {
 	Detail string
 }
 
+// Fault records one transient infrastructure fault: a round that could not
+// obtain attestation evidence. Faults are operational telemetry, not
+// integrity verdicts — they escalate to a FailureComms failure only after
+// the configured fault budget of consecutive faulted rounds.
+type Fault struct {
+	Time time.Time
+	// Attempts is how many quote requests the round made before giving up.
+	Attempts int
+	// Detail is the last underlying error.
+	Detail string
+}
+
 // Result summarizes one attestation round.
 type Result struct {
 	// NewEntries is how many measurement entries were fetched this round.
@@ -135,6 +155,14 @@ type Result struct {
 	RebootDetected bool
 	// Failure is non-nil when the round failed.
 	Failure *Failure
+	// Degraded reports that the round ended in a transient infrastructure
+	// fault: no evidence was obtained and no integrity verdict reached.
+	// Failure is also set when the fault budget escalated to FailureComms.
+	Degraded bool
+	// Attempts is the total number of quote requests made this round.
+	Attempts int
+	// FaultDetail describes the transient fault when Degraded.
+	FaultDetail string
 }
 
 // Status is the externally visible state of a monitored agent.
@@ -146,12 +174,24 @@ type Status struct {
 	Failures        []Failure
 	// Halted reports that polling is stopped pending operator action.
 	Halted bool
+	// Degraded reports that the agent is currently in a run of transient
+	// faults (state Degraded or Quarantined).
+	Degraded bool
+	// ConsecutiveFaults is the current run of faulted rounds.
+	ConsecutiveFaults int
+	// Faults is the recent transient-fault history (bounded).
+	Faults []Fault
+	// Breaker is the circuit-breaker state.
+	Breaker BreakerState
+	// BreakerOpenUntil is the reprobe deadline while the breaker is open.
+	BreakerOpenUntil time.Time
 }
 
 // Sentinel errors.
 var (
 	ErrUnknownAgent   = errors.New("verifier: unknown agent")
 	ErrHalted         = errors.New("verifier: agent halted after failure (stop-on-failure)")
+	ErrQuarantined    = errors.New("verifier: agent quarantined by circuit breaker (reprobe pending)")
 	ErrDuplicate      = errors.New("verifier: agent already monitored")
 	ErrRegistrar      = errors.New("verifier: registrar lookup failed")
 	ErrAgentInactive  = errors.New("verifier: agent not activated at registrar")
@@ -178,7 +218,15 @@ type monitored struct {
 	prefixAggregate tpm.Digest
 	attestations    int
 	failures        []Failure
+
+	// Transient-fault tracking (see retry.go / breaker.go).
+	consecutiveFaults int
+	faults            []Fault
+	breaker           breaker
 }
+
+// maxFaultHistory bounds the per-agent transient-fault history.
+const maxFaultHistory = 64
 
 // Option configures the verifier.
 type Option interface{ apply(*Verifier) }
@@ -238,6 +286,51 @@ func WithFileSignatureTrust(vs *filesig.VerifySet) Option {
 	return optionFunc(func(v *Verifier) { v.fileSigTrust = vs })
 }
 
+// WithRetryPolicy tunes retry/backoff/timeout behaviour for quote fetches
+// and registrar lookups. Zero fields keep their defaults.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return optionFunc(func(v *Verifier) { v.retry = p.withDefaults() })
+}
+
+// WithCommsFaultBudget sets how many consecutive faulted rounds are
+// tolerated before a FailureComms failure is recorded (default 3). Unlike
+// integrity failures, the escalation never halts the agent: an unreachable
+// host is an availability problem, and halting it would reopen the paper's
+// P2 blind window on a single dropped packet.
+func WithCommsFaultBudget(n int) Option {
+	return optionFunc(func(v *Verifier) {
+		if n > 0 {
+			v.faultBudget = n
+		}
+	})
+}
+
+// WithCircuitBreaker tunes the per-agent circuit breaker that quarantines
+// persistently unreachable agents. Zero fields keep their defaults; a
+// negative Threshold disables quarantining.
+func WithCircuitBreaker(cfg BreakerConfig) Option {
+	return optionFunc(func(v *Verifier) { v.breakerCfg = cfg.withDefaults() })
+}
+
+// WithPollConcurrency bounds the PollAll worker pool (default 8). Per-agent
+// rounds stay serialized on the agent's poll mutex; concurrency only spans
+// distinct agents, so one slow or hung agent cannot stall the fleet.
+func WithPollConcurrency(n int) Option {
+	return optionFunc(func(v *Verifier) {
+		if n > 0 {
+			v.pollConcurrency = n
+		}
+	})
+}
+
+// WithRoundDeadline bounds each agent's attestation round on the
+// verifier's Clock (default: unbounded — the per-request timeouts and
+// attempt cap already bound a round). When the deadline fires, the round
+// is cut off and recorded as a transient fault.
+func WithRoundDeadline(d time.Duration) Option {
+	return optionFunc(func(v *Verifier) { v.roundDeadline = d })
+}
+
 // Verifier monitors a fleet of agents. Construct with New; it is safe for
 // concurrent use.
 type Verifier struct {
@@ -251,6 +344,12 @@ type Verifier struct {
 	auditLog          *audit.Log
 	fileSigTrust      *filesig.VerifySet
 	rng               io.Reader
+	retry             RetryPolicy
+	faultBudget       int
+	breakerCfg        BreakerConfig
+	pollConcurrency   int
+	roundDeadline     time.Duration
+	jitter            *jitterRand
 
 	mu     sync.Mutex
 	agents map[string]*monitored
@@ -260,12 +359,17 @@ type Verifier struct {
 // with AddAgentWithAK.
 func New(registrarURL string, opts ...Option) *Verifier {
 	v := &Verifier{
-		registrarURL: registrarURL,
-		client:       http.DefaultClient,
-		clock:        simclock.Real{},
-		pollInterval: 2 * time.Minute,
-		rng:          rand.Reader,
-		agents:       make(map[string]*monitored),
+		registrarURL:    registrarURL,
+		client:          http.DefaultClient,
+		clock:           simclock.Real{},
+		pollInterval:    2 * time.Minute,
+		rng:             rand.Reader,
+		retry:           RetryPolicy{}.withDefaults(),
+		faultBudget:     3,
+		breakerCfg:      BreakerConfig{}.withDefaults(),
+		pollConcurrency: 8,
+		jitter:          newJitterRand(1),
+		agents:          make(map[string]*monitored),
 	}
 	for _, opt := range opts {
 		opt.apply(v)
@@ -274,19 +378,13 @@ func New(registrarURL string, opts ...Option) *Verifier {
 }
 
 // AddAgent starts monitoring an agent: the AK public key is fetched from
-// the registrar, which must report the agent as activated.
+// the registrar, which must report the agent as activated. Transient
+// registrar faults (transport errors, timeouts, 5xx) are retried per the
+// retry policy so infrastructure churn does not fail enrollments.
 func (v *Verifier) AddAgent(agentID, agentURL string, pol *policy.RuntimePolicy) error {
-	resp, err := v.client.Get(v.registrarURL + "/v2/agents/" + url.PathEscape(agentID))
+	info, err := v.registrarLookup(context.Background(), agentID)
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrRegistrar, err)
-	}
-	defer func() { _ = resp.Body.Close() }()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%w: status %d", ErrRegistrar, resp.StatusCode)
-	}
-	var info api.AgentInfo
-	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return fmt.Errorf("%w: decoding agent info: %v", ErrRegistrar, err)
 	}
 	if !info.Active {
 		return fmt.Errorf("%w: %s", ErrAgentInactive, agentID)
@@ -296,6 +394,53 @@ func (v *Verifier) AddAgent(agentID, agentURL string, pol *policy.RuntimePolicy)
 		return fmt.Errorf("%w: decoding AK: %v", ErrRegistrar, err)
 	}
 	return v.AddAgentWithAK(agentID, agentURL, akPub, pol)
+}
+
+// registrarLookup fetches an agent's registrar record, retrying transient
+// faults with backoff and a per-request timeout.
+func (v *Verifier) registrarLookup(ctx context.Context, agentID string) (api.AgentInfo, error) {
+	backoff := v.retry.InitialBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		info, err := v.registrarLookupOnce(ctx, agentID)
+		if err == nil {
+			return info, nil
+		}
+		lastErr = err
+		if attempt >= v.retry.MaxAttempts || !retryableComms(err) || ctx.Err() != nil {
+			return api.AgentInfo{}, lastErr
+		}
+		if err := v.sleepBackoff(ctx, backoff); err != nil {
+			return api.AgentInfo{}, lastErr
+		}
+		backoff = v.retry.nextBackoff(backoff)
+	}
+}
+
+func (v *Verifier) registrarLookupOnce(ctx context.Context, agentID string) (api.AgentInfo, error) {
+	tctx, stop := v.virtualTimeout(ctx, v.retry.RequestTimeout)
+	defer stop()
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet,
+		v.registrarURL+"/v2/agents/"+url.PathEscape(agentID), nil)
+	if err != nil {
+		return api.AgentInfo{}, permanentErr("building registrar request: %v", err)
+	}
+	resp, err := v.client.Do(req)
+	if err != nil {
+		return api.AgentInfo{}, transientErr("registrar request: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode >= 500 {
+			return api.AgentInfo{}, transientErr("registrar status %d", resp.StatusCode)
+		}
+		return api.AgentInfo{}, permanentErr("registrar status %d", resp.StatusCode)
+	}
+	var info api.AgentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return api.AgentInfo{}, transientErr("decoding agent info: %v", err)
+	}
+	return info, nil
 }
 
 // AddAgentWithAK starts monitoring an agent with an out-of-band trusted AK.
@@ -388,7 +533,8 @@ func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
 
 // Resume re-arms polling for a failed agent after the operator resolved the
 // failure (e.g. fixed the policy). Verified-prefix state is retained, so
-// attestation picks up at the entry that failed.
+// attestation picks up at the entry that failed. Resume also resets the
+// fault counter and closes the circuit breaker.
 func (v *Verifier) Resume(agentID string) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -397,7 +543,9 @@ func (v *Verifier) Resume(agentID string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
 	a.halted = false
-	if a.state == StateFailed {
+	a.consecutiveFaults = 0
+	a.breaker.recordSuccess()
+	if a.state == StateFailed || a.state == StateDegraded || a.state == StateQuarantined {
 		a.state = StateAttesting
 	}
 	return nil
@@ -412,12 +560,17 @@ func (v *Verifier) Status(agentID string) (Status, error) {
 		return Status{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
 	return Status{
-		AgentID:         a.id,
-		State:           a.state,
-		Attestations:    a.attestations,
-		VerifiedEntries: a.nextOffset,
-		Failures:        append([]Failure(nil), a.failures...),
-		Halted:          a.halted,
+		AgentID:           a.id,
+		State:             a.state,
+		Attestations:      a.attestations,
+		VerifiedEntries:   a.nextOffset,
+		Failures:          append([]Failure(nil), a.failures...),
+		Halted:            a.halted,
+		Degraded:          a.state == StateDegraded || a.state == StateQuarantined,
+		ConsecutiveFaults: a.consecutiveFaults,
+		Faults:            append([]Fault(nil), a.faults...),
+		Breaker:           a.breaker.state,
+		BreakerOpenUntil:  a.breaker.openUntil,
 	}, nil
 }
 
@@ -449,13 +602,63 @@ func (v *Verifier) fail(a *monitored, f Failure) *Failure {
 	return &f
 }
 
+// commsFault records a transient infrastructure fault for the round: the
+// agent stays in Degraded (or Quarantined, once the breaker opens) and is
+// never halted. When the consecutive-fault run reaches the fault budget, a
+// single FailureComms failure is recorded and the revocation handler fires
+// so operators learn about the outage — but polling continues, because an
+// unreachable host is an availability problem, not evidence of compromise,
+// and halting it would reopen the paper's P2 blind window.
+func (v *Verifier) commsFault(a *monitored, now time.Time, attempts int, err error) Result {
+	v.mu.Lock()
+	a.consecutiveFaults++
+	ft := Fault{Time: now, Attempts: attempts, Detail: err.Error()}
+	a.faults = append(a.faults, ft)
+	if len(a.faults) > maxFaultHistory {
+		a.faults = append(a.faults[:0], a.faults[len(a.faults)-maxFaultHistory:]...)
+	}
+	a.state = StateDegraded
+	if a.breaker.recordFault(now, v.breakerCfg, a.consecutiveFaults) {
+		a.state = StateQuarantined
+	}
+	var failure *Failure
+	if a.consecutiveFaults == v.faultBudget {
+		f := Failure{Time: now, Type: FailureComms,
+			Detail: fmt.Sprintf("%d consecutive transient faults (budget %d), last: %v",
+				a.consecutiveFaults, v.faultBudget, err)}
+		a.failures = append(a.failures, f)
+		failure = &f
+	}
+	handler := v.onRevocation
+	v.mu.Unlock()
+	if failure != nil && handler != nil {
+		handler(a.id, *failure)
+	}
+	return Result{Degraded: true, Attempts: attempts, FaultDetail: ft.Detail, Failure: failure}
+}
+
+// commsOK resets the fault run after a successful fetch: the agent is
+// reachable again, the breaker closes, and a degraded/quarantined state
+// returns to attesting (the round outcome may still set Failed).
+func (v *Verifier) commsOK(a *monitored) {
+	v.mu.Lock()
+	a.consecutiveFaults = 0
+	a.breaker.recordSuccess()
+	if a.state == StateDegraded || a.state == StateQuarantined {
+		a.state = StateAttesting
+	}
+	v.mu.Unlock()
+}
+
 // AttestOnce runs one attestation round for the agent. When the agent is
 // halted (stop-on-failure), it returns ErrHalted without contacting the
 // agent — the blind window of problem P2. With an audit log configured,
 // every completed round (pass or fail) is recorded durably.
 func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, error) {
 	res, err := v.attestOnce(ctx, agentID)
-	if err == nil && v.auditLog != nil {
+	// Degraded rounds obtained no evidence: they are not audited as passes.
+	// The round that escalates to FailureComms is audited as a failure.
+	if err == nil && v.auditLog != nil && (!res.Degraded || res.Failure != nil) {
 		entry := audit.Entry{
 			Time:            v.clock.Now(),
 			AgentID:         agentID,
@@ -488,10 +691,15 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	a.pollMu.Lock()
 	defer a.pollMu.Unlock()
 
+	now := v.clock.Now()
 	v.mu.Lock()
 	if a.halted {
 		v.mu.Unlock()
 		return Result{}, fmt.Errorf("%w: %s", ErrHalted, agentID)
+	}
+	if !a.breaker.allow(now) {
+		v.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: %s", ErrQuarantined, agentID)
 	}
 	offset := a.nextOffset
 	pol := a.pol
@@ -500,22 +708,36 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	bootGolden := a.bootGolden
 	v.mu.Unlock()
 
-	now := v.clock.Now()
-	resp, err := v.fetchQuote(ctx, agentURL, offset)
+	if v.roundDeadline > 0 {
+		var stopRound func()
+		ctx, stopRound = v.virtualTimeout(ctx, v.roundDeadline)
+		defer stopRound()
+	}
+
+	// Infrastructure faults (transport errors, timeouts, bad statuses,
+	// garbled bodies) are retried per the retry policy and, when the whole
+	// round fails, recorded as a transient fault — never as an instant
+	// integrity verdict.
+	resp, attempts, err := v.fetchWithRetry(ctx, agentURL, offset)
 	if err != nil {
-		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureComms, Detail: err.Error()})}, nil
+		return v.commsFault(a, now, attempts, err), nil
 	}
 	rebooted := false
 	if resp.resp.TotalEntries < offset {
 		// The agent's measurement list is shorter than the verified
 		// prefix: the machine rebooted. Restart verification from zero.
+		// The refetch reuses the retry policy: a network blip during the
+		// reboot window must not be mistaken for an integrity problem.
 		rebooted = true
 		offset = 0
-		resp, err = v.fetchQuote(ctx, agentURL, 0)
+		var refetchAttempts int
+		resp, refetchAttempts, err = v.fetchWithRetry(ctx, agentURL, 0)
+		attempts += refetchAttempts
 		if err != nil {
-			return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureComms, Detail: err.Error()})}, nil
+			return v.commsFault(a, now, attempts, err), nil
 		}
 	}
+	v.commsOK(a)
 
 	quote, err := api.DecodeQuote(resp.resp.Quote)
 	if err != nil {
@@ -614,6 +836,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		VerifiedEntries: a.nextOffset,
 		RebootDetected:  rebooted,
 		Failure:         firstFailure,
+		Attempts:        attempts,
 	}
 	v.mu.Unlock()
 	return res, nil
@@ -642,49 +865,102 @@ type fetched struct {
 	nonce []byte
 }
 
-// fetchQuote challenges the agent with a fresh nonce.
+// fetchQuote challenges the agent with a fresh nonce. Each attempt is
+// bounded by the retry policy's request timeout on the verifier's Clock —
+// including the body read, so a hung agent cannot stall the round. Errors
+// are classified: transport errors, timeouts, 5xx statuses, and garbled
+// bodies are transient (retryable); 4xx statuses and malformed requests are
+// permanent infrastructure faults (still not integrity verdicts).
 func (v *Verifier) fetchQuote(ctx context.Context, agentURL string, offset int) (fetched, error) {
 	nonce := make([]byte, 20)
 	if _, err := io.ReadFull(v.rng, nonce); err != nil {
-		return fetched{}, fmt.Errorf("verifier: generating nonce: %w", err)
+		return fetched{}, permanentErr("generating nonce: %v", err)
 	}
+	tctx, stop := v.virtualTimeout(ctx, v.retry.RequestTimeout)
+	defer stop()
 	u := agentURL + "/v2/quotes/integrity?nonce=" + base64.URLEncoding.EncodeToString(nonce) +
 		"&offset=" + strconv.Itoa(offset)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := http.NewRequestWithContext(tctx, http.MethodGet, u, nil)
 	if err != nil {
-		return fetched{}, fmt.Errorf("verifier: building request: %w", err)
+		return fetched{}, permanentErr("building quote request: %v", err)
 	}
 	httpResp, err := v.client.Do(req)
 	if err != nil {
-		return fetched{}, fmt.Errorf("verifier: quote request: %w", err)
+		return fetched{}, transientErr("quote request: %v", err)
 	}
 	defer func() { _ = httpResp.Body.Close() }()
 	if httpResp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
-		return fetched{}, fmt.Errorf("verifier: quote request: status %d: %s", httpResp.StatusCode, body)
+		if httpResp.StatusCode >= 500 {
+			return fetched{}, transientErr("quote request: status %d: %s", httpResp.StatusCode, body)
+		}
+		return fetched{}, permanentErr("quote request: status %d: %s", httpResp.StatusCode, body)
 	}
 	var qr api.QuoteResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&qr); err != nil {
-		return fetched{}, fmt.Errorf("verifier: decoding quote response: %w", err)
+		return fetched{}, transientErr("decoding quote response: %v", err)
 	}
 	return fetched{resp: qr, nonce: nonce}, nil
 }
 
-// PollAll runs one attestation round for every monitored agent, skipping
-// halted ones. It returns how many agents were attested and how many of
-// those rounds failed.
-func (v *Verifier) PollAll(ctx context.Context) (attested, failed int) {
+// PollStats summarizes one PollAll sweep over the fleet. Halted and
+// Quarantined expose the agents a sweep did NOT attest — the silent blind
+// spots a fleet operator must see.
+type PollStats struct {
+	// Attested counts rounds that obtained evidence and reached a verdict.
+	Attested int
+	// Failed counts attested rounds whose verdict was a failure.
+	Failed int
+	// Degraded counts rounds that ended in a transient infrastructure
+	// fault (no verdict).
+	Degraded int
+	// Halted counts agents skipped because stop-on-failure halted them.
+	Halted int
+	// Quarantined counts agents skipped by an open circuit breaker.
+	Quarantined int
+	// Errors counts other round errors (agent removed mid-sweep, etc.).
+	Errors int
+}
+
+// PollAll runs one attestation round for every monitored agent through a
+// bounded worker pool, so one slow or hung agent delays only its own round,
+// not the fleet sweep. Per-agent rounds stay serialized on the agent's poll
+// mutex.
+func (v *Verifier) PollAll(ctx context.Context) PollStats {
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		st  PollStats
+		sem = make(chan struct{}, v.pollConcurrency)
+	)
 	for _, id := range v.AgentIDs() {
-		res, err := v.AttestOnce(ctx, id)
-		if err != nil {
-			continue // halted or removed concurrently
-		}
-		attested++
-		if res.Failure != nil {
-			failed++
-		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(id string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, err := v.AttestOnce(ctx, id)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case errors.Is(err, ErrHalted):
+				st.Halted++
+			case errors.Is(err, ErrQuarantined):
+				st.Quarantined++
+			case err != nil:
+				st.Errors++
+			case res.Degraded:
+				st.Degraded++
+			default:
+				st.Attested++
+				if res.Failure != nil {
+					st.Failed++
+				}
+			}
+		}(id)
 	}
-	return attested, failed
+	wg.Wait()
+	return st
 }
 
 // Run polls every monitored agent at the configured interval until the
@@ -716,6 +992,11 @@ func (v *Verifier) StartPolling(ctx context.Context, agentID string) (int, error
 		if errors.Is(err, ErrHalted) {
 			// Problem P2: the verifier stops polling after a failure.
 			return rounds, err
+		}
+		if errors.Is(err, ErrQuarantined) {
+			// Open breaker: skip this tick, keep the loop alive — the
+			// agent is re-probed when the reprobe deadline passes.
+			continue
 		}
 		if err != nil {
 			return rounds, err

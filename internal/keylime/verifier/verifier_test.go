@@ -399,17 +399,58 @@ func TestInconsistentEntryDetected(t *testing.T) {
 }
 
 func TestUnreachableAgentCommsFailure(t *testing.T) {
+	// An unreachable agent is an infrastructure fault, not an integrity
+	// verdict: rounds degrade, retries happen, and only a run of faulted
+	// rounds exceeding the budget escalates to a single FailureComms —
+	// which still never halts polling.
 	s := newStack(t, nil)
-	v := verifier.New(s.regSrv.URL)
+	v := verifier.New(s.regSrv.URL,
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    2,
+			InitialBackoff: time.Millisecond,
+			RequestTimeout: time.Second,
+		}),
+		verifier.WithCommsFaultBudget(3),
+	)
 	if err := v.AddAgent(s.m.UUID(), "http://127.0.0.1:1", policy.New()); err != nil {
 		t.Fatalf("AddAgent: %v", err)
 	}
-	res, err := v.AttestOnce(context.Background(), s.m.UUID())
+	ctx := context.Background()
+	for round := 1; round <= 2; round++ {
+		res, err := v.AttestOnce(ctx, s.m.UUID())
+		if err != nil {
+			t.Fatalf("AttestOnce round %d: %v", round, err)
+		}
+		if !res.Degraded || res.Failure != nil {
+			t.Fatalf("round %d = %+v, want degraded without a verdict", round, res)
+		}
+		if res.Attempts != 2 {
+			t.Fatalf("round %d attempts = %d, want 2 (retry happened)", round, res.Attempts)
+		}
+	}
+	st, _ := v.Status(s.m.UUID())
+	if st.State != verifier.StateDegraded || st.Halted || st.ConsecutiveFaults != 2 {
+		t.Fatalf("Status = %+v, want Degraded, not halted, 2 consecutive faults", st)
+	}
+	// The third faulted round exhausts the budget: one FailureComms.
+	res, err := v.AttestOnce(ctx, s.m.UUID())
 	if err != nil {
-		t.Fatalf("AttestOnce: %v", err)
+		t.Fatalf("AttestOnce round 3: %v", err)
 	}
 	if res.Failure == nil || res.Failure.Type != verifier.FailureComms {
-		t.Fatalf("Failure = %+v, want comms-error", res.Failure)
+		t.Fatalf("Failure = %+v, want comms-error escalation", res.Failure)
+	}
+	st, _ = v.Status(s.m.UUID())
+	if st.Halted {
+		t.Fatal("comms escalation halted the agent; availability is not compromise")
+	}
+	// Further faulted rounds do not re-escalate.
+	if res, err = v.AttestOnce(ctx, s.m.UUID()); err != nil || res.Failure != nil {
+		t.Fatalf("round 4 = %+v, %v; want degraded without a second escalation", res, err)
+	}
+	st, _ = v.Status(s.m.UUID())
+	if len(st.Failures) != 1 {
+		t.Fatalf("failures = %d, want exactly 1 comms escalation", len(st.Failures))
 	}
 }
 
@@ -791,10 +832,18 @@ func TestAuditLogRecordsAttestations(t *testing.T) {
 
 func TestAgentOutageAndRecovery(t *testing.T) {
 	// Failure injection: the agent process dies mid-monitoring; the
-	// verifier records a comms failure; after the agent returns at the
-	// same address and the operator resumes, incremental attestation
-	// continues from the stored offset.
-	s := newStack(t, nil)
+	// verifier degrades the agent, escalates to a comms failure at the
+	// fault budget (without halting), and when the agent returns at the
+	// same address, incremental attestation resumes on its own — no
+	// operator Resume is needed for an infrastructure outage.
+	s := newStack(t, nil,
+		verifier.WithRetryPolicy(verifier.RetryPolicy{
+			MaxAttempts:    2,
+			InitialBackoff: time.Millisecond,
+			RequestTimeout: time.Second,
+		}),
+		verifier.WithCommsFaultBudget(2),
+	)
 	writeExec(t, s.m, "/usr/bin/tool", "ok")
 	addAgent(t, s, policyFromMachine(t, s.m))
 	exec(t, s.m, "/usr/bin/tool")
@@ -807,12 +856,19 @@ func TestAgentOutageAndRecovery(t *testing.T) {
 	addr := s.agSrv.Listener.Addr().String()
 	s.agSrv.Close()
 	res = attest(t, s)
+	if !res.Degraded || res.Failure != nil {
+		t.Fatalf("first outage round = %+v, want degraded without a verdict", res)
+	}
+	res = attest(t, s)
 	if res.Failure == nil || res.Failure.Type != verifier.FailureComms {
-		t.Fatalf("Failure = %+v, want comms-error", res.Failure)
+		t.Fatalf("Failure = %+v, want comms-error escalation at the budget", res.Failure)
 	}
 	st, _ := s.v.Status(s.m.UUID())
-	if !st.Halted {
-		t.Fatal("verifier not halted after comms failure")
+	if st.Halted {
+		t.Fatal("outage halted the agent; polling must continue through it")
+	}
+	if st.State != verifier.StateDegraded {
+		t.Fatalf("state = %v, want Degraded", st.State)
 	}
 
 	// Restart the agent on the same address.
@@ -829,9 +885,6 @@ func TestAgentOutageAndRecovery(t *testing.T) {
 	if err := s.v.UpdatePolicy(s.m.UUID(), fixed); err != nil {
 		t.Fatalf("UpdatePolicy: %v", err)
 	}
-	if err := s.v.Resume(s.m.UUID()); err != nil {
-		t.Fatalf("Resume: %v", err)
-	}
 	exec(t, s.m, "/usr/bin/second")
 	res = attest(t, s)
 	if res.Failure != nil {
@@ -839,6 +892,10 @@ func TestAgentOutageAndRecovery(t *testing.T) {
 	}
 	if res.NewEntries != 1 {
 		t.Fatalf("NewEntries = %d, want 1 (incremental state survived the outage)", res.NewEntries)
+	}
+	st, _ = s.v.Status(s.m.UUID())
+	if st.State != verifier.StateAttesting || st.ConsecutiveFaults != 0 {
+		t.Fatalf("post-recovery status = %+v, want Attesting with fault run reset", st)
 	}
 }
 

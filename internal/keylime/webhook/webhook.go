@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"sync"
 	"time"
@@ -51,6 +52,14 @@ type Config struct {
 	MaxAttempts int
 	// InitialBackoff between retries, doubled each attempt (default 1s).
 	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 30s): with many
+	// attempts configured, uncapped doubling turns a receiver outage into
+	// multi-hour delivery gaps.
+	MaxBackoff time.Duration
+	// Jitter is the fraction of each backoff randomized around its nominal
+	// value, in [0, 1] (default 0). Jitter decorrelates retry bursts when a
+	// fleet-wide failure fans out to the same receiver.
+	Jitter float64
 	// Client is the HTTP client used for deliveries.
 	Client *http.Client
 	// Clock drives retry backoff (default real time).
@@ -91,6 +100,15 @@ func New(cfg Config) *Notifier {
 	}
 	if cfg.InitialBackoff <= 0 {
 		cfg.InitialBackoff = time.Second
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Jitter > 1 {
+		cfg.Jitter = 1
 	}
 	if cfg.Client == nil {
 		cfg.Client = http.DefaultClient
@@ -179,7 +197,7 @@ func (n *Notifier) worker() {
 	}
 }
 
-// deliver posts one notification with retry/backoff.
+// deliver posts one notification with capped, jittered retry backoff.
 func (n *Notifier) deliver(endpoint string, note Notification) (int, error) {
 	backoff := n.cfg.InitialBackoff
 	var lastErr error
@@ -190,11 +208,29 @@ func (n *Notifier) deliver(endpoint string, note Notification) (int, error) {
 			return attempt, nil
 		}
 		if attempt < n.cfg.MaxAttempts {
-			n.cfg.Clock.Sleep(backoff)
+			n.cfg.Clock.Sleep(n.jittered(backoff, endpoint, attempt))
 			backoff *= 2
+			if backoff > n.cfg.MaxBackoff {
+				backoff = n.cfg.MaxBackoff
+			}
 		}
 	}
 	return n.cfg.MaxAttempts, fmt.Errorf("webhook: delivery to %s failed: %w", endpoint, lastErr)
+}
+
+// jittered spreads d over [d*(1-Jitter), d], deterministically per
+// (endpoint, attempt) so simulated-clock tests stay reproducible. Staying at
+// or below the nominal backoff keeps the cap a true upper bound.
+func (n *Notifier) jittered(d time.Duration, endpoint string, attempt int) time.Duration {
+	j := n.cfg.Jitter
+	if j <= 0 || d <= 0 {
+		return d
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(endpoint))
+	_, _ = h.Write([]byte{byte(attempt)})
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	return time.Duration(float64(d) * (1 - j*u))
 }
 
 // Sign computes the HMAC signature receivers should verify.

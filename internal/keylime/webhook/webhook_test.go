@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/keylime/verifier"
+	"repro/internal/simclock"
 )
 
 // receiver captures webhook deliveries.
@@ -162,5 +163,48 @@ func TestHandlerBridgesVerifierFailures(t *testing.T) {
 	}
 	if note.Type != "file-not-in-policy" || note.Path != "/usr/bin/evil" {
 		t.Fatalf("notification = %+v", note)
+	}
+}
+
+func TestBackoffCappedAndJitteredUnderLongOutage(t *testing.T) {
+	// 10 attempts against a dead receiver: uncapped doubling from 1s would
+	// sleep 1+2+...+256 = 511s before giving up; with MaxBackoff 8s the
+	// total wait is bounded by 1+2+4+8·6 = 55s. Jitter only ever shortens
+	// a sleep, so the cap stays a true upper bound.
+	rcv := &receiver{failures: 100}
+	srv := httptest.NewServer(rcv.handler())
+	defer srv.Close()
+	start := time.Unix(1_700_000_000, 0)
+	clk := simclock.NewSimulated(start)
+	n := New(Config{
+		Endpoints:      []string{srv.URL},
+		MaxAttempts:    10,
+		InitialBackoff: time.Second,
+		MaxBackoff:     8 * time.Second,
+		Jitter:         0.5,
+		Clock:          clk,
+	})
+	n.Notify(Notification{AgentID: "agent-1", Type: "comms-error"})
+	// Drive the delivery worker: advance virtual time whenever it blocks
+	// on a backoff sleep.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(n.Results()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delivery never completed")
+		}
+		time.Sleep(time.Millisecond)
+		clk.AdvanceToNext()
+	}
+	n.Close()
+	results := n.Results()
+	if len(results) != 1 || results[0].Err == nil || results[0].Attempts != 10 {
+		t.Fatalf("results = %+v, want failure after 10 attempts", results)
+	}
+	elapsed := clk.Now().Sub(start)
+	if elapsed > 55*time.Second {
+		t.Fatalf("total backoff = %v, want ≤ 55s (capped); uncapped would be 511s", elapsed)
+	}
+	if elapsed < 10*time.Second {
+		t.Fatalf("total backoff = %v, implausibly small — backoff not happening", elapsed)
 	}
 }

@@ -122,6 +122,28 @@ func (c *Simulated) Advance(d time.Duration) {
 	c.mu.Unlock()
 }
 
+// AdvanceToNext advances the clock to the earliest pending timer deadline
+// and fires every timer sharing that deadline. It reports whether any timer
+// fired. Test harnesses use it to unblock a goroutine that is sleeping on
+// virtual time without having to know the sleep duration.
+func (c *Simulated) AdvanceToNext() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.waiters.Len() == 0 {
+		return false
+	}
+	target := c.waiters[0].at
+	for c.waiters.Len() > 0 && !c.waiters[0].at.After(target) {
+		w := heap.Pop(&c.waiters).(*waiter)
+		c.now = w.at
+		w.ch <- c.now
+	}
+	if target.After(c.now) {
+		c.now = target
+	}
+	return true
+}
+
 // AdvanceTo moves the clock to instant t (no-op if t is in the past).
 func (c *Simulated) AdvanceTo(t time.Time) {
 	c.mu.Lock()

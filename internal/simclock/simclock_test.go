@@ -135,3 +135,44 @@ func TestRealClockNow(t *testing.T) {
 		t.Fatalf("Real.Now() = %v outside [%v, %v]", got, before, after)
 	}
 }
+
+func TestSimulatedAdvanceToNext(t *testing.T) {
+	c := NewSimulated(epoch)
+	if c.AdvanceToNext() {
+		t.Fatal("AdvanceToNext with no waiters reported a fire")
+	}
+	chA := c.After(10 * time.Second)
+	chB := c.After(10 * time.Second) // same deadline: fires in the same step
+	chC := c.After(time.Minute)
+	if !c.AdvanceToNext() {
+		t.Fatal("AdvanceToNext did not fire")
+	}
+	want := epoch.Add(10 * time.Second)
+	if got := c.Now(); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	for name, ch := range map[string]<-chan time.Time{"A": chA, "B": chB} {
+		select {
+		case at := <-ch:
+			if !at.Equal(want) {
+				t.Fatalf("waiter %s fired at %v, want %v", name, at, want)
+			}
+		default:
+			t.Fatalf("waiter %s did not fire", name)
+		}
+	}
+	select {
+	case <-chC:
+		t.Fatal("later waiter fired early")
+	default:
+	}
+	if !c.AdvanceToNext() {
+		t.Fatal("second AdvanceToNext did not fire")
+	}
+	if got := c.Now(); !got.Equal(epoch.Add(time.Minute)) {
+		t.Fatalf("Now() = %v, want %v", got, epoch.Add(time.Minute))
+	}
+	if c.PendingWaiters() != 0 {
+		t.Fatalf("PendingWaiters = %d, want 0", c.PendingWaiters())
+	}
+}
