@@ -55,6 +55,8 @@ func run() error {
 		breakerInterval = flag.Duration("breaker-interval", time.Minute, "initial quarantine reprobe interval")
 		breakerMax      = flag.Duration("breaker-max-interval", 15*time.Minute, "quarantine reprobe interval cap")
 		pollConcurrency = flag.Int("poll-concurrency", 8, "concurrent agent rounds per polling sweep")
+		verifyWorkers   = flag.Int("verify-workers", 0,
+			"worker pool for validating large IMA entry batches (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,7 @@ func run() error {
 			MaxInterval:     *breakerMax,
 		}),
 		verifier.WithPollConcurrency(*pollConcurrency),
+		verifier.WithVerifyWorkers(*verifyWorkers),
 	}
 	if *auditPath != "" {
 		opts = append(opts, verifier.WithAuditLog(auditLog))

@@ -36,6 +36,8 @@ func run() error {
 		out       = flag.String("out", "policy.json", "write the final policy here")
 		kernel    = flag.String("kernel", "5.15.0-100-generic", "running kernel version")
 		seed      = flag.Int64("seed", 1, "workload seed")
+		workers   = flag.Int("gen-workers", 0,
+			"package-measurement worker pool size (0 = GOMAXPROCS); output is identical at any size")
 	)
 	flag.Parse()
 
@@ -58,14 +60,15 @@ func run() error {
 	}
 	stream := workload.NewStream(archive, base, workload.DefaultStreamConfig(scale))
 	mir := mirror.NewMirror(archive)
-	gen := core.NewGenerator(mir, core.WithExcludes([]string{"/tmp/.*"}))
+	gen := core.NewGenerator(mir, core.WithExcludes([]string{"/tmp/.*"}), core.WithWorkers(*workers))
 
 	pol, rep, err := gen.GenerateInitial(start, *kernel)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("initial policy: %d entries (%.1f MB), %d packages measured, modeled time %.1f min\n",
-		pol.Lines(), float64(pol.SizeBytes())/(1<<20), rep.PackagesChanged, rep.ModeledDuration.Minutes())
+	fmt.Printf("initial policy: %d entries (%.1f MB), %d packages measured, modeled time %.1f min (wall %s, %d workers)\n",
+		pol.Lines(), float64(pol.SizeBytes())/(1<<20), rep.PackagesChanged, rep.ModeledDuration.Minutes(),
+		rep.MeasuredWallTime.Round(time.Millisecond), rep.Workers)
 
 	running := *kernel
 	for day := 1; day <= *days; day++ {

@@ -43,6 +43,8 @@ func run() error {
 		scaleName = flag.String("scale", "small", "distribution scale: small | paper")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		csvDir    = flag.String("csv", "", "also write figure/table CSVs into this directory")
+		workers   = flag.Int("gen-workers", 0,
+			"policy-generator measurement worker pool size (0 = GOMAXPROCS); output is identical at any size")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func run() error {
 		return fmt.Errorf("unknown scale %q (small | paper)", *scaleName)
 	}
 	scale.Seed = *seed
-	stack := experiments.StackConfig{Scale: scale}
+	stack := experiments.StackConfig{Scale: scale, GenWorkers: *workers}
 
 	out := os.Stdout
 	writeCSV := func(name string, fn func(w *os.File) error) error {

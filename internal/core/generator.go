@@ -21,7 +21,10 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mirror"
@@ -98,10 +101,15 @@ type UpdateReport struct {
 	EntriesAdded int
 	// BytesAdded is the policy size growth in flat-format bytes.
 	BytesAdded int64
+	// FilesMeasured counts the executables actually downloaded and hashed
+	// this run (deferred-kernel files are skipped and not billed).
+	FilesMeasured int
 	// ModeledDuration is the cost-model wall time (Fig. 3).
 	ModeledDuration time.Duration
 	// MeasuredWallTime is how long the generator actually ran.
 	MeasuredWallTime time.Duration
+	// Workers is the measurement worker-pool size used for this run.
+	Workers int
 	// DeferredKernels lists kernel versions seen in the delta but not yet
 	// running (their files enter the policy at RefreshKernel time).
 	DeferredKernels []string
@@ -139,6 +147,19 @@ func WithSigner(s *policy.Signer) Option {
 	return optionFunc(func(g *Generator) { g.signer = s })
 }
 
+// WithWorkers bounds the package-measurement worker pool (default
+// GOMAXPROCS). Packages are downloaded, uncompressed and hashed
+// concurrently; results are merged in deterministic package order, so the
+// generated policy is byte-identical at any worker count. n <= 0 keeps the
+// default.
+func WithWorkers(n int) Option {
+	return optionFunc(func(g *Generator) {
+		if n > 0 {
+			g.workers = n
+		}
+	})
+}
+
 // Generator produces and incrementally maintains a runtime policy from a
 // distribution mirror. Construct with NewGenerator; safe for concurrent use.
 type Generator struct {
@@ -147,6 +168,7 @@ type Generator struct {
 	excludes  []string
 	scrubSNAP bool
 	signer    *policy.Signer
+	workers   int
 
 	mu      sync.Mutex
 	current *policy.RuntimePolicy
@@ -173,7 +195,7 @@ func (g *Generator) SignedPolicy() (policy.Envelope, error) {
 
 // NewGenerator creates a generator over the given mirror.
 func NewGenerator(m *mirror.Mirror, opts ...Option) *Generator {
-	g := &Generator{m: m, costs: DefaultCostModel()}
+	g := &Generator{m: m, costs: DefaultCostModel(), workers: runtime.GOMAXPROCS(0)}
 	for _, opt := range opts {
 		opt.apply(g)
 	}
@@ -225,17 +247,40 @@ func scrubSNAPPath(path string) string {
 	return path
 }
 
+// measuredEntry is one (path, digest) pair produced by hashing a package
+// executable, in payload order.
+type measuredEntry struct {
+	path   string
+	digest policy.Digest
+}
+
+// measuredPackage is the outcome of measuring one package: the hashing work
+// happens concurrently in the worker pool, the merge into the policy stays
+// sequential and deterministic.
+type measuredPackage struct {
+	entries []measuredEntry
+	// hashed is the number of payload bytes hashed.
+	hashed int64
+	// files counts the executables actually measured (deferred-kernel
+	// files are skipped and not counted).
+	files int
+	// deferred is the kernel version whose files were deferred ("" if none).
+	deferred string
+}
+
 // measurePackage downloads (Pack), uncompresses (Unpack) and hashes the
-// executables of one package, adding entries to dst. It returns the number
-// of entries added, bytes hashed and any kernel version deferred.
-func (g *Generator) measurePackage(p mirror.Package, runningKernel string, dst *policy.RuntimePolicy) (added int, hashed int64, deferred string, err error) {
+// executables of one package. It is pure with respect to generator state —
+// safe to run from pool workers — and returns the measured entries in
+// payload order for a deterministic merge.
+func (g *Generator) measurePackage(p mirror.Package, runningKernel string) (measuredPackage, error) {
+	var out measuredPackage
 	payload, err := mirror.Pack(p)
 	if err != nil {
-		return 0, 0, "", fmt.Errorf("core: fetching %s: %w", p.Name, err)
+		return out, fmt.Errorf("core: fetching %s: %w", p.Name, err)
 	}
 	files, err := mirror.Unpack(payload)
 	if err != nil {
-		return 0, 0, "", fmt.Errorf("core: unpacking %s: %w", p.Name, err)
+		return out, fmt.Errorf("core: unpacking %s: %w", p.Name, err)
 	}
 	for _, f := range files {
 		if !f.Mode.IsExec() {
@@ -243,7 +288,7 @@ func (g *Generator) measurePackage(p mirror.Package, runningKernel string, dst *
 		}
 		if ver, ok := kernelScopedVersion(f.Path); ok && ver != runningKernel {
 			// New kernel: not running until reboot; defer its files.
-			deferred = ver
+			out.deferred = ver
 			continue
 		}
 		path := f.Path
@@ -251,24 +296,88 @@ func (g *Generator) measurePackage(p mirror.Package, runningKernel string, dst *
 			path = scrubSNAPPath(path)
 		}
 		digest := sha256.Sum256(f.Content)
-		hashed += int64(len(f.Content))
-		if dst.Add(path, digest) {
-			added++
-		}
+		out.hashed += int64(len(f.Content))
+		out.files++
+		out.entries = append(out.entries, measuredEntry{path: path, digest: digest})
 	}
-	return added, hashed, deferred, nil
+	return out, nil
+}
+
+// measureAll measures every package through a bounded worker pool and
+// returns the results indexed like pkgs. The first error cancels the
+// remaining queue; among packages that were attempted, the error of the
+// lowest-indexed failure is returned (matching the serial iteration order).
+func (g *Generator) measureAll(pkgs []mirror.Package, runningKernel string) ([]measuredPackage, error) {
+	results := make([]measuredPackage, len(pkgs))
+	workers := g.workers
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers <= 1 {
+		for i, p := range pkgs {
+			m, err := g.measurePackage(p, runningKernel)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = m
+		}
+		return results, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		nextIdx  atomic.Int64
+		canceled atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		errIdx   = len(pkgs)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= len(pkgs) || canceled.Load() {
+					return
+				}
+				m, err := g.measurePackage(pkgs[i], runningKernel)
+				if err != nil {
+					canceled.Store(true)
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					return
+				}
+				results[i] = m
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
 }
 
 // runUpdate measures the given packages into (a clone of) base and returns
-// the new policy plus a report.
+// the new policy plus a report. Hashing fans out over the worker pool;
+// the merge walks packages in input order, so the resulting policy — and
+// every report counter — is identical to a serial run.
 func (g *Generator) runUpdate(at time.Time, pkgs []mirror.Package, runningKernel string, base *policy.RuntimePolicy) (*policy.RuntimePolicy, UpdateReport, error) {
 	start := time.Now()
+	rep := UpdateReport{Time: at, PackagesChanged: len(pkgs), Workers: g.workers}
+
+	results, err := g.measureAll(pkgs, runningKernel)
+	if err != nil {
+		return nil, UpdateReport{}, err
+	}
+
 	next := base.Clone()
-	rep := UpdateReport{Time: at, PackagesChanged: len(pkgs)}
 	var payloadBytes, hashedBytes int64
 	deferredSet := map[string]bool{}
-	filesMeasured := 0
-	for _, p := range pkgs {
+	for i, p := range pkgs {
 		if p.HasExecutables() {
 			rep.PackagesWithExecutables++
 			if p.Priority.High() {
@@ -278,16 +387,17 @@ func (g *Generator) runUpdate(at time.Time, pkgs []mirror.Package, runningKernel
 			}
 		}
 		payloadBytes += p.PayloadSize()
-		added, hashed, deferred, err := g.measurePackage(p, runningKernel, next)
-		if err != nil {
-			return nil, UpdateReport{}, err
+		res := results[i]
+		for _, e := range res.entries {
+			if next.Add(e.path, e.digest) {
+				rep.EntriesAdded++
+			}
 		}
-		rep.EntriesAdded += added
-		hashedBytes += hashed
-		filesMeasured += len(p.ExecutableFiles())
-		if deferred != "" && !deferredSet[deferred] {
-			deferredSet[deferred] = true
-			rep.DeferredKernels = append(rep.DeferredKernels, deferred)
+		hashedBytes += res.hashed
+		rep.FilesMeasured += res.files
+		if res.deferred != "" && !deferredSet[res.deferred] {
+			deferredSet[res.deferred] = true
+			rep.DeferredKernels = append(rep.DeferredKernels, res.deferred)
 		}
 	}
 	if err := next.SetExcludes(g.excludes); err != nil {
@@ -299,7 +409,7 @@ func (g *Generator) runUpdate(at time.Time, pkgs []mirror.Package, runningKernel
 		Release:   g.m.Release().Seq,
 	})
 	rep.BytesAdded = int64(rep.EntriesAdded) * avgEntryBytes(next)
-	rep.ModeledDuration = g.costs.cost(rep.PackagesChanged, payloadBytes, filesMeasured, hashedBytes)
+	rep.ModeledDuration = g.costs.cost(rep.PackagesChanged, payloadBytes, rep.FilesMeasured, hashedBytes)
 	rep.MeasuredWallTime = time.Since(start)
 	return next, rep, nil
 }
@@ -323,6 +433,9 @@ func (g *Generator) GenerateInitial(at time.Time, runningKernel string) (*policy
 	for _, p := range rel.Packages {
 		pkgs = append(pkgs, p)
 	}
+	// rel.Packages is a map; fix the order so reports (and any future
+	// order-sensitive accounting) are deterministic across runs.
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Name < pkgs[j].Name })
 	next, rep, err := g.runUpdate(at, pkgs, runningKernel, policy.New())
 	if err != nil {
 		return nil, UpdateReport{}, err
@@ -376,11 +489,15 @@ func (g *Generator) RefreshKernel(at time.Time, newKernel string) (*policy.Runti
 		if v, _ := p.KernelVersion(); v != newKernel {
 			continue
 		}
-		a, _, _, err := g.measurePackage(p, newKernel, next)
+		res, err := g.measurePackage(p, newKernel)
 		if err != nil {
 			return nil, 0, err
 		}
-		added += a
+		for _, e := range res.entries {
+			if next.Add(e.path, e.digest) {
+				added++
+			}
+		}
 	}
 	next.SetMeta(policy.Meta{Generator: "dynamic-policy-generator", Timestamp: at, Release: rel.Seq})
 	g.mu.Lock()

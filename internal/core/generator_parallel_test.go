@@ -1,0 +1,148 @@
+package core
+
+import (
+	cryptorand "crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mirror"
+	"repro/internal/policy"
+)
+
+// newWideArchive publishes a release wide enough that the worker pool
+// actually interleaves packages (dozens of packages, several executables
+// each, plus a kernel package whose files are deferred).
+func newWideArchive(t *testing.T) *mirror.Archive {
+	t.Helper()
+	var pkgs []mirror.Package
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("pkg-%02d", i)
+		files := []mirror.PackageFile{
+			execFile(fmt.Sprintf("/usr/bin/%s", name), 400+i*13),
+			execFile(fmt.Sprintf("/usr/sbin/%sd", name), 900+i*7),
+			dataFile(fmt.Sprintf("/usr/share/doc/%s/README", name), 64),
+		}
+		prio := mirror.PriorityOptional
+		if i%5 == 0 {
+			prio = mirror.PriorityRequired
+		}
+		pkgs = append(pkgs, pkg(name, fmt.Sprintf("1.%d", i), prio, files...))
+	}
+	pkgs = append(pkgs, pkg("linux-image-6.1.0-1", "6.1.0-1", mirror.PriorityRequired,
+		execFile("/usr/lib/modules/6.1.0-1/kernel/fs/ext4.ko", 2000),
+		execFile("/boot/vmlinuz-6.1.0-1", 5000)))
+	a := mirror.NewArchive()
+	if _, err := a.Publish(t0.Add(-24*time.Hour), pkgs...); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	return a
+}
+
+// TestGenerateParallelDeterminism asserts the acceptance criterion that
+// parallel and serial generation are byte-identical: the same archive must
+// produce the same FormatFlat output — and the same report counters — at
+// every worker-pool size.
+func TestGenerateParallelDeterminism(t *testing.T) {
+	a := newWideArchive(t)
+	type outcome struct {
+		flat string
+		rep  UpdateReport
+	}
+	run := func(workers int) outcome {
+		g := NewGenerator(mirror.NewMirror(a),
+			WithExcludes([]string{"/tmp/.*"}), WithWorkers(workers))
+		pol, rep, err := g.GenerateInitial(t0, kernel)
+		if err != nil {
+			t.Fatalf("GenerateInitial(workers=%d): %v", workers, err)
+		}
+		return outcome{flat: pol.FormatFlat(), rep: rep}
+	}
+	serial := run(1)
+	if serial.rep.Workers != 1 {
+		t.Fatalf("report Workers = %d, want 1", serial.rep.Workers)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		if got.flat != serial.flat {
+			t.Fatalf("workers=%d produced different FormatFlat output (%d vs %d bytes)",
+				workers, len(got.flat), len(serial.flat))
+		}
+		if got.rep.EntriesAdded != serial.rep.EntriesAdded ||
+			got.rep.FilesMeasured != serial.rep.FilesMeasured ||
+			got.rep.PackagesWithExecutables != serial.rep.PackagesWithExecutables ||
+			got.rep.ModeledDuration != serial.rep.ModeledDuration {
+			t.Fatalf("workers=%d report diverged: %+v vs %+v", workers, got.rep, serial.rep)
+		}
+	}
+}
+
+// TestFilesMeasuredExcludesDeferredKernelFiles pins the over-count fix:
+// deferred-kernel executables are skipped by measurement and must not be
+// billed in FilesMeasured (and hence not in the cost model).
+func TestFilesMeasuredExcludesDeferredKernelFiles(t *testing.T) {
+	a := newWideArchive(t)
+	g := NewGenerator(mirror.NewMirror(a), WithWorkers(1))
+	_, rep, err := g.GenerateInitial(t0, kernel)
+	if err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	// 40 packages x 2 executables; the 2 kernel files belong to 6.1.0-1,
+	// not the running kernel, so they are deferred and not measured.
+	if rep.FilesMeasured != 80 {
+		t.Fatalf("FilesMeasured = %d, want 80 (deferred kernel files must not be billed)", rep.FilesMeasured)
+	}
+	if rep.EntriesAdded != 80 {
+		t.Fatalf("EntriesAdded = %d, want 80", rep.EntriesAdded)
+	}
+	if len(rep.DeferredKernels) != 1 || rep.DeferredKernels[0] != "6.1.0-1" {
+		t.Fatalf("DeferredKernels = %v, want [6.1.0-1]", rep.DeferredKernels)
+	}
+}
+
+// TestGeneratorConcurrentUse hammers Update, Policy and SignedPolicy from
+// concurrent goroutines; run under -race this is the generator's
+// thread-safety regression test.
+func TestGeneratorConcurrentUse(t *testing.T) {
+	a := newWideArchive(t)
+	signer, err := policy.NewSigner(cryptorand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	g := NewGenerator(mirror.NewMirror(a), WithWorkers(4), WithSigner(signer))
+	if _, _, err := g.GenerateInitial(t0, kernel); err != nil {
+		t.Fatalf("GenerateInitial: %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				at := t0.Add(time.Duration(w*8+i+1) * time.Hour)
+				if _, _, err := g.Update(at, kernel); err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				if _, err := g.Policy(); err != nil {
+					t.Errorf("Policy: %v", err)
+					return
+				}
+				if _, err := g.SignedPolicy(); err != nil {
+					t.Errorf("SignedPolicy: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -78,6 +78,9 @@ type StackConfig struct {
 	VendorSigning bool
 	// Clock drives timestamps (default: simulated clock at Epoch).
 	Clock simclock.Clock
+	// GenWorkers bounds the policy generator's measurement worker pool
+	// (default GOMAXPROCS; the merge is deterministic at any size).
+	GenWorkers int
 }
 
 // withDefaults fills unset fields.
@@ -223,7 +226,8 @@ func NewDeployment(cfg StackConfig) (*Deployment, error) {
 	if cfg.Mitigated {
 		excludes = nil
 	}
-	d.Gen = core.NewGenerator(d.Mirror, core.WithExcludes(excludes), core.WithScrubSNAPPrefixes(true))
+	d.Gen = core.NewGenerator(d.Mirror, core.WithExcludes(excludes),
+		core.WithScrubSNAPPrefixes(true), core.WithWorkers(cfg.GenWorkers))
 	pol, _, err := d.Gen.GenerateInitial(start, Kernel)
 	if err != nil {
 		d.Close()

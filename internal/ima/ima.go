@@ -247,26 +247,34 @@ func (e Entry) Template() string {
 // templateHashFields hashes the length-prefixed template fields shared by
 // ima-ng and ima-sig.
 func templateHashFields(fileDigest tpm.Digest, path, sigHex string) tpm.Digest {
-	h := sha256.New()
+	// Serialize the template into a stack buffer and hash it in one shot:
+	// this runs once per log entry on the verifier's hot path and must not
+	// allocate. Only pathological paths (> ~450 bytes) spill to the heap.
+	const dFieldLen = 7 + len(tpm.Digest{})
+	size := 4 + dFieldLen + 4 + len(path) + 1
+	if sigHex != "" {
+		size += 4 + len(sigHex)
+	}
+	var stack [512]byte
+	buf := stack[:0]
+	if size > len(stack) {
+		buf = make([]byte, 0, size)
+	}
 	var lenBuf [4]byte
-	dField := make([]byte, 0, 7+len(fileDigest))
-	dField = append(dField, []byte("sha256:")...)
-	dField = append(dField, fileDigest[:]...)
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(dField)))
-	h.Write(lenBuf[:])
-	h.Write(dField)
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(dFieldLen))
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, "sha256:"...)
+	buf = append(buf, fileDigest[:]...)
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(path)+1))
-	h.Write(lenBuf[:])
-	h.Write([]byte(path))
-	h.Write([]byte{0})
+	buf = append(buf, lenBuf[:]...)
+	buf = append(buf, path...)
+	buf = append(buf, 0)
 	if sigHex != "" {
 		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(sigHex)))
-		h.Write(lenBuf[:])
-		h.Write([]byte(sigHex))
+		buf = append(buf, lenBuf[:]...)
+		buf = append(buf, sigHex...)
 	}
-	var out tpm.Digest
-	copy(out[:], h.Sum(nil))
-	return out
+	return sha256.Sum256(buf)
 }
 
 // TemplateHash computes the ima-ng template digest for a (file digest,
@@ -466,16 +474,23 @@ func (m *IMA) Reboot() {
 	m.bootAggregate()
 }
 
+// ExtendAggregate folds one template hash into a running PCR value:
+// SHA-256(pcr || th), the TPM extend operation. It is allocation-free —
+// the hot-path building block for log replay, which the seed implementation
+// paid one heap allocation per entry for (hash.Hash.Sum(nil)).
+func ExtendAggregate(pcr, th tpm.Digest) tpm.Digest {
+	var buf [2 * sha256.Size]byte
+	copy(buf[:sha256.Size], pcr[:])
+	copy(buf[sha256.Size:], th[:])
+	return sha256.Sum256(buf[:])
+}
+
 // ReplayAggregate folds the template hashes of entries into a fresh PCR
 // value, reproducing what PCR 10 should contain if the log is intact.
 func ReplayAggregate(entries []Entry) tpm.Digest {
 	var pcr tpm.Digest
-	h := sha256.New()
 	for _, e := range entries {
-		h.Reset()
-		h.Write(pcr[:])
-		h.Write(e.TemplateHash[:])
-		copy(pcr[:], h.Sum(nil))
+		pcr = ExtendAggregate(pcr, e.TemplateHash)
 	}
 	return pcr
 }

@@ -1,7 +1,6 @@
 package ima
 
 import (
-	"bufio"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -56,9 +55,21 @@ func FormatLog(entries []Entry) string {
 
 // ParseEntry parses a single log line.
 func ParseEntry(line string) (Entry, error) {
-	fields := strings.SplitN(line, " ", 5)
-	if len(fields) != 5 {
-		return Entry{}, fmt.Errorf("%w: %d fields in %q", ErrMalformedEntry, len(fields), line)
+	// Split the four fixed fields by hand: a [5]string on the stack where
+	// strings.SplitN would heap-allocate its result for every entry.
+	var fields [5]string
+	rest := line
+	n := 0
+	for ; n < 4; n++ {
+		head, tail, ok := strings.Cut(rest, " ")
+		if !ok {
+			break
+		}
+		fields[n], rest = head, tail
+	}
+	fields[n] = rest
+	if n != 4 {
+		return Entry{}, fmt.Errorf("%w: %d fields in %q", ErrMalformedEntry, n+1, line)
 	}
 	pcr, err := strconv.Atoi(fields[0])
 	if err != nil {
@@ -106,26 +117,48 @@ func isHex(s string) bool {
 
 func parseDigest(s string) (tpm.Digest, error) {
 	var d tpm.Digest
-	raw, err := hex.DecodeString(s)
-	if err != nil {
-		return d, err
+	if len(s) != 2*len(d) {
+		return d, fmt.Errorf("digest is %d bytes, want %d", len(s)/2, len(d))
 	}
-	if len(raw) != len(d) {
-		return d, fmt.Errorf("digest is %d bytes, want %d", len(raw), len(d))
+	// Decode in place: hex.DecodeString would heap-allocate the raw bytes.
+	for i := range d {
+		hi, lo := hexNibble(s[2*i]), hexNibble(s[2*i+1])
+		if hi < 0 || lo < 0 {
+			return tpm.Digest{}, hex.InvalidByteError(s[2*i])
+		}
+		d[i] = byte(hi<<4 | lo)
 	}
-	copy(d[:], raw)
 	return d, nil
 }
 
-// ParseLog parses a full ASCII measurement list.
+// hexNibble decodes one hex character, returning -1 for non-hex input.
+func hexNibble(c byte) int {
+	switch {
+	case '0' <= c && c <= '9':
+		return int(c - '0')
+	case 'a' <= c && c <= 'f':
+		return int(c-'a') + 10
+	case 'A' <= c && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// ParseLog parses a full ASCII measurement list. The empty log — the
+// steady-state incremental fetch, where the verifier is already caught up —
+// parses without allocating.
 func ParseLog(s string) ([]Entry, error) {
 	var out []Entry
-	sc := bufio.NewScanner(strings.NewReader(s))
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	lineNo := 0
-	for sc.Scan() {
+	for len(s) > 0 {
+		line := s
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			line, s = s[:i], s[i+1:]
+		} else {
+			s = ""
+		}
 		lineNo++
-		line := strings.TrimRight(sc.Text(), "\r")
+		line = strings.TrimRight(line, "\r")
 		if line == "" {
 			continue
 		}
@@ -134,9 +167,6 @@ func ParseLog(s string) ([]Entry, error) {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ima: scanning log: %w", err)
 	}
 	return out, nil
 }

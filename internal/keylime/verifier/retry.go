@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/simclock"
 )
 
 // RetryPolicy tunes retries of quote fetches and registrar lookups.
@@ -142,9 +144,16 @@ func (p RetryPolicy) nextBackoff(cur time.Duration) time.Duration {
 // Clock. Unlike context.WithTimeout it works under a simulated clock, which
 // is what lets the chaos suite time out hung requests in virtual time. The
 // returned stop function must be called to release the watchdog.
+//
+// On the real clock the runtime timer in context.WithTimeout is equivalent
+// and cheaper — no watchdog goroutine, channel or Clock timer per request —
+// so production deployments take that path.
 func (v *Verifier) virtualTimeout(ctx context.Context, d time.Duration) (context.Context, func()) {
 	if d <= 0 {
 		return ctx, func() {}
+	}
+	if _, real := v.clock.(simclock.Real); real {
+		return context.WithTimeout(ctx, d)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	stop := make(chan struct{})

@@ -19,7 +19,6 @@ package verifier
 import (
 	"context"
 	"crypto/rand"
-	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -27,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -323,6 +323,19 @@ func WithPollConcurrency(n int) Option {
 	})
 }
 
+// WithVerifyWorkers bounds the worker pool used to validate large IMA
+// entry batches (default GOMAXPROCS). Template-hash validation is
+// per-entry independent and fans out for batches past a threshold (reboot
+// refetch, first poll); the PCR fold itself is an inherently sequential
+// extend chain and always runs in order. n <= 0 keeps the default.
+func WithVerifyWorkers(n int) Option {
+	return optionFunc(func(v *Verifier) {
+		if n > 0 {
+			v.verifyWorkers = n
+		}
+	})
+}
+
 // WithRoundDeadline bounds each agent's attestation round on the
 // verifier's Clock (default: unbounded — the per-request timeouts and
 // attempt cap already bound a round). When the deadline fires, the round
@@ -348,6 +361,7 @@ type Verifier struct {
 	faultBudget       int
 	breakerCfg        BreakerConfig
 	pollConcurrency   int
+	verifyWorkers     int
 	roundDeadline     time.Duration
 	jitter            *jitterRand
 
@@ -368,6 +382,7 @@ func New(registrarURL string, opts ...Option) *Verifier {
 		faultBudget:     3,
 		breakerCfg:      BreakerConfig{}.withDefaults(),
 		pollConcurrency: 8,
+		verifyWorkers:   runtime.GOMAXPROCS(0),
 		jitter:          newJitterRand(1),
 		agents:          make(map[string]*monitored),
 	}
@@ -767,22 +782,28 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		}
 	}
 
-	// Structural validation: template hashes must match entry fields, and
-	// replaying prefix+new entries must reproduce the quoted PCR 10.
-	for _, e := range entries {
-		if !e.Valid() {
-			f := Failure{Time: now, Type: FailureLogTampered, Path: e.Path,
-				Detail: "template hash does not match entry fields"}
-			return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
-		}
-	}
+	// Structural validation and replay, single pass: each entry's template
+	// hash is recomputed once (Valid) and the running aggregate folded
+	// incrementally, with every intermediate value kept so the verified
+	// frontier below needs no second replay. A structurally invalid entry
+	// anywhere in the batch fails the round before the aggregate is
+	// compared, matching the original multi-pass ordering.
 	v.mu.Lock()
 	prefix := a.prefixAggregate
 	if rebooted {
 		prefix = tpm.Digest{}
 	}
 	v.mu.Unlock()
-	aggregate := foldEntries(prefix, entries)
+	aggs, invalid := verifyAndFold(prefix, entries, v.verifyWorkers)
+	if invalid >= 0 {
+		f := Failure{Time: now, Type: FailureLogTampered, Path: entries[invalid].Path,
+			Detail: "template hash does not match entry fields"}
+		return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
+	}
+	aggregate := prefix
+	if len(entries) > 0 {
+		aggregate = aggs[len(entries)-1]
+	}
 	if aggregate != pcrs[tpm.PCRIMA] {
 		f := Failure{Time: now, Type: FailureAggregateMismatch,
 			Detail: "IMA log replay does not match quoted PCR 10"}
@@ -826,7 +847,12 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 
 	v.mu.Lock()
 	a.nextOffset = offset + verified
-	a.prefixAggregate = foldEntries(prefix, entries[:verified])
+	// The verified-prefix aggregate is a lookup into the fold computed
+	// above, not a second replay.
+	a.prefixAggregate = prefix
+	if verified > 0 {
+		a.prefixAggregate = aggs[verified-1]
+	}
 	if firstFailure == nil {
 		a.state = StateAttesting
 		a.attestations++
@@ -840,24 +866,6 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	}
 	v.mu.Unlock()
 	return res, nil
-}
-
-// foldEntries extends the running aggregate with each entry's template hash.
-func foldEntries(prefix tpm.Digest, entries []ima.Entry) tpm.Digest {
-	pcr := prefix
-	for _, e := range entries {
-		pcr = extendDigest(pcr, e.TemplateHash)
-	}
-	return pcr
-}
-
-func extendDigest(pcr, d tpm.Digest) tpm.Digest {
-	h := sha256.New()
-	h.Write(pcr[:])
-	h.Write(d[:])
-	var out tpm.Digest
-	copy(out[:], h.Sum(nil))
-	return out
 }
 
 type fetched struct {

@@ -1,0 +1,121 @@
+package verifier
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ima"
+	"repro/internal/tpm"
+)
+
+// parallelVerifyThreshold is the batch size above which template-hash
+// validation fans out across the verify worker pool. Small steady-state
+// polls (a handful of new entries) stay on the serial path: goroutine
+// hand-off would cost more than the hashing it saves.
+const parallelVerifyThreshold = 256
+
+// verifyChunk is the unit of work handed to a validation worker.
+const verifyChunk = 64
+
+// verifyAndFold validates every entry's template hash and folds the PCR 10
+// replay chain in a single pass over the batch. Each template hash is
+// recomputed exactly once (by Valid); the extend chain reuses the stored
+// TemplateHash, so no digest is hashed twice.
+//
+// It returns aggs, where aggs[i] is the aggregate after folding
+// entries[:i+1] onto prefix — aggs[len-1] is the full replay value and
+// aggs[verified-1] the verified-prefix aggregate, letting the caller
+// record any frontier without rehashing — and the index of the first
+// structurally invalid entry (-1 when all entries are valid; aggs is nil
+// in the invalid case).
+//
+// For batches of at least parallelVerifyThreshold entries and workers > 1,
+// validation is chunked across a bounded worker pool; the fold itself is
+// an inherently sequential extend chain and always runs in entry order.
+func verifyAndFold(prefix tpm.Digest, entries []ima.Entry, workers int) (aggs []tpm.Digest, invalid int) {
+	if len(entries) == 0 {
+		return nil, -1
+	}
+	if workers > 1 && len(entries) >= parallelVerifyThreshold {
+		if bad := validateParallel(entries, workers); bad >= 0 {
+			return nil, bad
+		}
+		aggs = make([]tpm.Digest, len(entries))
+		pcr := prefix
+		for i := range entries {
+			pcr = ima.ExtendAggregate(pcr, entries[i].TemplateHash)
+			aggs[i] = pcr
+		}
+		return aggs, -1
+	}
+	aggs = make([]tpm.Digest, len(entries))
+	pcr := prefix
+	for i := range entries {
+		if !entries[i].Valid() {
+			return nil, i
+		}
+		pcr = ima.ExtendAggregate(pcr, entries[i].TemplateHash)
+		aggs[i] = pcr
+	}
+	return aggs, -1
+}
+
+// validateParallel checks Entry.Valid over chunks of the batch from a
+// bounded worker pool and returns the index of the first (lowest-index)
+// invalid entry, or -1. A found invalid entry stops the remaining queue,
+// but already-running chunks finish, so the minimum index is tracked
+// explicitly rather than assumed from arrival order.
+func validateParallel(entries []ima.Entry, workers int) int {
+	chunks := (len(entries) + verifyChunk - 1) / verifyChunk
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var (
+		wg      sync.WaitGroup
+		nextIdx atomic.Int64
+		bad     atomic.Int64
+	)
+	bad.Store(int64(len(entries)))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(nextIdx.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo := c * verifyChunk
+				if int64(lo) >= bad.Load() {
+					// Everything past a known-invalid entry is moot.
+					return
+				}
+				hi := lo + verifyChunk
+				if hi > len(entries) {
+					hi = len(entries)
+				}
+				for i := lo; i < hi; i++ {
+					if !entries[i].Valid() {
+						// Keep the minimum invalid index.
+						for {
+							cur := bad.Load()
+							if int64(i) >= cur || bad.CompareAndSwap(cur, int64(i)) {
+								break
+							}
+						}
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := bad.Load(); b < int64(len(entries)) {
+		return int(b)
+	}
+	return -1
+}

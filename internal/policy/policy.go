@@ -50,7 +50,11 @@ type RuntimePolicy struct {
 	meta     Meta
 	digests  map[string][]Digest
 	excludes []string
-	compiled []*regexp.Regexp
+	// compiled is the whole exclude list folded into one alternated,
+	// anchored regex (nil when there are no patterns): one NFA walk per
+	// lookup instead of one per pattern, which is what keeps IsExcluded
+	// off the verifier's per-entry critical path.
+	compiled *regexp.Regexp
 }
 
 // New returns an empty policy.
@@ -102,18 +106,31 @@ func (p *RuntimePolicy) Paths() []string {
 }
 
 // SetExcludes replaces the exclude pattern list. Patterns are anchored
-// regular expressions (Keylime semantics).
+// regular expressions (Keylime semantics). The patterns are compiled into a
+// single alternated regex so evaluation cost does not grow with one NFA
+// start per pattern.
 func (p *RuntimePolicy) SetExcludes(patterns []string) error {
-	compiled := make([]*regexp.Regexp, 0, len(patterns))
+	// Validate each pattern on its own first so the error names the
+	// offending pattern, not the combined alternation.
 	for _, pat := range patterns {
-		re, err := regexp.Compile("^(?:" + pat + ")")
-		if err != nil {
+		if _, err := regexp.Compile("^(?:" + pat + ")"); err != nil {
 			return fmt.Errorf("%w: %q: %v", ErrBadExclude, pat, err)
 		}
-		compiled = append(compiled, re)
 	}
 	p.excludes = append([]string(nil), patterns...)
-	p.compiled = compiled
+	p.compiled = nil
+	if len(patterns) == 0 {
+		return nil
+	}
+	alts := make([]string, len(patterns))
+	for i, pat := range patterns {
+		alts[i] = "(?:" + pat + ")"
+	}
+	combined, err := regexp.Compile("^(?:" + strings.Join(alts, "|") + ")")
+	if err != nil {
+		return fmt.Errorf("%w: combining %d patterns: %v", ErrBadExclude, len(patterns), err)
+	}
+	p.compiled = combined
 	return nil
 }
 
@@ -129,12 +146,7 @@ func (p *RuntimePolicy) Excludes() []string {
 
 // IsExcluded reports whether the path matches any exclude pattern.
 func (p *RuntimePolicy) IsExcluded(path string) bool {
-	for _, re := range p.compiled {
-		if re.MatchString(path) {
-			return true
-		}
-	}
-	return false
+	return p.compiled != nil && p.compiled.MatchString(path)
 }
 
 // Check evaluates one measured (path, digest) pair against the policy:
@@ -142,18 +154,25 @@ func (p *RuntimePolicy) IsExcluded(path string) bool {
 // the allowed digests for the path. The two failure modes are the paper's
 // false-positive error types: ErrNotInPolicy ("missing file in the policy")
 // and ErrHashMismatch.
+//
+// The common case — a measured digest that matches its policy entry — is a
+// plain map lookup: no regex walk, no allocation. An excluded path passes
+// whether or not a policy entry exists, so checking the allowlist first
+// cannot change the verdict; it only reorders which test short-circuits.
 func (p *RuntimePolicy) Check(path string, d Digest) error {
-	if p.IsExcluded(path) {
-		return nil
-	}
 	allowed, ok := p.digests[path]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrNotInPolicy, path)
-	}
 	for _, a := range allowed {
 		if a == d {
 			return nil
 		}
+	}
+	// Slow path: mismatch or unknown path; the exclude regex decides
+	// whether this is a pass or one of the paper's FP error types.
+	if p.IsExcluded(path) {
+		return nil
+	}
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotInPolicy, path)
 	}
 	return fmt.Errorf("%w: %s", ErrHashMismatch, path)
 }
@@ -178,17 +197,17 @@ func (p *RuntimePolicy) SizeBytes() int64 {
 	return n
 }
 
-// Clone deep-copies the policy.
+// Clone deep-copies the policy. The compiled exclude regex is shared, not
+// recompiled: *regexp.Regexp is safe for concurrent use and immutable once
+// built, and generator update runs Clone large policies on every cycle.
 func (p *RuntimePolicy) Clone() *RuntimePolicy {
 	out := New()
 	out.meta = p.meta
 	for path, ds := range p.digests {
 		out.digests[path] = append([]Digest(nil), ds...)
 	}
-	if err := out.SetExcludes(p.excludes); err != nil {
-		// The patterns compiled when first set; recompiling cannot fail.
-		panic(fmt.Sprintf("policy: recompiling excludes: %v", err))
-	}
+	out.excludes = append([]string(nil), p.excludes...)
+	out.compiled = p.compiled
 	return out
 }
 

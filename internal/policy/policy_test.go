@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -82,6 +83,85 @@ func TestAddExcludeAppends(t *testing.T) {
 	}
 	if !p.IsExcluded("/proc/self/exe") {
 		t.Fatal("second exclude not active")
+	}
+}
+
+func TestCombinedExcludeRegexEquivalence(t *testing.T) {
+	// The exclude patterns compile into one alternated regex; each pattern
+	// must keep its own anchoring and grouping — including patterns that
+	// contain top-level alternation themselves.
+	patterns := []string{"/tmp/.*", "/var/log/.*|/run/.*", "(?i)/snap/.*"}
+	p := New()
+	if err := p.SetExcludes(patterns); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"/tmp/x", true},
+		{"/var/log/syslog", true},
+		{"/run/lock", true},
+		{"/SNAP/app/1/bin", true}, // (?i) scoped to its own group
+		{"/usr/tmp/x", false},     // anchoring survives combination
+		{"/var/run/lock", false},  // second alternative stays anchored too
+		{"/usr/bin/ls", false},
+	}
+	for _, c := range cases {
+		if got := p.IsExcluded(c.path); got != c.want {
+			t.Errorf("IsExcluded(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestSetExcludesReportsOffendingPattern(t *testing.T) {
+	// Validation happens per pattern so the error names the bad one, not
+	// the combined alternation.
+	p := New()
+	err := p.SetExcludes([]string{"/tmp/.*", "/bad/["})
+	if !errors.Is(err, ErrBadExclude) {
+		t.Fatalf("err = %v, want ErrBadExclude", err)
+	}
+	if !strings.Contains(err.Error(), "/bad/[") {
+		t.Fatalf("error %q does not name the offending pattern", err)
+	}
+}
+
+func TestCheckHitPathAllocationFree(t *testing.T) {
+	p := New()
+	dig := d("bash")
+	p.Add("/bin/bash", dig)
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := p.Check("/bin/bash", dig); err != nil {
+			t.Fatalf("Check: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Check hit path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestCloneSharesExcludeBehavior(t *testing.T) {
+	p := New()
+	if err := p.SetExcludes([]string{"/tmp/.*"}); err != nil {
+		t.Fatalf("SetExcludes: %v", err)
+	}
+	c := p.Clone()
+	if !c.IsExcluded("/tmp/x") {
+		t.Fatal("clone lost exclude")
+	}
+	// Extending the clone's excludes must not leak into the original.
+	if err := c.AddExclude("/run/.*"); err != nil {
+		t.Fatalf("AddExclude: %v", err)
+	}
+	if p.IsExcluded("/run/lock") {
+		t.Fatal("AddExclude on clone mutated the original")
+	}
+	if !c.IsExcluded("/run/lock") {
+		t.Fatal("clone's new exclude inactive")
 	}
 }
 
