@@ -54,7 +54,8 @@ func run() error {
 			"consecutive faulted rounds that quarantine an agent (negative disables)")
 		breakerInterval = flag.Duration("breaker-interval", time.Minute, "initial quarantine reprobe interval")
 		breakerMax      = flag.Duration("breaker-max-interval", 15*time.Minute, "quarantine reprobe interval cap")
-		pollConcurrency = flag.Int("poll-concurrency", 8, "concurrent agent rounds per polling sweep")
+		pollConcurrency = flag.Int("poll-concurrency", 0,
+			"concurrent agent rounds per polling sweep (0 = auto: 4x GOMAXPROCS, minimum 8)")
 		verifyWorkers   = flag.Int("verify-workers", 0,
 			"worker pool for validating large IMA entry batches (0 = GOMAXPROCS)")
 	)

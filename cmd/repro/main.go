@@ -45,6 +45,8 @@ func run() error {
 		csvDir    = flag.String("csv", "", "also write figure/table CSVs into this directory")
 		workers   = flag.Int("gen-workers", 0,
 			"policy-generator measurement worker pool size (0 = GOMAXPROCS); output is identical at any size")
+		pollConcurrency = flag.Int("poll-concurrency", 0,
+			"verifier PollAll worker pool size (0 = auto: 4x GOMAXPROCS, minimum 8)")
 	)
 	flag.Parse()
 
@@ -58,7 +60,7 @@ func run() error {
 		return fmt.Errorf("unknown scale %q (small | paper)", *scaleName)
 	}
 	scale.Seed = *seed
-	stack := experiments.StackConfig{Scale: scale, GenWorkers: *workers}
+	stack := experiments.StackConfig{Scale: scale, GenWorkers: *workers, PollConcurrency: *pollConcurrency}
 
 	out := os.Stdout
 	writeCSV := func(name string, fn func(w *os.File) error) error {

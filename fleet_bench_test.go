@@ -1,0 +1,104 @@
+package repro_test
+
+// Fleet-scale sweep benchmark: PollAll over 100/1k/10k enrolled agents at
+// different worker-pool widths. Real TCP to 10k loopback servers would
+// measure the kernel, and 10k RSA endorsement-key generations would take
+// minutes of setup, so the harness enrolls many agent IDs against ONE
+// machine/agent handler reached through an in-process loopback
+// http.RoundTripper. The verifier still does its full per-agent round every
+// sweep — nonce generation, HTTP round trip through the client stack, ECDSA
+// quote verification, IMA replay and policy evaluation — which is exactly
+// the control-plane work the sharded registry, cached AK parse and
+// per-worker sweep counters are meant to scale.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// loopbackTransport serves every request in-process against one handler,
+// bypassing the network entirely.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// BenchmarkPollAllFleet measures one PollAll sweep per iteration across a
+// fleet of enrolled agents. The warm-up sweep fetches and verifies each
+// agent's full measurement log, so measured iterations see the steady
+// state: quote fetch + signature check + empty incremental log delta per
+// agent.
+func BenchmarkPollAllFleet(b *testing.B) {
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		b.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		b.Fatalf("New machine: %v", err)
+	}
+	if err := m.WriteFile("/usr/bin/tool", []byte("\x7fELF tool"), vfs.ModeExecutable); err != nil {
+		b.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		b.Fatalf("Exec: %v", err)
+	}
+	akPub, err := m.TPM().CreateAK()
+	if err != nil {
+		b.Fatalf("CreateAK: %v", err)
+	}
+	pol, err := core.SnapshotPolicy(m.FS(), nil)
+	if err != nil {
+		b.Fatalf("SnapshotPolicy: %v", err)
+	}
+	ag := agent.New(m)
+	client := &http.Client{Transport: loopbackTransport{h: ag.Handler()}}
+
+	for _, fleet := range []int{100, 1000, 10000} {
+		for _, workers := range []int{8, 64} {
+			b.Run(fmt.Sprintf("agents=%d/workers=%d", fleet, workers), func(b *testing.B) {
+				v := verifier.New("",
+					verifier.WithHTTPClient(client),
+					verifier.WithPollConcurrency(workers),
+				)
+				for i := 0; i < fleet; i++ {
+					id := fmt.Sprintf("fleet-%05d-4a97-9ef7-75bd81c0f1ee", i)
+					if err := v.AddAgentWithAK(id, "http://agent.fleet.internal", akPub, pol); err != nil {
+						b.Fatalf("AddAgentWithAK: %v", err)
+					}
+				}
+				ctx := context.Background()
+				if st := v.PollAll(ctx); st.Attested != fleet || st.Failed != 0 {
+					b.Fatalf("warm-up sweep = %+v", st)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st := v.PollAll(ctx)
+					if st.Attested != fleet || st.Failed != 0 {
+						b.Fatalf("PollAll = %+v", st)
+					}
+				}
+				b.ReportMetric(float64(fleet), "agents/sweep")
+			})
+		}
+	}
+}

@@ -81,6 +81,9 @@ type StackConfig struct {
 	// GenWorkers bounds the policy generator's measurement worker pool
 	// (default GOMAXPROCS; the merge is deterministic at any size).
 	GenWorkers int
+	// PollConcurrency bounds the verifier's PollAll worker pool
+	// (default 0 = auto: 4x GOMAXPROCS, minimum 8).
+	PollConcurrency int
 }
 
 // withDefaults fills unset fields.
@@ -245,6 +248,9 @@ func NewDeployment(cfg StackConfig) (*Deployment, error) {
 	d.LocalExtras = snap
 
 	vOpts := []verifier.Option{verifier.WithClock(cfg.Clock)}
+	if cfg.PollConcurrency > 0 {
+		vOpts = append(vOpts, verifier.WithPollConcurrency(cfg.PollConcurrency))
+	}
 	if cfg.Mitigated {
 		vOpts = append(vOpts, verifier.WithContinueOnFailure(true))
 	}

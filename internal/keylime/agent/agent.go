@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"repro/internal/ima"
+	"repro/internal/keylime/httppool"
 	"repro/internal/keylime/api"
 	"repro/internal/machine"
 	"repro/internal/measuredboot"
@@ -55,7 +56,7 @@ func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
 
 // New creates an agent for the given machine.
 func New(m *machine.Machine, opts ...Option) *Agent {
-	a := &Agent{m: m, client: http.DefaultClient}
+	a := &Agent{m: m, client: httppool.Shared()}
 	for _, opt := range opts {
 		opt.apply(a)
 	}

@@ -1,0 +1,96 @@
+// Package httppool provides the pooled HTTP transport defaults shared by
+// every Keylime component that talks over the network (verifier, tenant,
+// agent, webhook notifier).
+//
+// net/http.DefaultClient keeps at most two idle connections per host and
+// has no dial or TLS-handshake timeouts. For a verifier sweeping a large
+// fleet that means connection churn on every poll round — each sweep pays
+// a fresh TCP (and possibly TLS) handshake per agent — and a single
+// black-holed dial can stall a worker for the kernel's default TCP timeout
+// (minutes). The transports built here keep connections alive between
+// sweeps, size the idle pool to the caller's concurrency, and bound dials
+// and handshakes so a dead host costs seconds, not minutes.
+package httppool
+
+import (
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Transport timeouts. Dial and TLS-handshake bounds exist so a worker
+// pinned on a dead host is released quickly; they are intentionally looser
+// than the verifier's per-request timeout, which governs total round time.
+const (
+	// DialTimeout bounds TCP connection establishment.
+	DialTimeout = 10 * time.Second
+	// KeepAlivePeriod is the TCP keep-alive probe interval.
+	KeepAlivePeriod = 30 * time.Second
+	// TLSHandshakeTimeout bounds the TLS handshake.
+	TLSHandshakeTimeout = 10 * time.Second
+	// IdleConnTimeout is how long an idle connection is kept for reuse.
+	// Poll intervals up to this value reuse the previous sweep's
+	// connections instead of re-dialing the whole fleet.
+	IdleConnTimeout = 90 * time.Second
+)
+
+// NewTransport returns a pooled transport whose per-host idle-connection
+// pool is sized to maxPerHost concurrent requests. Idle connections are
+// unbounded across hosts: a verifier sweeping N agents legitimately holds
+// one warm connection per agent between sweeps, and IdleConnTimeout
+// reclaims them when polling stops.
+func NewTransport(maxPerHost int) *http.Transport {
+	if maxPerHost <= 0 {
+		maxPerHost = DefaultPerHost()
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   DialTimeout,
+			KeepAlive: KeepAlivePeriod,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          0, // unlimited; one warm conn per fleet host
+		MaxIdleConnsPerHost:   maxPerHost,
+		IdleConnTimeout:       IdleConnTimeout,
+		TLSHandshakeTimeout:   TLSHandshakeTimeout,
+		ExpectContinueTimeout: time.Second,
+	}
+}
+
+// NewClient returns an *http.Client over NewTransport(maxPerHost). The
+// client itself carries no overall timeout — callers bound requests per
+// attempt (the verifier's retry policy) or per call site.
+func NewClient(maxPerHost int) *http.Client {
+	return &http.Client{Transport: NewTransport(maxPerHost)}
+}
+
+// DefaultPerHost is the per-host idle-pool size used when the caller has
+// no specific concurrency to match: enough for GOMAXPROCS-scaled worker
+// pools hitting one host (loopback deployments, tests) without hoarding
+// sockets.
+func DefaultPerHost() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+var (
+	sharedOnce   sync.Once
+	sharedClient *http.Client
+)
+
+// Shared returns the process-wide pooled client used as the default by
+// components without their own concurrency knob (tenant, agent, webhook).
+// Sharing one transport lets co-located components reuse each other's warm
+// connections.
+func Shared() *http.Client {
+	sharedOnce.Do(func() {
+		sharedClient = NewClient(DefaultPerHost())
+	})
+	return sharedClient
+}

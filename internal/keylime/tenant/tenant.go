@@ -13,6 +13,7 @@ import (
 	"net/http"
 	"net/url"
 
+	"repro/internal/keylime/httppool"
 	"repro/internal/policy"
 )
 
@@ -69,7 +70,7 @@ func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
 
 // New creates a tenant talking to the given verifier management URL.
 func New(verifierURL string, opts ...Option) *Tenant {
-	t := &Tenant{verifierURL: verifierURL, client: http.DefaultClient}
+	t := &Tenant{verifierURL: verifierURL, client: httppool.Shared()}
 	for _, opt := range opts {
 		opt.apply(t)
 	}

@@ -69,7 +69,7 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 }
 
 // breaker is the per-agent circuit state. All methods are called with the
-// verifier mutex held.
+// owning agent's mutex (monitored.mu) held.
 type breaker struct {
 	state     BreakerState
 	openUntil time.Time

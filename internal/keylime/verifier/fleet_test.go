@@ -1,0 +1,231 @@
+package verifier_test
+
+// Fleet-scale concurrency tests: enrollment churn, policy swaps, status
+// reads and state exports racing live PollAll sweeps (run under -race in
+// CI), plus deterministic coverage of the removed-mid-round path.
+
+import (
+	"context"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+)
+
+// fleetStack is a single agent stack shared by many enrolled agent IDs:
+// every ID points at the same loopback agent server, so churn tests get a
+// realistic full round (quote, log, policy) without one TPM per ID.
+type fleetStack struct {
+	m     *machine.Machine
+	srv   *httptest.Server
+	akPub []byte
+}
+
+func newFleetStack(t *testing.T) *fleetStack {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		t.Fatalf("New machine: %v", err)
+	}
+	writeExec(t, m, "/usr/bin/tool", "bin-1")
+	exec(t, m, "/usr/bin/tool")
+	akPub, err := m.TPM().CreateAK()
+	if err != nil {
+		t.Fatalf("CreateAK: %v", err)
+	}
+	srv := httptest.NewServer(agent.New(m).Handler())
+	t.Cleanup(srv.Close)
+	return &fleetStack{m: m, srv: srv, akPub: akPub}
+}
+
+// TestPollAllConcurrentChurn races enrollment, removal, policy updates,
+// status reads and state exports against live PollAll sweeps. The stable
+// fleet must attest on every sweep; churned agents may surface as Removed
+// but never as Errors.
+func TestPollAllConcurrentChurn(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	v := verifier.New("",
+		verifier.WithHTTPClient(fs.srv.Client()),
+		verifier.WithPollConcurrency(8),
+	)
+	const stable = 8
+	for i := 0; i < stable; i++ {
+		id := fmt.Sprintf("stable-%02d-4a97-9ef7-75bd81c00000", i)
+		if err := v.AddAgentWithAK(id, fs.srv.URL, fs.akPub, pol); err != nil {
+			t.Fatalf("AddAgentWithAK: %v", err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("churn-%d-%04d-9ef7-75bd81c00000", g, i)
+				if err := v.AddAgentWithAK(id, fs.srv.URL, fs.akPub, pol); err != nil {
+					t.Errorf("AddAgentWithAK %s: %v", id, err)
+					return
+				}
+				// Concurrent management traffic; the agent may already be
+				// gone from a racing sweep's perspective, so only genuinely
+				// unexpected errors count.
+				_ = v.UpdatePolicy(id, pol)
+				_, _ = v.Status(id)
+				if err := v.RemoveAgent(id); err != nil {
+					t.Errorf("RemoveAgent %s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := v.ExportState(); err != nil {
+				t.Errorf("ExportState: %v", err)
+				return
+			}
+		}
+	}()
+
+	ctx := context.Background()
+	for sweep := 0; sweep < 5; sweep++ {
+		st := v.PollAll(ctx)
+		if st.Errors != 0 || st.Failed != 0 || st.Degraded != 0 {
+			t.Fatalf("sweep %d: PollAll = %+v", sweep, st)
+		}
+		if st.Attested < stable {
+			t.Fatalf("sweep %d: attested %d agents, want at least the %d stable ones", sweep, st.Attested, stable)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Churn settled: only the stable fleet remains.
+	st := v.PollAll(ctx)
+	if st.Attested != stable || st.Removed != 0 || st.Errors != 0 {
+		t.Fatalf("final PollAll = %+v, want %d attested", st, stable)
+	}
+	snap, err := v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if len(snap.Agents) != stable {
+		t.Fatalf("ExportState holds %d agents, want %d", len(snap.Agents), stable)
+	}
+}
+
+// blockingHandler wraps an agent handler and parks the first request until
+// released, so a test can unenroll the agent while its evidence fetch is
+// deterministically in flight.
+type blockingHandler struct {
+	inner   http.Handler
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newBlockingHandler(inner http.Handler) *blockingHandler {
+	return &blockingHandler{
+		inner:   inner,
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (h *blockingHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	h.once.Do(func() {
+		close(h.entered)
+		<-h.release
+	})
+	h.inner.ServeHTTP(w, req)
+}
+
+// TestAttestOnceRemovedMidRound removes the agent while its quote fetch is
+// in flight: the round must return ErrRemoved, record no verdict and fire
+// no revocation — the agent is no longer monitored, so evidence obtained
+// for it may not produce a security signal.
+func TestAttestOnceRemovedMidRound(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	bh := newBlockingHandler(agent.New(fs.m).Handler())
+	srv := httptest.NewServer(bh)
+	defer srv.Close()
+	var revocations atomic.Int32
+	v := verifier.New("",
+		verifier.WithHTTPClient(srv.Client()),
+		verifier.WithRevocationHandler(func(string, verifier.Failure) { revocations.Add(1) }),
+	)
+	const id = "mid-round-d2f1-4a97-9ef7-75bd81c00000"
+	if err := v.AddAgentWithAK(id, srv.URL, fs.akPub, pol); err != nil {
+		t.Fatalf("AddAgentWithAK: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := v.AttestOnce(context.Background(), id)
+		errc <- err
+	}()
+	<-bh.entered
+	if err := v.RemoveAgent(id); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	close(bh.release)
+	if err := <-errc; !errors.Is(err, verifier.ErrRemoved) {
+		t.Fatalf("AttestOnce after mid-round removal = %v, want ErrRemoved", err)
+	}
+	if _, err := v.Status(id); !errors.Is(err, verifier.ErrUnknownAgent) {
+		t.Fatalf("Status after removal = %v, want ErrUnknownAgent", err)
+	}
+	if n := revocations.Load(); n != 0 {
+		t.Fatalf("revocation handler fired %d times for a removed agent", n)
+	}
+}
+
+// TestPollAllCountsRemovedMidSweep checks the sweep-level accounting: an
+// agent unenrolled while its round is in flight lands in PollStats.Removed,
+// not Errors.
+func TestPollAllCountsRemovedMidSweep(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	bh := newBlockingHandler(agent.New(fs.m).Handler())
+	srv := httptest.NewServer(bh)
+	defer srv.Close()
+	v := verifier.New("", verifier.WithHTTPClient(srv.Client()))
+	const id = "mid-sweep-d2f1-4a97-9ef7-75bd81c00000"
+	if err := v.AddAgentWithAK(id, srv.URL, fs.akPub, pol); err != nil {
+		t.Fatalf("AddAgentWithAK: %v", err)
+	}
+	statsc := make(chan verifier.PollStats, 1)
+	go func() { statsc <- v.PollAll(context.Background()) }()
+	<-bh.entered
+	if err := v.RemoveAgent(id); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	close(bh.release)
+	st := <-statsc
+	if st.Removed != 1 || st.Attested != 0 || st.Errors != 0 {
+		t.Fatalf("PollAll = %+v, want exactly one Removed", st)
+	}
+}

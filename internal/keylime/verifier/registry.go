@@ -1,0 +1,139 @@
+package verifier
+
+// Sharded agent registry. The verifier used to guard the whole monitored-
+// agent table (and every per-agent field) with one global sync.Mutex, so
+// at fleet scale every status read, policy update, and attestation round
+// serialized on a single lock. The registry stripes the table over
+// shardCount shards keyed by an FNV-1a hash of the agent ID; each shard
+// lock guards only its map, and all mutable per-agent state is guarded by
+// the agent's own mutex (monitored.mu).
+//
+// Lock ordering (see also DESIGN.md §7 "Fleet-scale control plane"):
+//
+//	monitored.pollMu > monitored.mu
+//
+// A shard lock is never held together with an agent lock: lookups copy the
+// *monitored pointer out under the shard lock and release it before any
+// per-agent work, so map operations on one shard never wait on a slow
+// agent and vice versa. No lock of any kind is held across network I/O or
+// quote verification.
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// shardCount is the number of lock stripes. Power of two so the shard
+// index is a mask; 64 stripes keep contention negligible at 10k agents
+// while costing a few KB when only one agent is monitored.
+const shardCount = 64
+
+// registryShard is one lock stripe of the agent table.
+type registryShard struct {
+	mu     sync.RWMutex
+	agents map[string]*monitored
+}
+
+// registry is the sharded monitored-agent table.
+type registry struct {
+	shards [shardCount]registryShard
+}
+
+// newRegistry returns an empty registry.
+func newRegistry() *registry {
+	r := &registry{}
+	for i := range r.shards {
+		r.shards[i].agents = make(map[string]*monitored)
+	}
+	return r
+}
+
+// shardIndex maps an agent ID to its shard.
+func shardIndex(agentID string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(agentID))
+	return int(h.Sum64() & (shardCount - 1))
+}
+
+func (r *registry) shardFor(agentID string) *registryShard {
+	return &r.shards[shardIndex(agentID)]
+}
+
+// get returns the monitored agent, if present.
+func (r *registry) get(agentID string) (*monitored, bool) {
+	s := r.shardFor(agentID)
+	s.mu.RLock()
+	a, ok := s.agents[agentID]
+	s.mu.RUnlock()
+	return a, ok
+}
+
+// insert adds the agent and reports whether the ID was free.
+func (r *registry) insert(agentID string, a *monitored) bool {
+	s := r.shardFor(agentID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.agents[agentID]; exists {
+		return false
+	}
+	s.agents[agentID] = a
+	return true
+}
+
+// remove deletes and returns the agent, if present.
+func (r *registry) remove(agentID string) (*monitored, bool) {
+	s := r.shardFor(agentID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.agents[agentID]
+	if ok {
+		delete(s.agents, agentID)
+	}
+	return a, ok
+}
+
+// len counts monitored agents across all shards.
+func (r *registry) len() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.agents)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// ids snapshots the monitored agent IDs shard by shard. The snapshot is
+// consistent per shard, not across the fleet: agents added or removed
+// concurrently may or may not appear, which is exactly the contract a
+// PollAll sweep needs.
+func (r *registry) ids() []string {
+	out := make([]string, 0, r.len())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for id := range s.agents {
+			out = append(out, id)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+// snapshot collects the monitored-agent pointers shard by shard. Each
+// shard lock is held only long enough to copy its pointers, so a snapshot
+// never stalls enrollment or removal on other shards mid-sweep; callers
+// lock each agent individually afterwards.
+func (r *registry) snapshot() []*monitored {
+	out := make([]*monitored, 0, r.len())
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for _, a := range s.agents {
+			out = append(out, a)
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package verifier
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRegistryInsertGetRemove(t *testing.T) {
+	r := newRegistry()
+	if _, ok := r.get("a"); ok {
+		t.Fatal("get on empty registry succeeded")
+	}
+	a := &monitored{id: "a"}
+	if !r.insert("a", a) {
+		t.Fatal("insert failed on free ID")
+	}
+	if r.insert("a", &monitored{id: "a"}) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	got, ok := r.get("a")
+	if !ok || got != a {
+		t.Fatalf("get = %v, %v; want the inserted agent", got, ok)
+	}
+	if n := r.len(); n != 1 {
+		t.Fatalf("len = %d, want 1", n)
+	}
+	removed, ok := r.remove("a")
+	if !ok || removed != a {
+		t.Fatalf("remove = %v, %v; want the inserted agent", removed, ok)
+	}
+	if _, ok := r.remove("a"); ok {
+		t.Fatal("second remove succeeded")
+	}
+	if n := r.len(); n != 0 {
+		t.Fatalf("len after remove = %d, want 0", n)
+	}
+}
+
+func TestRegistryIDsAndSnapshot(t *testing.T) {
+	r := newRegistry()
+	want := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		id := fmt.Sprintf("agent-%03d", i)
+		want[id] = true
+		if !r.insert(id, &monitored{id: id}) {
+			t.Fatalf("insert %s failed", id)
+		}
+	}
+	ids := r.ids()
+	if len(ids) != len(want) {
+		t.Fatalf("ids returned %d entries, want %d", len(ids), len(want))
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("ids returned unknown entry %q", id)
+		}
+	}
+	snap := r.snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot returned %d entries, want %d", len(snap), len(want))
+	}
+	for _, a := range snap {
+		if !want[a.id] {
+			t.Fatalf("snapshot returned unknown agent %q", a.id)
+		}
+	}
+}
+
+// TestRegistryShardDistribution enrolls 10k UUID-shaped agent IDs and
+// checks the FNV-1a striping spreads them: no shard may hold more than
+// twice the mean. A skewed hash would quietly recreate the global-lock
+// contention the shards exist to remove.
+func TestRegistryShardDistribution(t *testing.T) {
+	const fleet = 10000
+	var counts [shardCount]int
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("%08x-d2f1-4a97-9ef7-75bd81c00000", i)
+		counts[shardIndex(id)]++
+	}
+	mean := fleet / shardCount
+	for shard, n := range counts {
+		if n > 2*mean {
+			t.Errorf("shard %d holds %d agents, more than 2x the mean %d", shard, n, mean)
+		}
+	}
+}

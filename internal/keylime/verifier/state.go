@@ -70,15 +70,38 @@ type Snapshot struct {
 	Agents []AgentState `json:"agents"`
 }
 
-// ExportState snapshots the monitored-agent table.
+// ExportState snapshots the monitored-agent table shard by shard. The
+// snapshot is consistent per agent (each agent is serialized under its own
+// lock) but not a fleet-wide point in time: rounds completing on other
+// agents while the export runs land in the snapshot or not depending on
+// ordering. That matches what a database-backed verifier provides — row
+// consistency, not a global transaction over the fleet.
 func (v *Verifier) ExportState() (Snapshot, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	var st Snapshot
-	for _, a := range v.agents {
+	for _, a := range v.agents.snapshot() {
+		a.mu.Lock()
+		as, err := exportAgentLocked(a)
+		a.mu.Unlock()
+		if err != nil {
+			return Snapshot{}, err
+		}
+		if as != nil {
+			st.Agents = append(st.Agents, *as)
+		}
+	}
+	return st, nil
+}
+
+// exportAgentLocked serializes one agent; a.mu must be held. Returns nil
+// for an agent removed after the shard snapshot was taken.
+func exportAgentLocked(a *monitored) (*AgentState, error) {
+	if a.removed {
+		return nil, nil
+	}
+	{
 		polJSON, err := json.Marshal(a.pol)
 		if err != nil {
-			return Snapshot{}, fmt.Errorf("verifier: serializing policy for %s: %w", a.id, err)
+			return nil, fmt.Errorf("verifier: serializing policy for %s: %w", a.id, err)
 		}
 		as := AgentState{
 			AgentID:         a.id,
@@ -116,18 +139,15 @@ func (v *Verifier) ExportState() (Snapshot, error) {
 				as.BootGolden[pcr] = hex.EncodeToString(d[:])
 			}
 		}
-		st.Agents = append(st.Agents, as)
+		return &as, nil
 	}
-	return st, nil
 }
 
 // RestoreState loads a snapshot into an empty verifier; monitoring resumes
 // at the persisted verification frontier.
 func (v *Verifier) RestoreState(st Snapshot) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if len(v.agents) != 0 {
-		return fmt.Errorf("verifier: RestoreState requires an empty verifier (%d agents present)", len(v.agents))
+	if n := v.agents.len(); n != 0 {
+		return fmt.Errorf("verifier: RestoreState requires an empty verifier (%d agents present)", n)
 	}
 	for _, as := range st.Agents {
 		akPub, err := base64.StdEncoding.DecodeString(as.AKPub)
@@ -146,10 +166,15 @@ func (v *Verifier) RestoreState(st Snapshot) error {
 			return fmt.Errorf("verifier: restoring %s: bad prefix aggregate", as.AgentID)
 		}
 		copy(prefix[:], raw)
+		// Re-derive the cached parsed AK; nil on parse failure keeps the
+		// pre-enrollment-cache behavior (per-round parse, quote-invalid
+		// verdicts) for snapshots carrying a malformed key.
+		akKey, _ := tpm.ParseAKPublic(akPub)
 		a := &monitored{
 			id:              as.AgentID,
 			url:             as.URL,
 			akPub:           akPub,
+			akKey:           akKey,
 			pol:             pol,
 			state:           restoreStateEnum(as.State),
 			halted:          as.Halted,
@@ -189,7 +214,9 @@ func (v *Verifier) RestoreState(st Snapshot) error {
 			}
 			a.bootGolden = g
 		}
-		v.agents[as.AgentID] = a
+		if !v.agents.insert(as.AgentID, a) {
+			return fmt.Errorf("verifier: restoring %s: duplicate agent in snapshot", as.AgentID)
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ package verifier
 
 import (
 	"context"
+	"crypto/ecdsa"
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/json"
@@ -35,6 +36,7 @@ import (
 	"repro/internal/ima"
 	"repro/internal/keylime/api"
 	"repro/internal/keylime/audit"
+	"repro/internal/keylime/httppool"
 	"repro/internal/measuredboot"
 	"repro/internal/policy"
 	"repro/internal/simclock"
@@ -190,6 +192,7 @@ type Status struct {
 // Sentinel errors.
 var (
 	ErrUnknownAgent   = errors.New("verifier: unknown agent")
+	ErrRemoved        = errors.New("verifier: agent removed mid-round")
 	ErrHalted         = errors.New("verifier: agent halted after failure (stop-on-failure)")
 	ErrQuarantined    = errors.New("verifier: agent quarantined by circuit breaker (reprobe pending)")
 	ErrDuplicate      = errors.New("verifier: agent already monitored")
@@ -199,17 +202,28 @@ var (
 	ErrNoPolicyTrust  = errors.New("verifier: no policy trust store configured")
 )
 
-// monitored is the verifier's per-agent state.
+// monitored is the verifier's per-agent state. Each agent carries its own
+// locks so cross-agent operations never contend: pollMu serializes rounds,
+// mu guards the mutable fields (lock ordering pollMu > mu; see
+// registry.go).
 type monitored struct {
 	// pollMu serializes attestation rounds for this agent: interleaved
 	// polls would race on the verification frontier (offset + prefix
 	// aggregate) and mis-replay the log.
 	pollMu sync.Mutex
 
+	// Immutable after enrollment.
 	id    string
 	url   string
 	akPub []byte
+	// akKey is the AK parsed once at enrollment; nil when akPub is not
+	// valid PKIX DER, in which case rounds fall back to the per-round
+	// parse and fail with the same FailureQuoteInvalid as before.
+	akKey *ecdsa.PublicKey
 
+	// mu guards everything below.
+	mu              sync.Mutex
+	removed         bool
 	pol             *policy.RuntimePolicy
 	bootGolden      measuredboot.Golden
 	state           State
@@ -223,6 +237,14 @@ type monitored struct {
 	consecutiveFaults int
 	faults            []Fault
 	breaker           breaker
+}
+
+// isRemoved reports whether the agent was unenrolled after this round
+// obtained its pointer.
+func (a *monitored) isRemoved() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.removed
 }
 
 // maxFaultHistory bounds the per-agent transient-fault history.
@@ -312,9 +334,11 @@ func WithCircuitBreaker(cfg BreakerConfig) Option {
 	return optionFunc(func(v *Verifier) { v.breakerCfg = cfg.withDefaults() })
 }
 
-// WithPollConcurrency bounds the PollAll worker pool (default 8). Per-agent
-// rounds stay serialized on the agent's poll mutex; concurrency only spans
-// distinct agents, so one slow or hung agent cannot stall the fleet.
+// WithPollConcurrency bounds the PollAll worker pool (default
+// 4·GOMAXPROCS, minimum 8 — rounds are network-bound, so the sweep pool
+// usefully runs wider than the core count). Per-agent rounds stay
+// serialized on the agent's poll mutex; concurrency only spans distinct
+// agents, so one slow or hung agent cannot stall the fleet.
 func WithPollConcurrency(n int) Option {
 	return optionFunc(func(v *Verifier) {
 		if n > 0 {
@@ -364,9 +388,20 @@ type Verifier struct {
 	verifyWorkers     int
 	roundDeadline     time.Duration
 	jitter            *jitterRand
+	nonces            *nonceSource
 
-	mu     sync.Mutex
-	agents map[string]*monitored
+	agents *registry
+}
+
+// defaultPollConcurrency sizes the PollAll worker pool to the host:
+// attestation rounds block on the network, so the pool runs wider than
+// the core count.
+func defaultPollConcurrency() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return n
 }
 
 // New creates a verifier. registrarURL may be empty when agents are added
@@ -374,21 +409,27 @@ type Verifier struct {
 func New(registrarURL string, opts ...Option) *Verifier {
 	v := &Verifier{
 		registrarURL:    registrarURL,
-		client:          http.DefaultClient,
 		clock:           simclock.Real{},
 		pollInterval:    2 * time.Minute,
 		rng:             rand.Reader,
 		retry:           RetryPolicy{}.withDefaults(),
 		faultBudget:     3,
 		breakerCfg:      BreakerConfig{}.withDefaults(),
-		pollConcurrency: 8,
+		pollConcurrency: defaultPollConcurrency(),
 		verifyWorkers:   runtime.GOMAXPROCS(0),
 		jitter:          newJitterRand(1),
-		agents:          make(map[string]*monitored),
+		agents:          newRegistry(),
 	}
 	for _, opt := range opts {
 		opt.apply(v)
 	}
+	if v.client == nil {
+		// No explicit client: use a pooled transport whose per-host idle
+		// pool matches the sweep concurrency, so poll rounds reuse warm
+		// connections instead of re-dialing the fleet every interval.
+		v.client = httppool.NewClient(v.pollConcurrency)
+	}
+	v.nonces = newNonceSource(v.rng)
 	return v
 }
 
@@ -459,30 +500,38 @@ func (v *Verifier) registrarLookupOnce(ctx context.Context, agentID string) (api
 }
 
 // AddAgentWithAK starts monitoring an agent with an out-of-band trusted AK.
+// The AK is parsed from DER here, once per enrollment, so attestation
+// rounds verify quotes against the cached key instead of re-parsing every
+// poll.
 func (v *Verifier) AddAgentWithAK(agentID, agentURL string, akPub []byte, pol *policy.RuntimePolicy) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, exists := v.agents[agentID]; exists {
-		return fmt.Errorf("%w: %s", ErrDuplicate, agentID)
-	}
-	v.agents[agentID] = &monitored{
+	// A malformed AK is kept nil and surfaces at attestation time as the
+	// same invalid-quote failure the per-round parse used to produce.
+	akKey, _ := tpm.ParseAKPublic(akPub)
+	a := &monitored{
 		id:    agentID,
 		url:   agentURL,
 		akPub: append([]byte(nil), akPub...),
+		akKey: akKey,
 		pol:   pol.Clone(),
 		state: StateStart,
+	}
+	if !v.agents.insert(agentID, a) {
+		return fmt.Errorf("%w: %s", ErrDuplicate, agentID)
 	}
 	return nil
 }
 
-// RemoveAgent stops monitoring an agent.
+// RemoveAgent stops monitoring an agent. A round already in flight for the
+// agent observes the removal and reports ErrRemoved instead of recording a
+// verdict against the unenrolled agent.
 func (v *Verifier) RemoveAgent(agentID string) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, ok := v.agents[agentID]; !ok {
+	a, ok := v.agents.remove(agentID)
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
-	delete(v.agents, agentID)
+	a.mu.Lock()
+	a.removed = true
+	a.mu.Unlock()
 	return nil
 }
 
@@ -491,19 +540,15 @@ func (v *Verifier) RemoveAgent(agentID string) error {
 // update. With a policy trust store installed, unsigned updates are
 // rejected (use UpdateSignedPolicy).
 func (v *Verifier) UpdatePolicy(agentID string, pol *policy.RuntimePolicy) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.policyTrust != nil {
 		return ErrUnsignedPolicy
 	}
-	return v.updatePolicyLocked(agentID, pol)
+	return v.swapPolicy(agentID, pol)
 }
 
 // UpdateSignedPolicy verifies the envelope against the trusted policy-
 // generator keys and installs the contained policy.
 func (v *Verifier) UpdateSignedPolicy(agentID string, env policy.Envelope) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
 	if v.policyTrust == nil {
 		return ErrNoPolicyTrust
 	}
@@ -511,16 +556,19 @@ func (v *Verifier) UpdateSignedPolicy(agentID string, env policy.Envelope) error
 	if err != nil {
 		return fmt.Errorf("verifier: rejecting policy update: %w", err)
 	}
-	return v.updatePolicyLocked(agentID, pol)
+	return v.swapPolicy(agentID, pol)
 }
 
-// updatePolicyLocked swaps the policy. Caller holds v.mu.
-func (v *Verifier) updatePolicyLocked(agentID string, pol *policy.RuntimePolicy) error {
-	a, ok := v.agents[agentID]
+// swapPolicy installs a new policy for the agent.
+func (v *Verifier) swapPolicy(agentID string, pol *policy.RuntimePolicy) error {
+	a, ok := v.agents.get(agentID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
-	a.pol = pol.Clone()
+	cloned := pol.Clone()
+	a.mu.Lock()
+	a.pol = cloned
+	a.mu.Unlock()
 	return nil
 }
 
@@ -528,21 +576,20 @@ func (v *Verifier) updatePolicyLocked(agentID string, pol *policy.RuntimePolicy)
 // subsequent attestations validate the boot event log against the quoted
 // PCR 0/4 values and these golden values. Pass nil to disable.
 func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	a, ok := v.agents[agentID]
+	a, ok := v.agents.get(agentID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
-	if g == nil {
-		a.bootGolden = nil
-		return nil
+	var cp measuredboot.Golden
+	if g != nil {
+		cp = make(measuredboot.Golden, len(g))
+		for pcr, d := range g {
+			cp[pcr] = d
+		}
 	}
-	cp := make(measuredboot.Golden, len(g))
-	for pcr, d := range g {
-		cp[pcr] = d
-	}
+	a.mu.Lock()
 	a.bootGolden = cp
+	a.mu.Unlock()
 	return nil
 }
 
@@ -551,12 +598,12 @@ func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
 // attestation picks up at the entry that failed. Resume also resets the
 // fault counter and closes the circuit breaker.
 func (v *Verifier) Resume(agentID string) error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	a, ok := v.agents[agentID]
+	a, ok := v.agents.get(agentID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.halted = false
 	a.consecutiveFaults = 0
 	a.breaker.recordSuccess()
@@ -568,12 +615,12 @@ func (v *Verifier) Resume(agentID string) error {
 
 // Status reports the current state of an agent.
 func (v *Verifier) Status(agentID string) (Status, error) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	a, ok := v.agents[agentID]
+	a, ok := v.agents.get(agentID)
 	if !ok {
 		return Status{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	return Status{
 		AgentID:           a.id,
 		State:             a.state,
@@ -591,28 +638,21 @@ func (v *Verifier) Status(agentID string) (Status, error) {
 
 // AgentIDs returns the monitored agent ids.
 func (v *Verifier) AgentIDs() []string {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	out := make([]string, 0, len(v.agents))
-	for id := range v.agents {
-		out = append(out, id)
-	}
-	return out
+	return v.agents.ids()
 }
 
 // fail records a failure, fires the revocation handler, and halts the agent
 // unless continue-on-failure is enabled.
 func (v *Verifier) fail(a *monitored, f Failure) *Failure {
-	v.mu.Lock()
+	a.mu.Lock()
 	a.failures = append(a.failures, f)
 	a.state = StateFailed
 	if !v.continueOnFailure {
 		a.halted = true
 	}
-	handler := v.onRevocation
-	v.mu.Unlock()
-	if handler != nil {
-		handler(a.id, f)
+	a.mu.Unlock()
+	if v.onRevocation != nil {
+		v.onRevocation(a.id, f)
 	}
 	return &f
 }
@@ -625,7 +665,7 @@ func (v *Verifier) fail(a *monitored, f Failure) *Failure {
 // unreachable host is an availability problem, not evidence of compromise,
 // and halting it would reopen the paper's P2 blind window.
 func (v *Verifier) commsFault(a *monitored, now time.Time, attempts int, err error) Result {
-	v.mu.Lock()
+	a.mu.Lock()
 	a.consecutiveFaults++
 	ft := Fault{Time: now, Attempts: attempts, Detail: err.Error()}
 	a.faults = append(a.faults, ft)
@@ -644,10 +684,9 @@ func (v *Verifier) commsFault(a *monitored, now time.Time, attempts int, err err
 		a.failures = append(a.failures, f)
 		failure = &f
 	}
-	handler := v.onRevocation
-	v.mu.Unlock()
-	if failure != nil && handler != nil {
-		handler(a.id, *failure)
+	a.mu.Unlock()
+	if failure != nil && v.onRevocation != nil {
+		v.onRevocation(a.id, *failure)
 	}
 	return Result{Degraded: true, Attempts: attempts, FaultDetail: ft.Detail, Failure: failure}
 }
@@ -656,13 +695,13 @@ func (v *Verifier) commsFault(a *monitored, now time.Time, attempts int, err err
 // reachable again, the breaker closes, and a degraded/quarantined state
 // returns to attesting (the round outcome may still set Failed).
 func (v *Verifier) commsOK(a *monitored) {
-	v.mu.Lock()
+	a.mu.Lock()
 	a.consecutiveFaults = 0
 	a.breaker.recordSuccess()
 	if a.state == StateDegraded || a.state == StateQuarantined {
 		a.state = StateAttesting
 	}
-	v.mu.Unlock()
+	a.mu.Unlock()
 }
 
 // AttestOnce runs one attestation round for the agent. When the agent is
@@ -695,11 +734,10 @@ func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, erro
 }
 
 // attestOnce performs the attestation round. Rounds for one agent are
-// serialized on the agent's poll mutex.
+// serialized on the agent's poll mutex; no lock is held across network
+// I/O or quote verification.
 func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, error) {
-	v.mu.Lock()
-	a, ok := v.agents[agentID]
-	v.mu.Unlock()
+	a, ok := v.agents.get(agentID)
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
@@ -707,21 +745,24 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	defer a.pollMu.Unlock()
 
 	now := v.clock.Now()
-	v.mu.Lock()
+	a.mu.Lock()
+	if a.removed {
+		a.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+	}
 	if a.halted {
-		v.mu.Unlock()
+		a.mu.Unlock()
 		return Result{}, fmt.Errorf("%w: %s", ErrHalted, agentID)
 	}
 	if !a.breaker.allow(now) {
-		v.mu.Unlock()
+		a.mu.Unlock()
 		return Result{}, fmt.Errorf("%w: %s", ErrQuarantined, agentID)
 	}
 	offset := a.nextOffset
 	pol := a.pol
-	akPub := a.akPub
-	agentURL := a.url
 	bootGolden := a.bootGolden
-	v.mu.Unlock()
+	a.mu.Unlock()
+	agentURL := a.url
 
 	if v.roundDeadline > 0 {
 		var stopRound func()
@@ -735,6 +776,9 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	// integrity verdict.
 	resp, attempts, err := v.fetchWithRetry(ctx, agentURL, offset)
 	if err != nil {
+		if a.isRemoved() {
+			return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+		}
 		return v.commsFault(a, now, attempts, err), nil
 	}
 	rebooted := false
@@ -749,8 +793,17 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		resp, refetchAttempts, err = v.fetchWithRetry(ctx, agentURL, 0)
 		attempts += refetchAttempts
 		if err != nil {
+			if a.isRemoved() {
+				return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+			}
 			return v.commsFault(a, now, attempts, err), nil
 		}
+	}
+	if a.isRemoved() {
+		// Unenrolled while the evidence fetch was in flight: no verdict
+		// may be recorded (and no revocation fired) for an agent that is
+		// no longer monitored.
+		return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
 	}
 	v.commsOK(a)
 
@@ -758,7 +811,12 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if err != nil {
 		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
 	}
-	pcrs, err := tpm.VerifyQuote(akPub, quote, resp.nonce)
+	var pcrs map[int]tpm.Digest
+	if a.akKey != nil {
+		pcrs, err = tpm.VerifyQuoteWithKey(a.akKey, quote, resp.nonce)
+	} else {
+		pcrs, err = tpm.VerifyQuote(a.akPub, quote, resp.nonce)
+	}
 	if err != nil {
 		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
 	}
@@ -788,12 +846,12 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	// frontier below needs no second replay. A structurally invalid entry
 	// anywhere in the batch fails the round before the aggregate is
 	// compared, matching the original multi-pass ordering.
-	v.mu.Lock()
+	a.mu.Lock()
 	prefix := a.prefixAggregate
 	if rebooted {
 		prefix = tpm.Digest{}
 	}
-	v.mu.Unlock()
+	a.mu.Unlock()
 	aggs, invalid := verifyAndFold(prefix, entries, v.verifyWorkers)
 	if invalid >= 0 {
 		f := Failure{Time: now, Type: FailureLogTampered, Path: entries[invalid].Path,
@@ -845,7 +903,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		verified = i + 1
 	}
 
-	v.mu.Lock()
+	a.mu.Lock()
 	a.nextOffset = offset + verified
 	// The verified-prefix aggregate is a lookup into the fold computed
 	// above, not a second replay.
@@ -864,7 +922,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		Failure:         firstFailure,
 		Attempts:        attempts,
 	}
-	v.mu.Unlock()
+	a.mu.Unlock()
 	return res, nil
 }
 
@@ -880,8 +938,8 @@ type fetched struct {
 // bodies are transient (retryable); 4xx statuses and malformed requests are
 // permanent infrastructure faults (still not integrity verdicts).
 func (v *Verifier) fetchQuote(ctx context.Context, agentURL string, offset int) (fetched, error) {
-	nonce := make([]byte, 20)
-	if _, err := io.ReadFull(v.rng, nonce); err != nil {
+	nonce := make([]byte, nonceSize)
+	if err := v.nonces.next(nonce); err != nil {
 		return fetched{}, permanentErr("generating nonce: %v", err)
 	}
 	tctx, stop := v.virtualTimeout(ctx, v.retry.RequestTimeout)
@@ -926,48 +984,87 @@ type PollStats struct {
 	Halted int
 	// Quarantined counts agents skipped by an open circuit breaker.
 	Quarantined int
-	// Errors counts other round errors (agent removed mid-sweep, etc.).
+	// Removed counts agents that were unenrolled between the sweep's ID
+	// snapshot and their round — fleet churn, not an attestation problem.
+	Removed int
+	// Errors counts other round errors.
 	Errors int
+}
+
+// add folds o into s.
+func (s *PollStats) add(o PollStats) {
+	s.Attested += o.Attested
+	s.Failed += o.Failed
+	s.Degraded += o.Degraded
+	s.Halted += o.Halted
+	s.Quarantined += o.Quarantined
+	s.Removed += o.Removed
+	s.Errors += o.Errors
+}
+
+// record classifies one round outcome into the stats.
+func (s *PollStats) record(res Result, err error) {
+	switch {
+	case errors.Is(err, ErrHalted):
+		s.Halted++
+	case errors.Is(err, ErrQuarantined):
+		s.Quarantined++
+	case errors.Is(err, ErrRemoved), errors.Is(err, ErrUnknownAgent):
+		// The ID came from this sweep's snapshot, so an unknown agent
+		// can only mean it was removed after the snapshot was taken.
+		s.Removed++
+	case err != nil:
+		s.Errors++
+	case res.Degraded:
+		s.Degraded++
+	default:
+		s.Attested++
+		if res.Failure != nil {
+			s.Failed++
+		}
+	}
 }
 
 // PollAll runs one attestation round for every monitored agent through a
 // bounded worker pool, so one slow or hung agent delays only its own round,
 // not the fleet sweep. Per-agent rounds stay serialized on the agent's poll
-// mutex.
+// mutex. Each worker accumulates its own PollStats, merged once when the
+// sweep drains — there is no shared counter lock on the sweep hot path.
+// Agents removed after the sweep's ID snapshot surface as Removed, not
+// Errors, so operators can tell fleet churn from real round errors.
 func (v *Verifier) PollAll(ctx context.Context) PollStats {
-	var (
-		wg  sync.WaitGroup
-		mu  sync.Mutex
-		st  PollStats
-		sem = make(chan struct{}, v.pollConcurrency)
-	)
-	for _, id := range v.AgentIDs() {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(id string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := v.AttestOnce(ctx, id)
-			mu.Lock()
-			defer mu.Unlock()
-			switch {
-			case errors.Is(err, ErrHalted):
-				st.Halted++
-			case errors.Is(err, ErrQuarantined):
-				st.Quarantined++
-			case err != nil:
-				st.Errors++
-			case res.Degraded:
-				st.Degraded++
-			default:
-				st.Attested++
-				if res.Failure != nil {
-					st.Failed++
-				}
-			}
-		}(id)
+	ids := v.AgentIDs()
+	workers := v.pollConcurrency
+	if workers > len(ids) {
+		workers = len(ids)
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg    sync.WaitGroup
+		work  = make(chan string)
+		stats = make([]PollStats, workers)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(st *PollStats) {
+			defer wg.Done()
+			for id := range work {
+				res, err := v.AttestOnce(ctx, id)
+				st.record(res, err)
+			}
+		}(&stats[w])
+	}
+	for _, id := range ids {
+		work <- id
+	}
+	close(work)
 	wg.Wait()
+	var st PollStats
+	for i := range stats {
+		st.add(stats[i])
+	}
 	return st
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/keylime/httppool"
 	"repro/internal/keylime/verifier"
 	"repro/internal/simclock"
 )
@@ -111,7 +112,7 @@ func New(cfg Config) *Notifier {
 		cfg.Jitter = 1
 	}
 	if cfg.Client == nil {
-		cfg.Client = http.DefaultClient
+		cfg.Client = httppool.Shared()
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Real{}

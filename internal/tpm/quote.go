@@ -98,12 +98,10 @@ func (t *TPM) Quote(nonce []byte, selection []int) (Quote, error) {
 	return Quote{Attested: att, PCRValues: values, Signature: sig}, nil
 }
 
-// VerifyQuote checks a quote end to end against the AK public key (PKIX DER)
-// and the expected nonce: signature, magic via canonical encoding, nonce
-// equality, and consistency of the carried PCR values with the attested
-// composite digest. On success it returns the quoted PCR values keyed by
-// register index.
-func VerifyQuote(akPubDER []byte, q Quote, nonce []byte) (map[int]Digest, error) {
+// ParseAKPublic parses an attestation public key from PKIX DER form. The
+// verifier parses each agent's AK once at enrollment and reuses the parsed
+// key for every subsequent quote verification via VerifyQuoteWithKey.
+func ParseAKPublic(akPubDER []byte) (*ecdsa.PublicKey, error) {
 	pub, err := x509.ParsePKIXPublicKey(akPubDER)
 	if err != nil {
 		return nil, fmt.Errorf("tpm: parsing AK public key: %w", err)
@@ -112,6 +110,26 @@ func VerifyQuote(akPubDER []byte, q Quote, nonce []byte) (map[int]Digest, error)
 	if !ok {
 		return nil, fmt.Errorf("tpm: AK is not ECDSA (got %T)", pub)
 	}
+	return ecPub, nil
+}
+
+// VerifyQuote checks a quote end to end against the AK public key (PKIX DER)
+// and the expected nonce: signature, magic via canonical encoding, nonce
+// equality, and consistency of the carried PCR values with the attested
+// composite digest. On success it returns the quoted PCR values keyed by
+// register index.
+func VerifyQuote(akPubDER []byte, q Quote, nonce []byte) (map[int]Digest, error) {
+	ecPub, err := ParseAKPublic(akPubDER)
+	if err != nil {
+		return nil, err
+	}
+	return VerifyQuoteWithKey(ecPub, q, nonce)
+}
+
+// VerifyQuoteWithKey is VerifyQuote for a pre-parsed AK public key: callers
+// that verify many quotes against the same key (the verifier's per-round
+// hot path) skip the DER parse entirely.
+func VerifyQuoteWithKey(ecPub *ecdsa.PublicKey, q Quote, nonce []byte) (map[int]Digest, error) {
 	sum := sha256.Sum256(encodeAttested(q.Attested))
 	if !ecdsa.VerifyASN1(ecPub, sum[:], q.Signature) {
 		return nil, ErrQuoteSignature
