@@ -5,14 +5,21 @@ package repro_test
 // and exercises the tenant workflow end to end. Skipped with -short.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
 )
 
 // freePort grabs an ephemeral port.
@@ -42,8 +49,9 @@ func waitForPort(t *testing.T, addr string) {
 	t.Fatalf("service at %s did not come up", addr)
 }
 
-// startDaemon launches a built binary and kills it at cleanup.
-func startDaemon(t *testing.T, bin string, args ...string) {
+// startDaemon launches a built binary and kills it at cleanup. The
+// returned command lets tests kill the process early to simulate a crash.
+func startDaemon(t *testing.T, bin string, args ...string) *exec.Cmd {
 	t.Helper()
 	cmd := exec.Command(bin, args...)
 	cmd.Stdout = os.Stderr
@@ -55,27 +63,61 @@ func startDaemon(t *testing.T, bin string, args ...string) {
 		_ = cmd.Process.Kill()
 		_, _ = cmd.Process.Wait()
 	})
+	return cmd
+}
+
+// kill crash-stops a daemon (SIGKILL, no shutdown hooks).
+func kill(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	_, _ = cmd.Process.Wait()
+}
+
+// buildTools compiles the CLI binaries into a temp dir.
+func buildTools(t *testing.T, tools ...string) string {
+	t.Helper()
+	binDir := t.TempDir()
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return binDir
+}
+
+// statusAttestations extracts the attestation count from tenant status
+// output.
+func statusAttestations(t *testing.T, out string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "attestations:"); ok {
+			n, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil {
+				t.Fatalf("parsing attestations from %q: %v", line, err)
+			}
+			return n
+		}
+	}
+	t.Fatalf("no attestations line in status output:\n%s", out)
+	return 0
 }
 
 func TestCLIEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping CLI integration test in -short mode")
 	}
-	binDir := t.TempDir()
+	binDir := buildTools(t, "keylime-registrar", "keylime-agent", "keylime-verifier", "keylime-tenant")
 	workDir := t.TempDir()
-	for _, tool := range []string{"keylime-registrar", "keylime-agent", "keylime-verifier", "keylime-tenant"} {
-		out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool).CombinedOutput()
-		if err != nil {
-			t.Fatalf("building %s: %v\n%s", tool, err, out)
-		}
-	}
 
 	regPort := freePort(t)
 	agPort := freePort(t)
 	verPort := freePort(t)
 	caPath := filepath.Join(workDir, "ca.pem")
 	policyPath := filepath.Join(workDir, "policy.json")
-	statePath := filepath.Join(workDir, "state.json")
+	stateDir := filepath.Join(workDir, "state")
 	const agentUUID = "d432fbb3-d2f1-4a97-9ef7-75bd81c00001"
 
 	// 1. Registrar (creates the manufacturer CA bundle).
@@ -99,7 +141,7 @@ func TestCLIEndToEnd(t *testing.T) {
 		"-listen", fmt.Sprintf("127.0.0.1:%d", verPort),
 		"-registrar", fmt.Sprintf("http://127.0.0.1:%d", regPort),
 		"-poll-interval", "200ms",
-		"-state", statePath,
+		"-state", stateDir,
 	)
 	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", verPort))
 
@@ -140,14 +182,17 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Fatalf("agent halted unexpectedly:\n%s", out)
 	}
 
-	// 6. The verifier persists its state file.
+	// 6. The verifier journals the agent's row into its state directory.
+	// (Raw byte check only: opening the live journal would race the
+	// daemon's appends.)
 	stateDeadline := time.Now().Add(10 * time.Second)
 	for {
-		if data, err := os.ReadFile(statePath); err == nil && len(data) > 2 {
+		if data, err := os.ReadFile(filepath.Join(stateDir, store.JournalFile)); err == nil &&
+			bytes.Contains(data, []byte(agentUUID)) {
 			break
 		}
 		if time.Now().After(stateDeadline) {
-			t.Fatal("verifier never wrote its state file")
+			t.Fatal("verifier never journaled the agent's state row")
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
@@ -159,6 +204,179 @@ func TestCLIEndToEnd(t *testing.T) {
 	if out, err := tenant("status", "-agent-id", agentUUID); err == nil {
 		t.Fatalf("status after remove succeeded:\n%s", out)
 	}
+}
+
+// TestCLIVerifierCrashRecovery kills the verifier mid-poll and restarts
+// it on the same state directory: the verification frontier, the
+// quarantine (breaker) state, and the audit chain must all survive the
+// crash.
+func TestCLIVerifierCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI integration test in -short mode")
+	}
+	binDir := buildTools(t, "keylime-registrar", "keylime-agent", "keylime-verifier", "keylime-tenant")
+	workDir := t.TempDir()
+
+	regPort := freePort(t)
+	agAPort := freePort(t)
+	agBPort := freePort(t)
+	verPort := freePort(t)
+	caPath := filepath.Join(workDir, "ca.pem")
+	stateDir := filepath.Join(workDir, "state")
+	auditPath := filepath.Join(workDir, "audit.wal")
+	const uuidA = "d432fbb3-d2f1-4a97-9ef7-75bd81c00011"
+	const uuidB = "d432fbb3-d2f1-4a97-9ef7-75bd81c00012"
+
+	startDaemon(t, filepath.Join(binDir, "keylime-registrar"),
+		"-init", "-ca", caPath, "-listen", fmt.Sprintf("127.0.0.1:%d", regPort))
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", regPort))
+
+	agents := map[string]*exec.Cmd{}
+	policies := map[string]string{}
+	for uuid, port := range map[string]int{uuidA: agAPort, uuidB: agBPort} {
+		policies[uuid] = filepath.Join(workDir, "policy-"+uuid+".json")
+		agents[uuid] = startDaemon(t, filepath.Join(binDir, "keylime-agent"),
+			"-ca", caPath,
+			"-registrar", fmt.Sprintf("http://127.0.0.1:%d", regPort),
+			"-listen", fmt.Sprintf("127.0.0.1:%d", port),
+			"-contact-url", fmt.Sprintf("http://127.0.0.1:%d", port),
+			"-policy-out", policies[uuid],
+			"-uuid", uuid,
+		)
+		waitForPort(t, fmt.Sprintf("127.0.0.1:%d", port))
+	}
+
+	// Fast polling, single-attempt fetches, and a hair-trigger breaker so
+	// killing an agent quarantines it quickly; the long reprobe interval
+	// keeps it quarantined across the verifier restart.
+	verifierArgs := func(pollInterval string) []string {
+		return []string{
+			"-listen", fmt.Sprintf("127.0.0.1:%d", verPort),
+			"-registrar", fmt.Sprintf("http://127.0.0.1:%d", regPort),
+			"-poll-interval", pollInterval,
+			"-retry-attempts", "1",
+			"-request-timeout", "2s",
+			"-breaker-threshold", "2",
+			"-breaker-interval", "5m",
+			"-state", stateDir,
+			"-audit-log", auditPath,
+		}
+	}
+	ver := startDaemon(t, filepath.Join(binDir, "keylime-verifier"), verifierArgs("200ms")...)
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", verPort))
+
+	tenant := func(args ...string) (string, error) {
+		full := append([]string{"-verifier", fmt.Sprintf("http://127.0.0.1:%d", verPort)}, args...)
+		out, err := exec.Command(filepath.Join(binDir, "keylime-tenant"), full...).CombinedOutput()
+		return string(out), err
+	}
+	status := func(uuid string) string {
+		t.Helper()
+		out, err := tenant("status", "-agent-id", uuid)
+		if err != nil {
+			t.Fatalf("tenant status %s: %v\n%s", uuid, err, out)
+		}
+		return out
+	}
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(150 * time.Millisecond)
+		}
+	}
+
+	for uuid, port := range map[string]int{uuidA: agAPort, uuidB: agBPort} {
+		if out, err := tenant("add", "-agent-id", uuid,
+			"-agent-url", fmt.Sprintf("http://127.0.0.1:%d", port),
+			"-policy", policies[uuid]); err != nil {
+			t.Fatalf("tenant add %s: %v\n%s", uuid, err, out)
+		}
+	}
+	waitFor("both agents attesting", func() bool {
+		return statusAttestations(t, status(uuidA)) >= 1 && statusAttestations(t, status(uuidB)) >= 1
+	})
+
+	// Kill agent B: consecutive comms faults trip the breaker.
+	kill(t, agents[uuidB])
+	waitFor("agent B quarantined", func() bool {
+		return strings.Contains(status(uuidB), "state:            Quarantined")
+	})
+
+	// Sample agent A's frontier, then let it advance two more rounds: the
+	// sweep loop persists after every round, so by the time the count
+	// reads sampled+2 the persisted row is at least sampled+1.
+	sampled := statusAttestations(t, status(uuidA))
+	waitFor("agent A two rounds past the sample", func() bool {
+		return statusAttestations(t, status(uuidA)) >= sampled+2
+	})
+
+	// Crash the verifier mid-poll (SIGKILL, no shutdown hooks).
+	kill(t, ver)
+
+	// Offline: the audit journal must recover to a verifiable chain (a
+	// torn final record is truncated, nothing else lost).
+	jl, err := audit.OpenJournal(store.OS(), auditPath)
+	if err != nil {
+		t.Fatalf("audit journal did not survive the crash: %v", err)
+	}
+	auditRecs := jl.Log.Len()
+	if auditRecs < sampled {
+		t.Fatalf("audit chain holds %d records, want >= %d", auditRecs, sampled)
+	}
+	if err := audit.VerifyChain(jl.Log.Records()); err != nil {
+		t.Fatalf("audit chain invalid after crash: %v", err)
+	}
+	_ = jl.Close()
+
+	// Offline: the state store must hold both agents — A at or past the
+	// sampled frontier, B quarantined.
+	st, err := store.Open(stateDir)
+	if err != nil {
+		t.Fatalf("state store did not survive the crash: %v", err)
+	}
+	rows := st.All()
+	_ = st.Close()
+	var rowA, rowB verifier.AgentState
+	if err := json.Unmarshal(rows[uuidA], &rowA); err != nil {
+		t.Fatalf("agent A row: %v", err)
+	}
+	if err := json.Unmarshal(rows[uuidB], &rowB); err != nil {
+		t.Fatalf("agent B row: %v", err)
+	}
+	if rowA.Attestations < sampled+1 {
+		t.Fatalf("persisted frontier %d, want >= %d", rowA.Attestations, sampled+1)
+	}
+	if rowA.NextOffset == 0 {
+		t.Fatal("agent A persisted without a verification frontier")
+	}
+	if verifier.State(rowB.State) != verifier.StateQuarantined || rowB.Breaker == nil {
+		t.Fatalf("agent B persisted as state=%d breaker=%+v, want quarantined", rowB.State, rowB.Breaker)
+	}
+
+	// Restart on the same state directory and port.
+	startDaemon(t, filepath.Join(binDir, "keylime-verifier"), verifierArgs("300ms")...)
+	waitForPort(t, fmt.Sprintf("127.0.0.1:%d", verPort))
+
+	// The restored frontier is immediately visible — before any new round
+	// could have rebuilt it — and agent B is still quarantined without
+	// having to re-trip the breaker.
+	restored := statusAttestations(t, status(uuidA))
+	if restored < sampled+1 {
+		t.Fatalf("restored frontier %d, want >= %d", restored, sampled+1)
+	}
+	outB := status(uuidB)
+	if !strings.Contains(outB, "state:            Quarantined") {
+		t.Fatalf("agent B not quarantined after restart:\n%s", outB)
+	}
+
+	// And attestation resumes incrementally from the frontier.
+	waitFor("agent A attesting past the restored frontier", func() bool {
+		return statusAttestations(t, status(uuidA)) > restored
+	})
 }
 
 func TestCLIPolicygen(t *testing.T) {

@@ -6,6 +6,13 @@
 //
 //	keylime-verifier -listen :8893 -registrar http://localhost:8891 \
 //	  -poll-interval 10s [-continue-on-failure]
+//
+// Verification state survives restarts via -state. The default mode keeps
+// a crash-safe journal+snapshot directory and persists only the agents
+// each sweep actually changed; -state-mode snapshot keeps the legacy
+// single-JSON-file format (written atomically). The audit log (-audit-log)
+// is an fsynced journal appended record by record, and -outbox journals
+// revocation notifications for at-least-once delivery across crashes.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/keylime/audit"
+	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
 	"repro/internal/keylime/webhook"
 )
@@ -37,8 +45,15 @@ func run() error {
 		pollInterval = flag.Duration("poll-interval", 10*time.Second, "attestation polling interval")
 		continueOn   = flag.Bool("continue-on-failure", false,
 			"keep polling after attestation failures (the paper's P2 mitigation)")
-		statePath  = flag.String("state", "", "persist/restore verification state at this path")
-		auditPath  = flag.String("audit-log", "", "append the durable attestation log to this path")
+		statePath = flag.String("state", "", "persist/restore verification state here "+
+			"(a journal directory by default; a JSON file with -state-mode snapshot)")
+		stateMode = flag.String("state-mode", "journal",
+			"state persistence mode: journal (incremental, crash-safe) or snapshot (legacy full-file)")
+		stateLenient = flag.Bool("state-lenient", false,
+			"skip-and-report corrupt state rows on restore instead of refusing to start")
+		auditPath  = flag.String("audit-log", "", "append the durable attestation journal at this path")
+		outboxPath = flag.String("outbox", "", "journal revocation notifications here for "+
+			"at-least-once delivery across restarts (requires -webhook)")
 		webhookURL = flag.String("webhook", "", "POST signed revocation notifications to this URL")
 		webhookKey = flag.String("webhook-secret", "", "HMAC secret for webhook signatures")
 
@@ -56,12 +71,17 @@ func run() error {
 		breakerMax      = flag.Duration("breaker-max-interval", 15*time.Minute, "quarantine reprobe interval cap")
 		pollConcurrency = flag.Int("poll-concurrency", 0,
 			"concurrent agent rounds per polling sweep (0 = auto: 4x GOMAXPROCS, minimum 8)")
-		verifyWorkers   = flag.Int("verify-workers", 0,
+		verifyWorkers = flag.Int("verify-workers", 0,
 			"worker pool for validating large IMA entry batches (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *stateMode != "journal" && *stateMode != "snapshot" {
+		return fmt.Errorf("unknown -state-mode %q (want journal or snapshot)", *stateMode)
+	}
+	if *outboxPath != "" && *webhookURL == "" {
+		return fmt.Errorf("-outbox requires -webhook")
+	}
 
-	auditLog := audit.NewLog()
 	opts := []verifier.Option{
 		verifier.WithPollInterval(*pollInterval),
 		verifier.WithContinueOnFailure(*continueOn),
@@ -80,15 +100,40 @@ func run() error {
 		verifier.WithPollConcurrency(*pollConcurrency),
 		verifier.WithVerifyWorkers(*verifyWorkers),
 	}
+
+	// Audit: every sealed record is journaled and fsynced before the
+	// verifier acknowledges the round — the durable chain always ends at
+	// the last recorded verdict.
 	if *auditPath != "" {
-		opts = append(opts, verifier.WithAuditLog(auditLog))
+		jl, err := audit.OpenJournal(store.OS(), *auditPath)
+		if err != nil {
+			return fmt.Errorf("opening audit journal: %w", err)
+		}
+		defer func() { _ = jl.Close() }()
+		if n := jl.Recovered(); n > 0 {
+			fmt.Printf("audit journal %s: recovered %d records\n", *auditPath, n)
+		}
+		opts = append(opts, verifier.WithAuditLog(jl.Log))
 	}
+
 	var notifier *webhook.Notifier
 	if *webhookURL != "" {
-		notifier = webhook.New(webhook.Config{
+		cfg := webhook.Config{
 			Endpoints: []string{*webhookURL},
 			Secret:    []byte(*webhookKey),
-		})
+		}
+		if *outboxPath != "" {
+			ob, err := webhook.OpenOutbox(store.OS(), *outboxPath)
+			if err != nil {
+				return fmt.Errorf("opening outbox: %w", err)
+			}
+			defer func() { _ = ob.Close() }()
+			if n := ob.Len(); n > 0 {
+				fmt.Printf("outbox %s: replaying %d pending notifications\n", *outboxPath, n)
+			}
+			cfg.Outbox = ob
+		}
+		notifier = webhook.New(cfg)
 		defer notifier.Close()
 		opts = append(opts, verifier.WithRevocationHandler(notifier.Handler()))
 	} else {
@@ -98,36 +143,96 @@ func run() error {
 	}
 	v := verifier.New(*registrarURL, opts...)
 
-	if *statePath != "" {
+	// persist is invoked after every sweep; it must not swallow errors —
+	// a verifier that silently stops persisting re-trusts from scratch
+	// after its next crash.
+	var persist func()
+	var persistErrs int
+	logPersistErr := func(err error) {
+		persistErrs++
+		log.Printf("state persist error (%d total): %v", persistErrs, err)
+	}
+
+	switch {
+	case *statePath == "":
+		persist = func() {}
+	case *stateMode == "journal":
+		st, err := store.Open(*statePath)
+		if err != nil {
+			return fmt.Errorf("opening state store %s: %w", *statePath, err)
+		}
+		defer func() { _ = st.Close() }()
+		if err := restoreFromStore(v, st, *stateLenient); err != nil {
+			return err
+		}
+		// Rows that failed to persist are retried next sweep.
+		retryPut := map[string][]byte{}
+		retryDel := map[string]bool{}
+		persist = func() {
+			changed, removed, err := v.ExportDirty()
+			if err != nil {
+				// ExportDirty re-marked the drained IDs; next sweep retries.
+				logPersistErr(err)
+				return
+			}
+			for _, as := range changed {
+				data, err := json.Marshal(as)
+				if err != nil {
+					logPersistErr(fmt.Errorf("encoding agent %s: %w", as.AgentID, err))
+					continue
+				}
+				retryPut[as.AgentID] = data
+				delete(retryDel, as.AgentID)
+			}
+			for _, id := range removed {
+				retryDel[id] = true
+				delete(retryPut, id)
+			}
+			for id, data := range retryPut {
+				if err := st.Put(id, data); err != nil {
+					logPersistErr(fmt.Errorf("journaling agent %s: %w", id, err))
+					continue
+				}
+				delete(retryPut, id)
+			}
+			for id := range retryDel {
+				if err := st.Delete(id); err != nil {
+					logPersistErr(fmt.Errorf("journaling removal of %s: %w", id, err))
+					continue
+				}
+				delete(retryDel, id)
+			}
+		}
+	default: // legacy full-snapshot file, now written atomically
 		if data, err := os.ReadFile(*statePath); err == nil {
 			var snap verifier.Snapshot
 			if err := json.Unmarshal(data, &snap); err != nil {
 				return fmt.Errorf("parsing state %s: %w", *statePath, err)
 			}
-			if err := v.RestoreState(snap); err != nil {
-				return fmt.Errorf("restoring state: %w", err)
+			if err := restoreSnapshot(v, snap, *stateLenient); err != nil {
+				return err
 			}
 			fmt.Printf("restored %d agents from %s\n", len(snap.Agents), *statePath)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("reading state %s: %w", *statePath, err)
+		}
+		persist = func() {
+			snap, err := v.ExportState()
+			if err != nil {
+				logPersistErr(err)
+				return
+			}
+			data, err := json.Marshal(snap)
+			if err != nil {
+				logPersistErr(err)
+				return
+			}
+			if err := store.WriteFileAtomic(store.OS(), *statePath, data); err != nil {
+				logPersistErr(fmt.Errorf("writing %s: %w", *statePath, err))
+			}
 		}
 	}
 
-	persist := func() {
-		if *statePath != "" {
-			snap, err := v.ExportState()
-			if err == nil {
-				if data, err := json.Marshal(snap); err == nil {
-					_ = os.WriteFile(*statePath, data, 0o600)
-				}
-			}
-		}
-		if *auditPath != "" {
-			f, err := os.OpenFile(*auditPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o600)
-			if err == nil {
-				_ = auditLog.Export(f)
-				_ = f.Close()
-			}
-		}
-	}
 	go func() {
 		ctx := context.Background()
 		for {
@@ -143,4 +248,51 @@ func run() error {
 	fmt.Printf("keylime-verifier listening on %s (registrar %s, poll every %v, continue-on-failure=%v)\n",
 		*listen, *registrarURL, *pollInterval, *continueOn)
 	return http.ListenAndServe(*listen, v.ManagementHandler())
+}
+
+// restoreFromStore rebuilds the verifier's agent table from the journal
+// store's rows.
+func restoreFromStore(v *verifier.Verifier, st *store.Store, lenient bool) error {
+	rows := st.All()
+	if len(rows) == 0 {
+		return nil
+	}
+	var snap verifier.Snapshot
+	var badRows int
+	for id, data := range rows {
+		var as verifier.AgentState
+		if err := json.Unmarshal(data, &as); err != nil {
+			if !lenient {
+				return fmt.Errorf("parsing state row %s: %w", id, err)
+			}
+			badRows++
+			log.Printf("state restore: skipping undecodable row %s: %v", id, err)
+			continue
+		}
+		snap.Agents = append(snap.Agents, as)
+	}
+	if err := restoreSnapshot(v, snap, lenient); err != nil {
+		return err
+	}
+	fmt.Printf("restored %d agents from journal (%d rows skipped)\n",
+		v.AgentCount(), badRows)
+	return nil
+}
+
+// restoreSnapshot loads a snapshot strictly or leniently per the flag.
+func restoreSnapshot(v *verifier.Verifier, snap verifier.Snapshot, lenient bool) error {
+	if !lenient {
+		if err := v.RestoreState(snap); err != nil {
+			return fmt.Errorf("restoring state: %w", err)
+		}
+		return nil
+	}
+	skipped, err := v.RestoreStateLenient(snap)
+	if err != nil {
+		return fmt.Errorf("restoring state: %w", err)
+	}
+	for _, s := range skipped {
+		log.Printf("state restore: skipped corrupt row: %v", s)
+	}
+	return nil
 }

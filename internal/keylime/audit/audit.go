@@ -95,10 +95,35 @@ type Log struct {
 	mu      sync.Mutex
 	records []Record
 	head    Hash
+	sink    func(Record) error
 }
 
 // NewLog returns an empty audit log.
 func NewLog() *Log { return &Log{} }
+
+// SetSink installs a persistence hook called with each sealed record
+// before it is committed to the in-memory chain. A sink error aborts the
+// append — the chain head does not advance — so a record exists in memory
+// only if it is durable, never the other way around.
+func (l *Log) SetSink(sink func(Record) error) {
+	l.mu.Lock()
+	l.sink = sink
+	l.mu.Unlock()
+}
+
+// FromRecords builds a log that continues an existing verified history —
+// the recovery path for a journal-backed log.
+func FromRecords(records []Record) (*Log, error) {
+	if err := VerifyChain(records); err != nil {
+		return nil, err
+	}
+	l := NewLog()
+	l.records = append([]Record(nil), records...)
+	if len(records) > 0 {
+		l.head = records[len(records)-1].Hash
+	}
+	return l, nil
+}
 
 // Entry is the caller-supplied portion of a record.
 type Entry struct {
@@ -132,6 +157,11 @@ func (l *Log) Append(e Entry) (Record, error) {
 		PrevHash:        l.head,
 	}
 	r.Hash = seal(r)
+	if l.sink != nil {
+		if err := l.sink(r); err != nil {
+			return Record{}, fmt.Errorf("audit: persisting record %d: %w", r.Seq, err)
+		}
+	}
 	l.records = append(l.records, r)
 	l.head = r.Hash
 	return r, nil
@@ -210,15 +240,7 @@ func Import(r io.Reader) (*Log, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("audit: reading export: %w", err)
 	}
-	if err := VerifyChain(records); err != nil {
-		return nil, err
-	}
-	l := NewLog()
-	l.records = records
-	if len(records) > 0 {
-		l.head = records[len(records)-1].Hash
-	}
-	return l, nil
+	return FromRecords(records)
 }
 
 // ByAgent filters an exported history for one agent.

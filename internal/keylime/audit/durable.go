@@ -1,0 +1,74 @@
+package audit
+
+// Journal-backed persistence: the audit log used to be persisted by
+// rewriting the whole JSON-lines export with O_TRUNC after every sweep —
+// a crash mid-rewrite truncated the entire attestation history. The
+// journal path appends each record (JSON payload, CRC-framed, fsynced)
+// through internal/keylime/store the moment it is sealed, so the durable
+// chain always ends at the last acknowledged verdict and a crash at any
+// write boundary costs at most the one record that was never
+// acknowledged.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/keylime/store"
+)
+
+// JournalLog couples an audit.Log to its on-disk journal. Construct with
+// OpenJournal; every Log.Append is persisted (and fsynced) before it is
+// acknowledged.
+type JournalLog struct {
+	// Log is the recovered, sink-wired audit log.
+	Log *Log
+	j   *store.Journal
+}
+
+// OpenJournal opens (creating if absent) a journal-backed audit log at
+// path, replays and verifies the persisted chain, and wires the append
+// sink. A torn final record — a crash mid-append — is truncated by the
+// journal layer; a chain that fails verification is corruption and an
+// error.
+func OpenJournal(fsys store.FS, path string) (*JournalLog, error) {
+	j, payloads, err := store.OpenJournal(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("audit: opening journal: %w", err)
+	}
+	records := make([]Record, 0, len(payloads))
+	for i, p := range payloads {
+		var r Record
+		if err := json.Unmarshal(p, &r); err != nil {
+			_ = j.Close()
+			return nil, fmt.Errorf("%w: journal record %d: %v", ErrBadRecord, i, err)
+		}
+		records = append(records, r)
+	}
+	l, err := FromRecords(records)
+	if err != nil {
+		_ = j.Close()
+		return nil, err
+	}
+	jl := &JournalLog{Log: l, j: j}
+	l.SetSink(jl.persist)
+	return jl, nil
+}
+
+// persist appends one record to the journal; the journal fsyncs before
+// acknowledging, so a nil return means the record is durable.
+func (jl *JournalLog) persist(r Record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("encoding record %d: %w", r.Seq, err)
+	}
+	return jl.j.Append(payload)
+}
+
+// Records reports how many records the journal recovered at open.
+func (jl *JournalLog) Recovered() int { return jl.j.Recovery().Records }
+
+// Close detaches the sink and releases the journal handle.
+func (jl *JournalLog) Close() error {
+	jl.Log.SetSink(nil)
+	return jl.j.Close()
+}

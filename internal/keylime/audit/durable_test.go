@@ -1,0 +1,156 @@
+package audit_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+)
+
+// entry builds a distinct audit entry for round i.
+func entry(i int) audit.Entry {
+	out := audit.Entry{
+		Time:            time.Unix(int64(1700000000+i*120), 0).UTC(),
+		AgentID:         fmt.Sprintf("agent-%d", i%3),
+		Outcome:         audit.OutcomePass,
+		NewEntries:      i,
+		VerifiedEntries: 10 + i,
+	}
+	if i%4 == 3 {
+		out.Outcome = audit.OutcomeFail
+		out.FailureType = "hash-mismatch"
+		out.FailurePath = "/usr/bin/evil"
+	}
+	return out
+}
+
+func TestJournalLogAppendRecoverContinue(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.wal")
+	jl, err := audit.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := jl.Log.Append(entry(i)); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	head := jl.Log.Head()
+	_ = jl.Close()
+
+	jl2, err := audit.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if jl2.Recovered() != 5 || jl2.Log.Len() != 5 {
+		t.Fatalf("recovered %d/%d records, want 5", jl2.Recovered(), jl2.Log.Len())
+	}
+	if jl2.Log.Head() != head {
+		t.Fatal("chain head changed across recovery")
+	}
+	// The chain continues across the restart.
+	if _, err := jl2.Log.Append(entry(5)); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	if err := audit.VerifyChain(jl2.Log.Records()); err != nil {
+		t.Fatalf("VerifyChain after restart append: %v", err)
+	}
+	_ = jl2.Close()
+}
+
+func TestJournalLogSinkFailureAbortsAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.wal")
+	ffs := faultinject.NewFaultFS()
+	jl, err := audit.OpenJournal(ffs, path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	if _, err := jl.Log.Append(entry(0)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	ffs.FailSyncN = ffs.Counters().Syncs + 1
+	if _, err := jl.Log.Append(entry(1)); err == nil {
+		t.Fatal("Append with failing persistence succeeded")
+	}
+	// The in-memory chain must not have advanced past the durable one.
+	if jl.Log.Len() != 1 {
+		t.Fatalf("Len = %d after aborted append, want 1", jl.Log.Len())
+	}
+	// And the log keeps working once the fault clears.
+	if _, err := jl.Log.Append(entry(1)); err != nil {
+		t.Fatalf("Append after cleared fault: %v", err)
+	}
+	_ = jl.Close()
+
+	jl2, err := audit.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = jl2.Close() }()
+	if jl2.Log.Len() != 2 {
+		t.Fatalf("recovered %d records, want 2", jl2.Log.Len())
+	}
+	if err := audit.VerifyChain(jl2.Log.Records()); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+// TestJournalLogCrashAtEveryByte simulates a multi-round run killed at
+// every byte offset of the audit journal: recovery must always verify the
+// full chain and retain every acknowledged record.
+func TestJournalLogCrashAtEveryByte(t *testing.T) {
+	const rounds = 6
+	run := func(fsys store.FS, path string) (acked int) {
+		jl, err := audit.OpenJournal(fsys, path)
+		if err != nil {
+			return 0
+		}
+		defer func() { _ = jl.Close() }()
+		for i := 0; i < rounds; i++ {
+			if _, err := jl.Log.Append(entry(i)); err != nil {
+				return acked
+			}
+			acked++
+		}
+		return acked
+	}
+
+	base := t.TempDir()
+	count := faultinject.NewFaultFS()
+	if got := run(count, filepath.Join(base, "count.wal")); got != rounds {
+		t.Fatalf("fault-free pass acked %d of %d", got, rounds)
+	}
+	total := count.Counters().WriteBytes
+
+	for k := int64(1); k <= total; k++ {
+		path := filepath.Join(base, fmt.Sprintf("crash-%04d.wal", k))
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashAfterBytes = k
+		acked := run(ffs, path)
+
+		jl, err := audit.OpenJournal(store.OS(), path)
+		if err != nil {
+			t.Fatalf("byte %d: recovery failed: %v", k, err)
+		}
+		recs := jl.Log.Records()
+		if err := audit.VerifyChain(recs); err != nil {
+			t.Fatalf("byte %d: chain invalid after recovery: %v", k, err)
+		}
+		// No acknowledged verdict lost; at most the in-flight record extra.
+		if len(recs) < acked || len(recs) > acked+1 {
+			t.Fatalf("byte %d: recovered %d records, acked %d", k, len(recs), acked)
+		}
+		// The chain continues after recovery.
+		if _, err := jl.Log.Append(entry(len(recs))); err != nil {
+			t.Fatalf("byte %d: append after recovery: %v", k, err)
+		}
+		if err := audit.VerifyChain(jl.Log.Records()); err != nil {
+			t.Fatalf("byte %d: chain invalid after post-recovery append: %v", k, err)
+		}
+		_ = jl.Close()
+	}
+}

@@ -1,0 +1,319 @@
+package faultinject
+
+// Filesystem fault injection for the durability layer
+// (internal/keylime/store): FaultFS wraps any store.FS and injects short
+// writes, write/fsync/rename errors, and — the crash harness — a
+// kill-at-byte-offset or kill-before-op "process death". After a kill
+// fires, every further operation fails with ErrCrashed while the bytes
+// already persisted stay on disk, so a test recovers by opening a fresh
+// store over the same directory with a clean FS, exactly like a restarted
+// process would.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"repro/internal/keylime/store"
+)
+
+// Errors.
+var (
+	// ErrCrashed reports that the simulated process died: the operation
+	// (and everything after it) never happened.
+	ErrCrashed = errors.New("faultinject: simulated crash")
+	// ErrInjected is the generic injected I/O failure (disk full, EIO).
+	ErrInjected = errors.New("faultinject: injected i/o error")
+)
+
+// FSOp enumerates the mutating filesystem operations FaultFS counts.
+type FSOp int
+
+// Filesystem operations.
+const (
+	FSWrite FSOp = iota
+	FSSync
+	FSRename
+	FSTruncate
+	FSRemove
+	FSOpen
+)
+
+var fsOpNames = map[FSOp]string{
+	FSWrite:    "write",
+	FSSync:     "sync",
+	FSRename:   "rename",
+	FSTruncate: "truncate",
+	FSRemove:   "remove",
+	FSOpen:     "open",
+}
+
+// String returns the operation label.
+func (o FSOp) String() string {
+	if n, ok := fsOpNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("fsop(%d)", int(o))
+}
+
+// FSCounters counts operations seen by a FaultFS. A fault-free pass over
+// a workload yields the sweep space for crash-point injection: every op
+// index and every written byte offset is a candidate crash point.
+type FSCounters struct {
+	Writes     int
+	WriteBytes int64
+	Syncs      int
+	Renames    int
+	Truncates  int
+	Removes    int
+	Opens      int
+	// MutatingOps is the total across write/sync/rename/truncate/remove —
+	// the op-boundary crash sweep space.
+	MutatingOps int
+}
+
+// FaultFS wraps a store.FS with deterministic fault injection. The zero
+// knobs pass everything through (but still count). Not safe to reconfigure
+// while in use; safe for concurrent operations.
+type FaultFS struct {
+	// Base is the real filesystem (default store.OS()).
+	Base store.FS
+
+	// CrashAfterBytes kills the process once this many cumulative bytes
+	// have been written: the write that crosses the limit persists only
+	// the prefix up to it, then fails with ErrCrashed, as does every
+	// later operation. 0 disables; note a limit of n crashes *after* n
+	// bytes are durable (crash before the very first byte with
+	// CrashBeforeOp instead).
+	CrashAfterBytes int64
+
+	// CrashBeforeOp kills the process immediately before the n-th
+	// (1-based) mutating operation. 0 disables.
+	CrashBeforeOp int
+
+	// FailWriteN makes the n-th (1-based) write fail with ErrInjected
+	// after persisting only ShortWriteBytes bytes — a short write / disk
+	// full. 0 disables.
+	FailWriteN      int
+	ShortWriteBytes int
+
+	// FailSyncN / FailRenameN fail the n-th fsync / rename with
+	// ErrInjected. 0 disables.
+	FailSyncN   int
+	FailRenameN int
+
+	mu       sync.Mutex
+	crashed  bool
+	counters FSCounters
+}
+
+// NewFaultFS returns a FaultFS over the real filesystem with no faults
+// armed; set knobs before use.
+func NewFaultFS() *FaultFS { return &FaultFS{Base: store.OS()} }
+
+// Counters returns a copy of the operation counters.
+func (f *FaultFS) Counters() FSCounters {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.counters
+}
+
+// Crashed reports whether the simulated process has died.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+func (f *FaultFS) base() store.FS {
+	if f.Base != nil {
+		return f.Base
+	}
+	return store.OS()
+}
+
+// beforeOp counts a mutating op and decides whether the process dies
+// before it executes.
+func (f *FaultFS) beforeOp(op FSOp) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.counters.MutatingOps++
+	switch op {
+	case FSSync:
+		f.counters.Syncs++
+	case FSRename:
+		f.counters.Renames++
+	case FSTruncate:
+		f.counters.Truncates++
+	case FSRemove:
+		f.counters.Removes++
+	}
+	if f.CrashBeforeOp > 0 && f.counters.MutatingOps >= f.CrashBeforeOp {
+		f.crashed = true
+		return ErrCrashed
+	}
+	switch op {
+	case FSSync:
+		if f.FailSyncN > 0 && f.counters.Syncs == f.FailSyncN {
+			return ErrInjected
+		}
+	case FSRename:
+		if f.FailRenameN > 0 && f.counters.Renames == f.FailRenameN {
+			return ErrInjected
+		}
+	}
+	return nil
+}
+
+// decideWrite counts a write of n bytes and returns how many bytes to
+// persist and the error to report (nil = full write).
+func (f *FaultFS) decideWrite(n int) (allow int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return 0, ErrCrashed
+	}
+	f.counters.MutatingOps++
+	f.counters.Writes++
+	if f.CrashBeforeOp > 0 && f.counters.MutatingOps >= f.CrashBeforeOp {
+		f.crashed = true
+		return 0, ErrCrashed
+	}
+	allow = n
+	if f.CrashAfterBytes > 0 {
+		remaining := f.CrashAfterBytes - f.counters.WriteBytes
+		if remaining < int64(n) {
+			if remaining < 0 {
+				remaining = 0
+			}
+			allow = int(remaining)
+			f.crashed = true
+			err = ErrCrashed
+		}
+	}
+	if err == nil && f.FailWriteN > 0 && f.counters.Writes == f.FailWriteN {
+		if f.ShortWriteBytes < allow {
+			allow = f.ShortWriteBytes
+		}
+		if allow < 0 {
+			allow = 0
+		}
+		err = ErrInjected
+	}
+	f.counters.WriteBytes += int64(allow)
+	return allow, err
+}
+
+// OpenFile implements store.FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (store.File, error) {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	f.counters.Opens++
+	f.mu.Unlock()
+	file, err := f.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// ReadFile implements store.FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.base().ReadFile(name)
+}
+
+// Rename implements store.FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.beforeOp(FSRename); err != nil {
+		return err
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.beforeOp(FSRemove); err != nil {
+		return err
+	}
+	return f.base().Remove(name)
+}
+
+// MkdirAll implements store.FS.
+func (f *FaultFS) MkdirAll(path string, perm fs.FileMode) error {
+	if f.Crashed() {
+		return ErrCrashed
+	}
+	return f.base().MkdirAll(path, perm)
+}
+
+// Stat implements store.FS.
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) {
+	if f.Crashed() {
+		return nil, ErrCrashed
+	}
+	return f.base().Stat(name)
+}
+
+// SyncDir implements store.FS.
+func (f *FaultFS) SyncDir(name string) error {
+	if err := f.beforeOp(FSSync); err != nil {
+		return err
+	}
+	return f.base().SyncDir(name)
+}
+
+// faultFile wraps a store.File with the owning FaultFS's decisions.
+type faultFile struct {
+	fs *FaultFS
+	f  store.File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	allow, err := ff.fs.decideWrite(len(p))
+	if allow > 0 {
+		n, werr := ff.f.Write(p[:allow])
+		// Persist-what-we-can semantics: the prefix reaches the file even
+		// when the injected fault then reports failure.
+		if werr != nil {
+			return n, werr
+		}
+		if err == nil {
+			return n, nil
+		}
+		return n, err
+	}
+	if err == nil {
+		return 0, nil
+	}
+	return 0, err
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.fs.beforeOp(FSSync); err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.fs.beforeOp(FSTruncate); err != nil {
+		return err
+	}
+	return ff.f.Truncate(size)
+}
+
+func (ff *faultFile) Close() error {
+	// Close is not a durability point; it always reaches the real file so
+	// descriptors are not leaked mid-test.
+	return ff.f.Close()
+}

@@ -1,0 +1,143 @@
+package faultinject_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/keylime/faultinject"
+)
+
+func TestFaultFSCrashAfterBytesPersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS()
+	ffs.CrashAfterBytes = 10
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("crossing write err = %v, want ErrCrashed", err)
+	}
+	if n != 2 {
+		t.Fatalf("crossing write persisted %d bytes, want 2", n)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("FS not marked crashed")
+	}
+	// Every subsequent operation fails.
+	if err := f.Sync(); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("post-crash Sync err = %v", err)
+	}
+	if _, err := ffs.OpenFile(filepath.Join(dir, "g"), os.O_WRONLY|os.O_CREATE, 0o600); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("post-crash OpenFile err = %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "h")); !errors.Is(err, faultinject.ErrCrashed) {
+		t.Fatalf("post-crash Rename err = %v", err)
+	}
+	_ = f.Close()
+	// The surviving bytes are exactly the allowed prefix.
+	data, err := os.ReadFile(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(data) != "12345678ab" {
+		t.Fatalf("surviving bytes = %q, want %q", data, "12345678ab")
+	}
+}
+
+func TestFaultFSCrashBeforeOp(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS()
+	ffs.CrashBeforeOp = 2
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil { // op 1
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("two")); !errors.Is(err, faultinject.ErrCrashed) { // op 2
+		t.Fatalf("write 2 err = %v, want ErrCrashed", err)
+	}
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "one" {
+		t.Fatalf("surviving bytes = %q", data)
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS()
+	ffs.FailWriteN = 1
+	ffs.ShortWriteBytes = 4
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	n, err := f.Write([]byte("longer-than-four"))
+	if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write persisted %d bytes, want 4", n)
+	}
+	// A short write is an error, not a crash: the next write succeeds.
+	if _, err := f.Write([]byte("-more")); err != nil {
+		t.Fatalf("write after short write: %v", err)
+	}
+	_ = f.Close()
+	data, _ := os.ReadFile(filepath.Join(dir, "f"))
+	if string(data) != "long-more" {
+		t.Fatalf("file = %q", data)
+	}
+}
+
+func TestFaultFSFailSyncAndRename(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS()
+	ffs.FailSyncN = 1
+	ffs.FailRenameN = 1
+	f, err := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("sync 1 err = %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("rename 1 err = %v", err)
+	}
+	if err := ffs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g")); err != nil {
+		t.Fatalf("rename 2: %v", err)
+	}
+	_ = f.Close()
+}
+
+func TestFaultFSCounters(t *testing.T) {
+	dir := t.TempDir()
+	ffs := faultinject.NewFaultFS()
+	f, _ := ffs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o600)
+	_, _ = f.Write([]byte("12345"))
+	_ = f.Sync()
+	_ = f.Truncate(2)
+	_ = f.Close()
+	_ = ffs.Rename(filepath.Join(dir, "f"), filepath.Join(dir, "g"))
+	_ = ffs.Remove(filepath.Join(dir, "g"))
+	c := ffs.Counters()
+	if c.Writes != 1 || c.WriteBytes != 5 || c.Syncs != 1 || c.Truncates != 1 ||
+		c.Renames != 1 || c.Removes != 1 || c.Opens != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.MutatingOps != 5 {
+		t.Fatalf("MutatingOps = %d, want 5", c.MutatingOps)
+	}
+}

@@ -1,0 +1,194 @@
+package store_test
+
+// Crash-injection suite for the durability layer: a fixed workload of
+// puts, deletes, and compactions runs against a FaultFS that kills the
+// simulated process at every byte offset and every operation boundary in
+// turn; after each crash the store is reopened over the surviving bytes
+// and must satisfy the recovery invariants:
+//
+//   - every acknowledged mutation is present (no recorded verdict lost);
+//   - nothing beyond the single in-flight mutation is present (the store
+//     never invents or resurrects state);
+//   - the store accepts new writes after recovery.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+)
+
+// crashOp is one step of the crash workload.
+type crashOp struct {
+	kind string // "put", "delete", "compact"
+	key  string
+	val  string
+}
+
+// crashWorkload exercises every store write path: journal appends,
+// overwrite, delete, snapshot compaction (temp write + rename + journal
+// reset), and post-compaction appends.
+var crashWorkload = []crashOp{
+	{kind: "put", key: "agent-a", val: "frontier:10"},
+	{kind: "put", key: "agent-b", val: "frontier:4"},
+	{kind: "put", key: "agent-a", val: "frontier:17"},
+	{kind: "delete", key: "agent-b"},
+	{kind: "put", key: "agent-c", val: "frontier:2"},
+	{kind: "compact"},
+	{kind: "put", key: "agent-d", val: "frontier:9"},
+	{kind: "put", key: "agent-a", val: "frontier:23"},
+	{kind: "compact"},
+	{kind: "put", key: "agent-c", val: "frontier:11"},
+}
+
+// applyCrashOp folds one op into the model state.
+func applyCrashOp(model map[string]string, o crashOp) {
+	switch o.kind {
+	case "put":
+		model[o.key] = o.val
+	case "delete":
+		delete(model, o.key)
+	}
+}
+
+// modelAfter returns the expected state after the first n ops.
+func modelAfter(n int) map[string]string {
+	m := make(map[string]string)
+	for _, o := range crashWorkload[:n] {
+		applyCrashOp(m, o)
+	}
+	return m
+}
+
+// runCrashWorkload executes the workload until an op errors. It returns
+// how many ops were acknowledged and how many were started (started ==
+// acked, or acked+1 when the final op failed mid-flight). A failure to
+// even open the store reports 0/0.
+func runCrashWorkload(fsys store.FS, dir string) (acked, started int) {
+	s, err := store.Open(dir, store.WithStoreFS(fsys), store.WithAutoCompact(0))
+	if err != nil {
+		return 0, 0
+	}
+	defer func() { _ = s.Close() }()
+	for _, o := range crashWorkload {
+		started++
+		switch o.kind {
+		case "put":
+			err = s.Put(o.key, []byte(o.val))
+		case "delete":
+			err = s.Delete(o.key)
+		case "compact":
+			err = s.Compact()
+		}
+		if err != nil {
+			return acked, started
+		}
+		acked++
+	}
+	return acked, started
+}
+
+// checkRecovered opens the crashed directory with a clean filesystem and
+// asserts the recovery invariants.
+func checkRecovered(t *testing.T, label, dir string, acked, started int) {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer func() { _ = s.Close() }()
+	got := s.All()
+	okAgainst := func(model map[string]string) bool {
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if string(got[k]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	// The recovered state must match either everything acknowledged, or
+	// that plus the single in-flight op (whose bytes may have become
+	// durable before the crash landed).
+	if !okAgainst(modelAfter(acked)) && !okAgainst(modelAfter(started)) {
+		t.Fatalf("%s: recovered state %v matches neither %d nor %d acked ops",
+			label, got, acked, started)
+	}
+	// Recovery must leave a writable store behind.
+	if err := s.Put("post-crash", []byte("accepted")); err != nil {
+		t.Fatalf("%s: store rejects writes after recovery: %v", label, err)
+	}
+}
+
+func TestStoreCrashAtEveryByte(t *testing.T) {
+	base := t.TempDir()
+	countFS := faultinject.NewFaultFS()
+	if acked, _ := runCrashWorkload(countFS, filepath.Join(base, "count")); acked != len(crashWorkload) {
+		t.Fatalf("fault-free pass acked %d of %d ops", acked, len(crashWorkload))
+	}
+	total := countFS.Counters().WriteBytes
+	if total == 0 {
+		t.Fatal("counting pass saw no writes")
+	}
+	for k := int64(1); k <= total; k++ {
+		dir := filepath.Join(base, fmt.Sprintf("byte-%04d", k))
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashAfterBytes = k
+		acked, started := runCrashWorkload(ffs, dir)
+		if k < total && !ffs.Crashed() {
+			t.Fatalf("byte %d: crash never fired", k)
+		}
+		checkRecovered(t, fmt.Sprintf("crash after byte %d", k), dir, acked, started)
+	}
+}
+
+func TestStoreCrashAtEveryOp(t *testing.T) {
+	base := t.TempDir()
+	countFS := faultinject.NewFaultFS()
+	if acked, _ := runCrashWorkload(countFS, filepath.Join(base, "count")); acked != len(crashWorkload) {
+		t.Fatalf("fault-free pass acked %d of %d ops", acked, len(crashWorkload))
+	}
+	totalOps := countFS.Counters().MutatingOps
+	for n := 1; n <= totalOps; n++ {
+		dir := filepath.Join(base, fmt.Sprintf("op-%04d", n))
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashBeforeOp = n
+		acked, started := runCrashWorkload(ffs, dir)
+		if !ffs.Crashed() {
+			t.Fatalf("op %d: crash never fired", n)
+		}
+		checkRecovered(t, fmt.Sprintf("crash before op %d (%d acked)", n, acked), dir, acked, started)
+	}
+}
+
+// TestStoreCrashDuringRecoveryTruncation kills the process while recovery
+// itself is truncating a torn tail, then recovers again: recovery must be
+// idempotent.
+func TestStoreCrashDuringRecoveryTruncation(t *testing.T) {
+	dir := t.TempDir()
+	// Produce a directory with a torn journal tail.
+	ffs := faultinject.NewFaultFS()
+	count := faultinject.NewFaultFS()
+	acked0, _ := runCrashWorkload(count, filepath.Join(t.TempDir(), "count"))
+	if acked0 != len(crashWorkload) {
+		t.Fatalf("count pass acked %d", acked0)
+	}
+	ffs.CrashAfterBytes = count.Counters().WriteBytes - 3
+	acked, started := runCrashWorkload(ffs, dir)
+
+	// First recovery attempt dies immediately (before any repair write).
+	ffs2 := faultinject.NewFaultFS()
+	ffs2.CrashBeforeOp = 1
+	if _, err := store.Open(dir, store.WithStoreFS(ffs2)); err == nil {
+		// The torn tail may not require a repair write if the crash point
+		// landed exactly on a record boundary; that is fine.
+		t.Log("recovery needed no mutating op at this crash point")
+	}
+	// Second recovery over a clean filesystem must succeed with the same
+	// invariants.
+	checkRecovered(t, "recovery after crashed recovery", dir, acked, started)
+}

@@ -1,0 +1,73 @@
+// Package store implements the verifier's crash-safe durability layer: an
+// append-only, length-prefixed, CRC-checksummed write-ahead journal with
+// torn-tail recovery, and a keyed store layering atomic snapshots plus
+// journal compaction on top of it. The paper's P2 finding is that a
+// verifier which loses its place hands an adaptive attacker a blind
+// window; this package makes the verifier's verdicts, verification
+// frontier, and pending revocation notifications survive a crash at any
+// write boundary.
+//
+// All file access goes through the FS interface so the crash-injection
+// harness (internal/keylime/faultinject.FaultFS) can inject short writes,
+// fsync/rename errors, and kill-at-byte-offset crashes deterministically.
+package store
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the store writes through. Reads go
+// through FS.ReadFile, so File only needs the mutation surface.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
+// FS abstracts the filesystem operations the store performs. The OS
+// implementation is returned by OS(); faultinject.FaultFS wraps any FS to
+// inject faults and crashes.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	Stat(name string) (fs.FileInfo, error)
+	// SyncDir fsyncs a directory, making a preceding rename durable.
+	SyncDir(name string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,329 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Journal file format:
+//
+//	8 bytes   magic "KLJRNL01"
+//	records:  4 bytes big-endian payload length
+//	          4 bytes CRC-32C (Castagnoli) of the payload
+//	          payload
+//
+// Appends are a single Write call followed (by default) by an fsync, so a
+// crash can tear at most the final record. Recovery truncates a torn or
+// checksum-failing tail instead of failing open: appends are sequential
+// and synced, so anything after the first invalid record was never
+// acknowledged to a caller.
+
+// journalMagic identifies (and versions) the journal file format.
+const journalMagic = "KLJRNL01"
+
+const (
+	journalHeaderSize = len(journalMagic)
+	recordHeaderSize  = 8
+	// maxRecordSize guards the scanner against garbage lengths.
+	maxRecordSize = 1 << 30
+)
+
+// Errors.
+var (
+	// ErrCorrupt reports damage recovery must not paper over: a bad magic
+	// number, or an invalid record in an atomically-written snapshot.
+	ErrCorrupt = errors.New("store: corrupt file")
+	// ErrBroken reports a journal disabled by an earlier append failure
+	// that could not be rolled back; the on-disk tail state is unknown
+	// until the journal is reopened and recovered.
+	ErrBroken = errors.New("store: journal broken by failed append")
+	// ErrTooLarge reports a record payload over the format limit.
+	ErrTooLarge = errors.New("store: record too large")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RecoveryInfo describes what opening a journal found on disk.
+type RecoveryInfo struct {
+	// Records is how many intact records were recovered.
+	Records int
+	// TornBytes is how many trailing bytes were truncated as a torn or
+	// corrupt tail (0 for a clean journal).
+	TornBytes int64
+}
+
+// Journal is an append-only, CRC-checksummed record log. It is not safe
+// for concurrent use; callers (Store, the outbox, the audit sink)
+// serialize access.
+type Journal struct {
+	fsys     FS
+	path     string
+	f        File
+	size     int64
+	records  int
+	sync     bool
+	broken   bool
+	recovery RecoveryInfo
+}
+
+// JournalOption configures OpenJournal.
+type JournalOption func(*Journal)
+
+// WithJournalSync controls fsync-per-append (default true). Turning it
+// off trades the no-acked-record-lost guarantee for write latency.
+func WithJournalSync(on bool) JournalOption {
+	return func(j *Journal) { j.sync = on }
+}
+
+// OpenJournal opens (creating if absent) the journal at path, recovers
+// its record payloads, and truncates any torn tail. The returned payload
+// slices are owned by the caller.
+func OpenJournal(fsys FS, path string, opts ...JournalOption) (*Journal, [][]byte, error) {
+	j := &Journal{fsys: fsys, path: path, sync: true}
+	for _, opt := range opts {
+		opt(j)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("store: reading journal %s: %w", path, err)
+	}
+	payloads, validLen, err := scanJournal(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: journal %s: %w", path, err)
+	}
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: opening journal %s: %w", path, err)
+	}
+	j.f = f
+	if int64(len(data)) > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: syncing truncated %s: %w", path, err)
+		}
+	}
+	j.size = validLen
+	if validLen == 0 {
+		if err := j.writeAll([]byte(journalMagic)); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: writing journal header %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return nil, nil, fmt.Errorf("store: syncing journal header %s: %w", path, err)
+		}
+		j.size = int64(journalHeaderSize)
+	}
+	j.records = len(payloads)
+	j.recovery = RecoveryInfo{Records: len(payloads), TornBytes: int64(len(data)) - validLen}
+	if j.recovery.TornBytes < 0 {
+		j.recovery.TornBytes = 0
+	}
+	return j, payloads, nil
+}
+
+// scanJournal walks the on-disk bytes and returns the intact payloads and
+// the length of the valid prefix. A torn or checksum-failing tail is
+// reported via validLen < len(data), never as an error; only a corrupt
+// header (wrong magic) is fatal.
+func scanJournal(data []byte) (payloads [][]byte, validLen int64, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	if len(data) < journalHeaderSize {
+		// Torn header: the process died while creating the file. Nothing
+		// was ever acknowledged, so recover as empty.
+		if string(data) == journalMagic[:len(data)] {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: bad journal header", ErrCorrupt)
+	}
+	if string(data[:journalHeaderSize]) != journalMagic {
+		return nil, 0, fmt.Errorf("%w: bad journal magic", ErrCorrupt)
+	}
+	off := int64(journalHeaderSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			break // torn record header
+		}
+		length := binary.BigEndian.Uint32(rest[:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if length > maxRecordSize || int64(len(rest)) < recordHeaderSize+int64(length) {
+			break // garbage length or torn payload
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+int64(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn write inside the payload
+		}
+		payloads = append(payloads, append([]byte(nil), payload...))
+		off += recordHeaderSize + int64(length)
+	}
+	return payloads, off, nil
+}
+
+// encodeRecord frames one payload.
+func encodeRecord(payload []byte) []byte {
+	buf := make([]byte, recordHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[recordHeaderSize:], payload)
+	return buf
+}
+
+// Recovery reports what OpenJournal found.
+func (j *Journal) Recovery() RecoveryInfo { return j.recovery }
+
+// Records is the number of records currently in the journal.
+func (j *Journal) Records() int { return j.records }
+
+// Size is the current valid length in bytes.
+func (j *Journal) Size() int64 { return j.size }
+
+// Append frames, writes, and (unless disabled) fsyncs one record. The
+// record is durable — and only then acknowledged — when Append returns
+// nil. On a failed write the journal rolls the file back to the last
+// acknowledged record; if even that fails the journal is marked broken
+// and every further append errors until it is reopened.
+func (j *Journal) Append(payload []byte) error {
+	if j.broken {
+		return ErrBroken
+	}
+	if len(payload) > maxRecordSize {
+		return ErrTooLarge
+	}
+	if err := j.writeAll(encodeRecord(payload)); err != nil {
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.broken = true
+		}
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			// The bytes may or may not be durable; roll back so the
+			// in-memory accounting only ever covers acknowledged records.
+			if terr := j.f.Truncate(j.size); terr != nil {
+				j.broken = true
+			}
+			return fmt.Errorf("store: syncing record: %w", err)
+		}
+	}
+	j.size += int64(recordHeaderSize + len(payload))
+	j.records++
+	return nil
+}
+
+// Sync flushes the journal file.
+func (j *Journal) Sync() error { return j.f.Sync() }
+
+// Reset truncates the journal back to an empty (header-only) state —
+// used after a snapshot compaction has made its records redundant.
+func (j *Journal) Reset() error {
+	if j.broken {
+		return ErrBroken
+	}
+	if err := j.f.Truncate(int64(journalHeaderSize)); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: resetting journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+		return fmt.Errorf("store: syncing reset journal: %w", err)
+	}
+	j.size = int64(journalHeaderSize)
+	j.records = 0
+	return nil
+}
+
+// Rewrite atomically replaces the journal contents with the given
+// records: they are written to a temp file, fsynced, renamed over the
+// journal, and the directory synced. Used for outbox compaction, where
+// the surviving records are a filtered subset rather than a snapshot.
+func (j *Journal) Rewrite(payloads [][]byte) error {
+	tmp := j.path + ".tmp"
+	if err := writeFileAtomic(j.fsys, tmp, j.path, journalFileBytes(payloads)); err != nil {
+		return fmt.Errorf("store: rewriting journal: %w", err)
+	}
+	// Reopen the append handle on the new inode.
+	_ = j.f.Close()
+	f, err := j.fsys.OpenFile(j.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		j.broken = true
+		return fmt.Errorf("store: reopening rewritten journal: %w", err)
+	}
+	j.f = f
+	j.broken = false
+	j.size = int64(journalHeaderSize)
+	j.records = 0
+	for _, p := range payloads {
+		j.size += int64(recordHeaderSize + len(p))
+		j.records++
+	}
+	return nil
+}
+
+// journalFileBytes builds a complete journal file image.
+func journalFileBytes(payloads [][]byte) []byte {
+	buf := []byte(journalMagic)
+	for _, p := range payloads {
+		buf = append(buf, encodeRecord(p)...)
+	}
+	return buf
+}
+
+// Close releases the file handle.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// writeAll writes the whole buffer, surfacing short writes as errors.
+func (j *Journal) writeAll(buf []byte) error {
+	n, err := j.f.Write(buf)
+	if err != nil {
+		return err
+	}
+	if n != len(buf) {
+		return fmt.Errorf("short write (%d of %d bytes)", n, len(buf))
+	}
+	return nil
+}
+
+// WriteFileAtomic durably replaces path with data via the atomic-replace
+// idiom: write path+".tmp", fsync, rename over path, fsync the directory.
+// A crash leaves either the old file or the new one, never a torn mix.
+func WriteFileAtomic(fsys FS, path string, data []byte) error {
+	return writeFileAtomic(fsys, path+".tmp", path, data)
+}
+
+// writeFileAtomic writes data to tmpPath, fsyncs it, renames it to path,
+// and fsyncs the containing directory — the atomic-replace idiom. On any
+// error the temp file is removed best-effort.
+func writeFileAtomic(fsys FS, tmpPath, path string, data []byte) error {
+	f, err := fsys.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(data)
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = fsys.Remove(tmpPath)
+		return werr
+	}
+	if err := fsys.Rename(tmpPath, path); err != nil {
+		_ = fsys.Remove(tmpPath)
+		return err
+	}
+	return fsys.SyncDir(filepath.Dir(path))
+}

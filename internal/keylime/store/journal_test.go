@@ -1,0 +1,175 @@
+package store_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/keylime/store"
+)
+
+// openJ opens a journal at path, failing the test on error.
+func openJ(t *testing.T, path string) (*store.Journal, [][]byte) {
+	t.Helper()
+	j, payloads, err := store.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	return j, payloads
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, payloads := openJ(t, path)
+	if len(payloads) != 0 {
+		t.Fatalf("new journal has %d records", len(payloads))
+	}
+	want := [][]byte{[]byte("alpha"), []byte(""), []byte("gamma-longer-payload")}
+	for _, p := range want {
+		if err := j.Append(p); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if j.Records() != len(want) {
+		t.Fatalf("Records = %d, want %d", j.Records(), len(want))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, got := openJ(t, path)
+	defer func() { _ = j2.Close() }()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if ri := j2.Recovery(); ri.TornBytes != 0 || ri.Records != len(want) {
+		t.Fatalf("recovery = %+v", ri)
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJ(t, path)
+	if err := j.Append([]byte("kept")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	goodSize := j.Size()
+	if err := j.Append([]byte("torn-away-record")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	_ = j.Close()
+
+	// Tear the file mid-way through the final record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	j2, payloads := openJ(t, path)
+	if len(payloads) != 1 || string(payloads[0]) != "kept" {
+		t.Fatalf("recovered %q, want just \"kept\"", payloads)
+	}
+	if ri := j2.Recovery(); ri.TornBytes == 0 {
+		t.Fatalf("recovery reported no torn bytes: %+v", ri)
+	}
+	if j2.Size() != goodSize {
+		t.Fatalf("size after recovery = %d, want %d", j2.Size(), goodSize)
+	}
+	// The journal keeps working after a torn-tail recovery.
+	if err := j2.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after recovery: %v", err)
+	}
+	_ = j2.Close()
+	_, payloads = openJ(t, path)
+	if len(payloads) != 2 || string(payloads[1]) != "after" {
+		t.Fatalf("post-recovery append lost: %q", payloads)
+	}
+}
+
+func TestJournalChecksumFailureTruncatesTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJ(t, path)
+	_ = j.Append([]byte("one"))
+	_ = j.Append([]byte("two"))
+	_ = j.Close()
+
+	data, _ := os.ReadFile(path)
+	// Flip a bit in the final record's payload.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	_, payloads := openJ(t, path)
+	if len(payloads) != 1 || string(payloads[0]) != "one" {
+		t.Fatalf("recovered %q, want just \"one\"", payloads)
+	}
+}
+
+func TestJournalBadMagicIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	if err := os.WriteFile(path, []byte("NOTAMAGIC-and-some-data"), 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	_, _, err := store.OpenJournal(store.OS(), path)
+	if !errors.Is(err, store.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestJournalTornHeaderRecoversEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	// Crash mid-way through writing the 8-byte magic.
+	if err := os.WriteFile(path, []byte("KLJR"), 0o600); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	j, payloads := openJ(t, path)
+	defer func() { _ = j.Close() }()
+	if len(payloads) != 0 {
+		t.Fatalf("recovered %d records from torn header", len(payloads))
+	}
+	if err := j.Append([]byte("works")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}
+
+func TestJournalResetAndRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.wal")
+	j, _ := openJ(t, path)
+	for _, p := range []string{"a", "b", "c"} {
+		_ = j.Append([]byte(p))
+	}
+	if err := j.Rewrite([][]byte{[]byte("b")}); err != nil {
+		t.Fatalf("Rewrite: %v", err)
+	}
+	if j.Records() != 1 {
+		t.Fatalf("Records after rewrite = %d", j.Records())
+	}
+	if err := j.Append([]byte("d")); err != nil {
+		t.Fatalf("Append after rewrite: %v", err)
+	}
+	_ = j.Close()
+	_, payloads := openJ(t, path)
+	if len(payloads) != 2 || string(payloads[0]) != "b" || string(payloads[1]) != "d" {
+		t.Fatalf("after rewrite+append: %q", payloads)
+	}
+
+	j2, _ := openJ(t, path)
+	if err := j2.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	_ = j2.Close()
+	_, payloads = openJ(t, path)
+	if len(payloads) != 0 {
+		t.Fatalf("after reset: %q", payloads)
+	}
+}

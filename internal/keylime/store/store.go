@@ -1,0 +1,285 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a crash-safe keyed store: a map[string][]byte whose mutations
+// are journaled before they are acknowledged, periodically compacted into
+// an atomic snapshot. The verifier uses it for per-agent state rows
+// (key = agent ID, value = serialized AgentState), journaling only the
+// rows dirtied by each sweep instead of marshaling the whole fleet.
+//
+// Layout under the store directory:
+//
+//	snapshot.dat  — journal-framed put records, replaced atomically
+//	journal.wal   — mutations since the snapshot
+//	snapshot.tmp  — in-flight compaction (removed on open)
+//
+// Recovery = strict-parse the snapshot (it only ever appears via rename,
+// so it is never torn), then replay the journal with torn-tail
+// truncation. Replay is last-writer-wins per key, so a crash between the
+// snapshot rename and the journal reset — which leaves the journal
+// holding records the snapshot already covers — is harmless.
+type Store struct {
+	fsys FS
+	dir  string
+
+	mu          sync.Mutex
+	state       map[string][]byte
+	journal     *Journal
+	autoCompact int
+	compactions int
+	recovery    RecoveryInfo
+}
+
+// Mutation ops in journal/snapshot payloads.
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+// Store file names.
+const (
+	SnapshotFile    = "snapshot.dat"
+	JournalFile     = "journal.wal"
+	snapshotTmpFile = "snapshot.tmp"
+)
+
+// StoreOption configures Open.
+type StoreOption func(*Store)
+
+// WithAutoCompact compacts the journal into a snapshot whenever its
+// record count exceeds max(n, 2×keys). n <= 0 disables auto-compaction
+// (Compact can still be called explicitly). Default 4096.
+func WithAutoCompact(n int) StoreOption {
+	return func(s *Store) { s.autoCompact = n }
+}
+
+// WithStoreFS sets the filesystem (default the real one).
+func WithStoreFS(fsys FS) StoreOption {
+	return func(s *Store) { s.fsys = fsys }
+}
+
+// Open opens (creating if needed) the store rooted at dir and recovers
+// its state: latest snapshot plus journal suffix.
+func Open(dir string, opts ...StoreOption) (*Store, error) {
+	s := &Store{fsys: OS(), dir: dir, state: make(map[string][]byte), autoCompact: 4096}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.fsys.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	// A leftover temp snapshot is an abandoned compaction from before a
+	// crash: the rename never happened, so it holds nothing durable.
+	if _, err := s.fsys.Stat(filepath.Join(dir, snapshotTmpFile)); err == nil {
+		if err := s.fsys.Remove(filepath.Join(dir, snapshotTmpFile)); err != nil {
+			return nil, fmt.Errorf("store: removing stale %s: %w", snapshotTmpFile, err)
+		}
+	}
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if data, err := s.fsys.ReadFile(snapPath); err == nil {
+		entries, validLen, serr := scanJournal(data)
+		if serr != nil || validLen != int64(len(data)) {
+			// Snapshots are written whole and installed by rename; a torn
+			// or trailing-garbage snapshot is corruption, not a crash.
+			return nil, fmt.Errorf("store: %w: snapshot %s", ErrCorrupt, snapPath)
+		}
+		for _, e := range entries {
+			if err := s.applyPayload(e); err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: %w", snapPath, err)
+			}
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	j, payloads, err := OpenJournal(s.fsys, filepath.Join(dir, JournalFile))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range payloads {
+		if err := s.applyPayload(p); err != nil {
+			_ = j.Close()
+			return nil, fmt.Errorf("store: journal replay: %w", err)
+		}
+	}
+	s.journal = j
+	s.recovery = j.Recovery()
+	return s, nil
+}
+
+// applyPayload decodes one mutation record into the state map.
+func (s *Store) applyPayload(p []byte) error {
+	op, key, value, err := decodeMutation(p)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case opPut:
+		s.state[key] = value
+	case opDelete:
+		delete(s.state, key)
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	return nil
+}
+
+// encodeMutation frames op/key/value into a journal payload.
+func encodeMutation(op byte, key string, value []byte) []byte {
+	buf := make([]byte, 0, 5+len(key)+len(value))
+	buf = append(buf, op)
+	var klen [4]byte
+	binary.BigEndian.PutUint32(klen[:], uint32(len(key)))
+	buf = append(buf, klen[:]...)
+	buf = append(buf, key...)
+	buf = append(buf, value...)
+	return buf
+}
+
+// decodeMutation is the inverse of encodeMutation.
+func decodeMutation(p []byte) (op byte, key string, value []byte, err error) {
+	if len(p) < 5 {
+		return 0, "", nil, fmt.Errorf("%w: mutation record too short", ErrCorrupt)
+	}
+	op = p[0]
+	klen := binary.BigEndian.Uint32(p[1:5])
+	if int(klen) > len(p)-5 {
+		return 0, "", nil, fmt.Errorf("%w: mutation key overruns record", ErrCorrupt)
+	}
+	key = string(p[5 : 5+klen])
+	value = append([]byte(nil), p[5+klen:]...)
+	return op, key, value, nil
+}
+
+// Put durably records key = value. When Put returns nil the mutation has
+// been journaled and fsynced; a crash at any later point preserves it.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journal.Append(encodeMutation(opPut, key, value)); err != nil {
+		return err
+	}
+	s.state[key] = append([]byte(nil), value...)
+	return s.maybeCompactLocked()
+}
+
+// Delete durably removes a key. Deleting an absent key is a no-op that
+// still journals (replay stays idempotent either way).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journal.Append(encodeMutation(opDelete, key, nil)); err != nil {
+		return err
+	}
+	delete(s.state, key)
+	return s.maybeCompactLocked()
+}
+
+// Get returns the value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.state[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Len is the number of keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.state)
+}
+
+// All returns a copy of the full state.
+func (s *Store) All() map[string][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.state))
+	for k, v := range s.state {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// maybeCompactLocked runs a compaction when the journal has outgrown the
+// live state.
+func (s *Store) maybeCompactLocked() error {
+	if s.autoCompact <= 0 {
+		return nil
+	}
+	threshold := s.autoCompact
+	if t := 2 * len(s.state); t > threshold {
+		threshold = t
+	}
+	if s.journal.Records() <= threshold {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact writes the current state as a new snapshot (temp file, fsync,
+// rename, directory sync) and resets the journal. A crash before the
+// rename leaves the old snapshot + full journal; a crash between the
+// rename and the reset leaves the new snapshot + a journal whose replay
+// is idempotent over it. No window loses an acknowledged mutation.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	payloads := make([][]byte, 0, len(s.state))
+	for k, v := range s.state {
+		payloads = append(payloads, encodeMutation(opPut, k, v))
+	}
+	tmp := filepath.Join(s.dir, snapshotTmpFile)
+	snap := filepath.Join(s.dir, SnapshotFile)
+	if err := writeFileAtomic(s.fsys, tmp, snap, journalFileBytes(payloads)); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	s.compactions++
+	return s.journal.Reset()
+}
+
+// Stats describes the store's persistence state.
+type Stats struct {
+	Keys           int
+	JournalRecords int
+	JournalBytes   int64
+	Compactions    int
+	// Recovery is what the last Open found (intact records, torn bytes
+	// truncated).
+	Recovery RecoveryInfo
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Keys:           len(s.state),
+		JournalRecords: s.journal.Records(),
+		JournalBytes:   s.journal.Size(),
+		Compactions:    s.compactions,
+		Recovery:       s.recovery,
+	}
+}
+
+// Close releases the journal handle. State already acknowledged remains
+// durable; Close performs no extra flush.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal.Close()
+}

@@ -1,0 +1,168 @@
+package verifier_test
+
+// Tests for incremental state export (dirty-row tracking) and the lenient
+// restore path — the verifier-side half of the crash-safe durability layer.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/keylime/verifier"
+	"repro/internal/policy"
+)
+
+func TestExportDirtyTracksMutations(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+
+	// Enrollment marks the agent dirty.
+	changed, removed, err := s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 1 || changed[0].AgentID != s.m.UUID() || len(removed) != 0 {
+		t.Fatalf("after enroll: changed=%v removed=%v", changed, removed)
+	}
+
+	// Draining is one-shot: no new mutation, nothing to export.
+	changed, removed, err = s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 0 || len(removed) != 0 {
+		t.Fatalf("no mutations since drain: changed=%v removed=%v", changed, removed)
+	}
+
+	// A completed attestation round re-marks the agent, and the exported
+	// row carries the advanced frontier.
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	if res.Failure != nil {
+		t.Fatalf("attestation failed: %+v", res.Failure)
+	}
+	changed, _, err = s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 1 || changed[0].Attestations != 1 {
+		t.Fatalf("after round: changed=%+v", changed)
+	}
+	if changed[0].NextOffset == 0 {
+		t.Fatal("exported row did not carry the advanced frontier")
+	}
+
+	// Removal surfaces as a removed ID so the persistence layer can delete
+	// the row instead of leaving a ghost agent behind.
+	if err := s.v.RemoveAgent(s.m.UUID()); err != nil {
+		t.Fatalf("RemoveAgent: %v", err)
+	}
+	changed, removed, err = s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 0 || len(removed) != 1 || removed[0] != s.m.UUID() {
+		t.Fatalf("after removal: changed=%v removed=%v", changed, removed)
+	}
+}
+
+func TestExportDirtyMarksFailureAndResume(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	if _, _, err := s.v.ExportDirty(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// A policy violation (failure path) marks the agent dirty.
+	writeExec(t, s.m, "/usr/bin/rogue", "evil")
+	exec(t, s.m, "/usr/bin/rogue")
+	res := attest(t, s)
+	if res.Failure == nil {
+		t.Fatal("expected a policy violation")
+	}
+	changed, _, err := s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 1 || !changed[0].Halted || len(changed[0].Failures) != 1 {
+		t.Fatalf("after failure: changed=%+v", changed)
+	}
+
+	// Resume marks it again so the cleared halt is persisted too.
+	if err := s.v.Resume(s.m.UUID()); err != nil {
+		t.Fatalf("Resume: %v", err)
+	}
+	changed, _, err = s.v.ExportDirty()
+	if err != nil {
+		t.Fatalf("ExportDirty: %v", err)
+	}
+	if len(changed) != 1 || changed[0].Halted {
+		t.Fatalf("after resume: changed=%+v", changed)
+	}
+}
+
+func TestRestoreStateLenientSkipsCorruptRows(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	if res := attest(t, s); res.Failure != nil {
+		t.Fatalf("baseline round: %+v", res.Failure)
+	}
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	good := snap.Agents[0]
+
+	// A snapshot holding one intact row, one corrupt row, and a duplicate.
+	mixed := verifier.Snapshot{Agents: []verifier.AgentState{
+		{AgentID: "corrupt-ak", AKPub: "%%%", PrefixAggregate: "00"},
+		good,
+		good, // duplicate of the intact row
+	}}
+
+	// Strict restore aborts on the first bad row.
+	if err := verifier.New(s.regSrv.URL).RestoreState(mixed); err == nil {
+		t.Fatal("strict RestoreState accepted a corrupt row")
+	}
+
+	// Lenient restore keeps the intact row and reports the other two.
+	v2 := verifier.New(s.regSrv.URL)
+	skipped, err := v2.RestoreStateLenient(mixed)
+	if err != nil {
+		t.Fatalf("RestoreStateLenient: %v", err)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %v, want 2 rows", skipped)
+	}
+	if skipped[0].AgentID != "corrupt-ak" || skipped[1].AgentID != good.AgentID {
+		t.Fatalf("skipped = %v", skipped)
+	}
+	st, err := v2.Status(good.AgentID)
+	if err != nil {
+		t.Fatalf("Status after lenient restore: %v", err)
+	}
+	if st.Attestations != 1 {
+		t.Fatalf("restored status = %+v", st)
+	}
+
+	// The survivor resumes attestation from its persisted frontier.
+	res, err := v2.AttestOnce(context.Background(), good.AgentID)
+	if err != nil || res.Failure != nil {
+		t.Fatalf("round after lenient restore = %+v, %v", res, err)
+	}
+}
+
+func TestRestoreStateLenientRequiresEmptyVerifier(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policy.New())
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if _, err := s.v.RestoreStateLenient(snap); err == nil {
+		t.Fatal("lenient restore into non-empty verifier succeeded")
+	}
+}

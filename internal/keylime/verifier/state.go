@@ -143,82 +143,166 @@ func exportAgentLocked(a *monitored) (*AgentState, error) {
 	}
 }
 
+// AgentCount reports the number of agents in the monitored table.
+func (v *Verifier) AgentCount() int { return v.agents.len() }
+
+// ExportDirty drains the dirty-agent set and serializes only those rows:
+// the incremental counterpart of ExportState, sized to what one sweep
+// actually changed instead of the whole fleet. It returns the changed
+// agents' states plus the IDs of agents that were removed (or vanished)
+// since the last export. On a serialization error nothing is drained —
+// every ID is re-marked dirty so no mutation is lost to a failed persist.
+func (v *Verifier) ExportDirty() (changed []AgentState, removed []string, err error) {
+	v.dirtyMu.Lock()
+	ids := make([]string, 0, len(v.dirty))
+	for id := range v.dirty {
+		ids = append(ids, id)
+	}
+	v.dirty = make(map[string]struct{})
+	v.dirtyMu.Unlock()
+
+	for _, id := range ids {
+		a, ok := v.agents.get(id)
+		if !ok {
+			removed = append(removed, id)
+			continue
+		}
+		a.mu.Lock()
+		as, aerr := exportAgentLocked(a)
+		a.mu.Unlock()
+		if aerr != nil {
+			v.dirtyMu.Lock()
+			for _, rid := range ids {
+				v.dirty[rid] = struct{}{}
+			}
+			v.dirtyMu.Unlock()
+			return nil, nil, aerr
+		}
+		if as == nil {
+			removed = append(removed, id)
+			continue
+		}
+		changed = append(changed, *as)
+	}
+	return changed, removed, nil
+}
+
+// RestoreError reports one snapshot row skipped by a lenient restore.
+type RestoreError struct {
+	AgentID string
+	Err     error
+}
+
+func (e RestoreError) Error() string {
+	return fmt.Sprintf("verifier: restoring %s: %v", e.AgentID, e.Err)
+}
+
 // RestoreState loads a snapshot into an empty verifier; monitoring resumes
-// at the persisted verification frontier.
+// at the persisted verification frontier. One malformed row aborts the
+// whole restore; use RestoreStateLenient to skip-and-report instead.
 func (v *Verifier) RestoreState(st Snapshot) error {
+	_, err := v.restoreState(st, false)
+	return err
+}
+
+// RestoreStateLenient loads a snapshot, skipping (and reporting) corrupt
+// rows instead of aborting: a single bad record must not keep the entire
+// fleet unmonitored. Every intact agent resumes at its persisted
+// frontier; the returned slice lists the rows that were skipped.
+func (v *Verifier) RestoreStateLenient(st Snapshot) ([]RestoreError, error) {
+	return v.restoreState(st, true)
+}
+
+func (v *Verifier) restoreState(st Snapshot, lenient bool) ([]RestoreError, error) {
 	if n := v.agents.len(); n != 0 {
-		return fmt.Errorf("verifier: RestoreState requires an empty verifier (%d agents present)", n)
+		return nil, fmt.Errorf("verifier: RestoreState requires an empty verifier (%d agents present)", n)
 	}
+	var skipped []RestoreError
 	for _, as := range st.Agents {
-		akPub, err := base64.StdEncoding.DecodeString(as.AKPub)
+		a, err := restoreAgent(as)
+		if err == nil && !v.agents.insert(as.AgentID, a) {
+			err = fmt.Errorf("duplicate agent in snapshot")
+		}
 		if err != nil {
-			return fmt.Errorf("verifier: restoring %s: ak_pub: %w", as.AgentID, err)
-		}
-		pol := policy.New()
-		if len(as.Policy) > 0 {
-			if err := json.Unmarshal(as.Policy, pol); err != nil {
-				return fmt.Errorf("verifier: restoring %s: policy: %w", as.AgentID, err)
+			if !lenient {
+				return nil, fmt.Errorf("verifier: restoring %s: %w", as.AgentID, err)
 			}
-		}
-		var prefix tpm.Digest
-		raw, err := hex.DecodeString(as.PrefixAggregate)
-		if err != nil || len(raw) != len(prefix) {
-			return fmt.Errorf("verifier: restoring %s: bad prefix aggregate", as.AgentID)
-		}
-		copy(prefix[:], raw)
-		// Re-derive the cached parsed AK; nil on parse failure keeps the
-		// pre-enrollment-cache behavior (per-round parse, quote-invalid
-		// verdicts) for snapshots carrying a malformed key.
-		akKey, _ := tpm.ParseAKPublic(akPub)
-		a := &monitored{
-			id:              as.AgentID,
-			url:             as.URL,
-			akPub:           akPub,
-			akKey:           akKey,
-			pol:             pol,
-			state:           restoreStateEnum(as.State),
-			halted:          as.Halted,
-			nextOffset:      as.NextOffset,
-			prefixAggregate: prefix,
-			attestations:    as.Attestations,
-		}
-		for _, f := range as.Failures {
-			a.failures = append(a.failures, Failure{
-				Time: f.Time, Type: FailureType(f.Type), Path: f.Path, Detail: f.Detail,
-			})
-		}
-		a.consecutiveFaults = as.ConsecutiveFaults
-		for _, f := range as.Faults {
-			a.faults = append(a.faults, Fault{
-				Time: f.Time, Attempts: f.Attempts, Detail: f.Detail,
-			})
-		}
-		if as.Breaker != nil {
-			a.breaker = breaker{
-				state:     restoreBreakerEnum(as.Breaker.State),
-				openUntil: as.Breaker.OpenUntil,
-				interval:  time.Duration(as.Breaker.IntervalS * float64(time.Second)),
-				opens:     as.Breaker.Opens,
-			}
-		}
-		if len(as.BootGolden) > 0 {
-			g := make(measuredboot.Golden, len(as.BootGolden))
-			for pcr, h := range as.BootGolden {
-				var d tpm.Digest
-				rawD, err := hex.DecodeString(h)
-				if err != nil || len(rawD) != len(d) {
-					return fmt.Errorf("verifier: restoring %s: bad golden PCR %d", as.AgentID, pcr)
-				}
-				copy(d[:], rawD)
-				g[pcr] = d
-			}
-			a.bootGolden = g
-		}
-		if !v.agents.insert(as.AgentID, a) {
-			return fmt.Errorf("verifier: restoring %s: duplicate agent in snapshot", as.AgentID)
+			skipped = append(skipped, RestoreError{AgentID: as.AgentID, Err: err})
 		}
 	}
-	return nil
+	return skipped, nil
+}
+
+// restoreAgent deserializes one snapshot row into a monitored agent.
+func restoreAgent(as AgentState) (*monitored, error) {
+	if as.AgentID == "" {
+		return nil, fmt.Errorf("missing agent id")
+	}
+	akPub, err := base64.StdEncoding.DecodeString(as.AKPub)
+	if err != nil {
+		return nil, fmt.Errorf("ak_pub: %w", err)
+	}
+	pol := policy.New()
+	if len(as.Policy) > 0 {
+		if err := json.Unmarshal(as.Policy, pol); err != nil {
+			return nil, fmt.Errorf("policy: %w", err)
+		}
+	}
+	var prefix tpm.Digest
+	raw, err := hex.DecodeString(as.PrefixAggregate)
+	if err != nil || len(raw) != len(prefix) {
+		return nil, fmt.Errorf("bad prefix aggregate")
+	}
+	copy(prefix[:], raw)
+	// Re-derive the cached parsed AK; nil on parse failure keeps the
+	// pre-enrollment-cache behavior (per-round parse, quote-invalid
+	// verdicts) for snapshots carrying a malformed key.
+	akKey, _ := tpm.ParseAKPublic(akPub)
+	a := &monitored{
+		id:              as.AgentID,
+		url:             as.URL,
+		akPub:           akPub,
+		akKey:           akKey,
+		pol:             pol,
+		state:           restoreStateEnum(as.State),
+		halted:          as.Halted,
+		nextOffset:      as.NextOffset,
+		prefixAggregate: prefix,
+		attestations:    as.Attestations,
+	}
+	for _, f := range as.Failures {
+		a.failures = append(a.failures, Failure{
+			Time: f.Time, Type: FailureType(f.Type), Path: f.Path, Detail: f.Detail,
+		})
+	}
+	a.consecutiveFaults = as.ConsecutiveFaults
+	for _, f := range as.Faults {
+		a.faults = append(a.faults, Fault{
+			Time: f.Time, Attempts: f.Attempts, Detail: f.Detail,
+		})
+	}
+	if as.Breaker != nil {
+		a.breaker = breaker{
+			state:     restoreBreakerEnum(as.Breaker.State),
+			openUntil: as.Breaker.OpenUntil,
+			interval:  time.Duration(as.Breaker.IntervalS * float64(time.Second)),
+			opens:     as.Breaker.Opens,
+		}
+	}
+	if len(as.BootGolden) > 0 {
+		g := make(measuredboot.Golden, len(as.BootGolden))
+		for pcr, h := range as.BootGolden {
+			var d tpm.Digest
+			rawD, err := hex.DecodeString(h)
+			if err != nil || len(rawD) != len(d) {
+				return nil, fmt.Errorf("bad golden PCR %d", pcr)
+			}
+			copy(d[:], rawD)
+			g[pcr] = d
+		}
+		a.bootGolden = g
+	}
+	return a, nil
 }
 
 // restoreStateEnum converts a persisted int back to a State value,

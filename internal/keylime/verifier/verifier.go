@@ -391,6 +391,14 @@ type Verifier struct {
 	nonces            *nonceSource
 
 	agents *registry
+
+	// dirty tracks agents whose persisted state is stale: every mutation
+	// (round outcome, enrollment, removal, policy swap, resume) marks its
+	// agent, and ExportDirty drains the set so the durability layer
+	// journals only changed rows instead of marshaling the whole fleet
+	// per sweep. dirtyMu is a leaf lock: never held with any other.
+	dirtyMu sync.Mutex
+	dirty   map[string]struct{}
 }
 
 // defaultPollConcurrency sizes the PollAll worker pool to the host:
@@ -419,6 +427,7 @@ func New(registrarURL string, opts ...Option) *Verifier {
 		verifyWorkers:   runtime.GOMAXPROCS(0),
 		jitter:          newJitterRand(1),
 		agents:          newRegistry(),
+		dirty:           make(map[string]struct{}),
 	}
 	for _, opt := range opts {
 		opt.apply(v)
@@ -518,6 +527,7 @@ func (v *Verifier) AddAgentWithAK(agentID, agentURL string, akPub []byte, pol *p
 	if !v.agents.insert(agentID, a) {
 		return fmt.Errorf("%w: %s", ErrDuplicate, agentID)
 	}
+	v.markDirty(agentID)
 	return nil
 }
 
@@ -532,6 +542,7 @@ func (v *Verifier) RemoveAgent(agentID string) error {
 	a.mu.Lock()
 	a.removed = true
 	a.mu.Unlock()
+	v.markDirty(agentID)
 	return nil
 }
 
@@ -569,6 +580,7 @@ func (v *Verifier) swapPolicy(agentID string, pol *policy.RuntimePolicy) error {
 	a.mu.Lock()
 	a.pol = cloned
 	a.mu.Unlock()
+	v.markDirty(agentID)
 	return nil
 }
 
@@ -590,6 +602,7 @@ func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
 	a.mu.Lock()
 	a.bootGolden = cp
 	a.mu.Unlock()
+	v.markDirty(agentID)
 	return nil
 }
 
@@ -610,6 +623,7 @@ func (v *Verifier) Resume(agentID string) error {
 	if a.state == StateFailed || a.state == StateDegraded || a.state == StateQuarantined {
 		a.state = StateAttesting
 	}
+	v.markDirty(agentID)
 	return nil
 }
 
@@ -641,6 +655,13 @@ func (v *Verifier) AgentIDs() []string {
 	return v.agents.ids()
 }
 
+// markDirty flags an agent's persisted state as stale.
+func (v *Verifier) markDirty(agentID string) {
+	v.dirtyMu.Lock()
+	v.dirty[agentID] = struct{}{}
+	v.dirtyMu.Unlock()
+}
+
 // fail records a failure, fires the revocation handler, and halts the agent
 // unless continue-on-failure is enabled.
 func (v *Verifier) fail(a *monitored, f Failure) *Failure {
@@ -651,6 +672,7 @@ func (v *Verifier) fail(a *monitored, f Failure) *Failure {
 		a.halted = true
 	}
 	a.mu.Unlock()
+	v.markDirty(a.id)
 	if v.onRevocation != nil {
 		v.onRevocation(a.id, f)
 	}
@@ -685,6 +707,7 @@ func (v *Verifier) commsFault(a *monitored, now time.Time, attempts int, err err
 		failure = &f
 	}
 	a.mu.Unlock()
+	v.markDirty(a.id)
 	if failure != nil && v.onRevocation != nil {
 		v.onRevocation(a.id, *failure)
 	}
@@ -923,6 +946,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		Attempts:        attempts,
 	}
 	a.mu.Unlock()
+	v.markDirty(agentID)
 	return res, nil
 }
 

@@ -1,0 +1,209 @@
+package webhook
+
+// Durable revocation outbox: the in-memory delivery queue loses every
+// pending notification when the verifier dies, which in Keylime terms
+// means a node that failed attestation may never reach the SIEM or the
+// quarantine automation. The outbox journals each notification before
+// delivery is attempted and acknowledges it only after the receiver
+// returned 2xx, so a crash replays the in-flight set on restart.
+// Delivery is therefore at-least-once; receivers deduplicate on
+// Notification.DedupKey (a hash of the underlying failure event, stable
+// across redeliveries).
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/keylime/store"
+)
+
+// outboxCompactThreshold is the journal record count past which an
+// ack-heavy outbox is rewritten to just its pending set.
+const outboxCompactThreshold = 64
+
+// outbox journal operations.
+const (
+	outboxOpEnqueue = "enq"
+	outboxOpAck     = "ack"
+)
+
+// outboxRecord is one journaled outbox mutation.
+type outboxRecord struct {
+	Op       string        `json:"op"`
+	Key      string        `json:"key"`
+	Endpoint string        `json:"endpoint"`
+	Note     *Notification `json:"note,omitempty"`
+}
+
+// PendingDelivery is one not-yet-acknowledged notification.
+type PendingDelivery struct {
+	Endpoint string
+	Note     Notification
+}
+
+// DedupKey derives the receiver-side deduplication key for a
+// notification: a hash of the agent and the failure event, excluding
+// per-delivery fields (Attempt), so every redelivery of the same event
+// carries the same key.
+func DedupKey(n Notification) string {
+	h := sha256.New()
+	for _, s := range []string{n.AgentID, n.Type, n.Path, n.Detail, n.Time.UTC().Format("2006-01-02T15:04:05.999999999Z")} {
+		var l [2]byte
+		l[0] = byte(len(s) >> 8)
+		l[1] = byte(len(s))
+		h.Write(l[:])
+		h.Write([]byte(s))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Outbox is a journal-backed at-least-once delivery buffer. Construct
+// with OpenOutbox; safe for concurrent use.
+type Outbox struct {
+	mu      sync.Mutex
+	j       *store.Journal
+	pending map[string]PendingDelivery // key: dedup key + "|" + endpoint
+	broken  bool
+}
+
+// OpenOutbox opens (creating if absent) the outbox journal at path and
+// replays it: enqueues without a matching ack become the pending set.
+func OpenOutbox(fsys store.FS, path string) (*Outbox, error) {
+	j, payloads, err := store.OpenJournal(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("webhook: opening outbox: %w", err)
+	}
+	pending := make(map[string]PendingDelivery)
+	for i, p := range payloads {
+		var rec outboxRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			_ = j.Close()
+			return nil, fmt.Errorf("webhook: outbox record %d: %w", i, err)
+		}
+		id := rec.Key + "|" + rec.Endpoint
+		switch rec.Op {
+		case outboxOpEnqueue:
+			if rec.Note == nil {
+				_ = j.Close()
+				return nil, fmt.Errorf("webhook: outbox record %d: enqueue without notification", i)
+			}
+			pending[id] = PendingDelivery{Endpoint: rec.Endpoint, Note: *rec.Note}
+		case outboxOpAck:
+			delete(pending, id)
+		default:
+			_ = j.Close()
+			return nil, fmt.Errorf("webhook: outbox record %d: unknown op %q", i, rec.Op)
+		}
+	}
+	return &Outbox{j: j, pending: pending}, nil
+}
+
+// Enqueue journals a notification for an endpoint before any delivery
+// attempt. The notification's DedupKey must be set. A nil return means
+// the record is fsynced: the delivery will survive a crash.
+func (o *Outbox) Enqueue(endpoint string, note Notification) error {
+	if note.DedupKey == "" {
+		return fmt.Errorf("webhook: enqueue without dedup key")
+	}
+	note.Attempt = 0 // per-delivery field; not part of the durable event
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := o.appendLocked(outboxRecord{
+		Op: outboxOpEnqueue, Key: note.DedupKey, Endpoint: endpoint, Note: &note,
+	}); err != nil {
+		return err
+	}
+	o.pending[note.DedupKey+"|"+endpoint] = PendingDelivery{Endpoint: endpoint, Note: note}
+	return nil
+}
+
+// Ack marks a delivery as acknowledged by the receiver; the journal
+// record makes the ack durable so a restart will not redeliver it.
+func (o *Outbox) Ack(endpoint, dedupKey string) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := dedupKey + "|" + endpoint
+	if _, ok := o.pending[id]; !ok {
+		return nil
+	}
+	if err := o.appendLocked(outboxRecord{Op: outboxOpAck, Key: dedupKey, Endpoint: endpoint}); err != nil {
+		return err
+	}
+	delete(o.pending, id)
+	o.maybeCompactLocked()
+	return nil
+}
+
+// appendLocked journals one record; o.mu must be held.
+func (o *Outbox) appendLocked(rec outboxRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("webhook: encoding outbox record: %w", err)
+	}
+	if err := o.j.Append(payload); err != nil {
+		return fmt.Errorf("webhook: journaling outbox record: %w", err)
+	}
+	return nil
+}
+
+// maybeCompactLocked rewrites an ack-heavy journal down to its pending
+// set. Compaction failures are non-fatal — the journal keeps growing and
+// the next ack retries — unless the journal itself reports it is broken.
+func (o *Outbox) maybeCompactLocked() {
+	if o.broken {
+		return
+	}
+	n := o.j.Records()
+	if n < outboxCompactThreshold || n <= 2*len(o.pending) {
+		return
+	}
+	payloads := make([][]byte, 0, len(o.pending))
+	for _, pd := range o.pending {
+		payload, err := json.Marshal(outboxRecord{
+			Op: outboxOpEnqueue, Key: pd.Note.DedupKey, Endpoint: pd.Endpoint, Note: &pd.Note,
+		})
+		if err != nil {
+			return
+		}
+		payloads = append(payloads, payload)
+	}
+	if err := o.j.Rewrite(payloads); err != nil {
+		o.broken = true
+	}
+}
+
+// Pending returns the not-yet-acknowledged deliveries, the set a restart
+// must replay.
+func (o *Outbox) Pending() []PendingDelivery {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]PendingDelivery, 0, len(o.pending))
+	for _, pd := range o.pending {
+		out = append(out, pd)
+	}
+	return out
+}
+
+// journalRecords reports the journal's record count (for tests).
+func (o *Outbox) journalRecords() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.j.Records()
+}
+
+// Len reports the number of pending deliveries.
+func (o *Outbox) Len() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+// Close releases the journal handle.
+func (o *Outbox) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.j.Close()
+}

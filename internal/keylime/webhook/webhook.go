@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"net/http"
 	"sync"
 	"time"
@@ -36,6 +37,10 @@ type Notification struct {
 	Time    time.Time `json:"time"`
 	// Attempt counts delivery attempts (1-based).
 	Attempt int `json:"attempt"`
+	// DedupKey identifies the underlying failure event. It is stable
+	// across retries and crash-driven redeliveries, so receivers can
+	// deduplicate the at-least-once stream. Filled by Notify if empty.
+	DedupKey string `json:"dedup_key,omitempty"`
 }
 
 // Errors.
@@ -67,6 +72,28 @@ type Config struct {
 	Clock simclock.Clock
 	// QueueSize bounds pending notifications (default 256).
 	QueueSize int
+	// Outbox, when set, journals every notification before delivery and
+	// acknowledges it after the receiver accepts: deliveries pending at a
+	// crash are replayed on the next construction (at-least-once).
+	Outbox *Outbox
+	// Logf receives operational warnings (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Stats counts notifier activity.
+type Stats struct {
+	// Enqueued notifications (per endpoint), including replays.
+	Enqueued int
+	// Delivered deliveries acknowledged by a receiver.
+	Delivered int
+	// Failed deliveries that exhausted their retry budget.
+	Failed int
+	// Dropped notifications lost to a full queue. With an outbox they
+	// remain journaled and are replayed on restart; without one they are
+	// gone.
+	Dropped int
+	// Replayed deliveries recovered from the outbox at startup.
+	Replayed int
 }
 
 // DeliveryResult records the outcome of one notification delivery.
@@ -84,17 +111,22 @@ type Notifier struct {
 	queue chan queued
 	done  chan struct{}
 
-	mu      sync.Mutex
-	closed  bool
-	results []DeliveryResult
+	mu       sync.Mutex
+	closed   bool
+	results  []DeliveryResult
+	stats    Stats
+	dropOnce sync.Once
 }
 
 type queued struct {
 	endpoint string
 	n        Notification
+	replayed bool
 }
 
-// New starts a notifier with one delivery worker.
+// New starts a notifier with one delivery worker. When cfg.Outbox holds
+// deliveries pending from a previous run they are re-enqueued first, ahead
+// of new notifications.
 func New(cfg Config) *Notifier {
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 4
@@ -120,10 +152,26 @@ func New(cfg Config) *Notifier {
 	if cfg.QueueSize <= 0 {
 		cfg.QueueSize = 256
 	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	var replay []PendingDelivery
+	if cfg.Outbox != nil {
+		// Size the queue so the replayed backlog never drops.
+		replay = cfg.Outbox.Pending()
+		if cfg.QueueSize < len(replay) {
+			cfg.QueueSize = len(replay)
+		}
+	}
 	n := &Notifier{
 		cfg:   cfg,
 		queue: make(chan queued, cfg.QueueSize),
 		done:  make(chan struct{}),
+	}
+	for _, pd := range replay {
+		n.queue <- queued{endpoint: pd.Endpoint, n: pd.Note, replayed: true}
+		n.stats.Enqueued++
+		n.stats.Replayed++
 	}
 	go n.worker()
 	return n
@@ -145,7 +193,9 @@ func (n *Notifier) Handler() func(agentID string, f verifier.Failure) {
 
 // Notify enqueues a notification for every configured endpoint. It never
 // blocks: when the queue is full the notification is dropped and recorded
-// as a failed delivery.
+// as a failed delivery (and counted in Stats.Dropped). With an outbox
+// configured the notification is journaled before the delivery attempt,
+// so even a dropped one survives to the next restart's replay.
 func (n *Notifier) Notify(note Notification) {
 	n.mu.Lock()
 	if n.closed {
@@ -153,10 +203,29 @@ func (n *Notifier) Notify(note Notification) {
 		return
 	}
 	n.mu.Unlock()
+	if note.DedupKey == "" {
+		note.DedupKey = DedupKey(note)
+	}
 	for _, ep := range n.cfg.Endpoints {
+		if n.cfg.Outbox != nil {
+			if err := n.cfg.Outbox.Enqueue(ep, note); err != nil {
+				// Keep delivering: losing durability must not also lose the
+				// real-time notification.
+				n.cfg.Logf("webhook: outbox enqueue for %s failed: %v", ep, err)
+			}
+		}
 		select {
 		case n.queue <- queued{endpoint: ep, n: note}:
+			n.mu.Lock()
+			n.stats.Enqueued++
+			n.mu.Unlock()
 		default:
+			n.mu.Lock()
+			n.stats.Dropped++
+			n.mu.Unlock()
+			n.dropOnce.Do(func() {
+				n.cfg.Logf("webhook: delivery queue full (size %d); dropping notifications (agent %s)", n.cfg.QueueSize, note.AgentID)
+			})
 			n.record(DeliveryResult{Endpoint: ep, AgentID: note.AgentID, Err: errors.New("webhook: queue full")})
 		}
 	}
@@ -183,18 +252,41 @@ func (n *Notifier) Results() []DeliveryResult {
 	return append([]DeliveryResult(nil), n.results...)
 }
 
+// Stats returns the notifier's activity counters.
+func (n *Notifier) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
 func (n *Notifier) record(r DeliveryResult) {
 	n.mu.Lock()
 	n.results = append(n.results, r)
 	n.mu.Unlock()
 }
 
-// worker drains the queue, delivering with retries.
+// worker drains the queue, delivering with retries. A delivery the
+// receiver accepted is acknowledged in the outbox; one that exhausted its
+// retry budget is left pending there, to be replayed on the next restart.
 func (n *Notifier) worker() {
 	defer close(n.done)
 	for q := range n.queue {
 		attempts, err := n.deliver(q.endpoint, q.n)
 		n.record(DeliveryResult{Endpoint: q.endpoint, AgentID: q.n.AgentID, Attempts: attempts, Err: err})
+		n.mu.Lock()
+		if err == nil {
+			n.stats.Delivered++
+		} else {
+			n.stats.Failed++
+		}
+		n.mu.Unlock()
+		if err == nil && n.cfg.Outbox != nil {
+			if ackErr := n.cfg.Outbox.Ack(q.endpoint, q.n.DedupKey); ackErr != nil {
+				// The delivery happened; a failed ack means one extra
+				// redelivery after a restart, which receivers dedup.
+				n.cfg.Logf("webhook: outbox ack for %s failed: %v", q.endpoint, ackErr)
+			}
+		}
 	}
 }
 
