@@ -10,6 +10,13 @@
 //	keylime-tenant -verifier http://localhost:8893 update-policy -agent-id <uuid> -policy policy.json
 //	keylime-tenant -verifier http://localhost:8893 resume -agent-id <uuid>
 //	keylime-tenant -verifier http://localhost:8893 remove -agent-id <uuid>
+//	keylime-tenant -verifier http://localhost:8893 rollout-begin -policy policy.json
+//	keylime-tenant -verifier http://localhost:8893 rollout-status
+//	keylime-tenant -verifier http://localhost:8893 rollout-cancel
+//
+// The rollout-* subcommands drive the verifier's staged rollout pipeline
+// (freshness gate → shadow evaluation → canary → fleet) instead of the
+// one-shot update-policy swap.
 package main
 
 import (
@@ -35,12 +42,14 @@ func run() error {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand: add | status | update-policy | resume | remove | list")
+		return fmt.Errorf("missing subcommand: add | status | update-policy | resume | remove | list | " +
+			"rollout-begin | rollout-status | rollout-cancel")
 	}
 	cmd, rest := args[0], args[1:]
 	tn := tenant.New(*verifierURL)
 
-	if cmd == "list" {
+	switch cmd {
+	case "list":
 		ids, err := tn.ListAgents()
 		if err != nil {
 			return err
@@ -50,6 +59,8 @@ func run() error {
 		}
 		fmt.Printf("%d agent(s) monitored\n", len(ids))
 		return nil
+	case "rollout-begin", "rollout-status", "rollout-cancel":
+		return runRollout(tn, cmd, rest)
 	}
 
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -101,6 +112,12 @@ func run() error {
 		fmt.Printf("attestations:     %d\n", st.Attestations)
 		fmt.Printf("verified entries: %d\n", st.VerifiedEntries)
 		fmt.Printf("halted:           %v\n", st.Halted)
+		if st.PolicyGeneration != 0 {
+			fmt.Printf("policy gen:       %d\n", st.PolicyGeneration)
+		}
+		if st.ShadowGeneration != 0 {
+			fmt.Printf("shadow gen:       %d (candidate under evaluation)\n", st.ShadowGeneration)
+		}
 		if st.Degraded || st.ConsecutiveFaults > 0 {
 			fmt.Printf("degraded:         %v (%d consecutive faults)\n", st.Degraded, st.ConsecutiveFaults)
 		}
@@ -135,6 +152,71 @@ func run() error {
 		fmt.Printf("agent %s removed\n", *agentID)
 	default:
 		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	return nil
+}
+
+// runRollout drives the staged-rollout subcommands: begin a pipeline for a
+// candidate policy, watch its stage, or abort it. These address the whole
+// fleet, so they take no -agent-id.
+func runRollout(tn *tenant.Tenant, cmd string, rest []string) error {
+	switch cmd {
+	case "rollout-begin":
+		sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+		policyPath := sub.String("policy", "", "candidate runtime policy JSON file")
+		if err := sub.Parse(rest); err != nil {
+			return err
+		}
+		if *policyPath == "" {
+			return fmt.Errorf("rollout-begin: -policy is required")
+		}
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return err
+		}
+		pol := policy.New()
+		if err := json.Unmarshal(data, pol); err != nil {
+			return fmt.Errorf("parsing %s: %w", *policyPath, err)
+		}
+		gen, err := tn.BeginRollout(pol)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rollout generation %d begun (%d policy entries); watch with rollout-status\n",
+			gen, pol.Lines())
+	case "rollout-status":
+		st, err := tn.RolloutStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("stage:          %s\n", st.Stage)
+		if st.Generation != 0 {
+			fmt.Printf("generation:     %d\n", st.Generation)
+			fmt.Printf("targets:        %d (%d canaries)\n", len(st.Targets), len(st.Canaries))
+			fmt.Printf("clean rounds:   %d/%d\n", st.CleanRounds, st.RequiredRounds)
+		}
+		if st.Tripped {
+			fmt.Printf("TRIPPED:        %s\n", st.TripDetail)
+		}
+		if st.ShadowWouldFail > 0 || st.ShadowWouldPass > 0 {
+			fmt.Printf("shadow diverge: %d would-fail, %d would-pass\n",
+				st.ShadowWouldFail, st.ShadowWouldPass)
+		}
+		if st.LastHold != nil {
+			fmt.Printf("last hold:      %s (archive seq %d > mirror seq %d)\n",
+				st.LastHold.Time.Format("2006-01-02 15:04"),
+				st.LastHold.Staleness.ArchiveSeq, st.LastHold.Staleness.MirrorSeq)
+		}
+		if len(st.Quarantined) > 0 {
+			fmt.Printf("quarantined:    %v\n", st.Quarantined)
+		}
+		fmt.Printf("totals:         %d begun, %d promoted, %d rolled back, %d held\n",
+			st.Stats.Begun, st.Stats.Promotions, st.Stats.Rollbacks, st.Stats.Holds)
+	case "rollout-cancel":
+		if err := tn.CancelRollout(); err != nil {
+			return err
+		}
+		fmt.Println("rollout cancelled; candidate quarantined")
 	}
 	return nil
 }

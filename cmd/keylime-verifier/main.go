@@ -13,6 +13,12 @@
 // single-JSON-file format (written atomically). The audit log (-audit-log)
 // is an fsynced journal appended record by record, and -outbox journals
 // revocation notifications for at-least-once delivery across crashes.
+//
+// Policy updates can go through the staged rollout pipeline (freshness
+// gate → shadow evaluation → canary → fleet promotion, with automatic
+// rollback) served at /v2/rollout/* and driven by keylime-tenant's
+// rollout-* subcommands; -rollout-state journals generations so a crash
+// mid-rollout recovers to a consistent fleet. See the -rollout-* flags.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/keylime/audit"
+	"repro/internal/keylime/rollout"
 	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
 	"repro/internal/keylime/webhook"
@@ -73,6 +80,20 @@ func run() error {
 			"concurrent agent rounds per polling sweep (0 = auto: 4x GOMAXPROCS, minimum 8)")
 		verifyWorkers = flag.Int("verify-workers", 0,
 			"worker pool for validating large IMA entry batches (0 = GOMAXPROCS)")
+
+		rolloutState = flag.String("rollout-state", "", "journal staged policy rollouts in this "+
+			"directory so a crash mid-rollout recovers to a consistent generation")
+		rolloutShadowRounds = flag.Int("rollout-shadow-rounds", 3,
+			"consecutive clean shadow rounds every agent needs before canary promotion")
+		rolloutCanary = flag.Int("rollout-canary", 1,
+			"agents promoted first as canaries during a staged rollout")
+		rolloutCanaryRounds = flag.Int("rollout-canary-rounds", 2,
+			"clean post-promotion rounds every canary needs before fleet promotion")
+		rolloutTripwire = flag.Int("rollout-tripwire", 1,
+			"new failures on any canary that trip the rollback tripwire")
+		rolloutAutoRollback = flag.Bool("rollout-auto-rollback", true,
+			"revert canaries and quarantine the candidate automatically when the tripwire fires "+
+				"(false freezes the rollout for the operator instead)")
 	)
 	flag.Parse()
 	if *stateMode != "journal" && *stateMode != "snapshot" {
@@ -117,6 +138,7 @@ func run() error {
 	}
 
 	var notifier *webhook.Notifier
+	var outbox *webhook.Outbox
 	if *webhookURL != "" {
 		cfg := webhook.Config{
 			Endpoints: []string{*webhookURL},
@@ -132,6 +154,7 @@ func run() error {
 				fmt.Printf("outbox %s: replaying %d pending notifications\n", *outboxPath, n)
 			}
 			cfg.Outbox = ob
+			outbox = ob
 		}
 		notifier = webhook.New(cfg)
 		defer notifier.Close()
@@ -233,6 +256,51 @@ func run() error {
 		}
 	}
 
+	// Staged rollouts: the controller replaces blind UpdatePolicy swaps
+	// with the gate→shadow→canary→promote pipeline. Constructed AFTER the
+	// state restore so crash recovery re-applies the journaled stage to the
+	// restored fleet, not an empty one.
+	rolloutCfg := rollout.Config{
+		Fleet:         v,
+		ShadowRounds:  *rolloutShadowRounds,
+		CanaryCount:   *rolloutCanary,
+		CanaryRounds:  *rolloutCanaryRounds,
+		TripThreshold: *rolloutTripwire,
+		AutoRollback:  *rolloutAutoRollback,
+		Logf:          log.Printf,
+	}
+	if *rolloutState != "" {
+		rst, err := store.Open(*rolloutState)
+		if err != nil {
+			return fmt.Errorf("opening rollout store %s: %w", *rolloutState, err)
+		}
+		defer func() { _ = rst.Close() }()
+		rolloutCfg.Store = rst
+	}
+	if notifier != nil {
+		// Rollout lifecycle events ride the same durable notification path
+		// as revocations: journaled in the outbox (when configured) before
+		// delivery, so a held window or a rollback is never silently lost.
+		rolloutCfg.Notify = func(ev rollout.Event) {
+			notifier.Notify(webhook.Notification{
+				Type:   "rollout-" + ev.Type,
+				Detail: fmt.Sprintf("generation %d: %s", ev.Generation, ev.Detail),
+				Time:   ev.Time,
+			})
+		}
+	}
+	ctl, err := rollout.New(rolloutCfg)
+	if err != nil {
+		return fmt.Errorf("recovering rollout state: %w", err)
+	}
+
+	// Operator observability (satellite): generation/rollout status and
+	// undelivered-revocation counters via GET /v2/stats/{rollout,outbox}.
+	v.RegisterStats("rollout", func() any { return ctl.Status() })
+	if outbox != nil {
+		v.RegisterStats("outbox", func() any { return outbox.Stats() })
+	}
+
 	go func() {
 		ctx := context.Background()
 		for {
@@ -243,11 +311,22 @@ func run() error {
 					stats.Attested, stats.Failed, stats.Degraded, stats.Halted, stats.Quarantined)
 			}
 			persist()
+			// Advance any in-flight rollout on the counters this sweep
+			// accumulated.
+			if st, err := ctl.Tick(); err != nil {
+				log.Printf("rollout tick: %v", err)
+			} else if st.Stage != rollout.StageIdle {
+				log.Printf("rollout: generation %d at stage %s (clean rounds %d/%d)",
+					st.Generation, st.Stage, st.CleanRounds, st.RequiredRounds)
+			}
 		}
 	}()
 	fmt.Printf("keylime-verifier listening on %s (registrar %s, poll every %v, continue-on-failure=%v)\n",
 		*listen, *registrarURL, *pollInterval, *continueOn)
-	return http.ListenAndServe(*listen, v.ManagementHandler())
+	mux := http.NewServeMux()
+	mux.Handle("/v2/rollout/", ctl.Handler())
+	mux.Handle("/", v.ManagementHandler())
+	return http.ListenAndServe(*listen, mux)
 }
 
 // restoreFromStore rebuilds the verifier's agent table from the journal

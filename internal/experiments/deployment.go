@@ -78,6 +78,9 @@ type StackConfig struct {
 	VendorSigning bool
 	// Clock drives timestamps (default: simulated clock at Epoch).
 	Clock simclock.Clock
+	// Logf receives operational warnings (nil discards). The dynamic runs
+	// log through it when an update window opens stale (§III-C).
+	Logf func(format string, args ...any)
 	// GenWorkers bounds the policy generator's measurement worker pool
 	// (default GOMAXPROCS; the merge is deterministic at any size).
 	GenWorkers int
@@ -274,6 +277,27 @@ func NewDeployment(cfg StackConfig) (*Deployment, error) {
 	}
 	d.Policy = pol.Clone()
 	return d, nil
+}
+
+// logf writes an operational log line through the configured sink.
+func (d *Deployment) logf(format string, args ...any) {
+	if d.Config.Logf != nil {
+		d.Config.Logf(format, args...)
+	}
+}
+
+// CheckMirrorFreshness reports whether the archive has published past the
+// mirror's last sync, logging a warning when the update window is about
+// to open stale — the §III-C precondition: proceeding now means the
+// machine can install files the mirror-derived policy has never seen.
+func (d *Deployment) CheckMirrorFreshness() mirror.Staleness {
+	st := d.Mirror.Staleness()
+	if st.Stale {
+		d.logf("WARNING: update window opening stale: archive seq %d (published %s) is ahead of mirror seq %d (last sync %s); a policy generated now will not cover the late release",
+			st.ArchiveSeq, st.LastPublish.UTC().Format(time.RFC3339),
+			st.MirrorSeq, st.LastSync.UTC().Format(time.RFC3339))
+	}
+	return st
 }
 
 // InstallFromMirror applies the given packages to the machine (the

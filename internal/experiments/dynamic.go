@@ -7,8 +7,10 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/keylime/rollout"
 	"repro/internal/keylime/verifier"
 	"repro/internal/mirror"
+	"repro/internal/policy"
 	"repro/internal/simclock"
 	"repro/internal/workload"
 )
@@ -30,6 +32,20 @@ type DynamicRunConfig struct {
 	BenignStepsPerDay int
 	// Epoch is the simulated start date.
 	Epoch time.Time
+	// Rollout routes every policy push through the staged rollout
+	// controller (freshness gate → shadow → canary → promote, with
+	// automatic rollback) instead of the one-shot UpdatePolicy swap, and
+	// holds the update window — deferring the machine update and keeping
+	// the old policy — when the mirror is stale. This is the §III-C
+	// prevention: the gated misconfiguration day yields a held window and
+	// zero false positives, with the incomplete candidate's would-fail
+	// divergence quarantined in shadow instead of alerting.
+	Rollout bool
+	// RolloutShadowRounds / RolloutCanaryRounds override the controller's
+	// clean-round thresholds (default 1 each: the single-machine day loop
+	// only has a few attestation rounds per window).
+	RolloutShadowRounds int
+	RolloutCanaryRounds int
 }
 
 // DailyRunConfig reproduces the paper's first experiment (Feb 26 - Mar 28,
@@ -71,6 +87,9 @@ type DayRecord struct {
 	Rebooted bool
 	// MisconfigEvent marks the injected operator error.
 	MisconfigEvent bool
+	// WindowHeld reports that the freshness gate held today's update
+	// window (gated runs only): no machine update, no policy change.
+	WindowHeld bool
 }
 
 // DynamicRunResult is the outcome of one experiment.
@@ -89,6 +108,13 @@ type DynamicRunResult struct {
 	MisconfigFPs int
 	// AttestationRounds counts verifier polls.
 	AttestationRounds int
+	// WindowsHeld counts update windows the freshness gate held (gated
+	// runs only).
+	WindowsHeld int
+	// RolloutStatus is the controller's final state (gated runs only):
+	// promotion/rollback/hold counters, quarantined generations, and the
+	// aggregated shadow-divergence stats.
+	RolloutStatus *rollout.Status
 }
 
 // UpdateDays returns the records of days the updater ran.
@@ -172,6 +198,77 @@ func DynamicRun(cfg DynamicRunConfig) (DynamicRunResult, error) {
 		return d.PushPolicy(pol)
 	}
 
+	// generatorCandidate snapshots the generator policy + local extras as
+	// a rollout candidate (gated runs push candidates, never swap).
+	generatorCandidate := func() (*policy.RuntimePolicy, error) {
+		pol, err := d.Gen.Policy()
+		if err != nil {
+			return nil, err
+		}
+		pol.Merge(d.LocalExtras)
+		return pol, nil
+	}
+
+	var ctl *rollout.Controller
+	if cfg.Rollout {
+		shadowRounds := cfg.RolloutShadowRounds
+		if shadowRounds <= 0 {
+			shadowRounds = 1
+		}
+		canaryRounds := cfg.RolloutCanaryRounds
+		if canaryRounds <= 0 {
+			canaryRounds = 1
+		}
+		ctl, err = rollout.New(rollout.Config{
+			Fleet: d.V, Freshness: d.Mirror, Clock: d.Clock,
+			ShadowRounds: shadowRounds, CanaryCount: 1, CanaryRounds: canaryRounds,
+			TripThreshold: 1, AutoRollback: true,
+			Logf: d.Config.Logf,
+		})
+		if err != nil {
+			return DynamicRunResult{}, err
+		}
+	}
+
+	// rolloutPush drives one candidate through the full pipeline: Begin
+	// (which may hold the window), then attestation rounds + Tick until
+	// the controller reaches a terminal stage. Returns whether the
+	// candidate was promoted; a held window or a rollback returns false
+	// without error — the caller decides what the operator does next.
+	rolloutPush := func(day int, rec *DayRecord, cand *policy.RuntimePolicy) (bool, error) {
+		d.CheckMirrorFreshness()
+		before := ctl.Status().Stats
+		if _, err := ctl.Begin(cand); err != nil {
+			if errors.Is(err, rollout.ErrMirrorStale) {
+				rec.WindowHeld = true
+				res.WindowsHeld++
+				return false, nil
+			}
+			return false, err
+		}
+		for i := 0; i < 12; i++ {
+			alerts, err := attest(day)
+			if err != nil {
+				return false, err
+			}
+			rec.FPAlerts = append(rec.FPAlerts, alerts...)
+			st, err := ctl.Tick()
+			if err != nil {
+				return false, err
+			}
+			if st.Stage == rollout.StageIdle {
+				if st.Stats.Promotions > before.Promotions {
+					// Keep the operator's working copy aligned with what
+					// the controller promoted.
+					d.Policy = cand.Clone()
+					return true, nil
+				}
+				return false, nil
+			}
+		}
+		return false, fmt.Errorf("experiments: rollout of day-%d candidate did not converge", day)
+	}
+
 	for day := 1; day <= cfg.Days; day++ {
 		rec := DayRecord{Day: day, Date: d.Clock.Now()}
 
@@ -194,53 +291,181 @@ func DynamicRun(cfg DynamicRunConfig) (DynamicRunResult, error) {
 				return res, err
 			}
 			rec.Report = rep
-			if err := pushGeneratorPolicy(); err != nil {
-				return res, err
-			}
 
-			if day == cfg.MisconfigDay {
-				// The paper's one failure: a release lands after the 5:00
-				// sync, and the operator pulls from the official archive
-				// instead of the mirror.
+			switch {
+			case cfg.Rollout && day == cfg.MisconfigDay:
+				// The §III-C event, re-run through the controller. The late
+				// release lands before the operator opens the window, so
+				// every protection layer gets exercised.
 				rec.MisconfigEvent = true
+				cand, err := generatorCandidate() // generated from the now-stale sync
+				if err != nil {
+					return res, err
+				}
 				late, err := d.Stream.PublishDay(d.Clock.Now().Add(4 * time.Hour))
 				if err != nil {
 					return res, err
 				}
+				// Layer 1 — freshness gate: the window is HELD. No machine
+				// update, no policy change, a warning in the log.
+				if _, err := rolloutPush(day, &rec, cand); err != nil {
+					return res, err
+				}
+				if !rec.WindowHeld {
+					return res, fmt.Errorf("experiments: misconfig window was not held")
+				}
+				// The operator errs anyway, exactly as in the paper:
+				// installs today's packages straight from the official
+				// archive, then re-baselines the active policy from disk
+				// (post-incident practice), so the machine's real state
+				// stays covered.
 				if err := d.InstallFromArchive(append(upstream.Published, late.Published...)); err != nil {
+					return res, err
+				}
+				if err := d.refreshPolicyFromMachine(); err != nil {
+					return res, err
+				}
+				// A mirror resync clears the gate — and the operator
+				// retries with the STALE candidate still in hand. Layer 2 —
+				// shadow evaluation: the late release's executables run
+				// during the shadow rounds; the candidate rejects entries
+				// the active policy accepts (the would-have-fired alert),
+				// and the tripwire quarantines it without a single alert.
+				d.Mirror.Sync(d.Clock.Now())
+				if _, err := ctl.Begin(cand); err != nil {
 					return res, err
 				}
 				if err := execUpdatedExecutables(d, late, 2); err != nil {
 					return res, err
 				}
-			} else {
-				// Controlled update from the local mirror.
-				delta := diffPackagesSince(d, upstream)
-				if err := d.InstallFromMirror(delta); err != nil {
+				for i := 0; i < 12; i++ {
+					alerts, err := attest(day)
+					if err != nil {
+						return res, err
+					}
+					rec.FPAlerts = append(rec.FPAlerts, alerts...)
+					st, err := ctl.Tick()
+					if err != nil {
+						return res, err
+					}
+					if st.Stage == rollout.StageIdle {
+						break
+					}
+				}
+				// Layer 3 — regenerate from the now-complete mirror and
+				// promote the corrected candidate.
+				if _, _, err := d.Gen.Update(d.Clock.Now(), d.Machine.RunningKernel()); err != nil {
 					return res, err
 				}
-			}
+				fixed, err := generatorCandidate()
+				if err != nil {
+					return res, err
+				}
+				promoted, err := rolloutPush(day, &rec, fixed)
+				if err != nil {
+					return res, err
+				}
+				if !promoted {
+					return res, fmt.Errorf("experiments: corrected misconfig-day candidate was not promoted")
+				}
+				if err := benign.Recatalog(); err != nil {
+					return res, err
+				}
 
-			// Kernel handling: refresh the policy for a pending kernel
-			// before rebooting into it.
-			if pending := d.Machine.PendingKernel(); pending != "" {
-				if _, _, err := d.Gen.RefreshKernel(d.Clock.Now(), pending); err != nil {
+			case cfg.Rollout:
+				cand, err := generatorCandidate()
+				if err != nil {
 					return res, err
 				}
+				promoted, err := rolloutPush(day, &rec, cand)
+				if err != nil {
+					return res, err
+				}
+				if promoted {
+					// Policy first, binaries second: the machine updates
+					// only once the covering candidate is active, so no
+					// freshly installed file ever executes under a policy
+					// that has not seen it.
+					delta := diffPackagesSince(d, upstream)
+					if err := d.InstallFromMirror(delta); err != nil {
+						return res, err
+					}
+					if pending := d.Machine.PendingKernel(); pending != "" {
+						if _, _, err := d.Gen.RefreshKernel(d.Clock.Now(), pending); err != nil {
+							return res, err
+						}
+						kcand, err := generatorCandidate()
+						if err != nil {
+							return res, err
+						}
+						if _, err := rolloutPush(day, &rec, kcand); err != nil {
+							return res, err
+						}
+						if err := d.Machine.Reboot(); err != nil {
+							return res, err
+						}
+						rec.Rebooted = true
+					}
+					if err := benign.Recatalog(); err != nil {
+						return res, err
+					}
+					if err := execUpdatedExecutables(d, upstream, 3); err != nil {
+						return res, err
+					}
+				}
+
+			default:
 				if err := pushGeneratorPolicy(); err != nil {
 					return res, err
 				}
-				if err := d.Machine.Reboot(); err != nil {
+				if day == cfg.MisconfigDay {
+					// The paper's one failure: a release lands after the 5:00
+					// sync, and the operator pulls from the official archive
+					// instead of the mirror.
+					rec.MisconfigEvent = true
+					late, err := d.Stream.PublishDay(d.Clock.Now().Add(4 * time.Hour))
+					if err != nil {
+						return res, err
+					}
+					// The satellite fix: the staleness is detectable at this
+					// point — an ungated deployment at least logs it before
+					// walking into the incident.
+					d.CheckMirrorFreshness()
+					if err := d.InstallFromArchive(append(upstream.Published, late.Published...)); err != nil {
+						return res, err
+					}
+					if err := execUpdatedExecutables(d, late, 2); err != nil {
+						return res, err
+					}
+				} else {
+					// Controlled update from the local mirror.
+					delta := diffPackagesSince(d, upstream)
+					if err := d.InstallFromMirror(delta); err != nil {
+						return res, err
+					}
+				}
+
+				// Kernel handling: refresh the policy for a pending kernel
+				// before rebooting into it.
+				if pending := d.Machine.PendingKernel(); pending != "" {
+					if _, _, err := d.Gen.RefreshKernel(d.Clock.Now(), pending); err != nil {
+						return res, err
+					}
+					if err := pushGeneratorPolicy(); err != nil {
+						return res, err
+					}
+					if err := d.Machine.Reboot(); err != nil {
+						return res, err
+					}
+					rec.Rebooted = true
+				}
+				if err := benign.Recatalog(); err != nil {
 					return res, err
 				}
-				rec.Rebooted = true
-			}
-			if err := benign.Recatalog(); err != nil {
-				return res, err
-			}
-			// Touch freshly updated executables right away.
-			if err := execUpdatedExecutables(d, upstream, 3); err != nil && day != cfg.MisconfigDay {
-				return res, err
+				// Touch freshly updated executables right away.
+				if err := execUpdatedExecutables(d, upstream, 3); err != nil && day != cfg.MisconfigDay {
+					return res, err
+				}
 			}
 		}
 
@@ -286,6 +511,10 @@ func DynamicRun(cfg DynamicRunConfig) (DynamicRunResult, error) {
 			res.MisconfigFPs += len(rec.FPAlerts)
 		}
 		res.Days = append(res.Days, rec)
+	}
+	if ctl != nil {
+		st := ctl.Status()
+		res.RolloutStatus = &st
 	}
 	return res, nil
 }

@@ -109,6 +109,83 @@ func TestDailyDynamicRunWithoutMisconfigIsClean(t *testing.T) {
 	}
 }
 
+func TestGatedMisconfigDayHeldAndZeroFPs(t *testing.T) {
+	// The acceptance scenario: the §III-C misconfiguration re-run through
+	// the rollout controller. The freshness gate holds the window, the
+	// stale candidate's divergence lands in shadow stats (quarantined, not
+	// alerted), and the whole run finishes with ZERO false positives —
+	// versus the ungated run above, where the same day alerts.
+	cfg := DailyRunConfig()
+	cfg.Days = 12
+	cfg.MisconfigDay = 12
+	cfg.Rollout = true
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	if res.TotalFPs != 0 {
+		t.Fatalf("FPs = %d, want 0 through the gated pipeline", res.TotalFPs)
+	}
+	if res.WindowsHeld == 0 {
+		t.Fatal("freshness gate never held the stale window")
+	}
+	last := res.Days[len(res.Days)-1]
+	if !last.MisconfigEvent || !last.WindowHeld {
+		t.Fatalf("misconfig day record = %+v, want MisconfigEvent && WindowHeld", last)
+	}
+	st := res.RolloutStatus
+	if st == nil {
+		t.Fatal("RolloutStatus missing from gated run")
+	}
+	if st.Stats.Holds == 0 {
+		t.Fatalf("controller holds = %d, want > 0", st.Stats.Holds)
+	}
+	// The would-have-fired alert is visible as shadow divergence: the stale
+	// candidate rejected the late release's executables while the active
+	// policy accepted them, and the tripwire quarantined it.
+	if st.Stats.ShadowWouldFail == 0 {
+		t.Fatal("stale candidate's divergence not visible in shadow stats")
+	}
+	if st.Stats.Rollbacks == 0 || len(st.Quarantined) == 0 {
+		t.Fatalf("stale candidate not quarantined: rollbacks=%d quarantined=%v",
+			st.Stats.Rollbacks, st.Quarantined)
+	}
+	// Every ordinary update day still promoted a generation.
+	if st.Stats.Promotions < cfg.Days-1 {
+		t.Fatalf("promotions = %d, want >= %d", st.Stats.Promotions, cfg.Days-1)
+	}
+}
+
+func TestGatedCleanRunPromotesEveryWindow(t *testing.T) {
+	cfg := DailyRunConfig()
+	cfg.Days = 6
+	cfg.MisconfigDay = 0
+	cfg.Rollout = true
+	res, err := DynamicRun(cfg)
+	if err != nil {
+		t.Fatalf("DynamicRun: %v", err)
+	}
+	if res.TotalFPs != 0 {
+		t.Fatalf("FPs = %d, want 0 over a clean gated run", res.TotalFPs)
+	}
+	if res.WindowsHeld != 0 {
+		t.Fatalf("windows held = %d on a run with no late publishes", res.WindowsHeld)
+	}
+	st := res.RolloutStatus
+	if st == nil {
+		t.Fatal("RolloutStatus missing")
+	}
+	if st.Stats.Promotions < cfg.Days {
+		t.Fatalf("promotions = %d, want >= %d (one per update window)", st.Stats.Promotions, cfg.Days)
+	}
+	if st.Stats.Rollbacks != 0 {
+		t.Fatalf("rollbacks = %d on a clean run", st.Stats.Rollbacks)
+	}
+	if st.Stage != "idle" {
+		t.Fatalf("controller left at stage %s, want idle", st.Stage)
+	}
+}
+
 func TestWeeklyDynamicRun(t *testing.T) {
 	cfg := WeeklyRunConfig()
 	res, err := DynamicRun(cfg)

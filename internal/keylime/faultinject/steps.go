@@ -1,0 +1,80 @@
+package faultinject
+
+// Step-boundary fault injection for multi-step operations (the rollout
+// controller's stage pipeline). A StepHook is threaded into the operation
+// as a plain `func(name string) error` checkpoint; the sweep harness
+// first records a fault-free run's step sequence, then re-runs the
+// operation once per recorded step with the crash armed at that index —
+// the same discover-then-sweep pattern FaultFS uses for byte and op
+// boundaries, lifted to logical stage transitions.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrStepCrash is the error an armed StepHook returns at the crash index.
+var ErrStepCrash = errors.New("faultinject: injected step crash")
+
+// StepHook counts named step checkpoints and optionally fails one of
+// them. The zero value is usable (records, never fails); nil-safety is
+// the caller's concern — thread h.Step only when a hook is configured,
+// or use Check which tolerates a nil receiver.
+type StepHook struct {
+	mu      sync.Mutex
+	seq     []string
+	crashAt int // 1-based index into the step stream; 0 = disabled
+	err     error
+}
+
+// NewStepHook returns a recording hook with no crash armed.
+func NewStepHook() *StepHook { return &StepHook{} }
+
+// ArmCrash makes the n-th Step call (1-based) return ErrStepCrash.
+// n <= 0 disarms.
+func (h *StepHook) ArmCrash(n int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashAt = n
+	h.err = ErrStepCrash
+}
+
+// ArmError is ArmCrash with a caller-chosen error.
+func (h *StepHook) ArmError(n int, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.crashAt = n
+	h.err = err
+}
+
+// Reset clears the recorded sequence and disarms the hook.
+func (h *StepHook) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq = nil
+	h.crashAt = 0
+	h.err = nil
+}
+
+// Step records one checkpoint and fails it when armed. A nil receiver is
+// a no-op, so callers can thread hook.Step unconditionally.
+func (h *StepHook) Step(name string) error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq = append(h.seq, name)
+	if h.crashAt > 0 && len(h.seq) == h.crashAt {
+		return fmt.Errorf("%w: at step %d (%s)", h.err, h.crashAt, name)
+	}
+	return nil
+}
+
+// Steps returns the recorded checkpoint sequence.
+func (h *StepHook) Steps() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]string(nil), h.seq...)
+}

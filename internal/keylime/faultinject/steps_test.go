@@ -1,0 +1,60 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestStepHookRecordsAndCrashes(t *testing.T) {
+	h := NewStepHook()
+	run := func() error {
+		for _, name := range []string{"gate", "apply", "commit"} {
+			if err := h.Step(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Fault-free discovery pass records the full sequence.
+	if err := run(); err != nil {
+		t.Fatalf("unarmed run failed: %v", err)
+	}
+	steps := h.Steps()
+	if len(steps) != 3 || steps[1] != "apply" {
+		t.Fatalf("recorded steps = %v", steps)
+	}
+
+	// Sweep: armed at each index, the run fails exactly there.
+	for n := 1; n <= len(steps); n++ {
+		h.Reset()
+		h.ArmCrash(n)
+		err := run()
+		if !errors.Is(err, ErrStepCrash) {
+			t.Fatalf("crash at %d: err = %v", n, err)
+		}
+		if got := len(h.Steps()); got != n {
+			t.Fatalf("crash at %d: %d steps executed", n, got)
+		}
+	}
+}
+
+func TestStepHookArmError(t *testing.T) {
+	h := NewStepHook()
+	custom := fmt.Errorf("disk full")
+	h.ArmError(2, custom)
+	if err := h.Step("one"); err != nil {
+		t.Fatalf("step 1: %v", err)
+	}
+	if err := h.Step("two"); !errors.Is(err, custom) {
+		t.Fatalf("step 2: err = %v, want %v", err, custom)
+	}
+}
+
+func TestStepHookNilReceiver(t *testing.T) {
+	var h *StepHook
+	if err := h.Step("anything"); err != nil {
+		t.Fatalf("nil hook: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+package rollout
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"repro/internal/keylime/api"
+	"repro/internal/policy"
+)
+
+// beginResponse is the JSON reply to POST /v2/rollout/begin.
+type beginResponse struct {
+	Generation uint64 `json:"generation"`
+}
+
+// Handler returns the controller's management HTTP API, mounted alongside
+// the verifier's (the cmd serves both from one mux):
+//
+//	POST /v2/rollout/begin   policy JSON -> start a staged rollout
+//	GET  /v2/rollout/status              -> Status
+//	POST /v2/rollout/cancel              -> abort + quarantine in-flight rollout
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/rollout/begin", func(w http.ResponseWriter, req *http.Request) {
+		pol := policy.New()
+		if err := json.NewDecoder(req.Body).Decode(pol); err != nil {
+			writeRolloutErr(w, http.StatusBadRequest, err)
+			return
+		}
+		gen, err := c.Begin(pol)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, ErrMirrorStale):
+				// 409: the window is held, retry after the mirror resyncs.
+				status = http.StatusConflict
+			case errors.Is(err, ErrRolloutInProgress):
+				status = http.StatusConflict
+			case errors.Is(err, ErrNoAgents):
+				status = http.StatusPreconditionFailed
+			}
+			writeRolloutErr(w, status, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(beginResponse{Generation: gen})
+	})
+	mux.HandleFunc("GET /v2/rollout/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Status())
+	})
+	mux.HandleFunc("POST /v2/rollout/cancel", func(w http.ResponseWriter, req *http.Request) {
+		if err := c.Cancel(); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNoRollout) {
+				status = http.StatusConflict
+			}
+			writeRolloutErr(w, status, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+func writeRolloutErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}

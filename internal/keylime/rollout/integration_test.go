@@ -1,0 +1,126 @@
+package rollout
+
+// Integration harness: the controller driving a real verifier over live
+// loopback agent stacks, so shadow rounds accumulate through actual
+// attestation sweeps rather than the fake fleet's counters.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/registrar"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/policy"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+type verifierStack struct {
+	v        *verifier.Verifier
+	agentIDs []string
+	machines []*machine.Machine
+}
+
+// newVerifierStack enrolls two live agents (distinct machines, one
+// registrar) into one verifier, each under a policy matching its own
+// filesystem.
+func newVerifierStack(t *testing.T) *verifierStack {
+	t.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewManufacturerCA: %v", err)
+	}
+	reg := registrar.New(ca.Pool())
+	regSrv := httptest.NewServer(reg.Handler())
+	t.Cleanup(regSrv.Close)
+
+	s := &verifierStack{v: verifier.New(regSrv.URL)}
+	for i := 0; i < 2; i++ {
+		m, err := machine.New(ca,
+			machine.WithTPMOptions(tpm.WithEKBits(1024)),
+			machine.WithUUID(fmt.Sprintf("d432fbb3-d2f1-4a97-9ef7-75bd81c0000%d", i)))
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+		ag := agent.New(m)
+		agSrv := httptest.NewServer(ag.Handler())
+		t.Cleanup(agSrv.Close)
+		if err := ag.Register(regSrv.URL, agSrv.URL); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+		if err := s.v.AddAgent(m.UUID(), agSrv.URL, machinePolicy(t, m)); err != nil {
+			t.Fatalf("AddAgent %d: %v", i, err)
+		}
+		s.agentIDs = append(s.agentIDs, m.UUID())
+		s.machines = append(s.machines, m)
+	}
+	return s
+}
+
+func machinePolicy(t *testing.T, m *machine.Machine) *policy.RuntimePolicy {
+	t.Helper()
+	pol := policy.New()
+	err := m.FS().Walk("/", func(info vfs.FileInfo) error {
+		if info.Mode.IsExec() {
+			pol.Add(info.Path, info.Digest)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Walk: %v", err)
+	}
+	return pol
+}
+
+// sweep attests every agent once — the controller's Tick is designed to
+// run after exactly this kind of poll sweep.
+func (s *verifierStack) sweep(t *testing.T) {
+	t.Helper()
+	for _, id := range s.agentIDs {
+		if _, err := s.v.AttestOnce(context.Background(), id); err != nil {
+			t.Fatalf("AttestOnce %s: %v", id, err)
+		}
+	}
+}
+
+// runRollout drives a candidate (the union of both machines' policies)
+// through shadow → canary → fleet against the live stack and returns its
+// generation.
+func (s *verifierStack) runRollout(t *testing.T) uint64 {
+	t.Helper()
+	cand := policy.New()
+	for _, m := range s.machines {
+		cand.Merge(machinePolicy(t, m))
+	}
+	c, err := New(Config{
+		Fleet: s.v, ShadowRounds: 2, CanaryCount: 1, CanaryRounds: 2,
+		AutoRollback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		s.sweep(t)
+		st, err := c.Tick()
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		if st.Stage == StageIdle {
+			if st.Stats.Promotions != 1 {
+				t.Fatalf("rollout finished without promoting: %+v", st)
+			}
+			return gen
+		}
+	}
+	t.Fatalf("rollout never promoted: %+v", c.Status())
+	return 0
+}

@@ -1,0 +1,918 @@
+// Package rollout implements the staged policy rollout controller: the
+// safe replacement for the one-shot Verifier.UpdatePolicy swap.
+//
+// The paper's only false positive in 66 days of dynamic policy
+// generation (§III-C) was operational, not cryptographic: the mirror
+// synced at 5:00, upstream published a release later the same morning,
+// the operator updated from the official archive, and the statically
+// swapped policy — generated from the stale mirror — had never seen the
+// new files. At fleet scale (the ROADMAP's millions of agents) that
+// same blind swap is the single riskiest write path in the system: one
+// incomplete policy revokes the world.
+//
+// The controller turns the swap into a staged, observable, revertible
+// pipeline:
+//
+//  1. Freshness gate — before an update window opens, the archive's
+//     latest publication is compared against the mirror's last sync;
+//     when the archive is ahead, the window is HELD: no machine update,
+//     no policy change, a recorded hold event. This reproduces and then
+//     prevents the §III-C misconfiguration.
+//  2. Shadow evaluation — the candidate rides in every agent's shadow
+//     slot (verifier-side, same verification pass) for N consecutive
+//     clean rounds, recording would-be verdict divergence instead of
+//     alerting. An incomplete candidate surfaces as would-fail
+//     divergence here, before it can hurt anyone.
+//  3. Canary → fleet promotion — the candidate is promoted to a small
+//     canary subset first, watched for M clean rounds under a
+//     failure-count tripwire (the breaker machinery's consecutive-
+//     failure accounting applied to policy verdicts), then promoted to
+//     the fleet.
+//  4. Automatic rollback — a tripped canary reverts every canary to its
+//     previous policy generation, quarantines the candidate, and fires
+//     a notification (wired to the durable webhook outbox by the cmd).
+//
+// Every stage transition is journaled through internal/keylime/store
+// BEFORE its side effects are applied, and the verifier-side primitives
+// (SetShadowPolicy, InstallPolicyGeneration) are idempotent on the
+// generation number — so a crash at any boundary recovers by re-reading
+// the journal and blindly re-applying the current stage. Mid-fleet
+// promotion rolls FORWARD (the promote completes), never half-applies.
+package rollout
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+	"repro/internal/mirror"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+)
+
+// Fleet is the verifier surface the controller drives. *verifier.Verifier
+// satisfies it; tests substitute a fake to crash-sweep cheaply.
+type Fleet interface {
+	AgentIDs() []string
+	Status(agentID string) (verifier.Status, error)
+	SetShadowPolicy(agentID string, gen uint64, pol *policy.RuntimePolicy) error
+	ClearShadowPolicy(agentID string) error
+	ShadowStatus(agentID string) (verifier.ShadowEvalStatus, error)
+	InstallPolicyGeneration(agentID string, gen uint64, pol *policy.RuntimePolicy) error
+	ActivePolicy(agentID string) (*policy.RuntimePolicy, uint64, error)
+	Resume(agentID string) error
+}
+
+var _ Fleet = (*verifier.Verifier)(nil)
+
+// FreshnessSource answers "has upstream published since my last sync?".
+// *mirror.Mirror satisfies it.
+type FreshnessSource interface {
+	Staleness() mirror.Staleness
+}
+
+// Stage is the rollout pipeline stage.
+type Stage string
+
+// Pipeline stages. Idle/Promoted/RolledBack are terminal; the journal
+// only ever holds a non-terminal stage.
+const (
+	StageIdle        Stage = "idle"
+	StageShadowing   Stage = "shadowing"
+	StageCanary      Stage = "canary"
+	StagePromoting   Stage = "promoting"
+	StagePromoted    Stage = "promoted"
+	StageRollingBack Stage = "rolling-back"
+	StageRolledBack  Stage = "rolled-back"
+)
+
+// Sentinel errors.
+var (
+	ErrMirrorStale       = errors.New("rollout: mirror stale; update window held")
+	ErrRolloutInProgress = errors.New("rollout: another rollout is in flight")
+	ErrNoAgents          = errors.New("rollout: no agents to roll out to")
+	ErrNoRollout         = errors.New("rollout: no rollout in flight")
+)
+
+// HoldEvent records one update window held by the freshness gate.
+type HoldEvent struct {
+	Time      time.Time        `json:"time"`
+	Staleness mirror.Staleness `json:"staleness"`
+}
+
+// Event is a rollout lifecycle notification (wired to the webhook
+// notifier / durable outbox by the caller).
+type Event struct {
+	Type       string    `json:"type"` // held | shadowing | canary | promoted | rolled-back
+	Generation uint64    `json:"generation"`
+	Time       time.Time `json:"time"`
+	Detail     string    `json:"detail,omitempty"`
+}
+
+// Stats are the controller's cumulative counters.
+type Stats struct {
+	Begun      int `json:"begun"`
+	Holds      int `json:"holds"`
+	Promotions int `json:"promotions"`
+	Rollbacks  int `json:"rollbacks"`
+	// Shadow aggregates summed over finished rollouts at their terminal
+	// transition (plus the in-flight one in Status).
+	ShadowRounds    int `json:"shadow_rounds"`
+	ShadowWouldFail int `json:"shadow_would_fail"`
+	ShadowWouldPass int `json:"shadow_would_pass"`
+}
+
+// Status is the controller's externally visible state (JSON-ready; served
+// by the HTTP handler and the verifier stats registry).
+type Status struct {
+	Stage      Stage    `json:"stage"`
+	Generation uint64   `json:"generation,omitempty"`
+	Targets    []string `json:"targets,omitempty"`
+	Canaries   []string `json:"canaries,omitempty"`
+	// CleanRounds is the minimum progress across the agents the current
+	// stage is watching (shadow clean rounds while shadowing, canary clean
+	// rounds in the canary stage).
+	CleanRounds int `json:"clean_rounds"`
+	// RequiredRounds is the threshold CleanRounds must reach to advance.
+	RequiredRounds int  `json:"required_rounds,omitempty"`
+	Tripped        bool `json:"tripped,omitempty"`
+	// ShadowWouldFail / ShadowWouldPass aggregate the in-flight rollout's
+	// divergence counters across targets.
+	ShadowWouldFail int        `json:"shadow_would_fail"`
+	ShadowWouldPass int        `json:"shadow_would_pass"`
+	TripDetail      string     `json:"trip_detail,omitempty"`
+	LastHold        *HoldEvent `json:"last_hold,omitempty"`
+	Quarantined     []uint64   `json:"quarantined,omitempty"`
+	Stats           Stats      `json:"stats"`
+}
+
+// Config configures the controller.
+type Config struct {
+	// Fleet is the verifier under control (required).
+	Fleet Fleet
+	// Freshness gates Begin on mirror staleness (nil disables the gate —
+	// a standalone verifier has no mirror to consult).
+	Freshness FreshnessSource
+	// Store journals generations and stage transitions for crash recovery
+	// (nil keeps the rollout state in memory only).
+	Store *store.Store
+	// Clock stamps events (default real time).
+	Clock simclock.Clock
+	// ShadowRounds is how many consecutive clean shadow rounds every
+	// target must accumulate before canary promotion (default 3).
+	ShadowRounds int
+	// CanaryCount is how many agents (first by sorted ID) are promoted
+	// first (default 1, capped to the fleet size).
+	CanaryCount int
+	// CanaryRounds is how many clean post-promotion rounds every canary
+	// must pass before fleet promotion (default 2).
+	CanaryRounds int
+	// TripThreshold is how many new failures on any canary trip the
+	// rollback tripwire (default 1).
+	TripThreshold int
+	// AutoRollback makes a tripped (or shadow-diverged) rollout revert
+	// and quarantine automatically; without it the rollout freezes as
+	// Tripped until the operator cancels.
+	AutoRollback bool
+	// Step is an optional fault-injection checkpoint invoked at every
+	// stage boundary (see faultinject.StepHook); a returned error aborts
+	// the operation mid-step, exactly like a crash.
+	Step func(name string) error
+	// Notify receives lifecycle events (nil discards).
+	Notify func(Event)
+	// Logf receives progress lines (nil discards).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = simclock.Real{}
+	}
+	if c.ShadowRounds <= 0 {
+		c.ShadowRounds = 3
+	}
+	if c.CanaryCount <= 0 {
+		c.CanaryCount = 1
+	}
+	if c.CanaryRounds <= 0 {
+		c.CanaryRounds = 2
+	}
+	if c.TripThreshold <= 0 {
+		c.TripThreshold = 1
+	}
+	return c
+}
+
+// Store keys.
+const (
+	keyGen     = "gen"     // last allocated generation (JSON uint64)
+	keyCurrent = "current" // in-flight rollout record
+	keyMeta    = "meta"    // stats + quarantine + last hold
+)
+
+// baseline is a canary's status snapshot at promotion time; the tripwire
+// measures growth against it.
+type baseline struct {
+	Attestations int `json:"attestations"`
+	Failures     int `json:"failures"`
+}
+
+// record is the journaled state of one in-flight rollout. It is written
+// BEFORE the side effects of the stage it names, so recovery re-applies
+// the stage idempotently.
+type record struct {
+	Gen    uint64          `json:"gen"`
+	Stage  Stage           `json:"stage"`
+	Policy json.RawMessage `json:"policy"`
+	// Targets/Canaries are the agent sets frozen at Begin (minus agents
+	// that disappeared since).
+	Targets  []string `json:"targets"`
+	Canaries []string `json:"canaries"`
+	// PrevPolicies/PrevGens capture each canary's active policy at Begin,
+	// the rollback restore point.
+	PrevPolicies map[string]json.RawMessage `json:"prev_policies,omitempty"`
+	PrevGens     map[string]uint64          `json:"prev_gens,omitempty"`
+	// Baselines are the canaries' status snapshots at canary promotion.
+	Baselines map[string]baseline `json:"baselines,omitempty"`
+	// TripDetail describes why a rollback began.
+	TripDetail string `json:"trip_detail,omitempty"`
+	// ShadowRounds/WouldFail/WouldPass aggregate the rollout's shadow
+	// evaluation, captured when the shadow stage ends.
+	ShadowRounds    int `json:"shadow_rounds,omitempty"`
+	ShadowWouldFail int `json:"shadow_would_fail,omitempty"`
+	ShadowWouldPass int `json:"shadow_would_pass,omitempty"`
+}
+
+// meta is the journaled terminal-state bookkeeping.
+type meta struct {
+	Stats       Stats      `json:"stats"`
+	Quarantined []uint64   `json:"quarantined,omitempty"`
+	LastHold    *HoldEvent `json:"last_hold,omitempty"`
+}
+
+// Controller drives staged policy rollouts. Construct with New; safe for
+// concurrent use. Tick is intended to run after each verifier poll sweep.
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	nextGen uint64
+	cur     *record
+	curPol  *policy.RuntimePolicy // decoded cur.Policy
+	prevPol map[string]*policy.RuntimePolicy
+	tripped bool
+	meta    meta
+}
+
+// New creates a controller. When the store holds an in-flight rollout
+// record (a crash mid-rollout), the journaled stage is recovered and its
+// side effects re-applied before New returns, so the fleet is back to
+// exactly one consistent policy generation per agent.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Fleet == nil {
+		return nil, fmt.Errorf("rollout: Config.Fleet is required")
+	}
+	c := &Controller{cfg: cfg.withDefaults()}
+	if st := c.cfg.Store; st != nil {
+		if data, ok := st.Get(keyGen); ok {
+			if err := json.Unmarshal(data, &c.nextGen); err != nil {
+				return nil, fmt.Errorf("rollout: corrupt generation counter: %w", err)
+			}
+		}
+		if data, ok := st.Get(keyMeta); ok {
+			if err := json.Unmarshal(data, &c.meta); err != nil {
+				return nil, fmt.Errorf("rollout: corrupt meta record: %w", err)
+			}
+		}
+		if data, ok := st.Get(keyCurrent); ok {
+			var r record
+			if err := json.Unmarshal(data, &r); err != nil {
+				return nil, fmt.Errorf("rollout: corrupt rollout record: %w", err)
+			}
+			if err := c.adopt(&r); err != nil {
+				return nil, err
+			}
+			c.logf("rollout: recovered generation %d at stage %s", r.Gen, r.Stage)
+			if err := c.Recover(); err != nil {
+				return nil, fmt.Errorf("rollout: recovering stage %s: %w", r.Stage, err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// adopt decodes a journaled record into the controller's in-memory state.
+func (c *Controller) adopt(r *record) error {
+	pol := policy.New()
+	if len(r.Policy) > 0 {
+		if err := json.Unmarshal(r.Policy, pol); err != nil {
+			return fmt.Errorf("rollout: corrupt candidate policy: %w", err)
+		}
+	}
+	prev := make(map[string]*policy.RuntimePolicy, len(r.PrevPolicies))
+	for id, raw := range r.PrevPolicies {
+		p := policy.New()
+		if err := json.Unmarshal(raw, p); err != nil {
+			return fmt.Errorf("rollout: corrupt previous policy for %s: %w", id, err)
+		}
+		prev[id] = p
+	}
+	c.cur = r
+	c.curPol = pol
+	c.prevPol = prev
+	c.tripped = false
+	return nil
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Controller) notify(ev Event) {
+	if c.cfg.Notify != nil {
+		c.cfg.Notify(ev)
+	}
+}
+
+// step invokes the fault-injection checkpoint.
+func (c *Controller) step(name string) error {
+	if c.cfg.Step == nil {
+		return nil
+	}
+	return c.cfg.Step(name)
+}
+
+// putJSON journals one key (no-op without a store). The write is fsynced
+// before it returns: a stage transition is durable before its effects.
+func (c *Controller) putJSON(key string, v any) error {
+	if c.cfg.Store == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("rollout: encoding %s: %w", key, err)
+	}
+	if err := c.cfg.Store.Put(key, data); err != nil {
+		return fmt.Errorf("rollout: journaling %s: %w", key, err)
+	}
+	return nil
+}
+
+func (c *Controller) deleteKey(key string) error {
+	if c.cfg.Store == nil {
+		return nil
+	}
+	if err := c.cfg.Store.Delete(key); err != nil {
+		return fmt.Errorf("rollout: journaling delete of %s: %w", key, err)
+	}
+	return nil
+}
+
+// Begin opens an update window for a candidate policy. The freshness gate
+// runs first: when the archive has published past the mirror's last sync,
+// the window is HELD — no shadow, no promotion, the active policies stay
+// untouched — and Begin returns ErrMirrorStale. Otherwise a new
+// generation is allocated and journaled, the fleet and canary sets are
+// frozen, and the candidate enters every target's shadow slot.
+func (c *Controller) Begin(pol *policy.RuntimePolicy) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur != nil {
+		return 0, fmt.Errorf("%w: generation %d at stage %s", ErrRolloutInProgress, c.cur.Gen, c.cur.Stage)
+	}
+	if err := c.step("freshness-gate"); err != nil {
+		return 0, err
+	}
+	if c.cfg.Freshness != nil {
+		if st := c.cfg.Freshness.Staleness(); st.Stale {
+			hold := &HoldEvent{Time: c.cfg.Clock.Now(), Staleness: st}
+			c.meta.LastHold = hold
+			c.meta.Stats.Holds++
+			if err := c.putJSON(keyMeta, c.meta); err != nil {
+				return 0, err
+			}
+			c.logf("rollout: window HELD: archive published %v after last sync %v (archive seq %d > mirror seq %d)",
+				st.LastPublish, st.LastSync, st.ArchiveSeq, st.MirrorSeq)
+			c.notify(Event{Type: "held", Time: hold.Time,
+				Detail: fmt.Sprintf("archive seq %d ahead of mirror seq %d", st.ArchiveSeq, st.MirrorSeq)})
+			return 0, fmt.Errorf("%w: archive published %v, mirror synced %v",
+				ErrMirrorStale, st.LastPublish, st.LastSync)
+		}
+	}
+
+	targets := c.cfg.Fleet.AgentIDs()
+	sort.Strings(targets)
+	if len(targets) == 0 {
+		return 0, ErrNoAgents
+	}
+	nCanary := c.cfg.CanaryCount
+	if nCanary > len(targets) {
+		nCanary = len(targets)
+	}
+	canaries := append([]string(nil), targets[:nCanary]...)
+
+	polJSON, err := json.Marshal(pol)
+	if err != nil {
+		return 0, fmt.Errorf("rollout: encoding candidate policy: %w", err)
+	}
+	prevPolicies := make(map[string]json.RawMessage, len(canaries))
+	prevGens := make(map[string]uint64, len(canaries))
+	for _, id := range canaries {
+		prev, prevGen, err := c.cfg.Fleet.ActivePolicy(id)
+		if err != nil {
+			return 0, fmt.Errorf("rollout: capturing rollback point for %s: %w", id, err)
+		}
+		raw, err := json.Marshal(prev)
+		if err != nil {
+			return 0, fmt.Errorf("rollout: encoding rollback policy for %s: %w", id, err)
+		}
+		prevPolicies[id] = raw
+		prevGens[id] = prevGen
+	}
+
+	gen := c.nextGen + 1
+	if err := c.putJSON(keyGen, gen); err != nil {
+		return 0, err
+	}
+	c.nextGen = gen
+	r := &record{
+		Gen: gen, Stage: StageShadowing, Policy: polJSON,
+		Targets: targets, Canaries: canaries,
+		PrevPolicies: prevPolicies, PrevGens: prevGens,
+	}
+	// Journal the stage BEFORE applying it: a crash from here on recovers
+	// by re-applying the shadow installs, which are generation-idempotent.
+	if err := c.putJSON(keyCurrent, r); err != nil {
+		return 0, err
+	}
+	if err := c.adopt(r); err != nil {
+		return 0, err
+	}
+	c.meta.Stats.Begun++
+	c.logf("rollout: generation %d shadowing on %d agents (%d canaries)", gen, len(targets), len(canaries))
+	c.notify(Event{Type: "shadowing", Generation: gen, Time: c.cfg.Clock.Now(),
+		Detail: fmt.Sprintf("%d targets, %d canaries", len(targets), len(canaries))})
+	if err := c.step("shadow-start"); err != nil {
+		return gen, err
+	}
+	if err := c.applyStageLocked(); err != nil {
+		return gen, err
+	}
+	return gen, nil
+}
+
+// applyStageLocked idempotently enforces the current stage's side effects
+// on the fleet. It is called after every stage transition, on every Tick,
+// and during crash recovery — the verifier primitives no-op when already
+// applied, so repetition is safe. Agents that vanished from the fleet are
+// dropped from the rollout's sets.
+func (c *Controller) applyStageLocked() error {
+	r := c.cur
+	switch r.Stage {
+	case StageShadowing:
+		for _, id := range r.Targets {
+			if err := c.cfg.Fleet.SetShadowPolicy(id, r.Gen, c.curPol); err != nil {
+				if errors.Is(err, verifier.ErrUnknownAgent) {
+					c.dropTargetLocked(id)
+					continue
+				}
+				return err
+			}
+		}
+	case StageCanary:
+		for _, id := range r.Canaries {
+			if err := c.step("canary-install"); err != nil {
+				return err
+			}
+			if err := c.cfg.Fleet.InstallPolicyGeneration(id, r.Gen, c.curPol); err != nil &&
+				!errors.Is(err, verifier.ErrUnknownAgent) {
+				return err
+			}
+		}
+		for _, id := range r.Targets {
+			if isIn(id, r.Canaries) {
+				continue
+			}
+			if err := c.cfg.Fleet.SetShadowPolicy(id, r.Gen, c.curPol); err != nil {
+				if errors.Is(err, verifier.ErrUnknownAgent) {
+					c.dropTargetLocked(id)
+					continue
+				}
+				return err
+			}
+		}
+	case StagePromoting:
+		for _, id := range r.Targets {
+			if err := c.step("fleet-install"); err != nil {
+				return err
+			}
+			if err := c.cfg.Fleet.InstallPolicyGeneration(id, r.Gen, c.curPol); err != nil &&
+				!errors.Is(err, verifier.ErrUnknownAgent) {
+				return err
+			}
+		}
+	case StageRollingBack:
+		for _, id := range r.Canaries {
+			if err := c.step("rollback-install"); err != nil {
+				return err
+			}
+			prev, ok := c.prevPol[id]
+			if !ok {
+				continue
+			}
+			if err := c.cfg.Fleet.InstallPolicyGeneration(id, r.PrevGens[id], prev); err != nil &&
+				!errors.Is(err, verifier.ErrUnknownAgent) {
+				return err
+			}
+			// Failures accrued under the quarantined candidate are the
+			// candidate's fault: resume the canary under its restored
+			// policy. The failure history stays on record.
+			if err := c.cfg.Fleet.Resume(id); err != nil &&
+				!errors.Is(err, verifier.ErrUnknownAgent) {
+				return err
+			}
+		}
+		for _, id := range r.Targets {
+			if err := c.cfg.Fleet.ClearShadowPolicy(id); err != nil &&
+				!errors.Is(err, verifier.ErrUnknownAgent) {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// dropTargetLocked removes a vanished agent from the rollout's sets.
+func (c *Controller) dropTargetLocked(id string) {
+	c.cur.Targets = remove(c.cur.Targets, id)
+	c.cur.Canaries = remove(c.cur.Canaries, id)
+}
+
+func remove(ids []string, id string) []string {
+	out := ids[:0]
+	for _, x := range ids {
+		if x != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func isIn(id string, ids []string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Recover re-applies the journaled stage's side effects and, for the
+// roll-forward stages (promoting, rolling-back), completes them. It is
+// called by New automatically; exposed for tests.
+func (c *Controller) Recover() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return nil
+	}
+	if err := c.applyStageLocked(); err != nil {
+		return err
+	}
+	switch c.cur.Stage {
+	case StagePromoting:
+		return c.finishPromoteLocked()
+	case StageRollingBack:
+		return c.finishRollbackLocked()
+	}
+	return nil
+}
+
+// Tick advances the pipeline one step; call it after each poll sweep. It
+// performs no attestation itself — it reads the verifier-side counters
+// the sweeps accumulate and journals stage transitions when thresholds
+// are met.
+func (c *Controller) Tick() (Status, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return c.statusLocked(), nil
+	}
+	if err := c.applyStageLocked(); err != nil {
+		return c.statusLocked(), err
+	}
+	if len(c.cur.Targets) == 0 {
+		// Every target vanished mid-rollout: abort to terminal.
+		c.cur.TripDetail = "all targets removed mid-rollout"
+		err := c.finishRollbackLocked()
+		return c.statusLocked(), err
+	}
+	var err error
+	switch c.cur.Stage {
+	case StageShadowing:
+		err = c.tickShadowLocked()
+	case StageCanary:
+		err = c.tickCanaryLocked()
+	case StagePromoting:
+		err = c.finishPromoteLocked()
+	case StageRollingBack:
+		err = c.finishRollbackLocked()
+	}
+	return c.statusLocked(), err
+}
+
+// tickShadowLocked checks divergence and clean-round progress across the
+// targets' shadow slots.
+func (c *Controller) tickShadowLocked() error {
+	r := c.cur
+	minClean := -1
+	wouldFail := 0
+	for _, id := range append([]string(nil), r.Targets...) {
+		st, err := c.cfg.Fleet.ShadowStatus(id)
+		if err != nil {
+			if errors.Is(err, verifier.ErrUnknownAgent) {
+				c.dropTargetLocked(id)
+				continue
+			}
+			return err
+		}
+		wouldFail += st.WouldFail
+		if minClean < 0 || st.CleanRounds < minClean {
+			minClean = st.CleanRounds
+		}
+	}
+	if wouldFail > 0 {
+		// The candidate would have failed entries the active policy
+		// accepts — the §III-C signature. Recorded, never alerted; with
+		// auto-rollback the candidate is quarantined outright.
+		c.tripped = true
+		r.TripDetail = fmt.Sprintf("shadow divergence: %d would-fail entries", wouldFail)
+		if !c.cfg.AutoRollback {
+			return nil
+		}
+		return c.beginRollbackLocked()
+	}
+	if minClean < c.cfg.ShadowRounds {
+		return nil
+	}
+	return c.promoteCanariesLocked()
+}
+
+// promoteCanariesLocked transitions shadowing → canary: snapshot the
+// canaries' baselines, journal, then install the candidate on them.
+func (c *Controller) promoteCanariesLocked() error {
+	if err := c.step("canary-promote"); err != nil {
+		return err
+	}
+	r := c.cur
+	c.captureShadowAggregatesLocked()
+	r.Baselines = make(map[string]baseline, len(r.Canaries))
+	for _, id := range r.Canaries {
+		st, err := c.cfg.Fleet.Status(id)
+		if err != nil {
+			if errors.Is(err, verifier.ErrUnknownAgent) {
+				c.dropTargetLocked(id)
+				continue
+			}
+			return err
+		}
+		r.Baselines[id] = baseline{Attestations: st.Attestations, Failures: len(st.Failures)}
+	}
+	if len(r.Canaries) == 0 {
+		// All canaries vanished: re-elect from the remaining targets.
+		n := c.cfg.CanaryCount
+		if n > len(r.Targets) {
+			n = len(r.Targets)
+		}
+		r.Canaries = append([]string(nil), r.Targets[:n]...)
+		return nil // next tick re-runs promotion with fresh baselines
+	}
+	r.Stage = StageCanary
+	if err := c.putJSON(keyCurrent, r); err != nil {
+		r.Stage = StageShadowing
+		return err
+	}
+	c.logf("rollout: generation %d promoted to %d canaries", r.Gen, len(r.Canaries))
+	c.notify(Event{Type: "canary", Generation: r.Gen, Time: c.cfg.Clock.Now(),
+		Detail: fmt.Sprintf("%d canaries", len(r.Canaries))})
+	return c.applyStageLocked()
+}
+
+// tickCanaryLocked watches the canaries: new failures trip the rollback
+// tripwire; enough clean rounds promote the fleet.
+func (c *Controller) tickCanaryLocked() error {
+	r := c.cur
+	minClean := -1
+	for _, id := range append([]string(nil), r.Canaries...) {
+		st, err := c.cfg.Fleet.Status(id)
+		if err != nil {
+			if errors.Is(err, verifier.ErrUnknownAgent) {
+				c.dropTargetLocked(id)
+				continue
+			}
+			return err
+		}
+		base := r.Baselines[id]
+		if grown := len(st.Failures) - base.Failures; grown >= c.cfg.TripThreshold {
+			c.tripped = true
+			r.TripDetail = fmt.Sprintf("canary %s: %d new failures since promotion (threshold %d)",
+				id, grown, c.cfg.TripThreshold)
+			if !c.cfg.AutoRollback {
+				return nil
+			}
+			return c.beginRollbackLocked()
+		}
+		// Attestations only advance on clean rounds, so the delta IS the
+		// clean-round count — the breaker machinery's consecutive-success
+		// accounting read from the other side.
+		if clean := st.Attestations - base.Attestations; minClean < 0 || clean < minClean {
+			minClean = clean
+		}
+	}
+	if minClean < 0 || minClean < c.cfg.CanaryRounds {
+		return nil
+	}
+	if err := c.step("fleet-promote"); err != nil {
+		return err
+	}
+	r.Stage = StagePromoting
+	if err := c.putJSON(keyCurrent, r); err != nil {
+		r.Stage = StageCanary
+		return err
+	}
+	c.logf("rollout: generation %d promoting to full fleet (%d agents)", r.Gen, len(r.Targets))
+	if err := c.applyStageLocked(); err != nil {
+		return err
+	}
+	return c.finishPromoteLocked()
+}
+
+// beginRollbackLocked transitions to rolling-back, journals, applies, and
+// completes the rollback.
+func (c *Controller) beginRollbackLocked() error {
+	if err := c.step("rollback"); err != nil {
+		return err
+	}
+	r := c.cur
+	if r.ShadowRounds == 0 {
+		c.captureShadowAggregatesLocked()
+	}
+	prev := r.Stage
+	r.Stage = StageRollingBack
+	if err := c.putJSON(keyCurrent, r); err != nil {
+		r.Stage = prev
+		return err
+	}
+	c.logf("rollout: generation %d rolling back: %s", r.Gen, r.TripDetail)
+	if err := c.applyStageLocked(); err != nil {
+		return err
+	}
+	return c.finishRollbackLocked()
+}
+
+// captureShadowAggregatesLocked sums the targets' shadow counters into
+// the record — done before promotion or rollback clears the slots, so
+// the §III-C divergence stays visible in the rollout stats afterwards.
+func (c *Controller) captureShadowAggregatesLocked() {
+	r := c.cur
+	r.ShadowRounds, r.ShadowWouldFail, r.ShadowWouldPass = 0, 0, 0
+	for _, id := range r.Targets {
+		st, err := c.cfg.Fleet.ShadowStatus(id)
+		if err != nil {
+			continue
+		}
+		r.ShadowRounds += st.Rounds
+		r.ShadowWouldFail += st.WouldFail
+		r.ShadowWouldPass += st.WouldPass
+	}
+}
+
+// finishPromoteLocked completes a fleet promotion: terminal journal
+// transition, stats, notification.
+func (c *Controller) finishPromoteLocked() error {
+	r := c.cur
+	c.meta.Stats.Promotions++
+	c.meta.Stats.ShadowRounds += r.ShadowRounds
+	c.meta.Stats.ShadowWouldFail += r.ShadowWouldFail
+	c.meta.Stats.ShadowWouldPass += r.ShadowWouldPass
+	if err := c.putJSON(keyMeta, c.meta); err != nil {
+		c.meta.Stats.Promotions--
+		c.meta.Stats.ShadowRounds -= r.ShadowRounds
+		c.meta.Stats.ShadowWouldFail -= r.ShadowWouldFail
+		c.meta.Stats.ShadowWouldPass -= r.ShadowWouldPass
+		return err
+	}
+	if err := c.deleteKey(keyCurrent); err != nil {
+		return err
+	}
+	c.logf("rollout: generation %d promoted fleet-wide", r.Gen)
+	c.notify(Event{Type: "promoted", Generation: r.Gen, Time: c.cfg.Clock.Now()})
+	c.cur, c.curPol, c.prevPol, c.tripped = nil, nil, nil, false
+	return nil
+}
+
+// finishRollbackLocked completes a rollback: quarantine the candidate,
+// terminal journal transition, stats, notification.
+func (c *Controller) finishRollbackLocked() error {
+	r := c.cur
+	c.meta.Stats.Rollbacks++
+	c.meta.Stats.ShadowRounds += r.ShadowRounds
+	c.meta.Stats.ShadowWouldFail += r.ShadowWouldFail
+	c.meta.Stats.ShadowWouldPass += r.ShadowWouldPass
+	c.meta.Quarantined = append(c.meta.Quarantined, r.Gen)
+	if err := c.putJSON(keyMeta, c.meta); err != nil {
+		c.meta.Stats.Rollbacks--
+		c.meta.Stats.ShadowRounds -= r.ShadowRounds
+		c.meta.Stats.ShadowWouldFail -= r.ShadowWouldFail
+		c.meta.Stats.ShadowWouldPass -= r.ShadowWouldPass
+		c.meta.Quarantined = c.meta.Quarantined[:len(c.meta.Quarantined)-1]
+		return err
+	}
+	if err := c.deleteKey(keyCurrent); err != nil {
+		return err
+	}
+	c.logf("rollout: generation %d rolled back and quarantined: %s", r.Gen, r.TripDetail)
+	c.notify(Event{Type: "rolled-back", Generation: r.Gen, Time: c.cfg.Clock.Now(), Detail: r.TripDetail})
+	c.cur, c.curPol, c.prevPol, c.tripped = nil, nil, nil, false
+	return nil
+}
+
+// Cancel aborts an in-flight rollout: canaries are reverted (when already
+// promoted), shadow slots cleared, the candidate quarantined.
+func (c *Controller) Cancel() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil {
+		return ErrNoRollout
+	}
+	if c.cur.TripDetail == "" {
+		c.cur.TripDetail = "cancelled by operator"
+	}
+	return c.beginRollbackLocked()
+}
+
+// Status reports the controller's state.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.statusLocked()
+}
+
+func (c *Controller) statusLocked() Status {
+	st := Status{
+		Stage:       StageIdle,
+		LastHold:    c.meta.LastHold,
+		Quarantined: append([]uint64(nil), c.meta.Quarantined...),
+		Stats:       c.meta.Stats,
+	}
+	r := c.cur
+	if r == nil {
+		return st
+	}
+	st.Stage = r.Stage
+	st.Generation = r.Gen
+	st.Targets = append([]string(nil), r.Targets...)
+	st.Canaries = append([]string(nil), r.Canaries...)
+	st.Tripped = c.tripped
+	st.TripDetail = r.TripDetail
+	minClean := -1
+	switch r.Stage {
+	case StageShadowing:
+		st.RequiredRounds = c.cfg.ShadowRounds
+		for _, id := range r.Targets {
+			s, err := c.cfg.Fleet.ShadowStatus(id)
+			if err != nil {
+				continue
+			}
+			st.ShadowWouldFail += s.WouldFail
+			st.ShadowWouldPass += s.WouldPass
+			if minClean < 0 || s.CleanRounds < minClean {
+				minClean = s.CleanRounds
+			}
+		}
+	case StageCanary:
+		st.RequiredRounds = c.cfg.CanaryRounds
+		for _, id := range r.Canaries {
+			s, err := c.cfg.Fleet.Status(id)
+			if err != nil {
+				continue
+			}
+			if clean := s.Attestations - r.Baselines[id].Attestations; minClean < 0 || clean < minClean {
+				minClean = clean
+			}
+		}
+	}
+	if minClean > 0 {
+		st.CleanRounds = minClean
+	}
+	st.ShadowWouldFail += r.ShadowWouldFail
+	st.ShadowWouldPass += r.ShadowWouldPass
+	return st
+}

@@ -1,0 +1,771 @@
+package rollout
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+	"repro/internal/mirror"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+)
+
+// fakeAgent mirrors the verifier-side state the controller observes.
+type fakeAgent struct {
+	gen          uint64
+	pol          *policy.RuntimePolicy
+	shadowGen    uint64
+	shadowPol    *policy.RuntimePolicy
+	shadowRounds int
+	shadowClean  int
+	shadowWF     int
+	shadowWP     int
+	attestations int
+	failures     int
+	halted       bool
+	// failWhenGen makes rounds fail (instead of attest) while the agent's
+	// active generation equals this value — a bad canary promotion.
+	failWhenGen uint64
+}
+
+// fakeFleet implements Fleet with the same idempotence semantics as the
+// real verifier, cheap enough to crash-sweep hundreds of runs.
+type fakeFleet struct {
+	mu     sync.Mutex
+	agents map[string]*fakeAgent
+}
+
+func newFakeFleet(ids ...string) *fakeFleet {
+	f := &fakeFleet{agents: make(map[string]*fakeAgent)}
+	for _, id := range ids {
+		f.agents[id] = &fakeAgent{pol: policy.New()}
+	}
+	return f
+}
+
+func (f *fakeFleet) get(id string) (*fakeAgent, error) {
+	a, ok := f.agents[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", verifier.ErrUnknownAgent, id)
+	}
+	return a, nil
+}
+
+func (f *fakeFleet) AgentIDs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]string, 0, len(f.agents))
+	for id := range f.agents {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (f *fakeFleet) Status(id string) (verifier.Status, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return verifier.Status{}, err
+	}
+	st := verifier.Status{
+		AgentID:          id,
+		Attestations:     a.attestations,
+		Halted:           a.halted,
+		PolicyGeneration: a.gen,
+		ShadowGeneration: a.shadowGen,
+	}
+	for i := 0; i < a.failures; i++ {
+		st.Failures = append(st.Failures, verifier.Failure{Detail: "fake"})
+	}
+	return st, nil
+}
+
+func (f *fakeFleet) SetShadowPolicy(id string, gen uint64, pol *policy.RuntimePolicy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	if a.shadowPol != nil && a.shadowGen == gen {
+		return nil
+	}
+	a.shadowPol = pol.Clone()
+	a.shadowGen = gen
+	a.shadowRounds, a.shadowClean, a.shadowWF, a.shadowWP = 0, 0, 0, 0
+	return nil
+}
+
+func (f *fakeFleet) ClearShadowPolicy(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	a.shadowPol, a.shadowGen = nil, 0
+	a.shadowRounds, a.shadowClean, a.shadowWF, a.shadowWP = 0, 0, 0, 0
+	return nil
+}
+
+func (f *fakeFleet) ShadowStatus(id string) (verifier.ShadowEvalStatus, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return verifier.ShadowEvalStatus{}, err
+	}
+	return verifier.ShadowEvalStatus{
+		Installed:   a.shadowPol != nil,
+		Generation:  a.shadowGen,
+		Rounds:      a.shadowRounds,
+		CleanRounds: a.shadowClean,
+		WouldFail:   a.shadowWF,
+		WouldPass:   a.shadowWP,
+	}, nil
+}
+
+func (f *fakeFleet) InstallPolicyGeneration(id string, gen uint64, pol *policy.RuntimePolicy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	if a.gen == gen && gen != 0 {
+		return nil
+	}
+	a.pol = pol.Clone()
+	a.gen = gen
+	if a.shadowPol != nil && a.shadowGen == gen {
+		a.shadowPol, a.shadowGen = nil, 0
+	}
+	return nil
+}
+
+func (f *fakeFleet) ActivePolicy(id string) (*policy.RuntimePolicy, uint64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	return a.pol.Clone(), a.gen, nil
+}
+
+func (f *fakeFleet) Resume(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	a, err := f.get(id)
+	if err != nil {
+		return err
+	}
+	a.halted = false
+	return nil
+}
+
+// round simulates one poll sweep over the fleet: shadow slots accumulate
+// clean rounds (or divergence via divergeWF), agents attest or — while at
+// failWhenGen — fail and halt.
+func (f *fakeFleet) round(divergeWF bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range f.agents {
+		if a.halted {
+			continue
+		}
+		if a.failWhenGen != 0 && a.gen == a.failWhenGen {
+			a.failures++
+			a.halted = true
+			continue
+		}
+		a.attestations++
+		if a.shadowPol != nil {
+			a.shadowRounds++
+			if divergeWF {
+				a.shadowWF++
+				a.shadowClean = 0
+			} else {
+				a.shadowClean++
+			}
+		}
+	}
+}
+
+func candidate(t *testing.T) *policy.RuntimePolicy {
+	t.Helper()
+	pol := policy.New()
+	pol.Add("/usr/bin/newtool", policy.Digest{0xAA})
+	return pol
+}
+
+// drive ticks the controller (one fleet round per tick) until it reaches
+// a terminal stage or maxRounds elapses.
+func drive(t *testing.T, c *Controller, f *fakeFleet, divergeWF bool, maxRounds int) Status {
+	t.Helper()
+	var st Status
+	for i := 0; i < maxRounds; i++ {
+		f.round(divergeWF)
+		var err error
+		st, err = c.Tick()
+		if err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		if st.Stage == StageIdle {
+			return st
+		}
+	}
+	return st
+}
+
+func TestHappyPathPromotesThroughStages(t *testing.T) {
+	f := newFakeFleet("a1", "a2", "a3")
+	var events []string
+	c, err := New(Config{
+		Fleet: f, ShadowRounds: 2, CanaryCount: 1, CanaryRounds: 2,
+		AutoRollback: true,
+		Notify:       func(ev Event) { events = append(events, ev.Type) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation = %d, want 1", gen)
+	}
+	// Shadow slots installed on every target immediately.
+	for _, id := range []string{"a1", "a2", "a3"} {
+		ss, _ := f.ShadowStatus(id)
+		if !ss.Installed || ss.Generation != gen {
+			t.Fatalf("%s shadow = %+v, want installed gen %d", id, ss, gen)
+		}
+	}
+	st := drive(t, c, f, false, 20)
+	if st.Stage != StageIdle {
+		t.Fatalf("stage = %s, want idle", st.Stage)
+	}
+	if st.Stats.Promotions != 1 || st.Stats.Rollbacks != 0 {
+		t.Fatalf("stats = %+v, want 1 promotion", st.Stats)
+	}
+	for _, id := range []string{"a1", "a2", "a3"} {
+		if g := f.agents[id].gen; g != gen {
+			t.Errorf("%s generation = %d, want %d", id, g, gen)
+		}
+		if f.agents[id].shadowPol != nil {
+			t.Errorf("%s shadow slot not cleared after promotion", id)
+		}
+	}
+	want := "shadowing,canary,promoted"
+	if got := strings.Join(events, ","); got != want {
+		t.Errorf("events = %s, want %s", got, want)
+	}
+}
+
+func TestShadowDivergenceQuarantinesCandidate(t *testing.T) {
+	f := newFakeFleet("a1", "a2")
+	c, err := New(Config{Fleet: f, ShadowRounds: 3, AutoRollback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := drive(t, c, f, true, 10)
+	if st.Stage != StageIdle {
+		t.Fatalf("stage = %s, want idle", st.Stage)
+	}
+	if st.Stats.Rollbacks != 1 || st.Stats.Promotions != 0 {
+		t.Fatalf("stats = %+v, want 1 rollback", st.Stats)
+	}
+	if len(st.Quarantined) != 1 || st.Quarantined[0] != gen {
+		t.Fatalf("quarantined = %v, want [%d]", st.Quarantined, gen)
+	}
+	if st.Stats.ShadowWouldFail == 0 {
+		t.Error("shadow would-fail divergence not recorded in stats")
+	}
+	for id, a := range f.agents {
+		if a.gen == gen {
+			t.Errorf("%s promoted to quarantined generation", id)
+		}
+		if a.shadowPol != nil {
+			t.Errorf("%s shadow slot not cleared after quarantine", id)
+		}
+	}
+}
+
+func TestShadowDivergenceWithoutAutoRollbackFreezes(t *testing.T) {
+	f := newFakeFleet("a1")
+	c, err := New(Config{Fleet: f, ShadowRounds: 3, AutoRollback: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := drive(t, c, f, true, 6)
+	if st.Stage != StageShadowing || !st.Tripped {
+		t.Fatalf("status = %+v, want tripped shadowing", st)
+	}
+	// Operator resolves by cancelling; the candidate is quarantined.
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); st.Stage != StageIdle || len(st.Quarantined) != 1 {
+		t.Fatalf("after cancel: %+v", st)
+	}
+}
+
+func TestCanaryTripwireRollsBackAndRestoresPolicy(t *testing.T) {
+	f := newFakeFleet("a1", "a2", "a3")
+	// a1 sorts first so it becomes the canary; make it fail once the
+	// candidate generation is active on it.
+	f.agents["a1"].failWhenGen = 1
+	f.agents["a1"].pol.Add("/usr/bin/oldtool", policy.Digest{0x01})
+	c, err := New(Config{
+		Fleet: f, ShadowRounds: 1, CanaryCount: 1, CanaryRounds: 3,
+		TripThreshold: 1, AutoRollback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := drive(t, c, f, false, 20)
+	if st.Stage != StageIdle {
+		t.Fatalf("stage = %s, want idle", st.Stage)
+	}
+	if st.Stats.Rollbacks != 1 {
+		t.Fatalf("stats = %+v, want 1 rollback", st.Stats)
+	}
+	a1 := f.agents["a1"]
+	if a1.gen == gen {
+		t.Error("canary left on the quarantined generation")
+	}
+	if !a1.pol.Has("/usr/bin/oldtool") {
+		t.Error("canary's previous policy not restored")
+	}
+	if a1.halted {
+		t.Error("canary not resumed after rollback")
+	}
+	if f.agents["a2"].gen == gen || f.agents["a3"].gen == gen {
+		t.Error("non-canary promoted despite rollback")
+	}
+}
+
+func TestFreshnessGateHoldsWindow(t *testing.T) {
+	now := time.Date(2026, 1, 1, 3, 0, 0, 0, time.UTC)
+	arc := mirror.NewArchive()
+	if _, err := arc.Publish(now, mirror.Package{Name: "coreutils", Version: "9.1"}); err != nil {
+		t.Fatal(err)
+	}
+	m := mirror.NewMirror(arc)
+	m.Sync(now.Add(time.Hour))
+	f := newFakeFleet("a1")
+	var held []Event
+	c, err := New(Config{Fleet: f, Freshness: m,
+		Notify: func(ev Event) {
+			if ev.Type == "held" {
+				held = append(held, ev)
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh mirror: window opens.
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatalf("begin with fresh mirror: %v", err)
+	}
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Late publish after the last sync: window held, nothing changes.
+	if _, err := arc.Publish(now.Add(2*time.Hour), mirror.Package{Name: "coreutils", Version: "9.2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); !errors.Is(err, ErrMirrorStale) {
+		t.Fatalf("begin with stale mirror: err = %v, want ErrMirrorStale", err)
+	}
+	st := c.Status()
+	if st.Stage != StageIdle || st.Stats.Holds != 1 || st.LastHold == nil {
+		t.Fatalf("after hold: %+v", st)
+	}
+	if len(held) != 1 {
+		t.Fatalf("held events = %d, want 1", len(held))
+	}
+	if ss, _ := f.ShadowStatus("a1"); ss.Installed {
+		t.Error("held window still installed a shadow policy")
+	}
+
+	// Resync clears the hold.
+	m.Sync(now.Add(3 * time.Hour))
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatalf("begin after resync: %v", err)
+	}
+}
+
+func TestBeginRejectsConcurrentRollout(t *testing.T) {
+	f := newFakeFleet("a1")
+	c, err := New(Config{Fleet: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); !errors.Is(err, ErrRolloutInProgress) {
+		t.Fatalf("second begin: err = %v, want ErrRolloutInProgress", err)
+	}
+}
+
+func TestBeginRejectsEmptyFleet(t *testing.T) {
+	c, err := New(Config{Fleet: newFakeFleet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); !errors.Is(err, ErrNoAgents) {
+		t.Fatalf("err = %v, want ErrNoAgents", err)
+	}
+}
+
+// recordSteps runs a fault-free rollout and returns the recorded step
+// sequence. tripCanary makes the first canary fail under the candidate so
+// the sequence includes the rollback steps.
+func recordSteps(t *testing.T, tripCanary bool) []string {
+	t.Helper()
+	f := sweepFleet(tripCanary)
+	hook := faultinject.NewStepHook()
+	c, err := New(sweepConfig(f, nil, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+	if st := drive(t, c, f, false, 30); st.Stage != StageIdle {
+		t.Fatalf("fault-free run did not finish: %+v", st)
+	}
+	steps := hook.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	return steps
+}
+
+func sweepFleet(tripCanary bool) *fakeFleet {
+	f := newFakeFleet("a1", "a2", "a3")
+	for _, a := range f.agents {
+		a.pol.Add("/usr/bin/oldtool", policy.Digest{0x01})
+	}
+	if tripCanary {
+		f.agents["a1"].failWhenGen = 1
+	}
+	return f
+}
+
+func sweepConfig(f *fakeFleet, st *store.Store, hook *faultinject.StepHook) Config {
+	return Config{
+		Fleet: f, Store: st, ShadowRounds: 2, CanaryCount: 1, CanaryRounds: 2,
+		TripThreshold: 1, AutoRollback: true,
+		Clock: simclock.NewSimulated(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)),
+		Step:  hook.Step,
+	}
+}
+
+// TestCrashSweepEveryStepBoundary is the ISSUE's acceptance criterion:
+// crash the controller at every step boundary of both the promote and
+// the rollback pipeline, recover from the journal with a fresh
+// controller, and require the fleet to land on exactly one consistent
+// policy generation per agent — fully promoted, fully rolled back, or
+// untouched. Never half-applied.
+func TestCrashSweepEveryStepBoundary(t *testing.T) {
+	for _, tripCanary := range []bool{false, true} {
+		name := "promote"
+		if tripCanary {
+			name = "rollback"
+		}
+		t.Run(name, func(t *testing.T) {
+			steps := recordSteps(t, tripCanary)
+			t.Logf("fault-free steps: %v", steps)
+			for n := 1; n <= len(steps); n++ {
+				t.Run(fmt.Sprintf("crash-at-%d-%s", n, steps[n-1]), func(t *testing.T) {
+					sweepOnce(t, tripCanary, n)
+				})
+			}
+		})
+	}
+}
+
+func sweepOnce(t *testing.T, tripCanary bool, crashAt int) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sweepFleet(tripCanary)
+	hook := faultinject.NewStepHook()
+	hook.ArmCrash(crashAt)
+	c, err := New(sweepConfig(f, st, hook))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive until the injected crash fires (or, if the crash index is past
+	// this run's path, until terminal).
+	crashed := false
+	if _, err := c.Begin(candidate(t)); err != nil {
+		if !errors.Is(err, faultinject.ErrStepCrash) {
+			t.Fatal(err)
+		}
+		crashed = true
+	}
+	for i := 0; i < 30 && !crashed; i++ {
+		f.round(false)
+		status, err := c.Tick()
+		if err != nil {
+			if !errors.Is(err, faultinject.ErrStepCrash) {
+				t.Fatal(err)
+			}
+			crashed = true
+			break
+		}
+		if status.Stage == StageIdle {
+			break
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Reboot": fresh store handle, fresh controller, no crash armed. New
+	// recovers the journaled stage and re-applies it; further ticks drive
+	// the rollout to terminal.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopening store: %v", err)
+	}
+	defer st2.Close()
+	c2, err := New(sweepConfig(f, st2, faultinject.NewStepHook()))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	final := c2.Status()
+	for i := 0; i < 30 && final.Stage != StageIdle; i++ {
+		f.round(false)
+		if final, err = c2.Tick(); err != nil {
+			t.Fatalf("post-recovery tick: %v", err)
+		}
+	}
+	if final.Stage != StageIdle {
+		t.Fatalf("rollout never reached terminal after recovery: %+v", final)
+	}
+
+	// Consistency: every agent must be fully at the candidate generation
+	// (promoted) or fully off it (rolled back / never begun), shadow slots
+	// empty either way.
+	promoted := final.Stats.Promotions == 1
+	for id, a := range f.agents {
+		if a.shadowPol != nil {
+			t.Errorf("%s: shadow slot still occupied at terminal", id)
+		}
+		if promoted {
+			if a.gen != 1 {
+				t.Errorf("%s: generation = %d after promotion, want 1", id, a.gen)
+			}
+		} else if a.gen == 1 {
+			t.Errorf("%s: left on quarantined/abandoned generation 1", id)
+		}
+	}
+	if tripCanary && final.Stats.Promotions > 0 {
+		t.Errorf("bad candidate was promoted: %+v", final.Stats)
+	}
+	total := final.Stats.Promotions + final.Stats.Rollbacks
+	if total > 1 {
+		t.Errorf("rollout finished %d times: %+v", total, final.Stats)
+	}
+}
+
+// TestRecoveryResumesMidShadow checks the non-terminal recovery path
+// explicitly: a controller killed while shadowing resumes counting where
+// the verifier-side counters left off.
+func TestRecoveryResumesMidShadow(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sweepFleet(false)
+	c, err := New(sweepConfig(f, st, faultinject.NewStepHook()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.round(false) // one clean shadow round, then "crash"
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2, err := New(sweepConfig(f, st2, faultinject.NewStepHook()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Status()
+	if got.Stage != StageShadowing || got.Generation != gen {
+		t.Fatalf("recovered status = %+v, want shadowing gen %d", got, gen)
+	}
+	// The shadow slots kept their generation, so counters were preserved.
+	if ss, _ := f.ShadowStatus("a1"); ss.CleanRounds != 1 {
+		t.Fatalf("clean rounds after recovery = %d, want 1 (counters reset?)", ss.CleanRounds)
+	}
+	if st := drive(t, c2, f, false, 20); st.Stats.Promotions != 1 {
+		t.Fatalf("recovered rollout did not promote: %+v", st)
+	}
+}
+
+// TestGenerationCounterSurvivesRestart ensures generations stay monotonic
+// across process restarts (a reused generation would defeat idempotent
+// re-apply).
+func TestGenerationCounterSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	f := newFakeFleet("a1")
+	open := func() (*Controller, *store.Store) {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(Config{Fleet: f, Store: st, ShadowRounds: 1, CanaryRounds: 1, AutoRollback: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, st
+	}
+	c, st := open()
+	gen1, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, c, f, false, 10)
+	st.Close()
+
+	c2, st2 := open()
+	defer st2.Close()
+	gen2, err := c2.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Fatalf("generation after restart = %d, want > %d", gen2, gen1)
+	}
+}
+
+// TestRealVerifierIntegration exercises the controller against a live
+// verifier + agent stack end to end: shadow rounds accumulate through
+// real attestation sweeps and the candidate promotes fleet-wide.
+func TestRealVerifierIntegration(t *testing.T) {
+	s := newVerifierStack(t)
+	gen := s.runRollout(t)
+	for _, id := range s.agentIDs {
+		got, err := s.v.PolicyGeneration(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != gen {
+			t.Errorf("%s generation = %d, want %d", id, got, gen)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	f := newFakeFleet("a1")
+	c, err := New(Config{Fleet: f, ShadowRounds: 1, CanaryRounds: 1, AutoRollback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v2/rollout/begin", "application/json",
+		strings.NewReader(`{"entries":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("begin: status %d", resp.StatusCode)
+	}
+
+	// Second begin conflicts.
+	resp, err = http.Post(srv.URL+"/v2/rollout/begin", "application/json",
+		strings.NewReader(`{"entries":{}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("concurrent begin: status %d, want 409", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/v2/rollout/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/v2/rollout/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	// Cancel with nothing in flight conflicts.
+	resp, err = http.Post(srv.URL+"/v2/rollout/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("idle cancel: status %d, want 409", resp.StatusCode)
+	}
+
+	// Malformed candidate policy is a 400, never a panic.
+	resp, err = http.Post(srv.URL+"/v2/rollout/begin", "application/json",
+		strings.NewReader(`{"entries":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed begin: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/url"
 
 	"repro/internal/keylime/httppool"
+	"repro/internal/keylime/rollout"
 	"repro/internal/policy"
 )
 
@@ -42,6 +43,11 @@ type StatusResponse struct {
 	Breaker          string        `json:"breaker"`
 	BreakerOpenUntil string        `json:"breaker_open_until,omitempty"`
 	Failures         []WireFailure `json:"failures"`
+	// PolicyGeneration is the rollout generation the active policy came
+	// from (0 = installed outside the rollout pipeline); ShadowGeneration
+	// is the candidate riding in the agent's shadow slot, if any.
+	PolicyGeneration uint64 `json:"policy_generation,omitempty"`
+	ShadowGeneration uint64 `json:"shadow_generation,omitempty"`
 }
 
 // WireFailure is one failure record over the wire.
@@ -124,6 +130,37 @@ func (t *Tenant) Resume(agentID string) error {
 // RemoveAgent stops monitoring an agent.
 func (t *Tenant) RemoveAgent(agentID string) error {
 	return t.do(http.MethodDelete, "/v2/agents/"+url.PathEscape(agentID), nil, nil)
+}
+
+// BeginRollout starts a staged rollout of the candidate policy through
+// the verifier's rollout controller and returns the allocated generation.
+// A stale mirror or an in-flight rollout surfaces as ErrRequestFailed
+// with the controller's 409 detail.
+func (t *Tenant) BeginRollout(pol *policy.RuntimePolicy) (uint64, error) {
+	body, err := json.Marshal(pol)
+	if err != nil {
+		return 0, fmt.Errorf("tenant: encoding policy: %w", err)
+	}
+	var out struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := t.do(http.MethodPost, "/v2/rollout/begin", body, &out); err != nil {
+		return 0, err
+	}
+	return out.Generation, nil
+}
+
+// RolloutStatus fetches the rollout controller's state.
+func (t *Tenant) RolloutStatus() (rollout.Status, error) {
+	var out rollout.Status
+	err := t.do(http.MethodGet, "/v2/rollout/status", nil, &out)
+	return out, err
+}
+
+// CancelRollout aborts the in-flight rollout, reverting any promoted
+// canaries and quarantining the candidate.
+func (t *Tenant) CancelRollout() error {
+	return t.do(http.MethodPost, "/v2/rollout/cancel", nil, nil)
 }
 
 // ListAgents returns the ids of all monitored agents.

@@ -27,7 +27,59 @@ type wireStatus struct {
 	ConsecutiveFaults int           `json:"consecutive_faults"`
 	Breaker           string        `json:"breaker"`
 	BreakerOpenUntil  string        `json:"breaker_open_until,omitempty"`
+	PolicyGeneration  uint64        `json:"policy_generation,omitempty"`
+	ShadowGeneration  uint64        `json:"shadow_generation,omitempty"`
 	Failures          []wireFailure `json:"failures"`
+}
+
+// wireShadowStatus is the JSON form of ShadowEvalStatus.
+type wireShadowStatus struct {
+	Installed   bool                 `json:"installed"`
+	Generation  uint64               `json:"generation"`
+	Rounds      int                  `json:"rounds"`
+	CleanRounds int                  `json:"clean_rounds"`
+	WouldFail   int                  `json:"would_fail"`
+	WouldPass   int                  `json:"would_pass"`
+	Divergences []wireShadowDiverged `json:"divergences,omitempty"`
+}
+
+type wireShadowDiverged struct {
+	Time      string `json:"time"`
+	Path      string `json:"path"`
+	WouldFail bool   `json:"would_fail"`
+	Detail    string `json:"detail"`
+}
+
+// RegisterStats registers a named operational-stats provider, served at
+// GET /v2/stats/{name}. fn is called per request and its result JSON-
+// encoded; it must be safe for concurrent use. Registering a name again
+// replaces the provider. This inverts the dependency for components that
+// import the verifier and therefore cannot be imported by it — the
+// webhook outbox and the rollout controller both surface their state here.
+func (v *Verifier) RegisterStats(name string, fn func() any) {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
+	v.statsProviders[name] = fn
+}
+
+// statsProvider looks up a registered provider.
+func (v *Verifier) statsProvider(name string) (func() any, bool) {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
+	fn, ok := v.statsProviders[name]
+	return fn, ok
+}
+
+// statsNames lists the registered providers, sorted.
+func (v *Verifier) statsNames() []string {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
+	names := make([]string, 0, len(v.statsProviders))
+	for n := range v.statsProviders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 type wireFailure struct {
@@ -88,6 +140,8 @@ func (v *Verifier) ManagementHandler() http.Handler {
 			Degraded:          st.Degraded,
 			ConsecutiveFaults: st.ConsecutiveFaults,
 			Breaker:           st.Breaker.String(),
+			PolicyGeneration:  st.PolicyGeneration,
+			ShadowGeneration:  st.ShadowGeneration,
 		}
 		if !st.BreakerOpenUntil.IsZero() {
 			out.BreakerOpenUntil = st.BreakerOpenUntil.UTC().Format("2006-01-02T15:04:05Z07:00")
@@ -150,6 +204,45 @@ func (v *Verifier) ManagementHandler() http.Handler {
 		sort.Strings(ids)
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(map[string][]string{"agents": ids})
+	})
+	mux.HandleFunc("GET /v2/agents/{id}/shadow", func(w http.ResponseWriter, req *http.Request) {
+		st, err := v.ShadowStatus(req.PathValue("id"))
+		if err != nil {
+			writeMgmtErr(w, http.StatusNotFound, err)
+			return
+		}
+		out := wireShadowStatus{
+			Installed:   st.Installed,
+			Generation:  st.Generation,
+			Rounds:      st.Rounds,
+			CleanRounds: st.CleanRounds,
+			WouldFail:   st.WouldFail,
+			WouldPass:   st.WouldPass,
+		}
+		for _, d := range st.Divergences {
+			out.Divergences = append(out.Divergences, wireShadowDiverged{
+				Time:      d.Time.UTC().Format("2006-01-02T15:04:05Z07:00"),
+				Path:      d.Path,
+				WouldFail: d.WouldFail,
+				Detail:    d.Detail,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /v2/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string][]string{"providers": v.statsNames()})
+	})
+	mux.HandleFunc("GET /v2/stats/{name}", func(w http.ResponseWriter, req *http.Request) {
+		fn, ok := v.statsProvider(req.PathValue("name"))
+		if !ok {
+			writeMgmtErr(w, http.StatusNotFound,
+				errors.New("verifier: no such stats provider"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(fn())
 	})
 	return mux
 }

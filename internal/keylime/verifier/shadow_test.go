@@ -1,0 +1,347 @@
+package verifier_test
+
+// Tests for the rollout-facing verifier surface: shadow policy slots,
+// policy generations, the signed-update error paths the rollout pipeline
+// leans on (unsigned, tampered, stale-signature), concurrent policy
+// updates racing live attestation sweeps, and a fuzz target proving the
+// management policy endpoint never panics on malformed JSON.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/verifier"
+	"repro/internal/policy"
+)
+
+func TestShadowPolicyRecordsDivergenceWithoutAlerting(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+
+	// Candidate is missing /usr/bin/tool — the §III-C shape: a policy
+	// generated from a stale mirror that never saw the running binary.
+	incomplete := policyFromMachine(t, s.m)
+	incomplete.Remove("/usr/bin/tool")
+	if err := s.v.SetShadowPolicy(s.m.UUID(), 7, incomplete); err != nil {
+		t.Fatalf("SetShadowPolicy: %v", err)
+	}
+
+	exec(t, s.m, "/usr/bin/tool")
+	res := attest(t, s)
+	// The active policy still passes: shadow divergence must NOT alert.
+	if res.Failure != nil {
+		t.Fatalf("shadow divergence raised a real failure: %+v", res.Failure)
+	}
+	if res.ShadowWouldFail == 0 {
+		t.Fatal("would-fail divergence not surfaced in the attestation result")
+	}
+	ss, err := s.v.ShadowStatus(s.m.UUID())
+	if err != nil {
+		t.Fatalf("ShadowStatus: %v", err)
+	}
+	if !ss.Installed || ss.Generation != 7 {
+		t.Fatalf("shadow status = %+v, want installed gen 7", ss)
+	}
+	if ss.WouldFail == 0 || ss.CleanRounds != 0 {
+		t.Fatalf("shadow status = %+v, want would-fail recorded and clean run reset", ss)
+	}
+	if len(ss.Divergences) == 0 || ss.Divergences[0].Path != "/usr/bin/tool" {
+		t.Fatalf("divergences = %+v, want /usr/bin/tool", ss.Divergences)
+	}
+
+	// A complete candidate accumulates clean rounds instead.
+	if err := s.v.SetShadowPolicy(s.m.UUID(), 8, policyFromMachine(t, s.m)); err != nil {
+		t.Fatalf("SetShadowPolicy: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if res := attest(t, s); res.Failure != nil {
+			t.Fatalf("round %d: %+v", i, res.Failure)
+		}
+	}
+	ss, _ = s.v.ShadowStatus(s.m.UUID())
+	if ss.CleanRounds != 3 || ss.WouldFail != 0 {
+		t.Fatalf("shadow status = %+v, want 3 clean rounds", ss)
+	}
+}
+
+func TestInstallPolicyGenerationIdempotentAndClearsShadow(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	cand := policyFromMachine(t, s.m)
+	if err := s.v.SetShadowPolicy(s.m.UUID(), 3, cand); err != nil {
+		t.Fatal(err)
+	}
+
+	// Promotion installs the candidate, stamps the generation, clears the
+	// matching shadow slot.
+	if err := s.v.InstallPolicyGeneration(s.m.UUID(), 3, cand); err != nil {
+		t.Fatalf("InstallPolicyGeneration: %v", err)
+	}
+	if gen, _ := s.v.PolicyGeneration(s.m.UUID()); gen != 3 {
+		t.Fatalf("generation = %d, want 3", gen)
+	}
+	if ss, _ := s.v.ShadowStatus(s.m.UUID()); ss.Installed {
+		t.Fatal("shadow slot not cleared by promotion of its generation")
+	}
+
+	// Re-applying the same generation (crash recovery) is a no-op even
+	// with a different policy object.
+	other := policy.New()
+	if err := s.v.InstallPolicyGeneration(s.m.UUID(), 3, other); err != nil {
+		t.Fatalf("idempotent reinstall: %v", err)
+	}
+	pol, gen, err := s.v.ActivePolicy(s.m.UUID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || !pol.Has("/usr/bin/tool") {
+		t.Fatal("idempotent reinstall replaced the installed policy")
+	}
+
+	// The legacy unmanaged path resets the generation to 0.
+	if err := s.v.UpdatePolicy(s.m.UUID(), policyFromMachine(t, s.m)); err != nil {
+		t.Fatal(err)
+	}
+	if gen, _ := s.v.PolicyGeneration(s.m.UUID()); gen != 0 {
+		t.Fatalf("generation after legacy update = %d, want 0", gen)
+	}
+}
+
+func TestShadowStateSurvivesSnapshotRestore(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	cand := policyFromMachine(t, s.m)
+	if err := s.v.InstallPolicyGeneration(s.m.UUID(), 4, cand); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.v.SetShadowPolicy(s.m.UUID(), 5, cand); err != nil {
+		t.Fatal(err)
+	}
+	exec(t, s.m, "/usr/bin/tool")
+	attest(t, s)
+
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back verifier.Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	v2 := verifier.New(s.regSrv.URL)
+	if err := v2.RestoreState(back); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if gen, _ := v2.PolicyGeneration(s.m.UUID()); gen != 4 {
+		t.Fatalf("restored generation = %d, want 4", gen)
+	}
+	ss, err := v2.ShadowStatus(s.m.UUID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Installed || ss.Generation != 5 || ss.CleanRounds != 1 {
+		t.Fatalf("restored shadow status = %+v, want installed gen 5 with 1 clean round", ss)
+	}
+	// The restored shadow candidate keeps evaluating.
+	if res, err := v2.AttestOnce(context.Background(), s.m.UUID()); err != nil || res.Failure != nil {
+		t.Fatalf("attest after restore: res=%+v err=%v", res, err)
+	}
+	if ss, _ := v2.ShadowStatus(s.m.UUID()); ss.CleanRounds != 2 {
+		t.Fatalf("clean rounds after restore = %d, want 2", ss.CleanRounds)
+	}
+}
+
+// signedStack builds a stack with a trust-enforcing verifier and returns
+// the trusted signer alongside it.
+func signedStack(t *testing.T) (*stack, *policy.Signer) {
+	t.Helper()
+	signer, err := policy.NewSigner(rand.Reader)
+	if err != nil {
+		t.Fatalf("NewSigner: %v", err)
+	}
+	pub, err := signer.Public()
+	if err != nil {
+		t.Fatalf("Public: %v", err)
+	}
+	ts, err := policy.NewTrustStore(pub)
+	if err != nil {
+		t.Fatalf("NewTrustStore: %v", err)
+	}
+	s := newStack(t, nil, verifier.WithPolicyTrust(ts))
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	return s, signer
+}
+
+func TestTamperedSignedPolicyRejected(t *testing.T) {
+	s, signer := signedStack(t)
+	env, err := signer.Sign(policyFromMachine(t, s.m))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	// Flip the signed payload after signing: a mirror-side (or in-flight)
+	// modification of the generated policy.
+	tampered := env
+	tampered.Payload = append([]byte(nil), env.Payload...)
+	tampered.Payload[len(tampered.Payload)/2] ^= 0x01
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), tampered); err == nil {
+		t.Fatal("tampered policy envelope accepted")
+	}
+	// The original, untouched envelope still installs.
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), env); err != nil {
+		t.Fatalf("intact envelope rejected: %v", err)
+	}
+}
+
+func TestStaleSignedPolicyRejected(t *testing.T) {
+	s, signer := signedStack(t)
+	newer := policyFromMachine(t, s.m)
+	newer.SetMeta(policy.Meta{Generator: "dynamic", Timestamp: time.Date(2026, 2, 2, 5, 0, 0, 0, time.UTC)})
+	envNew, err := signer.Sign(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), envNew); err != nil {
+		t.Fatalf("installing current policy: %v", err)
+	}
+
+	// A correctly signed but OLDER policy is a replay/downgrade: rejected.
+	older := policyFromMachine(t, s.m)
+	older.SetMeta(policy.Meta{Generator: "dynamic", Timestamp: time.Date(2026, 1, 1, 5, 0, 0, 0, time.UTC)})
+	envOld, err := signer.Sign(older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), envOld); !errors.Is(err, verifier.ErrStalePolicy) {
+		t.Fatalf("err = %v, want ErrStalePolicy", err)
+	}
+
+	// Equal or newer timestamps still install.
+	if err := s.v.UpdateSignedPolicy(s.m.UUID(), envNew); err != nil {
+		t.Fatalf("re-installing same-timestamp policy: %v", err)
+	}
+}
+
+// TestConcurrentPolicyUpdatesDuringSweeps races UpdatePolicy, shadow
+// installs, generation installs, and status reads against live
+// attestation rounds; run under -race this pins down the locking around
+// the policy swap paths.
+func TestConcurrentPolicyUpdatesDuringSweeps(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "v1")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	id := s.m.UUID()
+	pol := policyFromMachine(t, s.m)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	const rounds = 25
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			if _, err := s.v.AttestOnce(context.Background(), id); err != nil {
+				t.Errorf("AttestOnce: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			if err := s.v.UpdatePolicy(id, pol.Clone()); err != nil {
+				t.Errorf("UpdatePolicy: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			gen := uint64(i%3 + 1)
+			if err := s.v.SetShadowPolicy(id, gen, pol); err != nil {
+				t.Errorf("SetShadowPolicy: %v", err)
+				return
+			}
+			if err := s.v.InstallPolicyGeneration(id, gen, pol); err != nil {
+				t.Errorf("InstallPolicyGeneration: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			if _, err := s.v.Status(id); err != nil {
+				t.Errorf("Status: %v", err)
+				return
+			}
+			if _, err := s.v.ShadowStatus(id); err != nil {
+				t.Errorf("ShadowStatus: %v", err)
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+}
+
+// FuzzManagementPolicyUpdate drives the management policy endpoint with
+// arbitrary bodies: malformed runtime-policy JSON must produce an error
+// response, never a panic (http.Server would otherwise eat the panic per
+// request — the fuzz target calls the handler directly so a panic fails
+// the run).
+func FuzzManagementPolicyUpdate(f *testing.F) {
+	f.Add([]byte(`{"entries":{"/usr/bin/x":["deadbeef"]}}`))
+	f.Add([]byte(`{"entries":`))
+	f.Add([]byte(`{"entries":{"":[]},"excludes":["["]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"meta":{"timestamp":"not-a-time"}}`))
+	f.Add([]byte(`{"excludes":[0]}`))
+
+	s := newStack(f, nil)
+	addAgent(f, s, policy.New())
+	handler := s.v.ManagementHandler()
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for _, target := range []string{
+			fmt.Sprintf("/v2/agents/%s/policy", s.m.UUID()),
+			fmt.Sprintf("/v2/agents/%s/policy-signed", s.m.UUID()),
+		} {
+			req := httptest.NewRequest(http.MethodPut, target, bytes.NewReader(body))
+			rr := httptest.NewRecorder()
+			handler.ServeHTTP(rr, req) // must not panic
+			if rr.Code == http.StatusOK {
+				continue
+			}
+			// Every rejection is a well-formed JSON error.
+			var out struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil || out.Error == "" {
+				t.Fatalf("%s: status %d with non-JSON error body %q", target, rr.Code, rr.Body.String())
+			}
+		}
+	})
+}

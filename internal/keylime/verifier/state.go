@@ -63,6 +63,17 @@ type AgentState struct {
 	ConsecutiveFaults int              `json:"consecutive_faults,omitempty"`
 	Faults            []FaultState     `json:"faults,omitempty"`
 	Breaker           *BreakerSnapshot `json:"breaker,omitempty"`
+	// Rollout state: the active policy's generation and the shadow slot.
+	// Persisting both means a verifier restart mid-rollout resumes shadow
+	// evaluation (and generation idempotency) instead of silently dropping
+	// the candidate.
+	PolicyGeneration  uint64          `json:"policy_generation,omitempty"`
+	ShadowGeneration  uint64          `json:"shadow_generation,omitempty"`
+	ShadowPolicy      json.RawMessage `json:"shadow_policy,omitempty"`
+	ShadowRounds      int             `json:"shadow_rounds,omitempty"`
+	ShadowCleanRounds int             `json:"shadow_clean_rounds,omitempty"`
+	ShadowWouldFail   int             `json:"shadow_would_fail,omitempty"`
+	ShadowWouldPass   int             `json:"shadow_would_pass,omitempty"`
 }
 
 // Snapshot is the verifier's full serialized agent table.
@@ -138,6 +149,19 @@ func exportAgentLocked(a *monitored) (*AgentState, error) {
 			for pcr, d := range a.bootGolden {
 				as.BootGolden[pcr] = hex.EncodeToString(d[:])
 			}
+		}
+		as.PolicyGeneration = a.policyGen
+		if a.shadowPol != nil {
+			shadowJSON, err := json.Marshal(a.shadowPol)
+			if err != nil {
+				return nil, fmt.Errorf("verifier: serializing shadow policy for %s: %w", a.id, err)
+			}
+			as.ShadowPolicy = shadowJSON
+			as.ShadowGeneration = a.shadowGen
+			as.ShadowRounds = a.shadowRounds
+			as.ShadowCleanRounds = a.shadowClean
+			as.ShadowWouldFail = a.shadowWouldFail
+			as.ShadowWouldPass = a.shadowWouldPass
 		}
 		return &as, nil
 	}
@@ -288,6 +312,19 @@ func restoreAgent(as AgentState) (*monitored, error) {
 			interval:  time.Duration(as.Breaker.IntervalS * float64(time.Second)),
 			opens:     as.Breaker.Opens,
 		}
+	}
+	a.policyGen = as.PolicyGeneration
+	if len(as.ShadowPolicy) > 0 {
+		shadow := policy.New()
+		if err := json.Unmarshal(as.ShadowPolicy, shadow); err != nil {
+			return nil, fmt.Errorf("shadow policy: %w", err)
+		}
+		a.shadowPol = shadow
+		a.shadowGen = as.ShadowGeneration
+		a.shadowRounds = as.ShadowRounds
+		a.shadowClean = as.ShadowCleanRounds
+		a.shadowWouldFail = as.ShadowWouldFail
+		a.shadowWouldPass = as.ShadowWouldPass
 	}
 	if len(as.BootGolden) > 0 {
 		g := make(measuredboot.Golden, len(as.BootGolden))

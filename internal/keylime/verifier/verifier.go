@@ -165,6 +165,10 @@ type Result struct {
 	Attempts int
 	// FaultDetail describes the transient fault when Degraded.
 	FaultDetail string
+	// ShadowWouldFail / ShadowWouldPass count this round's divergent
+	// entries against the shadow candidate, when one is installed.
+	ShadowWouldFail int
+	ShadowWouldPass int
 }
 
 // Status is the externally visible state of a monitored agent.
@@ -187,6 +191,12 @@ type Status struct {
 	Breaker BreakerState
 	// BreakerOpenUntil is the reprobe deadline while the breaker is open.
 	BreakerOpenUntil time.Time
+	// PolicyGeneration is the rollout generation of the active policy
+	// (0 = unmanaged: installed at enrollment or via legacy UpdatePolicy).
+	PolicyGeneration uint64
+	// ShadowGeneration is the generation occupying the shadow slot (0 =
+	// empty); see ShadowStatus for the evaluation detail.
+	ShadowGeneration uint64
 }
 
 // Sentinel errors.
@@ -200,6 +210,10 @@ var (
 	ErrAgentInactive  = errors.New("verifier: agent not activated at registrar")
 	ErrUnsignedPolicy = errors.New("verifier: policy trust enforced; unsigned policy update rejected")
 	ErrNoPolicyTrust  = errors.New("verifier: no policy trust store configured")
+	// ErrStalePolicy rejects a signed policy whose metadata timestamp
+	// predates the installed policy's — a replayed old envelope must not
+	// roll an agent's policy backwards.
+	ErrStalePolicy = errors.New("verifier: signed policy is older than the installed policy")
 )
 
 // monitored is the verifier's per-agent state. Each agent carries its own
@@ -237,6 +251,19 @@ type monitored struct {
 	consecutiveFaults int
 	faults            []Fault
 	breaker           breaker
+
+	// Rollout state (see shadow.go): policyGen is the rollout generation
+	// of the active policy (0 = unmanaged), and the shadow slot holds a
+	// candidate evaluated side by side with the active policy, recording
+	// would-be verdict divergence instead of alerting.
+	policyGen         uint64
+	shadowPol         *policy.RuntimePolicy
+	shadowGen         uint64
+	shadowRounds      int
+	shadowClean       int
+	shadowWouldFail   int
+	shadowWouldPass   int
+	shadowDivergences []ShadowDivergence
 }
 
 // isRemoved reports whether the agent was unenrolled after this round
@@ -399,6 +426,14 @@ type Verifier struct {
 	// per sweep. dirtyMu is a leaf lock: never held with any other.
 	dirtyMu sync.Mutex
 	dirty   map[string]struct{}
+
+	// statsProviders are named operational-stats sources served under
+	// GET /v2/stats/{name} (see RegisterStats). The registry lives on the
+	// verifier so components the verifier must not import (webhook outbox,
+	// rollout controller) can surface their state through the management
+	// API. statsMu is a leaf lock.
+	statsMu        sync.Mutex
+	statsProviders map[string]func() any
 }
 
 // defaultPollConcurrency sizes the PollAll worker pool to the host:
@@ -428,6 +463,7 @@ func New(registrarURL string, opts ...Option) *Verifier {
 		jitter:          newJitterRand(1),
 		agents:          newRegistry(),
 		dirty:           make(map[string]struct{}),
+		statsProviders:  make(map[string]func() any),
 	}
 	for _, opt := range opts {
 		opt.apply(v)
@@ -554,11 +590,14 @@ func (v *Verifier) UpdatePolicy(agentID string, pol *policy.RuntimePolicy) error
 	if v.policyTrust != nil {
 		return ErrUnsignedPolicy
 	}
-	return v.swapPolicy(agentID, pol)
+	return v.swapPolicy(agentID, pol, false)
 }
 
 // UpdateSignedPolicy verifies the envelope against the trusted policy-
-// generator keys and installs the contained policy.
+// generator keys and installs the contained policy. A verified policy
+// whose metadata timestamp predates the installed policy's is rejected
+// with ErrStalePolicy: a captured old envelope re-sent by an attacker (or
+// a confused orchestrator) must not roll the policy backwards.
 func (v *Verifier) UpdateSignedPolicy(agentID string, env policy.Envelope) error {
 	if v.policyTrust == nil {
 		return ErrNoPolicyTrust
@@ -567,18 +606,30 @@ func (v *Verifier) UpdateSignedPolicy(agentID string, env policy.Envelope) error
 	if err != nil {
 		return fmt.Errorf("verifier: rejecting policy update: %w", err)
 	}
-	return v.swapPolicy(agentID, pol)
+	return v.swapPolicy(agentID, pol, true)
 }
 
-// swapPolicy installs a new policy for the agent.
-func (v *Verifier) swapPolicy(agentID string, pol *policy.RuntimePolicy) error {
+// swapPolicy installs a new policy for the agent. The swap resets the
+// policy generation to 0 (unmanaged): generations are owned by the rollout
+// controller's InstallPolicyGeneration path. checkStale enforces the
+// signed-path downgrade guard.
+func (v *Verifier) swapPolicy(agentID string, pol *policy.RuntimePolicy, checkStale bool) error {
 	a, ok := v.agents.get(agentID)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
 	cloned := pol.Clone()
 	a.mu.Lock()
+	if checkStale {
+		curTS := a.pol.Meta().Timestamp
+		newTS := cloned.Meta().Timestamp
+		if !curTS.IsZero() && !newTS.IsZero() && newTS.Before(curTS) {
+			a.mu.Unlock()
+			return fmt.Errorf("%w: signed %v, installed %v", ErrStalePolicy, newTS, curTS)
+		}
+	}
 	a.pol = cloned
+	a.policyGen = 0
 	a.mu.Unlock()
 	v.markDirty(agentID)
 	return nil
@@ -647,6 +698,8 @@ func (v *Verifier) Status(agentID string) (Status, error) {
 		Faults:            append([]Fault(nil), a.faults...),
 		Breaker:           a.breaker.state,
 		BreakerOpenUntil:  a.breaker.openUntil,
+		PolicyGeneration:  a.policyGen,
+		ShadowGeneration:  a.shadowGen,
 	}, nil
 }
 
@@ -784,6 +837,8 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	offset := a.nextOffset
 	pol := a.pol
 	bootGolden := a.bootGolden
+	shadowPol := a.shadowPol
+	shadowGen := a.shadowGen
 	a.mu.Unlock()
 	agentURL := a.url
 
@@ -896,8 +951,16 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	// which stays at the verification frontier so a resumed attestation
 	// re-evaluates it. Under the continue-on-failure mitigation every
 	// entry is evaluated and each failure is recorded.
+	//
+	// When a shadow candidate is installed, each entry the loop visits is
+	// additionally checked against it in the same pass: a diverging verdict
+	// is recorded (never alerted), and a round with zero would-fail
+	// divergence and a passing active verdict advances the clean-round
+	// counter the rollout controller gates promotion on.
 	verified := 0
 	var firstFailure *Failure
+	var shadowWF, shadowWP int
+	var shadowDivs []ShadowDivergence
 	for i, e := range entries {
 		if e.Path == ima.BootAggregatePath {
 			verified = i + 1
@@ -906,16 +969,34 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		if v.fileSigTrust != nil && e.Signature != "" &&
 			v.fileSigTrust.VerifyHex(e.FileDigest, e.Signature) {
 			// Vendor-signed file: appraised by key, no policy entry
-			// required (§V signed-hashes improvement).
+			// required (§V signed-hashes improvement) — for the shadow
+			// candidate too, since signature trust is policy-independent.
 			verified = i + 1
 			continue
 		}
-		if err := pol.Check(e.Path, e.FileDigest); err != nil {
+		activeErr := pol.Check(e.Path, e.FileDigest)
+		if shadowPol != nil {
+			shadowErr := shadowPol.Check(e.Path, e.FileDigest)
+			if (shadowErr == nil) != (activeErr == nil) {
+				d := ShadowDivergence{Time: now, Path: e.Path, WouldFail: shadowErr != nil}
+				if shadowErr != nil {
+					shadowWF++
+					d.Detail = shadowErr.Error()
+				} else {
+					shadowWP++
+					d.Detail = activeErr.Error()
+				}
+				if len(shadowDivs) < maxShadowDivergence {
+					shadowDivs = append(shadowDivs, d)
+				}
+			}
+		}
+		if activeErr != nil {
 			ftype := FailureNotInPolicy
-			if errors.Is(err, policy.ErrHashMismatch) {
+			if errors.Is(activeErr, policy.ErrHashMismatch) {
 				ftype = FailureHashMismatch
 			}
-			f := v.fail(a, Failure{Time: now, Type: ftype, Path: e.Path, Detail: err.Error()})
+			f := v.fail(a, Failure{Time: now, Type: ftype, Path: e.Path, Detail: activeErr.Error()})
 			if firstFailure == nil {
 				firstFailure = f
 			}
@@ -938,12 +1019,31 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		a.state = StateAttesting
 		a.attestations++
 	}
+	// Commit the round's shadow evaluation — only if the slot still holds
+	// the generation this round snapshotted (a concurrent rollout step may
+	// have replaced or cleared the candidate mid-round).
+	if shadowPol != nil && a.shadowPol != nil && a.shadowGen == shadowGen {
+		a.shadowRounds++
+		a.shadowWouldFail += shadowWF
+		a.shadowWouldPass += shadowWP
+		if shadowWF == 0 && firstFailure == nil {
+			a.shadowClean++
+		} else {
+			a.shadowClean = 0
+		}
+		a.shadowDivergences = append(a.shadowDivergences, shadowDivs...)
+		if n := len(a.shadowDivergences); n > maxShadowDivergence {
+			a.shadowDivergences = append(a.shadowDivergences[:0], a.shadowDivergences[n-maxShadowDivergence:]...)
+		}
+	}
 	res := Result{
 		NewEntries:      len(entries),
 		VerifiedEntries: a.nextOffset,
 		RebootDetected:  rebooted,
 		Failure:         firstFailure,
 		Attempts:        attempts,
+		ShadowWouldFail: shadowWF,
+		ShadowWouldPass: shadowWP,
 	}
 	a.mu.Unlock()
 	v.markDirty(agentID)

@@ -41,7 +41,7 @@ type stack struct {
 	v      *verifier.Verifier
 }
 
-func newStack(t *testing.T, machineOpts []machine.Option, vOpts ...verifier.Option) *stack {
+func newStack(t testing.TB, machineOpts []machine.Option, vOpts ...verifier.Option) *stack {
 	t.Helper()
 	ca, err := tpm.NewManufacturerCA(rand.Reader)
 	if err != nil {
@@ -85,7 +85,7 @@ func policyFromMachine(t *testing.T, m *machine.Machine, excludes ...string) *po
 	return pol
 }
 
-func addAgent(t *testing.T, s *stack, pol *policy.RuntimePolicy) {
+func addAgent(t testing.TB, s *stack, pol *policy.RuntimePolicy) {
 	t.Helper()
 	if err := s.v.AddAgent(s.m.UUID(), s.agSrv.URL, pol); err != nil {
 		t.Fatalf("AddAgent: %v", err)

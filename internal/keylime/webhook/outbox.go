@@ -63,10 +63,48 @@ func DedupKey(n Notification) string {
 // Outbox is a journal-backed at-least-once delivery buffer. Construct
 // with OpenOutbox; safe for concurrent use.
 type Outbox struct {
-	mu      sync.Mutex
-	j       *store.Journal
-	pending map[string]PendingDelivery // key: dedup key + "|" + endpoint
-	broken  bool
+	mu       sync.Mutex
+	j        *store.Journal
+	pending  map[string]PendingDelivery // key: dedup key + "|" + endpoint
+	broken   bool
+	enqueued int
+	acked    int
+	replayed int
+}
+
+// OutboxStats is an operational snapshot of the outbox, the numbers an
+// operator needs to see whether revocations are actually leaving the
+// building: a growing Pending with a flat Acked means the receiver is
+// down and every failed-attestation alert is stuck in the journal.
+type OutboxStats struct {
+	// Enqueued / Acked count journal operations since this process opened
+	// the outbox.
+	Enqueued int `json:"enqueued"`
+	Acked    int `json:"acked"`
+	// Replayed is how many pending deliveries the open recovered from the
+	// journal (a crash's in-flight set).
+	Replayed int `json:"replayed"`
+	// Pending is the current not-yet-acknowledged delivery count.
+	Pending int `json:"pending"`
+	// JournalRecords is the on-disk journal length (compaction trims it).
+	JournalRecords int `json:"journal_records"`
+	// Broken reports that a journal rewrite failed; the outbox still
+	// appends but can no longer compact.
+	Broken bool `json:"broken"`
+}
+
+// Stats returns the outbox's operational counters.
+func (o *Outbox) Stats() OutboxStats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return OutboxStats{
+		Enqueued:       o.enqueued,
+		Acked:          o.acked,
+		Replayed:       o.replayed,
+		Pending:        len(o.pending),
+		JournalRecords: o.j.Records(),
+		Broken:         o.broken,
+	}
 }
 
 // OpenOutbox opens (creating if absent) the outbox journal at path and
@@ -98,7 +136,7 @@ func OpenOutbox(fsys store.FS, path string) (*Outbox, error) {
 			return nil, fmt.Errorf("webhook: outbox record %d: unknown op %q", i, rec.Op)
 		}
 	}
-	return &Outbox{j: j, pending: pending}, nil
+	return &Outbox{j: j, pending: pending, replayed: len(pending)}, nil
 }
 
 // Enqueue journals a notification for an endpoint before any delivery
@@ -117,6 +155,7 @@ func (o *Outbox) Enqueue(endpoint string, note Notification) error {
 		return err
 	}
 	o.pending[note.DedupKey+"|"+endpoint] = PendingDelivery{Endpoint: endpoint, Note: note}
+	o.enqueued++
 	return nil
 }
 
@@ -133,6 +172,7 @@ func (o *Outbox) Ack(endpoint, dedupKey string) error {
 		return err
 	}
 	delete(o.pending, id)
+	o.acked++
 	o.maybeCompactLocked()
 	return nil
 }

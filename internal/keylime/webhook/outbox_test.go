@@ -321,3 +321,40 @@ func TestOutboxCrashAtEveryByte(t *testing.T) {
 		_ = ob.Close()
 	}
 }
+
+func TestOutboxStatsCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	ob, err := OpenOutbox(store.OS(), path)
+	if err != nil {
+		t.Fatalf("OpenOutbox: %v", err)
+	}
+	n1, n2 := note(1), note(2)
+	n1.DedupKey, n2.DedupKey = DedupKey(n1), DedupKey(n2)
+	for _, n := range []Notification{n1, n2} {
+		if err := ob.Enqueue("http://sink", n); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	if err := ob.Ack("http://sink", n1.DedupKey); err != nil {
+		t.Fatalf("Ack: %v", err)
+	}
+	got := ob.Stats()
+	want := OutboxStats{Enqueued: 2, Acked: 1, Replayed: 0, Pending: 1, JournalRecords: 3}
+	if got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+	_ = ob.Close()
+
+	// A restart counts the crash's in-flight set as replayed, and the
+	// process-lifetime counters start over.
+	ob2, err := OpenOutbox(store.OS(), path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = ob2.Close() }()
+	got = ob2.Stats()
+	want = OutboxStats{Enqueued: 0, Acked: 0, Replayed: 1, Pending: 1, JournalRecords: 3}
+	if got != want {
+		t.Fatalf("Stats after replay = %+v, want %+v", got, want)
+	}
+}

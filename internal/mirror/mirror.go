@@ -253,6 +253,25 @@ func (a *Archive) Snapshot() Release {
 	return Release{Seq: a.seq, Time: a.lastPub, Packages: clonePackages(a.packages)}
 }
 
+// LastPublish returns when the archive last published a release (zero
+// before the first publication). Mirror operators compare it against
+// Mirror.LastSync to detect the paper's §III-C hazard: a release landing
+// upstream after the mirror's daily sync, so that "update from the
+// official archive" installs files the mirror-derived policy has never
+// seen.
+func (a *Archive) LastPublish() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastPub
+}
+
+// Seq returns the archive's current release sequence number.
+func (a *Archive) Seq() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
 // Package returns the latest version of a named package.
 func (a *Archive) Package(name string) (Package, error) {
 	a.mu.Lock()
@@ -347,6 +366,38 @@ func (m *Mirror) LastSync() time.Time {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lastSync
+}
+
+// Staleness describes the mirror's freshness relative to its archive.
+type Staleness struct {
+	// LastSync is when the mirror last pulled from the archive.
+	LastSync time.Time `json:"last_sync"`
+	// LastPublish is the archive's most recent publication time.
+	LastPublish time.Time `json:"last_publish"`
+	// MirrorSeq / ArchiveSeq are the release sequence numbers on each side.
+	MirrorSeq  int `json:"mirror_seq"`
+	ArchiveSeq int `json:"archive_seq"`
+	// Stale reports that the archive has published a release the mirror has
+	// not yet synced — the §III-C precondition: installing from the archive
+	// now would put files on machines that no mirror-derived policy covers.
+	Stale bool `json:"stale"`
+}
+
+// Staleness compares the mirror's synced release against the archive's
+// current one. It answers the question the paper's operator could not:
+// "has upstream published since my last sync?"
+func (m *Mirror) Staleness() Staleness {
+	archiveSeq := m.archive.Seq()
+	lastPub := m.archive.LastPublish()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Staleness{
+		LastSync:    m.lastSync,
+		LastPublish: lastPub,
+		MirrorSeq:   m.current.Seq,
+		ArchiveSeq:  archiveSeq,
+		Stale:       archiveSeq > m.current.Seq,
+	}
 }
 
 // Package returns the mirror's copy of a package.

@@ -383,3 +383,52 @@ func TestPackUnpackCarriesSignatures(t *testing.T) {
 		t.Fatal("signature lost through Pack/Unpack")
 	}
 }
+
+func TestStalenessDetectsLatePublish(t *testing.T) {
+	a := NewArchive()
+	if _, err := a.Publish(t0, pkg("bash", "5.1-6", SuiteMain, PriorityRequired, execFile("/bin/bash", 100))); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	m := NewMirror(a)
+
+	// A brand-new mirror has synced nothing: it is stale relative to any
+	// published archive.
+	if st := m.Staleness(); !st.Stale {
+		t.Fatalf("unsynced mirror should be stale: %+v", st)
+	}
+
+	syncAt := t0.Add(2 * time.Hour)
+	m.Sync(syncAt)
+	st := m.Staleness()
+	if st.Stale {
+		t.Fatalf("freshly synced mirror should not be stale: %+v", st)
+	}
+	if !st.LastSync.Equal(syncAt) || !st.LastPublish.Equal(t0) {
+		t.Fatalf("timestamps wrong: %+v", st)
+	}
+	if st.MirrorSeq != 1 || st.ArchiveSeq != 1 {
+		t.Fatalf("seqs wrong: %+v", st)
+	}
+
+	// The §III-C hazard: upstream publishes AFTER the sync.
+	lateAt := syncAt.Add(4 * time.Hour)
+	if _, err := a.Publish(lateAt, pkg("openssl", "3.0.2-0u1", SuiteSecurity, PriorityImportant, execFile("/usr/bin/openssl", 200))); err != nil {
+		t.Fatalf("late Publish: %v", err)
+	}
+	if a.LastPublish() != lateAt {
+		t.Fatalf("LastPublish = %v, want %v", a.LastPublish(), lateAt)
+	}
+	st = m.Staleness()
+	if !st.Stale {
+		t.Fatalf("mirror should be stale after late publish: %+v", st)
+	}
+	if st.ArchiveSeq != 2 || st.MirrorSeq != 1 {
+		t.Fatalf("seqs wrong after late publish: %+v", st)
+	}
+
+	// Resyncing clears the staleness.
+	m.Sync(lateAt.Add(time.Hour))
+	if st := m.Staleness(); st.Stale {
+		t.Fatalf("resynced mirror should not be stale: %+v", st)
+	}
+}
