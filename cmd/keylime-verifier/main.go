@@ -19,6 +19,16 @@
 // rollback) served at /v2/rollout/* and driven by keylime-tenant's
 // rollout-* subcommands; -rollout-state journals generations so a crash
 // mid-rollout recovers to a consistent fleet. See the -rollout-* flags.
+//
+// Multiple verifiers form a cluster with -node-id and -peers: agents are
+// partitioned across replicas on a consistent-hash ring, each shard's
+// journal is replicated to ring standbys, and a lease-elected coordinator
+// fails dead shards over so attestation continues from the replicated
+// frontier. Cluster state rides the same -state journal directory; peers
+// exchange RPCs on /v2/cluster/rpc and report health on
+// /v2/cluster/status. SIGTERM drains gracefully in every mode: the HTTP
+// listener stops, the in-flight sweep finishes, journals and the outbox
+// are flushed, and the process exits 0.
 package main
 
 import (
@@ -29,13 +39,19 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/keylime/audit"
+	"repro/internal/keylime/cluster"
 	"repro/internal/keylime/rollout"
 	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
 	"repro/internal/keylime/webhook"
+	"repro/internal/simclock"
 )
 
 func main() {
@@ -94,6 +110,15 @@ func run() error {
 		rolloutAutoRollback = flag.Bool("rollout-auto-rollback", true,
 			"revert canaries and quarantine the candidate automatically when the tripwire fires "+
 				"(false freezes the rollout for the operator instead)")
+
+		nodeID = flag.String("node-id", "", "this verifier's cluster identity; enables cluster "+
+			"mode (must appear in -peers)")
+		peersFlag = flag.String("peers", "", "static cluster membership as comma-separated "+
+			"id=base-url pairs, e.g. v1=http://10.0.0.1:8893,v2=http://10.0.0.2:8893 "+
+			"(include this node)")
+		replicas = flag.Int("replicas", 1, "ring standbys that replicate each shard's journal")
+		clusterHeartbeat = flag.Duration("cluster-heartbeat", time.Second,
+			"coordinator heartbeat cadence; a peer silent for 4 heartbeats is failed over")
 	)
 	flag.Parse()
 	if *stateMode != "journal" && *stateMode != "snapshot" {
@@ -102,6 +127,31 @@ func run() error {
 	if *outboxPath != "" && *webhookURL == "" {
 		return fmt.Errorf("-outbox requires -webhook")
 	}
+	clusterMode := *nodeID != "" || *peersFlag != ""
+	var peerAddrs map[string]string
+	if clusterMode {
+		if *nodeID == "" || *peersFlag == "" {
+			return fmt.Errorf("cluster mode needs both -node-id and -peers")
+		}
+		var err error
+		peerAddrs, err = parsePeers(*peersFlag)
+		if err != nil {
+			return err
+		}
+		if _, ok := peerAddrs[*nodeID]; !ok {
+			return fmt.Errorf("-node-id %q not listed in -peers", *nodeID)
+		}
+		if *statePath == "" || *stateMode != "journal" {
+			return fmt.Errorf("cluster mode requires -state with -state-mode journal " +
+				"(the journal is what gets replicated to standbys)")
+		}
+	}
+
+	// SIGTERM/SIGINT begin a graceful drain rather than killing the
+	// process: a verifier that dies mid-sweep silently stops attesting its
+	// shard, which the paper ranks worse than failing loudly.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stopSignals()
 
 	opts := []verifier.Option{
 		verifier.WithPollInterval(*pollInterval),
@@ -168,23 +218,28 @@ func run() error {
 
 	// persist is invoked after every sweep; it must not swallow errors —
 	// a verifier that silently stops persisting re-trusts from scratch
-	// after its next crash.
-	var persist func()
+	// after its next crash. In cluster mode the node journals agent rows
+	// itself (under the replicated a/ prefix), so persist stays a no-op.
+	persist := func() {}
 	var persistErrs int
 	logPersistErr := func(err error) {
 		persistErrs++
 		log.Printf("state persist error (%d total): %v", persistErrs, err)
 	}
 
+	var st *store.Store
 	switch {
 	case *statePath == "":
-		persist = func() {}
 	case *stateMode == "journal":
-		st, err := store.Open(*statePath)
+		var err error
+		st, err = store.Open(*statePath)
 		if err != nil {
 			return fmt.Errorf("opening state store %s: %w", *statePath, err)
 		}
 		defer func() { _ = st.Close() }()
+		if clusterMode {
+			break // cluster.NewNode restores and persists the agent rows
+		}
 		if err := restoreFromStore(v, st, *stateLenient); err != nil {
 			return err
 		}
@@ -256,6 +311,39 @@ func run() error {
 		}
 	}
 
+	// Cluster membership: the node restores its shard from the journal,
+	// elects a coordinator over the peer set, and replicates this shard's
+	// agent rows to its ring standbys.
+	var node *cluster.Node
+	if clusterMode {
+		ids := make([]string, 0, len(peerAddrs))
+		for id := range peerAddrs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			NodeID:         *nodeID,
+			Peers:          ids,
+			Replicas:       *replicas,
+			HeartbeatEvery: *clusterHeartbeat,
+			Verifier:       v,
+			Store:          st,
+			Transport: &cluster.HTTPTransport{
+				Addrs:  peerAddrs,
+				Client: &http.Client{Timeout: *clusterHeartbeat * 4},
+			},
+			Clock: simclock.Real{},
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		fmt.Printf("cluster node %s: %d peers, %d replica(s) per shard\n",
+			*nodeID, len(ids), *replicas)
+	}
+
 	// Staged rollouts: the controller replaces blind UpdatePolicy swaps
 	// with the gate→shadow→canary→promote pipeline. Constructed AFTER the
 	// state restore so crash recovery re-applies the journaled stage to the
@@ -268,6 +356,16 @@ func run() error {
 		TripThreshold: *rolloutTripwire,
 		AutoRollback:  *rolloutAutoRollback,
 		Logf:          log.Printf,
+	}
+	if node != nil {
+		// Rollouts driven through this node span the whole cluster: the
+		// fleet proxy routes per-agent calls to ring owners, canaries are
+		// drawn from every shard, and generation numbers come from the
+		// coordinator's majority-replicated sequence so no two shards ever
+		// install the same number for different policies.
+		rolloutCfg.Fleet = node.Fleet(ctx)
+		rolloutCfg.CohortOf = node.OwnerOf
+		rolloutCfg.Generations = node
 	}
 	if *rolloutState != "" {
 		rst, err := store.Open(*rolloutState)
@@ -301,11 +399,29 @@ func run() error {
 		v.RegisterStats("outbox", func() any { return outbox.Stats() })
 	}
 
+	if node != nil {
+		go node.Run(ctx) // heartbeats, elections, journal replication
+	}
+	sweepDone := make(chan struct{})
 	go func() {
-		ctx := context.Background()
+		defer close(sweepDone)
+		ticker := time.NewTicker(*pollInterval)
+		defer ticker.Stop()
 		for {
-			time.Sleep(*pollInterval)
-			stats := v.PollAll(ctx)
+			select {
+			case <-ctx.Done():
+				return // drained: the previous sweep fully finished
+			case <-ticker.C:
+			}
+			// The sweep itself runs on the background context so a SIGTERM
+			// arriving mid-sweep lets in-flight rounds finish (bounded by
+			// the per-request timeout) instead of surfacing as comms faults.
+			var stats verifier.PollStats
+			if node != nil {
+				stats = node.Sweep(context.Background())
+			} else {
+				stats = v.PollAll(context.Background())
+			}
 			if stats.Failed > 0 || stats.Degraded > 0 || stats.Halted > 0 || stats.Quarantined > 0 {
 				log.Printf("poll sweep: attested=%d failed=%d degraded=%d halted=%d quarantined=%d",
 					stats.Attested, stats.Failed, stats.Degraded, stats.Halted, stats.Quarantined)
@@ -321,12 +437,71 @@ func run() error {
 			}
 		}
 	}()
+
 	fmt.Printf("keylime-verifier listening on %s (registrar %s, poll every %v, continue-on-failure=%v)\n",
 		*listen, *registrarURL, *pollInterval, *continueOn)
 	mux := http.NewServeMux()
 	mux.Handle("/v2/rollout/", ctl.Handler())
+	if node != nil {
+		mux.Handle(cluster.RPCPath, cluster.RPCHandler(node.Handle))
+		mux.HandleFunc("/v2/cluster/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(node.Status())
+		})
+	}
 	mux.Handle("/", v.ManagementHandler())
-	return http.ListenAndServe(*listen, mux)
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting management/RPC work, let the
+	// in-flight sweep finish, then flush everything durable. The deferred
+	// closes (journal store, rollout store, outbox, notifier, audit
+	// journal) run as this returns nil, so the process exits 0 with every
+	// verdict and pending revocation on disk.
+	log.Printf("shutdown: signal received, draining")
+	stopSignals() // a second signal kills immediately
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: HTTP server: %v", err)
+	}
+	<-sweepDone
+	if node != nil {
+		node.Close()
+	}
+	log.Printf("shutdown: sweep drained, state flushed")
+	return nil
+}
+
+// parsePeers parses the -peers flag: comma-separated id=base-url pairs.
+func parsePeers(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=base-url)", part)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q in -peers", id)
+		}
+		out[id] = strings.TrimRight(addr, "/")
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return out, nil
 }
 
 // restoreFromStore rebuilds the verifier's agent table from the journal

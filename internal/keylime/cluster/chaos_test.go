@@ -1,0 +1,381 @@
+package cluster
+
+// Partition-tolerance chaos suite: the acceptance scenarios for the
+// multi-verifier cluster. A 3-node cluster attests a large in-process
+// fleet; the harness kills verifiers mid-sweep, crashes the coordinator
+// at every handoff step boundary, partitions the network, and rolls the
+// whole cluster — asserting the paper's core operational requirement
+// throughout: attestation coverage never silently stops, verdicts stay
+// truthful, and detection (revocation) is not lost across failover.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keylime/verifier"
+	"repro/internal/policy"
+	"repro/internal/vfs"
+)
+
+func chaosFleetSize(t *testing.T) int {
+	if testing.Short() {
+		return 128
+	}
+	return 1000
+}
+
+// TestChaosFailoverMidSweep is the headline failover scenario: 3
+// verifiers share a 1k-agent fleet; one is killed mid-sweep. Its agents
+// must be re-swept by the standby within 2 sweep intervals, resuming
+// from the replicated frontier with no false verdicts — and an integrity
+// violation that happens across the failover window is still detected
+// and revoked, by the new owner.
+func TestChaosFailoverMidSweep(t *testing.T) {
+	n := chaosFleetSize(t)
+	h := newHarness(t, 1, "v1", "v2", "v3")
+	lead := h.converge()
+
+	// polFull knows about /usr/bin/late (written but not yet executed);
+	// the base policy h.pol does not.
+	if err := h.mach.WriteFile("/usr/bin/late", []byte("\x7fELF late"), vfs.ModeExecutable); err != nil {
+		t.Fatal(err)
+	}
+	polFull, err := core.SnapshotPolicy(h.mach.FS(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("fleet-%04d-4a97-9ef7-75bd81c0f1ee", i)
+		h.addAgent(id, polFull)
+		agents = append(agents, id)
+	}
+
+	// One coordinator-issued generation across all shards.
+	fleet := lead.n.Fleet(h.ctx)
+	gen, err := lead.n.NextGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ag := range agents {
+		if err := fleet.InstallPolicyGeneration(ag, gen, polFull); err != nil {
+			t.Fatalf("install generation on %s: %v", ag, err)
+		}
+	}
+
+	if st := h.sweepAll(); st.Attested != n || st.Failed != 0 {
+		t.Fatalf("sweep 1 = %+v", st)
+	}
+	if st := h.sweepAll(); st.Attested != n || st.Failed != 0 {
+		t.Fatalf("sweep 2 = %+v", st)
+	}
+
+	// The victim is a non-leader; one of its agents gets the stale base
+	// policy, so an integrity violation after the kill is visible only
+	// through that agent — detected, necessarily, by whoever owns it then.
+	victim := ""
+	for _, id := range h.peers {
+		if id != lead.id {
+			victim = id
+			break
+		}
+	}
+	victimAgents := h.nodes[victim].v.AgentIDs()
+	if len(victimAgents) == 0 {
+		t.Fatalf("victim %s owns no agents", victim)
+	}
+	bad := victimAgents[0]
+	if err := h.nodes[victim].v.UpdatePolicy(bad, h.pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.nodes[victim].n.persistAgents(); err != nil {
+		t.Fatal(err)
+	}
+	h.tick() // replicate the policy change before the crash
+
+	// Snapshot the replicated frontier every victim agent should resume
+	// from.
+	pre := map[string]verifier.AgentState{}
+	rows, err := h.nodes[victim].v.ExportAgents(victimAgents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		pre[r.AgentID] = r
+	}
+
+	// Kill mid-sweep: the victim's in-flight sweep is abandoned with
+	// nothing persisted — exactly what a process crash leaves behind.
+	sweepCtx, cancelSweep := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = h.nodes[victim].v.PollAll(sweepCtx)
+	}()
+	cancelSweep()
+	<-done
+	h.kill(victim)
+
+	// The violation happens while the shard has no owner.
+	if err := h.mach.Exec("/usr/bin/late"); err != nil {
+		t.Fatal(err)
+	}
+
+	h.converge()
+
+	// Frontier continuity: before any post-failover sweep, every moved
+	// agent sits exactly where the replicated journal left it.
+	for _, ag := range victimAgents {
+		owner := h.ownerOf(ag)
+		got, err := h.nodes[owner].v.ExportAgents([]string{ag})
+		if err != nil || len(got) != 1 {
+			t.Fatalf("agent %s not restored on %s: %v", ag, owner, err)
+		}
+		if got[0].NextOffset != pre[ag].NextOffset || got[0].Attestations != pre[ag].Attestations ||
+			got[0].PolicyGeneration != pre[ag].PolicyGeneration {
+			t.Fatalf("agent %s resumed at offset=%d attest=%d gen=%d, replica had %d/%d/%d",
+				ag, got[0].NextOffset, got[0].Attestations, got[0].PolicyGeneration,
+				pre[ag].NextOffset, pre[ag].Attestations, pre[ag].PolicyGeneration)
+		}
+	}
+
+	// Within two sweep intervals every agent is re-swept; the only
+	// failure is the genuine violation (zero false verdicts).
+	st1 := h.sweepAll()
+	st2 := h.sweepAll()
+	if got := st1.Attested + st2.Attested; got < 2*n-1 {
+		t.Fatalf("sweeps after failover attested %d rounds, want >= %d (full re-coverage)", got, 2*n-1)
+	}
+	if st1.Failed+st2.Failed != 1 {
+		t.Fatalf("failed verdicts = %d, want exactly 1 (the tampered agent): %+v %+v", st1.Failed+st2.Failed, st1, st2)
+	}
+	for _, ag := range agents {
+		owner := h.ownerOf(ag)
+		st, err := h.nodes[owner].v.Status(ag)
+		if err != nil {
+			t.Fatalf("status %s: %v", ag, err)
+		}
+		if ag == bad {
+			if len(st.Failures) == 0 || !st.Halted {
+				t.Fatalf("tampered agent %s not failed+halted after failover: %+v", ag, st)
+			}
+			continue
+		}
+		if len(st.Failures) != 0 {
+			t.Fatalf("false verdict on %s: %+v", ag, st.Failures)
+		}
+		if st.Attestations < pre[ag].Attestations { // moved agents kept their counters
+			t.Fatalf("agent %s attestation counter went backwards", ag)
+		}
+		if st.PolicyGeneration != gen {
+			t.Fatalf("agent %s at generation %d, want %d", ag, st.PolicyGeneration, gen)
+		}
+	}
+	// Revocation continuity: the violation was detected by the agent's
+	// NEW owner — the kill did not swallow it.
+	newOwner := h.ownerOf(bad)
+	if got := h.nodes[newOwner].revocations.Load(); got < 1 {
+		t.Fatalf("new owner %s recorded %d revocations, want >= 1", newOwner, got)
+	}
+}
+
+// TestChaosHandoffCrashSweep crashes the coordinator at every handoff
+// step boundary in turn — during both shrink (node death) and grow
+// (node rejoin) handoffs — and requires the re-driven protocol to
+// converge every time: exactly one owner per agent, full coverage, one
+// consistent policy generation.
+func TestChaosHandoffCrashSweep(t *testing.T) {
+	h := newHarness(t, 1, "v1", "v2", "v3")
+	lead := h.converge()
+	agents := h.addAgents(45)
+	gen, err := lead.n.NextGeneration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := lead.n.Fleet(h.ctx)
+	for _, ag := range agents {
+		if err := fleet.InstallPolicyGeneration(ag, gen, h.pol); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.sweepAll()
+
+	dead := "" // the currently-dead node, if any
+	for k := 1; k <= len(HandoffSteps); k++ {
+		lead = h.converge()
+		lead.steps.Reset()
+		lead.steps.ArmCrash(k)
+		if dead == "" {
+			// Shrink: kill a non-leader.
+			for _, id := range h.liveIDs() {
+				if id != lead.id {
+					dead = id
+					break
+				}
+			}
+			t.Logf("step %d (%s): killing %s under coordinator %s", k, HandoffSteps[k-1], dead, lead.id)
+			h.kill(dead)
+		} else {
+			// Grow: rejoin the dead node.
+			t.Logf("step %d (%s): reviving %s under coordinator %s", k, HandoffSteps[k-1], dead, lead.id)
+			h.revive(dead)
+			dead = ""
+		}
+		// Tick until the coordinator attempts the handoff and hits the
+		// armed crash.
+		crashed := false
+		for i := 0; i < 60 && !crashed; i++ {
+			h.tick()
+			crashed = len(lead.steps.Steps()) >= k
+		}
+		if !crashed {
+			t.Fatalf("step %d: coordinator never reached the armed handoff step", k)
+		}
+		lead.steps.Reset()
+		h.converge()
+		h.assertPartitioned(agents)
+		if st := h.sweepAll(); st.Attested != 45 || st.Failed != 0 {
+			t.Fatalf("step %d: sweep after recovery = %+v", k, st)
+		}
+		for _, ag := range agents {
+			owner := h.ownerOf(ag)
+			st, err := h.nodes[owner].v.Status(ag)
+			if err != nil {
+				t.Fatalf("step %d: status %s on %s: %v", k, ag, owner, err)
+			}
+			if st.PolicyGeneration != gen {
+				t.Fatalf("step %d: agent %s at generation %d, want %d", k, ag, st.PolicyGeneration, gen)
+			}
+		}
+	}
+}
+
+// TestChaosPartitionAndHeal splits the coordinator away from the
+// majority: the minority leader must stop coordinating, the majority
+// elects and fails the lost shard over from replicas, and the heal
+// reintegrates the stale node without resurrecting its old assignment.
+func TestChaosPartitionAndHeal(t *testing.T) {
+	// Replicas=2: every node's journal lives on both other nodes, so a
+	// partition never strands a shard without a replica on the majority
+	// side.
+	h := newHarness(t, 2, "p1", "p2", "p3")
+	lead := h.converge()
+	agents := h.addAgents(30)
+	h.sweepAll()
+	h.sweepAll()
+
+	var others []string
+	for _, id := range h.peers {
+		if id != lead.id {
+			others = append(others, id)
+		}
+	}
+	h.faults.Partition([]string{lead.id}, others)
+
+	// The majority side converges on a new coordinator and owns the
+	// whole fleet; the old leader steps down when its lease lapses.
+	var newLead *testNode
+	for i := 0; i < 120 && newLead == nil; i++ {
+		h.tick()
+		for _, id := range others {
+			st := h.nodes[id].n.Status()
+			if st.Role == RoleLeader && sameMembers(st.Assign.Members, others) && st.PendingEpoch <= st.Assign.Epoch {
+				peerOK := true
+				for _, o := range others {
+					os := h.nodes[o].n.Status()
+					if os.Assign.Epoch != st.Assign.Epoch {
+						peerOK = false
+					}
+				}
+				if peerOK {
+					newLead = h.nodes[id]
+				}
+			}
+		}
+	}
+	if newLead == nil {
+		t.Fatalf("majority side never converged after partition")
+	}
+	if st := h.nodes[lead.id].n.Status(); st.Role == RoleLeader {
+		t.Fatalf("minority node %s still thinks it leads", lead.id)
+	}
+	if len(h.faults.Drops()) == 0 {
+		t.Fatalf("partition dropped no traffic")
+	}
+	// Majority-side coverage is complete.
+	owned := map[string]string{}
+	for _, id := range others {
+		for _, ag := range h.nodes[id].v.AgentIDs() {
+			if prev, dup := owned[ag]; dup {
+				t.Fatalf("agent %s on both %s and %s within the majority", ag, prev, id)
+			}
+			owned[ag] = id
+		}
+	}
+	if len(owned) != 30 {
+		t.Fatalf("majority owns %d of 30 agents after failover", len(owned))
+	}
+	att := 0
+	for _, id := range others {
+		st := h.nodes[id].n.Sweep(h.ctx)
+		att += st.Attested
+		if st.Failed != 0 {
+			t.Fatalf("false verdicts on %s during partition: %+v", id, st)
+		}
+	}
+	if att != 30 {
+		t.Fatalf("majority attested %d of 30 during partition", att)
+	}
+
+	h.faults.Heal()
+	h.converge()
+	h.assertPartitioned(agents)
+	if st := h.sweepAll(); st.Attested != 30 || st.Failed != 0 {
+		t.Fatalf("post-heal sweep = %+v", st)
+	}
+}
+
+// TestChaosRollingRestart cleanly restarts every node in turn; coverage
+// and verdict truthfulness must hold after each restart.
+func TestChaosRollingRestart(t *testing.T) {
+	h := newHarness(t, 1, "r1", "r2", "r3")
+	h.converge()
+	agents := h.addAgents(30)
+	h.sweepAll()
+	for _, id := range append([]string(nil), h.peers...) {
+		h.restart(id)
+		h.converge()
+		h.assertPartitioned(agents)
+		if st := h.sweepAll(); st.Attested != 30 || st.Failed != 0 {
+			t.Fatalf("sweep after restarting %s = %+v", id, st)
+		}
+	}
+}
+
+// TestClusterMembershipChurn cycles kill/converge/revive across every
+// node with sweeps interleaved — the race-matrix target: ownership stays
+// a partition and no verdict is fabricated at any point.
+func TestClusterMembershipChurn(t *testing.T) {
+	h := newHarness(t, 1, "c1", "c2", "c3")
+	h.converge()
+	agents := h.addAgents(24)
+	h.sweepAll()
+	for round, id := range []string{"c2", "c3", "c1"} {
+		h.kill(id)
+		h.converge()
+		h.assertPartitioned(agents)
+		if st := h.sweepAll(); st.Attested != 24 || st.Failed != 0 {
+			t.Fatalf("round %d: sweep with %s dead = %+v", round, id, st)
+		}
+		h.revive(id)
+		h.converge()
+		h.assertPartitioned(agents)
+		if st := h.sweepAll(); st.Attested != 24 || st.Failed != 0 {
+			t.Fatalf("round %d: sweep after %s rejoined = %+v", round, id, st)
+		}
+	}
+}
+
+var _ = policy.RuntimePolicy{} // keep the import stable across edits

@@ -1,0 +1,252 @@
+package cluster
+
+// FleetProxy presents the whole partitioned fleet as one rollout.Fleet:
+// the coordinator runs a single staged rollout (shadow → canary →
+// promote) across every shard, routing each per-agent operation to the
+// agent's ring owner. Combined with the coordinator's NextGeneration,
+// the cluster converges on one global policy generation.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/keylime/verifier"
+	"repro/internal/policy"
+)
+
+// FleetProxy implements rollout.Fleet over the cluster transport.
+type FleetProxy struct {
+	node *Node
+	ctx  context.Context
+}
+
+// Fleet returns a rollout.Fleet view of the whole cluster, routed from
+// this node. Run rollouts on the coordinator.
+func (n *Node) Fleet(ctx context.Context) *FleetProxy {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &FleetProxy{node: n, ctx: ctx}
+}
+
+// OwnerOf reports which cluster member the committed ring maps the agent
+// to (this node's own ID before the first assignment commits). Rollout
+// controllers use it as a CohortOf hook so canaries span every shard.
+func (n *Node) OwnerOf(agentID string) string {
+	n.mu.Lock()
+	ring := n.ringC
+	n.mu.Unlock()
+	if ring == nil {
+		return n.cfg.NodeID
+	}
+	return ring.Owner(agentID)
+}
+
+// ownerOf resolves an agent's ring owner ("" means local, pre-cluster).
+func (f *FleetProxy) ownerOf(agentID string) string {
+	f.node.mu.Lock()
+	ring := f.node.ringC
+	f.node.mu.Unlock()
+	if ring == nil {
+		return f.node.cfg.NodeID
+	}
+	return ring.Owner(agentID)
+}
+
+func (f *FleetProxy) callOwner(agentID string, req FleetReq, out *FleetResp) (local bool, err error) {
+	owner := f.ownerOf(agentID)
+	if owner == f.node.cfg.NodeID {
+		return true, nil
+	}
+	req.AgentID = agentID
+	return false, call(f.ctx, f.node.cfg.Transport, owner, f.node.cfg.NodeID, MsgFleet, req, out)
+}
+
+// AgentIDs returns the union of every reachable member's agents.
+func (f *FleetProxy) AgentIDs() []string {
+	n := f.node
+	seen := map[string]bool{}
+	for _, id := range n.cfg.Verifier.AgentIDs() {
+		seen[id] = true
+	}
+	n.mu.Lock()
+	members := append([]string(nil), n.assign.Members...)
+	n.mu.Unlock()
+	for _, m := range members {
+		if m == n.cfg.NodeID {
+			continue
+		}
+		var resp FleetResp
+		if err := call(f.ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgFleet, FleetReq{Op: "ids"}, &resp); err != nil {
+			n.logf("cluster %s: fleet ids from %s: %v", n.cfg.NodeID, m, err)
+			continue
+		}
+		for _, id := range resp.IDs {
+			seen[id] = true
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (f *FleetProxy) Status(agentID string) (verifier.Status, error) {
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "status"}, &resp)
+	if local {
+		return f.node.cfg.Verifier.Status(agentID)
+	}
+	if err != nil {
+		return verifier.Status{}, err
+	}
+	var st verifier.Status
+	if err := json.Unmarshal(resp.Status, &st); err != nil {
+		return verifier.Status{}, fmt.Errorf("cluster: decode remote status: %w", err)
+	}
+	return st, nil
+}
+
+func (f *FleetProxy) SetShadowPolicy(agentID string, gen uint64, pol *policy.RuntimePolicy) error {
+	pb, err := json.Marshal(pol)
+	if err != nil {
+		return err
+	}
+	local, err := f.callOwner(agentID, FleetReq{Op: "set-shadow", Gen: gen, Policy: pb}, &FleetResp{})
+	if local {
+		return f.node.cfg.Verifier.SetShadowPolicy(agentID, gen, pol)
+	}
+	return err
+}
+
+func (f *FleetProxy) ClearShadowPolicy(agentID string) error {
+	local, err := f.callOwner(agentID, FleetReq{Op: "clear-shadow"}, &FleetResp{})
+	if local {
+		return f.node.cfg.Verifier.ClearShadowPolicy(agentID)
+	}
+	return err
+}
+
+func (f *FleetProxy) ShadowStatus(agentID string) (verifier.ShadowEvalStatus, error) {
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "shadow-status"}, &resp)
+	if local {
+		return f.node.cfg.Verifier.ShadowStatus(agentID)
+	}
+	if err != nil {
+		return verifier.ShadowEvalStatus{}, err
+	}
+	var st verifier.ShadowEvalStatus
+	if err := json.Unmarshal(resp.Status, &st); err != nil {
+		return verifier.ShadowEvalStatus{}, fmt.Errorf("cluster: decode remote shadow status: %w", err)
+	}
+	return st, nil
+}
+
+func (f *FleetProxy) InstallPolicyGeneration(agentID string, gen uint64, pol *policy.RuntimePolicy) error {
+	pb, err := json.Marshal(pol)
+	if err != nil {
+		return err
+	}
+	local, err := f.callOwner(agentID, FleetReq{Op: "install-gen", Gen: gen, Policy: pb}, &FleetResp{})
+	if local {
+		return f.node.cfg.Verifier.InstallPolicyGeneration(agentID, gen, pol)
+	}
+	return err
+}
+
+func (f *FleetProxy) ActivePolicy(agentID string) (*policy.RuntimePolicy, uint64, error) {
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "active-policy"}, &resp)
+	if local {
+		return f.node.cfg.Verifier.ActivePolicy(agentID)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var pol *policy.RuntimePolicy
+	if len(resp.Policy) > 0 {
+		if err := json.Unmarshal(resp.Policy, &pol); err != nil {
+			return nil, 0, fmt.Errorf("cluster: decode remote policy: %w", err)
+		}
+	}
+	return pol, resp.Gen, nil
+}
+
+func (f *FleetProxy) Resume(agentID string) error {
+	local, err := f.callOwner(agentID, FleetReq{Op: "resume"}, &FleetResp{})
+	if local {
+		return f.node.cfg.Verifier.Resume(agentID)
+	}
+	return err
+}
+
+// handleFleet applies a proxied fleet operation to the local verifier.
+func (n *Node) handleFleet(req Request) Reply {
+	var body FleetReq
+	if err := decodeBody(req, &body); err != nil {
+		return errReply("%v", err)
+	}
+	v := n.cfg.Verifier
+	switch body.Op {
+	case "ids":
+		return okReply(FleetResp{IDs: v.AgentIDs()})
+	case "status":
+		st, err := v.Status(body.AgentID)
+		if err != nil {
+			return errReply("%v", err)
+		}
+		b, _ := json.Marshal(st)
+		return okReply(FleetResp{Status: b})
+	case "shadow-status":
+		st, err := v.ShadowStatus(body.AgentID)
+		if err != nil {
+			return errReply("%v", err)
+		}
+		b, _ := json.Marshal(st)
+		return okReply(FleetResp{Status: b})
+	case "set-shadow", "install-gen":
+		var pol *policy.RuntimePolicy
+		if len(body.Policy) > 0 {
+			if err := json.Unmarshal(body.Policy, &pol); err != nil {
+				return errReply("decode policy: %v", err)
+			}
+		}
+		var err error
+		if body.Op == "set-shadow" {
+			err = v.SetShadowPolicy(body.AgentID, body.Gen, pol)
+		} else {
+			err = v.InstallPolicyGeneration(body.AgentID, body.Gen, pol)
+		}
+		if err != nil {
+			return errReply("%v", err)
+		}
+		return okReply(nil)
+	case "clear-shadow":
+		if err := v.ClearShadowPolicy(body.AgentID); err != nil {
+			return errReply("%v", err)
+		}
+		return okReply(nil)
+	case "active-policy":
+		pol, gen, err := v.ActivePolicy(body.AgentID)
+		if err != nil {
+			return errReply("%v", err)
+		}
+		var pb json.RawMessage
+		if pol != nil {
+			pb, _ = json.Marshal(pol)
+		}
+		return okReply(FleetResp{Policy: pb, Gen: gen})
+	case "resume":
+		if err := v.Resume(body.AgentID); err != nil {
+			return errReply("%v", err)
+		}
+		return okReply(nil)
+	default:
+		return errReply("unknown fleet op %q", body.Op)
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+// Coordinator-side handoff: on membership change the leader moves ring
+// ranges between nodes with an explicit protocol — propose (journal the
+// target), freeze (losing side stops attesting agents in motion), flush
+// (losing side persists and exports its rows; dead members' rows come
+// from the best replica), install (gaining side imports, replace=true),
+// commit (assignment becomes durable everywhere, stragglers pruned),
+// resume (freeze lifted). Every step is a faultinject.StepHook boundary;
+// every step is idempotent under the target epoch, so a coordinator that
+// crashes mid-handoff — or its elected successor — re-drives the same
+// target to convergence.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/keylime/verifier"
+)
+
+// Handoff step names, in protocol order. The crash-sweep harness arms a
+// StepHook at each index in turn.
+var HandoffSteps = []string{
+	"handoff-propose",
+	"handoff-freeze",
+	"handoff-flush",
+	"handoff-install",
+	"handoff-commit",
+	"handoff-resume",
+}
+
+func (n *Node) step(name string) error { return n.cfg.Steps.Step(name) }
+
+// liveMembers returns peers inside their lease (plus self), under mu.
+func (n *Node) liveSetLocked(now time.Time) map[string]bool {
+	live := map[string]bool{n.cfg.NodeID: true}
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.NodeID {
+			continue
+		}
+		if ack, ok := n.peerAck[p]; ok && now.Sub(ack) <= n.cfg.LeaseTimeout {
+			live[p] = true
+		}
+	}
+	return live
+}
+
+func (n *Node) runHandoff(ctx context.Context, target Assignment, now time.Time) error {
+	n.mu.Lock()
+	if n.handoff || n.role != RoleLeader {
+		n.mu.Unlock()
+		return nil
+	}
+	n.handoff = true
+	term := n.term
+	old := n.assign
+	live := n.liveSetLocked(now)
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.handoff = false
+		n.mu.Unlock()
+	}()
+	n.logf("cluster %s: handoff epoch %d -> members %v", n.cfg.NodeID, target.Epoch, target.Members)
+
+	// Propose: journal the target before any peer acts on it, so a
+	// successor coordinator recovering this store re-drives it.
+	if err := n.step("handoff-propose"); err != nil {
+		return err
+	}
+	tb, _ := json.Marshal(target)
+	if err := n.cfg.Store.Put(keyPending, tb); err != nil {
+		return fmt.Errorf("journal pending assignment: %w", err)
+	}
+	n.mu.Lock()
+	tcopy := target
+	n.pending = &tcopy
+	n.mu.Unlock()
+
+	// Freeze: everyone still reachable that participates in either the
+	// old or new assignment restricts ownership to the intersection.
+	if err := n.step("handoff-freeze"); err != nil {
+		return err
+	}
+	parties := unionMembers(old.Members, target.Members)
+	for _, m := range parties {
+		if !live[m] {
+			continue
+		}
+		if err := call(ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgFreeze,
+			FreezeReq{Term: term, Assign: target}, nil); err != nil {
+			return fmt.Errorf("freeze %s: %w", m, err)
+		}
+	}
+
+	// Flush: losing nodes persist their journal and export the rows that
+	// move; dead nodes' shards come from the replica with the highest
+	// acknowledged journal seq.
+	if err := n.step("handoff-flush"); err != nil {
+		return err
+	}
+	rows := map[string]rowSource{} // agentID -> best row
+	for _, m := range parties {
+		if !live[m] {
+			continue
+		}
+		var resp FlushResp
+		if err := call(ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgFlush,
+			FlushReq{Term: term, Assign: target}, &resp); err != nil {
+			return fmt.Errorf("flush %s: %w", m, err)
+		}
+		for _, r := range resp.Rows {
+			rows[r.AgentID] = rowSource{row: r, fromLive: true}
+		}
+	}
+	for _, dead := range parties {
+		if live[dead] {
+			continue
+		}
+		best, err := n.gatherReplica(ctx, dead, live)
+		if err != nil {
+			return fmt.Errorf("gather replica of %s: %w", dead, err)
+		}
+		for _, r := range best {
+			if prev, ok := rows[r.AgentID]; ok && prev.fromLive {
+				continue // a live flush is always fresher than a replica
+			}
+			rows[r.AgentID] = rowSource{row: r}
+		}
+	}
+
+	// Install: group the moving rows by their new owner and import.
+	if err := n.step("handoff-install"); err != nil {
+		return err
+	}
+	ringT := target.Ring(n.cfg.VNodes)
+	byOwner := map[string][]verifier.AgentState{}
+	for _, rs := range rows {
+		owner := ringT.Owner(rs.row.AgentID)
+		byOwner[owner] = append(byOwner[owner], rs.row)
+	}
+	for owner, rowsOut := range byOwner {
+		if !live[owner] {
+			return fmt.Errorf("install: new owner %s not live", owner)
+		}
+		sort.Slice(rowsOut, func(i, j int) bool { return rowsOut[i].AgentID < rowsOut[j].AgentID })
+		if err := call(ctx, n.cfg.Transport, owner, n.cfg.NodeID, MsgInstall,
+			InstallReq{Term: term, Epoch: target.Epoch, Rows: rowsOut}, nil); err != nil {
+			return fmt.Errorf("install on %s: %w", owner, err)
+		}
+	}
+
+	// Commit: the assignment becomes durable on the coordinator first,
+	// then on every live participant; nodes flip ownership to the new
+	// ring and drop rows that now live elsewhere.
+	if err := n.step("handoff-commit"); err != nil {
+		return err
+	}
+	ab, _ := json.Marshal(target)
+	if err := n.cfg.Store.Put(keyAssign, ab); err != nil {
+		return fmt.Errorf("journal assignment: %w", err)
+	}
+	if err := n.cfg.Store.Delete(keyPending); err != nil {
+		return fmt.Errorf("clear pending assignment: %w", err)
+	}
+	n.mu.Lock()
+	n.pending = nil
+	n.mu.Unlock()
+	for _, m := range parties {
+		if !live[m] {
+			continue
+		}
+		if err := call(ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgCommit,
+			CommitReq{Term: term, Assign: target}, nil); err != nil {
+			return fmt.Errorf("commit on %s: %w", m, err)
+		}
+	}
+
+	// Resume: lift the freeze everywhere.
+	if err := n.step("handoff-resume"); err != nil {
+		return err
+	}
+	for _, m := range parties {
+		if !live[m] {
+			continue
+		}
+		if err := call(ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgResume,
+			ResumeReq{Term: term, Epoch: target.Epoch}, nil); err != nil {
+			return fmt.Errorf("resume on %s: %w", m, err)
+		}
+	}
+	n.logf("cluster %s: handoff epoch %d committed (%d agents moved)", n.cfg.NodeID, target.Epoch, len(rows))
+	return nil
+}
+
+type rowSource struct {
+	row      verifier.AgentState
+	fromLive bool
+}
+
+// gatherReplica asks every live peer for its replicated copy of the dead
+// member's shard and returns the copy with the highest acknowledged
+// journal seq — the freshest surviving view of the dead node's frontier,
+// quarantine, breaker and shadow state.
+func (n *Node) gatherReplica(ctx context.Context, dead string, live map[string]bool) ([]verifier.AgentState, error) {
+	var (
+		best    []verifier.AgentState
+		bestSeq uint64
+		found   bool
+	)
+	for m := range live {
+		var resp FetchReplicaResp
+		if err := call(ctx, n.cfg.Transport, m, n.cfg.NodeID, MsgFetchReplica,
+			FetchReplicaReq{Src: dead}, &resp); err != nil {
+			continue // an unreachable replica just doesn't bid
+		}
+		if len(resp.Rows) == 0 && resp.Seq == 0 {
+			continue
+		}
+		if !found || resp.Seq > bestSeq {
+			best, bestSeq, found = resp.Rows, resp.Seq, true
+		}
+	}
+	if !found {
+		// No replica anywhere: the dead member either owned nothing or
+		// never replicated. Failing over nothing is not an error.
+		return nil, nil
+	}
+	n.logf("cluster %s: failing over %s from replica at seq %d (%d agents)", n.cfg.NodeID, dead, bestSeq, len(best))
+	return best, nil
+}
+
+func unionMembers(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string(nil), a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package cluster turns the single-process verifier into a replicated
+// multi-verifier cluster: a static peer set with heartbeat liveness and
+// lease-based coordinator election, a consistent-hash ring with virtual
+// nodes that partitions the agent fleet across verifier replicas, and
+// asynchronous journal replication that streams each verifier's per-agent
+// state rows to its ring standbys. On membership change the coordinator
+// drives an explicit handoff protocol (freeze → flush → install → commit
+// → resume) whose every step is a faultinject.StepHook boundary, so the
+// crash-sweep harness can kill the cluster at each checkpoint and assert
+// that it converges to exactly one owner per agent.
+//
+// The paper's operational finding motivates all of it: continuous
+// attestation that stops is worse than attestation that never ran,
+// because operators trust the green dashboard. A verifier crash must not
+// silence integrity monitoring for its shard of the fleet.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node count per member: enough points that
+// a 3-node ring splits a fleet within a few percent of evenly, cheap
+// enough that ring rebuilds are negligible next to one TPM quote.
+const defaultVNodes = 64
+
+// Ring is a consistent-hash ring over cluster members. Construct with
+// NewRing; immutable afterwards (rebuild on membership change).
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted member IDs
+	vnodes  int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring with the given virtual-node count per member
+// (vnodes <= 0 uses the default). Duplicate member IDs are collapsed.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	uniq := make(map[string]bool, len(members))
+	var ms []string
+	for _, m := range members {
+		if m != "" && !uniq[m] {
+			uniq[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Strings(ms)
+	r := &Ring{members: ms, vnodes: vnodes}
+	for _, m := range ms {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", m, i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// FNV alone clusters badly on the ring for short, similar keys
+	// ("v1#0", "v1#1", ...): finish with a 64-bit avalanche mix so vnode
+	// points spread uniformly.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Members returns the ring's member IDs, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owner returns the member owning the key (clockwise successor of the
+// key's hash), or "" for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Successors returns the first n distinct members clockwise after the
+// key's owner — the standbys that replicate the owner's journal for this
+// key's shard. Fewer are returned when the ring is smaller than n+1.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	owner := r.points[i].member
+	seen := map[string]bool{owner: true}
+	var out []string
+	for j := 1; j < len(r.points) && len(out) < n; j++ {
+		m := r.points[(i+j)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// StandbysOf returns the n distinct members that replicate the given
+// member's shard: its distinct clockwise successors on a member-level
+// ring. Stable under agent churn (it depends only on membership).
+func (r *Ring) StandbysOf(member string, n int) []string {
+	if n <= 0 || len(r.members) <= 1 {
+		return nil
+	}
+	i := sort.SearchStrings(r.members, member)
+	if i == len(r.members) || r.members[i] != member {
+		return nil
+	}
+	var out []string
+	for j := 1; j < len(r.members) && len(out) < n; j++ {
+		out = append(out, r.members[(i+j)%len(r.members)])
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministicAndBalanced(t *testing.T) {
+	r := NewRing([]string{"v1", "v2", "v3"}, 0)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		id := fmt.Sprintf("agent-%04d", i)
+		owner := r.Owner(id)
+		if owner != r.Owner(id) {
+			t.Fatalf("Owner(%s) not deterministic", id)
+		}
+		counts[owner]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] < 600 || counts[m] > 1500 {
+			t.Fatalf("member %s owns %d of 3000 agents; ring badly unbalanced: %v", m, counts[m], counts)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnMembershipChange(t *testing.T) {
+	before := NewRing([]string{"v1", "v2", "v3"}, 0)
+	after := NewRing([]string{"v1", "v2"}, 0) // v3 died
+	moved := 0
+	for i := 0; i < 3000; i++ {
+		id := fmt.Sprintf("agent-%04d", i)
+		ob, oa := before.Owner(id), after.Owner(id)
+		if ob != "v3" && ob != oa {
+			t.Fatalf("agent %s moved %s -> %s though its owner survived", id, ob, oa)
+		}
+		if ob != oa {
+			moved++
+		}
+	}
+	// Only v3's shard (~1/3 of the fleet) may move.
+	if moved < 600 || moved > 1500 {
+		t.Fatalf("%d of 3000 agents moved when one of three members left", moved)
+	}
+}
+
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing([]string{"v1", "v2", "v3", "v4"}, 0)
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("agent-%d", i)
+		owner := r.Owner(id)
+		succ := r.Successors(id, 2)
+		if len(succ) != 2 {
+			t.Fatalf("Successors(%s, 2) = %v", id, succ)
+		}
+		seen := map[string]bool{owner: true}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("successor %s duplicates owner/earlier successor for %s: owner=%s succ=%v", s, id, owner, succ)
+			}
+			seen[s] = true
+		}
+	}
+	// More successors than peers: capped at the rest of the ring.
+	if got := r.Successors("agent-0", 10); len(got) != 3 {
+		t.Fatalf("Successors capped at %d, want 3", len(got))
+	}
+}
+
+func TestRingStandbysOf(t *testing.T) {
+	r := NewRing([]string{"v1", "v2", "v3"}, 0)
+	sb := r.StandbysOf("v2", 1)
+	if len(sb) != 1 || sb[0] == "v2" {
+		t.Fatalf("StandbysOf(v2, 1) = %v", sb)
+	}
+	if got := r.StandbysOf("v2", 5); len(got) != 2 {
+		t.Fatalf("StandbysOf(v2, 5) = %v, want the 2 other members", got)
+	}
+	if got := r.StandbysOf("nope", 1); got != nil {
+		t.Fatalf("StandbysOf(unknown) = %v, want nil", got)
+	}
+	if got := NewRing([]string{"solo"}, 0).StandbysOf("solo", 1); got != nil {
+		t.Fatalf("single-node ring has standbys: %v", got)
+	}
+}

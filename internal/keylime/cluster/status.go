@@ -1,0 +1,67 @@
+package cluster
+
+import "time"
+
+// PeerStatus is one peer's view from this node.
+type PeerStatus struct {
+	ID string `json:"id"`
+	// Alive is leader-side lease liveness; always false on followers,
+	// which don't track peer acks.
+	Alive   bool      `json:"alive"`
+	LastAck time.Time `json:"last_ack,omitempty"`
+	// ReplAcked is the journal seq this standby has acknowledged, when we
+	// replicate to it.
+	ReplAcked uint64 `json:"repl_acked,omitempty"`
+}
+
+// NodeStatus is the /v2/cluster/status document.
+type NodeStatus struct {
+	NodeID       string       `json:"node_id"`
+	Role         Role         `json:"role"`
+	Term         uint64       `json:"term"`
+	Leader       string       `json:"leader,omitempty"`
+	Assign       Assignment   `json:"assignment"`
+	PendingEpoch uint64       `json:"pending_epoch,omitempty"`
+	Frozen       bool         `json:"frozen,omitempty"`
+	AgentsOwned  int          `json:"agents_owned"`
+	Generation   uint64       `json:"generation"`
+	Peers        []PeerStatus `json:"peers"`
+}
+
+// Status reports the node's cluster view for operators and tests.
+func (n *Node) Status() NodeStatus {
+	now := n.clock.Now()
+	n.mu.Lock()
+	st := NodeStatus{
+		NodeID: n.cfg.NodeID,
+		Role:   n.role,
+		Term:   n.term,
+		Leader: n.leader,
+		Assign: n.assign,
+		Frozen: n.frozen,
+	}
+	if n.pendingFr != nil {
+		st.PendingEpoch = n.pendingFr.Epoch
+	}
+	if n.pending != nil && n.pending.Epoch > st.PendingEpoch {
+		st.PendingEpoch = n.pending.Epoch
+	}
+	for _, p := range n.cfg.Peers {
+		if p == n.cfg.NodeID {
+			continue
+		}
+		ps := PeerStatus{ID: p}
+		if ack, ok := n.peerAck[p]; ok && n.role == RoleLeader {
+			ps.LastAck = ack
+			ps.Alive = now.Sub(ack) <= n.cfg.LeaseTimeout
+		}
+		if c := n.repl[p]; c != nil && c.known {
+			ps.ReplAcked = c.acked
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	n.mu.Unlock()
+	st.AgentsOwned = n.cfg.Verifier.AgentCount()
+	st.Generation = n.genWatermark()
+	return st
+}

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+)
+
+// MsgType tags a cluster RPC.
+type MsgType string
+
+const (
+	MsgVote         MsgType = "vote"
+	MsgHeartbeat    MsgType = "heartbeat"
+	MsgReplicate    MsgType = "replicate"
+	MsgFetchReplica MsgType = "fetch-replica"
+	MsgFreeze       MsgType = "freeze"
+	MsgFlush        MsgType = "flush"
+	MsgInstall      MsgType = "install"
+	MsgCommit       MsgType = "commit"
+	MsgResume       MsgType = "resume"
+	MsgFleet        MsgType = "fleet"
+	MsgGenSync      MsgType = "gen-sync"
+	MsgStatus       MsgType = "status"
+)
+
+// Request is the cluster RPC envelope. Body is the JSON encoding of the
+// per-type payload struct (VoteReq, HeartbeatReq, ...).
+type Request struct {
+	Type MsgType         `json:"type"`
+	From string          `json:"from"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Reply is the RPC response envelope.
+type Reply struct {
+	OK   bool            `json:"ok"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Assignment is a committed partition of the fleet: the ring is built
+// from Members, and Epoch totally orders assignments so stale handoff
+// traffic is rejected.
+type Assignment struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+}
+
+// Ring builds the consistent-hash ring for this assignment.
+func (a Assignment) Ring(vnodes int) *Ring { return NewRing(a.Members, vnodes) }
+
+// Per-type payloads.
+type (
+	// VoteReq asks for a leadership vote in Term.
+	VoteReq struct {
+		Term      uint64 `json:"term"`
+		Candidate string `json:"candidate"`
+		// AssignEpoch is the candidate's committed assignment epoch.
+		// Voters refuse candidates behind their own epoch (the cluster
+		// analogue of Raft's log up-to-dateness check), so a healed
+		// minority node with an inflated term cannot resurrect a stale
+		// partition map.
+		AssignEpoch uint64 `json:"assign_epoch"`
+	}
+	VoteResp struct {
+		Term    uint64 `json:"term"`
+		Granted bool   `json:"granted"`
+		// Gen is the voter's policy-generation watermark. A majority
+		// elects the candidate AND tells it the highest generation any
+		// previous coordinator persisted to a majority, so the sequence
+		// never restarts below an issued value.
+		Gen uint64 `json:"gen,omitempty"`
+	}
+
+	// HeartbeatReq asserts leadership, renews the lease, and carries the
+	// committed assignment so rejoining nodes catch up.
+	HeartbeatReq struct {
+		Term   uint64     `json:"term"`
+		Leader string     `json:"leader"`
+		Assign Assignment `json:"assign"`
+		// Gen is the leader's policy-generation watermark; followers
+		// persist the max so a failover coordinator never re-issues a
+		// generation an earlier coordinator already handed out.
+		Gen uint64 `json:"gen,omitempty"`
+	}
+	HeartbeatResp struct {
+		Term uint64 `json:"term"`
+	}
+
+	// ReplicateReq streams journal segments (or a snapshot) from the
+	// sender's store to a standby. Segments carry only "a/" agent rows;
+	// UpTo is the sender's raw journal seq after the batch, so the ack
+	// cursor advances past filtered (non-agent) mutations too.
+	ReplicateReq struct {
+		SrcEpoch uint64            `json:"src_epoch"`
+		FromSeq  uint64            `json:"from_seq"`
+		UpTo     uint64            `json:"up_to"`
+		Segments []store.Segment   `json:"segments,omitempty"`
+		Snapshot map[string][]byte `json:"snapshot,omitempty"`
+		IsSnap   bool              `json:"is_snap,omitempty"`
+	}
+	ReplicateResp struct {
+		AckSeq       uint64 `json:"ack_seq"`
+		NeedSnapshot bool   `json:"need_snapshot,omitempty"`
+	}
+
+	// FetchReplicaReq asks a peer for its replicated copy of Src's agent
+	// rows, used to fail over a dead member's shard.
+	FetchReplicaReq struct {
+		Src string `json:"src"`
+	}
+	FetchReplicaResp struct {
+		Epoch uint64               `json:"epoch"` // Src's store epoch at last ack
+		Seq   uint64               `json:"seq"`   // Src's journal seq at last ack
+		Rows  []verifier.AgentState `json:"rows,omitempty"`
+	}
+
+	// FreezeReq starts a handoff: the receiver restricts ownership to the
+	// intersection of the committed and proposed assignments so agents in
+	// motion get no verdicts from the losing side.
+	FreezeReq struct {
+		Term   uint64     `json:"term"`
+		Assign Assignment `json:"assign"` // proposed
+	}
+
+	// FlushReq makes the receiver persist its dirty agent rows and export
+	// the rows it loses under the proposed assignment.
+	FlushReq struct {
+		Term   uint64     `json:"term"`
+		Assign Assignment `json:"assign"`
+	}
+	FlushResp struct {
+		Rows []verifier.AgentState `json:"rows,omitempty"`
+	}
+
+	// InstallReq delivers rows the receiver gains under the proposed
+	// assignment. Import is lenient and replace=true for idempotent
+	// re-drives after a coordinator crash.
+	InstallReq struct {
+		Term  uint64                `json:"term"`
+		Epoch uint64                `json:"epoch"`
+		Rows  []verifier.AgentState `json:"rows,omitempty"`
+	}
+
+	// CommitReq makes the proposed assignment durable on the receiver:
+	// ownership flips to the new ring and rows now owned elsewhere are
+	// dropped (their copies were installed on the gaining side).
+	CommitReq struct {
+		Term   uint64     `json:"term"`
+		Assign Assignment `json:"assign"`
+	}
+
+	// ResumeReq lifts the freeze after commit.
+	ResumeReq struct {
+		Term  uint64 `json:"term"`
+		Epoch uint64 `json:"epoch"`
+	}
+
+	// FleetReq proxies a rollout fleet operation to the shard owner.
+	FleetReq struct {
+		Op      string          `json:"op"` // ids|status|set-shadow|clear-shadow|shadow-status|install-gen|active-policy|resume
+		AgentID string          `json:"agent_id,omitempty"`
+		Gen     uint64          `json:"gen,omitempty"`
+		Policy  json.RawMessage `json:"policy,omitempty"`
+	}
+	FleetResp struct {
+		IDs    []string        `json:"ids,omitempty"`
+		Gen    uint64          `json:"gen,omitempty"`
+		Status json.RawMessage `json:"status,omitempty"`
+		Policy json.RawMessage `json:"policy,omitempty"`
+	}
+
+	// GenSyncReq replicates the coordinator's policy-generation watermark
+	// before NextGeneration returns, so an allocation is durable on a
+	// majority — not just on the coordinator that may die next.
+	GenSyncReq struct {
+		Gen uint64 `json:"gen"`
+	}
+)
+
+// Handler processes one inbound cluster RPC.
+type Handler func(req Request) Reply
+
+// Transport delivers a Request to a peer and returns its Reply. A
+// transport error (peer dead, partitioned, no route) is returned as a Go
+// error; an application-level failure comes back as Reply{OK: false}.
+type Transport interface {
+	Call(ctx context.Context, to string, req Request) (Reply, error)
+}
+
+func okReply(body any) Reply {
+	if body == nil {
+		return Reply{OK: true}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return Reply{Err: fmt.Sprintf("marshal reply: %v", err)}
+	}
+	return Reply{OK: true, Body: b}
+}
+
+func errReply(format string, args ...any) Reply {
+	return Reply{Err: fmt.Sprintf(format, args...)}
+}
+
+// call marshals body, performs the RPC, and unmarshals the reply body
+// into out (which may be nil for ack-only calls).
+func call(ctx context.Context, t Transport, to, from string, typ MsgType, body, out any) error {
+	var raw json.RawMessage
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("cluster: marshal %s: %w", typ, err)
+		}
+		raw = b
+	}
+	rep, err := t.Call(ctx, to, Request{Type: typ, From: from, Body: raw})
+	if err != nil {
+		return err
+	}
+	if !rep.OK {
+		return fmt.Errorf("cluster: %s to %s: %s", typ, to, rep.Err)
+	}
+	if out != nil && len(rep.Body) > 0 {
+		if err := json.Unmarshal(rep.Body, out); err != nil {
+			return fmt.Errorf("cluster: decode %s reply: %w", typ, err)
+		}
+	}
+	return nil
+}
+
+func decodeBody(req Request, out any) error {
+	if len(req.Body) == 0 {
+		return fmt.Errorf("cluster: %s without body", req.Type)
+	}
+	return json.Unmarshal(req.Body, out)
+}
+
+// MemTransport is an in-process transport for tests and the chaos
+// harness: it invokes the target node's handler synchronously, consulting
+// a faultinject.PeerFaults plan so kills and partitions drop traffic in
+// both directions.
+type MemTransport struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	faults   *faultinject.PeerFaults
+}
+
+// NewMemTransport builds a transport; faults may be nil (never drops).
+func NewMemTransport(faults *faultinject.PeerFaults) *MemTransport {
+	return &MemTransport{handlers: make(map[string]Handler), faults: faults}
+}
+
+// Register installs the handler for a node ID, replacing any previous one.
+func (t *MemTransport) Register(id string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+}
+
+// Unregister removes a node (simulates a process that exited cleanly).
+func (t *MemTransport) Unregister(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, id)
+}
+
+func (t *MemTransport) Call(ctx context.Context, to string, req Request) (Reply, error) {
+	if err := ctx.Err(); err != nil {
+		return Reply{}, err
+	}
+	if !t.faults.Allow(req.From, to) {
+		return Reply{}, fmt.Errorf("cluster: peer %s unreachable from %s", to, req.From)
+	}
+	t.mu.RLock()
+	h := t.handlers[to]
+	t.mu.RUnlock()
+	if h == nil {
+		return Reply{}, fmt.Errorf("cluster: no route to peer %s", to)
+	}
+	rep := h(req)
+	// The reply crosses the same links; a partition formed mid-call drops it.
+	if !t.faults.Allow(to, req.From) {
+		return Reply{}, fmt.Errorf("cluster: reply from %s lost", to)
+	}
+	return rep, nil
+}
+
+// HTTPTransport routes cluster RPCs over HTTP POST to each peer's
+// /v2/cluster/rpc endpoint.
+type HTTPTransport struct {
+	// Addrs maps node ID to base URL (e.g. "http://10.0.0.2:8881").
+	Addrs  map[string]string
+	Client *http.Client
+}
+
+// RPCPath is the HTTP endpoint cluster peers exchange RPCs on.
+const RPCPath = "/v2/cluster/rpc"
+
+func (t *HTTPTransport) Call(ctx context.Context, to string, req Request) (Reply, error) {
+	base, ok := t.Addrs[to]
+	if !ok {
+		return Reply{}, fmt.Errorf("cluster: no address for peer %s", to)
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		return Reply{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+RPCPath, bytes.NewReader(b))
+	if err != nil {
+		return Reply{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	hres, err := client.Do(hreq)
+	if err != nil {
+		return Reply{}, err
+	}
+	defer hres.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hres.Body, 64<<20))
+	if err != nil {
+		return Reply{}, err
+	}
+	if hres.StatusCode != http.StatusOK {
+		return Reply{}, fmt.Errorf("cluster: peer %s: HTTP %d", to, hres.StatusCode)
+	}
+	var rep Reply
+	if err := json.Unmarshal(body, &rep); err != nil {
+		return Reply{}, fmt.Errorf("cluster: peer %s: bad reply: %w", to, err)
+	}
+	return rep, nil
+}
+
+// RPCHandler adapts a node Handler to the HTTP endpoint.
+func RPCHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h(req))
+	})
+}

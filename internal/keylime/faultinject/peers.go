@@ -1,0 +1,114 @@
+package faultinject
+
+// Cluster-level fault injection: peer death and network partitions. The
+// cluster package's in-memory transport consults a PeerFaults before
+// delivering any peer-to-peer message, so chaos tests can kill a verifier
+// replica (it stops answering entirely, as a crashed process would),
+// partition the cluster into isolated groups (messages cross a partition
+// boundary in neither direction), and later heal the fault — all
+// deterministically, with per-link drop counters for assertions.
+//
+// The zero value and a nil receiver are both fully connected: callers
+// thread pf.Allow unconditionally, exactly like StepHook.Step.
+
+import "sync"
+
+// PeerFaults decides which peer-to-peer links are currently up.
+type PeerFaults struct {
+	mu     sync.Mutex
+	dead   map[string]bool
+	group  map[string]int // partition group per peer; absent = group 0
+	parted bool
+	drops  map[string]int // "from->to" drop counts
+}
+
+// NewPeerFaults returns a fully connected fault plane.
+func NewPeerFaults() *PeerFaults {
+	return &PeerFaults{
+		dead:  make(map[string]bool),
+		group: make(map[string]int),
+		drops: make(map[string]int),
+	}
+}
+
+// KillPeer makes the peer unreachable in both directions: messages to it
+// are dropped, and messages from it are dropped too (a dead process sends
+// nothing, but tests drive nodes from goroutines that may still try).
+func (p *PeerFaults) KillPeer(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.dead[id] = true
+}
+
+// Revive restores a killed peer.
+func (p *PeerFaults) Revive(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.dead, id)
+}
+
+// Partition splits the cluster: peers within a group still reach each
+// other, peers in different groups do not. Peers in no listed group form
+// an implicit extra group together. Partition replaces any previous
+// partition; it does not touch killed peers.
+func (p *PeerFaults) Partition(groups ...[]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = make(map[string]int)
+	for i, g := range groups {
+		for _, id := range g {
+			p.group[id] = i + 1
+		}
+	}
+	p.parted = true
+}
+
+// Heal removes any partition (killed peers stay dead).
+func (p *PeerFaults) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.group = make(map[string]int)
+	p.parted = false
+}
+
+// Allow reports whether a message from one peer can currently reach
+// another, counting the drop when it cannot. A nil receiver allows
+// everything.
+func (p *PeerFaults) Allow(from, to string) bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	blocked := p.dead[from] || p.dead[to] ||
+		(p.parted && p.group[from] != p.group[to])
+	if blocked {
+		if p.drops == nil {
+			p.drops = make(map[string]int)
+		}
+		p.drops[from+"->"+to]++
+		return false
+	}
+	return true
+}
+
+// Dead reports whether the peer is currently killed.
+func (p *PeerFaults) Dead(id string) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead[id]
+}
+
+// Drops returns the per-link drop counters, keyed "from->to".
+func (p *PeerFaults) Drops() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.drops))
+	for k, v := range p.drops {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package faultinject
+
+import "testing"
+
+func TestPeerFaultsNilAndZeroAllow(t *testing.T) {
+	var nilPF *PeerFaults
+	if !nilPF.Allow("a", "b") {
+		t.Fatalf("nil PeerFaults blocked a->b")
+	}
+	if nilPF.Dead("a") {
+		t.Fatalf("nil PeerFaults reported a dead")
+	}
+	pf := NewPeerFaults()
+	if !pf.Allow("a", "b") || !pf.Allow("b", "a") {
+		t.Fatalf("fresh PeerFaults blocked traffic")
+	}
+	if len(pf.Drops()) != 0 {
+		t.Fatalf("fresh PeerFaults recorded drops: %v", pf.Drops())
+	}
+}
+
+func TestPeerFaultsKillRevive(t *testing.T) {
+	pf := NewPeerFaults()
+	pf.KillPeer("b")
+	if pf.Allow("a", "b") {
+		t.Fatalf("message to killed peer delivered")
+	}
+	if pf.Allow("b", "a") {
+		t.Fatalf("message from killed peer delivered")
+	}
+	if !pf.Allow("a", "c") {
+		t.Fatalf("unrelated link blocked by kill")
+	}
+	if !pf.Dead("b") || pf.Dead("a") {
+		t.Fatalf("Dead() wrong: b=%v a=%v", pf.Dead("b"), pf.Dead("a"))
+	}
+	drops := pf.Drops()
+	if drops["a->b"] != 1 || drops["b->a"] != 1 {
+		t.Fatalf("drop counters = %v, want a->b and b->a once each", drops)
+	}
+	pf.Revive("b")
+	if !pf.Allow("a", "b") {
+		t.Fatalf("revived peer still unreachable")
+	}
+}
+
+func TestPeerFaultsPartition(t *testing.T) {
+	pf := NewPeerFaults()
+	pf.Partition([]string{"a", "b"}, []string{"c"})
+	if !pf.Allow("a", "b") || !pf.Allow("b", "a") {
+		t.Fatalf("intra-group link blocked")
+	}
+	if pf.Allow("a", "c") || pf.Allow("c", "b") {
+		t.Fatalf("cross-partition link delivered")
+	}
+	// An unlisted peer lands in the implicit extra group: cut off from
+	// both named groups, but connected to other unlisted peers.
+	if pf.Allow("a", "d") || pf.Allow("d", "c") {
+		t.Fatalf("unlisted peer reached a named group")
+	}
+	if !pf.Allow("d", "e") {
+		t.Fatalf("two unlisted peers blocked from each other")
+	}
+	pf.Heal()
+	if !pf.Allow("a", "c") {
+		t.Fatalf("healed partition still blocking")
+	}
+}
+
+func TestPeerFaultsPartitionPreservesKills(t *testing.T) {
+	pf := NewPeerFaults()
+	pf.KillPeer("a")
+	pf.Partition([]string{"a", "b"})
+	if pf.Allow("b", "a") {
+		t.Fatalf("partition revived a killed peer")
+	}
+	pf.Heal()
+	if pf.Allow("b", "a") {
+		t.Fatalf("heal revived a killed peer")
+	}
+	pf.Revive("a")
+	if !pf.Allow("b", "a") {
+		t.Fatalf("revive after heal did not restore the link")
+	}
+}

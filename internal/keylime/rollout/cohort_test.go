@@ -1,0 +1,128 @@
+package rollout
+
+// Tests for cluster-facing rollout hooks: cohort-spanning canary
+// selection and the external generation source a cluster coordinator
+// uses to hand every shard the same generation sequence.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSelectCanariesSpansCohorts(t *testing.T) {
+	targets := []string{"a1", "a2", "a3", "b1", "b2", "c1"}
+	cohort := func(id string) string { return id[:1] }
+
+	got := selectCanaries(targets, 3, cohort)
+	if strings.Join(got, ",") != "a1,b1,c1" {
+		t.Fatalf("canaries = %v, want one per cohort [a1 b1 c1]", got)
+	}
+	// A second pass wraps around cohorts that still have agents.
+	got = selectCanaries(targets, 5, cohort)
+	if strings.Join(got, ",") != "a1,a2,b1,b2,c1" {
+		t.Fatalf("canaries = %v, want [a1 a2 b1 b2 c1]", got)
+	}
+	// Asking for more than the fleet returns the fleet.
+	if got = selectCanaries(targets, 10, cohort); len(got) != len(targets) {
+		t.Fatalf("canaries = %v, want all %d targets", got, len(targets))
+	}
+	// nil cohort function keeps the first-N behaviour.
+	if got = selectCanaries(targets, 2, nil); strings.Join(got, ",") != "a1,a2" {
+		t.Fatalf("canaries = %v, want first-2 [a1 a2]", got)
+	}
+}
+
+func TestBeginPicksCohortSpanningCanaries(t *testing.T) {
+	f := newFakeFleet("s0-a", "s0-b", "s0-c", "s1-a", "s2-a")
+	c, err := New(Config{
+		Fleet:       f,
+		CanaryCount: 3,
+		CohortOf:    func(id string) string { return id[:2] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	if strings.Join(st.Canaries, ",") != "s0-a,s1-a,s2-a" {
+		t.Fatalf("canaries = %v, want one per shard", st.Canaries)
+	}
+}
+
+// seqGen is a GenerationSource handing out a fixed external sequence.
+type seqGen struct {
+	next uint64
+	err  error
+}
+
+func (g *seqGen) NextGeneration() (uint64, error) {
+	if g.err != nil {
+		return 0, g.err
+	}
+	g.next++
+	return g.next, nil
+}
+
+func TestGenerationSourceAllocatesGlobally(t *testing.T) {
+	f := newFakeFleet("a1", "a2")
+	// The external source is ahead of the local counter, as a cluster
+	// coordinator serving many shards would be.
+	gens := &seqGen{next: 41}
+	c, err := New(Config{
+		Fleet: f, Generations: gens,
+		ShadowRounds: 1, CanaryRounds: 1, AutoRollback: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 42 {
+		t.Fatalf("generation = %d, want 42 from the external source", gen)
+	}
+	if st := drive(t, c, f, false, 20); st.Stage != StageIdle || st.Stats.Promotions != 1 {
+		t.Fatalf("rollout did not promote: %+v", st)
+	}
+	for id, a := range f.agents {
+		if a.gen != 42 {
+			t.Fatalf("%s at generation %d, want 42", id, a.gen)
+		}
+	}
+	// The next rollout continues the external sequence.
+	if gen, err = c.Begin(candidate(t)); err != nil || gen != 43 {
+		t.Fatalf("second Begin = %d, %v; want 43", gen, err)
+	}
+}
+
+func TestGenerationSourceFailureAbortsBegin(t *testing.T) {
+	f := newFakeFleet("a1")
+	c, err := New(Config{Fleet: f, Generations: &seqGen{err: fmt.Errorf("coordinator unreachable")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err == nil {
+		t.Fatal("Begin succeeded with a failing generation source")
+	}
+	// No rollout is left half-started.
+	if st := c.Status(); st.Stage != StageIdle {
+		t.Fatalf("stage = %s after failed Begin, want idle", st.Stage)
+	}
+	// A source that goes backwards (stale coordinator) is rejected too.
+	c2, err := New(Config{Fleet: f, Generations: &seqGen{next: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen, err := c2.Begin(candidate(t)); err != nil || gen != 6 {
+		t.Fatalf("Begin = %d, %v", gen, err)
+	}
+	c2.Cancel()
+	c2.cfg.Generations = &seqGen{next: 2}
+	if _, err := c2.Begin(candidate(t)); err == nil {
+		t.Fatal("Begin accepted a generation below the journaled counter")
+	}
+}

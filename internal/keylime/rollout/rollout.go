@@ -76,6 +76,14 @@ type FreshnessSource interface {
 	Staleness() mirror.Staleness
 }
 
+// GenerationSource allocates policy-generation numbers. Implementations
+// must return strictly increasing values that are durable before they are
+// returned: a crashed-and-recovered allocator must never re-issue a
+// generation a rollout may already have journaled.
+type GenerationSource interface {
+	NextGeneration() (uint64, error)
+}
+
 // Stage is the rollout pipeline stage.
 type Stage string
 
@@ -169,6 +177,17 @@ type Config struct {
 	// CanaryCount is how many agents (first by sorted ID) are promoted
 	// first (default 1, capped to the fleet size).
 	CanaryCount int
+	// CohortOf maps an agent to its cohort (in a cluster: the verifier
+	// shard that owns it). When set, canaries are drawn round-robin
+	// across cohorts instead of first-N by sorted ID, so a canary watch
+	// exercises every shard's sweep path rather than piling onto the one
+	// shard whose agents happen to sort first. nil keeps first-N.
+	CohortOf func(agentID string) string
+	// Generations, when set, allocates rollout generation numbers (in a
+	// cluster: the coordinator hands out one global sequence so every
+	// shard installs the same generation for the same rollout). nil uses
+	// the controller's local journaled counter.
+	Generations GenerationSource
 	// CanaryRounds is how many clean post-promotion rounds every canary
 	// must pass before fleet promotion (default 2).
 	CanaryRounds int
@@ -416,7 +435,7 @@ func (c *Controller) Begin(pol *policy.RuntimePolicy) (uint64, error) {
 	if nCanary > len(targets) {
 		nCanary = len(targets)
 	}
-	canaries := append([]string(nil), targets[:nCanary]...)
+	canaries := selectCanaries(targets, nCanary, c.cfg.CohortOf)
 
 	polJSON, err := json.Marshal(pol)
 	if err != nil {
@@ -438,6 +457,18 @@ func (c *Controller) Begin(pol *policy.RuntimePolicy) (uint64, error) {
 	}
 
 	gen := c.nextGen + 1
+	if c.cfg.Generations != nil {
+		g, err := c.cfg.Generations.NextGeneration()
+		if err != nil {
+			return 0, fmt.Errorf("rollout: allocating generation: %w", err)
+		}
+		if g <= c.nextGen {
+			return 0, fmt.Errorf("rollout: generation source went backwards (%d after %d)", g, c.nextGen)
+		}
+		gen = g
+	}
+	// The local counter is journaled even when a cluster source allocated
+	// the number, so recovery never re-issues a generation below it.
 	if err := c.putJSON(keyGen, gen); err != nil {
 		return 0, err
 	}
@@ -466,6 +497,46 @@ func (c *Controller) Begin(pol *policy.RuntimePolicy) (uint64, error) {
 		return gen, err
 	}
 	return gen, nil
+}
+
+// selectCanaries picks the canary set from the (sorted) target list.
+// Without a cohort function it is first-N; with one, canaries are drawn
+// round-robin across cohorts in sorted cohort order, one agent per cohort
+// per pass, so every cohort contributes before any contributes twice.
+func selectCanaries(targets []string, n int, cohortOf func(string) string) []string {
+	if cohortOf == nil {
+		return append([]string(nil), targets[:n]...)
+	}
+	groups := make(map[string][]string)
+	var names []string
+	for _, id := range targets {
+		co := cohortOf(id)
+		if _, ok := groups[co]; !ok {
+			names = append(names, co)
+		}
+		groups[co] = append(groups[co], id)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		took := false
+		for _, co := range names {
+			if len(groups[co]) == 0 {
+				continue
+			}
+			out = append(out, groups[co][0])
+			groups[co] = groups[co][1:]
+			took = true
+			if len(out) == n {
+				break
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // applyStageLocked idempotently enforces the current stage's side effects

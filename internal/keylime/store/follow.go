@@ -1,0 +1,135 @@
+package store
+
+// Segment streaming: the replication-ready face of the write-ahead
+// journal. Every acknowledged mutation is assigned a monotonically
+// increasing sequence number and retained in a bounded in-memory tail, so
+// a cluster peer can follow the store — pull the segments it has not yet
+// applied — without rereading the on-disk journal. A follower that has
+// fallen behind the tail (or that observes a new store epoch after the
+// source restarted) falls back to a full snapshot and resumes following
+// from the snapshot's sequence.
+//
+// Sequence numbers are an in-process replication cursor, not a durable
+// log position: each Open draws a fresh random Epoch, and followers key
+// their cursor on (Epoch, Seq). A restarted source therefore never
+// resumes a stale cursor — the epoch mismatch forces the follower through
+// the snapshot path, which is always safe because replay is
+// last-writer-wins per key.
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+)
+
+// Segment ops, the exported aliases of the journal mutation ops.
+const (
+	SegPut    = opPut
+	SegDelete = opDelete
+)
+
+// Segment is one replicable store mutation.
+type Segment struct {
+	Seq   uint64 `json:"seq"`
+	Op    byte   `json:"op"`
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+}
+
+// defaultFollowBuffer bounds the in-memory segment tail.
+const defaultFollowBuffer = 4096
+
+// WithFollowBuffer sets how many recent mutations are retained for
+// followers (default 4096). A follower further behind than the buffer is
+// redirected to a snapshot. n <= 0 keeps the default.
+func WithFollowBuffer(n int) StoreOption {
+	return func(s *Store) {
+		if n > 0 {
+			s.followCap = n
+		}
+	}
+}
+
+// newStoreEpoch draws a random epoch for this open.
+func newStoreEpoch() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fallback: a constant epoch only weakens restart detection, and
+		// only when the system RNG is broken; replication stays correct
+		// because the snapshot path is always safe.
+		return 1
+	}
+	e := binary.BigEndian.Uint64(b[:])
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Epoch identifies this open of the store. Followers include it in their
+// cursor; a mismatch (the source restarted) forces a snapshot resync.
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Seq is the sequence number of the last acknowledged mutation this open
+// (0 before the first).
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// recordSegmentLocked appends a mutation to the follow tail; s.mu held.
+func (s *Store) recordSegmentLocked(op byte, key string, value []byte) {
+	s.seq++
+	if s.followCap <= 0 {
+		return
+	}
+	seg := Segment{Seq: s.seq, Op: op, Key: key}
+	if value != nil {
+		seg.Value = append([]byte(nil), value...)
+	}
+	s.tail = append(s.tail, seg)
+	if len(s.tail) > s.followCap {
+		s.tail = append(s.tail[:0], s.tail[len(s.tail)-s.followCap:]...)
+	}
+}
+
+// Since returns the segments after the given sequence number, in order.
+// ok is false when the cursor has fallen out of the retained tail (or is
+// from a different epoch's numbering and overruns this one) — the caller
+// must resync from SnapshotAll and resume from its sequence.
+func (s *Store) Since(afterSeq uint64) (segs []Segment, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if afterSeq > s.seq {
+		return nil, false
+	}
+	if afterSeq == s.seq {
+		return nil, true
+	}
+	// Oldest retained seq is s.seq - len(tail) + 1.
+	oldest := s.seq - uint64(len(s.tail)) + 1
+	if len(s.tail) == 0 || afterSeq < oldest-1 {
+		return nil, false
+	}
+	start := int(afterSeq - (oldest - 1))
+	out := make([]Segment, len(s.tail)-start)
+	copy(out, s.tail[start:])
+	return out, true
+}
+
+// SnapshotAll returns a copy of the full state together with the sequence
+// number it reflects — the resync point for a follower that outran the
+// tail or crossed a store epoch.
+func (s *Store) SnapshotAll() (map[string][]byte, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.state))
+	for k, v := range s.state {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out, s.seq
+}

@@ -1,0 +1,146 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFollowSeqMonotonic checks that every acknowledged mutation advances
+// the sequence number and lands in the tail in order.
+func TestFollowSeqMonotonic(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	if got := s.Seq(); got != 0 {
+		t.Fatalf("fresh store Seq = %d, want 0", got)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Delete("k0"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if got := s.Seq(); got != 11 {
+		t.Fatalf("Seq = %d, want 11", got)
+	}
+	segs, ok := s.Since(0)
+	if !ok {
+		t.Fatalf("Since(0) fell out of tail")
+	}
+	if len(segs) != 11 {
+		t.Fatalf("Since(0) returned %d segments, want 11", len(segs))
+	}
+	for i, seg := range segs {
+		if seg.Seq != uint64(i+1) {
+			t.Fatalf("segment %d has seq %d, want %d", i, seg.Seq, i+1)
+		}
+	}
+	if last := segs[10]; last.Op != SegDelete || last.Key != "k0" {
+		t.Fatalf("last segment = %+v, want delete of k0", last)
+	}
+	if seg := segs[3]; seg.Op != SegPut || seg.Key != "k3" || len(seg.Value) != 1 || seg.Value[0] != 3 {
+		t.Fatalf("segment 3 = %+v, want put k3=0x03", seg)
+	}
+}
+
+// TestFollowSincePartial checks that a cursor mid-tail returns exactly the
+// suffix, and a current cursor returns nothing (still ok).
+func TestFollowSincePartial(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), nil); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	segs, ok := s.Since(3)
+	if !ok || len(segs) != 2 {
+		t.Fatalf("Since(3) = %d segments ok=%v, want 2 true", len(segs), ok)
+	}
+	if segs[0].Seq != 4 || segs[1].Seq != 5 {
+		t.Fatalf("Since(3) seqs = %d,%d, want 4,5", segs[0].Seq, segs[1].Seq)
+	}
+	if segs, ok := s.Since(5); !ok || len(segs) != 0 {
+		t.Fatalf("Since(current) = %d segments ok=%v, want 0 true", len(segs), ok)
+	}
+	// A cursor ahead of the source (stale epoch numbering) forces a resync.
+	if _, ok := s.Since(6); ok {
+		t.Fatalf("Since(ahead of seq) reported ok, want snapshot fallback")
+	}
+}
+
+// TestFollowTailBounded checks that the tail is trimmed to the configured
+// buffer and that an outrun cursor is redirected to the snapshot path.
+func TestFollowTailBounded(t *testing.T) {
+	s, err := Open(t.TempDir(), WithFollowBuffer(4))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer func() { _ = s.Close() }()
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Oldest retained is seq 7 (10 - 4 + 1); a cursor at 6 is the edge.
+	if segs, ok := s.Since(6); !ok || len(segs) != 4 {
+		t.Fatalf("Since(6) = %d segments ok=%v, want 4 true", len(segs), ok)
+	}
+	if _, ok := s.Since(5); ok {
+		t.Fatalf("Since(outrun) reported ok, want snapshot fallback")
+	}
+	snap, seq := s.SnapshotAll()
+	if seq != 10 || len(snap) != 10 {
+		t.Fatalf("SnapshotAll = %d rows at seq %d, want 10 rows at 10", len(snap), seq)
+	}
+	// Resume following from the snapshot's seq.
+	if err := s.Put("k10", nil); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if segs, ok := s.Since(seq); !ok || len(segs) != 1 || segs[0].Key != "k10" {
+		t.Fatalf("Since(snapshot seq) = %+v ok=%v, want the one new segment", segs, ok)
+	}
+}
+
+// TestFollowEpochChangesAcrossReopen checks that a reopened store presents
+// a new epoch and a reset sequence, forcing followers through resync.
+func TestFollowEpochChangesAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	e1 := s.Epoch()
+	if e1 == 0 {
+		t.Fatalf("Epoch = 0, want nonzero")
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = s2.Close() }()
+	if s2.Epoch() == e1 {
+		t.Fatalf("reopened store kept epoch %d", e1)
+	}
+	// Recovery replay does not count toward the follow cursor: followers
+	// resync via snapshot on epoch change, not by replaying recovery.
+	if got := s2.Seq(); got != 0 {
+		t.Fatalf("reopened store Seq = %d, want 0", got)
+	}
+	if v, ok := s2.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("reopened store lost k=v")
+	}
+}

@@ -36,6 +36,14 @@ type Store struct {
 	autoCompact int
 	compactions int
 	recovery    RecoveryInfo
+
+	// Follow/replication state (see follow.go): epoch identifies this
+	// open, seq numbers acknowledged mutations, tail retains the most
+	// recent followCap of them for streaming to cluster standbys.
+	epoch     uint64
+	seq       uint64
+	tail      []Segment
+	followCap int
 }
 
 // Mutation ops in journal/snapshot payloads.
@@ -69,7 +77,14 @@ func WithStoreFS(fsys FS) StoreOption {
 // Open opens (creating if needed) the store rooted at dir and recovers
 // its state: latest snapshot plus journal suffix.
 func Open(dir string, opts ...StoreOption) (*Store, error) {
-	s := &Store{fsys: OS(), dir: dir, state: make(map[string][]byte), autoCompact: 4096}
+	s := &Store{
+		fsys:        OS(),
+		dir:         dir,
+		state:       make(map[string][]byte),
+		autoCompact: 4096,
+		epoch:       newStoreEpoch(),
+		followCap:   defaultFollowBuffer,
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -167,6 +182,7 @@ func (s *Store) Put(key string, value []byte) error {
 		return err
 	}
 	s.state[key] = append([]byte(nil), value...)
+	s.recordSegmentLocked(opPut, key, value)
 	return s.maybeCompactLocked()
 }
 
@@ -179,6 +195,7 @@ func (s *Store) Delete(key string) error {
 		return err
 	}
 	delete(s.state, key)
+	s.recordSegmentLocked(opDelete, key, nil)
 	return s.maybeCompactLocked()
 }
 

@@ -1,0 +1,46 @@
+package verifier
+
+// Cluster ownership. In a multi-verifier cluster each agent has exactly
+// one owning verifier at a time (the consistent-hash ring decides which);
+// the cluster node installs an ownership predicate here and the verifier
+// refuses rounds for agents it does not own. The predicate is consulted
+// twice per round — at round entry, and again after the evidence fetch —
+// mirroring the removed-mid-round check: ownership lost while evidence was
+// in flight (a handoff froze and transferred the agent) must not produce
+// an integrity verdict on the old owner, or the fleet would see two
+// verifiers disagreeing about the same agent.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotOwner rejects a round for an agent this verifier does not
+// currently own; the owning replica will sweep it instead.
+var ErrNotOwner = errors.New("verifier: agent owned by another cluster node")
+
+// SetOwnership installs the cluster ownership predicate. nil (the
+// default) owns everything — the single-verifier deployment. The
+// predicate must be safe for concurrent use and fast: it runs on every
+// round, inside no lock.
+func (v *Verifier) SetOwnership(owns func(agentID string) bool) {
+	v.ownsMu.Lock()
+	v.ownsFn = owns
+	v.ownsMu.Unlock()
+}
+
+// owns reports whether this verifier currently owns the agent.
+func (v *Verifier) owns(agentID string) bool {
+	v.ownsMu.RLock()
+	fn := v.ownsFn
+	v.ownsMu.RUnlock()
+	return fn == nil || fn(agentID)
+}
+
+// checkOwned returns ErrNotOwner when the agent is not owned here.
+func (v *Verifier) checkOwned(agentID string) error {
+	if !v.owns(agentID) {
+		return fmt.Errorf("%w: %s", ErrNotOwner, agentID)
+	}
+	return nil
+}

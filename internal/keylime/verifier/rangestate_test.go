@@ -1,0 +1,204 @@
+package verifier_test
+
+// Tests for the cluster-facing verifier surface: ownership checks,
+// ring-range export/import, and the field-tagged lenient restore path.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/verifier"
+)
+
+// TestRestoreLenientShadowSlotsAndCorruptFields round-trips a snapshot
+// whose intact rows carry PR5 shadow-policy slots, mixed with rows corrupt
+// in different fields: the survivors keep their shadow evaluation state
+// and each skip names the field that failed decoding.
+func TestRestoreLenientShadowSlotsAndCorruptFields(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	v := verifier.New("", verifier.WithHTTPClient(fs.srv.Client()))
+	ids := []string{
+		"shadow-00-4a97-9ef7-75bd81c00000",
+		"shadow-01-4a97-9ef7-75bd81c00000",
+	}
+	for _, id := range ids {
+		if err := v.AddAgentWithAK(id, fs.srv.URL, fs.akPub, pol); err != nil {
+			t.Fatalf("AddAgentWithAK: %v", err)
+		}
+		if err := v.SetShadowPolicy(id, 7, pol); err != nil {
+			t.Fatalf("SetShadowPolicy: %v", err)
+		}
+	}
+	// One evaluated round so the shadow slots carry non-trivial counters.
+	if st := v.PollAll(context.Background()); st.Attested != len(ids) {
+		t.Fatalf("baseline PollAll = %+v", st)
+	}
+	snap, err := v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if len(snap.Agents) != len(ids) {
+		t.Fatalf("exported %d rows, want %d", len(snap.Agents), len(ids))
+	}
+
+	// Corrupt distinct fields of extra rows built from an intact template.
+	badShadow := snap.Agents[0]
+	badShadow.AgentID = "bad-shadow-4a97-9ef7-75bd81c00000"
+	badShadow.ShadowPolicy = []byte(`{"allow":`)
+	badAK := snap.Agents[0]
+	badAK.AgentID = "bad-ak-0000-4a97-9ef7-75bd81c00000"
+	badAK.AKPub = "%%%"
+	badPrefix := snap.Agents[0]
+	badPrefix.AgentID = "bad-prefix-4a97-9ef7-75bd81c00000"
+	badPrefix.PrefixAggregate = "zz"
+	mixed := verifier.Snapshot{Agents: append(
+		[]verifier.AgentState{badShadow, badAK, badPrefix}, snap.Agents...)}
+
+	v2 := verifier.New("", verifier.WithHTTPClient(fs.srv.Client()))
+	skipped, err := v2.RestoreStateLenient(mixed)
+	if err != nil {
+		t.Fatalf("RestoreStateLenient: %v", err)
+	}
+	if len(skipped) != 3 {
+		t.Fatalf("skipped %d rows, want 3: %v", len(skipped), skipped)
+	}
+	wantFields := map[string]string{
+		badShadow.AgentID: "shadow_policy",
+		badAK.AgentID:     "ak_pub",
+		badPrefix.AgentID: "prefix_aggregate",
+	}
+	for _, sk := range skipped {
+		if want := wantFields[sk.AgentID]; sk.Field != want {
+			t.Fatalf("skip for %s names field %q, want %q (err: %v)", sk.AgentID, sk.Field, want, sk.Err)
+		}
+		delete(wantFields, sk.AgentID)
+	}
+	// The survivors kept their shadow slots and counters.
+	for _, id := range ids {
+		ss, err := v2.ShadowStatus(id)
+		if err != nil {
+			t.Fatalf("ShadowStatus %s: %v", id, err)
+		}
+		if ss.Generation != 7 || ss.Rounds != 1 || ss.CleanRounds != 1 {
+			t.Fatalf("restored shadow status for %s = %+v", id, ss)
+		}
+	}
+	// And they attest from the restored frontier.
+	if st := v2.PollAll(context.Background()); st.Attested != len(ids) || st.Failed != 0 {
+		t.Fatalf("post-restore PollAll = %+v", st)
+	}
+}
+
+// TestPollAllCountsDisownedMidHandoff disowns an agent while its evidence
+// fetch is in flight — the mid-handoff transfer race. The round must end
+// without a verdict or revocation, and the sweep must report it as
+// NotOwned, not as an error.
+func TestPollAllCountsDisownedMidHandoff(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	bh := newBlockingHandler(agent.New(fs.m).Handler())
+	srv := httptest.NewServer(bh)
+	defer srv.Close()
+	var revocations atomic.Int32
+	v := verifier.New("",
+		verifier.WithHTTPClient(srv.Client()),
+		verifier.WithRevocationHandler(func(string, verifier.Failure) { revocations.Add(1) }),
+	)
+	const id = "handoff-00-4a97-9ef7-75bd81c00000"
+	if err := v.AddAgentWithAK(id, srv.URL, fs.akPub, pol); err != nil {
+		t.Fatalf("AddAgentWithAK: %v", err)
+	}
+	statsc := make(chan verifier.PollStats, 1)
+	go func() { statsc <- v.PollAll(context.Background()) }()
+	<-bh.entered
+	v.SetOwnership(func(string) bool { return false })
+	close(bh.release)
+	st := <-statsc
+	if st.NotOwned != 1 || st.Attested != 0 || st.Errors != 0 || st.Failed != 0 {
+		t.Fatalf("PollAll = %+v, want exactly one NotOwned", st)
+	}
+	if n := revocations.Load(); n != 0 {
+		t.Fatalf("revocation handler fired %d times for a disowned agent", n)
+	}
+	// Status is untouched: the agent is still enrolled, just not swept here.
+	if _, err := v.Status(id); err != nil {
+		t.Fatalf("Status after disown: %v", err)
+	}
+	// Re-owning resumes sweeping.
+	v.SetOwnership(nil)
+	if st := v.PollAll(context.Background()); st.Attested != 1 {
+		t.Fatalf("PollAll after re-own = %+v", st)
+	}
+}
+
+// TestExportImportAgentsHandoff moves a subset of a live fleet between two
+// running verifiers the way a ring handoff does, including the replace
+// semantics for the gaining side.
+func TestExportImportAgentsHandoff(t *testing.T) {
+	fs := newFleetStack(t)
+	pol := policyFromMachine(t, fs.m)
+	src := verifier.New("", verifier.WithHTTPClient(fs.srv.Client()))
+	dst := verifier.New("", verifier.WithHTTPClient(fs.srv.Client()))
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id := string(rune('a'+i)) + "gent-000-4a97-9ef7-75bd81c00000"
+		ids = append(ids, id)
+		if err := src.AddAgentWithAK(id, fs.srv.URL, fs.akPub, pol); err != nil {
+			t.Fatalf("AddAgentWithAK: %v", err)
+		}
+	}
+	if st := src.PollAll(context.Background()); st.Attested != 4 {
+		t.Fatalf("source PollAll = %+v", st)
+	}
+
+	// Move agents 0 and 1; ExportWhere selects the "range".
+	moving := map[string]bool{ids[0]: true, ids[1]: true}
+	rows, err := src.ExportWhere(func(id string) bool { return moving[id] })
+	if err != nil {
+		t.Fatalf("ExportWhere: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("exported %d rows, want 2", len(rows))
+	}
+	if skipped := dst.ImportAgents(rows, true); len(skipped) != 0 {
+		t.Fatalf("ImportAgents skipped %v", skipped)
+	}
+	if n := src.RemoveAgents([]string{ids[0], ids[1]}); n != 2 {
+		t.Fatalf("RemoveAgents removed %d, want 2", n)
+	}
+
+	// Each side sweeps only what it now owns, resuming mid-frontier.
+	if st := src.PollAll(context.Background()); st.Attested != 2 {
+		t.Fatalf("source PollAll after handoff = %+v", st)
+	}
+	if st := dst.PollAll(context.Background()); st.Attested != 2 {
+		t.Fatalf("destination PollAll after handoff = %+v", st)
+	}
+	dstStatus, err := dst.Status(ids[0])
+	if err != nil {
+		t.Fatalf("Status on destination: %v", err)
+	}
+	if dstStatus.Attestations != 2 {
+		t.Fatalf("destination attestations = %d, want 2 (1 imported + 1 new)", dstStatus.Attestations)
+	}
+
+	// replace=false keeps the resident row; replace=true overwrites it.
+	stale := rows[0]
+	stale.Attestations = 99
+	if skipped := dst.ImportAgents([]verifier.AgentState{stale}, false); len(skipped) != 1 {
+		t.Fatalf("non-replacing import of a resident row: skipped=%v", skipped)
+	}
+	if st, _ := dst.Status(stale.AgentID); st.Attestations == 99 {
+		t.Fatal("non-replacing import overwrote the resident row")
+	}
+	if skipped := dst.ImportAgents([]verifier.AgentState{stale}, true); len(skipped) != 0 {
+		t.Fatalf("replacing import: skipped=%v", skipped)
+	}
+	if st, _ := dst.Status(stale.AgentID); st.Attestations != 99 {
+		t.Fatalf("replacing import kept attestations=%d, want 99", st.Attestations)
+	}
+}

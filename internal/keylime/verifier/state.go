@@ -11,6 +11,7 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -214,12 +215,31 @@ func (v *Verifier) ExportDirty() (changed []AgentState, removed []string, err er
 // RestoreError reports one snapshot row skipped by a lenient restore.
 type RestoreError struct {
 	AgentID string
-	Err     error
+	// Field names the AgentState field that failed decoding (e.g.
+	// "ak_pub", "policy", "prefix_aggregate"), empty when the failure was
+	// not field-specific (duplicate row).
+	Field string
+	Err   error
 }
 
 func (e RestoreError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("verifier: restoring %s: field %s: %v", e.AgentID, e.Field, e.Err)
+	}
 	return fmt.Sprintf("verifier: restoring %s: %v", e.AgentID, e.Err)
 }
+
+func (e RestoreError) Unwrap() error { return e.Err }
+
+// fieldErr tags a restore failure with the snapshot field that caused it,
+// so lenient restores can report which field of which row was corrupt.
+type fieldErr struct {
+	field string
+	err   error
+}
+
+func (e fieldErr) Error() string { return fmt.Sprintf("%s: %v", e.field, e.err) }
+func (e fieldErr) Unwrap() error { return e.err }
 
 // RestoreState loads a snapshot into an empty verifier; monitoring resumes
 // at the persisted verification frontier. One malformed row aborts the
@@ -251,31 +271,43 @@ func (v *Verifier) restoreState(st Snapshot, lenient bool) ([]RestoreError, erro
 			if !lenient {
 				return nil, fmt.Errorf("verifier: restoring %s: %w", as.AgentID, err)
 			}
-			skipped = append(skipped, RestoreError{AgentID: as.AgentID, Err: err})
+			skipped = append(skipped, newRestoreError(as.AgentID, err))
 		}
 	}
 	return skipped, nil
 }
 
+// newRestoreError builds the skip report for one row, lifting the field
+// name out of a fieldErr when the failure was field-specific.
+func newRestoreError(agentID string, err error) RestoreError {
+	re := RestoreError{AgentID: agentID, Err: err}
+	var fe fieldErr
+	if errors.As(err, &fe) {
+		re.Field = fe.field
+		re.Err = fe.err
+	}
+	return re
+}
+
 // restoreAgent deserializes one snapshot row into a monitored agent.
 func restoreAgent(as AgentState) (*monitored, error) {
 	if as.AgentID == "" {
-		return nil, fmt.Errorf("missing agent id")
+		return nil, fieldErr{"agent_id", fmt.Errorf("missing agent id")}
 	}
 	akPub, err := base64.StdEncoding.DecodeString(as.AKPub)
 	if err != nil {
-		return nil, fmt.Errorf("ak_pub: %w", err)
+		return nil, fieldErr{"ak_pub", err}
 	}
 	pol := policy.New()
 	if len(as.Policy) > 0 {
 		if err := json.Unmarshal(as.Policy, pol); err != nil {
-			return nil, fmt.Errorf("policy: %w", err)
+			return nil, fieldErr{"policy", err}
 		}
 	}
 	var prefix tpm.Digest
 	raw, err := hex.DecodeString(as.PrefixAggregate)
 	if err != nil || len(raw) != len(prefix) {
-		return nil, fmt.Errorf("bad prefix aggregate")
+		return nil, fieldErr{"prefix_aggregate", fmt.Errorf("bad hex digest (%d bytes, want %d)", len(raw), len(prefix))}
 	}
 	copy(prefix[:], raw)
 	// Re-derive the cached parsed AK; nil on parse failure keeps the
@@ -317,7 +349,7 @@ func restoreAgent(as AgentState) (*monitored, error) {
 	if len(as.ShadowPolicy) > 0 {
 		shadow := policy.New()
 		if err := json.Unmarshal(as.ShadowPolicy, shadow); err != nil {
-			return nil, fmt.Errorf("shadow policy: %w", err)
+			return nil, fieldErr{"shadow_policy", err}
 		}
 		a.shadowPol = shadow
 		a.shadowGen = as.ShadowGeneration
@@ -332,7 +364,7 @@ func restoreAgent(as AgentState) (*monitored, error) {
 			var d tpm.Digest
 			rawD, err := hex.DecodeString(h)
 			if err != nil || len(rawD) != len(d) {
-				return nil, fmt.Errorf("bad golden PCR %d", pcr)
+				return nil, fieldErr{"boot_golden", fmt.Errorf("bad golden PCR %d", pcr)}
 			}
 			copy(d[:], rawD)
 			g[pcr] = d

@@ -434,6 +434,11 @@ type Verifier struct {
 	// API. statsMu is a leaf lock.
 	statsMu        sync.Mutex
 	statsProviders map[string]func() any
+
+	// ownsFn is the cluster ownership predicate (see ownership.go); nil
+	// owns every agent. ownsMu is a leaf lock.
+	ownsMu sync.RWMutex
+	ownsFn func(agentID string) bool
 }
 
 // defaultPollConcurrency sizes the PollAll worker pool to the host:
@@ -817,6 +822,9 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if !ok {
 		return Result{}, fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
 	}
+	if err := v.checkOwned(agentID); err != nil {
+		return Result{}, err
+	}
 	a.pollMu.Lock()
 	defer a.pollMu.Unlock()
 
@@ -857,6 +865,9 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		if a.isRemoved() {
 			return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
 		}
+		if oerr := v.checkOwned(agentID); oerr != nil {
+			return Result{}, oerr
+		}
 		return v.commsFault(a, now, attempts, err), nil
 	}
 	rebooted := false
@@ -874,6 +885,9 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 			if a.isRemoved() {
 				return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
 			}
+			if oerr := v.checkOwned(agentID); oerr != nil {
+				return Result{}, oerr
+			}
 			return v.commsFault(a, now, attempts, err), nil
 		}
 	}
@@ -882,6 +896,11 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		// may be recorded (and no revocation fired) for an agent that is
 		// no longer monitored.
 		return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+	}
+	if err := v.checkOwned(agentID); err != nil {
+		// Ownership lost while the fetch was in flight (handoff mid-round):
+		// the gaining verifier records the verdicts from here on.
+		return Result{}, err
 	}
 	v.commsOK(a)
 
@@ -1111,6 +1130,10 @@ type PollStats struct {
 	// Removed counts agents that were unenrolled between the sweep's ID
 	// snapshot and their round — fleet churn, not an attestation problem.
 	Removed int
+	// NotOwned counts agents skipped (or abandoned mid-round) because the
+	// cluster ownership predicate assigns them to another verifier — ring
+	// churn during a handoff, not an attestation problem.
+	NotOwned int
 	// Errors counts other round errors.
 	Errors int
 }
@@ -1123,6 +1146,7 @@ func (s *PollStats) add(o PollStats) {
 	s.Halted += o.Halted
 	s.Quarantined += o.Quarantined
 	s.Removed += o.Removed
+	s.NotOwned += o.NotOwned
 	s.Errors += o.Errors
 }
 
@@ -1137,6 +1161,8 @@ func (s *PollStats) record(res Result, err error) {
 		// The ID came from this sweep's snapshot, so an unknown agent
 		// can only mean it was removed after the snapshot was taken.
 		s.Removed++
+	case errors.Is(err, ErrNotOwner):
+		s.NotOwned++
 	case err != nil:
 		s.Errors++
 	case res.Degraded:

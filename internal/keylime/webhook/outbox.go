@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/keylime/store"
 )
@@ -66,6 +67,7 @@ type Outbox struct {
 	mu       sync.Mutex
 	j        *store.Journal
 	pending  map[string]PendingDelivery // key: dedup key + "|" + endpoint
+	retryAt  map[string]time.Time       // scheduled replay time per pending key
 	broken   bool
 	enqueued int
 	acked    int
@@ -91,12 +93,25 @@ type OutboxStats struct {
 	// Broken reports that a journal rewrite failed; the outbox still
 	// appends but can no longer compact.
 	Broken bool `json:"broken"`
+	// NextRetry is the earliest scheduled replay time across the pending
+	// deliveries (zero when none is scheduled): when the receiver will
+	// next hear from this outbox without an operator doing anything.
+	NextRetry time.Time `json:"next_retry,omitempty"`
 }
 
 // Stats returns the outbox's operational counters.
 func (o *Outbox) Stats() OutboxStats {
 	o.mu.Lock()
 	defer o.mu.Unlock()
+	var next time.Time
+	for id, t := range o.retryAt {
+		if _, ok := o.pending[id]; !ok {
+			continue
+		}
+		if next.IsZero() || t.Before(next) {
+			next = t
+		}
+	}
 	return OutboxStats{
 		Enqueued:       o.enqueued,
 		Acked:          o.acked,
@@ -104,7 +119,25 @@ func (o *Outbox) Stats() OutboxStats {
 		Pending:        len(o.pending),
 		JournalRecords: o.j.Records(),
 		Broken:         o.broken,
+		NextRetry:      next,
 	}
+}
+
+// SetNextRetry records when a pending delivery's replay is scheduled, for
+// operational visibility (OutboxStats.NextRetry). The schedule is
+// in-memory only — a restart recomputes it — and is dropped when the
+// delivery is acknowledged.
+func (o *Outbox) SetNextRetry(endpoint, dedupKey string, t time.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := dedupKey + "|" + endpoint
+	if _, ok := o.pending[id]; !ok {
+		return
+	}
+	if o.retryAt == nil {
+		o.retryAt = make(map[string]time.Time)
+	}
+	o.retryAt[id] = t
 }
 
 // OpenOutbox opens (creating if absent) the outbox journal at path and
@@ -172,6 +205,7 @@ func (o *Outbox) Ack(endpoint, dedupKey string) error {
 		return err
 	}
 	delete(o.pending, id)
+	delete(o.retryAt, id)
 	o.acked++
 	o.maybeCompactLocked()
 	return nil

@@ -1,0 +1,181 @@
+package webhook
+
+// Simulated-clock tests for the staggered outbox replay: a recovering
+// verifier must spread its journaled redeliveries over the replay window
+// instead of firing the whole backlog at t=0, and the schedule must be
+// visible to operators via OutboxStats.NextRetry.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/store"
+	"repro/internal/simclock"
+)
+
+func replayNote(i int) Notification {
+	n := Notification{
+		AgentID: "agent-replay",
+		Type:    "hash-mismatch",
+		Path:    "/usr/bin/tool",
+		Detail:  "replay test",
+		Time:    time.Date(2026, 1, 1, 0, 0, i, 0, time.UTC),
+	}
+	n.DedupKey = DedupKey(n)
+	return n
+}
+
+// seedOutbox journals n pending deliveries for the endpoint and reopens
+// the outbox, simulating the post-crash state a notifier replays from.
+func seedOutbox(t *testing.T, endpoint string, n int) *Outbox {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "outbox.wal")
+	ob, err := OpenOutbox(store.OS(), path)
+	if err != nil {
+		t.Fatalf("OpenOutbox: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ob.Enqueue(endpoint, replayNote(i)); err != nil {
+			t.Fatalf("Enqueue: %v", err)
+		}
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ob2, err := OpenOutbox(store.OS(), path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	t.Cleanup(func() { _ = ob2.Close() })
+	return ob2
+}
+
+// TestReplaySpreadStaggersAndExportsNextRetry drives replay on a simulated
+// clock: before the clock moves, nothing is delivered and NextRetry shows
+// the earliest scheduled slot inside the spread; advancing the clock
+// drains the backlog slot by slot, and acks clear the schedule.
+func TestReplaySpreadStaggersAndExportsNextRetry(t *testing.T) {
+	var mu sync.Mutex
+	delivered := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	const backlog = 8
+	ob := seedOutbox(t, srv.URL, backlog)
+	start := time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC)
+	clk := simclock.NewSimulated(start)
+	const spread = 10 * time.Second
+	n := New(Config{
+		Endpoints:    []string{srv.URL},
+		Outbox:       ob,
+		Clock:        clk,
+		ReplaySpread: spread,
+		Logf:         t.Logf,
+	})
+
+	// The replayer registers its schedule before sleeping; wait for the
+	// first waiter so the assertions below are deterministic.
+	for clk.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	st := ob.Stats()
+	if st.NextRetry.IsZero() {
+		t.Fatal("NextRetry not exported while replays are scheduled")
+	}
+	if st.NextRetry.Before(start) || st.NextRetry.After(start.Add(spread)) {
+		t.Fatalf("NextRetry = %v, want inside [%v, %v]", st.NextRetry, start, start.Add(spread))
+	}
+	mu.Lock()
+	if delivered != 0 {
+		mu.Unlock()
+		t.Fatalf("%d deliveries before the clock moved", delivered)
+	}
+	mu.Unlock()
+
+	// Advance through the whole spread: every slot fires, the worker
+	// delivers, and acks empty the outbox.
+	deadline := time.Now().Add(5 * time.Second)
+	for ob.Len() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog not drained: %d pending, stats %+v", ob.Len(), n.Stats())
+		}
+		if !clk.AdvanceToNext() {
+			time.Sleep(time.Millisecond) // worker mid-delivery; let it ack
+		}
+	}
+	if st := n.Stats(); st.Replayed != backlog || st.Delivered != backlog {
+		t.Fatalf("notifier stats = %+v, want %d replayed and delivered", st, backlog)
+	}
+	if st := ob.Stats(); !st.NextRetry.IsZero() {
+		t.Fatalf("NextRetry = %v after full drain, want zero", st.NextRetry)
+	}
+	n.Close()
+}
+
+// TestReplayOffsetsDecorrelate checks the offsets actually spread: distinct
+// events must not all share one slot (the thundering-herd this exists to
+// prevent), stay inside the window, and be deterministic.
+func TestReplayOffsetsDecorrelate(t *testing.T) {
+	const spread = 10 * time.Second
+	slots := make(map[time.Duration]bool)
+	for i := 0; i < 16; i++ {
+		note := replayNote(i)
+		off := replayOffset("http://receiver", note.DedupKey, spread)
+		if off < 0 || off > spread {
+			t.Fatalf("offset %v outside [0, %v]", off, spread)
+		}
+		if off != replayOffset("http://receiver", note.DedupKey, spread) {
+			t.Fatalf("offset for event %d not deterministic", i)
+		}
+		slots[off] = true
+	}
+	if len(slots) < 8 {
+		t.Fatalf("16 events landed on %d distinct slots; replay is not decorrelated", len(slots))
+	}
+}
+
+// TestCloseFlushesScheduledReplays closes the notifier while replays are
+// still waiting on the clock: the backlog must be delivered anyway —
+// shutdown flushes the outbox rather than stranding journaled revocations.
+func TestCloseFlushesScheduledReplays(t *testing.T) {
+	var mu sync.Mutex
+	delivered := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	const backlog = 4
+	ob := seedOutbox(t, srv.URL, backlog)
+	clk := simclock.NewSimulated(time.Date(2026, 2, 1, 0, 0, 0, 0, time.UTC))
+	n := New(Config{
+		Endpoints:    []string{srv.URL},
+		Outbox:       ob,
+		Clock:        clk,
+		ReplaySpread: time.Hour,
+		Logf:         t.Logf,
+	})
+	for clk.PendingWaiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	n.Close() // the clock never advances; Close must flush
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if got != backlog {
+		t.Fatalf("delivered %d of %d scheduled replays at Close", got, backlog)
+	}
+	if ob.Len() != 0 {
+		t.Fatalf("outbox still holds %d deliveries after Close flush", ob.Len())
+	}
+}

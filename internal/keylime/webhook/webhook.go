@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"log"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -66,6 +67,13 @@ type Config struct {
 	// value, in [0, 1] (default 0). Jitter decorrelates retry bursts when a
 	// fleet-wide failure fans out to the same receiver.
 	Jitter float64
+	// ReplaySpread staggers outbox replay at startup: each journaled
+	// delivery is re-attempted at a deterministic per-event offset in
+	// [0, ReplaySpread] instead of the whole backlog firing at t=0, so a
+	// cluster of recovering verifiers does not thundering-herd the
+	// revocation receiver (default InitialBackoff). Close flushes any
+	// not-yet-due replays immediately.
+	ReplaySpread time.Duration
 	// Client is the HTTP client used for deliveries.
 	Client *http.Client
 	// Clock drives retry backoff (default real time).
@@ -107,9 +115,11 @@ type DeliveryResult struct {
 // Notifier delivers failure notifications. Construct with New; Close to
 // drain and stop.
 type Notifier struct {
-	cfg   Config
-	queue chan queued
-	done  chan struct{}
+	cfg        Config
+	queue      chan queued
+	done       chan struct{}
+	replayStop chan struct{}
+	replayDone chan struct{}
 
 	mu       sync.Mutex
 	closed   bool
@@ -155,6 +165,9 @@ func New(cfg Config) *Notifier {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.ReplaySpread <= 0 {
+		cfg.ReplaySpread = cfg.InitialBackoff
+	}
 	var replay []PendingDelivery
 	if cfg.Outbox != nil {
 		// Size the queue so the replayed backlog never drops.
@@ -164,17 +177,75 @@ func New(cfg Config) *Notifier {
 		}
 	}
 	n := &Notifier{
-		cfg:   cfg,
-		queue: make(chan queued, cfg.QueueSize),
-		done:  make(chan struct{}),
-	}
-	for _, pd := range replay {
-		n.queue <- queued{endpoint: pd.Endpoint, n: pd.Note, replayed: true}
-		n.stats.Enqueued++
-		n.stats.Replayed++
+		cfg:        cfg,
+		queue:      make(chan queued, cfg.QueueSize),
+		done:       make(chan struct{}),
+		replayStop: make(chan struct{}),
+		replayDone: make(chan struct{}),
 	}
 	go n.worker()
+	go n.replayer(replay)
 	return n
+}
+
+// replayer re-enqueues the outbox backlog, staggered over the replay
+// spread: each delivery gets a deterministic offset hashed from its event
+// key, so a fleet of verifiers recovering from the same outage spreads its
+// redeliveries instead of synchronizing them. A Close mid-spread flushes
+// the not-yet-due remainder immediately — shutdown must not strand
+// journaled revocations that a live notifier could still deliver.
+func (n *Notifier) replayer(replay []PendingDelivery) {
+	defer close(n.replayDone)
+	if len(replay) == 0 {
+		return
+	}
+	type timed struct {
+		due time.Time
+		pd  PendingDelivery
+	}
+	now := n.cfg.Clock.Now()
+	items := make([]timed, 0, len(replay))
+	for _, pd := range replay {
+		off := replayOffset(pd.Endpoint, pd.Note.DedupKey, n.cfg.ReplaySpread)
+		due := now.Add(off)
+		if n.cfg.Outbox != nil {
+			n.cfg.Outbox.SetNextRetry(pd.Endpoint, pd.Note.DedupKey, due)
+		}
+		items = append(items, timed{due: due, pd: pd})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].due.Before(items[j].due) })
+	flush := false
+	for _, it := range items {
+		if !flush {
+			if d := it.due.Sub(n.cfg.Clock.Now()); d > 0 {
+				select {
+				case <-n.cfg.Clock.After(d):
+				case <-n.replayStop:
+					flush = true
+				}
+			}
+		}
+		n.queue <- queued{endpoint: it.pd.Endpoint, n: it.pd.Note, replayed: true}
+		n.mu.Lock()
+		n.stats.Enqueued++
+		n.stats.Replayed++
+		n.mu.Unlock()
+	}
+}
+
+// replayOffset maps one pending delivery to its slot in [0, spread],
+// deterministically per (endpoint, event) so simulated-clock tests and
+// restarted processes land on the same schedule.
+func replayOffset(endpoint, dedupKey string, spread time.Duration) time.Duration {
+	if spread <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(endpoint))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(dedupKey))
+	u := float64(h.Sum64()>>11) / (1 << 53)
+	return time.Duration(u * float64(spread))
 }
 
 // Handler returns the verifier revocation callback that feeds this
@@ -241,6 +312,10 @@ func (n *Notifier) Close() {
 	}
 	n.closed = true
 	n.mu.Unlock()
+	// Flush the replayer first: it feeds the queue, which must not be
+	// closed under it, and its remaining backlog should go out now.
+	close(n.replayStop)
+	<-n.replayDone
 	close(n.queue)
 	<-n.done
 }
