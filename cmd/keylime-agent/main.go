@@ -47,6 +47,10 @@ func run() error {
 		policyOut    = flag.String("policy-out", "policy.json", "write the machine's runtime policy here")
 		activity     = flag.Duration("activity", 0, "execute a random binary this often (0 = off)")
 		seed         = flag.Int64("seed", 1, "workload seed")
+		sessionTTL   = flag.Duration("session-ttl", agent.DefaultSessionTTL,
+			"discard verifier attestation sessions idle this long")
+		maxSessions = flag.Int("max-sessions", agent.DefaultSessionLimit,
+			"attestation sessions kept before evicting the least recently used")
 	)
 	flag.Parse()
 
@@ -91,7 +95,7 @@ func run() error {
 	}
 	fmt.Printf("wrote runtime policy (%d entries) to %s\n", pol.Lines(), *policyOut)
 
-	ag := agent.New(m)
+	ag := agent.New(m, agent.WithSessionTTL(*sessionTTL), agent.WithSessionLimit(*maxSessions))
 	contact := *contactURL
 	if contact == "" {
 		contact = "http://localhost" + *listen

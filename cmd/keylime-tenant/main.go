@@ -118,6 +118,12 @@ func run() error {
 		if st.ShadowGeneration != 0 {
 			fmt.Printf("shadow gen:       %d (candidate under evaluation)\n", st.ShadowGeneration)
 		}
+		if st.LastCheckLevel != "" {
+			fmt.Printf("last check:       %s\n", st.LastCheckLevel)
+		}
+		if st.SessionActive {
+			fmt.Printf("session:          active (%d rounds since full quote)\n", st.SessionRounds)
+		}
 		if st.Degraded || st.ConsecutiveFaults > 0 {
 			fmt.Printf("degraded:         %v (%d consecutive faults)\n", st.Degraded, st.ConsecutiveFaults)
 		}

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"sort"
@@ -96,6 +97,21 @@ func run() error {
 			"concurrent agent rounds per polling sweep (0 = auto: 4x GOMAXPROCS, minimum 8)")
 		verifyWorkers = flag.Int("verify-workers", 0,
 			"worker pool for validating large IMA entry batches (0 = GOMAXPROCS)")
+		cryptoWorkers = flag.Int("crypto-workers", 0,
+			"dedicated workers batching full-quote signature verification "+
+				"(0 = GOMAXPROCS, negative verifies inline on the sweep workers)")
+
+		sessionEvery = flag.Int("session-every", 16,
+			"force a full TPM quote every Nth round, authenticating the rounds "+
+				"between with the per-agent session MAC (0 or 1 disables sessions)")
+		sessionTTL = flag.Duration("session-ttl", 10*time.Minute,
+			"maximum session-key age before the next round forces a full quote (0 = no expiry)")
+		wireFormat = flag.String("wire-format", "binary",
+			"attestation wire format: binary (compact frames, JSON fallback for "+
+				"old agents) or json")
+
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 
 		rolloutState = flag.String("rollout-state", "", "journal staged policy rollouts in this "+
 			"directory so a crash mid-rollout recovers to a consistent generation")
@@ -126,6 +142,9 @@ func run() error {
 	}
 	if *outboxPath != "" && *webhookURL == "" {
 		return fmt.Errorf("-outbox requires -webhook")
+	}
+	if *wireFormat != "binary" && *wireFormat != "json" {
+		return fmt.Errorf("unknown -wire-format %q (want binary or json)", *wireFormat)
 	}
 	clusterMode := *nodeID != "" || *peersFlag != ""
 	var peerAddrs map[string]string
@@ -170,6 +189,9 @@ func run() error {
 		}),
 		verifier.WithPollConcurrency(*pollConcurrency),
 		verifier.WithVerifyWorkers(*verifyWorkers),
+		verifier.WithSessionPolicy(*sessionEvery, *sessionTTL),
+		verifier.WithBinaryWireFormat(*wireFormat == "binary"),
+		verifier.WithBatchVerify(*cryptoWorkers),
 	}
 
 	// Audit: every sealed record is journaled and fsynced before the
@@ -215,6 +237,18 @@ func run() error {
 		}))
 	}
 	v := verifier.New(*registrarURL, opts...)
+	defer v.Close()
+
+	// Profiling endpoint (off by default): -pprof serves the standard
+	// net/http/pprof handlers on their own listener, kept away from the
+	// management API so profiles are never exposed on the service port.
+	if *pprofAddr != "" {
+		go func() {
+			// The pprof handlers register on http.DefaultServeMux at import.
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof listening on %s\n", *pprofAddr)
+	}
 
 	// persist is invoked after every sweep; it must not swallow errors —
 	// a verifier that silently stops persisting re-trusts from scratch

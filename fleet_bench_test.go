@@ -23,6 +23,7 @@ import (
 	"repro/internal/keylime/agent"
 	"repro/internal/keylime/verifier"
 	"repro/internal/machine"
+	"repro/internal/policy"
 	"repro/internal/tpm"
 	"repro/internal/vfs"
 )
@@ -46,7 +47,10 @@ func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 // agent's full measurement log, so measured iterations see the steady
 // state: quote fetch + signature check + empty incremental log delta per
 // agent.
-func BenchmarkPollAllFleet(b *testing.B) {
+// fleetFixture builds the shared one-machine fixture the fleet
+// benchmarks enroll many agent IDs against.
+func fleetFixture(b *testing.B) ([]byte, *policy.RuntimePolicy, *http.Client) {
+	b.Helper()
 	ca, err := tpm.NewManufacturerCA(rand.Reader)
 	if err != nil {
 		b.Fatalf("NewManufacturerCA: %v", err)
@@ -71,6 +75,11 @@ func BenchmarkPollAllFleet(b *testing.B) {
 	}
 	ag := agent.New(m)
 	client := &http.Client{Transport: loopbackTransport{h: ag.Handler()}}
+	return akPub, pol, client
+}
+
+func BenchmarkPollAllFleet(b *testing.B) {
+	akPub, pol, client := fleetFixture(b)
 
 	for _, fleet := range []int{100, 1000, 10000} {
 		for _, workers := range []int{8, 64} {
@@ -100,5 +109,50 @@ func BenchmarkPollAllFleet(b *testing.B) {
 				b.ReportMetric(float64(fleet), "agents/sweep")
 			})
 		}
+	}
+}
+
+// BenchmarkPollAllFleetSessions is the sessioned variant: after the
+// warm-up sweep establishes a session per agent, almost every measured
+// round rides the session MAC (a full quote every 16th round per agent),
+// so a sweep costs a fraction of the full-quote fleet sweep above.
+func BenchmarkPollAllFleetSessions(b *testing.B) {
+	akPub, pol, client := fleetFixture(b)
+
+	for _, fleet := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("agents=%d", fleet), func(b *testing.B) {
+			v := verifier.New("",
+				verifier.WithHTTPClient(client),
+				verifier.WithPollConcurrency(64),
+				verifier.WithSessionPolicy(16, 0),
+			)
+			defer v.Close()
+			for i := 0; i < fleet; i++ {
+				id := fmt.Sprintf("fleet-%05d-4a97-9ef7-75bd81c0f1ee", i)
+				if err := v.AddAgentWithAK(id, "http://agent.fleet.internal", akPub, pol); err != nil {
+					b.Fatalf("AddAgentWithAK: %v", err)
+				}
+			}
+			ctx := context.Background()
+			if st := v.PollAll(ctx); st.Attested != fleet || st.Failed != 0 {
+				b.Fatalf("warm-up sweep = %+v", st)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sessionRounds := 0
+			for i := 0; i < b.N; i++ {
+				st := v.PollAll(ctx)
+				if st.Attested != fleet || st.Failed != 0 {
+					b.Fatalf("PollAll = %+v", st)
+				}
+				sessionRounds += st.SessionRounds
+			}
+			b.StopTimer()
+			if sessionRounds == 0 {
+				b.Fatal("no session rounds: the sweep never used the MAC fast path")
+			}
+			b.ReportMetric(float64(fleet), "agents/sweep")
+			b.ReportMetric(float64(sessionRounds)/float64(b.N), "session-rounds/sweep")
+		})
 	}
 }

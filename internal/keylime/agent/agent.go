@@ -16,10 +16,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/ima"
 	"repro/internal/keylime/httppool"
 	"repro/internal/keylime/api"
+	"repro/internal/keylime/session"
 	"repro/internal/machine"
 	"repro/internal/measuredboot"
 	"repro/internal/tpm"
@@ -42,7 +44,19 @@ type Agent struct {
 	akPub      []byte
 	contactURL string
 	registered bool
+	akName     tpm.Digest
+	akNameOK   bool
+
+	// Sessioned attestation (see session.go).
+	sessMu    sync.Mutex
+	sessions  map[session.ID]*agentSession
+	sessTTL   time.Duration
+	sessLimit int
 }
+
+// quoteSelection is the PCR selection every integrity quote covers: the
+// measured-boot PCRs (0, 4) and the IMA PCR (10).
+var quoteSelection = []int{measuredboot.PCRFirmware, measuredboot.PCRBoot, tpm.PCRIMA}
 
 // Option configures the agent.
 type Option interface{ apply(*Agent) }
@@ -56,7 +70,8 @@ func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
 
 // New creates an agent for the given machine.
 func New(m *machine.Machine, opts ...Option) *Agent {
-	a := &Agent{m: m, client: httppool.Shared()}
+	a := &Agent{m: m, client: httppool.Shared(),
+		sessTTL: DefaultSessionTTL, sessLimit: DefaultSessionLimit}
 	for _, opt := range opts {
 		opt.apply(a)
 	}
@@ -167,6 +182,29 @@ func (a *Agent) postJSON(url string, body []byte, out any) error {
 // collected in a read-quote-recheck loop and only returned once the
 // measurement list was stable across the quote.
 func (a *Agent) IntegrityQuote(nonce []byte, offset int) (api.QuoteResponse, error) {
+	ev, err := a.collectEvidence(nonce, offset)
+	if err != nil {
+		return api.QuoteResponse{}, err
+	}
+	return api.QuoteResponse{
+		Quote:         api.EncodeQuote(ev.quote),
+		IMALog:        ima.FormatLog(ev.entries),
+		Offset:        ev.offset,
+		TotalEntries:  ev.total,
+		RunningKernel: a.m.RunningKernel(),
+		MBLog:         api.EncodeBootLog(a.m.BootLog()),
+	}, nil
+}
+
+// evidence is one consistent (quote, log delta) pair.
+type evidence struct {
+	quote   tpm.Quote
+	entries []ima.Entry
+	offset  int
+	total   int
+}
+
+func (a *Agent) collectEvidence(nonce []byte, offset int) (evidence, error) {
 	const maxAttempts = 5
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -178,32 +216,27 @@ func (a *Agent) IntegrityQuote(nonce []byte, offset int) (api.QuoteResponse, err
 			reqOffset = total
 		}
 		entries := a.m.IMA().Entries(reqOffset)
-		q, err := a.m.TPM().Quote(nonce, []int{measuredboot.PCRFirmware, measuredboot.PCRBoot, tpm.PCRIMA})
+		q, err := a.m.TPM().Quote(nonce, quoteSelection)
 		if err != nil {
-			return api.QuoteResponse{}, fmt.Errorf("agent: quoting: %w", err)
+			return evidence{}, fmt.Errorf("agent: quoting: %w", err)
 		}
 		if a.m.IMA().Len() != total {
 			// A measurement raced the quote; retry for a consistent pair.
 			lastErr = fmt.Errorf("agent: measurement list changed during quote (attempt %d)", attempt+1)
 			continue
 		}
-		return api.QuoteResponse{
-			Quote:         api.EncodeQuote(q),
-			IMALog:        ima.FormatLog(entries),
-			Offset:        reqOffset,
-			TotalEntries:  total,
-			RunningKernel: a.m.RunningKernel(),
-			MBLog:         api.EncodeBootLog(a.m.BootLog()),
-		}, nil
+		return evidence{quote: q, entries: entries, offset: reqOffset, total: total}, nil
 	}
-	return api.QuoteResponse{}, lastErr
+	return evidence{}, lastErr
 }
 
 // Handler returns the agent's HTTP API:
 //
-//	GET /v2/quotes/integrity?nonce=<b64url>&offset=<n> -> QuoteResponse
+//	GET  /v2/quotes/integrity?nonce=<b64url>&offset=<n> -> QuoteResponse (JSON)
+//	POST /v2/quotes/attest                              -> binary round (KLA1)
 func (a *Agent) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+api.AttestPath, a.handleAttest)
 	mux.HandleFunc("GET /v2/quotes/integrity", func(w http.ResponseWriter, req *http.Request) {
 		nonceParam := req.URL.Query().Get("nonce")
 		if nonceParam == "" {

@@ -1,0 +1,231 @@
+package agent
+
+// Sessioned attestation, agent side. The verifier establishes a session
+// by sending a full-quote request carrying an establish ID; both sides
+// derive the session key from the verified quote exchange (see package
+// session). Steady-state session requests are answered with a ~77-byte
+// MAC frame — but only when nothing changed: if the session is unknown
+// or expired, or the measurement-log frontier moved, the agent escalates
+// to a full quote in the same round trip, so a state change is never
+// hidden behind a session MAC.
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ima"
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/session"
+	"repro/internal/tpm"
+)
+
+// Session cache defaults; override with WithSessionTTL/WithSessionLimit.
+const (
+	DefaultSessionTTL   = time.Hour
+	DefaultSessionLimit = 16384
+)
+
+type sessionTTLOption struct{ d time.Duration }
+
+func (o sessionTTLOption) apply(a *Agent) {
+	if o.d > 0 {
+		a.sessTTL = o.d
+	}
+}
+
+// WithSessionTTL bounds how long the agent honors an established session.
+func WithSessionTTL(d time.Duration) Option { return sessionTTLOption{d: d} }
+
+type sessionLimitOption struct{ n int }
+
+func (o sessionLimitOption) apply(a *Agent) {
+	if o.n > 0 {
+		a.sessLimit = o.n
+	}
+}
+
+// WithSessionLimit caps the number of concurrently cached sessions.
+func WithSessionLimit(n int) Option { return sessionLimitOption{n: n} }
+
+// agentSession is one cached session. The MACer is guarded by sessMu.
+type agentSession struct {
+	mac     *session.MACer
+	created time.Time
+}
+
+// akNameCached returns the AK name, computing and caching it on first use.
+func (a *Agent) akNameCached() (tpm.Digest, bool) {
+	a.mu.Lock()
+	if a.akNameOK {
+		n := a.akName
+		a.mu.Unlock()
+		return n, true
+	}
+	a.mu.Unlock()
+	der, err := a.m.TPM().AKPublic()
+	if err != nil {
+		return tpm.Digest{}, false
+	}
+	n := tpm.AKName(der)
+	a.mu.Lock()
+	a.akName, a.akNameOK = n, true
+	a.mu.Unlock()
+	return n, true
+}
+
+// putSession installs a freshly derived session, dropping the one it
+// replaces and evicting expired/oldest entries at the cap.
+func (a *Agent) putSession(id session.ID, key [session.KeySize]byte, replaces session.ID, now time.Time) {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	if a.sessions == nil {
+		a.sessions = make(map[session.ID]*agentSession)
+	}
+	if !replaces.IsZero() {
+		delete(a.sessions, replaces)
+	}
+	if len(a.sessions) >= a.sessLimit {
+		a.evictLocked(now)
+	}
+	a.sessions[id] = &agentSession{mac: session.NewMACer(key[:]), created: now}
+}
+
+// evictLocked drops expired sessions, then the oldest until under the cap.
+func (a *Agent) evictLocked(now time.Time) {
+	for id, s := range a.sessions {
+		if now.Sub(s.created) >= a.sessTTL {
+			delete(a.sessions, id)
+		}
+	}
+	for len(a.sessions) >= a.sessLimit {
+		var oldest session.ID
+		var oldestAt time.Time
+		first := true
+		for id, s := range a.sessions {
+			if first || s.created.Before(oldestAt) {
+				oldest, oldestAt, first = id, s.created, false
+			}
+		}
+		delete(a.sessions, oldest)
+	}
+}
+
+// SessionCount reports the number of cached sessions (for tests/metrics).
+func (a *Agent) SessionCount() int {
+	a.sessMu.Lock()
+	defer a.sessMu.Unlock()
+	return len(a.sessions)
+}
+
+// handleAttest serves the binary attestation round (POST /v2/quotes/attest).
+func (a *Agent) handleAttest(w http.ResponseWriter, req *http.Request) {
+	if req.Header.Get("Content-Type") != api.ContentTypeBinary {
+		writeErr(w, http.StatusUnsupportedMediaType,
+			fmt.Errorf("agent: unsupported content type %q", req.Header.Get("Content-Type")))
+		return
+	}
+	buf := api.GetBuf()
+	defer api.PutBuf(buf)
+	data, err := api.ReadFrame(req.Body, buf, api.MaxRequestFrame)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("agent: reading frame: %w", err))
+		return
+	}
+	r, err := api.DecodeRoundRequest(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	switch r.Kind {
+	case api.FrameSessionRequest:
+		if a.answerSession(w, buf, r) {
+			return
+		}
+		// Escalate: answer the session request with a full quote (and
+		// establish the renew-hint session so the verifier recovers in
+		// one round trip). The superseded session is dropped.
+		a.serveFullQuote(w, buf, r.Nonce, r.Offset, session.ID(r.EstablishID), session.ID(r.SessionID))
+	case api.FrameQuoteRequest:
+		a.serveFullQuote(w, buf, r.Nonce, r.Offset, session.ID(r.EstablishID), session.ID(r.ReplacesID))
+	default:
+		writeErr(w, http.StatusBadRequest, api.ErrBadFrame)
+	}
+}
+
+// answerSession attempts the steady-state session round. It reports true
+// when a session frame was written; false means the caller must escalate
+// to a full quote (unknown/expired session, or the state moved).
+func (a *Agent) answerSession(w http.ResponseWriter, buf *[]byte, r api.RoundRequest) bool {
+	id := session.ID(r.SessionID)
+	now := time.Now()
+	a.sessMu.Lock()
+	s := a.sessions[id]
+	if s == nil || now.Sub(s.created) >= a.sessTTL {
+		if s != nil {
+			delete(a.sessions, id)
+		}
+		a.sessMu.Unlock()
+		return false
+	}
+	// Same read-recheck discipline as collectEvidence: the composite and
+	// the frontier must describe one consistent state.
+	total := a.m.IMA().Len()
+	if total != r.Offset {
+		a.sessMu.Unlock()
+		return false
+	}
+	comp, err := a.m.TPM().PCRComposite(quoteSelection)
+	if err != nil || a.m.IMA().Len() != total {
+		a.sessMu.Unlock()
+		return false
+	}
+	var out api.SessionRound
+	out.TotalEntries = total
+	out.Composite = comp
+	s.mac.Sum(r.Nonce, comp, uint64(total), &out.MAC)
+	a.sessMu.Unlock()
+
+	// r.Nonce aliases buf and has been consumed by the MAC; the buffer is
+	// now free to hold the response frame.
+	*buf = api.AppendSessionRound((*buf)[:0], out)
+	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	_, _ = w.Write(*buf)
+	return true
+}
+
+// serveFullQuote answers with a binary full-quote frame, deriving and
+// installing a session under establish (if nonzero and an AK exists).
+func (a *Agent) serveFullQuote(w http.ResponseWriter, buf *[]byte, nonce []byte, offset int, establish, replaces session.ID) {
+	// nonce aliases buf, which the response is encoded into: copy it out.
+	nonceCopy := append([]byte(nil), nonce...)
+	ev, err := a.collectEvidence(nonceCopy, offset)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	established := false
+	if !establish.IsZero() {
+		if akName, ok := a.akNameCached(); ok {
+			key := session.DeriveKey(akName, ev.quote.Signature, nonceCopy, establish)
+			a.putSession(establish, key, replaces, time.Now())
+			established = true
+		}
+	}
+	frame := api.FullQuoteRound{
+		Quote:              ev.quote,
+		IMALog:             ima.FormatLog(ev.entries),
+		Offset:             ev.offset,
+		TotalEntries:       ev.total,
+		RunningKernel:      a.m.RunningKernel(),
+		MBLog:              api.EncodeBootLog(a.m.BootLog()),
+		SessionEstablished: established,
+	}
+	*buf, err = api.AppendQuoteRound((*buf)[:0], frame)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", api.ContentTypeBinary)
+	_, _ = w.Write(*buf)
+}

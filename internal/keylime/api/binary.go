@@ -1,0 +1,557 @@
+package api
+
+// Compact binary wire format for the attestation round ("KLA1").
+//
+// The JSON quote round moves ~23KB and ~256 allocs for a zero-entry
+// delta; the binary format carries the same evidence length-prefixed and
+// fixed-width, and carries the sessioned-attestation round (a ~77-byte
+// MAC frame) that JSON never needs to express. Negotiation is by
+// content type: the verifier POSTs a request frame with Content-Type
+// application/x-keylime-attest-v1 to /v2/quotes/attest; agents that do
+// not speak it answer 404/405/415 and the verifier falls back to the
+// JSON GET endpoint. JSON remains the format for the tenant CLI and all
+// management surfaces.
+//
+// Frame layout (all integers big-endian):
+//
+//	"KLA1" | kind u8 | body
+//
+//	kind 0x01 quote request:
+//	  u8 nonceLen | nonce | u64 offset | u8 flags | [16 establishID] | [16 replacesID]
+//	  flags: bit0 = establishID present, bit1 = replacesID present
+//	kind 0x02 session request:
+//	  16 sessionID | u8 nonceLen | nonce | u64 offset | u8 flags | [16 establishID]
+//	  flags: bit0 = establishID present (renew hint for escalations)
+//	kind 0x81 quote response:
+//	  u16 nonceLen | nonce
+//	  u8 selCount | selCount × u8 PCR index
+//	  32 pcrDigest | u64 firmwareVersion
+//	  u8 valCount | valCount × 32 PCR value
+//	  u16 sigLen | sig
+//	  u32 imaLogLen | imaLog
+//	  u64 offset | u64 total
+//	  u8 kernelLen | kernel
+//	  u16 mbCount | mbCount × { u8 pcr | u8 typeLen | type | u16 descLen | desc | 32 digest }
+//	  u8 established
+//	kind 0x82 session response:
+//	  u64 total | 32 composite | 32 mac
+//
+// Every length prefix is bounds-checked against the remaining buffer
+// before the read, so a lying prefix fails cleanly with ErrBadFrame
+// instead of over-reading; trailing bytes after a complete frame are
+// rejected so frames cannot smuggle a second payload.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/tpm"
+)
+
+// ContentTypeBinary negotiates the binary attestation round.
+const ContentTypeBinary = "application/x-keylime-attest-v1"
+
+// AttestPath is the agent endpoint serving binary rounds.
+const AttestPath = "/v2/quotes/attest"
+
+// binaryMagic identifies (and versions) a binary attestation frame.
+const binaryMagic = "KLA1"
+
+// Frame kinds. Requests have the high bit clear, responses set.
+const (
+	FrameQuoteRequest   byte = 0x01
+	FrameSessionRequest byte = 0x02
+	FrameQuoteResponse  byte = 0x81
+	FrameSessionResponse byte = 0x82
+)
+
+// ErrBadFrame reports a structurally invalid binary frame.
+var ErrBadFrame = errors.New("api: bad binary attestation frame")
+
+const (
+	sessionIDSize = 16
+	macSize       = 32
+
+	flagEstablish byte = 1 << 0
+	flagReplaces  byte = 1 << 1
+
+	// maxSelection caps PCR selection/value counts well above any real
+	// quote (a TPM bank has 24 PCRs) but far below abuse territory.
+	maxSelection = 64
+	// MaxRequestFrame bounds a request read: magic+kind+IDs+nonce+offset
+	// fit in well under 128 bytes.
+	MaxRequestFrame = 256
+	// MaxResponseFrame bounds a response read; the IMA log dominates.
+	MaxResponseFrame = 64 << 20
+)
+
+// RoundRequest is the decoded form of a request frame. SessionID is only
+// meaningful for FrameSessionRequest; EstablishID/ReplacesID are zero
+// when absent.
+type RoundRequest struct {
+	Kind        byte
+	Nonce       []byte
+	Offset      int
+	SessionID   [sessionIDSize]byte
+	EstablishID [sessionIDSize]byte
+	ReplacesID  [sessionIDSize]byte
+}
+
+// FullQuoteRound is the binary equivalent of QuoteResponse, carrying the
+// quote structurally instead of base64/hex-encoded.
+type FullQuoteRound struct {
+	Quote              tpm.Quote
+	IMALog             string
+	Offset             int
+	TotalEntries       int
+	RunningKernel      string
+	MBLog              []WireBootEvent
+	SessionEstablished bool
+}
+
+// SessionRound is the steady-state session answer: the agent's log
+// frontier, its live PCR composite over the quoted selection, and the
+// session MAC over (nonce, composite, frontier).
+type SessionRound struct {
+	TotalEntries int
+	Composite    tpm.Digest
+	MAC          [macSize]byte
+}
+
+// BinaryRound is a decoded response frame: exactly one of Quote or
+// Session is meaningful, selected by Kind.
+type BinaryRound struct {
+	Kind    byte
+	Quote   FullQuoteRound
+	Session SessionRound
+}
+
+// frameBufs pools encode/read buffers for binary frames so steady-state
+// rounds do not allocate per request.
+var frameBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled frame buffer with length zero.
+func GetBuf() *[]byte {
+	b := frameBufs.Get().(*[]byte)
+	*b = (*b)[:0]
+	return b
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if cap(*b) > MaxResponseFrame/16 {
+		return // don't cache unbounded growth
+	}
+	frameBufs.Put(b)
+}
+
+// ReadFrame reads a whole frame from r into the pooled buffer at buf,
+// growing it as needed and failing once the frame exceeds limit. The
+// returned slice aliases *buf.
+func ReadFrame(r io.Reader, buf *[]byte, limit int) ([]byte, error) {
+	b := (*buf)[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if len(b) > limit {
+			*buf = b
+			return nil, fmt.Errorf("%w: frame exceeds %d bytes", ErrBadFrame, limit)
+		}
+		if err == io.EOF {
+			*buf = b
+			return b, nil
+		}
+		if err != nil {
+			*buf = b
+			return nil, err
+		}
+	}
+}
+
+// ---- encoding ----
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendRoundRequest encodes a request frame onto dst.
+func AppendRoundRequest(dst []byte, req RoundRequest) ([]byte, error) {
+	if len(req.Nonce) > 255 {
+		return dst, fmt.Errorf("%w: nonce too long (%d)", ErrBadFrame, len(req.Nonce))
+	}
+	dst = append(dst, binaryMagic...)
+	dst = append(dst, req.Kind)
+	switch req.Kind {
+	case FrameQuoteRequest:
+		dst = append(dst, byte(len(req.Nonce)))
+		dst = append(dst, req.Nonce...)
+		dst = appendU64(dst, uint64(req.Offset))
+		var flags byte
+		if req.EstablishID != ([sessionIDSize]byte{}) {
+			flags |= flagEstablish
+		}
+		if req.ReplacesID != ([sessionIDSize]byte{}) {
+			flags |= flagReplaces
+		}
+		dst = append(dst, flags)
+		if flags&flagEstablish != 0 {
+			dst = append(dst, req.EstablishID[:]...)
+		}
+		if flags&flagReplaces != 0 {
+			dst = append(dst, req.ReplacesID[:]...)
+		}
+	case FrameSessionRequest:
+		dst = append(dst, req.SessionID[:]...)
+		dst = append(dst, byte(len(req.Nonce)))
+		dst = append(dst, req.Nonce...)
+		dst = appendU64(dst, uint64(req.Offset))
+		var flags byte
+		if req.EstablishID != ([sessionIDSize]byte{}) {
+			flags |= flagEstablish
+		}
+		dst = append(dst, flags)
+		if flags&flagEstablish != 0 {
+			dst = append(dst, req.EstablishID[:]...)
+		}
+	default:
+		return dst, fmt.Errorf("%w: unknown request kind 0x%02x", ErrBadFrame, req.Kind)
+	}
+	return dst, nil
+}
+
+// AppendQuoteRound encodes a full-quote response frame onto dst.
+func AppendQuoteRound(dst []byte, q FullQuoteRound) ([]byte, error) {
+	if len(q.Quote.Attested.Nonce) > 0xFFFF || len(q.Quote.Signature) > 0xFFFF ||
+		len(q.Quote.Attested.Selection) > maxSelection || len(q.Quote.PCRValues) > maxSelection ||
+		len(q.RunningKernel) > 255 || len(q.MBLog) > 0xFFFF || len(q.IMALog) > MaxResponseFrame/2 {
+		return dst, fmt.Errorf("%w: quote round field over wire limits", ErrBadFrame)
+	}
+	dst = append(dst, binaryMagic...)
+	dst = append(dst, FrameQuoteResponse)
+	dst = appendU16(dst, uint16(len(q.Quote.Attested.Nonce)))
+	dst = append(dst, q.Quote.Attested.Nonce...)
+	dst = append(dst, byte(len(q.Quote.Attested.Selection)))
+	for _, pcr := range q.Quote.Attested.Selection {
+		if pcr < 0 || pcr > 255 {
+			return dst, fmt.Errorf("%w: PCR index %d out of range", ErrBadFrame, pcr)
+		}
+		dst = append(dst, byte(pcr))
+	}
+	dst = append(dst, q.Quote.Attested.PCRDigest[:]...)
+	dst = appendU64(dst, q.Quote.Attested.FirmwareVersion)
+	dst = append(dst, byte(len(q.Quote.PCRValues)))
+	for _, v := range q.Quote.PCRValues {
+		dst = append(dst, v[:]...)
+	}
+	dst = appendU16(dst, uint16(len(q.Quote.Signature)))
+	dst = append(dst, q.Quote.Signature...)
+	dst = appendU32(dst, uint32(len(q.IMALog)))
+	dst = append(dst, q.IMALog...)
+	dst = appendU64(dst, uint64(q.Offset))
+	dst = appendU64(dst, uint64(q.TotalEntries))
+	dst = append(dst, byte(len(q.RunningKernel)))
+	dst = append(dst, q.RunningKernel...)
+	dst = appendU16(dst, uint16(len(q.MBLog)))
+	for _, ev := range q.MBLog {
+		if ev.PCR < 0 || ev.PCR > 255 || len(ev.Type) > 255 || len(ev.Description) > 0xFFFF {
+			return dst, fmt.Errorf("%w: boot event field over wire limits", ErrBadFrame)
+		}
+		digest, err := decodeDigest(ev.Digest)
+		if err != nil {
+			return dst, fmt.Errorf("%w: boot event digest: %v", ErrBadFrame, err)
+		}
+		dst = append(dst, byte(ev.PCR))
+		dst = append(dst, byte(len(ev.Type)))
+		dst = append(dst, ev.Type...)
+		dst = appendU16(dst, uint16(len(ev.Description)))
+		dst = append(dst, ev.Description...)
+		dst = append(dst, digest[:]...)
+	}
+	if q.SessionEstablished {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return dst, nil
+}
+
+// AppendSessionRound encodes a session response frame onto dst. The frame
+// is fixed-size (77 bytes) and never fails.
+func AppendSessionRound(dst []byte, s SessionRound) []byte {
+	dst = append(dst, binaryMagic...)
+	dst = append(dst, FrameSessionResponse)
+	dst = appendU64(dst, uint64(s.TotalEntries))
+	dst = append(dst, s.Composite[:]...)
+	dst = append(dst, s.MAC[:]...)
+	return dst
+}
+
+// SessionRoundSize is the exact encoded size of a session response frame.
+const SessionRoundSize = len(binaryMagic) + 1 + 8 + len(tpm.Digest{}) + macSize
+
+// ---- decoding ----
+
+// frameReader is a bounds-checked cursor over one frame. Every read
+// checks the remaining length first; on overrun it latches bad and all
+// further reads return zero values.
+type frameReader struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (r *frameReader) need(n int) bool {
+	if r.bad || n < 0 || len(r.b)-r.off < n {
+		r.bad = true
+		return false
+	}
+	return true
+}
+
+func (r *frameReader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *frameReader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := uint16(r.b[r.off])<<8 | uint16(r.b[r.off+1])
+	r.off += 2
+	return v
+}
+
+func (r *frameReader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	b := r.b[r.off:]
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	r.off += 4
+	return v
+}
+
+func (r *frameReader) u64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	b := r.b[r.off:]
+	v := uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+	r.off += 8
+	return v
+}
+
+// view returns n bytes aliasing the frame buffer (no copy).
+func (r *frameReader) view(n int) []byte {
+	if !r.need(n) {
+		return nil
+	}
+	v := r.b[r.off : r.off+n : r.off+n]
+	r.off += n
+	return v
+}
+
+// take returns an owned copy of n bytes.
+func (r *frameReader) take(n int) []byte {
+	v := r.view(n)
+	if v == nil {
+		return nil
+	}
+	return append([]byte(nil), v...)
+}
+
+func (r *frameReader) digest() (d tpm.Digest) {
+	v := r.view(len(d))
+	if v != nil {
+		copy(d[:], v)
+	}
+	return d
+}
+
+func (r *frameReader) sessionID() (id [sessionIDSize]byte) {
+	v := r.view(sessionIDSize)
+	if v != nil {
+		copy(id[:], v)
+	}
+	return id
+}
+
+// done reports whether the frame parsed cleanly with no trailing bytes.
+func (r *frameReader) done() bool {
+	return !r.bad && r.off == len(r.b)
+}
+
+func checkMagic(r *frameReader) bool {
+	m := r.view(len(binaryMagic))
+	return m != nil && string(m) == binaryMagic
+}
+
+// intLen validates a decoded length against a cap and converts to int.
+func (r *frameReader) intLen(v uint64, limit int) int {
+	if v > uint64(limit) {
+		r.bad = true
+		return 0
+	}
+	return int(v)
+}
+
+// DecodeRoundRequest parses a request frame. The returned Nonce aliases
+// data; callers that retain it past the buffer's lifetime must copy.
+func DecodeRoundRequest(data []byte) (RoundRequest, error) {
+	r := frameReader{b: data}
+	var req RoundRequest
+	if !checkMagic(&r) {
+		return req, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	req.Kind = r.u8()
+	switch req.Kind {
+	case FrameQuoteRequest:
+		req.Nonce = r.view(int(r.u8()))
+		req.Offset = r.intLen(r.u64(), MaxResponseFrame)
+		flags := r.u8()
+		if flags&^(flagEstablish|flagReplaces) != 0 {
+			return req, fmt.Errorf("%w: unknown request flags 0x%02x", ErrBadFrame, flags)
+		}
+		if flags&flagEstablish != 0 {
+			if req.EstablishID = r.sessionID(); req.EstablishID == ([sessionIDSize]byte{}) && !r.bad {
+				return req, fmt.Errorf("%w: zero establish ID", ErrBadFrame)
+			}
+		}
+		if flags&flagReplaces != 0 {
+			if req.ReplacesID = r.sessionID(); req.ReplacesID == ([sessionIDSize]byte{}) && !r.bad {
+				return req, fmt.Errorf("%w: zero replaces ID", ErrBadFrame)
+			}
+		}
+	case FrameSessionRequest:
+		if req.SessionID = r.sessionID(); req.SessionID == ([sessionIDSize]byte{}) && !r.bad {
+			return req, fmt.Errorf("%w: zero session ID", ErrBadFrame)
+		}
+		req.Nonce = r.view(int(r.u8()))
+		req.Offset = r.intLen(r.u64(), MaxResponseFrame)
+		flags := r.u8()
+		if flags&^flagEstablish != 0 {
+			return req, fmt.Errorf("%w: unknown request flags 0x%02x", ErrBadFrame, flags)
+		}
+		if flags&flagEstablish != 0 {
+			if req.EstablishID = r.sessionID(); req.EstablishID == ([sessionIDSize]byte{}) && !r.bad {
+				return req, fmt.Errorf("%w: zero establish ID", ErrBadFrame)
+			}
+		}
+	default:
+		return req, fmt.Errorf("%w: unknown request kind 0x%02x", ErrBadFrame, req.Kind)
+	}
+	if !r.done() {
+		return req, ErrBadFrame
+	}
+	return req, nil
+}
+
+// DecodeBinaryRound parses a response frame (either kind). Decoded
+// byte fields are owned copies; data may be reused after return.
+func DecodeBinaryRound(data []byte) (BinaryRound, error) {
+	r := frameReader{b: data}
+	var out BinaryRound
+	if !checkMagic(&r) {
+		return out, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	out.Kind = r.u8()
+	switch out.Kind {
+	case FrameSessionResponse:
+		out.Session.TotalEntries = r.intLen(r.u64(), MaxResponseFrame)
+		out.Session.Composite = r.digest()
+		mac := r.view(macSize)
+		if mac != nil {
+			copy(out.Session.MAC[:], mac)
+		}
+	case FrameQuoteResponse:
+		q := &out.Quote
+		q.Quote.Attested.Nonce = r.take(int(r.u16()))
+		selCount := int(r.u8())
+		if selCount > maxSelection {
+			return out, fmt.Errorf("%w: selection count %d", ErrBadFrame, selCount)
+		}
+		if r.need(selCount) {
+			q.Quote.Attested.Selection = make([]int, selCount)
+			for i := range q.Quote.Attested.Selection {
+				q.Quote.Attested.Selection[i] = int(r.u8())
+			}
+		}
+		q.Quote.Attested.PCRDigest = r.digest()
+		q.Quote.Attested.FirmwareVersion = r.u64()
+		valCount := int(r.u8())
+		if valCount > maxSelection {
+			return out, fmt.Errorf("%w: value count %d", ErrBadFrame, valCount)
+		}
+		if r.need(valCount * len(tpm.Digest{})) {
+			q.Quote.PCRValues = make([]tpm.Digest, valCount)
+			for i := range q.Quote.PCRValues {
+				q.Quote.PCRValues[i] = r.digest()
+			}
+		}
+		q.Quote.Signature = r.take(int(r.u16()))
+		logLen := r.intLen(uint64(r.u32()), MaxResponseFrame)
+		if v := r.view(logLen); v != nil {
+			q.IMALog = string(v)
+		}
+		q.Offset = r.intLen(r.u64(), MaxResponseFrame)
+		q.TotalEntries = r.intLen(r.u64(), MaxResponseFrame)
+		if v := r.view(int(r.u8())); v != nil {
+			q.RunningKernel = string(v)
+		}
+		mbCount := int(r.u16())
+		if mbCount > 0 && r.need(mbCount) { // ≥1 byte per event
+			q.MBLog = make([]WireBootEvent, 0, mbCount)
+			for i := 0; i < mbCount && !r.bad; i++ {
+				var ev WireBootEvent
+				ev.PCR = int(r.u8())
+				if v := r.view(int(r.u8())); v != nil {
+					ev.Type = string(v)
+				}
+				if v := r.view(int(r.u16())); v != nil {
+					ev.Description = string(v)
+				}
+				ev.Digest = fmt.Sprintf("%x", r.digest())
+				q.MBLog = append(q.MBLog, ev)
+			}
+		}
+		switch r.u8() {
+		case 0:
+		case 1:
+			q.SessionEstablished = true
+		default:
+			return out, fmt.Errorf("%w: bad established flag", ErrBadFrame)
+		}
+	default:
+		return out, fmt.Errorf("%w: unknown response kind 0x%02x", ErrBadFrame, out.Kind)
+	}
+	if !r.done() {
+		return out, ErrBadFrame
+	}
+	return out, nil
+}

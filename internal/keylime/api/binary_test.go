@@ -1,0 +1,217 @@
+package api
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/tpm"
+)
+
+func sampleBinQuote() tpm.Quote {
+	var digest, v0, v1, v2 tpm.Digest
+	for i := range digest {
+		digest[i] = byte(i)
+		v0[i] = byte(i * 2)
+		v1[i] = byte(i * 3)
+		v2[i] = byte(i * 5)
+	}
+	return tpm.Quote{
+		Attested: tpm.Attested{
+			Nonce:           bytes.Repeat([]byte{0xAB}, 20),
+			Selection:       []int{0, 4, 10},
+			PCRDigest:       digest,
+			FirmwareVersion: 0x0102030405060708,
+		},
+		PCRValues: []tpm.Digest{v0, v1, v2},
+		Signature: bytes.Repeat([]byte{0xCD}, 71),
+	}
+}
+
+func sampleFullRound() FullQuoteRound {
+	return FullQuoteRound{
+		Quote:         sampleBinQuote(),
+		IMALog:        "10 aa... ima-ng sha256:deadbeef /usr/bin/true\n",
+		Offset:        7,
+		TotalEntries:  9,
+		RunningKernel: "6.8.0-test",
+		MBLog: []WireBootEvent{
+			{PCR: 0, Type: "EV_POST_CODE", Description: "firmware v1", Digest: "00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff"},
+			{PCR: 4, Type: "EV_EFI_BOOT_SERVICES_APPLICATION", Description: "shim", Digest: "ffeeddccbbaa99887766554433221100ffeeddccbbaa99887766554433221100"},
+		},
+		SessionEstablished: true,
+	}
+}
+
+func TestRoundRequestRoundTrip(t *testing.T) {
+	cases := []RoundRequest{
+		{Kind: FrameQuoteRequest, Nonce: bytes.Repeat([]byte{1}, 20), Offset: 42},
+		{Kind: FrameQuoteRequest, Nonce: bytes.Repeat([]byte{2}, 20), Offset: 0,
+			EstablishID: [16]byte{1, 2, 3}, ReplacesID: [16]byte{4, 5, 6}},
+		{Kind: FrameSessionRequest, Nonce: bytes.Repeat([]byte{3}, 20), Offset: 999,
+			SessionID: [16]byte{9, 9, 9}},
+		{Kind: FrameSessionRequest, Nonce: bytes.Repeat([]byte{4}, 20), Offset: 1,
+			SessionID: [16]byte{8}, EstablishID: [16]byte{7}},
+	}
+	for i, want := range cases {
+		enc, err := AppendRoundRequest(nil, want)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		got, err := DecodeRoundRequest(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestQuoteRoundTrip(t *testing.T) {
+	want := sampleFullRound()
+	enc, err := AppendQuoteRound(nil, want)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	br, err := DecodeBinaryRound(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if br.Kind != FrameQuoteResponse {
+		t.Fatalf("kind = 0x%02x", br.Kind)
+	}
+	if !reflect.DeepEqual(br.Quote, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", br.Quote, want)
+	}
+}
+
+func TestSessionRoundTrip(t *testing.T) {
+	var want SessionRound
+	want.TotalEntries = 123456
+	for i := range want.Composite {
+		want.Composite[i] = byte(i)
+	}
+	for i := range want.MAC {
+		want.MAC[i] = byte(255 - i)
+	}
+	enc := AppendSessionRound(nil, want)
+	if len(enc) != SessionRoundSize {
+		t.Fatalf("encoded session round is %d bytes; want %d", len(enc), SessionRoundSize)
+	}
+	br, err := DecodeBinaryRound(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if br.Kind != FrameSessionResponse || !reflect.DeepEqual(br.Session, want) {
+		t.Fatalf("round trip mismatch: %+v", br)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full, err := AppendQuoteRound(nil, sampleFullRound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeBinaryRound(full[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", n, len(full))
+		}
+	}
+	sess := AppendSessionRound(nil, SessionRound{TotalEntries: 5})
+	for n := 0; n < len(sess); n++ {
+		if _, err := DecodeBinaryRound(sess[:n]); err == nil {
+			t.Fatalf("session truncation at %d/%d bytes accepted", n, len(sess))
+		}
+	}
+	req, err := AppendRoundRequest(nil, RoundRequest{Kind: FrameSessionRequest,
+		SessionID: [16]byte{1}, Nonce: bytes.Repeat([]byte{7}, 20), Offset: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(req); n++ {
+		if _, err := DecodeRoundRequest(req[:n]); err == nil {
+			t.Fatalf("request truncation at %d/%d bytes accepted", n, len(req))
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	enc := AppendSessionRound(nil, SessionRound{TotalEntries: 5})
+	if _, err := DecodeBinaryRound(append(enc, 0x00)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: err = %v; want ErrBadFrame", err)
+	}
+	req, _ := AppendRoundRequest(nil, RoundRequest{Kind: FrameQuoteRequest, Nonce: []byte{1}, Offset: 1})
+	if _, err := DecodeRoundRequest(append(req, 0xFF)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing request byte: err = %v; want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeRejectsLyingLengthPrefix(t *testing.T) {
+	enc, err := AppendQuoteRound(nil, sampleFullRound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The IMA log u32 length sits after nonce(2+20) + sel(1+3) + digest(32)
+	// + fw(8) + vals(1+96) + sig(2+71) = offsets from the 5-byte header.
+	logLenOff := 5 + 2 + 20 + 1 + 3 + 32 + 8 + 1 + 96 + 2 + 71
+	lying := append([]byte(nil), enc...)
+	lying[logLenOff] = 0xFF // claims a ~4GB log in a small buffer
+	if _, err := DecodeBinaryRound(lying); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("lying length prefix: err = %v; want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeRejectsBadMagicAndKind(t *testing.T) {
+	enc := AppendSessionRound(nil, SessionRound{})
+	bad := append([]byte(nil), enc...)
+	bad[0] = 'X'
+	if _, err := DecodeBinaryRound(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("bad magic: err = %v", err)
+	}
+	// A future/mixed version frame: right magic, unknown kind.
+	vers := append([]byte(nil), enc...)
+	vers[4] = 0x7F
+	if _, err := DecodeBinaryRound(vers); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("unknown kind: err = %v", err)
+	}
+	if _, err := DecodeRoundRequest(vers); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("response kind as request: err = %v", err)
+	}
+}
+
+func TestDecodeRejectsOversizedCounts(t *testing.T) {
+	q := sampleFullRound()
+	q.Quote.Attested.Selection = make([]int, maxSelection+1)
+	if _, err := AppendQuoteRound(nil, q); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("encode oversized selection: err = %v", err)
+	}
+	// Hand-craft a frame claiming 200 PCR values.
+	enc, err := AppendQuoteRound(nil, sampleFullRound())
+	if err != nil {
+		t.Fatal(err)
+	}
+	valCountOff := 5 + 2 + 20 + 1 + 3 + 32 + 8
+	bad := append([]byte(nil), enc...)
+	bad[valCountOff] = 200
+	if _, err := DecodeBinaryRound(bad); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized value count: err = %v", err)
+	}
+}
+
+func TestSessionRoundEncodeDecodeAllocFree(t *testing.T) {
+	var s SessionRound
+	s.TotalEntries = 10
+	buf := make([]byte, 0, 128)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendSessionRound(buf[:0], s)
+		br, err := DecodeBinaryRound(buf)
+		if err != nil || br.Kind != FrameSessionResponse {
+			t.Fatal("decode failed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("session round encode+decode allocates %.1f/op; want 0", allocs)
+	}
+}

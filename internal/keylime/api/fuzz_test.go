@@ -1,0 +1,89 @@
+package api
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBinaryRound hammers the response-frame decoder with
+// truncations, lying length prefixes, and mixed-version frames. The
+// decoder must never panic or over-read: any structural defect returns
+// ErrBadFrame, and anything it accepts must re-encode to the identical
+// bytes (so a decoded frame cannot mean something its encoding doesn't
+// say).
+func FuzzDecodeBinaryRound(f *testing.F) {
+	// Seeds: one valid frame of each kind, plus adversarial variants.
+	full, err := AppendQuoteRound(nil, sampleFullRound())
+	if err != nil {
+		f.Fatal(err)
+	}
+	sess := AppendSessionRound(nil, SessionRound{TotalEntries: 42})
+	f.Add(full)
+	f.Add(sess)
+	f.Add(full[:len(full)/2])                      // truncation
+	f.Add(append(append([]byte(nil), sess...), 0)) // trailing byte
+	f.Add([]byte("KLA1"))                          // magic only
+	f.Add([]byte("KLA2\x81"))                      // future version
+	lying := append([]byte(nil), full...)
+	lying[5] = 0xFF // nonce length prefix lies
+	f.Add(lying)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := DecodeBinaryRound(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must round-trip byte-identically.
+		var enc []byte
+		switch br.Kind {
+		case FrameSessionResponse:
+			enc = AppendSessionRound(nil, br.Session)
+		case FrameQuoteResponse:
+			enc, err = AppendQuoteRound(nil, br.Quote)
+			if err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+		default:
+			t.Fatalf("decoder accepted unknown kind 0x%02x", br.Kind)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, enc)
+		}
+	})
+}
+
+// FuzzDecodeRoundRequest gives the request decoder the same treatment.
+func FuzzDecodeRoundRequest(f *testing.F) {
+	q, err := AppendRoundRequest(nil, RoundRequest{
+		Kind: FrameQuoteRequest, Nonce: bytes.Repeat([]byte{1}, 20), Offset: 3,
+		EstablishID: [16]byte{1}, ReplacesID: [16]byte{2}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := AppendRoundRequest(nil, RoundRequest{
+		Kind: FrameSessionRequest, SessionID: [16]byte{5},
+		Nonce: bytes.Repeat([]byte{2}, 20), Offset: 9})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(q)
+	f.Add(s)
+	f.Add(q[:7])
+	f.Add([]byte("KLA1\x02"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeRoundRequest(data)
+		if err != nil {
+			return
+		}
+		enc, err := AppendRoundRequest(nil, req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, enc)
+		}
+	})
+}

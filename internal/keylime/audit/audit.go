@@ -51,8 +51,13 @@ type Record struct {
 	NewEntries      int       `json:"new_entries"`
 	VerifiedEntries int       `json:"verified_entries"`
 	RebootDetected  bool      `json:"reboot_detected"`
-	PrevHash        Hash      `json:"prev_hash"`
-	Hash            Hash      `json:"hash"`
+	// CheckLevel records which check authenticated the round ("full",
+	// "session", "full-forced") so a downgraded check can never silently
+	// stand in for a failed full one. Empty on records predating
+	// sessioned attestation.
+	CheckLevel string `json:"check_level,omitempty"`
+	PrevHash   Hash   `json:"prev_hash"`
+	Hash       Hash   `json:"hash"`
 }
 
 // sealInput canonically encodes the sealed fields.
@@ -77,6 +82,13 @@ func sealInput(r Record) []byte {
 		b.WriteByte(1)
 	} else {
 		b.WriteByte(0)
+	}
+	// CheckLevel is sealed only when present, so chains recorded before
+	// the field existed still verify byte for byte.
+	if r.CheckLevel != "" {
+		binary.BigEndian.PutUint64(u64[:], uint64(len(r.CheckLevel)))
+		b.Write(u64[:])
+		b.WriteString(r.CheckLevel)
 	}
 	return []byte(b.String())
 }
@@ -135,6 +147,7 @@ type Entry struct {
 	NewEntries      int
 	VerifiedEntries int
 	RebootDetected  bool
+	CheckLevel      string
 }
 
 // Append seals and stores a new record, returning it.
@@ -154,6 +167,7 @@ func (l *Log) Append(e Entry) (Record, error) {
 		NewEntries:      e.NewEntries,
 		VerifiedEntries: e.VerifiedEntries,
 		RebootDetected:  e.RebootDetected,
+		CheckLevel:      e.CheckLevel,
 		PrevHash:        l.head,
 	}
 	r.Hash = seal(r)

@@ -378,4 +378,95 @@ func TestClusterMembershipChurn(t *testing.T) {
 	}
 }
 
+// TestChaosFailoverSessionsForceFullQuote: sessioned attestation across a
+// failover. Sessions are established fleet-wide and their state rides the
+// replicated journal — but a session handed to a new owner is NEVER
+// resumed on the MAC fast path: the new owner forces a full quote per
+// moved agent (it did not verify the exchange that minted the key),
+// records it as a forced upgrade, then re-keys. An integrity violation
+// during the window is caught by the forced quotes, never masked by a
+// session round, and there are zero false verdicts throughout.
+func TestChaosFailoverSessionsForceFullQuote(t *testing.T) {
+	h := newHarness(t, 1, "v1", "v2", "v3")
+	lead := h.converge()
+	for _, id := range h.liveIDs() {
+		h.nodes[id].v.SetSessionPolicy(64, 0)
+	}
+	const n = 60
+	agents := h.addAgents(n)
+
+	// Sweep 1 establishes a session per agent; sweep 2 runs fleet-wide on
+	// the session MAC and the rows (including session state) replicate.
+	if st := h.sweepAll(); st.Attested != n || st.Failed != 0 || st.FullQuoteRounds != n {
+		t.Fatalf("establishing sweep = %+v", st)
+	}
+	if st := h.sweepAll(); st.Attested != n || st.Failed != 0 || st.SessionRounds != n {
+		t.Fatalf("steady sweep = %+v, want all %d rounds on the session MAC", st, n)
+	}
+
+	// Kill a non-leader mid-sweep: its in-flight sweep is abandoned, its
+	// shard (with live sessions) fails over to the survivors.
+	victim := ""
+	for _, id := range h.peers {
+		if id != lead.id {
+			victim = id
+			break
+		}
+	}
+	moved := len(h.nodes[victim].v.AgentIDs())
+	if moved == 0 {
+		t.Fatalf("victim %s owns no agents", victim)
+	}
+	sweepCtx, cancelSweep := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = h.nodes[victim].v.PollAll(sweepCtx)
+	}()
+	cancelSweep()
+	<-done
+	h.kill(victim)
+	h.converge()
+	h.assertPartitioned(agents)
+
+	// First post-failover sweep: every moved agent renegotiates via a
+	// forced full quote — the replicated session MAC is not accepted
+	// blind — and nothing fails.
+	st := h.sweepAll()
+	if st.Attested != n || st.Failed != 0 {
+		t.Fatalf("post-failover sweep = %+v, want %d attested with zero verdicts", st, n)
+	}
+	if st.ForcedUpgrades < moved {
+		t.Fatalf("forced upgrades = %d, want >= %d (every moved session renegotiated)",
+			st.ForcedUpgrades, moved)
+	}
+	if st.SessionRounds != n-moved {
+		t.Fatalf("session rounds = %d, want %d (only unmoved agents stay on the MAC)",
+			st.SessionRounds, n-moved)
+	}
+
+	// The renegotiation re-keyed: the next sweep is fleet-wide steady
+	// state again.
+	if st := h.sweepAll(); st.SessionRounds != n || st.Failed != 0 {
+		t.Fatalf("re-keyed sweep = %+v, want all %d rounds on the session MAC", st, n)
+	}
+
+	// An integrity violation now (out-of-policy execution) moves every
+	// agent's frontier: no session round may answer for it. Every round
+	// escalates to a full quote and every verdict is the true failure.
+	if err := h.mach.WriteFile("/usr/bin/rootkit", []byte("\x7fELF evil"), vfs.ModeExecutable); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.mach.Exec("/usr/bin/rootkit"); err != nil {
+		t.Fatal(err)
+	}
+	st = h.sweepAll()
+	if st.SessionRounds != 0 {
+		t.Fatalf("sweep after violation ran %d session rounds — a MAC round masked a failure", st.SessionRounds)
+	}
+	if st.Failed != n {
+		t.Fatalf("sweep after violation = %+v, want all %d agents failed", st, n)
+	}
+}
+
 var _ = policy.RuntimePolicy{} // keep the import stable across edits

@@ -298,6 +298,9 @@ func (h *harness) sweepAll() verifier.PollStats {
 		sum.Failed += st.Failed
 		sum.Degraded += st.Degraded
 		sum.Halted += st.Halted
+		sum.SessionRounds += st.SessionRounds
+		sum.FullQuoteRounds += st.FullQuoteRounds
+		sum.ForcedUpgrades += st.ForcedUpgrades
 	}
 	h.tick()
 	return sum

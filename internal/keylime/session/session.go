@@ -1,0 +1,128 @@
+// Package session implements the key schedule for sessioned attestation:
+// the per-agent symmetric session that lets steady-state rounds be
+// authenticated with an HMAC over (nonce, PCR composite, log frontier)
+// instead of a full ECDSA quote verification.
+//
+// A session is derived from a *verified* full-quote exchange and bound to
+// the TPM-backed AK identity: the HKDF salt is the AK name, and the input
+// keying material is the quote's ECDSA signature over the verifier's fresh
+// nonce (non-deterministic, produced inside the TPM, and never reused —
+// the one value both endpoints of the exchange hold that an offline party
+// cannot predict). Both sides derive the same key without an extra round
+// trip: the agent signs the quote, the verifier receives it; the key
+// exists only after the verifier has checked the signature against the
+// enrolled AK, so a session can never be minted by an agent the verifier
+// has not cryptographically identified.
+//
+// The session MAC never *replaces* verification — it only attests "nothing
+// changed since the last full quote". Any divergence (frontier, PCR
+// composite, MAC, unknown session) escalates to a full quote, and the
+// verifier's audit taxonomy records which check level authenticated every
+// round, so a downgraded check cannot silently stand in for a failed full
+// one.
+package session
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"repro/internal/tpm"
+)
+
+const (
+	// KeySize is the session key length (HKDF-SHA256 output).
+	KeySize = 32
+	// IDSize is the session identifier length.
+	IDSize = 16
+	// MACSize is the session MAC length (HMAC-SHA256).
+	MACSize = 32
+)
+
+// ID names one session between a verifier and an agent. The verifier
+// allocates it randomly when it requests establishment; it is an opaque
+// handle, carrying no secrets.
+type ID [IDSize]byte
+
+// IsZero reports whether the ID is unset.
+func (id ID) IsZero() bool { return id == ID{} }
+
+// deriveLabel domain-separates the HKDF expand step.
+const deriveLabel = "keylime-session-v1"
+
+// macLabel domain-separates session MACs from any other HMAC use of the key.
+const macLabel = "KLSM1"
+
+// macLabelBytes avoids a per-Sum string→[]byte conversion allocation.
+var macLabelBytes = []byte(macLabel)
+
+// DeriveKey derives the session key from a verified quote exchange via
+// HKDF-SHA256 (RFC 5869, extract then a single expand block):
+//
+//	PRK = HMAC-SHA256(salt = AK name, IKM = quote signature)
+//	key = HMAC-SHA256(PRK, label || session ID || nonce || 0x01)
+//
+// The AK name binds the key to the TPM-backed identity; the signature and
+// nonce bind it to one fresh, verified exchange.
+func DeriveKey(akName tpm.Digest, signature, nonce []byte, id ID) [KeySize]byte {
+	ext := hmac.New(sha256.New, akName[:])
+	ext.Write(signature)
+	prk := ext.Sum(nil)
+	exp := hmac.New(sha256.New, prk)
+	exp.Write([]byte(deriveLabel))
+	exp.Write(id[:])
+	exp.Write(nonce)
+	exp.Write([]byte{0x01})
+	var key [KeySize]byte
+	exp.Sum(key[:0])
+	return key
+}
+
+// MACer computes session MACs with a cached HMAC state, so the steady-state
+// round costs one Reset+Sum instead of re-keying SHA-256 pads every round.
+// It is NOT safe for concurrent use: callers serialize externally (the
+// verifier under the agent's poll mutex, the agent under its session-table
+// lock).
+type MACer struct {
+	h hash.Hash
+	// Scratch state lives on the (already heap-resident) MACer so the
+	// hot path passes no stack-local slices through the hash.Hash
+	// interface — which would force a heap escape per round.
+	scratch [8]byte
+	comp    tpm.Digest
+	out     [MACSize]byte
+}
+
+// NewMACer returns a MACer for the session key.
+func NewMACer(key []byte) *MACer {
+	return &MACer{h: hmac.New(sha256.New, key)}
+}
+
+// Sum writes HMAC(key, label || len(nonce) || nonce || composite || total)
+// into out. The MAC covers the verifier's fresh nonce (anti-replay), the
+// PCR composite over the quoted selection, and the measurement-log
+// frontier — exactly the state whose stability the session round attests.
+func (m *MACer) Sum(nonce []byte, composite tpm.Digest, total uint64, out *[MACSize]byte) {
+	m.sum(nonce, composite, total)
+	*out = m.out
+}
+
+// Verify recomputes the MAC and compares in constant time.
+func (m *MACer) Verify(nonce []byte, composite tpm.Digest, total uint64, mac []byte) bool {
+	m.sum(nonce, composite, total)
+	return hmac.Equal(m.out[:], mac)
+}
+
+func (m *MACer) sum(nonce []byte, composite tpm.Digest, total uint64) {
+	m.comp = composite
+	m.h.Reset()
+	m.h.Write(macLabelBytes)
+	binary.BigEndian.PutUint64(m.scratch[:], uint64(len(nonce)))
+	m.h.Write(m.scratch[:])
+	m.h.Write(nonce)
+	m.h.Write(m.comp[:])
+	binary.BigEndian.PutUint64(m.scratch[:], total)
+	m.h.Write(m.scratch[:])
+	m.h.Sum(m.out[:0])
+}

@@ -1,0 +1,165 @@
+package session
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/tpm"
+)
+
+func testInputs() (tpm.Digest, []byte, []byte, ID) {
+	var akName tpm.Digest
+	for i := range akName {
+		akName[i] = byte(i)
+	}
+	sig := bytes.Repeat([]byte{0xA5}, 70)
+	nonce := bytes.Repeat([]byte{0x3C}, 20)
+	var id ID
+	copy(id[:], "session-id-0001!")
+	return akName, sig, nonce, id
+}
+
+func TestDeriveKeyDeterministic(t *testing.T) {
+	akName, sig, nonce, id := testInputs()
+	k1 := DeriveKey(akName, sig, nonce, id)
+	k2 := DeriveKey(akName, sig, nonce, id)
+	if k1 != k2 {
+		t.Fatal("same inputs derived different keys")
+	}
+}
+
+func TestDeriveKeySensitivity(t *testing.T) {
+	akName, sig, nonce, id := testInputs()
+	base := DeriveKey(akName, sig, nonce, id)
+
+	akName2 := akName
+	akName2[0] ^= 1
+	if DeriveKey(akName2, sig, nonce, id) == base {
+		t.Fatal("AK name change did not change the key")
+	}
+	sig2 := append([]byte(nil), sig...)
+	sig2[10] ^= 1
+	if DeriveKey(akName, sig2, nonce, id) == base {
+		t.Fatal("signature change did not change the key")
+	}
+	nonce2 := append([]byte(nil), nonce...)
+	nonce2[0] ^= 1
+	if DeriveKey(akName, sig, nonce2, id) == base {
+		t.Fatal("nonce change did not change the key")
+	}
+	id2 := id
+	id2[3] ^= 1
+	if DeriveKey(akName, sig, nonce, id2) == base {
+		t.Fatal("session ID change did not change the key")
+	}
+}
+
+// TestDeriveKeyMatchesRFC5869 checks the hand-rolled HKDF against an
+// independent straight-line computation of extract+expand.
+func TestDeriveKeyMatchesRFC5869(t *testing.T) {
+	akName, sig, nonce, id := testInputs()
+
+	ext := hmac.New(sha256.New, akName[:])
+	ext.Write(sig)
+	prk := ext.Sum(nil)
+	info := append([]byte("keylime-session-v1"), id[:]...)
+	info = append(info, nonce...)
+	exp := hmac.New(sha256.New, prk)
+	exp.Write(info)
+	exp.Write([]byte{1})
+	want := exp.Sum(nil)
+
+	got := DeriveKey(akName, sig, nonce, id)
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("DeriveKey mismatch with reference HKDF:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestMACerRoundTrip(t *testing.T) {
+	akName, sig, nonce, id := testInputs()
+	key := DeriveKey(akName, sig, nonce, id)
+	var composite tpm.Digest
+	copy(composite[:], bytes.Repeat([]byte{0x7E}, len(composite)))
+
+	signer := NewMACer(key[:])
+	checker := NewMACer(key[:])
+
+	var mac [MACSize]byte
+	signer.Sum(nonce, composite, 12345, &mac)
+	if !checker.Verify(nonce, composite, 12345, mac[:]) {
+		t.Fatal("valid MAC rejected")
+	}
+
+	// Tampering with any covered field must fail verification.
+	if checker.Verify(nonce, composite, 12346, mac[:]) {
+		t.Fatal("MAC accepted with different total")
+	}
+	composite2 := composite
+	composite2[0] ^= 1
+	if checker.Verify(nonce, composite2, 12345, mac[:]) {
+		t.Fatal("MAC accepted with different composite")
+	}
+	nonce2 := append([]byte(nil), nonce...)
+	nonce2[5] ^= 1
+	if checker.Verify(nonce2, composite, 12345, mac[:]) {
+		t.Fatal("MAC accepted with different nonce (replay)")
+	}
+	mac2 := mac
+	mac2[0] ^= 1
+	if checker.Verify(nonce, composite, 12345, mac2[:]) {
+		t.Fatal("corrupted MAC accepted")
+	}
+
+	otherKey := DeriveKey(akName, append([]byte(nil), sig...), nonce, ID{9})
+	other := NewMACer(otherKey[:])
+	if other.Verify(nonce, composite, 12345, mac[:]) {
+		t.Fatal("MAC accepted under a different session key")
+	}
+}
+
+// TestMACerReuse exercises the cached-state path: repeated Sums on one
+// MACer must equal fresh HMAC computations.
+func TestMACerReuse(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, KeySize)
+	m := NewMACer(key)
+	nonce := []byte("twenty-byte-nonce-ab")
+	var composite tpm.Digest
+	for round := 0; round < 50; round++ {
+		composite[0] = byte(round)
+		total := uint64(round * 17)
+
+		var got [MACSize]byte
+		m.Sum(nonce, composite, total, &got)
+
+		ref := hmac.New(sha256.New, key)
+		var u64 [8]byte
+		ref.Write([]byte(macLabel))
+		binary.BigEndian.PutUint64(u64[:], uint64(len(nonce)))
+		ref.Write(u64[:])
+		ref.Write(nonce)
+		ref.Write(composite[:])
+		binary.BigEndian.PutUint64(u64[:], total)
+		ref.Write(u64[:])
+		want := ref.Sum(nil)
+		if !bytes.Equal(got[:], want) {
+			t.Fatalf("round %d: cached MACer diverged from fresh HMAC", round)
+		}
+	}
+}
+
+func TestMACerSumAllocFree(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, KeySize)
+	m := NewMACer(key)
+	nonce := []byte("twenty-byte-nonce-ab")
+	var composite tpm.Digest
+	var mac [MACSize]byte
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Sum(nonce, composite, 7, &mac)
+	})
+	if allocs > 0 {
+		t.Fatalf("MACer.Sum allocates %.1f/op; want 0", allocs)
+	}
+}

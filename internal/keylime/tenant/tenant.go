@@ -48,6 +48,13 @@ type StatusResponse struct {
 	// is the candidate riding in the agent's shadow slot, if any.
 	PolicyGeneration uint64 `json:"policy_generation,omitempty"`
 	ShadowGeneration uint64 `json:"shadow_generation,omitempty"`
+	// SessionActive reports whether the verifier holds a live attestation
+	// session for the agent; SessionRounds counts session-MAC rounds since
+	// the last full quote; LastCheckLevel is the depth of the most recent
+	// round ("full", "session", or "full-forced").
+	SessionActive  bool   `json:"session_active,omitempty"`
+	SessionRounds  int    `json:"session_rounds_since_full,omitempty"`
+	LastCheckLevel string `json:"last_check_level,omitempty"`
 }
 
 // WireFailure is one failure record over the wire.

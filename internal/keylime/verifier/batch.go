@@ -1,0 +1,144 @@
+package verifier
+
+// Batched quote verification: PollAll's sweep workers are sized for
+// network-bound rounds (4·GOMAXPROCS), so letting each of them run
+// CPU-bound ECDSA inline oversubscribes the cores during a burst of
+// full-quote rounds. Instead, sweep workers queue verifications to a
+// dedicated pool sized to the core count; each crypto worker drains the
+// queue in batches, verifying back to back with hot caches while the
+// sweep workers go back to waiting on sockets. Session-MAC rounds never
+// touch this path — that is the point of having them.
+
+import (
+	"crypto/ecdsa"
+	"runtime"
+	"sync"
+
+	"repro/internal/tpm"
+)
+
+// verifyBatchMax bounds how many queued jobs one worker drains at once,
+// so a burst cannot pin one worker while others idle.
+const verifyBatchMax = 32
+
+// verifyJob is one queued quote verification.
+type verifyJob struct {
+	key   *ecdsa.PublicKey
+	quote *tpm.Quote
+	nonce []byte
+
+	pcrs map[int]tpm.Digest
+	err  error
+	done chan struct{}
+}
+
+// batchVerifier is the dedicated quote-verification pool.
+type batchVerifier struct {
+	jobs chan *verifyJob
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+func newBatchVerifier(workers int) *batchVerifier {
+	b := &batchVerifier{
+		jobs: make(chan *verifyJob, workers*verifyBatchMax),
+		stop: make(chan struct{}),
+	}
+	b.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+func (b *batchVerifier) worker() {
+	defer b.wg.Done()
+	batch := make([]*verifyJob, 0, verifyBatchMax)
+	for {
+		select {
+		case <-b.stop:
+			return
+		case j := <-b.jobs:
+			batch = append(batch[:0], j)
+			// Drain whatever else is already queued, up to the batch cap.
+		drain:
+			for len(batch) < verifyBatchMax {
+				select {
+				case j := <-b.jobs:
+					batch = append(batch, j)
+				default:
+					break drain
+				}
+			}
+			for _, j := range batch {
+				j.pcrs, j.err = tpm.VerifyQuoteWithKey(j.key, *j.quote, j.nonce)
+				close(j.done)
+			}
+		}
+	}
+}
+
+// verify queues a quote verification and waits for the batch worker. If
+// the pool is shut down (or shuts down mid-wait) it verifies inline —
+// a double verification is wasted work, never a wrong answer.
+func (b *batchVerifier) verify(key *ecdsa.PublicKey, quote *tpm.Quote, nonce []byte) (map[int]tpm.Digest, error) {
+	j := &verifyJob{key: key, quote: quote, nonce: nonce, done: make(chan struct{})}
+	select {
+	case b.jobs <- j:
+	case <-b.stop:
+		return tpm.VerifyQuoteWithKey(key, *quote, nonce)
+	}
+	select {
+	case <-j.done:
+		return j.pcrs, j.err
+	case <-b.stop:
+		return tpm.VerifyQuoteWithKey(key, *quote, nonce)
+	}
+}
+
+// close stops the workers; queued jobs are abandoned (their callers fall
+// back to inline verification via the stop channel).
+func (b *batchVerifier) close() {
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// Close releases the verifier's background resources (the batch-verify
+// pool). Safe to call more than once; rounds in flight fall back to
+// inline verification.
+func (v *Verifier) Close() {
+	v.closeOnce.Do(func() {
+		v.batchOnce.Do(func() {}) // no pool may be created after Close
+		if v.batch != nil {
+			v.batch.close()
+		}
+	})
+}
+
+// batchPool returns the shared verification pool, creating it on first
+// use; nil when batching is disabled (batchWorkers < 0).
+func (v *Verifier) batchPool() *batchVerifier {
+	if v.batchWorkers < 0 {
+		return nil
+	}
+	v.batchOnce.Do(func() {
+		n := v.batchWorkers
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		v.batch = newBatchVerifier(n)
+	})
+	return v.batch
+}
+
+// verifyQuote verifies a full quote against the agent's AK, through the
+// batch pool when one is available.
+func (v *Verifier) verifyQuote(a *monitored, quote *tpm.Quote, nonce []byte) (map[int]tpm.Digest, error) {
+	if a.akKey == nil {
+		return tpm.VerifyQuote(a.akPub, *quote, nonce)
+	}
+	if b := v.batchPool(); b != nil {
+		return b.verify(a.akKey, quote, nonce)
+	}
+	return tpm.VerifyQuoteWithKey(a.akKey, *quote, nonce)
+}

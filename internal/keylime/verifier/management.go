@@ -29,6 +29,9 @@ type wireStatus struct {
 	BreakerOpenUntil  string        `json:"breaker_open_until,omitempty"`
 	PolicyGeneration  uint64        `json:"policy_generation,omitempty"`
 	ShadowGeneration  uint64        `json:"shadow_generation,omitempty"`
+	SessionActive     bool          `json:"session_active,omitempty"`
+	SessionRounds     int           `json:"session_rounds_since_full,omitempty"`
+	LastCheckLevel    string        `json:"last_check_level,omitempty"`
 	Failures          []wireFailure `json:"failures"`
 }
 
@@ -142,6 +145,9 @@ func (v *Verifier) ManagementHandler() http.Handler {
 			Breaker:           st.Breaker.String(),
 			PolicyGeneration:  st.PolicyGeneration,
 			ShadowGeneration:  st.ShadowGeneration,
+			SessionActive:     st.SessionActive,
+			SessionRounds:     st.SessionRoundsSinceFull,
+			LastCheckLevel:    st.LastCheckLevel,
 		}
 		if !st.BreakerOpenUntil.IsZero() {
 			out.BreakerOpenUntil = st.BreakerOpenUntil.UTC().Format("2006-01-02T15:04:05Z07:00")

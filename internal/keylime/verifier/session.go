@@ -1,0 +1,363 @@
+package verifier
+
+// Sessioned attestation, verifier side. After a verified full-quote
+// exchange, verifier and agent share a session key derived from the
+// quote's ECDSA signature and bound to the AK identity (package session).
+// Steady-state rounds are then authenticated with an HMAC session MAC
+// over (nonce, PCR composite, log frontier) instead of a full quote —
+// an order of magnitude cheaper — but only as long as NOTHING changed:
+//
+//   - a full quote is forced every Nth round, on session expiry, after a
+//     verifier restart or cluster failover (restored sessions are never
+//     trusted blind), and whenever the agent's frontier or composite
+//     diverges from the session's reference state;
+//   - a session MAC that fails to verify escalates to a full quote in
+//     the same round — it is an upgrade trigger, never a verdict mask;
+//   - the check level of every round (full / session / full-forced) is
+//     recorded in the Result, the Status, and the audit log, so a
+//     downgraded check can never silently stand in for a failed full one.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/session"
+	"repro/internal/tpm"
+)
+
+// CheckLevel records which check authenticated an attestation round.
+type CheckLevel int
+
+// Check levels.
+const (
+	// CheckNone: no check completed (degraded rounds).
+	CheckNone CheckLevel = iota
+	// CheckFull: a full TPM quote was verified end to end.
+	CheckFull
+	// CheckSession: a session MAC round — the agent proved, under the
+	// session key, that its state is byte-identical to the last verified
+	// full quote.
+	CheckSession
+	// CheckForcedFull: a full quote forced by escalation — session MAC
+	// failure, frontier/composite divergence, agent-side escalation, or
+	// a restored/handed-off session that must renegotiate.
+	CheckForcedFull
+)
+
+var checkLevelNames = map[CheckLevel]string{
+	CheckNone:       "",
+	CheckFull:       "full",
+	CheckSession:    "session",
+	CheckForcedFull: "full-forced",
+}
+
+// String returns the audit-taxonomy label for the check level.
+func (c CheckLevel) String() string {
+	if n, ok := checkLevelNames[c]; ok {
+		return n
+	}
+	return fmt.Sprintf("check(%d)", int(c))
+}
+
+// verifierSession is the verifier's half of one established session.
+// Mutable fields are written only inside an attestation round (under the
+// agent's pollMu) while also holding a.mu; readers hold either lock.
+type verifierSession struct {
+	id  session.ID
+	key [session.KeySize]byte
+	// mac is used only inside attestation rounds (under pollMu); MACer is
+	// not safe for concurrent use.
+	mac         *session.MACer
+	established time.Time
+	// roundsSinceFull counts session-MAC rounds since the establishing
+	// full quote; the session rotates to a full quote at every-1.
+	roundsSinceFull int
+	// composite and total are the reference state the session attests
+	// stability of: the PCR composite and log frontier at the last
+	// verified full quote.
+	composite tpm.Digest
+	total     int
+	// forceFull marks a session that must renegotiate via a full quote
+	// before being trusted again — set when the session was restored from
+	// a snapshot or handed off by the cluster layer: this verifier never
+	// verified the exchange that minted it.
+	forceFull   bool
+	forceReason string
+}
+
+// errNoBinary marks an agent that does not speak the binary attestation
+// endpoint (404/405/415 from POST /v2/quotes/attest). It is a capability
+// signal, not a comms fault: the round falls back to JSON and the agent
+// is remembered as JSON-only.
+var errNoBinary = errors.New("verifier: agent does not support binary attestation")
+
+// sessionConfig is one round's snapshot of the session/wire settings.
+type sessionConfig struct {
+	// every forces a full quote every Nth round; <= 1 disables sessions.
+	every int
+	// ttl bounds a session's lifetime; 0 = no expiry.
+	ttl time.Duration
+	// binary enables the compact binary wire format (implied by sessions).
+	binary bool
+}
+
+// WithSessionPolicy enables sessioned attestation: steady-state rounds are
+// authenticated by session MAC, with a full quote forced every Nth round
+// (every <= 1 disables sessions) and on session expiry (ttl 0 = no
+// expiry). Sessions require the binary wire format and enable it.
+func WithSessionPolicy(every int, ttl time.Duration) Option {
+	return optionFunc(func(v *Verifier) {
+		v.sessEvery = every
+		v.sessTTL = ttl
+	})
+}
+
+// WithBinaryWireFormat enables the compact binary wire format for full
+// quotes even when sessions are off. Agents that do not speak it fall
+// back to JSON per agent, permanently for the process lifetime.
+func WithBinaryWireFormat(on bool) Option {
+	return optionFunc(func(v *Verifier) { v.wireBinary = on })
+}
+
+// WithBatchVerify sets the dedicated quote-verification worker pool size
+// (default GOMAXPROCS when batching is on; pass a negative n to verify
+// inline on the sweep workers). Sweep workers queue full-quote ECDSA
+// verifications to the pool, which drains them in batches, so the
+// network-bound sweep pool is never pinned on CPU-bound crypto.
+func WithBatchVerify(workers int) Option {
+	return optionFunc(func(v *Verifier) { v.batchWorkers = workers })
+}
+
+// SetSessionPolicy changes the session policy at runtime (same semantics
+// as WithSessionPolicy). In-flight rounds finish under the old policy;
+// the next round per agent picks up the new one.
+func (v *Verifier) SetSessionPolicy(every int, ttl time.Duration) {
+	v.sessCfgMu.Lock()
+	v.sessEvery = every
+	v.sessTTL = ttl
+	v.sessCfgMu.Unlock()
+}
+
+// sessionCfg snapshots the session/wire settings for one round.
+func (v *Verifier) sessionCfg() sessionConfig {
+	v.sessCfgMu.RLock()
+	defer v.sessCfgMu.RUnlock()
+	return sessionConfig{
+		every:  v.sessEvery,
+		ttl:    v.sessTTL,
+		binary: v.wireBinary || v.sessEvery > 1,
+	}
+}
+
+// newSessionID allocates a random session identifier.
+func (v *Verifier) newSessionID() (session.ID, error) {
+	var id session.ID
+	for {
+		if err := v.nonces.next(id[:]); err != nil {
+			return session.ID{}, err
+		}
+		if !id.IsZero() { // the zero ID means "no session" on the wire
+			return id, nil
+		}
+	}
+}
+
+// dropSession clears the agent's session if it is still the given one.
+func (v *Verifier) dropSession(a *monitored, sess *verifierSession) {
+	a.mu.Lock()
+	if a.sess == sess {
+		a.sess = nil
+	}
+	a.mu.Unlock()
+}
+
+// checkSessionFrame validates a session-MAC answer against the session's
+// reference state. An empty reason means the round is authenticated;
+// any non-empty reason escalates to a forced full quote — it is never an
+// integrity verdict by itself, because the MAC path must not be able to
+// produce (or mask) one.
+func checkSessionFrame(sess *verifierSession, sr *api.SessionRound, nonce []byte, offset int) string {
+	if !sess.mac.Verify(nonce, sr.Composite, uint64(sr.TotalEntries), sr.MAC[:]) {
+		return "session MAC verification failed"
+	}
+	if sr.TotalEntries != offset || sr.TotalEntries != sess.total {
+		return "measurement-log frontier moved"
+	}
+	if sr.Composite != sess.composite {
+		return "PCR composite diverged from session reference"
+	}
+	return ""
+}
+
+// commitSessionRound commits an authenticated session-MAC round: the
+// frontier is untouched (nothing changed), the round counts as an
+// attestation, and a shadow candidate advances its clean-round counter —
+// a session round proves there were no new entries to diverge on.
+func (v *Verifier) commitSessionRound(a *monitored, sess *verifierSession, attempts int, shadowGen uint64) Result {
+	v.commsOK(a)
+	a.mu.Lock()
+	if a.sess == sess {
+		sess.roundsSinceFull++
+	}
+	a.state = StateAttesting
+	a.attestations++
+	a.lastCheck = CheckSession
+	if a.shadowPol != nil && a.shadowGen == shadowGen {
+		a.shadowRounds++
+		a.shadowClean++
+	}
+	res := Result{
+		VerifiedEntries: a.nextOffset,
+		Attempts:        attempts,
+		CheckLevel:      CheckSession,
+	}
+	a.mu.Unlock()
+	v.markDirty(a.id)
+	return res
+}
+
+// setNoBinary remembers that the agent does not speak the binary endpoint.
+func (a *monitored) setNoBinary() {
+	a.mu.Lock()
+	a.noBinary = true
+	a.mu.Unlock()
+}
+
+// fetchSessionOnce runs one session-round request. The agent either
+// answers with a session MAC frame or escalates to a full-quote frame in
+// the same round trip (establishing estID so the verifier recovers
+// without an extra exchange).
+func (v *Verifier) fetchSessionOnce(ctx context.Context, a *monitored, sessID, estID session.ID, offset int) (fetched, error) {
+	return v.fetchBinaryOnce(ctx, a, api.RoundRequest{
+		Kind:        api.FrameSessionRequest,
+		Offset:      offset,
+		SessionID:   [16]byte(sessID),
+		EstablishID: [16]byte(estID),
+	})
+}
+
+// fetchFullBinaryOnce runs one binary full-quote request, optionally
+// establishing a session under estID and retiring the session in
+// replaces.
+func (v *Verifier) fetchFullBinaryOnce(ctx context.Context, a *monitored, estID, replaces session.ID, offset int) (fetched, error) {
+	return v.fetchBinaryOnce(ctx, a, api.RoundRequest{
+		Kind:        api.FrameQuoteRequest,
+		Offset:      offset,
+		EstablishID: [16]byte(estID),
+		ReplacesID:  [16]byte(replaces),
+	})
+}
+
+// fetchBinaryOnce POSTs one binary round request and decodes the answer.
+// Error classification matches fetchQuote, plus errNoBinary for agents
+// without the endpoint.
+func (v *Verifier) fetchBinaryOnce(ctx context.Context, a *monitored, rr api.RoundRequest) (fetched, error) {
+	nonce := make([]byte, nonceSize)
+	if err := v.nonces.next(nonce); err != nil {
+		return fetched{}, permanentErr("generating nonce: %v", err)
+	}
+	rr.Nonce = nonce
+	buf := api.GetBuf()
+	defer api.PutBuf(buf)
+	frame, err := api.AppendRoundRequest((*buf)[:0], rr)
+	if err != nil {
+		return fetched{}, permanentErr("encoding round request: %v", err)
+	}
+	*buf = frame
+
+	tctx, stop := v.virtualTimeout(ctx, v.retry.RequestTimeout)
+	defer stop()
+	req, err := http.NewRequestWithContext(tctx, http.MethodPost, a.attestURL, bytes.NewReader(frame))
+	if err != nil {
+		return fetched{}, permanentErr("building attest request: %v", err)
+	}
+	req.Header.Set("Content-Type", api.ContentTypeBinary)
+	httpResp, err := v.client.Do(req)
+	if err != nil {
+		return fetched{}, transientErr("attest request: %v", err)
+	}
+	defer func() { _ = httpResp.Body.Close() }()
+	switch {
+	case httpResp.StatusCode == http.StatusOK:
+	case httpResp.StatusCode == http.StatusNotFound,
+		httpResp.StatusCode == http.StatusMethodNotAllowed,
+		httpResp.StatusCode == http.StatusUnsupportedMediaType:
+		// The agent predates (or disabled) the binary endpoint: negotiate
+		// down to JSON, permanently for this process.
+		return fetched{}, errNoBinary
+	case httpResp.StatusCode >= 500:
+		return fetched{}, transientErr("attest request: status %d", httpResp.StatusCode)
+	default:
+		return fetched{}, permanentErr("attest request: status %d", httpResp.StatusCode)
+	}
+
+	body := api.GetBuf()
+	defer api.PutBuf(body)
+	data, err := api.ReadFrame(httpResp.Body, body, api.MaxResponseFrame)
+	if err != nil {
+		return fetched{}, transientErr("reading attest response: %v", err)
+	}
+	round, err := api.DecodeBinaryRound(data)
+	if err != nil {
+		return fetched{}, transientErr("decoding attest response: %v", err)
+	}
+	f := fetched{nonce: nonce, binary: true}
+	switch round.Kind {
+	case api.FrameSessionResponse:
+		sr := round.Session
+		f.session = &sr
+	case api.FrameQuoteResponse:
+		q := round.Quote
+		f.quote = q.Quote
+		f.established = q.SessionEstablished
+		f.resp = api.QuoteResponse{
+			IMALog:        q.IMALog,
+			Offset:        q.Offset,
+			TotalEntries:  q.TotalEntries,
+			RunningKernel: q.RunningKernel,
+			MBLog:         q.MBLog,
+		}
+	}
+	return f, nil
+}
+
+// retryFetch retries fn per the retry policy, mirroring fetchWithRetry.
+// errNoBinary is not a commsError, so it returns on the first attempt.
+func (v *Verifier) retryFetch(ctx context.Context, fn func(context.Context) (fetched, error)) (fetched, int, error) {
+	backoff := v.retry.InitialBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		f, err := fn(ctx)
+		if err == nil {
+			return f, attempt, nil
+		}
+		lastErr = err
+		if attempt >= v.retry.MaxAttempts || !retryableComms(err) || ctx.Err() != nil {
+			return fetched{}, attempt, lastErr
+		}
+		if err := v.sleepBackoff(ctx, backoff); err != nil {
+			return fetched{}, attempt, lastErr
+		}
+		backoff = v.retry.nextBackoff(backoff)
+	}
+}
+
+// fetchEvidence fetches full-quote evidence: binary first (when enabled
+// and the agent speaks it), falling back to JSON on errNoBinary.
+func (v *Verifier) fetchEvidence(ctx context.Context, a *monitored, offset int, estID, replaces session.ID, useBinary bool) (fetched, int, error) {
+	if useBinary {
+		f, attempts, err := v.retryFetch(ctx, func(ctx context.Context) (fetched, error) {
+			return v.fetchFullBinaryOnce(ctx, a, estID, replaces, offset)
+		})
+		if !errors.Is(err, errNoBinary) {
+			return f, attempts, err
+		}
+		a.setNoBinary()
+	}
+	return v.fetchWithRetry(ctx, a.url, offset)
+}

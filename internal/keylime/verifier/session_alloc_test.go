@@ -1,0 +1,38 @@
+//go:build !race
+
+package verifier_test
+
+// Allocation ceiling for the steady-state session round (CI bench-smoke
+// gate). The round's computational content — request encode, agent-side
+// decode + MAC + response encode, verifier-side decode + MAC verify —
+// must stay near-allocation-free: the whole point of sessioned
+// attestation is that the per-round cost no longer scales with quote and
+// log size. The ceiling is deliberately a small integer, not zero, so an
+// incidental stdlib change does not flake the build; raising it beyond
+// that needs a deliberate edit here.
+
+import (
+	"testing"
+
+	"repro/internal/keylime/api"
+)
+
+// sessionRoundAllocCeiling is the checked-in ceiling for allocations per
+// steady-state session round (wire + MAC, both ends, transport excluded).
+const sessionRoundAllocCeiling = 2
+
+func TestSessionRoundAllocCeiling(t *testing.T) {
+	nonce, id, agentMAC, verifierMAC, composite := newSessionWireFixture(t)
+	reqBuf := make([]byte, 0, api.MaxRequestFrame)
+	rspBuf := make([]byte, 0, api.SessionRoundSize)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := sessionWireRound(reqBuf, rspBuf, nonce, id,
+			agentMAC, verifierMAC, composite, 1234); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > sessionRoundAllocCeiling {
+		t.Fatalf("session round allocates %.1f/op, ceiling %d — the MAC fast path regressed",
+			allocs, sessionRoundAllocCeiling)
+	}
+}

@@ -1,0 +1,180 @@
+package verifier_test
+
+// Session-round cost benchmarks. BenchmarkSessionRoundWire is the number
+// BENCH_pr7.json and the CI alloc gate track: the full computational
+// content of one steady-state round — verifier request encode, agent
+// decode + MAC + response encode, verifier decode + MAC verify — with the
+// HTTP transport excluded (both ends use pooled buffers on the real
+// path, so the wire work IS the round). The AttestOnce pair measures the
+// same round through the whole loopback HTTP stack for an end-to-end
+// comparison against a full-quote round.
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/keylime/agent"
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/session"
+	"repro/internal/keylime/verifier"
+	"repro/internal/machine"
+	"repro/internal/tpm"
+	"repro/internal/vfs"
+)
+
+// loopbackTransport serves every request in-process against one handler.
+type loopbackTransport struct {
+	h http.Handler
+}
+
+func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// sessionWireRound runs the computational content of one steady-state
+// session round and returns the response frame length. Both MAC halves
+// run (agent Sum, verifier Verify), as on the real path.
+func sessionWireRound(reqBuf, rspBuf []byte, nonce []byte, id session.ID,
+	agentMAC, verifierMAC *session.MACer, composite tpm.Digest, total int) (int, error) {
+	frame, err := api.AppendRoundRequest(reqBuf[:0], api.RoundRequest{
+		Kind:      api.FrameSessionRequest,
+		Nonce:     nonce,
+		Offset:    total,
+		SessionID: [16]byte(id),
+	})
+	if err != nil {
+		return 0, err
+	}
+	rr, err := api.DecodeRoundRequest(frame)
+	if err != nil {
+		return 0, err
+	}
+	var sr api.SessionRound
+	sr.TotalEntries = rr.Offset
+	sr.Composite = composite
+	agentMAC.Sum(rr.Nonce, sr.Composite, uint64(sr.TotalEntries), &sr.MAC)
+	rsp := api.AppendSessionRound(rspBuf[:0], sr)
+	round, err := api.DecodeBinaryRound(rsp)
+	if err != nil {
+		return 0, err
+	}
+	got := round.Session
+	if !verifierMAC.Verify(rr.Nonce, got.Composite, uint64(got.TotalEntries), got.MAC[:]) {
+		return 0, fmt.Errorf("session MAC did not verify")
+	}
+	return len(rsp), nil
+}
+
+func newSessionWireFixture(tb testing.TB) (nonce []byte, id session.ID,
+	agentMAC, verifierMAC *session.MACer, composite tpm.Digest) {
+	tb.Helper()
+	nonce = make([]byte, 20)
+	if _, err := rand.Read(nonce); err != nil {
+		tb.Fatalf("nonce: %v", err)
+	}
+	copy(id[:], []byte("0123456789abcdef"))
+	var key [session.KeySize]byte
+	if _, err := rand.Read(key[:]); err != nil {
+		tb.Fatalf("key: %v", err)
+	}
+	copy(composite[:], []byte("pcr-composite-reference-32-bytes"))
+	return nonce, id, session.NewMACer(key[:]), session.NewMACer(key[:]), composite
+}
+
+func BenchmarkSessionRoundWire(b *testing.B) {
+	nonce, id, agentMAC, verifierMAC, composite := newSessionWireFixture(b)
+	reqBuf := make([]byte, 0, api.MaxRequestFrame)
+	rspBuf := make([]byte, 0, api.SessionRoundSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := sessionWireRound(reqBuf, rspBuf, nonce, id, agentMAC, verifierMAC, composite, 1234)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(n), "wire-bytes/round")
+		}
+	}
+}
+
+// benchStack builds a one-agent loopback deployment for end-to-end round
+// benchmarks.
+func benchStack(b *testing.B, vOpts ...verifier.Option) (*verifier.Verifier, string) {
+	b.Helper()
+	ca, err := tpm.NewManufacturerCA(rand.Reader)
+	if err != nil {
+		b.Fatalf("NewManufacturerCA: %v", err)
+	}
+	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
+	if err != nil {
+		b.Fatalf("New machine: %v", err)
+	}
+	if err := m.WriteFile("/usr/bin/tool", []byte("\x7fELF tool"), vfs.ModeExecutable); err != nil {
+		b.Fatalf("WriteFile: %v", err)
+	}
+	if err := m.Exec("/usr/bin/tool"); err != nil {
+		b.Fatalf("Exec: %v", err)
+	}
+	akPub, err := m.TPM().CreateAK()
+	if err != nil {
+		b.Fatalf("CreateAK: %v", err)
+	}
+	pol, err := core.SnapshotPolicy(m.FS(), nil)
+	if err != nil {
+		b.Fatalf("SnapshotPolicy: %v", err)
+	}
+	ag := agent.New(m)
+	client := &http.Client{Transport: loopbackTransport{h: ag.Handler()}}
+	v := verifier.New("", append([]verifier.Option{verifier.WithHTTPClient(client)}, vOpts...)...)
+	b.Cleanup(v.Close)
+	id := "bench0000-d2f1-4a97-9ef7-75bd81c00001"
+	if err := v.AddAgentWithAK(id, "http://agent.bench.internal", akPub, pol); err != nil {
+		b.Fatalf("AddAgentWithAK: %v", err)
+	}
+	return v, id
+}
+
+func benchAttestLoop(b *testing.B, v *verifier.Verifier, id string, want verifier.CheckLevel) {
+	b.Helper()
+	ctx := context.Background()
+	res, err := v.AttestOnce(ctx, id) // warm-up: full log fetch (+ establish)
+	if err != nil || res.Failure != nil {
+		b.Fatalf("warm-up round: res=%+v err=%v", res, err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := v.AttestOnce(ctx, id)
+		if err != nil || res.Failure != nil {
+			b.Fatalf("round: res=%+v err=%v", res, err)
+		}
+		if res.CheckLevel != want {
+			b.Fatalf("check level = %v, want %v", res.CheckLevel, want)
+		}
+	}
+}
+
+func BenchmarkAttestOnceSessionRound(b *testing.B) {
+	v, id := benchStack(b, verifier.WithSessionPolicy(1<<30, 0))
+	benchAttestLoop(b, v, id, verifier.CheckSession)
+}
+
+func BenchmarkAttestOnceFullQuoteJSON(b *testing.B) {
+	v, id := benchStack(b)
+	benchAttestLoop(b, v, id, verifier.CheckFull)
+}
+
+func BenchmarkAttestOnceFullQuoteBinary(b *testing.B) {
+	v, id := benchStack(b, verifier.WithBinaryWireFormat(true))
+	benchAttestLoop(b, v, id, verifier.CheckFull)
+}

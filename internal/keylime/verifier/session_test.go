@@ -1,0 +1,489 @@
+package verifier_test
+
+// Sessioned-attestation tests: lifecycle and rotation, escalation on
+// every kind of state change, and — most importantly — the adversarial
+// suite proving a session-MAC round can never mask an integrity failure
+// a full quote would have caught (the forced-downgrade attack).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/verifier"
+	"repro/internal/simclock"
+)
+
+// sessionOpts enables sessions with a rotation count and no TTL.
+func sessionOpts(every int, extra ...verifier.Option) []verifier.Option {
+	return append([]verifier.Option{verifier.WithSessionPolicy(every, 0)}, extra...)
+}
+
+func TestSessionLifecycleAndRotation(t *testing.T) {
+	s := newStack(t, nil, sessionOpts(4)...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	// Round 1 establishes; rounds 2..4 ride the session MAC; round 5 is
+	// the scheduled rotation (a plain full quote, not a forced upgrade).
+	want := []string{"full", "session", "session", "session", "full", "session"}
+	for i, w := range want {
+		res := attest(t, s)
+		if res.Failure != nil {
+			t.Fatalf("round %d: unexpected failure %+v", i+1, res.Failure)
+		}
+		if got := res.CheckLevel.String(); got != w {
+			t.Fatalf("round %d: check level = %q, want %q", i+1, got, w)
+		}
+	}
+
+	st, err := s.v.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !st.SessionActive || st.SessionRoundsSinceFull != 1 {
+		t.Fatalf("status = active=%v rounds=%d, want active with 1 session round",
+			st.SessionActive, st.SessionRoundsSinceFull)
+	}
+	if st.LastCheckLevel != "session" {
+		t.Fatalf("LastCheckLevel = %q, want session", st.LastCheckLevel)
+	}
+	if st.Attestations != len(want) {
+		t.Fatalf("attestations = %d, want %d (session rounds count)", st.Attestations, len(want))
+	}
+	// The agent replaced the rotated-out session rather than accumulating.
+	if n := s.ag.SessionCount(); n != 1 {
+		t.Fatalf("agent sessions = %d, want 1", n)
+	}
+}
+
+func TestSessionEscalatesOnNewActivity(t *testing.T) {
+	s := newStack(t, nil, sessionOpts(1000)...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	writeExec(t, s.m, "/usr/bin/tool2", "also-ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	if res := attest(t, s); res.CheckLevel != verifier.CheckFull {
+		t.Fatalf("establishing round check = %v", res.CheckLevel)
+	}
+	if res := attest(t, s); res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("steady round check = %v", res.CheckLevel)
+	}
+
+	// New measured activity: the agent cannot answer the session request
+	// (its frontier moved), so it escalates to a full quote in the same
+	// round trip — the new entry is verified, nothing is skipped.
+	exec(t, s.m, "/usr/bin/tool2")
+	res := attest(t, s)
+	if res.CheckLevel != verifier.CheckForcedFull {
+		t.Fatalf("post-activity check = %v, want full-forced", res.CheckLevel)
+	}
+	if res.Failure != nil || res.NewEntries != 1 {
+		t.Fatalf("post-activity round = %+v, want 1 new verified entry", res)
+	}
+	// The escalation re-keyed in the same round: steady state resumes.
+	if res := attest(t, s); res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("post-escalation check = %v, want session", res.CheckLevel)
+	}
+}
+
+func TestSessionEscalationCatchesTamper(t *testing.T) {
+	// The core downgrade-attack property: an out-of-policy execution after
+	// session establishment is detected with exactly the same verdict a
+	// full-quote-every-round verifier would produce.
+	s := newStack(t, nil, sessionOpts(1000)...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	attest(t, s)
+	attest(t, s) // steady state on the session MAC
+
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	exec(t, s.m, "/usr/bin/backdoor")
+	res := attest(t, s)
+	if res.Failure == nil || res.Failure.Type != verifier.FailureNotInPolicy ||
+		res.Failure.Path != "/usr/bin/backdoor" {
+		t.Fatalf("Failure = %+v, want not-in-policy on /usr/bin/backdoor", res.Failure)
+	}
+	if res.CheckLevel != verifier.CheckForcedFull {
+		t.Fatalf("check level = %v, want full-forced (audit must show the escalation)", res.CheckLevel)
+	}
+}
+
+// binaryProxy is an attacker-in-the-middle on the binary attestation
+// endpoint: it forwards requests to the real agent and lets the test
+// rewrite the response frame bytes. Non-attest paths pass through
+// untouched (registration, JSON fallback).
+type binaryProxy struct {
+	t     *testing.T
+	srv   *httptest.Server
+	mu    sync.Mutex
+	onRsp func(req []byte, rsp []byte) []byte
+}
+
+func newBinaryProxy(t *testing.T, agentURL string) *binaryProxy {
+	t.Helper()
+	p := &binaryProxy{t: t}
+	target, err := url.Parse(agentURL)
+	if err != nil {
+		t.Fatalf("parsing agent URL: %v", err)
+	}
+	passthrough := httputil.NewSingleHostReverseProxy(target)
+	p.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != api.AttestPath {
+			passthrough.ServeHTTP(w, req)
+			return
+		}
+		reqBody, err := io.ReadAll(req.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fwd, err := http.NewRequest(http.MethodPost, agentURL+api.AttestPath, bytes.NewReader(reqBody))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fwd.Header.Set("Content-Type", req.Header.Get("Content-Type"))
+		rsp, err := http.DefaultClient.Do(fwd)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = rsp.Body.Close() }()
+		body, err := io.ReadAll(rsp.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		p.mu.Lock()
+		tamper := p.onRsp
+		p.mu.Unlock()
+		if rsp.StatusCode == http.StatusOK && tamper != nil {
+			body = tamper(reqBody, body)
+		}
+		w.WriteHeader(rsp.StatusCode)
+		_, _ = w.Write(body)
+	}))
+	t.Cleanup(p.srv.Close)
+	return p
+}
+
+func (p *binaryProxy) setTamper(fn func(req, rsp []byte) []byte) {
+	p.mu.Lock()
+	p.onRsp = fn
+	p.mu.Unlock()
+}
+
+func TestForgedSessionMACCannotProduceFalsePass(t *testing.T) {
+	// Forced-downgrade attack: after tampering with the machine, the
+	// attacker suppresses the agent's full-quote escalation and replays
+	// the last session frame that authenticated cleanly, hoping the
+	// verifier stays on the cheap path and never sees the new log entry.
+	// The replay fails (the MAC covers this round's nonce), the verifier
+	// escalates to a full quote in the same round, and the tamper is
+	// caught. At no point does a session-MAC round return a pass.
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	exec(t, s.m, "/usr/bin/tool")
+
+	proxy := newBinaryProxy(t, s.agSrv.URL)
+	v := verifier.New(s.regSrv.URL, sessionOpts(1000)...)
+	defer v.Close()
+	if err := v.AddAgent(s.m.UUID(), proxy.srv.URL, policyFromMachine(t, s.m)); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+
+	// Capture a cleanly authenticated session frame off the wire.
+	var captured []byte
+	proxy.setTamper(func(req, rsp []byte) []byte {
+		if round, err := api.DecodeBinaryRound(rsp); err == nil && round.Kind == api.FrameSessionResponse {
+			captured = append([]byte(nil), rsp...)
+		}
+		return rsp
+	})
+	if res, err := v.AttestOnce(context.Background(), s.m.UUID()); err != nil || res.Failure != nil {
+		t.Fatalf("establishing round: res=%+v err=%v", res, err)
+	}
+	if res, err := v.AttestOnce(context.Background(), s.m.UUID()); err != nil ||
+		res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("steady round: res=%+v err=%v", res, err)
+	}
+	if captured == nil {
+		t.Fatal("no session frame captured")
+	}
+
+	// Tamper the machine, then replay the stale frame at every session
+	// request while letting full-quote requests through.
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	exec(t, s.m, "/usr/bin/backdoor")
+	replays := 0
+	proxy.setTamper(func(req, rsp []byte) []byte {
+		rr, err := api.DecodeRoundRequest(req)
+		if err == nil && rr.Kind == api.FrameSessionRequest {
+			replays++
+			return captured
+		}
+		return rsp
+	})
+	res, err := v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce under replay: %v", err)
+	}
+	if replays == 0 {
+		t.Fatal("attack never engaged: no session request was replayed")
+	}
+	if res.Failure == nil || res.Failure.Path != "/usr/bin/backdoor" {
+		t.Fatalf("Failure = %+v, want the tamper caught despite the replay", res.Failure)
+	}
+	if res.CheckLevel != verifier.CheckForcedFull {
+		t.Fatalf("check level = %v, want full-forced", res.CheckLevel)
+	}
+}
+
+func TestCorruptedSessionMACEscalatesWithoutFalseFailure(t *testing.T) {
+	// The dual property: a corrupted session MAC on a CLEAN machine must
+	// not produce a false integrity failure either — MAC trouble is an
+	// escalation trigger, never a verdict.
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	exec(t, s.m, "/usr/bin/tool")
+
+	proxy := newBinaryProxy(t, s.agSrv.URL)
+	v := verifier.New(s.regSrv.URL, sessionOpts(1000)...)
+	defer v.Close()
+	if err := v.AddAgent(s.m.UUID(), proxy.srv.URL, policyFromMachine(t, s.m)); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	if res, err := v.AttestOnce(context.Background(), s.m.UUID()); err != nil || res.Failure != nil {
+		t.Fatalf("establishing round: res=%+v err=%v", res, err)
+	}
+
+	proxy.setTamper(func(req, rsp []byte) []byte {
+		if round, err := api.DecodeBinaryRound(rsp); err == nil && round.Kind == api.FrameSessionResponse {
+			sr := round.Session
+			sr.MAC[0] ^= 0xff
+			return api.AppendSessionRound(nil, sr)
+		}
+		return rsp
+	})
+	res, err := v.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce with corrupted MAC: %v", err)
+	}
+	if res.Failure != nil {
+		t.Fatalf("Failure = %+v, want none (escalation, not verdict)", res.Failure)
+	}
+	if res.CheckLevel != verifier.CheckForcedFull {
+		t.Fatalf("check level = %v, want full-forced", res.CheckLevel)
+	}
+}
+
+func TestSessionTTLForcesRotation(t *testing.T) {
+	clk := simclock.NewSimulated(time.Unix(1700000000, 0))
+	s := newStack(t, nil,
+		verifier.WithSessionPolicy(1000, 10*time.Minute),
+		verifier.WithClock(clk))
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	attest(t, s)
+	if res := attest(t, s); res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("pre-expiry check = %v", res.CheckLevel)
+	}
+	clk.Advance(11 * time.Minute)
+	res := attest(t, s)
+	if res.CheckLevel != verifier.CheckFull {
+		t.Fatalf("post-expiry check = %v, want full (scheduled rotation)", res.CheckLevel)
+	}
+	if res := attest(t, s); res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("post-rotation check = %v, want session (re-keyed)", res.CheckLevel)
+	}
+}
+
+func TestRestoredSessionNeverTrustedBlind(t *testing.T) {
+	s := newStack(t, nil, sessionOpts(1000)...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	attest(t, s)
+	if res := attest(t, s); res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("steady round check = %v", res.CheckLevel)
+	}
+
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	v2 := verifier.New(s.regSrv.URL, sessionOpts(1000)...)
+	defer v2.Close()
+	if err := v2.RestoreState(snap); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	st, err := v2.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if !st.SessionActive {
+		t.Fatal("restored verifier lost the session state")
+	}
+
+	// The restored verifier never verified the exchange that minted the
+	// session: its first round must renegotiate via a full quote even
+	// though the restored session would still MAC-verify.
+	res, err := v2.AttestOnce(context.Background(), s.m.UUID())
+	if err != nil {
+		t.Fatalf("AttestOnce after restore: %v", err)
+	}
+	if res.CheckLevel != verifier.CheckForcedFull {
+		t.Fatalf("first restored check = %v, want full-forced", res.CheckLevel)
+	}
+	if res, err := v2.AttestOnce(context.Background(), s.m.UUID()); err != nil ||
+		res.CheckLevel != verifier.CheckSession {
+		t.Fatalf("second restored round: res=%+v err=%v, want session", res, err)
+	}
+}
+
+func TestJSONOnlyAgentFallsBack(t *testing.T) {
+	// An agent without the binary endpoint (an old build, or one behind a
+	// filtering proxy) keeps attesting over JSON: sessions simply never
+	// engage for it, and no round is lost to the negotiation.
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	exec(t, s.m, "/usr/bin/tool")
+
+	noBinary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path == api.AttestPath {
+			http.NotFound(w, req)
+			return
+		}
+		resp, err := http.Get(s.agSrv.URL + req.URL.String())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer func() { _ = resp.Body.Close() }()
+		w.WriteHeader(resp.StatusCode)
+		_, _ = io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(noBinary.Close)
+
+	v := verifier.New(s.regSrv.URL, sessionOpts(4)...)
+	defer v.Close()
+	if err := v.AddAgent(s.m.UUID(), noBinary.URL, policyFromMachine(t, s.m)); err != nil {
+		t.Fatalf("AddAgent: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := v.AttestOnce(context.Background(), s.m.UUID())
+		if err != nil || res.Failure != nil {
+			t.Fatalf("round %d: res=%+v err=%v", i+1, res, err)
+		}
+		if res.CheckLevel != verifier.CheckFull && res.CheckLevel != verifier.CheckForcedFull {
+			t.Fatalf("round %d check = %v, want a full quote (JSON fallback)", i+1, res.CheckLevel)
+		}
+	}
+	st, err := v.Status(s.m.UUID())
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if st.SessionActive {
+		t.Fatal("session active for a JSON-only agent")
+	}
+}
+
+func TestAuditRecordsCheckLevel(t *testing.T) {
+	auditLog := audit.NewLog()
+	s := newStack(t, nil, sessionOpts(1000, verifier.WithAuditLog(auditLog))...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+	attest(t, s)
+	attest(t, s)
+	writeExec(t, s.m, "/usr/bin/backdoor", "evil")
+	exec(t, s.m, "/usr/bin/backdoor")
+	attest(t, s)
+
+	records := auditLog.Records()
+	if len(records) != 3 {
+		t.Fatalf("audit records = %d, want 3", len(records))
+	}
+	want := []string{"full", "session", "full-forced"}
+	for i, w := range want {
+		if records[i].CheckLevel != w {
+			t.Fatalf("record %d check level = %q, want %q", i, records[i].CheckLevel, w)
+		}
+	}
+	if records[2].Outcome != audit.OutcomeFail {
+		t.Fatalf("record 2 outcome = %v, want fail (escalation carried the verdict)", records[2].Outcome)
+	}
+	if err := audit.VerifyChain(records); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+func TestPollStatsCountsCheckLevels(t *testing.T) {
+	s := newStack(t, nil, sessionOpts(1000)...)
+	defer s.v.Close()
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	exec(t, s.m, "/usr/bin/tool")
+
+	ctx := context.Background()
+	s.v.PollAll(ctx) // full (establish)
+	s.v.PollAll(ctx) // session
+	s.v.PollAll(ctx) // session
+	writeExec(t, s.m, "/usr/bin/tool2", "x")
+	exec(t, s.m, "/usr/bin/tool2") // out of policy -> forced upgrade + failure
+	s.v.PollAll(ctx)
+
+	srv := httptest.NewServer(s.v.ManagementHandler())
+	t.Cleanup(srv.Close)
+	var report verifier.PollStatsReport
+	getJSON(t, srv.URL+"/v2/stats/poll", &report)
+	if report.Sweeps != 4 {
+		t.Fatalf("sweeps = %d, want 4", report.Sweeps)
+	}
+	c := report.Cumulative
+	if c.SessionRounds != 2 || c.FullQuoteRounds != 2 || c.ForcedUpgrades != 1 {
+		t.Fatalf("cumulative = session=%d full=%d forced=%d, want 2/2/1",
+			c.SessionRounds, c.FullQuoteRounds, c.ForcedUpgrades)
+	}
+	if report.LastSweep.ForcedUpgrades != 1 || report.LastSweep.Failed != 1 {
+		t.Fatalf("last sweep = %+v, want the forced failing round", report.LastSweep)
+	}
+}
+
+// getJSON fetches a URL and decodes its JSON body.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+}

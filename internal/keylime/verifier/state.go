@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/keylime/api"
+	"repro/internal/keylime/session"
 	"repro/internal/measuredboot"
 	"repro/internal/policy"
 	"repro/internal/tpm"
@@ -75,6 +77,19 @@ type AgentState struct {
 	ShadowCleanRounds int             `json:"shadow_clean_rounds,omitempty"`
 	ShadowWouldFail   int             `json:"shadow_would_fail,omitempty"`
 	ShadowWouldPass   int             `json:"shadow_would_pass,omitempty"`
+	// Attestation-session state (see session.go). A restored session is
+	// NEVER resumed on the MAC fast path: restoreAgent marks it
+	// force-full, so the restoring verifier (restart or cluster
+	// failover) renegotiates via a full quote before trusting any
+	// session MAC — a replicated session must not let a new owner accept
+	// downgraded evidence it never verified the provenance of.
+	SessionID          string     `json:"session_id,omitempty"`
+	SessionKey         string     `json:"session_key,omitempty"`
+	SessionEstablished *time.Time `json:"session_established,omitempty"`
+	SessionRounds      int        `json:"session_rounds,omitempty"`
+	SessionComposite   string     `json:"session_composite,omitempty"`
+	SessionTotal       int        `json:"session_total,omitempty"`
+	LastCheckLevel     int        `json:"last_check_level,omitempty"`
 }
 
 // Snapshot is the verifier's full serialized agent table.
@@ -152,6 +167,16 @@ func exportAgentLocked(a *monitored) (*AgentState, error) {
 			}
 		}
 		as.PolicyGeneration = a.policyGen
+		as.LastCheckLevel = int(a.lastCheck)
+		if s := a.sess; s != nil {
+			as.SessionID = hex.EncodeToString(s.id[:])
+			as.SessionKey = base64.StdEncoding.EncodeToString(s.key[:])
+			t := s.established
+			as.SessionEstablished = &t
+			as.SessionRounds = s.roundsSinceFull
+			as.SessionComposite = hex.EncodeToString(s.composite[:])
+			as.SessionTotal = s.total
+		}
 		if a.shadowPol != nil {
 			shadowJSON, err := json.Marshal(a.shadowPol)
 			if err != nil {
@@ -319,13 +344,17 @@ func restoreAgent(as AgentState) (*monitored, error) {
 		url:             as.URL,
 		akPub:           akPub,
 		akKey:           akKey,
+		akName:          tpm.AKName(akPub),
+		attestURL:       as.URL + api.AttestPath,
 		pol:             pol,
 		state:           restoreStateEnum(as.State),
 		halted:          as.Halted,
 		nextOffset:      as.NextOffset,
 		prefixAggregate: prefix,
 		attestations:    as.Attestations,
+		lastCheck:       restoreCheckLevelEnum(as.LastCheckLevel),
 	}
+	a.sess = restoreSession(as)
 	for _, f := range as.Failures {
 		a.failures = append(a.failures, Failure{
 			Time: f.Time, Type: FailureType(f.Type), Path: f.Path, Detail: f.Detail,
@@ -372,6 +401,55 @@ func restoreAgent(as AgentState) (*monitored, error) {
 		a.bootGolden = g
 	}
 	return a, nil
+}
+
+// restoreSession rebuilds the persisted session, always marked force-full:
+// this verifier did not negotiate it, so the next round must renegotiate
+// via a full quote instead of trusting the replicated MAC state blind. A
+// malformed session row is dropped (nil) rather than failing the agent —
+// sessions are disposable and renegotiate on the next round anyway.
+func restoreSession(as AgentState) *verifierSession {
+	if as.SessionID == "" {
+		return nil
+	}
+	idRaw, err := hex.DecodeString(as.SessionID)
+	if err != nil || len(idRaw) != session.IDSize {
+		return nil
+	}
+	keyRaw, err := base64.StdEncoding.DecodeString(as.SessionKey)
+	if err != nil || len(keyRaw) != session.KeySize {
+		return nil
+	}
+	compRaw, err := hex.DecodeString(as.SessionComposite)
+	if err != nil || len(compRaw) != len(tpm.Digest{}) {
+		return nil
+	}
+	s := &verifierSession{
+		roundsSinceFull: as.SessionRounds,
+		total:           as.SessionTotal,
+		forceFull:       true,
+		forceReason:     "restored from snapshot",
+	}
+	copy(s.id[:], idRaw)
+	copy(s.key[:], keyRaw)
+	copy(s.composite[:], compRaw)
+	s.mac = session.NewMACer(s.key[:])
+	if as.SessionEstablished != nil {
+		s.established = *as.SessionEstablished
+	}
+	return s
+}
+
+// restoreCheckLevelEnum converts a persisted int back to a CheckLevel,
+// defaulting to CheckNone for unknown values.
+func restoreCheckLevelEnum(i int) CheckLevel {
+	c := CheckLevel(i)
+	switch c {
+	case CheckNone, CheckFull, CheckSession, CheckForcedFull:
+		return c
+	default:
+		return CheckNone
+	}
 }
 
 // restoreStateEnum converts a persisted int back to a State value,

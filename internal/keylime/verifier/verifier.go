@@ -37,6 +37,7 @@ import (
 	"repro/internal/keylime/api"
 	"repro/internal/keylime/audit"
 	"repro/internal/keylime/httppool"
+	"repro/internal/keylime/session"
 	"repro/internal/measuredboot"
 	"repro/internal/policy"
 	"repro/internal/simclock"
@@ -169,6 +170,9 @@ type Result struct {
 	// entries against the shadow candidate, when one is installed.
 	ShadowWouldFail int
 	ShadowWouldPass int
+	// CheckLevel records which check authenticated this round (full,
+	// session, full-forced); CheckNone on degraded rounds.
+	CheckLevel CheckLevel
 }
 
 // Status is the externally visible state of a monitored agent.
@@ -197,6 +201,15 @@ type Status struct {
 	// ShadowGeneration is the generation occupying the shadow slot (0 =
 	// empty); see ShadowStatus for the evaluation detail.
 	ShadowGeneration uint64
+	// SessionActive reports an established attestation session; the next
+	// steady-state round will be a session-MAC round.
+	SessionActive bool
+	// SessionRoundsSinceFull counts session-MAC rounds since the last
+	// full quote.
+	SessionRoundsSinceFull int
+	// LastCheckLevel is the check level of the last completed round
+	// ("full", "session", "full-forced"; empty before the first round).
+	LastCheckLevel string
 }
 
 // Sentinel errors.
@@ -234,6 +247,11 @@ type monitored struct {
 	// valid PKIX DER, in which case rounds fall back to the per-round
 	// parse and fail with the same FailureQuoteInvalid as before.
 	akKey *ecdsa.PublicKey
+	// akName is the TPM name of the enrolled AK — the session key
+	// schedule's salt, binding sessions to the TPM-backed identity.
+	akName tpm.Digest
+	// attestURL is the agent's binary attestation endpoint.
+	attestURL string
 
 	// mu guards everything below.
 	mu              sync.Mutex
@@ -264,6 +282,14 @@ type monitored struct {
 	shadowWouldFail   int
 	shadowWouldPass   int
 	shadowDivergences []ShadowDivergence
+
+	// Sessioned attestation (see session.go): sess is the established
+	// session (nil = none; the next round runs a full quote), noBinary
+	// remembers an agent that does not speak the binary wire format, and
+	// lastCheck is the check level of the last completed round.
+	sess      *verifierSession
+	noBinary  bool
+	lastCheck CheckLevel
 }
 
 // isRemoved reports whether the agent was unenrolled after this round
@@ -439,6 +465,28 @@ type Verifier struct {
 	// owns every agent. ownsMu is a leaf lock.
 	ownsMu sync.RWMutex
 	ownsFn func(agentID string) bool
+
+	// Sessioned attestation / wire format settings (see session.go).
+	// sessCfgMu is a leaf lock guarding the three settings so
+	// SetSessionPolicy can change them at runtime.
+	sessCfgMu  sync.RWMutex
+	sessEvery  int
+	sessTTL    time.Duration
+	wireBinary bool
+
+	// Batched quote verification (see batch.go): the pool is created
+	// lazily on the first full-quote verification. batchWorkers < 0
+	// disables batching (inline verification).
+	batchWorkers int
+	batchOnce    sync.Once
+	batch        *batchVerifier
+	closeOnce    sync.Once
+
+	// Cumulative PollAll counters served by the "poll" stats provider
+	// (guarded by statsMu).
+	pollSweeps int
+	pollTotals PollStats
+	pollLast   PollStats
 }
 
 // defaultPollConcurrency sizes the PollAll worker pool to the host:
@@ -480,6 +528,7 @@ func New(registrarURL string, opts ...Option) *Verifier {
 		v.client = httppool.NewClient(v.pollConcurrency)
 	}
 	v.nonces = newNonceSource(v.rng)
+	v.RegisterStats("poll", v.pollStatsSnapshot)
 	return v
 }
 
@@ -558,12 +607,14 @@ func (v *Verifier) AddAgentWithAK(agentID, agentURL string, akPub []byte, pol *p
 	// same invalid-quote failure the per-round parse used to produce.
 	akKey, _ := tpm.ParseAKPublic(akPub)
 	a := &monitored{
-		id:    agentID,
-		url:   agentURL,
-		akPub: append([]byte(nil), akPub...),
-		akKey: akKey,
-		pol:   pol.Clone(),
-		state: StateStart,
+		id:        agentID,
+		url:       agentURL,
+		akPub:     append([]byte(nil), akPub...),
+		akKey:     akKey,
+		akName:    tpm.AKName(akPub),
+		attestURL: agentURL + api.AttestPath,
+		pol:       pol.Clone(),
+		state:     StateStart,
 	}
 	if !v.agents.insert(agentID, a) {
 		return fmt.Errorf("%w: %s", ErrDuplicate, agentID)
@@ -657,6 +708,9 @@ func (v *Verifier) SetBootGolden(agentID string, g measuredboot.Golden) error {
 	}
 	a.mu.Lock()
 	a.bootGolden = cp
+	// The evaluation basis changed: a session round (which skips boot
+	// validation by construction) must not bridge it — force a full quote.
+	a.sess = nil
 	a.mu.Unlock()
 	v.markDirty(agentID)
 	return nil
@@ -676,6 +730,8 @@ func (v *Verifier) Resume(agentID string) error {
 	a.halted = false
 	a.consecutiveFaults = 0
 	a.breaker.recordSuccess()
+	// Whatever the operator fixed, the next round re-verifies in full.
+	a.sess = nil
 	if a.state == StateFailed || a.state == StateDegraded || a.state == StateQuarantined {
 		a.state = StateAttesting
 	}
@@ -705,6 +761,14 @@ func (v *Verifier) Status(agentID string) (Status, error) {
 		BreakerOpenUntil:  a.breaker.openUntil,
 		PolicyGeneration:  a.policyGen,
 		ShadowGeneration:  a.shadowGen,
+		SessionActive:     a.sess != nil,
+		SessionRoundsSinceFull: func() int {
+			if a.sess != nil {
+				return a.sess.roundsSinceFull
+			}
+			return 0
+		}(),
+		LastCheckLevel: a.lastCheck.String(),
 	}, nil
 }
 
@@ -726,6 +790,9 @@ func (v *Verifier) fail(a *monitored, f Failure) *Failure {
 	a.mu.Lock()
 	a.failures = append(a.failures, f)
 	a.state = StateFailed
+	// An integrity failure invalidates the session: the next round must
+	// re-verify the full evidence chain, never coast on a MAC.
+	a.sess = nil
 	if !v.continueOnFailure {
 		a.halted = true
 	}
@@ -801,6 +868,7 @@ func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, erro
 			NewEntries:      res.NewEntries,
 			VerifiedEntries: res.VerifiedEntries,
 			RebootDetected:  res.RebootDetected,
+			CheckLevel:      res.CheckLevel.String(),
 		}
 		if res.Failure != nil {
 			entry.Outcome = audit.OutcomeFail
@@ -847,8 +915,9 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	bootGolden := a.bootGolden
 	shadowPol := a.shadowPol
 	shadowGen := a.shadowGen
+	sess := a.sess
+	noBinary := a.noBinary
 	a.mu.Unlock()
-	agentURL := a.url
 
 	if v.roundDeadline > 0 {
 		var stopRound func()
@@ -856,19 +925,91 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		defer stopRound()
 	}
 
+	cfg := v.sessionCfg()
+	useBinary := cfg.binary && !noBinary
+	sessionsOn := useBinary && cfg.every > 1
+
+	// Round decision: a session-MAC round runs only for a live session
+	// this verifier negotiated itself, below its rotation count and TTL.
+	// Everything else — including a session restored from a snapshot or
+	// handed off by the cluster layer — runs a full quote; restored
+	// sessions are never trusted blind. estID is the fresh session ID any
+	// full quote this round may establish (also sent with session
+	// requests as a renew hint, so an agent-side escalation re-keys in
+	// the same round trip).
+	checkLevel := CheckFull
+	var estID session.ID
+	if sessionsOn {
+		if id, iderr := v.newSessionID(); iderr == nil {
+			estID = id
+		}
+	}
+	trySession := sessionsOn && sess != nil && !sess.forceFull && !estID.IsZero() &&
+		sess.roundsSinceFull < cfg.every-1 &&
+		(cfg.ttl <= 0 || now.Sub(sess.established) < cfg.ttl)
+	if sessionsOn && sess != nil && sess.forceFull {
+		checkLevel = CheckForcedFull
+	}
+	var replaces session.ID
+	if sess != nil {
+		replaces = sess.id
+	}
+
 	// Infrastructure faults (transport errors, timeouts, bad statuses,
 	// garbled bodies) are retried per the retry policy and, when the whole
 	// round fails, recorded as a transient fault — never as an instant
 	// integrity verdict.
-	resp, attempts, err := v.fetchWithRetry(ctx, agentURL, offset)
-	if err != nil {
-		if a.isRemoved() {
-			return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+	var resp fetched
+	var attempts int
+	var err error
+	needFull := true
+
+	if trySession {
+		resp, attempts, err = v.retryFetch(ctx, func(ctx context.Context) (fetched, error) {
+			return v.fetchSessionOnce(ctx, a, sess.id, estID, offset)
+		})
+		switch {
+		case errors.Is(err, errNoBinary):
+			// The agent lost the binary endpoint (restart, downgrade):
+			// the session cannot be checked — renegotiate over JSON.
+			a.setNoBinary()
+			v.dropSession(a, sess)
+			useBinary, sessionsOn = false, false
+			checkLevel = CheckForcedFull
+			err = nil
+		case err != nil:
+			return v.roundFault(a, agentID, now, attempts, err)
+		case resp.session != nil:
+			if reason := checkSessionFrame(sess, resp.session, resp.nonce, offset); reason == "" {
+				if a.isRemoved() {
+					return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+				}
+				if oerr := v.checkOwned(agentID); oerr != nil {
+					return Result{}, oerr
+				}
+				return v.commitSessionRound(a, sess, attempts, shadowGen), nil
+			}
+			// Divergence or MAC failure: drop the session and escalate to
+			// a fresh full quote in this same round. The full quote — not
+			// the failed session check — decides the verdict.
+			v.dropSession(a, sess)
+			checkLevel = CheckForcedFull
+		default:
+			// The agent answered the session request with a full quote
+			// (unknown/expired session or moved state on its side),
+			// already establishing estID: no extra round trip needed.
+			checkLevel = CheckForcedFull
+			needFull = false
 		}
-		if oerr := v.checkOwned(agentID); oerr != nil {
-			return Result{}, oerr
+	}
+
+	if needFull {
+		var fullAttempts int
+		resp, fullAttempts, err = v.fetchEvidence(ctx, a, offset, estID, replaces, useBinary)
+		attempts += fullAttempts
+		if err != nil {
+			return v.roundFault(a, agentID, now, attempts, err)
 		}
-		return v.commsFault(a, now, attempts, err), nil
 	}
 	rebooted := false
 	if resp.resp.TotalEntries < offset {
@@ -879,16 +1020,10 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		rebooted = true
 		offset = 0
 		var refetchAttempts int
-		resp, refetchAttempts, err = v.fetchWithRetry(ctx, agentURL, 0)
+		resp, refetchAttempts, err = v.fetchEvidence(ctx, a, 0, estID, replaces, useBinary)
 		attempts += refetchAttempts
 		if err != nil {
-			if a.isRemoved() {
-				return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
-			}
-			if oerr := v.checkOwned(agentID); oerr != nil {
-				return Result{}, oerr
-			}
-			return v.commsFault(a, now, attempts, err), nil
+			return v.roundFault(a, agentID, now, attempts, err)
 		}
 	}
 	if a.isRemoved() {
@@ -904,22 +1039,25 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	}
 	v.commsOK(a)
 
-	quote, err := api.DecodeQuote(resp.resp.Quote)
-	if err != nil {
-		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
+	// Binary rounds carry the quote structurally; JSON rounds decode it
+	// from the base64/hex wire form.
+	quote := resp.quote
+	if !resp.binary {
+		quote, err = api.DecodeQuote(resp.resp.Quote)
+		if err != nil {
+			return Result{CheckLevel: checkLevel,
+				Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
+		}
 	}
-	var pcrs map[int]tpm.Digest
-	if a.akKey != nil {
-		pcrs, err = tpm.VerifyQuoteWithKey(a.akKey, quote, resp.nonce)
-	} else {
-		pcrs, err = tpm.VerifyQuote(a.akPub, quote, resp.nonce)
-	}
+	pcrs, err := v.verifyQuote(a, &quote, resp.nonce)
 	if err != nil {
-		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
+		return Result{CheckLevel: checkLevel,
+			Failure: v.fail(a, Failure{Time: now, Type: FailureQuoteInvalid, Detail: err.Error()})}, nil
 	}
 	entries, err := ima.ParseLog(resp.resp.IMALog)
 	if err != nil {
-		return Result{Failure: v.fail(a, Failure{Time: now, Type: FailureLogTampered, Detail: err.Error()})}, nil
+		return Result{CheckLevel: checkLevel,
+			Failure: v.fail(a, Failure{Time: now, Type: FailureLogTampered, Detail: err.Error()})}, nil
 	}
 
 	// Measured boot validation (when a golden reference state is set):
@@ -928,11 +1066,11 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if bootGolden != nil {
 		mbLog, err := api.DecodeBootLog(resp.resp.MBLog)
 		if err != nil {
-			return Result{RebootDetected: rebooted,
+			return Result{RebootDetected: rebooted, CheckLevel: checkLevel,
 				Failure: v.fail(a, Failure{Time: now, Type: FailureMeasuredBoot, Detail: err.Error()})}, nil
 		}
 		if err := bootGolden.Validate(mbLog, pcrs); err != nil {
-			return Result{RebootDetected: rebooted,
+			return Result{RebootDetected: rebooted, CheckLevel: checkLevel,
 				Failure: v.fail(a, Failure{Time: now, Type: FailureMeasuredBoot, Detail: err.Error()})}, nil
 		}
 	}
@@ -953,7 +1091,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if invalid >= 0 {
 		f := Failure{Time: now, Type: FailureLogTampered, Path: entries[invalid].Path,
 			Detail: "template hash does not match entry fields"}
-		return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
+		return Result{RebootDetected: rebooted, CheckLevel: checkLevel, Failure: v.fail(a, f)}, nil
 	}
 	aggregate := prefix
 	if len(entries) > 0 {
@@ -962,7 +1100,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if aggregate != pcrs[tpm.PCRIMA] {
 		f := Failure{Time: now, Type: FailureAggregateMismatch,
 			Detail: "IMA log replay does not match quoted PCR 10"}
-		return Result{RebootDetected: rebooted, Failure: v.fail(a, f)}, nil
+		return Result{RebootDetected: rebooted, CheckLevel: checkLevel, Failure: v.fail(a, f)}, nil
 	}
 
 	// Policy evaluation, entry by entry. Under stop-on-failure (Keylime's
@@ -1037,7 +1175,24 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 	if firstFailure == nil {
 		a.state = StateAttesting
 		a.attestations++
+		if sessionsOn && resp.established && !estID.IsZero() {
+			// The agent derived the same key from this verified exchange;
+			// the session's reference state is the just-verified quote.
+			key := session.DeriveKey(a.akName, quote.Signature, resp.nonce, estID)
+			a.sess = &verifierSession{
+				id:          estID,
+				key:         key,
+				mac:         session.NewMACer(key[:]),
+				established: now,
+				composite:   quote.Attested.PCRDigest,
+				total:       offset + verified,
+			}
+		} else if sess != nil && a.sess == sess {
+			// A full round that did not (re)establish retires the session.
+			a.sess = nil
+		}
 	}
+	a.lastCheck = checkLevel
 	// Commit the round's shadow evaluation — only if the slot still holds
 	// the generation this round snapshotted (a concurrent rollout step may
 	// have replaced or cleared the candidate mid-round).
@@ -1063,6 +1218,7 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 		Attempts:        attempts,
 		ShadowWouldFail: shadowWF,
 		ShadowWouldPass: shadowWP,
+		CheckLevel:      checkLevel,
 	}
 	a.mu.Unlock()
 	v.markDirty(agentID)
@@ -1072,6 +1228,29 @@ func (v *Verifier) attestOnce(ctx context.Context, agentID string) (Result, erro
 type fetched struct {
 	resp  api.QuoteResponse
 	nonce []byte
+	// binary marks evidence that arrived on the binary wire format:
+	// quote then carries the structural quote (resp.Quote stays empty)
+	// and established reports whether the agent installed the session
+	// the request asked to establish.
+	binary      bool
+	quote       tpm.Quote
+	established bool
+	// session is the agent's session-MAC answer, when the round was a
+	// session round the agent did not escalate.
+	session *api.SessionRound
+}
+
+// roundFault finishes a round whose evidence fetch failed: removal and
+// ownership changes observed mid-flight abort without a verdict,
+// anything else records a transient comms fault.
+func (v *Verifier) roundFault(a *monitored, agentID string, now time.Time, attempts int, err error) (Result, error) {
+	if a.isRemoved() {
+		return Result{}, fmt.Errorf("%w: %s", ErrRemoved, agentID)
+	}
+	if oerr := v.checkOwned(agentID); oerr != nil {
+		return Result{}, oerr
+	}
+	return v.commsFault(a, now, attempts, err), nil
 }
 
 // fetchQuote challenges the agent with a fresh nonce. Each attempt is
@@ -1136,6 +1315,16 @@ type PollStats struct {
 	NotOwned int
 	// Errors counts other round errors.
 	Errors int
+	// SessionRounds counts attested rounds authenticated by session MAC.
+	SessionRounds int
+	// FullQuoteRounds counts attested rounds authenticated by a full
+	// quote (scheduled or forced).
+	FullQuoteRounds int
+	// ForcedUpgrades counts full-quote rounds that were escalations: a
+	// session existed but was refused (MAC failure, state divergence,
+	// agent escalation, restored/handed-off session). Always a subset of
+	// FullQuoteRounds.
+	ForcedUpgrades int
 }
 
 // add folds o into s.
@@ -1148,6 +1337,9 @@ func (s *PollStats) add(o PollStats) {
 	s.Removed += o.Removed
 	s.NotOwned += o.NotOwned
 	s.Errors += o.Errors
+	s.SessionRounds += o.SessionRounds
+	s.FullQuoteRounds += o.FullQuoteRounds
+	s.ForcedUpgrades += o.ForcedUpgrades
 }
 
 // record classifies one round outcome into the stats.
@@ -1171,6 +1363,15 @@ func (s *PollStats) record(res Result, err error) {
 		s.Attested++
 		if res.Failure != nil {
 			s.Failed++
+		}
+		switch res.CheckLevel {
+		case CheckSession:
+			s.SessionRounds++
+		case CheckFull:
+			s.FullQuoteRounds++
+		case CheckForcedFull:
+			s.FullQuoteRounds++
+			s.ForcedUpgrades++
 		}
 	}
 }
@@ -1215,7 +1416,41 @@ func (v *Verifier) PollAll(ctx context.Context) PollStats {
 	for i := range stats {
 		st.add(stats[i])
 	}
+	v.notePoll(st)
 	return st
+}
+
+// notePoll folds one sweep's stats into the cumulative counters served
+// by the "poll" stats provider.
+func (v *Verifier) notePoll(st PollStats) {
+	v.statsMu.Lock()
+	v.pollSweeps++
+	v.pollTotals.add(st)
+	v.pollLast = st
+	v.statsMu.Unlock()
+}
+
+// PollStatsReport is the "poll" stats provider's payload
+// (GET /v2/stats/poll): cumulative counters across all sweeps plus the
+// last completed sweep. The session/full-quote/forced-upgrade split is
+// what lets an operator confirm the fleet is riding the session fast
+// path — and spot a fleet-wide forced-upgrade spike, which means state
+// is churning or something is replaying MACs.
+type PollStatsReport struct {
+	Sweeps     int       `json:"sweeps"`
+	Cumulative PollStats `json:"cumulative"`
+	LastSweep  PollStats `json:"last_sweep"`
+}
+
+// pollStatsSnapshot is the registered "poll" stats provider.
+func (v *Verifier) pollStatsSnapshot() any {
+	v.statsMu.Lock()
+	defer v.statsMu.Unlock()
+	return PollStatsReport{
+		Sweeps:     v.pollSweeps,
+		Cumulative: v.pollTotals,
+		LastSweep:  v.pollLast,
+	}
 }
 
 // Run polls every monitored agent at the configured interval until the

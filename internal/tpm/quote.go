@@ -71,6 +71,31 @@ func compositeDigest(values []Digest) Digest {
 	return out
 }
 
+// PCRComposite returns the composite digest over the selected PCRs — the
+// same digest a Quote attests (compositeDigest over the selection in
+// order) — without producing a signature. It is the cheap TPM read behind
+// sessioned attestation's steady-state round, and allocates nothing.
+func (t *TPM) PCRComposite(selection []int) (Digest, error) {
+	if len(selection) == 0 {
+		return Digest{}, ErrEmptySelection
+	}
+	if len(selection) > NumPCRs {
+		return Digest{}, fmt.Errorf("%w: selection of %d", ErrPCRIndex, len(selection))
+	}
+	var buf [NumPCRs * DigestSize]byte
+	b := &t.pcrs
+	b.mu.RLock()
+	for i, idx := range selection {
+		if idx < 0 || idx >= NumPCRs {
+			b.mu.RUnlock()
+			return Digest{}, fmt.Errorf("%w: %d", ErrPCRIndex, idx)
+		}
+		copy(buf[i*DigestSize:], b.pcrs[idx][:])
+	}
+	b.mu.RUnlock()
+	return sha256.Sum256(buf[:len(selection)*DigestSize]), nil
+}
+
 // Quote produces a signed attestation of the selected PCRs with the given
 // qualifying nonce (TPM2_Quote).
 func (t *TPM) Quote(nonce []byte, selection []int) (Quote, error) {
