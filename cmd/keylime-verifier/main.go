@@ -43,6 +43,7 @@ import (
 	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -75,6 +76,13 @@ func run() error {
 			"state persistence mode: journal (incremental, crash-safe) or snapshot (legacy full-file)")
 		stateLenient = flag.Bool("state-lenient", false,
 			"skip-and-report corrupt state rows on restore instead of refusing to start")
+		persistBatch = flag.Int("persist-batch", 256,
+			"max journal records committed per fsync: the sweep's dirty agent rows and "+
+				"audit records are batched into single write vectors and the audit/outbox "+
+				"journals group-commit concurrent appends (0 restores per-record fsyncs)")
+		persistMaxDelay = flag.Duration("persist-max-delay", 2*time.Millisecond,
+			"longest a group-committed audit/outbox append waits for batch "+
+				"co-travellers before its fsync is issued anyway")
 		auditPath  = flag.String("audit-log", "", "append the durable attestation journal at this path")
 		outboxPath = flag.String("outbox", "", "journal revocation notifications here for "+
 			"at-least-once delivery across restarts (requires -webhook)")
@@ -194,11 +202,24 @@ func run() error {
 		verifier.WithBatchVerify(*cryptoWorkers),
 	}
 
+	// Every durable write goes through one counting filesystem so the
+	// persist stats provider reports real Write/Sync syscall counts — the
+	// number an operator needs to confirm group commit is actually
+	// holding a sweep to a handful of fsyncs.
+	iofs := store.NewCountingFS(store.OS())
+	groupCommit := *persistBatch > 0
+	var jopts []store.JournalOption
+	if groupCommit {
+		jopts = append(jopts, store.WithGroupCommit(*persistMaxDelay, *persistBatch))
+	}
+
 	// Audit: every sealed record is journaled and fsynced before the
-	// verifier acknowledges the round — the durable chain always ends at
-	// the last recorded verdict.
+	// verifier acknowledges it — the durable chain always ends at the
+	// last recorded verdict. With -persist-batch the whole sweep commits
+	// as one write vector under a single fsync (batch granularity, same
+	// commit-before-ack ordering).
 	if *auditPath != "" {
-		jl, err := audit.OpenJournal(store.OS(), *auditPath)
+		jl, err := audit.OpenJournal(iofs, *auditPath, jopts...)
 		if err != nil {
 			return fmt.Errorf("opening audit journal: %w", err)
 		}
@@ -206,7 +227,7 @@ func run() error {
 		if n := jl.Recovered(); n > 0 {
 			fmt.Printf("audit journal %s: recovered %d records\n", *auditPath, n)
 		}
-		opts = append(opts, verifier.WithAuditLog(jl.Log))
+		opts = append(opts, verifier.WithAuditLog(jl.Log), verifier.WithAuditBatch(groupCommit))
 	}
 
 	var notifier *webhook.Notifier
@@ -217,7 +238,7 @@ func run() error {
 			Secret:    []byte(*webhookKey),
 		}
 		if *outboxPath != "" {
-			ob, err := webhook.OpenOutbox(store.OS(), *outboxPath)
+			ob, err := webhook.OpenOutbox(iofs, *outboxPath, jopts...)
 			if err != nil {
 				return fmt.Errorf("opening outbox: %w", err)
 			}
@@ -250,15 +271,29 @@ func run() error {
 		fmt.Printf("pprof listening on %s\n", *pprofAddr)
 	}
 
-	// persist is invoked after every sweep; it must not swallow errors —
-	// a verifier that silently stops persisting re-trusts from scratch
-	// after its next crash. In cluster mode the node journals agent rows
-	// itself (under the replicated a/ prefix), so persist stays a no-op.
-	persist := func() {}
-	var persistErrs int
+	// persist is invoked after every sweep and reports how many rows it
+	// made durable; it must not swallow errors — a verifier that silently
+	// stops persisting re-trusts from scratch after its next crash. In
+	// cluster mode the node journals agent rows itself (under the
+	// replicated a/ prefix), so persist stays a no-op.
+	persist := func() int { return 0 }
+	// pm backs the "persist" stats provider: the persist-error counter
+	// that used to live only in the process log, plus per-sweep persist
+	// latency and the fsync counts that prove group commit is working.
+	var pm struct {
+		sync.Mutex
+		sweeps    int
+		errs      int
+		lastRows  int
+		lastDur   time.Duration
+		lastSyncs uint64
+	}
 	logPersistErr := func(err error) {
-		persistErrs++
-		log.Printf("state persist error (%d total): %v", persistErrs, err)
+		pm.Lock()
+		pm.errs++
+		n := pm.errs
+		pm.Unlock()
+		log.Printf("state persist error (%d total): %v", n, err)
 	}
 
 	var st *store.Store
@@ -266,7 +301,7 @@ func run() error {
 	case *statePath == "":
 	case *stateMode == "journal":
 		var err error
-		st, err = store.Open(*statePath)
+		st, err = store.Open(*statePath, store.WithStoreFS(iofs))
 		if err != nil {
 			return fmt.Errorf("opening state store %s: %w", *statePath, err)
 		}
@@ -274,18 +309,18 @@ func run() error {
 		if clusterMode {
 			break // cluster.NewNode restores and persists the agent rows
 		}
+		// Rows that failed to persist are retried next sweep.
 		if err := restoreFromStore(v, st, *stateLenient); err != nil {
 			return err
 		}
-		// Rows that failed to persist are retried next sweep.
 		retryPut := map[string][]byte{}
 		retryDel := map[string]bool{}
-		persist = func() {
+		persist = func() int {
 			changed, removed, err := v.ExportDirty()
 			if err != nil {
 				// ExportDirty re-marked the drained IDs; next sweep retries.
 				logPersistErr(err)
-				return
+				return 0
 			}
 			for _, as := range changed {
 				data, err := json.Marshal(as)
@@ -300,12 +335,37 @@ func run() error {
 				retryDel[id] = true
 				delete(retryPut, id)
 			}
+			if groupCommit {
+				// The whole sweep's dirty rows in one journal write vector,
+				// one fsync. Per-agent rows replay independently, so a torn
+				// write recovering a prefix just means a smaller sweep; the
+				// rest stays in the retry maps for the next one.
+				batch := make([]store.KV, 0, len(retryPut)+len(retryDel))
+				for id, data := range retryPut {
+					batch = append(batch, store.KV{Key: id, Value: data})
+				}
+				for id := range retryDel {
+					batch = append(batch, store.KV{Key: id, Delete: true})
+				}
+				if len(batch) == 0 {
+					return 0
+				}
+				if err := st.PutBatch(batch); err != nil {
+					logPersistErr(fmt.Errorf("journaling %d agent rows: %w", len(batch), err))
+					return 0
+				}
+				clear(retryPut)
+				clear(retryDel)
+				return len(batch)
+			}
+			rows := 0
 			for id, data := range retryPut {
 				if err := st.Put(id, data); err != nil {
 					logPersistErr(fmt.Errorf("journaling agent %s: %w", id, err))
 					continue
 				}
 				delete(retryPut, id)
+				rows++
 			}
 			for id := range retryDel {
 				if err := st.Delete(id); err != nil {
@@ -313,7 +373,9 @@ func run() error {
 					continue
 				}
 				delete(retryDel, id)
+				rows++
 			}
+			return rows
 		}
 	default: // legacy full-snapshot file, now written atomically
 		if data, err := os.ReadFile(*statePath); err == nil {
@@ -328,21 +390,39 @@ func run() error {
 		} else if !os.IsNotExist(err) {
 			return fmt.Errorf("reading state %s: %w", *statePath, err)
 		}
-		persist = func() {
+		persist = func() int {
 			snap, err := v.ExportState()
 			if err != nil {
 				logPersistErr(err)
-				return
+				return 0
 			}
 			data, err := json.Marshal(snap)
 			if err != nil {
 				logPersistErr(err)
-				return
+				return 0
 			}
-			if err := store.WriteFileAtomic(store.OS(), *statePath, data); err != nil {
+			if err := store.WriteFileAtomic(iofs, *statePath, data); err != nil {
 				logPersistErr(fmt.Errorf("writing %s: %w", *statePath, err))
+				return 0
 			}
+			return len(snap.Agents)
 		}
+	}
+
+	// persistSweep wraps persist with latency and fsync accounting for
+	// the "persist" stats provider.
+	persistSweep := func() {
+		start := time.Now()
+		syncs0 := iofs.Counters().Syncs
+		rows := persist()
+		dur := time.Since(start)
+		syncs := iofs.Counters().Syncs - syncs0
+		pm.Lock()
+		pm.sweeps++
+		pm.lastRows = rows
+		pm.lastDur = dur
+		pm.lastSyncs = syncs
+		pm.Unlock()
 	}
 
 	// Cluster membership: the node restores its shard from the journal,
@@ -432,6 +512,27 @@ func run() error {
 	if outbox != nil {
 		v.RegisterStats("outbox", func() any { return outbox.Stats() })
 	}
+	// GET /v2/stats/persist: the persist-error counter plus per-sweep
+	// persist latency and fsync counts. A healthy group-commit setup
+	// shows last_sweep_fsyncs pinned at a handful no matter how many
+	// rows the sweep persisted; a climbing errors counter means the
+	// verifier will re-trust from scratch after its next crash.
+	v.RegisterStats("persist", func() any {
+		c := iofs.Counters()
+		pm.Lock()
+		defer pm.Unlock()
+		return map[string]any{
+			"sweeps":              pm.sweeps,
+			"errors":              pm.errs,
+			"last_sweep_rows":     pm.lastRows,
+			"last_sweep_ms":       float64(pm.lastDur.Microseconds()) / 1000,
+			"last_sweep_fsyncs":   pm.lastSyncs,
+			"total_fsyncs":        c.Syncs,
+			"total_journal_bytes": c.WriteBytes,
+			"group_commit":        groupCommit,
+			"persist_batch":       *persistBatch,
+		}
+	})
 
 	if node != nil {
 		go node.Run(ctx) // heartbeats, elections, journal replication
@@ -460,7 +561,7 @@ func run() error {
 				log.Printf("poll sweep: attested=%d failed=%d degraded=%d halted=%d quarantined=%d",
 					stats.Attested, stats.Failed, stats.Degraded, stats.Halted, stats.Quarantined)
 			}
-			persist()
+			persistSweep()
 			// Advance any in-flight rollout on the counters this sweep
 			// accumulated.
 			if st, err := ctl.Tick(); err != nil {

@@ -48,30 +48,31 @@ func (t loopbackTransport) RoundTrip(req *http.Request) (*http.Response, error) 
 // state: quote fetch + signature check + empty incremental log delta per
 // agent.
 // fleetFixture builds the shared one-machine fixture the fleet
-// benchmarks enroll many agent IDs against.
-func fleetFixture(b *testing.B) ([]byte, *policy.RuntimePolicy, *http.Client) {
-	b.Helper()
+// benchmarks (and the durable-sweep fsync-budget test) enroll many
+// agent IDs against.
+func fleetFixture(tb testing.TB) ([]byte, *policy.RuntimePolicy, *http.Client) {
+	tb.Helper()
 	ca, err := tpm.NewManufacturerCA(rand.Reader)
 	if err != nil {
-		b.Fatalf("NewManufacturerCA: %v", err)
+		tb.Fatalf("NewManufacturerCA: %v", err)
 	}
 	m, err := machine.New(ca, machine.WithTPMOptions(tpm.WithEKBits(1024)))
 	if err != nil {
-		b.Fatalf("New machine: %v", err)
+		tb.Fatalf("New machine: %v", err)
 	}
 	if err := m.WriteFile("/usr/bin/tool", []byte("\x7fELF tool"), vfs.ModeExecutable); err != nil {
-		b.Fatalf("WriteFile: %v", err)
+		tb.Fatalf("WriteFile: %v", err)
 	}
 	if err := m.Exec("/usr/bin/tool"); err != nil {
-		b.Fatalf("Exec: %v", err)
+		tb.Fatalf("Exec: %v", err)
 	}
 	akPub, err := m.TPM().CreateAK()
 	if err != nil {
-		b.Fatalf("CreateAK: %v", err)
+		tb.Fatalf("CreateAK: %v", err)
 	}
 	pol, err := core.SnapshotPolicy(m.FS(), nil)
 	if err != nil {
-		b.Fatalf("SnapshotPolicy: %v", err)
+		tb.Fatalf("SnapshotPolicy: %v", err)
 	}
 	ag := agent.New(m)
 	client := &http.Client{Transport: loopbackTransport{h: ag.Handler()}}

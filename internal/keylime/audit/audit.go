@@ -104,10 +104,11 @@ func (r Record) Valid() bool { return r.Hash == seal(r) }
 // Log is a thread-safe, append-only, hash-chained attestation history.
 // The zero value is NOT usable; construct with NewLog.
 type Log struct {
-	mu      sync.Mutex
-	records []Record
-	head    Hash
-	sink    func(Record) error
+	mu        sync.Mutex
+	records   []Record
+	head      Hash
+	sink      func(Record) error
+	batchSink func([]Record) error
 }
 
 // NewLog returns an empty audit log.
@@ -120,6 +121,17 @@ func NewLog() *Log { return &Log{} }
 func (l *Log) SetSink(sink func(Record) error) {
 	l.mu.Lock()
 	l.sink = sink
+	l.mu.Unlock()
+}
+
+// SetBatchSink installs a batch persistence hook used by AppendBatch:
+// all sealed records of a batch are handed to the sink in chain order
+// and committed together after it returns nil. When no batch sink is
+// set, AppendBatch falls back to calling the per-record sink once per
+// record (losing the single-fsync amortization but not correctness).
+func (l *Log) SetBatchSink(sink func([]Record) error) {
+	l.mu.Lock()
+	l.batchSink = sink
 	l.mu.Unlock()
 }
 
@@ -179,6 +191,70 @@ func (l *Log) Append(e Entry) (Record, error) {
 	l.records = append(l.records, r)
 	l.head = r.Hash
 	return r, nil
+}
+
+// AppendBatch seals the entries as consecutive chain records and
+// persists them through the batch sink — one journal write vector, one
+// fsync — before committing any of them. Chain order is entry order.
+// Commit-before-ack holds at batch granularity: when AppendBatch
+// returns nil every record is sealed, durable, and committed; on a sink
+// error no record is committed (batch sink — the journal rolls the torn
+// write back) or only the durable prefix is (per-record fallback sink),
+// so the in-memory chain never runs ahead of the durable one. Returns
+// the committed records.
+func (l *Log) AppendBatch(entries []Entry) ([]Record, error) {
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	for _, e := range entries {
+		if e.AgentID == "" {
+			return nil, ErrEmptyAgentID
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	batch := make([]Record, len(entries))
+	head := l.head
+	for i, e := range entries {
+		r := Record{
+			Seq:             uint64(len(l.records) + i),
+			Time:            e.Time,
+			AgentID:         e.AgentID,
+			Outcome:         e.Outcome,
+			FailureType:     e.FailureType,
+			FailurePath:     e.FailurePath,
+			NewEntries:      e.NewEntries,
+			VerifiedEntries: e.VerifiedEntries,
+			RebootDetected:  e.RebootDetected,
+			CheckLevel:      e.CheckLevel,
+			PrevHash:        head,
+		}
+		r.Hash = seal(r)
+		head = r.Hash
+		batch[i] = r
+	}
+	switch {
+	case l.batchSink != nil:
+		if err := l.batchSink(batch); err != nil {
+			return nil, fmt.Errorf("audit: persisting batch of %d records at %d: %w", len(batch), batch[0].Seq, err)
+		}
+	case l.sink != nil:
+		for i, r := range batch {
+			if err := l.sink(r); err != nil {
+				// Records before i are durable; commit exactly that prefix
+				// so the chain head matches the journal tail.
+				l.records = append(l.records, batch[:i]...)
+				if i > 0 {
+					l.head = batch[i-1].Hash
+				}
+				return append([]Record(nil), batch[:i]...),
+					fmt.Errorf("audit: persisting record %d: %w", r.Seq, err)
+			}
+		}
+	}
+	l.records = append(l.records, batch...)
+	l.head = head
+	return append([]Record(nil), batch...), nil
 }
 
 // Len reports the number of records.

@@ -30,8 +30,10 @@ type JournalLog struct {
 // sink. A torn final record — a crash mid-append — is truncated by the
 // journal layer; a chain that fails verification is corruption and an
 // error.
-func OpenJournal(fsys store.FS, path string) (*JournalLog, error) {
-	j, payloads, err := store.OpenJournal(fsys, path)
+// Journal options (e.g. store.WithGroupCommit) pass through to the
+// underlying store.OpenJournal.
+func OpenJournal(fsys store.FS, path string, opts ...store.JournalOption) (*JournalLog, error) {
+	j, payloads, err := store.OpenJournal(fsys, path, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("audit: opening journal: %w", err)
 	}
@@ -51,6 +53,7 @@ func OpenJournal(fsys store.FS, path string) (*JournalLog, error) {
 	}
 	jl := &JournalLog{Log: l, j: j}
 	l.SetSink(jl.persist)
+	l.SetBatchSink(jl.persistBatch)
 	return jl, nil
 }
 
@@ -64,11 +67,29 @@ func (jl *JournalLog) persist(r Record) error {
 	return jl.j.Append(payload)
 }
 
+// persistBatch appends a whole sealed batch as one journal write vector
+// with a single fsync. A torn write recovers as an in-order prefix of
+// the batch, which is a valid (shorter) chain — the in-memory log only
+// commits after this returns nil, so the durable chain never lags an
+// acknowledged record.
+func (jl *JournalLog) persistBatch(batch []Record) error {
+	payloads := make([][]byte, len(batch))
+	for i, r := range batch {
+		p, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("encoding record %d: %w", r.Seq, err)
+		}
+		payloads[i] = p
+	}
+	return jl.j.AppendBatch(payloads)
+}
+
 // Records reports how many records the journal recovered at open.
 func (jl *JournalLog) Recovered() int { return jl.j.Recovery().Records }
 
 // Close detaches the sink and releases the journal handle.
 func (jl *JournalLog) Close() error {
 	jl.Log.SetSink(nil)
+	jl.Log.SetBatchSink(nil)
 	return jl.j.Close()
 }

@@ -341,25 +341,28 @@ func (n *Node) handleReplicate(req Request) Reply {
 	}
 	if body.IsSnap {
 		// Wholesale replacement: drop our copy of this source's shard and
-		// install the snapshot.
+		// install the snapshot. One batched journal append (one fsync)
+		// covers the clear, the install, and the cursor mark; the mark is
+		// ordered last so a torn write can never acknowledge a cursor
+		// whose rows did not make it to disk — recovery sees old mark +
+		// partial rows and the next stream forces a resync.
 		prefix := replicaPrefix + src + "/"
+		var batch []store.KV
 		for k := range st.All() {
 			if strings.HasPrefix(k, prefix) {
-				if err := st.Delete(k); err != nil {
-					return errReply("clear stale replica row: %v", err)
-				}
+				batch = append(batch, store.KV{Key: k, Delete: true})
 			}
 		}
 		for k, v := range body.Snapshot {
 			if !strings.HasPrefix(k, agentPrefix) {
 				continue
 			}
-			if err := st.Put(prefix+k, v); err != nil {
-				return errReply("install snapshot row: %v", err)
-			}
+			batch = append(batch, store.KV{Key: prefix + k, Value: v})
 		}
-		if err := n.putReplMark(markKey, replMark{Epoch: body.SrcEpoch, Seq: body.UpTo}); err != nil {
-			return errReply("%v", err)
+		mb, _ := json.Marshal(replMark{Epoch: body.SrcEpoch, Seq: body.UpTo})
+		batch = append(batch, store.KV{Key: markKey, Value: mb})
+		if err := st.PutBatch(batch); err != nil {
+			return errReply("install snapshot: %v", err)
 		}
 		return okReply(ReplicateResp{AckSeq: body.UpTo})
 	}
@@ -372,31 +375,28 @@ func (n *Node) handleReplicate(req Request) Reply {
 	} else if body.FromSeq != 0 {
 		return okReply(ReplicateResp{NeedSnapshot: true})
 	}
+	// One batched append per replication frame: all segments plus the
+	// advanced cursor mark under a single fsync, the mark last so a torn
+	// write leaves the old cursor and replays cleanly.
 	prefix := replicaPrefix + src + "/"
+	batch := make([]store.KV, 0, len(body.Segments)+1)
 	for _, seg := range body.Segments {
 		if !strings.HasPrefix(seg.Key, agentPrefix) {
 			continue
 		}
-		var err error
 		switch seg.Op {
 		case store.SegPut:
-			err = st.Put(prefix+seg.Key, seg.Value)
+			batch = append(batch, store.KV{Key: prefix + seg.Key, Value: seg.Value})
 		case store.SegDelete:
-			err = st.Delete(prefix + seg.Key)
-		}
-		if err != nil {
-			return errReply("apply replicated segment: %v", err)
+			batch = append(batch, store.KV{Key: prefix + seg.Key, Delete: true})
 		}
 	}
-	if err := n.putReplMark(markKey, replMark{Epoch: body.SrcEpoch, Seq: body.UpTo}); err != nil {
-		return errReply("%v", err)
+	mb, _ := json.Marshal(replMark{Epoch: body.SrcEpoch, Seq: body.UpTo})
+	batch = append(batch, store.KV{Key: markKey, Value: mb})
+	if err := st.PutBatch(batch); err != nil {
+		return errReply("apply replicated segments: %v", err)
 	}
 	return okReply(ReplicateResp{AckSeq: body.UpTo})
-}
-
-func (n *Node) putReplMark(key string, m replMark) error {
-	b, _ := json.Marshal(m)
-	return n.cfg.Store.Put(key, b)
 }
 
 func (n *Node) handleFetchReplica(req Request) Reply {

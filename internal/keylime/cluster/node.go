@@ -256,28 +256,26 @@ func (n *Node) persistTermLocked() {
 	}
 }
 
-// persistAgents flushes dirty verifier rows into the journaled store;
+// persistAgents flushes dirty verifier rows into the journaled store as
+// one batched append — one fsync per sweep, not one per dirty agent;
 // replication streams them to standbys on the next tick.
 func (n *Node) persistAgents() error {
 	changed, removed, err := n.cfg.Verifier.ExportDirty()
 	if err != nil {
 		return err
 	}
+	batch := make([]store.KV, 0, len(changed)+len(removed))
 	for _, st := range changed {
 		b, err := json.Marshal(st)
 		if err != nil {
 			return err
 		}
-		if err := n.cfg.Store.Put(agentPrefix+st.AgentID, b); err != nil {
-			return err
-		}
+		batch = append(batch, store.KV{Key: agentPrefix + st.AgentID, Value: b})
 	}
 	for _, id := range removed {
-		if err := n.cfg.Store.Delete(agentPrefix + id); err != nil {
-			return err
-		}
+		batch = append(batch, store.KV{Key: agentPrefix + id, Delete: true})
 	}
-	return nil
+	return n.cfg.Store.PutBatch(batch)
 }
 
 // Sweep runs one ownership-scoped attestation round and persists the

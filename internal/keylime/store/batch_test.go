@@ -1,0 +1,427 @@
+package store_test
+
+// Batched-append and group-commit suite: prefix durability of a torn
+// batched write (crash at every byte and every op boundary), rollback of
+// a partially-written batch, and the concurrency + fsync-count contract
+// of the background group-commit mode.
+
+import (
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+)
+
+// batchWorkload is a fixed sequence of PutBatch calls exercising mixed
+// puts/deletes, overwrites, and a compaction between batches.
+var batchWorkload = [][]store.KV{
+	{
+		{Key: "agent-a", Value: []byte("frontier:10")},
+		{Key: "agent-b", Value: []byte("frontier:4")},
+		{Key: "agent-c", Value: []byte("frontier:2")},
+	},
+	{
+		{Key: "agent-a", Value: []byte("frontier:17")},
+		{Key: "agent-b", Delete: true},
+		{Key: "agent-d", Value: []byte("frontier:9")},
+		{Key: "agent-e", Value: []byte("frontier:1")},
+	},
+	{
+		{Key: "agent-c", Value: []byte("frontier:11")},
+		{Key: "agent-d", Delete: true},
+		{Key: "agent-a", Value: []byte("frontier:23")},
+	},
+}
+
+// runBatchCrashWorkload runs the batches (with a compaction between the
+// second and third) until one errors. acked/started count batches.
+func runBatchCrashWorkload(fsys store.FS, dir string) (acked, started int) {
+	s, err := store.Open(dir, store.WithStoreFS(fsys), store.WithAutoCompact(0))
+	if err != nil {
+		return 0, 0
+	}
+	defer func() { _ = s.Close() }()
+	for i, batch := range batchWorkload {
+		if i == 2 {
+			if err := s.Compact(); err != nil {
+				return acked, started
+			}
+		}
+		started++
+		if err := s.PutBatch(batch); err != nil {
+			return acked, started
+		}
+		acked++
+	}
+	return acked, started
+}
+
+// batchModel folds the first `batches` full batches plus `prefix` ops of
+// the next one into the expected state.
+func batchModel(batches, prefix int) map[string]string {
+	m := make(map[string]string)
+	apply := func(op store.KV) {
+		if op.Delete {
+			delete(m, op.Key)
+		} else {
+			m[op.Key] = string(op.Value)
+		}
+	}
+	for i := 0; i < batches; i++ {
+		for _, op := range batchWorkload[i] {
+			apply(op)
+		}
+	}
+	if batches < len(batchWorkload) {
+		for _, op := range batchWorkload[batches][:prefix] {
+			apply(op)
+		}
+	}
+	return m
+}
+
+// checkBatchRecovered asserts the prefix-durability invariant: the
+// recovered state matches every acked batch plus some in-order prefix
+// (possibly empty, possibly complete) of the single in-flight batch —
+// never a subset of an acked batch, never out-of-order ops.
+func checkBatchRecovered(t *testing.T, label, dir string, acked, started int) {
+	t.Helper()
+	s, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer func() { _ = s.Close() }()
+	got := s.All()
+	matches := func(model map[string]string) bool {
+		if len(got) != len(model) {
+			return false
+		}
+		for k, v := range model {
+			if string(got[k]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	maxPrefix := 0
+	if started > acked && acked < len(batchWorkload) {
+		maxPrefix = len(batchWorkload[acked])
+	}
+	for p := 0; p <= maxPrefix; p++ {
+		if matches(batchModel(acked, p)) {
+			if err := s.Put("post-crash", []byte("accepted")); err != nil {
+				t.Fatalf("%s: store rejects writes after recovery: %v", label, err)
+			}
+			return
+		}
+	}
+	t.Fatalf("%s: recovered state %v is not %d acked batches + a prefix of batch %d",
+		label, got, acked, acked)
+}
+
+// TestStoreBatchCrashAtEveryByte kills the simulated process at every
+// byte offset of the batched workload: a torn batched write must recover
+// as an in-order prefix of the batch, and no acknowledged batch may lose
+// a record.
+func TestStoreBatchCrashAtEveryByte(t *testing.T) {
+	base := t.TempDir()
+	countFS := faultinject.NewFaultFS()
+	if acked, _ := runBatchCrashWorkload(countFS, filepath.Join(base, "count")); acked != len(batchWorkload) {
+		t.Fatalf("fault-free pass acked %d of %d batches", acked, len(batchWorkload))
+	}
+	total := countFS.Counters().WriteBytes
+	if total == 0 {
+		t.Fatal("counting pass saw no writes")
+	}
+	for k := int64(1); k <= total; k++ {
+		dir := filepath.Join(base, fmt.Sprintf("byte-%05d", k))
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashAfterBytes = k
+		acked, started := runBatchCrashWorkload(ffs, dir)
+		if k < total && !ffs.Crashed() {
+			t.Fatalf("byte %d: crash never fired", k)
+		}
+		checkBatchRecovered(t, fmt.Sprintf("crash after byte %d", k), dir, acked, started)
+	}
+}
+
+// TestStoreBatchCrashAtEveryOp crashes immediately before every mutating
+// filesystem op — in particular at the pre-fsync boundary (batch bytes
+// written, not yet synced) and the post-fsync boundary.
+func TestStoreBatchCrashAtEveryOp(t *testing.T) {
+	base := t.TempDir()
+	countFS := faultinject.NewFaultFS()
+	if acked, _ := runBatchCrashWorkload(countFS, filepath.Join(base, "count")); acked != len(batchWorkload) {
+		t.Fatalf("fault-free pass acked %d of %d batches", acked, len(batchWorkload))
+	}
+	totalOps := countFS.Counters().MutatingOps
+	for n := 1; n <= totalOps; n++ {
+		dir := filepath.Join(base, fmt.Sprintf("op-%04d", n))
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashBeforeOp = n
+		acked, started := runBatchCrashWorkload(ffs, dir)
+		if !ffs.Crashed() {
+			t.Fatalf("op %d: crash never fired", n)
+		}
+		checkBatchRecovered(t, fmt.Sprintf("crash before op %d", n), dir, acked, started)
+	}
+}
+
+// TestJournalBatchPrefixDurable drives AppendBatch directly: whatever
+// the crash point, recovery must yield an in-order prefix of the
+// appended payload sequence.
+func TestJournalBatchPrefixDurable(t *testing.T) {
+	batch := [][]byte{
+		[]byte("rec-0"), []byte("rec-1-longer-payload"), []byte("rec-2"),
+		[]byte("rec-3-x"), []byte("rec-4"),
+	}
+	// Fault-free pass to size the write stream.
+	count := faultinject.NewFaultFS()
+	countDir := t.TempDir()
+	j, _, err := store.OpenJournal(count, filepath.Join(countDir, "j.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	_ = j.Close()
+	total := count.Counters().WriteBytes
+
+	for k := int64(1); k <= total; k++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "j.wal")
+		ffs := faultinject.NewFaultFS()
+		ffs.CrashAfterBytes = k
+		j, _, err := store.OpenJournal(ffs, path)
+		acked := false
+		if err == nil {
+			acked = j.AppendBatch(batch) == nil
+			_ = j.Close()
+		}
+		j2, payloads, err := store.OpenJournal(store.OS(), path)
+		if err != nil {
+			t.Fatalf("byte %d: recovery failed: %v", k, err)
+		}
+		_ = j2.Close()
+		if acked && len(payloads) != len(batch) {
+			t.Fatalf("byte %d: acked batch recovered only %d of %d records", k, len(payloads), len(batch))
+		}
+		if len(payloads) > len(batch) {
+			t.Fatalf("byte %d: recovered %d records from a %d-record batch", k, len(payloads), len(batch))
+		}
+		for i, p := range payloads {
+			if string(p) != string(batch[i]) {
+				t.Fatalf("byte %d: record %d = %q, want prefix order %q", k, i, p, batch[i])
+			}
+		}
+	}
+}
+
+// TestJournalPartialBatchWriteRollsBack injects a short write mid-batch:
+// the append must fail, the file must be truncated back to the last good
+// frame, and a subsequent append must not interleave with torn bytes.
+func TestJournalPartialBatchWriteRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	ffs := faultinject.NewFaultFS()
+	j, _, err := store.OpenJournal(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("durable-before")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next write after 7 bytes — mid-frame inside the batch.
+	ffs.FailWriteN = ffs.Counters().Writes + 1
+	ffs.ShortWriteBytes = 7
+	err = j.AppendBatch([][]byte{[]byte("torn-a"), []byte("torn-b")})
+	if err == nil {
+		t.Fatal("short-written batch append reported success")
+	}
+	// The journal rolled back; a later append must start at a clean frame.
+	if err := j.Append([]byte("durable-after")); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	_ = j.Close()
+	j2, payloads, err := store.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	want := []string{"durable-before", "durable-after"}
+	if len(payloads) != len(want) {
+		t.Fatalf("recovered %d records, want %d: %q", len(payloads), len(want), payloads)
+	}
+	for i, p := range payloads {
+		if string(p) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, p, want[i])
+		}
+	}
+}
+
+// gateFS lets the test hold the first group-commit fsync open so every
+// concurrent appender is queued before the committer drains — making the
+// fsync-count bound deterministic instead of timing-dependent.
+type gateFS struct {
+	base     store.FS
+	gate     chan struct{}
+	blocking *atomic.Bool
+}
+
+func (g gateFS) OpenFile(name string, flag int, perm fs.FileMode) (store.File, error) {
+	f, err := g.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return gateFile{File: f, g: g}, nil
+}
+func (g gateFS) ReadFile(name string) ([]byte, error)    { return g.base.ReadFile(name) }
+func (g gateFS) Rename(o, n string) error                { return g.base.Rename(o, n) }
+func (g gateFS) Remove(name string) error                { return g.base.Remove(name) }
+func (g gateFS) MkdirAll(path string, perm fs.FileMode) error { return g.base.MkdirAll(path, perm) }
+func (g gateFS) Stat(name string) (fs.FileInfo, error)        { return g.base.Stat(name) }
+func (g gateFS) SyncDir(name string) error               { return g.base.SyncDir(name) }
+
+type gateFile struct {
+	store.File
+	g gateFS
+}
+
+func (f gateFile) Sync() error {
+	if f.g.blocking.Load() {
+		<-f.g.gate
+	}
+	return f.File.Sync()
+}
+
+// TestGroupCommitConcurrentAppends is the tentpole concurrency test: N
+// goroutines Append through a group-commit journal; every append that
+// returned nil must be found intact after recovery, and the whole burst
+// must cost at most ceil(N/maxBatch)+1 fsyncs.
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	const (
+		n        = 64
+		maxBatch = 8
+	)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	var blocking atomic.Bool
+	gate := make(chan struct{})
+	counting := store.NewCountingFS(gateFS{base: store.OS(), gate: gate, blocking: &blocking})
+	j, _, err := store.OpenJournal(counting, path,
+		store.WithGroupCommit(5*time.Millisecond, maxBatch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := counting.Counters().Syncs
+
+	// Hold the first fsync open until every goroutine has had ample time
+	// to enqueue, then release: the drain then runs full batches.
+	blocking.Store(true)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = j.Append([]byte(fmt.Sprintf("concurrent-%02d", i)))
+		}(i)
+	}
+	close(start)
+	time.Sleep(100 * time.Millisecond)
+	blocking.Store(false)
+	close(gate)
+	wg.Wait()
+
+	acked := 0
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		acked++
+	}
+	syncs := counting.Counters().Syncs - base
+	budget := uint64((n+maxBatch-1)/maxBatch + 1)
+	if syncs > budget {
+		t.Fatalf("%d concurrent appends cost %d fsyncs, budget %d", n, syncs, budget)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery: every acknowledged append intact, no extras, no tears.
+	j2, payloads, err := store.OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	if len(payloads) != acked {
+		t.Fatalf("recovered %d records, want %d", len(payloads), acked)
+	}
+	seen := make(map[string]bool)
+	for _, p := range payloads {
+		seen[string(p)] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[fmt.Sprintf("concurrent-%02d", i)] {
+			t.Fatalf("acknowledged append %d missing after recovery", i)
+		}
+	}
+}
+
+// TestGroupCommitAppendAfterClose: appends racing Close either complete
+// durably or fail with ErrClosed — never a torn write, never a hang.
+func TestGroupCommitAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := store.OpenJournal(store.OS(), filepath.Join(dir, "j.wal"),
+		store.WithGroupCommit(time.Millisecond, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("pre-close")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append([]byte("post-close")); err == nil {
+		t.Fatal("append after Close reported success")
+	}
+}
+
+// TestGroupCommitSyncDrains: Sync must not return while enqueued
+// appends are still waiting for their commit.
+func TestGroupCommitSyncDrains(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	j, _, err := store.OpenJournal(store.OS(), path,
+		store.WithGroupCommit(50*time.Millisecond, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := j.AppendBatchAsync([][]byte{[]byte("async-1"), []byte("async-2")})
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("async append: %v", err)
+		}
+	default:
+		t.Fatal("Sync returned while an enqueued append was still pending")
+	}
+	if got := j.Records(); got != 2 {
+		t.Fatalf("Records() = %d after Sync, want 2", got)
+	}
+	_ = j.Close()
+}

@@ -1,0 +1,100 @@
+package store
+
+// CountingFS wraps an FS and counts the syscalls that dominate durable
+// write cost: Write, Sync (file fsync and directory fsync), and Rename.
+// Benchmarks and fsync-budget tests wrap the store's FS in a CountingFS
+// and assert, e.g., that a durable fleet sweep costs a constant number
+// of fsyncs regardless of how many rows it persists.
+
+import (
+	"io/fs"
+	"sync/atomic"
+)
+
+// FSCounters is a point-in-time snapshot of a CountingFS's counters.
+type FSCounters struct {
+	Writes     uint64 // File.Write calls
+	WriteBytes uint64 // total bytes passed to File.Write
+	Syncs      uint64 // File.Sync + FS.SyncDir calls
+	Renames    uint64 // FS.Rename calls
+}
+
+// CountingFS is an FS wrapper whose counters are safe to read
+// concurrently with in-flight operations.
+type CountingFS struct {
+	base FS
+
+	writes     atomic.Uint64
+	writeBytes atomic.Uint64
+	syncs      atomic.Uint64
+	renames    atomic.Uint64
+}
+
+// NewCountingFS wraps base with syscall counting.
+func NewCountingFS(base FS) *CountingFS { return &CountingFS{base: base} }
+
+// Counters returns a snapshot of the counts so far.
+func (c *CountingFS) Counters() FSCounters {
+	return FSCounters{
+		Writes:     c.writes.Load(),
+		WriteBytes: c.writeBytes.Load(),
+		Syncs:      c.syncs.Load(),
+		Renames:    c.renames.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *CountingFS) Reset() {
+	c.writes.Store(0)
+	c.writeBytes.Store(0)
+	c.syncs.Store(0)
+	c.renames.Store(0)
+}
+
+func (c *CountingFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := c.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{f: f, c: c}, nil
+}
+
+func (c *CountingFS) ReadFile(name string) ([]byte, error) { return c.base.ReadFile(name) }
+
+func (c *CountingFS) Rename(oldpath, newpath string) error {
+	c.renames.Add(1)
+	return c.base.Rename(oldpath, newpath)
+}
+
+func (c *CountingFS) Remove(name string) error { return c.base.Remove(name) }
+
+func (c *CountingFS) MkdirAll(path string, perm fs.FileMode) error {
+	return c.base.MkdirAll(path, perm)
+}
+
+func (c *CountingFS) Stat(name string) (fs.FileInfo, error) { return c.base.Stat(name) }
+
+func (c *CountingFS) SyncDir(name string) error {
+	c.syncs.Add(1)
+	return c.base.SyncDir(name)
+}
+
+type countingFile struct {
+	f File
+	c *CountingFS
+}
+
+func (f *countingFile) Write(p []byte) (int, error) {
+	f.c.writes.Add(1)
+	f.c.writeBytes.Add(uint64(len(p)))
+	return f.f.Write(p)
+}
+
+func (f *countingFile) Sync() error {
+	f.c.syncs.Add(1)
+	return f.f.Sync()
+}
+
+func (f *countingFile) Truncate(size int64) error { return f.f.Truncate(size) }
+
+func (f *countingFile) Close() error { return f.f.Close() }

@@ -92,8 +92,21 @@ func (s *Store) recordSegmentLocked(op byte, key string, value []byte) {
 		seg.Value = append([]byte(nil), value...)
 	}
 	s.tail = append(s.tail, seg)
-	if len(s.tail) > s.followCap {
-		s.tail = append(s.tail[:0], s.tail[len(s.tail)-s.followCap:]...)
+	// Evict the oldest retained segment by advancing tailStart instead of
+	// shifting the slice: a shift costs O(followCap) per mutation, which
+	// at fleet scale is tens of millions of element copies per sweep. The
+	// dead prefix is compacted away in one move once it reaches followCap,
+	// so each element is shifted at most once (amortized O(1)) and the
+	// visible tail never exceeds followCap segments.
+	if len(s.tail)-s.tailStart > s.followCap {
+		s.tail[s.tailStart] = Segment{} // release the evicted value ref
+		s.tailStart++
+	}
+	if s.tailStart >= s.followCap {
+		n := copy(s.tail, s.tail[s.tailStart:])
+		clear(s.tail[n:]) // release refs past the new length
+		s.tail = s.tail[:n]
+		s.tailStart = 0
 	}
 }
 
@@ -110,14 +123,15 @@ func (s *Store) Since(afterSeq uint64) (segs []Segment, ok bool) {
 	if afterSeq == s.seq {
 		return nil, true
 	}
-	// Oldest retained seq is s.seq - len(tail) + 1.
-	oldest := s.seq - uint64(len(s.tail)) + 1
-	if len(s.tail) == 0 || afterSeq < oldest-1 {
+	// Oldest retained seq is s.seq - len(live) + 1.
+	live := s.tail[s.tailStart:]
+	oldest := s.seq - uint64(len(live)) + 1
+	if len(live) == 0 || afterSeq < oldest-1 {
 		return nil, false
 	}
 	start := int(afterSeq - (oldest - 1))
-	out := make([]Segment, len(s.tail)-start)
-	copy(out, s.tail[start:])
+	out := make([]Segment, len(live)-start)
+	copy(out, live[start:])
 	return out, true
 }
 

@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sync"
 )
 
 // Journal file format:
@@ -17,11 +18,14 @@ import (
 //	          4 bytes CRC-32C (Castagnoli) of the payload
 //	          payload
 //
-// Appends are a single Write call followed (by default) by an fsync, so a
-// crash can tear at most the final record. Recovery truncates a torn or
-// checksum-failing tail instead of failing open: appends are sequential
-// and synced, so anything after the first invalid record was never
-// acknowledged to a caller.
+// An append is a single Write call — one frame for Append, a vector of
+// frames for AppendBatch — followed (by default) by an fsync, so a crash
+// can tear the file only inside that one write. Recovery truncates a
+// torn or checksum-failing tail instead of failing open: appends are
+// sequential and synced, so anything after the first invalid record was
+// never acknowledged to a caller. A torn batched write therefore
+// recovers to a prefix of the batch: frames land in append order, and
+// the scan stops at the first torn frame.
 
 // journalMagic identifies (and versions) the journal file format.
 const journalMagic = "KLJRNL01"
@@ -44,6 +48,9 @@ var (
 	ErrBroken = errors.New("store: journal broken by failed append")
 	// ErrTooLarge reports a record payload over the format limit.
 	ErrTooLarge = errors.New("store: record too large")
+	// ErrClosed reports an append against a journal whose group-commit
+	// pipeline has been shut down by Close.
+	ErrClosed = errors.New("store: journal closed")
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -57,18 +64,27 @@ type RecoveryInfo struct {
 	TornBytes int64
 }
 
-// Journal is an append-only, CRC-checksummed record log. It is not safe
-// for concurrent use; callers (Store, the outbox, the audit sink)
-// serialize access.
+// Journal is an append-only, CRC-checksummed record log. Appends are
+// safe for concurrent use; Reset, Rewrite, and Close must not race other
+// calls (callers — Store, the outbox, the audit sink — already serialize
+// those maintenance paths).
 type Journal struct {
-	fsys     FS
-	path     string
+	fsys FS
+	path string
+
+	// mu guards the file handle and the acknowledged offset. It is the
+	// innermost lock: nothing is called under it but the FS.
+	mu       sync.Mutex
 	f        File
 	size     int64
 	records  int
 	sync     bool
 	broken   bool
 	recovery RecoveryInfo
+
+	// gc, when non-nil, routes appends through the background
+	// group-commit pipeline (see groupcommit.go).
+	gc *groupCommitter
 }
 
 // JournalOption configures OpenJournal.
@@ -128,6 +144,9 @@ func OpenJournal(fsys FS, path string, opts ...JournalOption) (*Journal, [][]byt
 	if j.recovery.TornBytes < 0 {
 		j.recovery.TornBytes = 0
 	}
+	if j.gc != nil {
+		j.gc.start(j)
+	}
 	return j, payloads, nil
 }
 
@@ -184,50 +203,174 @@ func encodeRecord(payload []byte) []byte {
 func (j *Journal) Recovery() RecoveryInfo { return j.recovery }
 
 // Records is the number of records currently in the journal.
-func (j *Journal) Records() int { return j.records }
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
 
 // Size is the current valid length in bytes.
-func (j *Journal) Size() int64 { return j.size }
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
 
 // Append frames, writes, and (unless disabled) fsyncs one record. The
 // record is durable — and only then acknowledged — when Append returns
 // nil. On a failed write the journal rolls the file back to the last
 // acknowledged record; if even that fails the journal is marked broken
 // and every further append errors until it is reopened.
+//
+// In group-commit mode (WithGroupCommit) the record is enqueued and the
+// call blocks until the committer has flushed the batch carrying it —
+// the durable-when-returned contract is identical, only the fsync is
+// shared with the other records in the batch.
 func (j *Journal) Append(payload []byte) error {
-	if j.broken {
-		return ErrBroken
-	}
 	if len(payload) > maxRecordSize {
 		return ErrTooLarge
 	}
-	if err := j.writeAll(encodeRecord(payload)); err != nil {
-		if terr := j.f.Truncate(j.size); terr != nil {
-			j.broken = true
+	if j.gc != nil {
+		return <-j.gc.enqueue([][]byte{payload})
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendBatchLocked([][]byte{payload})
+}
+
+// AppendBatch frames all payloads into one write vector, writes it with
+// a single Write call, and (unless disabled) issues one fsync for the
+// whole batch. When AppendBatch returns nil, every record in the batch
+// is durable; on error, none was acknowledged. A crash mid-batch is
+// prefix-durable: frames reach the disk in order and recovery truncates
+// at the first torn frame, so any recovered subset is a prefix of the
+// batch, never an arbitrary or reordered one.
+func (j *Journal) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	for _, p := range payloads {
+		if len(p) > maxRecordSize {
+			return ErrTooLarge
 		}
-		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if j.gc != nil {
+		return <-j.gc.enqueue(payloads)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendBatchLocked(payloads)
+}
+
+// AppendBatchAsync reserves the batch's position in the journal and
+// returns a channel delivering its durability result. The position is
+// claimed synchronously — two calls ordered by the caller keep that
+// order on disk — while the wait for the fsync happens on the channel,
+// letting the caller release its own locks so concurrent batches can
+// share a group commit. Without group-commit mode the append runs
+// synchronously and the returned channel is already resolved.
+func (j *Journal) AppendBatchAsync(payloads [][]byte) <-chan error {
+	for _, p := range payloads {
+		if len(p) > maxRecordSize {
+			ch := make(chan error, 1)
+			ch <- ErrTooLarge
+			return ch
+		}
+	}
+	if j.gc != nil && len(payloads) > 0 {
+		return j.gc.enqueue(payloads)
+	}
+	ch := make(chan error, 1)
+	if len(payloads) == 0 {
+		ch <- nil
+		return ch
+	}
+	j.mu.Lock()
+	ch <- j.appendBatchLocked(payloads)
+	j.mu.Unlock()
+	return ch
+}
+
+// appendBatchLocked writes one batch under j.mu: a single write of the
+// concatenated frames, then one fsync.
+func (j *Journal) appendBatchLocked(payloads [][]byte) error {
+	if j.broken {
+		return ErrBroken
+	}
+	total := 0
+	for _, p := range payloads {
+		total += recordHeaderSize + len(p)
+	}
+	buf := make([]byte, 0, total)
+	for _, p := range payloads {
+		var hdr [recordHeaderSize]byte
+		binary.BigEndian.PutUint32(hdr[:4], uint32(len(p)))
+		binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(p, crcTable))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	if err := j.writeAll(buf); err != nil {
+		j.rollbackLocked()
+		return fmt.Errorf("store: appending %d-record batch: %w", len(payloads), err)
 	}
 	if j.sync {
 		if err := j.f.Sync(); err != nil {
 			// The bytes may or may not be durable; roll back so the
 			// in-memory accounting only ever covers acknowledged records.
-			if terr := j.f.Truncate(j.size); terr != nil {
-				j.broken = true
-			}
-			return fmt.Errorf("store: syncing record: %w", err)
+			j.rollbackLocked()
+			return fmt.Errorf("store: syncing %d-record batch: %w", len(payloads), err)
 		}
 	}
-	j.size += int64(recordHeaderSize + len(payload))
-	j.records++
+	j.size += int64(total)
+	j.records += len(payloads)
 	return nil
 }
 
-// Sync flushes the journal file.
-func (j *Journal) Sync() error { return j.f.Sync() }
+// rollbackLocked restores the file to the last acknowledged frame after
+// a failed append. A short or failed write can leave any prefix of the
+// new frames in the file while the in-memory offset still points at the
+// last good frame — if that tail survived, a later successful append
+// would interleave a fresh frame after torn bytes and the journal would
+// stop decoding at the tear, silently hiding the new record. So the
+// file is truncated back to the acknowledged offset and the truncation
+// itself is fsynced; if either step fails the on-disk tail is unknown
+// and the journal is marked broken — every further append refuses until
+// the journal is reopened and recovered.
+func (j *Journal) rollbackLocked() {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.broken = true
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.broken = true
+	}
+}
+
+// Sync flushes the journal file. In group-commit mode it first drains
+// any batches waiting on the committer.
+func (j *Journal) Sync() error {
+	if j.gc != nil {
+		j.gc.flush()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken {
+		return ErrBroken
+	}
+	return j.f.Sync()
+}
 
 // Reset truncates the journal back to an empty (header-only) state —
-// used after a snapshot compaction has made its records redundant.
+// used after a snapshot compaction has made its records redundant. In
+// group-commit mode any batches still queued are flushed first (they
+// were enqueued before the caller decided to reset, so they must reach
+// their waiters' acknowledgment path before the file is emptied).
 func (j *Journal) Reset() error {
+	if j.gc != nil {
+		j.gc.flush()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.broken {
 		return ErrBroken
 	}
@@ -248,7 +391,15 @@ func (j *Journal) Reset() error {
 // records: they are written to a temp file, fsynced, renamed over the
 // journal, and the directory synced. Used for outbox compaction, where
 // the surviving records are a filtered subset rather than a snapshot.
+// In group-commit mode queued batches are flushed first, so a record
+// acknowledged before Rewrite was called is never silently dropped by
+// the replacement.
 func (j *Journal) Rewrite(payloads [][]byte) error {
+	if j.gc != nil {
+		j.gc.flush()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	tmp := j.path + ".tmp"
 	if err := writeFileAtomic(j.fsys, tmp, j.path, journalFileBytes(payloads)); err != nil {
 		return fmt.Errorf("store: rewriting journal: %w", err)
@@ -280,8 +431,17 @@ func journalFileBytes(payloads [][]byte) []byte {
 	return buf
 }
 
-// Close releases the file handle.
-func (j *Journal) Close() error { return j.f.Close() }
+// Close flushes the group-commit pipeline (when enabled) and releases
+// the file handle. Appends racing Close either complete durably or
+// return ErrClosed — none is silently dropped.
+func (j *Journal) Close() error {
+	if j.gc != nil {
+		j.gc.shutdown()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
 
 // writeAll writes the whole buffer, surfacing short writes as errors.
 func (j *Journal) writeAll(buf []byte) error {

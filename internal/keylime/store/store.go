@@ -43,6 +43,7 @@ type Store struct {
 	epoch     uint64
 	seq       uint64
 	tail      []Segment
+	tailStart int // first live element of tail; trimmed lazily, see recordSegmentLocked
 	followCap int
 }
 
@@ -196,6 +197,51 @@ func (s *Store) Delete(key string) error {
 	}
 	delete(s.state, key)
 	s.recordSegmentLocked(opDelete, key, nil)
+	return s.maybeCompactLocked()
+}
+
+// KV is one mutation in a PutBatch: a put of Value under Key, or a
+// delete of Key when Delete is set.
+type KV struct {
+	Key    string
+	Value  []byte
+	Delete bool
+}
+
+// PutBatch durably records a batch of mutations under a single journal
+// append — one framed write vector, one fsync — instead of one fsync
+// per row. When PutBatch returns nil every mutation in the batch is
+// durable. On a crash mid-write the journal recovers an in-order prefix
+// of the batch, so callers that need all-or-nothing semantics must
+// order a commit marker last (see cluster replication) or tolerate
+// partial application on replay (the verifier's per-agent rows are
+// independent, so a prefix is just a smaller sweep).
+func (s *Store) PutBatch(ops []KV) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	payloads := make([][]byte, len(ops))
+	for i, op := range ops {
+		if op.Delete {
+			payloads[i] = encodeMutation(opDelete, op.Key, nil)
+		} else {
+			payloads[i] = encodeMutation(opPut, op.Key, op.Value)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journal.AppendBatch(payloads); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if op.Delete {
+			delete(s.state, op.Key)
+			s.recordSegmentLocked(opDelete, op.Key, nil)
+		} else {
+			s.state[op.Key] = append([]byte(nil), op.Value...)
+			s.recordSegmentLocked(opPut, op.Key, op.Value)
+		}
+	}
 	return s.maybeCompactLocked()
 }
 

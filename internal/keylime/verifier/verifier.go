@@ -352,6 +352,17 @@ func WithAuditLog(l *audit.Log) Option {
 	return optionFunc(func(v *Verifier) { v.auditLog = l })
 }
 
+// WithAuditBatch makes PollAll collect the sweep's audit entries and
+// commit them as one audit.Log.AppendBatch after the sweep drains — one
+// journal write vector and one fsync per sweep instead of one per
+// round. Commit-before-ack moves to sweep granularity: PollAll returns
+// only after the batch is durable, but a crash mid-sweep loses the
+// in-flight sweep's audit records (their verdicts are re-derived by the
+// next sweep). Direct AttestOnce calls still audit inline.
+func WithAuditBatch(on bool) Option {
+	return optionFunc(func(v *Verifier) { v.auditBatch = on })
+}
+
 // WithFileSignatureTrust accepts any measured file whose ima-sig vendor
 // signature verifies against the trusted vendor keys, without requiring
 // its digest in the runtime policy — the §V signed-hashes improvement.
@@ -432,6 +443,7 @@ type Verifier struct {
 	onRevocation      func(string, Failure)
 	policyTrust       *policy.TrustStore
 	auditLog          *audit.Log
+	auditBatch        bool
 	fileSigTrust      *filesig.VerifySet
 	rng               io.Reader
 	retry             RetryPolicy
@@ -857,6 +869,14 @@ func (v *Verifier) commsOK(a *monitored) {
 // agent — the blind window of problem P2. With an audit log configured,
 // every completed round (pass or fail) is recorded durably.
 func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, error) {
+	return v.attestRecorded(ctx, agentID, nil)
+}
+
+// attestRecorded runs one round and records it in the audit log. With a
+// collector (PollAll in batch mode) the sealed entry is deferred to the
+// sweep's single batched append; without one it is appended — and made
+// durable — inline before the result is returned.
+func (v *Verifier) attestRecorded(ctx context.Context, agentID string, collect *[]audit.Entry) (Result, error) {
 	res, err := v.attestOnce(ctx, agentID)
 	// Degraded rounds obtained no evidence: they are not audited as passes.
 	// The round that escalates to FailureComms is audited as a failure.
@@ -875,7 +895,9 @@ func (v *Verifier) AttestOnce(ctx context.Context, agentID string) (Result, erro
 			entry.FailureType = res.Failure.Type.String()
 			entry.FailurePath = res.Failure.Path
 		}
-		if _, aerr := v.auditLog.Append(entry); aerr != nil {
+		if collect != nil {
+			*collect = append(*collect, entry)
+		} else if _, aerr := v.auditLog.Append(entry); aerr != nil {
 			return res, fmt.Errorf("verifier: recording attestation: %w", aerr)
 		}
 	}
@@ -1325,6 +1347,13 @@ type PollStats struct {
 	// agent escalation, restored/handed-off session). Always a subset of
 	// FullQuoteRounds.
 	ForcedUpgrades int
+	// AuditBatched counts audit records committed through the sweep's
+	// batched append (zero when audit batching is off).
+	AuditBatched int
+	// AuditFlushErrs counts sweeps whose batched audit append failed —
+	// those sweeps' records are NOT durable and the error was reported
+	// here rather than failing every round.
+	AuditFlushErrs int
 }
 
 // add folds o into s.
@@ -1340,6 +1369,8 @@ func (s *PollStats) add(o PollStats) {
 	s.SessionRounds += o.SessionRounds
 	s.FullQuoteRounds += o.FullQuoteRounds
 	s.ForcedUpgrades += o.ForcedUpgrades
+	s.AuditBatched += o.AuditBatched
+	s.AuditFlushErrs += o.AuditFlushErrs
 }
 
 // record classifies one round outcome into the stats.
@@ -1392,20 +1423,25 @@ func (v *Verifier) PollAll(ctx context.Context) PollStats {
 	if workers < 1 {
 		workers = 1
 	}
+	batchAudit := v.auditBatch && v.auditLog != nil
 	var (
-		wg    sync.WaitGroup
-		work  = make(chan string)
-		stats = make([]PollStats, workers)
+		wg      sync.WaitGroup
+		work    = make(chan string)
+		stats   = make([]PollStats, workers)
+		entries = make([][]audit.Entry, workers)
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(st *PollStats) {
+		go func(st *PollStats, collect *[]audit.Entry) {
 			defer wg.Done()
+			if !batchAudit {
+				collect = nil
+			}
 			for id := range work {
-				res, err := v.AttestOnce(ctx, id)
+				res, err := v.attestRecorded(ctx, id, collect)
 				st.record(res, err)
 			}
-		}(&stats[w])
+		}(&stats[w], &entries[w])
 	}
 	for _, id := range ids {
 		work <- id
@@ -1415,6 +1451,20 @@ func (v *Verifier) PollAll(ctx context.Context) PollStats {
 	var st PollStats
 	for i := range stats {
 		st.add(stats[i])
+	}
+	if batchAudit {
+		// The whole sweep's audit records in one journal write vector,
+		// one fsync. PollAll does not return until the batch is durable,
+		// so the commit-before-ack contract holds at sweep granularity.
+		var sweep []audit.Entry
+		for _, es := range entries {
+			sweep = append(sweep, es...)
+		}
+		recs, err := v.auditLog.AppendBatch(sweep)
+		st.AuditBatched += len(recs)
+		if err != nil {
+			st.AuditFlushErrs++
+		}
 	}
 	v.notePoll(st)
 	return st

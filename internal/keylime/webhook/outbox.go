@@ -72,6 +72,11 @@ type Outbox struct {
 	enqueued int
 	acked    int
 	replayed int
+	// inflight counts enqueues that have reserved a journal position but
+	// not yet been applied to pending. Compaction rewrites the journal
+	// from pending, so running it while inflight > 0 would erase a
+	// durable enqueue the map does not know about yet.
+	inflight int
 }
 
 // OutboxStats is an operational snapshot of the outbox, the numbers an
@@ -142,8 +147,10 @@ func (o *Outbox) SetNextRetry(endpoint, dedupKey string, t time.Time) {
 
 // OpenOutbox opens (creating if absent) the outbox journal at path and
 // replays it: enqueues without a matching ack become the pending set.
-func OpenOutbox(fsys store.FS, path string) (*Outbox, error) {
-	j, payloads, err := store.OpenJournal(fsys, path)
+// Journal options (e.g. store.WithGroupCommit) pass through to the
+// underlying store.OpenJournal.
+func OpenOutbox(fsys store.FS, path string, opts ...store.JournalOption) (*Outbox, error) {
+	j, payloads, err := store.OpenJournal(fsys, path, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("webhook: opening outbox: %w", err)
 	}
@@ -176,19 +183,52 @@ func OpenOutbox(fsys store.FS, path string) (*Outbox, error) {
 // attempt. The notification's DedupKey must be set. A nil return means
 // the record is fsynced: the delivery will survive a crash.
 func (o *Outbox) Enqueue(endpoint string, note Notification) error {
-	if note.DedupKey == "" {
-		return fmt.Errorf("webhook: enqueue without dedup key")
+	return o.EnqueueBatch([]PendingDelivery{{Endpoint: endpoint, Note: note}})
+}
+
+// EnqueueBatch journals a burst of deliveries — a revocation fanned out
+// to every endpoint, or a sweep's worth of failures — as one journal
+// write vector under a single fsync. Two-phase: the batch's journal
+// position is reserved under the outbox lock (so concurrent batches
+// keep a consistent order on disk), but the wait for durability happens
+// outside it, letting a group-commit journal merge concurrent batches
+// into one fsync. When EnqueueBatch returns nil every delivery is
+// durable and pending; on a torn write the journal recovers a prefix of
+// the batch, each record of which is an independent pending delivery.
+func (o *Outbox) EnqueueBatch(deliveries []PendingDelivery) error {
+	if len(deliveries) == 0 {
+		return nil
 	}
-	note.Attempt = 0 // per-delivery field; not part of the durable event
+	payloads := make([][]byte, len(deliveries))
+	for i := range deliveries {
+		d := &deliveries[i]
+		if d.Note.DedupKey == "" {
+			return fmt.Errorf("webhook: enqueue without dedup key")
+		}
+		d.Note.Attempt = 0 // per-delivery field; not part of the durable event
+		payload, err := json.Marshal(outboxRecord{
+			Op: outboxOpEnqueue, Key: d.Note.DedupKey, Endpoint: d.Endpoint, Note: &d.Note,
+		})
+		if err != nil {
+			return fmt.Errorf("webhook: encoding outbox record: %w", err)
+		}
+		payloads[i] = payload
+	}
+	o.mu.Lock()
+	done := o.j.AppendBatchAsync(payloads)
+	o.inflight++
+	o.mu.Unlock()
+	err := <-done
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if err := o.appendLocked(outboxRecord{
-		Op: outboxOpEnqueue, Key: note.DedupKey, Endpoint: endpoint, Note: &note,
-	}); err != nil {
-		return err
+	o.inflight--
+	if err != nil {
+		return fmt.Errorf("webhook: journaling outbox batch: %w", err)
 	}
-	o.pending[note.DedupKey+"|"+endpoint] = PendingDelivery{Endpoint: endpoint, Note: note}
-	o.enqueued++
+	for _, d := range deliveries {
+		o.pending[d.Note.DedupKey+"|"+d.Endpoint] = d
+	}
+	o.enqueued += len(deliveries)
 	return nil
 }
 
@@ -227,7 +267,7 @@ func (o *Outbox) appendLocked(rec outboxRecord) error {
 // set. Compaction failures are non-fatal — the journal keeps growing and
 // the next ack retries — unless the journal itself reports it is broken.
 func (o *Outbox) maybeCompactLocked() {
-	if o.broken {
+	if o.broken || o.inflight > 0 {
 		return
 	}
 	n := o.j.Records()

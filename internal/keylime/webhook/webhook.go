@@ -277,14 +277,20 @@ func (n *Notifier) Notify(note Notification) {
 	if note.DedupKey == "" {
 		note.DedupKey = DedupKey(note)
 	}
-	for _, ep := range n.cfg.Endpoints {
-		if n.cfg.Outbox != nil {
-			if err := n.cfg.Outbox.Enqueue(ep, note); err != nil {
-				// Keep delivering: losing durability must not also lose the
-				// real-time notification.
-				n.cfg.Logf("webhook: outbox enqueue for %s failed: %v", ep, err)
-			}
+	if n.cfg.Outbox != nil && len(n.cfg.Endpoints) > 0 {
+		// One batched journal append (one fsync) covers the fan-out to
+		// every endpoint, instead of one fsync per endpoint.
+		batch := make([]PendingDelivery, len(n.cfg.Endpoints))
+		for i, ep := range n.cfg.Endpoints {
+			batch[i] = PendingDelivery{Endpoint: ep, Note: note}
 		}
+		if err := n.cfg.Outbox.EnqueueBatch(batch); err != nil {
+			// Keep delivering: losing durability must not also lose the
+			// real-time notification.
+			n.cfg.Logf("webhook: outbox enqueue failed: %v", err)
+		}
+	}
+	for _, ep := range n.cfg.Endpoints {
 		select {
 		case n.queue <- queued{endpoint: ep, n: note}:
 			n.mu.Lock()
