@@ -1,0 +1,85 @@
+package repro_test
+
+// Churn-throughput benchmark for the declarative reconciler: each
+// iteration is one churn wave — a spec apply sliding the desired window
+// by half the fleet, then reconcile ticks until convergence — so the
+// measured cost covers spec resolution (policy canonicalization +
+// hashing per agent), the desired-vs-actual diff, write-ahead intent
+// journaling, the enroll/withdraw side effects against a live verifier,
+// and the batched status commit. Reported ops/sec counts enrollments
+// plus withdrawals actually executed.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/keylime/reconcile"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+	"repro/internal/simclock"
+)
+
+func BenchmarkReconcileChurn(b *testing.B) {
+	akPub, pol, client := fleetFixture(b)
+	akB64 := base64.StdEncoding.EncodeToString(akPub)
+	polJSON, err := json.Marshal(pol)
+	if err != nil {
+		b.Fatalf("marshal policy: %v", err)
+	}
+
+	for _, window := range []int{1000, 10000} {
+		step := window / 2
+		b.Run(fmt.Sprintf("agents=%d", window), func(b *testing.B) {
+			v := verifier.New("",
+				verifier.WithHTTPClient(client),
+				verifier.WithPollConcurrency(32),
+			)
+			st, err := store.Open(b.TempDir())
+			if err != nil {
+				b.Fatalf("open store: %v", err)
+			}
+			defer func() { _ = st.Close() }()
+			rc, err := reconcile.New(reconcile.Config{
+				Fleet: v, Store: st, Clock: simclock.Real{}, MaxPending: -1,
+			})
+			if err != nil {
+				b.Fatalf("reconcile.New: %v", err)
+			}
+			converge := func(wave int) int {
+				ticks := 0
+				for ; ticks < 20 && !rc.Status().Converged; ticks++ {
+					if err := rc.Tick(); err != nil {
+						b.Fatalf("wave %d: Tick: %v", wave, err)
+					}
+				}
+				if !rc.Status().Converged {
+					b.Fatalf("wave %d: not converged: %+v", wave, rc.Status())
+				}
+				return ticks
+			}
+			// Warm-up wave enrolls the initial window (untimed).
+			if _, _, err := rc.Apply(churnSpec(akB64, polJSON, 0, window)); err != nil {
+				b.Fatalf("initial apply: %v", err)
+			}
+			converge(0)
+
+			totalTicks := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo := (i + 1) * step
+				if _, _, err := rc.Apply(churnSpec(akB64, polJSON, lo, lo+window)); err != nil {
+					b.Fatalf("wave %d: Apply: %v", i+1, err)
+				}
+				totalTicks += converge(i + 1)
+			}
+			b.StopTimer()
+			opsPerWave := 2 * step
+			b.ReportMetric(float64(b.N*opsPerWave)/b.Elapsed().Seconds(), "ops/sec")
+			b.ReportMetric(float64(totalTicks)/float64(b.N), "ticks/wave")
+			b.ReportMetric(float64(opsPerWave), "ops/wave")
+		})
+	}
+}

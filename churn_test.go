@@ -1,0 +1,177 @@
+package repro_test
+
+// Churn-under-load chaos suite: ~10k enrollments/withdrawals (1k under
+// -short) driven through the declarative reconciler as a sliding window
+// of spec applies, racing continuous live PollAll sweeps the whole time.
+// The invariants under churn are the ones the paper's operators care
+// about: no sweep ever produces a false verdict (an agent mid-enroll or
+// mid-withdraw is skipped or attested, never failed), no agent leaks
+// past its withdrawal, and every wave converges within a bounded number
+// of reconcile ticks.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/keylime/reconcile"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+	"repro/internal/simclock"
+)
+
+func churnID(i int) string {
+	return fmt.Sprintf("churn-%06d-4a97-9ef7-75bd81c0f1ee", i)
+}
+
+// churnSpec declares the sliding window [lo, hi) of agent IDs, split
+// across two tenants so tenant accounting is exercised under churn.
+func churnSpec(akB64 string, polJSON []byte, lo, hi int) *reconcile.FleetSpec {
+	s := &reconcile.FleetSpec{
+		Tenants: []reconcile.TenantSpec{
+			{Name: "team-a", MaxAgents: -1, Rate: -1},
+			{Name: "team-b", MaxAgents: -1, Rate: -1},
+		},
+	}
+	for i := lo; i < hi; i++ {
+		tenant := "team-a"
+		if i%2 == 1 {
+			tenant = "team-b"
+		}
+		s.Agents = append(s.Agents, reconcile.AgentSpec{
+			ID:     churnID(i),
+			URL:    "http://agent.fleet.internal",
+			Tenant: tenant,
+			AKPub:  akB64,
+			Policy: polJSON,
+		})
+	}
+	return s
+}
+
+func TestReconcileChurnUnderLoad(t *testing.T) {
+	// Sliding window: wave w desires IDs [w*step, w*step+window), so the
+	// first wave enrolls `window` agents and every later wave does `step`
+	// enrollments plus `step` withdrawals — window + (waves-1)*2*step
+	// lifecycle operations total.
+	step, window, waves := 500, 800, 10
+	if testing.Short() {
+		step, window = 50, 80
+	}
+	akPub, pol, client := fleetFixture(t)
+	akB64 := base64.StdEncoding.EncodeToString(akPub)
+	polJSON, err := json.Marshal(pol)
+	if err != nil {
+		t.Fatalf("marshal policy: %v", err)
+	}
+
+	v := verifier.New("",
+		verifier.WithHTTPClient(client),
+		verifier.WithPollConcurrency(32),
+	)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer func() { _ = st.Close() }()
+	rc, err := reconcile.New(reconcile.Config{Fleet: v, Store: st, Clock: simclock.Real{}})
+	if err != nil {
+		t.Fatalf("reconcile.New: %v", err)
+	}
+
+	// Live sweeps race the whole churn. Failed would be a false verdict
+	// (the shared loopback agent is always healthy); Errors would be a
+	// round error; agents withdrawn after a sweep's ID snapshot are
+	// expected to surface as Removed, never as either.
+	ctx := context.Background()
+	var sweeps, falseVerdicts, roundErrors atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pst := v.PollAll(ctx)
+			sweeps.Add(1)
+			falseVerdicts.Add(int64(pst.Failed))
+			roundErrors.Add(int64(pst.Errors))
+		}
+	}()
+
+	const tickBound = 10
+	maxTicks := 0
+	for w := 0; w < waves; w++ {
+		lo, hi := w*step, w*step+window
+		if _, _, err := rc.Apply(churnSpec(akB64, polJSON, lo, hi)); err != nil {
+			t.Fatalf("wave %d: Apply: %v", w, err)
+		}
+		ticks := 0
+		for ; ticks < tickBound && !rc.Status().Converged; ticks++ {
+			if err := rc.Tick(); err != nil {
+				t.Fatalf("wave %d: Tick: %v", w, err)
+			}
+		}
+		if !rc.Status().Converged {
+			t.Fatalf("wave %d: not converged within %d ticks: %+v", w, tickBound, rc.Status())
+		}
+		if ticks > maxTicks {
+			maxTicks = ticks
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Zero false verdicts across every racing sweep.
+	if f, e := falseVerdicts.Load(), roundErrors.Load(); f != 0 || e != 0 {
+		t.Fatalf("racing sweeps produced %d false verdicts, %d round errors (over %d sweeps)",
+			f, e, sweeps.Load())
+	}
+	if sweeps.Load() == 0 {
+		t.Fatal("no sweeps raced the churn — the chaos half of the test never ran")
+	}
+
+	// Zero leaked agents: the fleet is exactly the final window.
+	finalLo := (waves - 1) * step
+	want := make([]string, 0, window)
+	for i := finalLo; i < finalLo+window; i++ {
+		want = append(want, churnID(i))
+	}
+	got := v.AgentIDs()
+	sort.Strings(got)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("fleet size = %d, want %d (leaked or lost agents)", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fleet[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+
+	// The managed journal, counters, and a final clean sweep agree.
+	status := rc.Status()
+	if status.Managed != window {
+		t.Fatalf("managed = %d, want %d", status.Managed, window)
+	}
+	wantEnrolls := uint64(window + (waves-1)*step)
+	wantWithdraws := uint64((waves - 1) * step)
+	if status.Counters.Enrolls != wantEnrolls || status.Counters.Withdraws != wantWithdraws {
+		t.Fatalf("counters = %+v, want %d enrolls / %d withdraws",
+			status.Counters, wantEnrolls, wantWithdraws)
+	}
+	if pst := v.PollAll(ctx); pst.Attested != window || pst.Failed != 0 || pst.Errors != 0 {
+		t.Fatalf("final sweep = %+v, want %d attested and no failures", pst, window)
+	}
+	t.Logf("churn: %d ops over %d waves, %d racing sweeps, worst-wave convergence %d ticks",
+		wantEnrolls+wantWithdraws, waves, sweeps.Load(), maxTicks)
+}

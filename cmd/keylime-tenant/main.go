@@ -13,14 +13,26 @@
 //	keylime-tenant -verifier http://localhost:8893 rollout-begin -policy policy.json
 //	keylime-tenant -verifier http://localhost:8893 rollout-status
 //	keylime-tenant -verifier http://localhost:8893 rollout-cancel
+//	keylime-tenant -verifier http://localhost:8893 fleet-apply -spec fleet.json
+//	keylime-tenant -verifier http://localhost:8893 fleet-status
+//	keylime-tenant -verifier http://localhost:8893 fleet-diff
 //
 // The rollout-* subcommands drive the verifier's staged rollout pipeline
 // (freshness gate → shadow evaluation → canary → fleet) instead of the
-// one-shot update-policy swap.
+// one-shot update-policy swap. The fleet-* subcommands manage the
+// declarative reconciler (-reconcile on the verifier): fleet-apply
+// submits a desired-state spec, fleet-status and fleet-diff watch
+// convergence.
+//
+// Exit codes: 0 success, 1 usage or local error, 2 transport failure
+// (verifier unreachable or 5xx after retries — safe to re-run), 3
+// verifier rejection (the request was refused — re-running without a
+// change will fail again).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -30,10 +42,24 @@ import (
 	"repro/internal/policy"
 )
 
+// Exit codes distinguishing failure classes for scripts.
+const (
+	exitUsage     = 1
+	exitTransport = 2
+	exitRejected  = 3
+)
+
 func main() {
 	if err := run(); err != nil {
 		log.SetFlags(0)
-		log.Fatalf("keylime-tenant: %v", err)
+		log.Printf("keylime-tenant: %v", err)
+		switch {
+		case errors.Is(err, tenant.ErrTransport):
+			os.Exit(exitTransport)
+		case errors.Is(err, tenant.ErrRejected):
+			os.Exit(exitRejected)
+		}
+		os.Exit(exitUsage)
 	}
 }
 
@@ -43,7 +69,7 @@ func run() error {
 	args := flag.Args()
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand: add | status | update-policy | resume | remove | list | " +
-			"rollout-begin | rollout-status | rollout-cancel")
+			"rollout-begin | rollout-status | rollout-cancel | fleet-apply | fleet-status | fleet-diff")
 	}
 	cmd, rest := args[0], args[1:]
 	tn := tenant.New(*verifierURL)
@@ -61,6 +87,8 @@ func run() error {
 		return nil
 	case "rollout-begin", "rollout-status", "rollout-cancel":
 		return runRollout(tn, cmd, rest)
+	case "fleet-apply", "fleet-status", "fleet-diff":
+		return runFleet(tn, cmd, rest)
 	}
 
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -223,6 +251,87 @@ func runRollout(tn *tenant.Tenant, cmd string, rest []string) error {
 			return err
 		}
 		fmt.Println("rollout cancelled; candidate quarantined")
+	}
+	return nil
+}
+
+// runFleet drives the declarative reconciler: submit a desired-state
+// spec, watch convergence, or show the outstanding delta.
+func runFleet(tn *tenant.Tenant, cmd string, rest []string) error {
+	switch cmd {
+	case "fleet-apply":
+		sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+		specPath := sub.String("spec", "", "desired-fleet spec JSON file")
+		if err := sub.Parse(rest); err != nil {
+			return err
+		}
+		if *specPath == "" {
+			return fmt.Errorf("fleet-apply: -spec is required")
+		}
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		version, diff, err := tn.ApplyFleetSpec(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fleet spec v%d applied: %d to enroll, %d to update, %d to withdraw\n",
+			version, len(diff.Enrolls), len(diff.Updates), len(diff.Withdraws))
+		if diff.Converged {
+			fmt.Println("already converged")
+		} else {
+			fmt.Println("watch convergence with fleet-status")
+		}
+	case "fleet-status":
+		st, err := tn.FleetStatus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spec version:   %d (%d applies)\n", st.SpecVersion, st.Applies)
+		fmt.Printf("managed agents: %d\n", st.Managed)
+		if st.Converged {
+			fmt.Printf("converged:      yes (v%d after %d ticks)\n", st.ConvergedVersion, st.ConvergedTicks)
+		} else {
+			fmt.Printf("converged:      no (%d enrolls, %d updates, %d withdraws pending)\n",
+				st.Pending.Enrolls, st.Pending.Updates, st.Pending.Withdraws)
+		}
+		if len(st.Degraded) > 0 {
+			fmt.Printf("degraded:       %v\n", st.Degraded)
+		}
+		for name, ts := range st.Tenants {
+			fmt.Printf("tenant %-12s %d agents", name, ts.Agents)
+			if ts.MaxAgents > 0 {
+				fmt.Printf(" (quota %d)", ts.MaxAgents)
+			}
+			if ts.Degraded > 0 {
+				fmt.Printf(", %d degraded", ts.Degraded)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("totals:         %d enrolled, %d withdrawn, %d updated, %d retries, %d degraded\n",
+			st.Counters.Enrolls, st.Counters.Withdraws, st.Counters.Updates,
+			st.Counters.Retries, st.Counters.Degraded)
+	case "fleet-diff":
+		diff, err := tn.FleetDiff()
+		if err != nil {
+			return err
+		}
+		if diff.Converged {
+			fmt.Printf("spec v%d: converged, nothing to do\n", diff.Version)
+			return nil
+		}
+		for _, id := range diff.Enrolls {
+			fmt.Printf("+ enroll   %s\n", id)
+		}
+		for _, id := range diff.Updates {
+			fmt.Printf("~ update   %s\n", id)
+		}
+		for _, id := range diff.Withdraws {
+			fmt.Printf("- withdraw %s\n", id)
+		}
+		fmt.Printf("spec v%d: %d operation(s) outstanding\n", diff.Version,
+			len(diff.Enrolls)+len(diff.Updates)+len(diff.Withdraws))
 	}
 	return nil
 }

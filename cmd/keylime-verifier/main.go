@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/keylime/audit"
 	"repro/internal/keylime/cluster"
+	"repro/internal/keylime/reconcile"
 	"repro/internal/keylime/rollout"
 	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
@@ -135,6 +136,20 @@ func run() error {
 			"revert canaries and quarantine the candidate automatically when the tripwire fires "+
 				"(false freezes the rollout for the operator instead)")
 
+		reconcileOn = flag.Bool("reconcile", false,
+			"enable the declarative fleet reconciler: desired-state specs applied via "+
+				"keylime-tenant fleet-apply are journaled and continuously converged "+
+				"(requires -reconcile-state)")
+		reconcileState = flag.String("reconcile-state", "",
+			"journal the desired-fleet spec and managed set in this directory so a "+
+				"killed reconciler resumes without duplicate enrollments or lost withdrawals")
+		reconcileInterval = flag.Duration("reconcile-interval", 10*time.Second,
+			"how often the reconcile loop diffs desired vs actual state")
+		tenantQuota = flag.Int("tenant-quota", 0,
+			"default max enrolled agents per tenant (0 = unlimited; per-tenant spec overrides win)")
+		tenantRate = flag.Float64("tenant-rate", 0,
+			"default reconcile-op token-bucket rate per tenant in ops/sec (0 = unlimited)")
+
 		nodeID = flag.String("node-id", "", "this verifier's cluster identity; enables cluster "+
 			"mode (must appear in -peers)")
 		peersFlag = flag.String("peers", "", "static cluster membership as comma-separated "+
@@ -153,6 +168,9 @@ func run() error {
 	}
 	if *wireFormat != "binary" && *wireFormat != "json" {
 		return fmt.Errorf("unknown -wire-format %q (want binary or json)", *wireFormat)
+	}
+	if *reconcileOn && *reconcileState == "" {
+		return fmt.Errorf("-reconcile requires -reconcile-state (the journaled spec is the whole point)")
 	}
 	clusterMode := *nodeID != "" || *peersFlag != ""
 	var peerAddrs map[string]string
@@ -506,6 +524,55 @@ func run() error {
 		return fmt.Errorf("recovering rollout state: %w", err)
 	}
 
+	// Declarative fleet reconciler: operators submit desired-state specs
+	// (keylime-tenant fleet-apply); the controller journals them before
+	// any side effect and continuously drives the fleet toward them. In
+	// cluster mode operations route through the fleet proxy to each
+	// agent's ring owner, so one reconciler converges the whole cluster.
+	var rec *reconcile.Controller
+	if *reconcileOn {
+		rcst, err := store.Open(*reconcileState, store.WithStoreFS(iofs))
+		if err != nil {
+			return fmt.Errorf("opening reconcile store %s: %w", *reconcileState, err)
+		}
+		defer func() { _ = rcst.Close() }()
+		recCfg := reconcile.Config{
+			Fleet:       v,
+			Store:       rcst,
+			Clock:       simclock.Real{},
+			TenantQuota: *tenantQuota,
+			TenantRate:  *tenantRate,
+			Logf:        log.Printf,
+		}
+		if node != nil {
+			recCfg.Fleet = node.Fleet(ctx)
+		}
+		if notifier != nil {
+			// Lifecycle transitions ride the durable notification path like
+			// rollout events. High-frequency per-op chatter (retries, rate
+			// deferrals) stays in the bounded event log only.
+			recCfg.Notify = func(ev reconcile.Event) {
+				switch ev.Type {
+				case reconcile.EventRetry, reconcile.EventRateDeferred, reconcile.EventQuotaDeferred:
+					return
+				}
+				notifier.Notify(webhook.Notification{
+					AgentID: ev.AgentID,
+					Type:    "reconcile-" + ev.Type,
+					Detail:  fmt.Sprintf("spec v%d: %s", ev.Version, ev.Detail),
+					Time:    ev.Time,
+				})
+			}
+		}
+		rec, err = reconcile.New(recCfg)
+		if err != nil {
+			return fmt.Errorf("recovering reconcile state: %w", err)
+		}
+		v.RegisterStats("reconcile", func() any { return rec.Status() })
+		fmt.Printf("reconcile: enabled (interval %v, tenant quota %d, tenant rate %.1f/s)\n",
+			*reconcileInterval, *tenantQuota, *tenantRate)
+	}
+
 	// Operator observability (satellite): generation/rollout status and
 	// undelivered-revocation counters via GET /v2/stats/{rollout,outbox}.
 	v.RegisterStats("rollout", func() any { return ctl.Status() })
@@ -536,6 +603,26 @@ func run() error {
 
 	if node != nil {
 		go node.Run(ctx) // heartbeats, elections, journal replication
+	}
+	reconcileDone := make(chan struct{})
+	if rec != nil {
+		go func() {
+			defer close(reconcileDone)
+			ticker := time.NewTicker(*reconcileInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+				}
+				if err := rec.Tick(); err != nil {
+					log.Printf("reconcile tick: %v", err)
+				}
+			}
+		}()
+	} else {
+		close(reconcileDone)
 	}
 	sweepDone := make(chan struct{})
 	go func() {
@@ -577,6 +664,9 @@ func run() error {
 		*listen, *registrarURL, *pollInterval, *continueOn)
 	mux := http.NewServeMux()
 	mux.Handle("/v2/rollout/", ctl.Handler())
+	if rec != nil {
+		mux.Handle("/v2/reconcile/", rec.Handler())
+	}
 	if node != nil {
 		mux.Handle(cluster.RPCPath, cluster.RPCHandler(node.Handle))
 		mux.HandleFunc("/v2/cluster/status", func(w http.ResponseWriter, r *http.Request) {
@@ -608,6 +698,7 @@ func run() error {
 		log.Printf("shutdown: HTTP server: %v", err)
 	}
 	<-sweepDone
+	<-reconcileDone
 	if node != nil {
 		node.Close()
 	}

@@ -9,12 +9,59 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/keylime/verifier"
 	"repro/internal/policy"
 )
+
+// Sentinel error codes carried in FleetResp.Code. RPC replies flatten
+// errors to strings; these codes let the proxy rebuild the verifier
+// sentinels the reconciler's idempotency logic matches with errors.Is.
+const (
+	codeDuplicate    = "duplicate"
+	codeUnknownAgent = "unknown-agent"
+	codeInactive     = "inactive"
+)
+
+// codeForErr maps a local verifier error to its wire code.
+func codeForErr(err error) (string, bool) {
+	switch {
+	case errors.Is(err, verifier.ErrDuplicate):
+		return codeDuplicate, true
+	case errors.Is(err, verifier.ErrUnknownAgent):
+		return codeUnknownAgent, true
+	case errors.Is(err, verifier.ErrAgentInactive):
+		return codeInactive, true
+	}
+	return "", false
+}
+
+// errForCode is the inverse of codeForErr on the calling side.
+func errForCode(code, agentID string) error {
+	switch code {
+	case "":
+		return nil
+	case codeDuplicate:
+		return fmt.Errorf("%w: %s", verifier.ErrDuplicate, agentID)
+	case codeUnknownAgent:
+		return fmt.Errorf("%w: %s", verifier.ErrUnknownAgent, agentID)
+	case codeInactive:
+		return fmt.Errorf("%w: %s", verifier.ErrAgentInactive, agentID)
+	}
+	return fmt.Errorf("cluster: fleet error code %q for %s", code, agentID)
+}
+
+// fleetErrReply encodes a fleet-op failure: sentinel errors ride in
+// FleetResp.Code (an OK reply), everything else is a plain error reply.
+func fleetErrReply(err error) Reply {
+	if code, ok := codeForErr(err); ok {
+		return okReply(FleetResp{Code: code})
+	}
+	return errReply("%v", err)
+}
 
 // FleetProxy implements rollout.Fleet over the cluster transport.
 type FleetProxy struct {
@@ -177,6 +224,71 @@ func (f *FleetProxy) ActivePolicy(agentID string) (*policy.RuntimePolicy, uint64
 	return pol, resp.Gen, nil
 }
 
+// AddAgent enrolls an agent on its ring owner via the registrar path.
+func (f *FleetProxy) AddAgent(agentID, agentURL string, pol *policy.RuntimePolicy) error {
+	pb, err := json.Marshal(pol)
+	if err != nil {
+		return err
+	}
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "add", URL: agentURL, Policy: pb}, &resp)
+	if local {
+		return f.node.cfg.Verifier.AddAgent(agentID, agentURL, pol)
+	}
+	if err != nil {
+		return err
+	}
+	return errForCode(resp.Code, agentID)
+}
+
+// AddAgentWithAK enrolls an agent on its ring owner with a caller-
+// supplied AK (no registrar round trip).
+func (f *FleetProxy) AddAgentWithAK(agentID, agentURL string, akPub []byte, pol *policy.RuntimePolicy) error {
+	pb, err := json.Marshal(pol)
+	if err != nil {
+		return err
+	}
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "add-ak", URL: agentURL, AKPub: akPub, Policy: pb}, &resp)
+	if local {
+		return f.node.cfg.Verifier.AddAgentWithAK(agentID, agentURL, akPub, pol)
+	}
+	if err != nil {
+		return err
+	}
+	return errForCode(resp.Code, agentID)
+}
+
+// RemoveAgent withdraws an agent from its ring owner.
+func (f *FleetProxy) RemoveAgent(agentID string) error {
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "remove"}, &resp)
+	if local {
+		return f.node.cfg.Verifier.RemoveAgent(agentID)
+	}
+	if err != nil {
+		return err
+	}
+	return errForCode(resp.Code, agentID)
+}
+
+// UpdatePolicy replaces an agent's runtime policy on its ring owner.
+func (f *FleetProxy) UpdatePolicy(agentID string, pol *policy.RuntimePolicy) error {
+	pb, err := json.Marshal(pol)
+	if err != nil {
+		return err
+	}
+	var resp FleetResp
+	local, err := f.callOwner(agentID, FleetReq{Op: "update-policy", Policy: pb}, &resp)
+	if local {
+		return f.node.cfg.Verifier.UpdatePolicy(agentID, pol)
+	}
+	if err != nil {
+		return err
+	}
+	return errForCode(resp.Code, agentID)
+}
+
 func (f *FleetProxy) Resume(agentID string) error {
 	local, err := f.callOwner(agentID, FleetReq{Op: "resume"}, &FleetResp{})
 	if local {
@@ -244,6 +356,31 @@ func (n *Node) handleFleet(req Request) Reply {
 	case "resume":
 		if err := v.Resume(body.AgentID); err != nil {
 			return errReply("%v", err)
+		}
+		return okReply(nil)
+	case "add", "add-ak", "update-policy":
+		var pol *policy.RuntimePolicy
+		if len(body.Policy) > 0 {
+			if err := json.Unmarshal(body.Policy, &pol); err != nil {
+				return errReply("decode policy: %v", err)
+			}
+		}
+		var err error
+		switch body.Op {
+		case "add":
+			err = v.AddAgent(body.AgentID, body.URL, pol)
+		case "add-ak":
+			err = v.AddAgentWithAK(body.AgentID, body.URL, body.AKPub, pol)
+		default:
+			err = v.UpdatePolicy(body.AgentID, pol)
+		}
+		if err != nil {
+			return fleetErrReply(err)
+		}
+		return okReply(nil)
+	case "remove":
+		if err := v.RemoveAgent(body.AgentID); err != nil {
+			return fleetErrReply(err)
 		}
 		return okReply(nil)
 	default:

@@ -1,0 +1,135 @@
+package cluster
+
+// Reconciler-driven churn across a live cluster, with a verifier killed
+// mid-churn: the declarative controller drives enrollment through the
+// FleetProxy (ring-owner routing), a node dies while a wave is
+// half-applied, the ring re-forms, and the reconciler's retry/backoff
+// carries the interrupted operations to the survivors. The end state
+// must be exactly the final declared window — partitioned one-owner-per-
+// agent across the survivors, attesting cleanly — with no agent leaked
+// from the dead shard and none lost from the interrupted wave.
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/reconcile"
+	"repro/internal/keylime/store"
+)
+
+func TestClusterReconcileFailoverMidChurn(t *testing.T) {
+	h := newHarness(t, 1, "v1", "v2", "v3")
+	lead := h.converge()
+
+	akB64 := base64.StdEncoding.EncodeToString(h.akPub)
+	polJSON, err := json.Marshal(h.pol)
+	if err != nil {
+		t.Fatalf("marshal policy: %v", err)
+	}
+	spec := func(lo, hi int) *reconcile.FleetSpec {
+		s := &reconcile.FleetSpec{}
+		for i := lo; i < hi; i++ {
+			s.Agents = append(s.Agents, reconcile.AgentSpec{
+				ID:     fmt.Sprintf("rc-%04d-4a97-9ef7-75bd81c0f1ee", i),
+				URL:    testAgentURL,
+				AKPub:  akB64,
+				Policy: polJSON,
+			})
+		}
+		return s
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer func() { _ = st.Close() }()
+	// Retries stay fast and never park Degraded: every op interrupted by
+	// the node death must eventually land on a survivor, and the test
+	// clock advances one heartbeat per harness tick.
+	rc, err := reconcile.New(reconcile.Config{
+		Fleet:       lead.n.Fleet(h.ctx),
+		Store:       st,
+		Clock:       h.clk,
+		MaxRetries:  100,
+		BaseBackoff: time.Second,
+		MaxBackoff:  2 * time.Second,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("reconcile.New: %v", err)
+	}
+	settle := func(label string, bound int) {
+		t.Helper()
+		for i := 0; i < bound && !rc.Status().Converged; i++ {
+			h.tick()
+			if err := rc.Tick(); err != nil {
+				t.Fatalf("%s: Tick: %v", label, err)
+			}
+		}
+		if !rc.Status().Converged {
+			t.Fatalf("%s: not converged within %d ticks: %+v", label, bound, rc.Status())
+		}
+	}
+
+	// Two clean waves establish a churning baseline across the ring.
+	if _, _, err := rc.Apply(spec(0, 40)); err != nil {
+		t.Fatalf("wave 1: %v", err)
+	}
+	settle("wave 1", 10)
+	if st := h.sweepAll(); st.Attested != 40 || st.Failed != 0 {
+		t.Fatalf("wave 1 sweep = %+v", st)
+	}
+	if _, _, err := rc.Apply(spec(20, 60)); err != nil {
+		t.Fatalf("wave 2: %v", err)
+	}
+	settle("wave 2", 10)
+
+	// Wave 3 is interrupted: the spec lands, a non-reconciler node dies
+	// before the wave converges, and ops routed to the dead owner fail
+	// into backoff until the ring re-forms around the survivors.
+	if _, _, err := rc.Apply(spec(40, 80)); err != nil {
+		t.Fatalf("wave 3: %v", err)
+	}
+	victim := ""
+	for _, id := range h.peers {
+		if id != lead.id {
+			victim = id
+			break
+		}
+	}
+	h.kill(victim)
+	if err := rc.Tick(); err != nil {
+		t.Fatalf("mid-failure tick: %v", err)
+	}
+	h.converge()
+	settle("wave 3 after failover", 120)
+
+	// Exactly the final window survives, partitioned across the two
+	// remaining nodes, attesting with zero false verdicts.
+	want := make([]string, 0, 40)
+	for i := 40; i < 80; i++ {
+		want = append(want, fmt.Sprintf("rc-%04d-4a97-9ef7-75bd81c0f1ee", i))
+	}
+	got := lead.n.Fleet(h.ctx).AgentIDs()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("fleet = %d agents %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fleet[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	h.assertPartitioned(want)
+	if st := h.sweepAll(); st.Attested != 40 || st.Failed != 0 {
+		t.Fatalf("post-failover sweep = %+v, want 40 attested / 0 failed", st)
+	}
+	if deg := rc.Status().Degraded; len(deg) != 0 {
+		t.Fatalf("items left degraded after failover: %v", deg)
+	}
+}

@@ -165,10 +165,13 @@ type (
 		Epoch uint64 `json:"epoch"`
 	}
 
-	// FleetReq proxies a rollout fleet operation to the shard owner.
+	// FleetReq proxies a rollout or reconcile fleet operation to the
+	// shard owner.
 	FleetReq struct {
-		Op      string          `json:"op"` // ids|status|set-shadow|clear-shadow|shadow-status|install-gen|active-policy|resume
+		Op      string          `json:"op"` // ids|status|set-shadow|clear-shadow|shadow-status|install-gen|active-policy|resume|add|add-ak|remove|update-policy
 		AgentID string          `json:"agent_id,omitempty"`
+		URL     string          `json:"url,omitempty"`
+		AKPub   []byte          `json:"ak_pub,omitempty"`
 		Gen     uint64          `json:"gen,omitempty"`
 		Policy  json.RawMessage `json:"policy,omitempty"`
 	}
@@ -177,6 +180,11 @@ type (
 		Gen    uint64          `json:"gen,omitempty"`
 		Status json.RawMessage `json:"status,omitempty"`
 		Policy json.RawMessage `json:"policy,omitempty"`
+		// Code carries well-known verifier sentinel errors (duplicate,
+		// unknown-agent, inactive) across the RPC so the caller can keep
+		// errors.Is working — a plain Reply.Err string would lose the
+		// identity the reconciler's idempotency contract depends on.
+		Code string `json:"code,omitempty"`
 	}
 
 	// GenSyncReq replicates the coordinator's policy-generation watermark

@@ -1,0 +1,151 @@
+package reconcile
+
+// Crash sweep over the reconciler's step boundaries: discover a
+// fault-free run's checkpoint sequence, then re-run the scenario once
+// per checkpoint with a crash armed there, restart a controller over
+// the SAME journal, re-submit the operator's final intent, and assert
+// the fleet converges to exactly the desired set — no duplicate
+// enrollments, no lost withdrawals — no matter where the process died.
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+	"repro/internal/simclock"
+)
+
+// crashScenario drives a controller through a churn sequence: enroll
+// {a,b,c}, converge, then shift to {b,c,d} (withdraw a, enroll d) with a
+// policy change on b. Any error (the injected crash) aborts mid-flight.
+func crashScenario(c *Controller, clk *simclock.Simulated) error {
+	specA := specOf(agent("a"), agent("b"), agent("c"))
+	if _, _, err := c.Apply(specA); err != nil {
+		return err
+	}
+	if err := c.Tick(); err != nil {
+		return err
+	}
+	if _, _, err := c.Apply(crashFinalSpec()); err != nil {
+		return err
+	}
+	clk.Advance(time.Second)
+	return c.Tick()
+}
+
+func crashFinalSpec() *FleetSpec {
+	b := agent("b")
+	b.Policy = []byte(`{"excludes":["/tmp/.*"]}`)
+	return specOf(b, agent("c"), agent("d"))
+}
+
+func TestCrashSweepEveryStepBoundary(t *testing.T) {
+	// Discovery: record the fault-free step sequence.
+	discoverFleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	hook := faultinject.NewStepHook()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	c, err := New(Config{Fleet: discoverFleet, Store: st, Clock: clk, Step: hook.Step})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := crashScenario(c, clk); err != nil {
+		t.Fatalf("discovery run failed: %v", err)
+	}
+	_ = st.Close()
+	steps := hook.Steps()
+	if len(steps) < 8 {
+		t.Fatalf("suspiciously few step checkpoints recorded: %v", steps)
+	}
+	seen := map[string]bool{}
+	for _, s := range steps {
+		seen[s] = true
+	}
+	for _, want := range []string{StepSpecCommit, StepOpEnroll, StepOpWithdraw, StepOpUpdate, StepStatusRecord} {
+		if !seen[want] {
+			t.Fatalf("step %q never hit in the fault-free run (recorded %v)", want, steps)
+		}
+	}
+
+	// Sweep: crash at every boundary, restart, converge, audit.
+	for i := 1; i <= len(steps); i++ {
+		i := i
+		t.Run(steps[i-1], func(t *testing.T) {
+			fleet := newFakeFleet()
+			clk := simclock.NewSimulated(time.Unix(0, 0))
+			hook := faultinject.NewStepHook()
+			hook.ArmCrash(i)
+			dir := t.TempDir()
+			st, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("open store: %v", err)
+			}
+			c, err := New(Config{Fleet: fleet, Store: st, Clock: clk, Step: hook.Step})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			if err := crashScenario(c, clk); !errors.Is(err, faultinject.ErrStepCrash) {
+				t.Fatalf("armed crash at step %d did not fire: %v", i, err)
+			}
+			// "Crash": drop the controller, reopen the journal cold.
+			_ = st.Close()
+			st2, err := store.Open(dir)
+			if err != nil {
+				t.Fatalf("reopen store: %v", err)
+			}
+			defer func() { _ = st2.Close() }()
+			c2, err := New(Config{Fleet: fleet, Store: st2, Clock: clk})
+			if err != nil {
+				t.Fatalf("restart recovery: %v", err)
+			}
+			// The operator re-submits the final intent (idempotent) and the
+			// loop reconverges.
+			if _, _, err := c2.Apply(crashFinalSpec()); err != nil {
+				t.Fatalf("re-apply after crash: %v", err)
+			}
+			for tick := 0; tick < 5 && !c2.Status().Converged; tick++ {
+				clk.Advance(time.Minute)
+				if err := c2.Tick(); err != nil {
+					t.Fatalf("post-crash tick: %v", err)
+				}
+			}
+			if !c2.Status().Converged {
+				t.Fatalf("no convergence within bounded ticks after crash at step %d (%s)", i, steps[i-1])
+			}
+			// Exactly the desired set: a withdrawn ("a" gone — withdrawal
+			// not lost), d present (enrollment not lost), nothing extra
+			// (no duplicates/leaks).
+			got := fleet.AgentIDs()
+			sort.Strings(got)
+			want := []string{"b", "c", "d"}
+			if len(got) != len(want) {
+				t.Fatalf("crash at %s: fleet = %v, want %v", steps[i-1], got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("crash at %s: fleet = %v, want %v", steps[i-1], got, want)
+				}
+			}
+			// The managed journal must agree with the fleet.
+			status := c2.Status()
+			if status.Managed != 3 {
+				t.Fatalf("crash at %s: managed = %d, want 3", steps[i-1], status.Managed)
+			}
+			// b's policy change must have landed (an update executed before
+			// the crash may replay — updates are idempotent — but must
+			// never be lost).
+			fleet.mu.Lock()
+			bPol := fleet.agents["b"].pol
+			fleet.mu.Unlock()
+			if bPol == nil || len(bPol.Excludes()) != 1 {
+				t.Fatalf("crash at %s: b's policy update lost: %v", steps[i-1], bPol)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package reconcile
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"repro/internal/keylime/api"
+)
+
+// applyResponse is the JSON reply to POST /v2/reconcile/apply.
+type applyResponse struct {
+	Version uint64 `json:"version"`
+	Diff    Diff   `json:"diff"`
+}
+
+// Handler returns the reconciler's management HTTP API, mounted
+// alongside the verifier's (the cmd serves both from one mux):
+//
+//	POST /v2/reconcile/apply   spec JSON -> journal new desired state
+//	GET  /v2/reconcile/status             -> Status
+//	GET  /v2/reconcile/diff               -> outstanding desired-vs-actual delta
+//	GET  /v2/reconcile/events             -> bounded event log, oldest first
+func (c *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/reconcile/apply", func(w http.ResponseWriter, req *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, 64<<20))
+		if err != nil {
+			writeReconcileErr(w, http.StatusBadRequest, err)
+			return
+		}
+		spec, err := ParseSpec(body)
+		if err != nil {
+			writeReconcileErr(w, http.StatusBadRequest, err)
+			return
+		}
+		version, diff, err := c.Apply(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrQuotaExceeded) {
+				// 422: the spec is well-formed but violates tenant limits.
+				status = http.StatusUnprocessableEntity
+			}
+			writeReconcileErr(w, status, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(applyResponse{Version: version, Diff: diff})
+	})
+	mux.HandleFunc("GET /v2/reconcile/status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Status())
+	})
+	mux.HandleFunc("GET /v2/reconcile/diff", func(w http.ResponseWriter, req *http.Request) {
+		diff, err := c.Diff()
+		if err != nil {
+			writeReconcileErr(w, http.StatusConflict, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(diff)
+	})
+	mux.HandleFunc("GET /v2/reconcile/events", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(c.Events())
+	})
+	return mux
+}
+
+func writeReconcileErr(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(api.ErrorResponse{Error: err.Error()})
+}

@@ -1,0 +1,672 @@
+package reconcile
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+	"repro/internal/policy"
+	"repro/internal/simclock"
+)
+
+// fakeFleet mimics the verifier's management surface semantics:
+// AddAgent on an existing id is ErrDuplicate, Remove/Update on a missing
+// id is ErrUnknownAgent.
+type fakeFleet struct {
+	mu     sync.Mutex
+	agents map[string]fakeAgent
+	// failFor makes every mutating op for the id fail until cleared.
+	failFor map[string]error
+	// hidden ids are withheld from AgentIDs (a stale view) while still
+	// present for Add/Update, exercising the concurrent-enroll races.
+	hidden map[string]bool
+
+	adds, removes, updates int
+}
+
+type fakeAgent struct {
+	url string
+	pol *policy.RuntimePolicy
+}
+
+func newFakeFleet() *fakeFleet {
+	return &fakeFleet{
+		agents:  make(map[string]fakeAgent),
+		failFor: make(map[string]error),
+		hidden:  make(map[string]bool),
+	}
+}
+
+func (f *fakeFleet) AgentIDs() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.agents))
+	for id := range f.agents {
+		if !f.hidden[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (f *fakeFleet) AddAgent(id, url string, pol *policy.RuntimePolicy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.failFor[id]; err != nil {
+		return err
+	}
+	f.adds++
+	if _, ok := f.agents[id]; ok {
+		return fmt.Errorf("%w: %s", verifier.ErrDuplicate, id)
+	}
+	f.agents[id] = fakeAgent{url: url, pol: pol}
+	return nil
+}
+
+func (f *fakeFleet) AddAgentWithAK(id, url string, akPub []byte, pol *policy.RuntimePolicy) error {
+	return f.AddAgent(id, url, pol)
+}
+
+func (f *fakeFleet) RemoveAgent(id string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.failFor[id]; err != nil {
+		return err
+	}
+	f.removes++
+	if _, ok := f.agents[id]; !ok {
+		return fmt.Errorf("%w: %s", verifier.ErrUnknownAgent, id)
+	}
+	delete(f.agents, id)
+	return nil
+}
+
+func (f *fakeFleet) UpdatePolicy(id string, pol *policy.RuntimePolicy) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.failFor[id]; err != nil {
+		return err
+	}
+	f.updates++
+	a, ok := f.agents[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", verifier.ErrUnknownAgent, id)
+	}
+	a.pol = pol
+	f.agents[id] = a
+	return nil
+}
+
+func (f *fakeFleet) fail(id string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		delete(f.failFor, id)
+	} else {
+		f.failFor[id] = err
+	}
+}
+
+func (f *fakeFleet) has(id string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.agents[id]
+	return ok
+}
+
+func (f *fakeFleet) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.agents)
+}
+
+func testController(t *testing.T, fleet Fleet, clk simclock.Clock, mutate ...func(*Config)) (*Controller, *store.Store) {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	cfg := Config{Fleet: fleet, Store: st, Clock: clk}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c, st
+}
+
+func specOf(agents ...AgentSpec) *FleetSpec { return &FleetSpec{Agents: agents} }
+
+func agent(id string) AgentSpec {
+	return AgentSpec{ID: id, URL: "http://" + id + ":9002"}
+}
+
+func mustApply(t *testing.T, c *Controller, s *FleetSpec) uint64 {
+	t.Helper()
+	v, _, err := c.Apply(s)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	return v
+}
+
+func mustTick(t *testing.T, c *Controller) {
+	t.Helper()
+	if err := c.Tick(); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+}
+
+func TestApplyConverges(t *testing.T) {
+	fleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	c, _ := testController(t, fleet, clk)
+
+	pol := policy.New()
+	pol.Add("/usr/bin/a", policy.Digest{0xaa})
+	polJSON, _ := json.Marshal(pol)
+	spec := &FleetSpec{
+		Tenants: []TenantSpec{{Name: "team-a"}},
+		Agents: []AgentSpec{
+			{ID: "a1", URL: "http://a1:9002", Tenant: "team-a", Policy: polJSON},
+			{ID: "a2", URL: "http://a2:9002", Tenant: "team-a"},
+			{ID: "b1", URL: "http://b1:9002", Tenant: "team-b"},
+		},
+	}
+	if v := mustApply(t, c, spec); v != 1 {
+		t.Fatalf("first apply version = %d, want 1", v)
+	}
+	mustTick(t, c)
+
+	st := c.Status()
+	if !st.Converged || st.ConvergedTicks != 1 {
+		t.Fatalf("not converged after one tick: %+v", st)
+	}
+	if fleet.count() != 3 || !fleet.has("a1") || !fleet.has("a2") || !fleet.has("b1") {
+		t.Fatalf("fleet = %v agents, want the 3 desired", fleet.count())
+	}
+	if st.Counters.Enrolls != 3 {
+		t.Fatalf("enrolls = %d, want 3", st.Counters.Enrolls)
+	}
+	if got := st.Tenants["team-a"].Agents; got != 2 {
+		t.Fatalf("team-a agents = %d, want 2", got)
+	}
+	// Policy content must reach the fleet.
+	fleet.mu.Lock()
+	gotPol := fleet.agents["a1"].pol
+	fleet.mu.Unlock()
+	if gotPol == nil || gotPol.Lines() != 1 {
+		t.Fatalf("a1 policy not delivered: %v", gotPol)
+	}
+
+	types := map[string]int{}
+	for _, ev := range c.Events() {
+		types[ev.Type]++
+	}
+	if types[EventApplied] != 1 || types[EventEnroll] != 3 || types[EventConverged] != 1 {
+		t.Fatalf("event mix = %v", types)
+	}
+}
+
+func TestVersionsIncrementAndIgnoreSubmitted(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	if v := mustApply(t, c, &FleetSpec{Version: 99, Agents: []AgentSpec{agent("a")}}); v != 1 {
+		t.Fatalf("version = %d, want 1 (submitted version must be ignored)", v)
+	}
+	if v := mustApply(t, c, specOf(agent("a"))); v != 2 {
+		t.Fatalf("second version = %d, want 2", v)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)), func(cfg *Config) {
+		cfg.TenantQuota = 2
+	})
+	cases := []struct {
+		name string
+		spec *FleetSpec
+		is   error
+	}{
+		{"empty id", specOf(AgentSpec{URL: "http://x"}), nil},
+		{"empty url", specOf(AgentSpec{ID: "x"}), nil},
+		{"dup id", specOf(agent("x"), agent("x")), nil},
+		{"dup tenant", &FleetSpec{Tenants: []TenantSpec{{Name: "t"}, {Name: "t"}}}, nil},
+		{"bad ak", specOf(AgentSpec{ID: "x", URL: "http://x", AKPub: "!!"}), nil},
+		{"bad policy", specOf(AgentSpec{ID: "x", URL: "http://x", Policy: json.RawMessage(`{`)}), nil},
+		{"over quota", specOf(agent("a"), agent("b"), agent("c")), ErrQuotaExceeded},
+	}
+	for _, tc := range cases {
+		_, _, err := c.Apply(tc.spec)
+		if err == nil {
+			t.Errorf("%s: Apply accepted a bad spec", tc.name)
+			continue
+		}
+		if tc.is != nil && !errors.Is(err, tc.is) {
+			t.Errorf("%s: err = %v, want errors.Is %v", tc.name, err, tc.is)
+		}
+	}
+	// A rejected spec must not disturb state: no version consumed.
+	if v := mustApply(t, c, specOf(agent("ok"))); v != 1 {
+		t.Fatalf("version after rejections = %d, want 1", v)
+	}
+	// Per-tenant override beats the default quota.
+	big := &FleetSpec{
+		Tenants: []TenantSpec{{Name: "wide", MaxAgents: 5}},
+		Agents: []AgentSpec{
+			{ID: "a", URL: "u", Tenant: "wide"}, {ID: "b", URL: "u", Tenant: "wide"},
+			{ID: "c", URL: "u", Tenant: "wide"},
+		},
+	}
+	if _, _, err := c.Apply(big); err != nil {
+		t.Fatalf("per-tenant override rejected: %v", err)
+	}
+}
+
+func TestWithdrawOnSpecShrink(t *testing.T) {
+	fleet := newFakeFleet()
+	c, st := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	mustApply(t, c, specOf(agent("a"), agent("b")))
+	mustTick(t, c)
+	mustApply(t, c, specOf(agent("a")))
+	mustTick(t, c)
+	if fleet.has("b") {
+		t.Fatal("b still enrolled after being dropped from the spec")
+	}
+	// The withdrawal leaves a tombstone (resurrection guard), not a bare
+	// deletion, and the tombstone does not count as managed.
+	raw, ok := st.Get(managedPrefix + "b")
+	if !ok {
+		t.Fatal("withdrawal deleted b's row outright; want a tombstone")
+	}
+	var row managedRow
+	if err := json.Unmarshal(raw, &row); err != nil || !row.Withdrawn {
+		t.Fatalf("b's row after withdrawal = %s (err %v), want Withdrawn", raw, err)
+	}
+	if st2 := c.Status(); !st2.Converged || st2.Counters.Withdraws != 1 || st2.Managed != 1 {
+		t.Fatalf("status after shrink: %+v", st2)
+	}
+	// Once b has stayed gone for the GC window, the tombstone is
+	// collected.
+	for i := 0; i < tombstoneGCTicks; i++ {
+		mustTick(t, c)
+	}
+	if _, ok := st.Get(managedPrefix + "b"); ok {
+		t.Fatal("tombstone for b not collected after the GC window")
+	}
+}
+
+func TestResurrectedGhostIsWithdrawnAgain(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	mustApply(t, c, specOf(agent("a"), agent("ghost")))
+	mustTick(t, c)
+	mustApply(t, c, specOf(agent("a")))
+	mustTick(t, c)
+	if fleet.has("ghost") {
+		t.Fatal("ghost not withdrawn")
+	}
+	// An at-least-once restore (failover replaying a replica that lagged
+	// the removal) resurrects the agent. The tombstone proves prior
+	// ownership, so it is withdrawn again instead of leaking as
+	// unmanaged.
+	_ = fleet.AddAgent("ghost", "http://ghost:9002", policy.New())
+	mustTick(t, c)
+	if fleet.has("ghost") {
+		t.Fatal("resurrected ghost leaked: tombstone did not trigger re-withdrawal")
+	}
+	if st := c.Status(); st.Counters.Withdraws != 2 {
+		t.Fatalf("withdraws = %d, want 2 (original + ghost)", st.Counters.Withdraws)
+	}
+	// A tombstoned agent the operator declares again is a fresh
+	// enrollment.
+	mustApply(t, c, specOf(agent("a"), agent("ghost")))
+	mustTick(t, c)
+	if !fleet.has("ghost") || !c.Status().Converged {
+		t.Fatal("re-declared tombstoned agent not re-enrolled")
+	}
+}
+
+func TestUnmanagedAgentsAreNeverWithdrawn(t *testing.T) {
+	fleet := newFakeFleet()
+	_ = fleet.AddAgent("imperative", "http://x:9002", policy.New())
+	fleet.adds = 0
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	mustApply(t, c, specOf(agent("a")))
+	mustTick(t, c)
+	if !fleet.has("imperative") {
+		t.Fatal("reconciler withdrew an agent it never enrolled")
+	}
+	if !c.Status().Converged {
+		t.Fatal("unmanaged extra agent blocked convergence")
+	}
+}
+
+func TestAdoptDeclaredExistingAgent(t *testing.T) {
+	fleet := newFakeFleet()
+	_ = fleet.AddAgent("x", "http://x:9002", policy.New())
+	c, st := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	mustApply(t, c, specOf(agent("x")))
+	mustTick(t, c)
+	status := c.Status()
+	if status.Counters.Adopts != 1 || status.Counters.Enrolls != 0 {
+		t.Fatalf("adopt path not taken: %+v", status.Counters)
+	}
+	if _, ok := st.Get(managedPrefix + "x"); !ok {
+		t.Fatal("adopted agent has no managed row")
+	}
+	// Once adopted, dropping it from the spec withdraws it.
+	mustApply(t, c, specOf())
+	mustTick(t, c)
+	if fleet.has("x") {
+		t.Fatal("adopted agent not withdrawn after spec removal")
+	}
+}
+
+func TestPolicyDriftTriggersUpdateOnlyOnRealChange(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	hashA := "aa" + strings.Repeat("00", 31)
+	hashB := "bb" + strings.Repeat("00", 31)
+	a := agent("a")
+	a.Policy = json.RawMessage(`{"digests":{"/bin/sh":["` + hashA + `"]}}`)
+	mustApply(t, c, specOf(a))
+	mustTick(t, c)
+	updates0 := fleet.updates
+
+	// Same policy, different JSON formatting: canonical hash equal, no op.
+	a.Policy = json.RawMessage(`{ "digests" : { "/bin/sh" : [ "` + hashA + `" ] } }`)
+	mustApply(t, c, specOf(a))
+	mustTick(t, c)
+	if fleet.updates != updates0 {
+		t.Fatal("reformatted-but-identical policy triggered an update")
+	}
+
+	a.Policy = json.RawMessage(`{"digests":{"/bin/sh":["` + hashB + `"]}}`)
+	mustApply(t, c, specOf(a))
+	mustTick(t, c)
+	if fleet.updates != updates0+1 {
+		t.Fatalf("changed policy: updates = %d, want %d", fleet.updates, updates0+1)
+	}
+}
+
+func TestURLChangeReEnrolls(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	mustApply(t, c, specOf(agent("a")))
+	mustTick(t, c)
+	moved := agent("a")
+	moved.URL = "http://elsewhere:9002"
+	mustApply(t, c, specOf(moved))
+	mustTick(t, c)
+	fleet.mu.Lock()
+	url := fleet.agents["a"].url
+	fleet.mu.Unlock()
+	if url != "http://elsewhere:9002" {
+		t.Fatalf("agent url = %q after URL change", url)
+	}
+	if !c.Status().Converged {
+		t.Fatal("not converged after re-enroll")
+	}
+}
+
+func TestBackoffDegradedIsolationAndRecovery(t *testing.T) {
+	fleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	c, _ := testController(t, fleet, clk, func(cfg *Config) {
+		cfg.MaxRetries = 3
+		cfg.BaseBackoff = time.Second
+		cfg.MaxBackoff = 4 * time.Second
+		cfg.DegradedRetry = time.Minute
+	})
+	fleet.fail("bad", errors.New("registrar down"))
+	mustApply(t, c, specOf(agent("bad"), agent("good")))
+
+	mustTick(t, c) // attempt 1 for bad; good enrolls
+	if !fleet.has("good") {
+		t.Fatal("healthy agent blocked by failing one")
+	}
+	st := c.Status()
+	if st.Converged {
+		t.Fatal("converged while a retryable item is pending")
+	}
+	if st.Counters.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Counters.Retries)
+	}
+
+	// Backoff gates the item: an immediate tick must not re-attempt.
+	mustTick(t, c)
+	if got := c.Status().Counters.Retries; got != 1 {
+		t.Fatalf("retried during backoff window: retries = %d", got)
+	}
+
+	// Drive through the remaining attempts to Degraded.
+	for i := 0; i < 2; i++ {
+		clk.Advance(10 * time.Second)
+		mustTick(t, c)
+	}
+	st = c.Status()
+	if len(st.Degraded) != 1 || st.Degraded[0] != "bad" {
+		t.Fatalf("degraded = %v, want [bad]", st.Degraded)
+	}
+	if !st.Converged {
+		t.Fatal("a degraded item must not hold convergence hostage")
+	}
+
+	// Reprobe after the fault clears: the item recovers.
+	fleet.fail("bad", nil)
+	clk.Advance(2 * time.Minute)
+	mustTick(t, c)
+	if !fleet.has("bad") {
+		t.Fatal("degraded agent not enrolled after recovery reprobe")
+	}
+	st = c.Status()
+	if len(st.Degraded) != 0 {
+		t.Fatalf("still degraded after recovery: %v", st.Degraded)
+	}
+	var recovered bool
+	for _, ev := range c.Events() {
+		if ev.Type == EventRecovered && ev.AgentID == "bad" {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Fatal("no recovered event")
+	}
+}
+
+func TestTenantRateLimit(t *testing.T) {
+	fleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	c, _ := testController(t, fleet, clk, func(cfg *Config) {
+		cfg.TenantRate = 1
+		cfg.TenantBurst = 2
+	})
+	mustApply(t, c, specOf(agent("a"), agent("b"), agent("c"), agent("d")))
+	mustTick(t, c)
+	if got := fleet.count(); got != 2 {
+		t.Fatalf("burst-limited tick enrolled %d, want 2", got)
+	}
+	if c.Status().Counters.RateDeferred == 0 {
+		t.Fatal("no rate-deferred events recorded")
+	}
+	clk.Advance(time.Second)
+	mustTick(t, c)
+	if got := fleet.count(); got != 3 {
+		t.Fatalf("after 1s refill fleet = %d, want 3", got)
+	}
+	clk.Advance(10 * time.Second)
+	mustTick(t, c)
+	if got := fleet.count(); got != 4 || !c.Status().Converged {
+		t.Fatalf("fleet = %d converged=%v, want full convergence", got, c.Status().Converged)
+	}
+}
+
+func TestTenantRateIsolation(t *testing.T) {
+	fleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	c, _ := testController(t, fleet, clk)
+	slow := TenantSpec{Name: "slow", Rate: 0.001, Burst: 1}
+	spec := &FleetSpec{
+		Tenants: []TenantSpec{slow},
+		Agents: []AgentSpec{
+			{ID: "s1", URL: "u", Tenant: "slow"}, {ID: "s2", URL: "u", Tenant: "slow"},
+			{ID: "f1", URL: "u", Tenant: "fast"}, {ID: "f2", URL: "u", Tenant: "fast"},
+		},
+	}
+	if _, _, err := c.Apply(spec); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	mustTick(t, c)
+	if !fleet.has("f1") || !fleet.has("f2") {
+		t.Fatal("unlimited tenant throttled by the slow tenant's bucket")
+	}
+	if fleet.has("s1") && fleet.has("s2") {
+		t.Fatal("slow tenant burst=1 enrolled both agents in one tick")
+	}
+}
+
+func TestMaxPendingCapsOpsPerTick(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)), func(cfg *Config) {
+		cfg.MaxPending = 2
+	})
+	mustApply(t, c, specOf(agent("a"), agent("b"), agent("c"), agent("d"), agent("e")))
+	mustTick(t, c)
+	if got := fleet.count(); got != 2 {
+		t.Fatalf("MaxPending=2 tick enrolled %d", got)
+	}
+	if c.Status().Counters.QuotaDeferred == 0 {
+		t.Fatal("no quota-deferred event")
+	}
+	mustTick(t, c)
+	mustTick(t, c)
+	if got := fleet.count(); got != 5 || !c.Status().Converged {
+		t.Fatalf("fleet = %d converged=%v after 3 ticks", got, c.Status().Converged)
+	}
+}
+
+func TestConcurrentEnrollDuplicateIsConverged(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	// The fleet already holds the agent but hides it from AgentIDs — the
+	// stale-view race where someone else enrolled between diff and
+	// execute. AddAgent returns ErrDuplicate; the reconciler must fall
+	// through to UpdatePolicy and count the item applied.
+	_ = fleet.AddAgent("x", "http://x:9002", policy.New())
+	fleet.mu.Lock()
+	fleet.hidden["x"] = true
+	fleet.mu.Unlock()
+	mustApply(t, c, specOf(agent("x")))
+	mustTick(t, c)
+	st := c.Status()
+	if st.Counters.Enrolls != 1 {
+		t.Fatalf("duplicate-enroll not settled: %+v", st.Counters)
+	}
+	if fleet.updates == 0 {
+		t.Fatal("policy not converged through the duplicate fallback")
+	}
+}
+
+func TestRestartRecoversSpecAndManaged(t *testing.T) {
+	fleet := newFakeFleet()
+	clk := simclock.NewSimulated(time.Unix(0, 0))
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	c, err := New(Config{Fleet: fleet, Store: st, Clock: clk})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fleet.fail("late", errors.New("unreachable"))
+	mustApply(t, c, specOf(agent("a"), agent("b"), agent("late")))
+	mustTick(t, c)
+	adds0 := fleet.adds
+	_ = st.Close()
+
+	// "Restart": fresh store handle + controller over the same journal.
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	defer func() { _ = st2.Close() }()
+	c2, err := New(Config{Fleet: fleet, Store: st2, Clock: clk})
+	if err != nil {
+		t.Fatalf("New after restart: %v", err)
+	}
+	if got := c2.Status().SpecVersion; got != 1 {
+		t.Fatalf("recovered spec version = %d, want 1", got)
+	}
+	// All three are managed: a and b completed, and "late" has a
+	// write-ahead intent row — ownership is claimed before the enroll
+	// side effect so a crash can never orphan an enrolled agent.
+	if got := c2.Status().Managed; got != 3 {
+		t.Fatalf("recovered managed = %d, want 3", got)
+	}
+	fleet.fail("late", nil)
+	clk.Advance(time.Hour)
+	mustTick(t, c2)
+	if !fleet.has("late") || !c2.Status().Converged {
+		t.Fatal("restarted controller did not finish convergence")
+	}
+	// a and b were already enrolled + journaled: the restart must not
+	// have re-added them.
+	if fleet.adds != adds0+1 {
+		t.Fatalf("adds after restart = %d, want %d (exactly one for 'late')", fleet.adds, adds0+1)
+	}
+}
+
+func TestEventLogIsBounded(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)), func(cfg *Config) {
+		cfg.EventCap = 8
+	})
+	for i := 0; i < 10; i++ {
+		mustApply(t, c, specOf(agent(fmt.Sprintf("a%02d", i))))
+		mustTick(t, c)
+	}
+	evs := c.Events()
+	if len(evs) != 8 {
+		t.Fatalf("event log length = %d, want cap 8", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatal("event ring not returned oldest-first")
+		}
+	}
+}
+
+func TestDiffReportsWithoutExecuting(t *testing.T) {
+	fleet := newFakeFleet()
+	c, _ := testController(t, fleet, simclock.NewSimulated(time.Unix(0, 0)))
+	if _, err := c.Diff(); !errors.Is(err, ErrNoSpec) {
+		t.Fatalf("Diff before apply: %v, want ErrNoSpec", err)
+	}
+	_, diff, err := c.Apply(specOf(agent("a"), agent("b")))
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(diff.Enrolls) != 2 || diff.Converged {
+		t.Fatalf("apply diff = %+v", diff)
+	}
+	if fleet.count() != 0 {
+		t.Fatal("Apply executed side effects; only Tick may")
+	}
+	mustTick(t, c)
+	diff, err = c.Diff()
+	if err != nil || !diff.Converged {
+		t.Fatalf("post-tick diff = %+v, err %v", diff, err)
+	}
+}

@@ -1,0 +1,233 @@
+package reconcile
+
+// Desired-fleet specification: the journaled record of operator intent
+// the reconcile loop continuously drives the verifier toward. A spec is
+// declarative — it names the agents that SHOULD be enrolled, per tenant,
+// with their policies — and versioned: Apply assigns a monotonically
+// increasing version and persists the whole spec through the store
+// BEFORE any side effect, so what the operator meant is never implied by
+// which imperative calls happened to succeed.
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// DefaultTenant is the tenant agents belong to when their spec entry
+// names none.
+const DefaultTenant = "default"
+
+// AgentSpec is one desired enrollment.
+type AgentSpec struct {
+	// ID is the agent UUID (required, unique within the spec).
+	ID string `json:"id"`
+	// URL is the agent's quote API base URL (required).
+	URL string `json:"url"`
+	// Tenant namespaces the agent for quota/rate accounting (default
+	// "default").
+	Tenant string `json:"tenant,omitempty"`
+	// AKPub optionally carries the agent's attestation public key
+	// (base64 PKIX DER). When set, enrollment trusts it directly
+	// (AddAgentWithAK) instead of fetching it from the registrar.
+	AKPub string `json:"ak_pub,omitempty"`
+	// Policy is the desired runtime policy (raw JSON; empty = empty
+	// policy).
+	Policy json.RawMessage `json:"policy,omitempty"`
+	// Cohort labels the agent's rollout cohort; the reconciler records
+	// it for operators (and future staged-rollout grouping), it does not
+	// change reconciliation behavior.
+	Cohort string `json:"cohort,omitempty"`
+}
+
+// TenantSpec declares a tenant and its isolation limits. Tenants
+// referenced by agents but not declared are created implicitly with the
+// controller's defaults.
+type TenantSpec struct {
+	Name string `json:"name"`
+	// MaxAgents caps how many agents the tenant may enroll (0 = the
+	// controller's -tenant-quota default; negative = unlimited).
+	MaxAgents int `json:"max_agents,omitempty"`
+	// Rate is the tenant's reconcile-op token-bucket refill in ops/sec
+	// (0 = the controller's -tenant-rate default; negative = unlimited).
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token-bucket capacity (0 = max(1, ceil(rate))).
+	Burst int `json:"burst,omitempty"`
+}
+
+// FleetSpec is the full desired state of the fleet.
+type FleetSpec struct {
+	// Version is assigned by Apply; a value in a submitted spec is
+	// ignored.
+	Version uint64       `json:"version,omitempty"`
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	Agents  []AgentSpec  `json:"agents"`
+}
+
+// ParseSpec decodes a spec document.
+func ParseSpec(data []byte) (*FleetSpec, error) {
+	var s FleetSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("reconcile: parsing spec: %w", err)
+	}
+	return &s, nil
+}
+
+// desiredAgent is an AgentSpec with its derived fields resolved once at
+// Apply time: canonical policy hash, decoded AK, effective tenant.
+type desiredAgent struct {
+	spec   AgentSpec
+	tenant string
+	hash   string
+	pol    *policy.RuntimePolicy
+	akPub  []byte // nil when enrollment goes through the registrar
+}
+
+// resolve validates one AgentSpec and computes its derived fields.
+func resolveAgent(a AgentSpec) (*desiredAgent, error) {
+	if a.ID == "" {
+		return nil, fmt.Errorf("reconcile: agent with empty id")
+	}
+	if a.URL == "" {
+		return nil, fmt.Errorf("reconcile: agent %s: empty url", a.ID)
+	}
+	d := &desiredAgent{spec: a, tenant: a.Tenant}
+	if d.tenant == "" {
+		d.tenant = DefaultTenant
+	}
+	pol := policy.New()
+	if len(a.Policy) > 0 {
+		if err := json.Unmarshal(a.Policy, pol); err != nil {
+			return nil, fmt.Errorf("reconcile: agent %s: policy: %w", a.ID, err)
+		}
+	}
+	d.pol = pol
+	h, err := policyHash(pol)
+	if err != nil {
+		return nil, fmt.Errorf("reconcile: agent %s: %w", a.ID, err)
+	}
+	d.hash = h
+	if a.AKPub != "" {
+		ak, err := base64.StdEncoding.DecodeString(a.AKPub)
+		if err != nil {
+			return nil, fmt.Errorf("reconcile: agent %s: ak_pub: %w", a.ID, err)
+		}
+		d.akPub = ak
+	}
+	return d, nil
+}
+
+// policyHash is the canonical content hash drift detection compares:
+// the SHA-256 of the policy's canonical JSON marshaling (RuntimePolicy
+// marshals entries in sorted order, so semantically equal policies hash
+// equal regardless of how the spec formatted them).
+func policyHash(pol *policy.RuntimePolicy) (string, error) {
+	canon, err := json.Marshal(pol)
+	if err != nil {
+		return "", fmt.Errorf("canonicalizing policy: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// tenantLimits are one tenant's effective isolation settings after
+// defaults are applied.
+type tenantLimits struct {
+	maxAgents int     // <= 0 unlimited
+	rate      float64 // <= 0 unlimited
+	burst     float64
+}
+
+// resolveSpec validates a whole spec against the controller defaults and
+// returns the desired-agent map plus per-tenant effective limits. It is
+// pure: no side effects, so Apply can reject a bad spec outright.
+func resolveSpec(s *FleetSpec, defQuota int, defRate float64, defBurst int) (map[string]*desiredAgent, map[string]tenantLimits, error) {
+	limits := make(map[string]tenantLimits)
+	seenTenant := make(map[string]bool)
+	for _, t := range s.Tenants {
+		if t.Name == "" {
+			return nil, nil, fmt.Errorf("reconcile: tenant with empty name")
+		}
+		if seenTenant[t.Name] {
+			return nil, nil, fmt.Errorf("reconcile: duplicate tenant %q", t.Name)
+		}
+		seenTenant[t.Name] = true
+		limits[t.Name] = effectiveLimits(t, defQuota, defRate, defBurst)
+	}
+	desired := make(map[string]*desiredAgent, len(s.Agents))
+	perTenant := make(map[string]int)
+	for _, a := range s.Agents {
+		d, err := resolveAgent(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, dup := desired[d.spec.ID]; dup {
+			return nil, nil, fmt.Errorf("reconcile: duplicate agent id %q in spec", d.spec.ID)
+		}
+		if _, ok := limits[d.tenant]; !ok {
+			limits[d.tenant] = effectiveLimits(TenantSpec{Name: d.tenant}, defQuota, defRate, defBurst)
+		}
+		desired[d.spec.ID] = d
+		perTenant[d.tenant]++
+	}
+	for tn, n := range perTenant {
+		if q := limits[tn].maxAgents; q > 0 && n > q {
+			return nil, nil, fmt.Errorf("%w: tenant %q wants %d agents, quota %d",
+				ErrQuotaExceeded, tn, n, q)
+		}
+	}
+	return desired, limits, nil
+}
+
+// effectiveLimits applies the controller defaults to one tenant's
+// declared limits. Explicit negatives mean unlimited.
+func effectiveLimits(t TenantSpec, defQuota int, defRate float64, defBurst int) tenantLimits {
+	l := tenantLimits{maxAgents: t.MaxAgents, rate: t.Rate}
+	if t.MaxAgents == 0 {
+		l.maxAgents = defQuota
+	}
+	if t.Rate == 0 {
+		l.rate = defRate
+	}
+	burst := t.Burst
+	if burst == 0 {
+		burst = defBurst
+	}
+	if burst <= 0 {
+		if l.rate > 0 {
+			burst = int(l.rate) + 1
+		} else {
+			burst = 1
+		}
+	}
+	l.burst = float64(burst)
+	return l
+}
+
+// managedRow is the journaled record of one applied enrollment: what the
+// reconciler last successfully drove the verifier to for this agent. The
+// managed set is the reconciler's memory of ownership — agents enrolled
+// imperatively (outside any spec) are never withdrawn, and a withdrawal
+// is only forgotten after the remove has been applied, so a crash
+// between side effect and journal replays idempotently in both
+// directions.
+//
+// A completed withdrawal does not delete the row; it flips Withdrawn,
+// leaving a tombstone. At-least-once recovery elsewhere in the system —
+// a cluster failover restoring a dead shard from a replica that lagged
+// the removal — can resurrect an agent the reconciler already withdrew;
+// the tombstone remembers the withdrawal so the ghost is withdrawn
+// again instead of leaking as "unmanaged". Tombstones are garbage-
+// collected once the agent has stayed gone for a bounded number of
+// ticks.
+type managedRow struct {
+	URL       string `json:"url"`
+	Tenant    string `json:"tenant"`
+	Hash      string `json:"hash"`
+	Cohort    string `json:"cohort,omitempty"`
+	Withdrawn bool   `json:"withdrawn,omitempty"`
+}

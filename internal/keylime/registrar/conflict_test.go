@@ -1,0 +1,179 @@
+package registrar
+
+// Concurrent-enrollment conflict semantics: a pending (unactivated)
+// record under one AK must not be silently hijacked by a second
+// requester claiming the same agent ID with a different AK — first
+// claim wins, the loser gets ErrEnrollConflict (HTTP 409). Lost-response
+// retransmits with the SAME AK re-issue a fresh challenge, and an
+// ACTIVE record may always re-register (the reboot/re-provision path).
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/keylime/api"
+	"repro/internal/tpm"
+)
+
+func TestRegisterConflictOnPendingDifferentAK(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	dev2, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("second TPM: %v", err)
+	}
+	r := New(ca.Pool())
+	ak1, _ := dev.CreateAK()
+	ak2, _ := dev2.CreateAK()
+
+	cred, err := r.Register("agent-1", dev.EKCertificate(), ak1, "http://a:9002")
+	if err != nil {
+		t.Fatalf("first register: %v", err)
+	}
+	// A different requester racing for the same pending ID is refused.
+	if _, err := r.Register("agent-1", dev2.EKCertificate(), ak2, "http://b:9002"); !errors.Is(err, ErrEnrollConflict) {
+		t.Fatalf("conflicting register = %v, want ErrEnrollConflict", err)
+	}
+	// Same-AK retransmit (lost response) gets a fresh challenge.
+	cred2, err := r.Register("agent-1", dev.EKCertificate(), ak1, "http://a:9002")
+	if err != nil {
+		t.Fatalf("same-AK retry: %v", err)
+	}
+	proof, err := dev.ActivateCredential(cred2)
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	if err := r.Activate("agent-1", proof); err != nil {
+		t.Fatalf("Activate after retry: %v", err)
+	}
+	// Once ACTIVE, a different AK may re-register: reboot/re-provision
+	// resets the record to pending under the new key.
+	if _, err := r.Register("agent-1", dev2.EKCertificate(), ak2, "http://b:9002"); err != nil {
+		t.Fatalf("re-register of active record: %v", err)
+	}
+	// The stale credential from the pre-activation challenge is dead.
+	if err := r.Activate("agent-1", proofFromCred(t, dev, cred)); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("stale proof accepted: %v", err)
+	}
+}
+
+func proofFromCred(t *testing.T, dev *tpm.TPM, cred tpm.Credential) tpm.Digest {
+	t.Helper()
+	proof, err := dev.ActivateCredential(cred)
+	if err != nil {
+		t.Fatalf("ActivateCredential: %v", err)
+	}
+	return proof
+}
+
+func TestRegisterConflictRace(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	dev2, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("second TPM: %v", err)
+	}
+	r := New(ca.Pool())
+	ak1, _ := dev.CreateAK()
+	ak2, _ := dev2.CreateAK()
+
+	type attempt struct {
+		dev  *tpm.TPM
+		ak   []byte
+		cred tpm.Credential
+		err  error
+	}
+	attempts := []*attempt{
+		{dev: dev, ak: ak1},
+		{dev: dev2, ak: ak2},
+	}
+	var wg sync.WaitGroup
+	for _, a := range attempts {
+		a := a
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.cred, a.err = r.Register("raced-agent", a.dev.EKCertificate(), a.ak, "http://x:9002")
+		}()
+	}
+	wg.Wait()
+
+	var winner *attempt
+	conflicts := 0
+	for _, a := range attempts {
+		switch {
+		case a.err == nil:
+			if winner != nil {
+				t.Fatal("both racing registrations succeeded")
+			}
+			winner = a
+		case errors.Is(a.err, ErrEnrollConflict):
+			conflicts++
+		default:
+			t.Fatalf("unexpected race error: %v", a.err)
+		}
+	}
+	if winner == nil || conflicts != 1 {
+		t.Fatalf("race outcome: winner=%v conflicts=%d, want exactly one of each", winner, conflicts)
+	}
+	// The winner's challenge is live and completes activation.
+	proof, err := winner.dev.ActivateCredential(winner.cred)
+	if err != nil {
+		t.Fatalf("winner ActivateCredential: %v", err)
+	}
+	if err := r.Activate("raced-agent", proof); err != nil {
+		t.Fatalf("winner Activate: %v", err)
+	}
+	got, err := r.AKPub("raced-agent")
+	if err != nil {
+		t.Fatalf("AKPub: %v", err)
+	}
+	if !bytes.Equal(got, winner.ak) {
+		t.Fatal("activated AK is not the race winner's")
+	}
+}
+
+func TestHTTPRegisterConflict409(t *testing.T) {
+	ca, dev := newCAAndTPM(t)
+	dev2, err := tpm.New(ca, tpm.WithEKBits(1024))
+	if err != nil {
+		t.Fatalf("second TPM: %v", err)
+	}
+	r := New(ca.Pool())
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	ak1, _ := dev.CreateAK()
+	ak2, _ := dev2.CreateAK()
+
+	post := func(d *tpm.TPM, ak []byte) *http.Response {
+		t.Helper()
+		body, _ := json.Marshal(api.RegisterRequest{
+			AgentID: "agent-conflict",
+			EKCert:  base64.StdEncoding.EncodeToString(d.EKCertificate()),
+			AKPub:   base64.StdEncoding.EncodeToString(ak),
+		})
+		resp, err := http.Post(srv.URL+"/v2/agents/agent-conflict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST register: %v", err)
+		}
+		return resp
+	}
+	resp := post(dev, ak1)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first register status = %d", resp.StatusCode)
+	}
+	resp = post(dev2, ak2)
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting register status = %d, want 409", resp.StatusCode)
+	}
+	var apiErr api.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Error == "" {
+		t.Fatalf("409 body = %+v (err %v), want an error payload", apiErr, err)
+	}
+}

@@ -6,6 +6,7 @@
 package registrar
 
 import (
+	"bytes"
 	"crypto/rand"
 	"crypto/x509"
 	"encoding/base64"
@@ -28,6 +29,12 @@ var (
 	ErrBadProof     = errors.New("registrar: credential activation proof mismatch")
 	ErrNotActive    = errors.New("registrar: agent not activated")
 	ErrBadRequest   = errors.New("registrar: bad request")
+	// ErrEnrollConflict rejects a second enrollment of an agent ID whose
+	// credential activation is still pending under a different AK.
+	// Last-writer-wins here would let a racing (or spoofing) second
+	// enroll silently invalidate the challenge the first requester is
+	// about to answer.
+	ErrEnrollConflict = errors.New("registrar: enrollment already in progress for agent id")
 )
 
 // record is the registrar's state for one agent.
@@ -62,6 +69,13 @@ func (r *Registrar) Register(agentID string, ekCertDER, akPub []byte, contactURL
 
 // RegisterWithChain enrolls an agent whose EK certificate chains through
 // intermediates (e.g. a vTPM guest chaining through its host CA).
+//
+// Duplicate-enrollment rules: an ACTIVE record may always re-register
+// (the reboot/re-provision path — it resets to inactive and gets a fresh
+// challenge); a PENDING record may retry with the SAME AK (lost-response
+// retransmit, new challenge); a pending record under a DIFFERENT AK is a
+// conflict — completing either activation must not be silently hijacked
+// by the other requester.
 func (r *Registrar) RegisterWithChain(agentID string, ekCertDER []byte, ekIntermediates [][]byte, akPub []byte, contactURL string) (tpm.Credential, error) {
 	if agentID == "" {
 		return tpm.Credential{}, fmt.Errorf("%w: empty agent id", ErrBadRequest)
@@ -75,12 +89,15 @@ func (r *Registrar) RegisterWithChain(agentID string, ekCertDER []byte, ekInterm
 		return tpm.Credential{}, fmt.Errorf("registrar: building credential: %w", err)
 	}
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.agents[agentID]; ok && !prev.active && !bytes.Equal(prev.akPub, akPub) {
+		return tpm.Credential{}, fmt.Errorf("%w: %s", ErrEnrollConflict, agentID)
+	}
 	r.agents[agentID] = &record{
 		akPub:         append([]byte(nil), akPub...),
 		contactURL:    contactURL,
 		expectedProof: proof,
 	}
-	r.mu.Unlock()
 	return cred, nil
 }
 
@@ -266,7 +283,11 @@ func (r *Registrar) Handler() http.Handler {
 		}
 		cred, err := r.RegisterWithChain(agentID, ekCert, intermediates, akPub, body.ContactURL)
 		if err != nil {
-			writeErr(w, http.StatusForbidden, err)
+			status := http.StatusForbidden
+			if errors.Is(err, ErrEnrollConflict) {
+				status = http.StatusConflict
+			}
+			writeErr(w, status, err)
 			return
 		}
 		writeJSON(w, api.RegisterResponse{

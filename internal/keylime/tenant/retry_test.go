@@ -1,0 +1,158 @@
+package tenant
+
+// Failure taxonomy and retry behavior of the tenant client: transient
+// failures (connection errors, 5xx) match ErrTransport and are retried
+// with capped jittered backoff; rejections (4xx) match ErrRejected and
+// fail fast — the split the CLI's exit-code contract (2 vs 3) and any
+// scripted enrollment batch depend on.
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/reconcile"
+)
+
+func TestTransientFailuresRetryThenSucceed(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "verifier mid-restart", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	tn := New(srv.URL, WithRetries(3), WithBackoff(10*time.Millisecond, 40*time.Millisecond))
+	var slept []time.Duration
+	tn.sleep = func(d time.Duration) { slept = append(slept, d) }
+
+	if err := tn.Resume("agent-1"); err != nil {
+		t.Fatalf("Resume after transient failures: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two 503s then success)", got)
+	}
+	if len(slept) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", slept)
+	}
+	for i, d := range slept {
+		if d <= 0 || d > 40*time.Millisecond {
+			t.Fatalf("sleep[%d] = %v outside (0, max]", i, d)
+		}
+	}
+}
+
+func TestTransportErrorsAreCappedAndClassified(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	tn := New(srv.URL, WithRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	sleeps := 0
+	tn.sleep = func(time.Duration) { sleeps++ }
+
+	err := tn.Resume("agent-1")
+	if err == nil {
+		t.Fatal("persistent 500 reported success")
+	}
+	if !errors.Is(err, ErrTransport) || !errors.Is(err, ErrRequestFailed) {
+		t.Fatalf("500 error = %v, want ErrTransport and ErrRequestFailed", err)
+	}
+	if errors.Is(err, ErrRejected) {
+		t.Fatalf("500 error matched ErrRejected: %v", err)
+	}
+	var re *RequestError
+	if !errors.As(err, &re) || re.Attempts != 3 || re.Status != 500 {
+		t.Fatalf("RequestError = %+v, want 3 attempts at status 500", re)
+	}
+	if sleeps != 2 {
+		t.Fatalf("sleeps = %d, want 2 (retries capped at WithRetries)", sleeps)
+	}
+
+	// A dead endpoint (connection refused) is also transport-class.
+	dead := New("http://127.0.0.1:1", WithRetries(0))
+	if err := dead.Resume("x"); !errors.Is(err, ErrTransport) {
+		t.Fatalf("connection failure = %v, want ErrTransport", err)
+	}
+}
+
+func TestRejectionsFailFastWithoutRetry(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "unknown agent", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	tn := New(srv.URL, WithRetries(5))
+	tn.sleep = func(time.Duration) { t.Fatal("4xx must not back off") }
+
+	err := tn.Resume("nope")
+	if !errors.Is(err, ErrRejected) || !errors.Is(err, ErrRequestFailed) {
+		t.Fatalf("404 error = %v, want ErrRejected and ErrRequestFailed", err)
+	}
+	if errors.Is(err, ErrTransport) {
+		t.Fatalf("404 error matched ErrTransport: %v", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (rejections are final)", got)
+	}
+}
+
+func TestFleetClientMethods(t *testing.T) {
+	mux := http.NewServeMux()
+	var gotSpec []byte
+	mux.HandleFunc("POST /v2/reconcile/apply", func(w http.ResponseWriter, r *http.Request) {
+		gotSpec, _ = io.ReadAll(r.Body)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"version": 4,
+			"diff": reconcile.Diff{Version: 4, Enrolls: []string{"a", "b"},
+				Withdraws: []string{"z"}},
+		})
+	})
+	mux.HandleFunc("GET /v2/reconcile/status", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(reconcile.Status{SpecVersion: 4, Managed: 2, Converged: true})
+	})
+	mux.HandleFunc("GET /v2/reconcile/diff", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(reconcile.Diff{Version: 4, Converged: true})
+	})
+	mux.HandleFunc("GET /v2/reconcile/events", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]reconcile.Event{
+			{Type: reconcile.EventApplied, Version: 4},
+			{Type: reconcile.EventConverged, Version: 4},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	tn := New(srv.URL)
+
+	spec := []byte(`{"agents":[{"id":"a","url":"http://a:9002"}]}`)
+	version, diff, err := tn.ApplyFleetSpec(spec)
+	if err != nil {
+		t.Fatalf("ApplyFleetSpec: %v", err)
+	}
+	if version != 4 || len(diff.Enrolls) != 2 || len(diff.Withdraws) != 1 {
+		t.Fatalf("apply = v%d %+v", version, diff)
+	}
+	if string(gotSpec) != string(spec) {
+		t.Fatalf("spec sent = %s, want %s", gotSpec, spec)
+	}
+	status, err := tn.FleetStatus()
+	if err != nil || status.SpecVersion != 4 || !status.Converged || status.Managed != 2 {
+		t.Fatalf("FleetStatus = %+v, %v", status, err)
+	}
+	d, err := tn.FleetDiff()
+	if err != nil || d.Version != 4 || !d.Converged {
+		t.Fatalf("FleetDiff = %+v, %v", d, err)
+	}
+	events, err := tn.FleetEvents()
+	if err != nil || len(events) != 2 || events[1].Type != reconcile.EventConverged {
+		t.Fatalf("FleetEvents = %+v, %v", events, err)
+	}
+}

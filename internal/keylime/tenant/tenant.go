@@ -10,18 +10,81 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strings"
+	"time"
 
 	"repro/internal/keylime/httppool"
+	"repro/internal/keylime/reconcile"
 	"repro/internal/keylime/rollout"
 	"repro/internal/policy"
 )
 
-// Sentinel errors.
+// Sentinel errors. ErrRequestFailed matches ANY failed request (the
+// historical contract); ErrTransport and ErrRejected split it so
+// scripts can tell "the verifier was unreachable / erroring" (worth
+// retrying, exit code 2 in keylime-tenant) from "the verifier said no"
+// (a real rejection, exit code 3).
 var (
 	ErrRequestFailed = errors.New("tenant: request failed")
+	// ErrTransport marks connection failures and 5xx responses that
+	// persisted through the retry budget.
+	ErrTransport = errors.New("tenant: transport failure")
+	// ErrRejected marks 4xx responses: the request reached a healthy
+	// verifier and was refused. Never retried.
+	ErrRejected = errors.New("tenant: request rejected")
 )
+
+// RequestError is the concrete error for a failed management request.
+// errors.Is matches ErrRequestFailed always, plus ErrTransport or
+// ErrRejected according to the failure class.
+type RequestError struct {
+	Method   string
+	Path     string
+	Status   int // 0 when the request never got an HTTP response
+	Attempts int
+	Detail   string
+	Cause    error // connection error, if any
+}
+
+func (e *RequestError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v: %s %s", ErrRequestFailed, e.Method, e.Path)
+	if e.Status != 0 {
+		fmt.Fprintf(&b, ": status %d", e.Status)
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, ": %s", e.Detail)
+	}
+	if e.Cause != nil {
+		fmt.Fprintf(&b, ": %v", e.Cause)
+	}
+	if e.Attempts > 1 {
+		fmt.Fprintf(&b, " (after %d attempts)", e.Attempts)
+	}
+	return b.String()
+}
+
+// transient reports whether the failure class is worth retrying:
+// no response at all, or a 5xx from a struggling server.
+func (e *RequestError) transient() bool { return e.Status == 0 || e.Status >= 500 }
+
+// Is implements the errors.Is contract described on RequestError.
+func (e *RequestError) Is(target error) bool {
+	switch target {
+	case ErrRequestFailed:
+		return true
+	case ErrTransport:
+		return e.transient()
+	case ErrRejected:
+		return !e.transient()
+	}
+	return false
+}
+
+func (e *RequestError) Unwrap() error { return e.Cause }
 
 // AddAgentRequest is the body for enrolling an agent with the verifier.
 type AddAgentRequest struct {
@@ -69,6 +132,12 @@ type WireFailure struct {
 type Tenant struct {
 	verifierURL string
 	client      *http.Client
+	// retries is the number of extra attempts after a transient failure
+	// (connection error or 5xx); rejections (4xx) never retry.
+	retries     int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	sleep       func(time.Duration)
 }
 
 // Option configures the tenant.
@@ -81,9 +150,32 @@ func (o clientOption) apply(t *Tenant) { t.client = o.c }
 // WithHTTPClient sets the HTTP client.
 func WithHTTPClient(c *http.Client) Option { return clientOption{c: c} }
 
+type retryOption struct{ n int }
+
+func (o retryOption) apply(t *Tenant) { t.retries = o.n }
+
+// WithRetries sets how many times a transient failure (connection error
+// or 5xx) is retried with capped jittered backoff. 0 disables retries;
+// default 2.
+func WithRetries(n int) Option { return retryOption{n: n} }
+
+type backoffOption struct{ base, max time.Duration }
+
+func (o backoffOption) apply(t *Tenant) { t.baseBackoff, t.maxBackoff = o.base, o.max }
+
+// WithBackoff sets the first retry delay and its cap (defaults 200ms/2s).
+func WithBackoff(base, max time.Duration) Option { return backoffOption{base: base, max: max} }
+
 // New creates a tenant talking to the given verifier management URL.
 func New(verifierURL string, opts ...Option) *Tenant {
-	t := &Tenant{verifierURL: verifierURL, client: httppool.Shared()}
+	t := &Tenant{
+		verifierURL: verifierURL,
+		client:      httppool.Shared(),
+		retries:     2,
+		baseBackoff: 200 * time.Millisecond,
+		maxBackoff:  2 * time.Second,
+		sleep:       time.Sleep,
+	}
 	for _, opt := range opts {
 		opt.apply(t)
 	}
@@ -170,6 +262,41 @@ func (t *Tenant) CancelRollout() error {
 	return t.do(http.MethodPost, "/v2/rollout/cancel", nil, nil)
 }
 
+// ApplyFleetSpec submits a desired-fleet spec document to the
+// reconciler and returns the assigned version plus the immediate
+// desired-vs-actual diff.
+func (t *Tenant) ApplyFleetSpec(spec []byte) (uint64, reconcile.Diff, error) {
+	var out struct {
+		Version uint64         `json:"version"`
+		Diff    reconcile.Diff `json:"diff"`
+	}
+	if err := t.do(http.MethodPost, "/v2/reconcile/apply", spec, &out); err != nil {
+		return 0, reconcile.Diff{}, err
+	}
+	return out.Version, out.Diff, nil
+}
+
+// FleetStatus fetches the reconciler's status.
+func (t *Tenant) FleetStatus() (reconcile.Status, error) {
+	var out reconcile.Status
+	err := t.do(http.MethodGet, "/v2/reconcile/status", nil, &out)
+	return out, err
+}
+
+// FleetDiff fetches the outstanding desired-vs-actual delta.
+func (t *Tenant) FleetDiff() (reconcile.Diff, error) {
+	var out reconcile.Diff
+	err := t.do(http.MethodGet, "/v2/reconcile/diff", nil, &out)
+	return out, err
+}
+
+// FleetEvents fetches the reconciler's bounded event log, oldest first.
+func (t *Tenant) FleetEvents() ([]reconcile.Event, error) {
+	var out []reconcile.Event
+	err := t.do(http.MethodGet, "/v2/reconcile/events", nil, &out)
+	return out, err
+}
+
 // ListAgents returns the ids of all monitored agents.
 func (t *Tenant) ListAgents() ([]string, error) {
 	var out map[string][]string
@@ -179,32 +306,64 @@ func (t *Tenant) ListAgents() ([]string, error) {
 	return out["agents"], nil
 }
 
+// do performs one management request, retrying transient failures
+// (connection errors, 5xx) with capped jittered exponential backoff so
+// a blip mid-script does not abort a whole enrollment batch. Requests
+// are bodies-as-bytes, so every attempt replays identical content; the
+// management API is idempotent per agent, so a retry after an applied-
+// but-unacknowledged request is safe.
 func (t *Tenant) do(method, path string, body []byte, out any) error {
+	var last *RequestError
+	for attempt := 0; ; attempt++ {
+		reqErr := t.doOnce(method, path, body, out)
+		if reqErr == nil {
+			return nil
+		}
+		reqErr.Attempts = attempt + 1
+		last = reqErr
+		if !reqErr.transient() || attempt >= t.retries {
+			break
+		}
+		delay := t.baseBackoff << attempt
+		if delay > t.maxBackoff || delay <= 0 {
+			delay = t.maxBackoff
+		}
+		// Full jitter over (0, delay]: concurrent scripted tenants should
+		// not retry in lockstep against a struggling verifier.
+		t.sleep(time.Duration(rand.Int63n(int64(delay)) + 1))
+	}
+	return last
+}
+
+func (t *Tenant) doOnce(method, path string, body []byte, out any) *RequestError {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, t.verifierURL+path, reader)
 	if err != nil {
-		return fmt.Errorf("tenant: building request: %w", err)
+		return &RequestError{Method: method, Path: path, Status: http.StatusBadRequest,
+			Detail: "building request", Cause: err}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrRequestFailed, err)
+		return &RequestError{Method: method, Path: path, Cause: err}
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%w: %s %s: status %d: %s", ErrRequestFailed, method, path, resp.StatusCode, data)
+		return &RequestError{Method: method, Path: path, Status: resp.StatusCode,
+			Detail: strings.TrimSpace(string(data))}
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("tenant: decoding response: %w", err)
+		return &RequestError{Method: method, Path: path, Status: resp.StatusCode,
+			Detail: "decoding response", Cause: err}
 	}
 	return nil
 }

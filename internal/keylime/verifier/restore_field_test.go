@@ -1,0 +1,102 @@
+package verifier_test
+
+// Per-field skip reasons for lenient restore: each way a snapshot row
+// can be corrupt must surface as a RestoreError naming the exact field
+// (the operator's lead for which column of which row to repair), never
+// as a silent drop or a misattributed failure — and must never take the
+// intact rows down with it.
+
+import (
+	"testing"
+
+	"repro/internal/keylime/verifier"
+)
+
+func TestRestoreStateLenientFieldReasons(t *testing.T) {
+	s := newStack(t, nil)
+	writeExec(t, s.m, "/usr/bin/tool", "ok")
+	addAgent(t, s, policyFromMachine(t, s.m))
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	good := snap.Agents[0]
+
+	corrupt := func(mutate func(*verifier.AgentState)) verifier.AgentState {
+		row := good
+		row.AgentID = "bad-row-4a97-9ef7-75bd81c0f1ee"
+		mutate(&row)
+		return row
+	}
+	cases := []struct {
+		name      string
+		row       verifier.AgentState
+		wantField string
+	}{
+		{"missing agent id", corrupt(func(r *verifier.AgentState) {
+			r.AgentID = ""
+		}), "agent_id"},
+		{"undecodable ak", corrupt(func(r *verifier.AgentState) {
+			r.AKPub = "%%%not-base64%%%"
+		}), "ak_pub"},
+		{"malformed policy json", corrupt(func(r *verifier.AgentState) {
+			r.Policy = []byte(`{"digests": [this is not json`)
+		}), "policy"},
+		{"truncated prefix aggregate", corrupt(func(r *verifier.AgentState) {
+			r.PrefixAggregate = "00ff"
+		}), "prefix_aggregate"},
+		{"non-hex prefix aggregate", corrupt(func(r *verifier.AgentState) {
+			r.PrefixAggregate = "zz" + r.PrefixAggregate[2:]
+		}), "prefix_aggregate"},
+		{"malformed shadow policy", corrupt(func(r *verifier.AgentState) {
+			r.ShadowPolicy = []byte(`{broken`)
+		}), "shadow_policy"},
+		{"bad boot golden digest", corrupt(func(r *verifier.AgentState) {
+			r.BootGolden = map[int]string{0: "not-hex"}
+		}), "boot_golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v2 := verifier.New(s.regSrv.URL)
+			skipped, err := v2.RestoreStateLenient(verifier.Snapshot{
+				Agents: []verifier.AgentState{good, tc.row},
+			})
+			if err != nil {
+				t.Fatalf("RestoreStateLenient: %v", err)
+			}
+			if len(skipped) != 1 {
+				t.Fatalf("skipped = %v, want exactly the corrupt row", skipped)
+			}
+			re := skipped[0]
+			if re.Field != tc.wantField {
+				t.Fatalf("skip reason field = %q (%v), want %q", re.Field, re, tc.wantField)
+			}
+			if re.AgentID != tc.row.AgentID {
+				t.Fatalf("skip reason agent = %q, want %q", re.AgentID, tc.row.AgentID)
+			}
+			if re.Err == nil || re.Error() == "" {
+				t.Fatalf("skip reason carries no cause: %+v", re)
+			}
+			// The intact row must have survived the bad one.
+			if v2.AgentCount() != 1 {
+				t.Fatalf("agent count after lenient restore = %d, want 1", v2.AgentCount())
+			}
+			if _, err := v2.Status(good.AgentID); err != nil {
+				t.Fatalf("intact row lost: %v", err)
+			}
+		})
+	}
+
+	// Duplicates are a row-level failure, not a field-level one: the
+	// report names the agent but no field.
+	v2 := verifier.New(s.regSrv.URL)
+	skipped, err := v2.RestoreStateLenient(verifier.Snapshot{
+		Agents: []verifier.AgentState{good, good},
+	})
+	if err != nil {
+		t.Fatalf("RestoreStateLenient(dup): %v", err)
+	}
+	if len(skipped) != 1 || skipped[0].Field != "" || skipped[0].AgentID != good.AgentID {
+		t.Fatalf("duplicate skip report = %v, want field-less entry for %s", skipped, good.AgentID)
+	}
+}

@@ -1,0 +1,93 @@
+package verifier_test
+
+// Pins the GET /v2/stats contract: the index lists every registered
+// provider sorted by name, each name resolves at /v2/stats/{name}, and
+// unknown names are a clean 404 — the discovery surface operators (and
+// the reconciler's own stats registration) rely on.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+)
+
+func TestStatsIndexListsRegisteredProviders(t *testing.T) {
+	s := newStack(t, nil)
+	s.v.RegisterStats("reconcile", func() any {
+		return map[string]any{"managed": 7, "converged": true}
+	})
+	mgmtSrv := httptest.NewServer(s.v.ManagementHandler())
+	defer mgmtSrv.Close()
+
+	resp, err := http.Get(mgmtSrv.URL + "/v2/stats")
+	if err != nil {
+		t.Fatalf("GET /v2/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v2/stats status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var index struct {
+		Providers []string `json:"providers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&index); err != nil {
+		t.Fatalf("decode index: %v", err)
+	}
+	if !sort.StringsAreSorted(index.Providers) {
+		t.Fatalf("providers not sorted: %v", index.Providers)
+	}
+	have := map[string]bool{}
+	for _, p := range index.Providers {
+		have[p] = true
+	}
+	for _, want := range []string{"poll", "reconcile"} {
+		if !have[want] {
+			t.Fatalf("provider %q missing from index %v", want, index.Providers)
+		}
+	}
+
+	// Every indexed name must resolve.
+	for _, p := range index.Providers {
+		r, err := http.Get(mgmtSrv.URL + "/v2/stats/" + p)
+		if err != nil {
+			t.Fatalf("GET /v2/stats/%s: %v", p, err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v2/stats/%s status = %d", p, r.StatusCode)
+		}
+		var payload any
+		if err := json.NewDecoder(r.Body).Decode(&payload); err != nil {
+			t.Fatalf("GET /v2/stats/%s: invalid JSON: %v", p, err)
+		}
+		_ = r.Body.Close()
+	}
+
+	// The registered provider's payload round-trips.
+	r, err := http.Get(mgmtSrv.URL + "/v2/stats/reconcile")
+	if err != nil {
+		t.Fatalf("GET /v2/stats/reconcile: %v", err)
+	}
+	var rec map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&rec); err != nil {
+		t.Fatalf("decode reconcile stats: %v", err)
+	}
+	_ = r.Body.Close()
+	if rec["managed"] != float64(7) || rec["converged"] != true {
+		t.Fatalf("reconcile stats = %v", rec)
+	}
+
+	// Unknown providers are a clean 404, not a panic or empty 200.
+	r, err = http.Get(mgmtSrv.URL + "/v2/stats/no-such-provider")
+	if err != nil {
+		t.Fatalf("GET unknown provider: %v", err)
+	}
+	_ = r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown provider status = %d, want 404", r.StatusCode)
+	}
+}
