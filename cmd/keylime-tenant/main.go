@@ -16,6 +16,14 @@
 //	keylime-tenant -verifier http://localhost:8893 fleet-apply -spec fleet.json
 //	keylime-tenant -verifier http://localhost:8893 fleet-status
 //	keylime-tenant -verifier http://localhost:8893 fleet-diff
+//	keylime-tenant verify-chain -audit-log audit.log -outbox outbox.wal \
+//	  -rollout-state rollout/ -keyring keyring.wal
+//
+// verify-chain is fully offline: it walks the sealed audit journal, the
+// revocation outbox, and the journaled rollout state, re-checking frame
+// CRCs, the audit hash chain, and every DSSE seal against the keyring,
+// and reports the first broken link (record index, byte offset, and
+// failure class). It exits 3 when the chain is broken.
 //
 // The rollout-* subcommands drive the verifier's staged rollout pipeline
 // (freshness gate → shadow evaluation → canary → fleet) instead of the
@@ -69,7 +77,8 @@ func run() error {
 	args := flag.Args()
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand: add | status | update-policy | resume | remove | list | " +
-			"rollout-begin | rollout-status | rollout-cancel | fleet-apply | fleet-status | fleet-diff")
+			"rollout-begin | rollout-status | rollout-cancel | fleet-apply | fleet-status | fleet-diff | " +
+			"verify-chain")
 	}
 	cmd, rest := args[0], args[1:]
 	tn := tenant.New(*verifierURL)
@@ -89,6 +98,8 @@ func run() error {
 		return runRollout(tn, cmd, rest)
 	case "fleet-apply", "fleet-status", "fleet-diff":
 		return runFleet(tn, cmd, rest)
+	case "verify-chain":
+		return runVerifyChain(rest)
 	}
 
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)

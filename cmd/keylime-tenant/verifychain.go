@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/keylime/custody"
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/tenant"
+)
+
+// runVerifyChain implements the offline chain-of-custody walk. It never
+// talks to a verifier: point it at copies (or the live files) of the
+// evidence artifacts and the keyring journal. A broken chain maps to
+// the "rejection" exit code — re-running without fixing anything will
+// fail again, which is exactly what that code means.
+func runVerifyChain(args []string) error {
+	sub := flag.NewFlagSet("verify-chain", flag.ExitOnError)
+	auditLog := sub.String("audit-log", "", "sealed audit journal file")
+	outbox := sub.String("outbox", "", "revocation outbox journal file")
+	rolloutState := sub.String("rollout-state", "", "rollout store directory")
+	keyringPath := sub.String("keyring", "", "DSSE keyring journal; without it only framing and hash-chain checks run")
+	jsonOut := sub.Bool("json", false, "emit the full report as JSON")
+	if err := sub.Parse(args); err != nil {
+		return err
+	}
+	if *auditLog == "" && *outbox == "" && *rolloutState == "" {
+		return fmt.Errorf("verify-chain: nothing to walk; pass -audit-log, -outbox, and/or -rollout-state")
+	}
+	var kr *dsse.Keyring
+	if *keyringPath != "" {
+		var err error
+		kr, err = dsse.LoadKeyringFile(store.OS(), *keyringPath)
+		if err != nil {
+			return fmt.Errorf("verify-chain: loading keyring: %w", err)
+		}
+	}
+	rep, err := custody.Verify(custody.Config{
+		AuditLog:     *auditLog,
+		Outbox:       *outbox,
+		RolloutState: *rolloutState,
+		Keyring:      kr,
+	})
+	if err != nil {
+		return fmt.Errorf("verify-chain: %w", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(rep.Summary())
+	}
+	if !rep.OK() {
+		return fmt.Errorf("%w: chain of custody broken: %s", tenant.ErrRejected, rep.FirstBroken)
+	}
+	return nil
+}

@@ -14,6 +14,13 @@
 // is an fsynced journal appended record by record, and -outbox journals
 // revocation notifications for at-least-once delivery across crashes.
 //
+// With -keyring the verifier seals its whole evidence chain of custody
+// under DSSE signatures: per-sweep checkpoints in the audit journal,
+// revocation notifications in the outbox, rollout policy bundles, and
+// cluster replication frames. -keyring-rotate mints a new signing key
+// with an overlap window so evidence sealed before the rotation stays
+// verifiable; `keylime-tenant verify-chain` walks the artifacts offline.
+//
 // Policy updates can go through the staged rollout pipeline (freshness
 // gate → shadow evaluation → canary → fleet promotion, with automatic
 // rollback) served at /v2/rollout/* and driven by keylime-tenant's
@@ -49,6 +56,7 @@ import (
 
 	"repro/internal/keylime/audit"
 	"repro/internal/keylime/cluster"
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/reconcile"
 	"repro/internal/keylime/rollout"
 	"repro/internal/keylime/store"
@@ -84,6 +92,12 @@ func run() error {
 		persistMaxDelay = flag.Duration("persist-max-delay", 2*time.Millisecond,
 			"longest a group-committed audit/outbox append waits for batch "+
 				"co-travellers before its fsync is issued anyway")
+		keyringPath = flag.String("keyring", "", "journaled DSSE keyring path; arms chain-of-custody "+
+			"sealing end to end: audit checkpoints, revocation notifications, rollout policy "+
+			"bundles, and cluster replication frames (created with an initial key if absent)")
+		keyringRotate = flag.Bool("keyring-rotate", false,
+			"mint a new signing key at startup; prior keys keep cosigning (rotation overlap) "+
+				"until retired, so old evidence stays verifiable across the keyid boundary")
 		auditPath  = flag.String("audit-log", "", "append the durable attestation journal at this path")
 		outboxPath = flag.String("outbox", "", "journal revocation notifications here for "+
 			"at-least-once delivery across restarts (requires -webhook)")
@@ -155,7 +169,7 @@ func run() error {
 		peersFlag = flag.String("peers", "", "static cluster membership as comma-separated "+
 			"id=base-url pairs, e.g. v1=http://10.0.0.1:8893,v2=http://10.0.0.2:8893 "+
 			"(include this node)")
-		replicas = flag.Int("replicas", 1, "ring standbys that replicate each shard's journal")
+		replicas         = flag.Int("replicas", 1, "ring standbys that replicate each shard's journal")
 		clusterHeartbeat = flag.Duration("cluster-heartbeat", time.Second,
 			"coordinator heartbeat cadence; a peer silent for 4 heartbeats is failed over")
 	)
@@ -171,6 +185,9 @@ func run() error {
 	}
 	if *reconcileOn && *reconcileState == "" {
 		return fmt.Errorf("-reconcile requires -reconcile-state (the journaled spec is the whole point)")
+	}
+	if *keyringRotate && *keyringPath == "" {
+		return fmt.Errorf("-keyring-rotate requires -keyring")
 	}
 	clusterMode := *nodeID != "" || *peersFlag != ""
 	var peerAddrs map[string]string
@@ -231,6 +248,30 @@ func run() error {
 		jopts = append(jopts, store.WithGroupCommit(*persistMaxDelay, *persistBatch))
 	}
 
+	// Chain of custody: one journaled keyring signs every evidence hop —
+	// audit checkpoints, outbox revocations, rollout bundles, replication
+	// frames. An empty ring mints its first key; -keyring-rotate starts an
+	// overlap window (new key signs, old keys cosign) so evidence sealed
+	// either side of the boundary verifies against the same ring.
+	var keyring *dsse.Keyring
+	if *keyringPath != "" {
+		kr, err := dsse.OpenKeyring(iofs, *keyringPath, jopts...)
+		if err != nil {
+			return fmt.Errorf("opening keyring %s: %w", *keyringPath, err)
+		}
+		defer func() { _ = kr.Close() }()
+		if !kr.CanSign() || *keyringRotate {
+			kid, err := kr.Rotate()
+			if err != nil {
+				return fmt.Errorf("rotating keyring %s: %w", *keyringPath, err)
+			}
+			fmt.Printf("keyring %s: new signing key %s\n", *keyringPath, kid)
+		} else {
+			fmt.Printf("keyring %s: signing key %s\n", *keyringPath, kr.ActiveKeyID())
+		}
+		keyring = kr
+	}
+
 	// Audit: every sealed record is journaled and fsynced before the
 	// verifier acknowledges it — the durable chain always ends at the
 	// last recorded verdict. With -persist-batch the whole sweep commits
@@ -245,6 +286,11 @@ func run() error {
 		if n := jl.Recovered(); n > 0 {
 			fmt.Printf("audit journal %s: recovered %d records\n", *auditPath, n)
 		}
+		if keyring != nil {
+			// Every sweep's batch gains a signed checkpoint over the chain
+			// head; verify-chain walks them offline.
+			jl.SealCheckpoints(keyring)
+		}
 		opts = append(opts, verifier.WithAuditLog(jl.Log), verifier.WithAuditBatch(groupCommit))
 	}
 
@@ -254,6 +300,7 @@ func run() error {
 		cfg := webhook.Config{
 			Endpoints: []string{*webhookURL},
 			Secret:    []byte(*webhookKey),
+			Keyring:   keyring,
 		}
 		if *outboxPath != "" {
 			ob, err := webhook.OpenOutbox(iofs, *outboxPath, jopts...)
@@ -461,6 +508,7 @@ func run() error {
 			HeartbeatEvery: *clusterHeartbeat,
 			Verifier:       v,
 			Store:          st,
+			Keyring:        keyring,
 			Transport: &cluster.HTTPTransport{
 				Addrs:  peerAddrs,
 				Client: &http.Client{Timeout: *clusterHeartbeat * 4},
@@ -487,6 +535,7 @@ func run() error {
 		CanaryRounds:  *rolloutCanaryRounds,
 		TripThreshold: *rolloutTripwire,
 		AutoRollback:  *rolloutAutoRollback,
+		Keyring:       keyring,
 		Logf:          log.Printf,
 	}
 	if node != nil {

@@ -278,23 +278,57 @@ func (l *Log) Records() []Record {
 	return append([]Record(nil), l.records...)
 }
 
+// ChainError pinpoints the first broken link in a verified history: the
+// index of the offending record, the record itself, and the sentinel
+// (ErrOutOfOrder or ErrChainBroken) describing how it broke. It is the
+// structured form forensic tools (verify-chain) need — a boolean error
+// tells an operator history was rewritten, a ChainError tells them
+// where.
+type ChainError struct {
+	// Index is the position of the first bad record (0-based).
+	Index int
+	// Record is the offending record as read.
+	Record Record
+	// Reason is the sentinel class: ErrOutOfOrder or ErrChainBroken.
+	Reason error
+	msg    string
+}
+
+func (e *ChainError) Error() string { return e.msg }
+
+// Unwrap keeps errors.Is(err, ErrChainBroken/ErrOutOfOrder) working.
+func (e *ChainError) Unwrap() error { return e.Reason }
+
 // VerifyChain checks an exported history: sequence numbers, per-record
-// seals, and the prev-hash links from the zero hash.
+// seals, and the prev-hash links from the zero hash. A failure is a
+// *ChainError identifying the first broken link.
 func VerifyChain(records []Record) error {
+	err, _ := FirstBroken(records)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// FirstBroken walks the chain and returns the first broken link (nil if
+// the chain is intact) plus the number of records verified before it.
+func FirstBroken(records []Record) (*ChainError, int) {
 	var prev Hash
 	for i, r := range records {
-		if r.Seq != uint64(i) {
-			return fmt.Errorf("%w: record %d has seq %d", ErrOutOfOrder, i, r.Seq)
-		}
-		if r.PrevHash != prev {
-			return fmt.Errorf("%w: record %d prev-hash mismatch", ErrChainBroken, i)
-		}
-		if !r.Valid() {
-			return fmt.Errorf("%w: record %d seal mismatch", ErrChainBroken, i)
+		switch {
+		case r.Seq != uint64(i):
+			return &ChainError{Index: i, Record: r, Reason: ErrOutOfOrder,
+				msg: fmt.Sprintf("%v: record %d has seq %d", ErrOutOfOrder, i, r.Seq)}, i
+		case r.PrevHash != prev:
+			return &ChainError{Index: i, Record: r, Reason: ErrChainBroken,
+				msg: fmt.Sprintf("%v: record %d prev-hash mismatch", ErrChainBroken, i)}, i
+		case !r.Valid():
+			return &ChainError{Index: i, Record: r, Reason: ErrChainBroken,
+				msg: fmt.Sprintf("%v: record %d seal mismatch", ErrChainBroken, i)}, i
 		}
 		prev = r.Hash
 	}
-	return nil
+	return nil, len(records)
 }
 
 // Export writes the history as JSON lines.

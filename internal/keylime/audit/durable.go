@@ -10,11 +10,36 @@ package audit
 // acknowledged.
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sync"
 
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/store"
 )
+
+// CheckpointPayloadType is the DSSE payload type of sealed audit
+// checkpoints.
+const CheckpointPayloadType = "application/vnd.keylime.audit-checkpoint+json"
+
+// checkpointBody is what a checkpoint envelope signs: the chain state
+// after a sweep. Because Head commits to every prior record's hash, one
+// verified checkpoint authenticates the entire history up to Seq — even
+// records appended before sealing was enabled (the mixed-era case).
+type checkpointBody struct {
+	Seq  uint64 `json:"seq"`  // seq of the last record covered
+	Head string `json:"head"` // hex chain head after that record
+}
+
+// journalFrame distinguishes the two payload shapes in an audit
+// journal: plain chain records (no wrapper, the pre-sealing format,
+// still written as-is) and sealed checkpoints ({"checkpoint": env}).
+// Old journals therefore replay unchanged, and a journal may switch
+// eras mid-file.
+type journalFrame struct {
+	Checkpoint *dsse.Envelope `json:"checkpoint"`
+}
 
 // JournalLog couples an audit.Log to its on-disk journal. Construct with
 // OpenJournal; every Log.Append is persisted (and fsynced) before it is
@@ -23,6 +48,9 @@ type JournalLog struct {
 	// Log is the recovered, sink-wired audit log.
 	Log *Log
 	j   *store.Journal
+
+	mu sync.Mutex
+	kr *dsse.Keyring
 }
 
 // OpenJournal opens (creating if absent) a journal-backed audit log at
@@ -39,6 +67,13 @@ func OpenJournal(fsys store.FS, path string, opts ...store.JournalOption) (*Jour
 	}
 	records := make([]Record, 0, len(payloads))
 	for i, p := range payloads {
+		// Checkpoint frames interleave with records; replay skips them
+		// (offline verification is verify-chain's job, and a retired key
+		// must not brick recovery of an otherwise intact chain).
+		var fr journalFrame
+		if err := json.Unmarshal(p, &fr); err == nil && fr.Checkpoint != nil {
+			continue
+		}
 		var r Record
 		if err := json.Unmarshal(p, &r); err != nil {
 			_ = j.Close()
@@ -71,9 +106,11 @@ func (jl *JournalLog) persist(r Record) error {
 // with a single fsync. A torn write recovers as an in-order prefix of
 // the batch, which is a valid (shorter) chain — the in-memory log only
 // commits after this returns nil, so the durable chain never lags an
-// acknowledged record.
+// acknowledged record. With a keyring armed, the vector ends with a
+// signed checkpoint over the post-batch chain head — one checkpoint per
+// sweep, sealed under the same fsync, at no extra write or sync cost.
 func (jl *JournalLog) persistBatch(batch []Record) error {
-	payloads := make([][]byte, len(batch))
+	payloads := make([][]byte, len(batch), len(batch)+1)
 	for i, r := range batch {
 		p, err := json.Marshal(r)
 		if err != nil {
@@ -81,7 +118,65 @@ func (jl *JournalLog) persistBatch(batch []Record) error {
 		}
 		payloads[i] = p
 	}
+	if cp, err := jl.checkpointFrame(batch[len(batch)-1]); err != nil {
+		return err
+	} else if cp != nil {
+		payloads = append(payloads, cp)
+	}
 	return jl.j.AppendBatch(payloads)
+}
+
+// SealCheckpoints arms signed checkpointing: every persisted batch is
+// followed, in the same write vector, by a DSSE envelope over the chain
+// head. Arm before the first sweep; a nil keyring disarms.
+func (jl *JournalLog) SealCheckpoints(kr *dsse.Keyring) {
+	jl.mu.Lock()
+	jl.kr = kr
+	jl.mu.Unlock()
+}
+
+// keyring returns the armed keyring, or nil when sealing is off.
+func (jl *JournalLog) keyring() *dsse.Keyring {
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	return jl.kr
+}
+
+// checkpointFrame seals the chain state after last into a journal
+// frame, or returns (nil, nil) when sealing is disarmed or keyless.
+func (jl *JournalLog) checkpointFrame(last Record) ([]byte, error) {
+	kr := jl.keyring()
+	if kr == nil || !kr.CanSign() {
+		return nil, nil
+	}
+	body, err := json.Marshal(checkpointBody{Seq: last.Seq, Head: hex.EncodeToString(last.Hash[:])})
+	if err != nil {
+		return nil, fmt.Errorf("encoding checkpoint at %d: %w", last.Seq, err)
+	}
+	env, err := kr.Sign(CheckpointPayloadType, body)
+	if err != nil {
+		return nil, fmt.Errorf("sealing checkpoint at %d: %w", last.Seq, err)
+	}
+	frame, err := json.Marshal(journalFrame{Checkpoint: env})
+	if err != nil {
+		return nil, fmt.Errorf("encoding checkpoint frame at %d: %w", last.Seq, err)
+	}
+	return frame, nil
+}
+
+// Checkpoint force-seals the current chain head outside the batch path
+// (shutdown, or after single-record appends). A no-op on an empty log
+// or a disarmed keyring.
+func (jl *JournalLog) Checkpoint() error {
+	recs := jl.Log.Records()
+	if len(recs) == 0 {
+		return nil
+	}
+	frame, err := jl.checkpointFrame(recs[len(recs)-1])
+	if err != nil || frame == nil {
+		return err
+	}
+	return jl.j.Append(frame)
 }
 
 // Records reports how many records the journal recovered at open.

@@ -1,0 +1,184 @@
+package audit
+
+// Offline journal verification: the forensic walk behind
+// `keylime-tenant verify-chain`. It layers three defenses and reports
+// the first link any of them breaks, with a byte offset an operator can
+// take to a hex dump:
+//
+//  1. frame CRCs (store layer) — a bit flip anywhere in the file kills
+//     the scan at the frame it landed in;
+//  2. the hash chain — a spliced, reordered, or replayed record with a
+//     recomputed CRC still breaks seq/prev-hash/seal at its index;
+//  3. signed checkpoints — a wholesale rewrite of the chain (hashes
+//     recomputed from some record onward) cannot forge the DSSE
+//     signature over the head, so the first covering checkpoint fails.
+//
+// Signature failure is its own class: it quarantines the artifact and
+// alerts, but never masks — and never manufactures — an integrity
+// verdict about an agent.
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+)
+
+// BadLink classes, the degradation taxonomy for chain verification.
+const (
+	BadHeader         = "bad-header"          // journal magic damaged
+	BadTornFrame      = "torn-frame"          // CRC/length failure (bit flip or torn tail)
+	BadRecordEncoding = "bad-record"          // frame intact, JSON is not a record
+	BadOutOfOrder     = "out-of-order"        // seq skipped, replayed, or reordered
+	BadChainBroken    = "chain-broken"        // prev-hash link or seal mismatch
+	BadSignature      = "signature-failure"   // checkpoint envelope fails DSSE verification
+	BadCheckpoint     = "checkpoint-mismatch" // signature fine, sealed head disagrees with chain
+)
+
+// BadLink pinpoints the first record verification could not accept.
+type BadLink struct {
+	// Index is the frame's position in the journal (0-based; equals the
+	// number of intact frames before it).
+	Index int `json:"index"`
+	// Offset is the byte offset of the frame in the file.
+	Offset int64 `json:"offset"`
+	// Seq is the chain sequence expected at this point.
+	Seq uint64 `json:"seq"`
+	// Class is one of the Bad* taxonomy constants.
+	Class string `json:"class"`
+	// Detail is the human explanation.
+	Detail string `json:"detail"`
+}
+
+func (b *BadLink) String() string {
+	return fmt.Sprintf("%s at record %d (byte offset %d, seq %d): %s", b.Class, b.Index, b.Offset, b.Seq, b.Detail)
+}
+
+// JournalReport is the result of verifying one audit journal file.
+type JournalReport struct {
+	// Records is how many chain records verified.
+	Records int `json:"records"`
+	// Checkpoints / VerifiedCheckpoints count sealed checkpoints seen
+	// and cryptographically verified (they differ when no keyring was
+	// supplied).
+	Checkpoints         int `json:"checkpoints"`
+	VerifiedCheckpoints int `json:"verified_checkpoints"`
+	// SignedThrough is the highest record seq covered by a verified
+	// checkpoint, or -1 when none is. Records past it are chain-linked
+	// but not yet signature-covered (the normal state between sweeps,
+	// and the unsigned era of a mixed-era journal is covered
+	// retroactively because the head commits to all history).
+	SignedThrough int64 `json:"signed_through"`
+	// FileSize and TornBytes describe the raw file.
+	FileSize  int64 `json:"file_size"`
+	TornBytes int64 `json:"torn_bytes"`
+	// FirstBad is nil when the whole file verifies.
+	FirstBad *BadLink `json:"first_bad,omitempty"`
+}
+
+// OK reports whether the journal verified end to end.
+func (r *JournalReport) OK() bool { return r.FirstBad == nil }
+
+// VerifyJournalBytes verifies raw audit-journal bytes. kr supplies the
+// checkpoint trust anchors and may be nil, which skips signature checks
+// (checkpoint head consistency is still enforced). The walk stops at
+// the first bad link.
+func VerifyJournalBytes(data []byte, kr *dsse.Keyring) *JournalReport {
+	rep := &JournalReport{SignedThrough: -1, FileSize: int64(len(data))}
+	frames, info, err := store.ScanRecords(data)
+	if err != nil {
+		rep.FirstBad = &BadLink{Class: BadHeader, Detail: err.Error()}
+		return rep
+	}
+	rep.TornBytes = info.FileSize - info.ValidLen
+	var prev Hash
+	var last Record
+	haveLast := false
+	seq := uint64(0)
+	for _, fr := range frames {
+		var wrapper journalFrame
+		if err := json.Unmarshal(fr.Payload, &wrapper); err == nil && wrapper.Checkpoint != nil {
+			rep.Checkpoints++
+			bad := verifyCheckpoint(wrapper.Checkpoint, kr, last, haveLast)
+			if bad != nil {
+				bad.Index, bad.Offset, bad.Seq = fr.Index, fr.Offset, seq
+				rep.FirstBad = bad
+				return rep
+			}
+			if kr != nil {
+				rep.VerifiedCheckpoints++
+				rep.SignedThrough = int64(last.Seq)
+			}
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(fr.Payload, &r); err != nil {
+			rep.FirstBad = &BadLink{Index: fr.Index, Offset: fr.Offset, Seq: seq,
+				Class: BadRecordEncoding, Detail: err.Error()}
+			return rep
+		}
+		switch {
+		case r.Seq != seq:
+			rep.FirstBad = &BadLink{Index: fr.Index, Offset: fr.Offset, Seq: seq,
+				Class: BadOutOfOrder, Detail: fmt.Sprintf("record has seq %d, chain expects %d", r.Seq, seq)}
+			return rep
+		case r.PrevHash != prev:
+			rep.FirstBad = &BadLink{Index: fr.Index, Offset: fr.Offset, Seq: seq,
+				Class: BadChainBroken, Detail: "prev-hash link does not match the preceding record"}
+			return rep
+		case !r.Valid():
+			rep.FirstBad = &BadLink{Index: fr.Index, Offset: fr.Offset, Seq: seq,
+				Class: BadChainBroken, Detail: "record seal (hash) does not match its contents"}
+			return rep
+		}
+		prev = r.Hash
+		last, haveLast = r, true
+		seq++
+		rep.Records++
+	}
+	// Bytes past the intact prefix: after a crash this is a record that
+	// was never acknowledged, but offline it is indistinguishable from a
+	// bit flip — report it as the first bad link either way.
+	if rep.TornBytes > 0 {
+		rep.FirstBad = &BadLink{Index: len(frames), Offset: info.ValidLen, Seq: seq,
+			Class: BadTornFrame, Detail: fmt.Sprintf("%d trailing bytes fail CRC framing", rep.TornBytes)}
+	}
+	return rep
+}
+
+// verifyCheckpoint checks one sealed checkpoint against the running
+// chain state. Returns a BadLink missing position fields (caller fills)
+// or nil.
+func verifyCheckpoint(env *dsse.Envelope, kr *dsse.Keyring, last Record, haveLast bool) *BadLink {
+	body := env.Payload
+	if kr != nil {
+		verified, err := kr.Verify(env, CheckpointPayloadType)
+		if err != nil {
+			return &BadLink{Class: BadSignature, Detail: err.Error()}
+		}
+		body = verified
+	}
+	var cp checkpointBody
+	if err := json.Unmarshal(body, &cp); err != nil {
+		return &BadLink{Class: BadCheckpoint, Detail: fmt.Sprintf("checkpoint body: %v", err)}
+	}
+	if !haveLast {
+		return &BadLink{Class: BadCheckpoint, Detail: "checkpoint precedes any chain record"}
+	}
+	if cp.Seq != last.Seq || cp.Head != hex.EncodeToString(last.Hash[:]) {
+		return &BadLink{Class: BadCheckpoint,
+			Detail: fmt.Sprintf("sealed head (seq %d) disagrees with the chain at seq %d", cp.Seq, last.Seq)}
+	}
+	return nil
+}
+
+// VerifyJournalFile reads and verifies the audit journal at path.
+func VerifyJournalFile(fsys store.FS, path string, kr *dsse.Keyring) (*JournalReport, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("audit: reading journal %s: %w", path, err)
+	}
+	return VerifyJournalBytes(data, kr), nil
+}

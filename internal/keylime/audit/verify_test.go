@@ -1,0 +1,156 @@
+package audit
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+)
+
+func testEntry(i int) Entry {
+	return Entry{
+		Time:    time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC),
+		AgentID: fmt.Sprintf("agent-%d", i),
+		Outcome: OutcomePass,
+	}
+}
+
+func appendSweep(t *testing.T, jl *JournalLog, n int) {
+	t.Helper()
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = testEntry(i)
+	}
+	if _, err := jl.Log.AppendBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A journal that started life unsigned and gained checkpoint sealing
+// mid-file (the upgrade path) must verify end to end: the signed suffix
+// has checkpoints, and because each checkpoint seals the chain head —
+// which commits to all history — the unsigned prefix is covered
+// retroactively. SignedThrough lands on the final sealed seq.
+func TestVerifyMixedEraJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.log")
+
+	// Unsigned era: two sweeps with no keyring armed.
+	jl, err := OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendSweep(t, jl, 3)
+	appendSweep(t, jl, 2)
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Signed era: reopen (replays the unsigned prefix), arm sealing,
+	// two more sweeps.
+	kr := dsse.NewKeyring()
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	jl, err = OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jl.Log.Len() != 5 {
+		t.Fatalf("recovered %d records, want 5", jl.Log.Len())
+	}
+	jl.SealCheckpoints(kr)
+	appendSweep(t, jl, 2)
+	appendSweep(t, jl, 3)
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := VerifyJournalBytes(data, kr)
+	if !rep.OK() {
+		t.Fatalf("mixed-era journal broken: %s", rep.FirstBad)
+	}
+	if rep.Records != 10 {
+		t.Fatalf("records = %d, want 10", rep.Records)
+	}
+	if rep.Checkpoints != 2 || rep.VerifiedCheckpoints != 2 {
+		t.Fatalf("checkpoints = %d verified %d, want 2/2", rep.Checkpoints, rep.VerifiedCheckpoints)
+	}
+	if rep.SignedThrough != 9 {
+		t.Fatalf("SignedThrough = %d, want 9 (head commits to the whole chain)", rep.SignedThrough)
+	}
+
+	// Recovery of the mixed-era file skips checkpoint frames: the chain
+	// replays whole even though the keyring is absent at open.
+	jl, err = OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.Close()
+	if jl.Log.Len() != 10 {
+		t.Fatalf("reopen recovered %d records, want 10", jl.Log.Len())
+	}
+}
+
+// Without a keyring the walk still enforces checkpoint/chain head
+// consistency: an intact signed journal passes (checkpoints counted but
+// unverified), and a checkpoint whose sealed head disagrees with the
+// chain fails even though no signature is checked.
+func TestVerifyWithoutKeyringChecksHeadConsistency(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.log")
+	kr := dsse.NewKeyring()
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := OpenJournal(store.OS(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.SealCheckpoints(kr)
+	appendSweep(t, jl, 3)
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := VerifyJournalBytes(data, nil)
+	if !rep.OK() {
+		t.Fatalf("keyringless walk broken: %s", rep.FirstBad)
+	}
+	if rep.Checkpoints != 1 || rep.VerifiedCheckpoints != 0 || rep.SignedThrough != -1 {
+		t.Fatalf("keyringless report: %+v", rep)
+	}
+}
+
+// FirstBroken pinpoints the exact record and reason of the first break
+// in an in-memory chain — the structured form behind VerifyChain.
+func TestFirstBrokenReportsIndexAndRecord(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(testEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records := l.Records()
+	records[3].Outcome = OutcomeFail // tamper without resealing
+	ce, idx := FirstBroken(records)
+	if ce == nil || idx != 3 {
+		t.Fatalf("FirstBroken = %v at %d, want break at 3", ce, idx)
+	}
+	if ce.Index != 3 || ce.Record.Seq != records[3].Seq {
+		t.Fatalf("ChainError = %+v, want index 3 seq %d", ce, records[3].Seq)
+	}
+	if err := VerifyChain(records); err == nil {
+		t.Fatal("VerifyChain accepted a tampered chain")
+	}
+}

@@ -332,6 +332,17 @@ func (n *Node) handleReplicate(req Request) Reply {
 	if src == "" {
 		return errReply("replicate without source")
 	}
+	// Verify the frame seal before a single row is applied. A rejected
+	// frame is a hard error back to the sender — the standby's replica
+	// must never absorb evidence it cannot authenticate, because that
+	// replica is what failover restores from.
+	if err := n.verifyReplicate(src, &body); err != nil {
+		n.mu.Lock()
+		n.sealRejects++
+		n.mu.Unlock()
+		n.logf("cluster %s: REJECTED replication frame from %s: %v", n.cfg.NodeID, src, err)
+		return errReply("replication seal: %v", err)
+	}
 	st := n.cfg.Store
 	markKey := replSeqPrefix + src
 	var mark replMark

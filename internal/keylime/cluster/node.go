@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/faultinject"
 	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
@@ -74,6 +75,10 @@ type Config struct {
 	Store     *store.Store
 	Transport Transport
 	Clock     simclock.Clock
+	// Keyring, when set, seals outbound replication frames and requires
+	// a valid seal on inbound ones (peers trust each other's keys via
+	// shared keyring state or AddVerifier). nil runs unsigned.
+	Keyring *dsse.Keyring
 	// Steps receives a checkpoint at every handoff step boundary; the
 	// crash-sweep harness arms it to kill the coordinator mid-handoff.
 	Steps *faultinject.StepHook
@@ -104,6 +109,10 @@ type Node struct {
 	peerAck   map[string]time.Time
 	handoff   bool // coordinator: handoff in flight this process
 	repl      map[string]*replCursor
+	// sealRejects counts inbound replication frames rejected for seal
+	// verification failures — each one is tampered or misattributed
+	// evidence that never touched the store.
+	sealRejects int
 
 	genMu sync.Mutex // serializes NextGeneration against heartbeat watermarks
 }
@@ -417,9 +426,9 @@ func (n *Node) leaderTick(ctx context.Context, now time.Time) {
 	gen := n.genWatermark()
 
 	var (
-		wg       sync.WaitGroup
-		ackMu    sync.Mutex
-		maxTerm  = term
+		wg      sync.WaitGroup
+		ackMu   sync.Mutex
+		maxTerm = term
 	)
 	for _, p := range n.cfg.Peers {
 		if p == n.cfg.NodeID {

@@ -53,6 +53,10 @@ func (n *Node) replicateTick(ctx context.Context) {
 			UpTo:     upTo,
 			Segments: filterAgentSegments(segs),
 		}
+		if err := n.sealReplicate(&req); err != nil {
+			n.logf("cluster %s: %v", n.cfg.NodeID, err)
+			continue
+		}
 		var resp ReplicateResp
 		if err := call(ctx, n.cfg.Transport, s, n.cfg.NodeID, MsgReplicate, req, &resp); err != nil {
 			continue // unreachable; retry next tick
@@ -75,6 +79,10 @@ func (n *Node) sendSnapshot(ctx context.Context, standby string) {
 		}
 	}
 	req := ReplicateReq{SrcEpoch: st.Epoch(), UpTo: seq, Snapshot: snap, IsSnap: true}
+	if err := n.sealReplicate(&req); err != nil {
+		n.logf("cluster %s: %v", n.cfg.NodeID, err)
+		return
+	}
 	var resp ReplicateResp
 	if err := call(ctx, n.cfg.Transport, standby, n.cfg.NodeID, MsgReplicate, req, &resp); err != nil {
 		return

@@ -1,0 +1,137 @@
+package cluster
+
+// Replication frame sealing. A standby's replica is a rollback-restore
+// source during failover, so a forged or corrupted frame accepted today
+// becomes forged attestation state restored tomorrow. When both sides
+// hold a keyring, every ReplicateReq carries a DSSE envelope over the
+// frame digest — source identity, store epoch, seq bounds, and a
+// SHA-256 over the payload — and the receiver verifies it before a
+// single row touches its store. Rejection is a hard RPC error (the
+// sender retries; a persistent failure shows up as a stalled cursor and
+// a SealRejects counter in Status), never a silent accept.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/keylime/dsse"
+)
+
+// ReplicatePayloadType is the DSSE payload type of a replication frame
+// seal.
+const ReplicatePayloadType = "application/vnd.keylime.replication-frame+json"
+
+// sealBody is what the sender signs for one replication frame.
+type sealBody struct {
+	Src      string `json:"src"`
+	SrcEpoch uint64 `json:"src_epoch"`
+	FromSeq  uint64 `json:"from_seq"`
+	UpTo     uint64 `json:"up_to"`
+	IsSnap   bool   `json:"is_snap,omitempty"`
+	// Digest is the hex SHA-256 of the frame payload (segments or
+	// snapshot rows, canonically encoded).
+	Digest string `json:"digest"`
+}
+
+// frameDigest hashes the frame payload canonically: length-prefixed
+// fields, snapshot rows in sorted key order, so sender and receiver
+// agree byte-for-byte regardless of JSON map ordering.
+func frameDigest(body *ReplicateReq) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	put := func(b []byte) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	if body.IsSnap {
+		keys := make([]string, 0, len(body.Snapshot))
+		for k := range body.Snapshot {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			put([]byte(k))
+			put(body.Snapshot[k])
+		}
+	} else {
+		for _, seg := range body.Segments {
+			put([]byte{seg.Op})
+			put([]byte(seg.Key))
+			put(seg.Value)
+			binary.BigEndian.PutUint64(lenBuf[:], seg.Seq)
+			h.Write(lenBuf[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sealReplicate signs the frame in place. No keyring (or a verify-only
+// keyring) leaves the frame unsealed — back-compat with unsigned peers.
+func (n *Node) sealReplicate(body *ReplicateReq) error {
+	kr := n.cfg.Keyring
+	if kr == nil || !kr.CanSign() {
+		return nil
+	}
+	sb, err := json.Marshal(sealBody{
+		Src: n.cfg.NodeID, SrcEpoch: body.SrcEpoch,
+		FromSeq: body.FromSeq, UpTo: body.UpTo, IsSnap: body.IsSnap,
+		Digest: frameDigest(body),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: encoding frame seal: %w", err)
+	}
+	env, err := kr.Sign(ReplicatePayloadType, sb)
+	if err != nil {
+		return fmt.Errorf("cluster: sealing replication frame: %w", err)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding seal envelope: %w", err)
+	}
+	body.Seal = raw
+	return nil
+}
+
+// verifyReplicate checks an inbound frame against this node's keyring.
+// Nil keyring accepts anything (unsigned deployment); with one, the
+// frame must carry a seal whose signature verifies and whose sealed
+// fields match both the claimed bounds and the recomputed payload
+// digest. src is the transport-level sender, which the seal must name —
+// a valid frame captured from node A cannot be replayed as node B's.
+func (n *Node) verifyReplicate(src string, body *ReplicateReq) error {
+	kr := n.cfg.Keyring
+	if kr == nil {
+		return nil
+	}
+	if len(body.Seal) == 0 {
+		return fmt.Errorf("frame from %s carries no seal", src)
+	}
+	var env dsse.Envelope
+	if err := json.Unmarshal(body.Seal, &env); err != nil {
+		return fmt.Errorf("seal envelope: %v", err)
+	}
+	payload, err := kr.Verify(&env, ReplicatePayloadType)
+	if err != nil {
+		return err
+	}
+	var sb sealBody
+	if err := json.Unmarshal(payload, &sb); err != nil {
+		return fmt.Errorf("seal body: %v", err)
+	}
+	switch {
+	case sb.Src != src:
+		return fmt.Errorf("seal names source %s, frame arrived from %s", sb.Src, src)
+	case sb.SrcEpoch != body.SrcEpoch || sb.FromSeq != body.FromSeq ||
+		sb.UpTo != body.UpTo || sb.IsSnap != body.IsSnap:
+		return fmt.Errorf("seal bounds (epoch %d, %d..%d) disagree with frame (epoch %d, %d..%d)",
+			sb.SrcEpoch, sb.FromSeq, sb.UpTo, body.SrcEpoch, body.FromSeq, body.UpTo)
+	case sb.Digest != frameDigest(body):
+		return fmt.Errorf("frame payload does not match its sealed digest")
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/faultinject"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/verifier"
+)
+
+// sealNode builds a minimal node (no harness, no TPM) for exercising the
+// replication seal path directly.
+func sealNode(t *testing.T, id string, kr *dsse.Keyring) *Node {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	n, err := NewNode(Config{
+		NodeID:    id,
+		Peers:     []string{"n1", "n2"},
+		Verifier:  verifier.New(""),
+		Store:     st,
+		Transport: NewMemTransport(faultinject.NewPeerFaults()),
+		Keyring:   kr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func testFrame() ReplicateReq {
+	return ReplicateReq{
+		SrcEpoch: 7, FromSeq: 3, UpTo: 5,
+		Segments: []store.Segment{
+			{Seq: 4, Op: store.SegPut, Key: "a/agent-1", Value: []byte(`{"id":"agent-1"}`)},
+			{Seq: 5, Op: store.SegDelete, Key: "a/agent-2"},
+		},
+	}
+}
+
+// Cross-keyring trust: each node signs with its own key; the receiver
+// trusts the sender via AddVerifier. Rotation on the sender mid-stream
+// must not break frames sealed under the previous key.
+func TestSealRoundTripAndTamperDetection(t *testing.T) {
+	krA := dsse.NewKeyring()
+	if _, err := krA.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	krB := dsse.NewKeyring()
+	if _, err := krB.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pub := range krA.PublicKeys() {
+		krB.AddVerifier(pub)
+	}
+	src := sealNode(t, "n1", krA)
+	dst := sealNode(t, "n2", krB)
+
+	req := testFrame()
+	if err := src.sealReplicate(&req); err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Seal) == 0 {
+		t.Fatal("frame left unsealed")
+	}
+	if err := dst.verifyReplicate("n1", &req); err != nil {
+		t.Fatalf("honest frame rejected: %v", err)
+	}
+
+	// Sender rotates; a frame sealed by the NEW key still verifies (the
+	// receiver learned every sender key, none retired).
+	if _, err := krA.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, pub := range krA.PublicKeys() {
+		krB.AddVerifier(pub)
+	}
+	req2 := testFrame()
+	if err := src.sealReplicate(&req2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.verifyReplicate("n1", &req2); err != nil {
+		t.Fatalf("post-rotation frame rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(r *ReplicateReq)
+		want   string
+	}{
+		{"flipped segment byte", func(r *ReplicateReq) { r.Segments[0].Value[2] ^= 0x01 }, "sealed digest"},
+		{"stripped seal", func(r *ReplicateReq) { r.Seal = nil }, "no seal"},
+		{"inflated bounds", func(r *ReplicateReq) { r.UpTo = 99 }, "disagree"},
+		{"spliced-in row", func(r *ReplicateReq) {
+			r.Segments = append(r.Segments, store.Segment{Seq: 6, Op: store.SegPut, Key: "a/evil", Value: []byte(`{}`)})
+		}, "sealed digest"},
+	}
+	for _, tc := range cases {
+		r := testFrame()
+		if err := src.sealReplicate(&r); err != nil {
+			t.Fatal(err)
+		}
+		tc.mutate(&r)
+		err := dst.verifyReplicate("n1", &r)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Misattribution: a frame honestly sealed by n1 replayed as n2's.
+	r := testFrame()
+	if err := src.sealReplicate(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.verifyReplicate("n2", &r); err == nil ||
+		!strings.Contains(err.Error(), "seal names source") {
+		t.Errorf("misattributed frame: err = %v, want source mismatch", err)
+	}
+}
+
+// A tampered frame through the real RPC handler: rejected before any row
+// lands in the standby's store, and counted in Status.
+func TestHandleReplicateRejectsTamperedFrame(t *testing.T) {
+	kr := dsse.NewKeyring()
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	src := sealNode(t, "n1", kr)
+	dst := sealNode(t, "n2", kr) // shared keyring deployment
+
+	frame := testFrame()
+	frame.FromSeq = 0 // first contact applies cleanly
+	if err := src.sealReplicate(&frame); err != nil {
+		t.Fatal(err)
+	}
+	frame.Segments[0].Value = []byte(`{"id":"agent-1","forged":true}`)
+	body, _ := json.Marshal(frame)
+	rep := dst.Handle(Request{Type: MsgReplicate, From: "n1", Body: body})
+	if rep.OK || !strings.Contains(rep.Err, "replication seal") {
+		t.Fatalf("reply = %+v, want seal rejection", rep)
+	}
+	for k := range dst.cfg.Store.All() {
+		if strings.HasPrefix(k, replicaPrefix) {
+			t.Fatalf("tampered frame left row %s in store", k)
+		}
+	}
+	if got := dst.Status().SealRejects; got != 1 {
+		t.Fatalf("SealRejects = %d, want 1", got)
+	}
+
+	// The honest version of the same frame is accepted afterwards.
+	honest := testFrame()
+	honest.FromSeq = 0
+	if err := src.sealReplicate(&honest); err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(honest)
+	rep = dst.Handle(Request{Type: MsgReplicate, From: "n1", Body: body})
+	if !rep.OK {
+		t.Fatalf("honest frame rejected: %s", rep.Err)
+	}
+	if _, ok := dst.cfg.Store.Get(replicaPrefix + "n1/a/agent-1"); !ok {
+		t.Fatal("honest frame did not install the replica row")
+	}
+}

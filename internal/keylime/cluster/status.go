@@ -16,16 +16,20 @@ type PeerStatus struct {
 
 // NodeStatus is the /v2/cluster/status document.
 type NodeStatus struct {
-	NodeID       string       `json:"node_id"`
-	Role         Role         `json:"role"`
-	Term         uint64       `json:"term"`
-	Leader       string       `json:"leader,omitempty"`
-	Assign       Assignment   `json:"assignment"`
-	PendingEpoch uint64       `json:"pending_epoch,omitempty"`
-	Frozen       bool         `json:"frozen,omitempty"`
-	AgentsOwned  int          `json:"agents_owned"`
-	Generation   uint64       `json:"generation"`
-	Peers        []PeerStatus `json:"peers"`
+	NodeID       string     `json:"node_id"`
+	Role         Role       `json:"role"`
+	Term         uint64     `json:"term"`
+	Leader       string     `json:"leader,omitempty"`
+	Assign       Assignment `json:"assignment"`
+	PendingEpoch uint64     `json:"pending_epoch,omitempty"`
+	Frozen       bool       `json:"frozen,omitempty"`
+	AgentsOwned  int        `json:"agents_owned"`
+	Generation   uint64     `json:"generation"`
+	// SealRejects counts inbound replication frames rejected for DSSE
+	// seal failures (tampered, misattributed, or unsealed under a
+	// keyring-required configuration).
+	SealRejects int          `json:"seal_rejects,omitempty"`
+	Peers       []PeerStatus `json:"peers"`
 }
 
 // Status reports the node's cluster view for operators and tests.
@@ -39,6 +43,8 @@ func (n *Node) Status() NodeStatus {
 		Leader: n.leader,
 		Assign: n.assign,
 		Frozen: n.frozen,
+
+		SealRejects: n.sealRejects,
 	}
 	if n.pendingFr != nil {
 		st.PendingEpoch = n.pendingFr.Epoch

@@ -107,6 +107,11 @@ type (
 		Segments []store.Segment   `json:"segments,omitempty"`
 		Snapshot map[string][]byte `json:"snapshot,omitempty"`
 		IsSnap   bool              `json:"is_snap,omitempty"`
+		// Seal is a DSSE envelope over the frame's digest (source, epoch,
+		// seq bounds, SHA-256 of the payload); present when the sender has
+		// a keyring. A standby with a keyring rejects unsealed or
+		// mis-sealed frames before they touch its store.
+		Seal json.RawMessage `json:"seal,omitempty"`
 	}
 	ReplicateResp struct {
 		AckSeq       uint64 `json:"ack_seq"`
@@ -119,8 +124,8 @@ type (
 		Src string `json:"src"`
 	}
 	FetchReplicaResp struct {
-		Epoch uint64               `json:"epoch"` // Src's store epoch at last ack
-		Seq   uint64               `json:"seq"`   // Src's journal seq at last ack
+		Epoch uint64                `json:"epoch"` // Src's store epoch at last ack
+		Seq   uint64                `json:"seq"`   // Src's journal seq at last ack
 		Rows  []verifier.AgentState `json:"rows,omitempty"`
 	}
 

@@ -1,0 +1,526 @@
+package custody
+
+// Tamper-injection chaos suite: every class of attack the chain of
+// custody claims to catch is injected for real — bit flips at every
+// byte offset, frame splices, reorders, replays, wholesale chain
+// rewrites with and without forged signatures — and the verification
+// walk must pinpoint the first tampered record (index, byte offset,
+// taxonomy class) with zero false verdicts in either direction: the
+// untampered artifact always verifies, and no tamper is ever reported
+// against a record that precedes it.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/keylime/audit"
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+	"repro/internal/keylime/webhook"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// frame encodes one journal record frame (length + CRC32C + payload),
+// mirroring the store framing so tests can reassemble tampered files.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// reassemble builds a journal file from record payloads.
+func reassemble(payloads [][]byte) []byte {
+	out := []byte("KLJRNL01")
+	for _, p := range payloads {
+		out = append(out, frame(p)...)
+	}
+	return out
+}
+
+func baseTime() time.Time {
+	return time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// buildSealedJournal writes a checkpoint-sealed audit journal with a
+// key rotation mid-run: three sweeps under key 1, rotate, three more
+// cosigned by keys 1+2. The keyring itself is journaled to disk so the
+// verify side can load it the way verify-chain would.
+func buildSealedJournal(t *testing.T, dir string) (journalPath, keyringPath string, kr *dsse.Keyring) {
+	t.Helper()
+	journalPath = filepath.Join(dir, "audit.log")
+	keyringPath = filepath.Join(dir, "keyring.wal")
+	kr, err := dsse.OpenKeyring(store.OS(), keyringPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	jl, err := audit.OpenJournal(store.OS(), journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.SealCheckpoints(kr)
+	sweep := func(n int) {
+		t.Helper()
+		entries := make([]audit.Entry, n)
+		for i := range entries {
+			entries[i] = audit.Entry{
+				Time:    baseTime(),
+				AgentID: fmt.Sprintf("agent-%d", i),
+				Outcome: audit.OutcomePass,
+			}
+		}
+		if _, err := jl.Log.AppendBatch(entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sweep(3)
+	sweep(2)
+	sweep(3)
+	if _, err := kr.Rotate(); err != nil { // keyid boundary mid-run
+		t.Fatal(err)
+	}
+	sweep(2)
+	sweep(3)
+	sweep(2)
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return journalPath, keyringPath, kr
+}
+
+// TestChaosBitFlipEveryByte flips one bit at every byte offset of a
+// sealed journal and demands the walk land exactly on the damaged
+// frame: header flips class as bad-header, every other flip pinpoints
+// the frame containing the flipped byte.
+func TestChaosBitFlipEveryByte(t *testing.T) {
+	path, _, kr := buildSealedJournal(t, t.TempDir())
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := store.ScanRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Control: the untampered journal verifies end to end.
+	clean := audit.VerifyJournalBytes(data, kr)
+	if !clean.OK() {
+		t.Fatalf("control journal broken: %s", clean.FirstBad)
+	}
+	if clean.SignedThrough < 0 || clean.VerifiedCheckpoints != clean.Checkpoints {
+		t.Fatalf("control: %d/%d checkpoints verified, signed through %d",
+			clean.VerifiedCheckpoints, clean.Checkpoints, clean.SignedThrough)
+	}
+
+	frameOf := func(off int) (idx int, start int64) {
+		for _, fr := range frames {
+			end := fr.Offset + 8 + int64(len(fr.Payload))
+			if int64(off) >= fr.Offset && int64(off) < end {
+				return fr.Index, fr.Offset
+			}
+		}
+		return -1, -1
+	}
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 1 << (i % 8)
+		rep := audit.VerifyJournalBytes(mut, kr)
+		if rep.OK() {
+			t.Fatalf("flip at byte %d went undetected", i)
+		}
+		bad := rep.FirstBad
+		if i < 8 {
+			if bad.Class != audit.BadHeader {
+				t.Fatalf("flip at header byte %d: class %s, want %s", i, bad.Class, audit.BadHeader)
+			}
+			continue
+		}
+		wantIdx, wantOff := frameOf(i)
+		if bad.Index != wantIdx || bad.Offset != wantOff {
+			t.Fatalf("flip at byte %d: reported record %d offset %d, want record %d offset %d (class %s: %s)",
+				i, bad.Index, bad.Offset, wantIdx, wantOff, bad.Class, bad.Detail)
+		}
+	}
+}
+
+// TestChaosSpliceReorderReplay rebuilds the journal with valid framing
+// (the attacker recomputes CRCs) and tampered record structure; the
+// hash chain must break at exactly the first displaced record.
+func TestChaosSpliceReorderReplay(t *testing.T) {
+	path, _, kr := buildSealedJournal(t, t.TempDir())
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := store.ScanRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(frames))
+	recordIdx := []int{} // indices of chain-record (non-checkpoint) frames
+	for i, fr := range frames {
+		payloads[i] = fr.Payload
+		var probe struct {
+			Checkpoint json.RawMessage `json:"checkpoint"`
+		}
+		if json.Unmarshal(fr.Payload, &probe) != nil || probe.Checkpoint == nil {
+			recordIdx = append(recordIdx, i)
+		}
+	}
+	if len(recordIdx) < 6 {
+		t.Fatalf("need at least 6 records, have %d", len(recordIdx))
+	}
+
+	cases := []struct {
+		name      string
+		mutate    func(p [][]byte) [][]byte
+		wantIdx   int // expected FirstBad.Index
+		wantClass string
+	}{
+		{
+			name: "reorder two records",
+			mutate: func(p [][]byte) [][]byte {
+				a, b := recordIdx[2], recordIdx[4]
+				p[a], p[b] = p[b], p[a]
+				return p
+			},
+			wantIdx: recordIdx[2], wantClass: audit.BadOutOfOrder,
+		},
+		{
+			name: "replay a record",
+			mutate: func(p [][]byte) [][]byte {
+				dup := recordIdx[3]
+				out := append([][]byte{}, p[:dup+1]...)
+				out = append(out, p[dup]) // same record twice
+				return append(out, p[dup+1:]...)
+			},
+			wantIdx: recordIdx[3] + 1, wantClass: audit.BadOutOfOrder,
+		},
+		{
+			name: "drop a record",
+			mutate: func(p [][]byte) [][]byte {
+				cut := recordIdx[3]
+				return append(append([][]byte{}, p[:cut]...), p[cut+1:]...)
+			},
+			wantIdx: recordIdx[3], wantClass: audit.BadOutOfOrder,
+		},
+		{
+			name: "splice forged content",
+			mutate: func(p [][]byte) [][]byte {
+				var r audit.Record
+				if err := json.Unmarshal(p[recordIdx[3]], &r); err != nil {
+					t.Fatal(err)
+				}
+				r.Outcome = audit.OutcomePass
+				r.AgentID = "agent-innocent"
+				forged, _ := json.Marshal(r)
+				p[recordIdx[3]] = forged
+				return p
+			},
+			wantIdx: recordIdx[3], wantClass: audit.BadChainBroken,
+		},
+	}
+	for _, tc := range cases {
+		cp := make([][]byte, len(payloads))
+		for i, p := range payloads {
+			cp[i] = append([]byte(nil), p...)
+		}
+		mut := reassemble(tc.mutate(cp))
+		rep := audit.VerifyJournalBytes(mut, kr)
+		if rep.OK() {
+			t.Fatalf("%s: undetected", tc.name)
+		}
+		if rep.FirstBad.Index != tc.wantIdx || rep.FirstBad.Class != tc.wantClass {
+			t.Fatalf("%s: first bad = record %d class %s (%s), want record %d class %s",
+				tc.name, rep.FirstBad.Index, rep.FirstBad.Class, rep.FirstBad.Detail, tc.wantIdx, tc.wantClass)
+		}
+	}
+}
+
+// TestChaosWholesaleRewrite regenerates the entire hash chain with one
+// verdict flipped — every seq, prev-hash, and seal internally
+// consistent, exactly what an attacker with file access but no signing
+// key can produce. The original checkpoints must then disagree with the
+// forged head; a checkpoint re-signed by the attacker's own key must
+// fail as signature-failure; and stripping checkpoints entirely must
+// leave the signature coverage gap visible (SignedThrough regresses to
+// -1), never a silently "verified" journal.
+func TestChaosWholesaleRewrite(t *testing.T) {
+	path, _, kr := buildSealedJournal(t, t.TempDir())
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := store.ScanRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partition frames; collect the original records as entries.
+	type slot struct {
+		checkpoint bool
+		payload    []byte
+	}
+	var slots []slot
+	var entries []audit.Entry
+	firstCPIdx := -1
+	for i, fr := range frames {
+		var probe struct {
+			Checkpoint json.RawMessage `json:"checkpoint"`
+		}
+		if json.Unmarshal(fr.Payload, &probe) == nil && probe.Checkpoint != nil {
+			if firstCPIdx < 0 {
+				firstCPIdx = i
+			}
+			slots = append(slots, slot{checkpoint: true, payload: fr.Payload})
+			continue
+		}
+		var r audit.Record
+		if err := json.Unmarshal(fr.Payload, &r); err != nil {
+			t.Fatal(err)
+		}
+		entries = append(entries, audit.Entry{
+			Time: r.Time, AgentID: r.AgentID, Outcome: r.Outcome,
+			FailureType: r.FailureType, FailurePath: r.FailurePath,
+			NewEntries: r.NewEntries, VerifiedEntries: r.VerifiedEntries,
+			RebootDetected: r.RebootDetected, CheckLevel: r.CheckLevel,
+		})
+		slots = append(slots, slot{payload: nil})
+	}
+	// Forge: flip record 0's identity and regenerate a fully consistent
+	// chain from scratch (the attacker owns no key, only the file).
+	entries[0].AgentID = "agent-ghost"
+	forgedLog := audit.NewLog()
+	var forged []audit.Record
+	for _, e := range entries {
+		r, err := forgedLog.Append(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged = append(forged, r)
+	}
+	rebuild := func(keepCheckpoints bool, resign *dsse.Keyring) [][]byte {
+		var out [][]byte
+		ri := 0
+		var lastForged audit.Record
+		for _, s := range slots {
+			if !s.checkpoint {
+				p, _ := json.Marshal(forged[ri])
+				lastForged = forged[ri]
+				ri++
+				out = append(out, p)
+				continue
+			}
+			if !keepCheckpoints {
+				continue
+			}
+			p := s.payload
+			if resign != nil {
+				body, _ := json.Marshal(map[string]string{
+					"seq":  fmt.Sprint(lastForged.Seq),
+					"head": fmt.Sprintf("%x", lastForged.Hash[:]),
+				})
+				env, err := resign.Sign(audit.CheckpointPayloadType, body)
+				if err != nil {
+					t.Fatal(err)
+				}
+				envJSON, _ := json.Marshal(env)
+				p = []byte(fmt.Sprintf(`{"checkpoint":%s}`, envJSON))
+			}
+			out = append(out, p)
+		}
+		return out
+	}
+
+	// Original checkpoints over a rewritten chain: head disagreement at
+	// the first checkpoint.
+	rep := audit.VerifyJournalBytes(reassemble(rebuild(true, nil)), kr)
+	if rep.OK() || rep.FirstBad.Class != audit.BadCheckpoint {
+		t.Fatalf("rewrite kept original checkpoints: %+v, want %s", rep.FirstBad, audit.BadCheckpoint)
+	}
+	if rep.FirstBad.Index != firstCPIdx {
+		t.Fatalf("rewrite detected at record %d, want first checkpoint %d", rep.FirstBad.Index, firstCPIdx)
+	}
+
+	// Attacker re-signs checkpoints with their own key: signature
+	// failure, its own verdict class — never a pass, never an agent
+	// integrity verdict.
+	evil := dsse.NewKeyring()
+	if _, err := evil.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	rep = audit.VerifyJournalBytes(reassemble(rebuild(true, evil)), kr)
+	if rep.OK() || rep.FirstBad.Class != audit.BadSignature {
+		t.Fatalf("forged-key checkpoints: %+v, want %s", rep.FirstBad, audit.BadSignature)
+	}
+
+	// Checkpoints stripped: the chain itself is consistent, so the walk
+	// reports structural OK — but the coverage gap is explicit, which is
+	// what an operator alerts on when a keyring is configured.
+	rep = audit.VerifyJournalBytes(reassemble(rebuild(false, nil)), kr)
+	if !rep.OK() {
+		t.Fatalf("stripped checkpoints: unexpected %+v (chain is internally valid)", rep.FirstBad)
+	}
+	if rep.SignedThrough != -1 || rep.Checkpoints != 0 {
+		t.Fatalf("stripped checkpoints: SignedThrough %d, Checkpoints %d — coverage gap must be visible",
+			rep.SignedThrough, rep.Checkpoints)
+	}
+}
+
+// TestChaosRotationBoundaryAndLoadedKeyring verifies the full walk with
+// a keyring re-loaded from its own journal (the verify-chain path): the
+// mid-run rotation must not break verification on either side of the
+// keyid boundary, and retiring the first key afterwards keeps the
+// cosigned suffix verifiable.
+func TestChaosRotationBoundaryAndLoadedKeyring(t *testing.T) {
+	dir := t.TempDir()
+	path, krPath, live := buildSealedJournal(t, dir)
+	loaded, err := dsse.LoadKeyringFile(store.OS(), krPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.OS().ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := audit.VerifyJournalBytes(data, loaded)
+	if !rep.OK() {
+		t.Fatalf("loaded keyring: %s", rep.FirstBad)
+	}
+	if rep.VerifiedCheckpoints != rep.Checkpoints || rep.Checkpoints == 0 {
+		t.Fatalf("loaded keyring verified %d/%d checkpoints", rep.VerifiedCheckpoints, rep.Checkpoints)
+	}
+	// Retire the pre-rotation key on the loaded ring: checkpoints sealed
+	// before the keyid boundary lose their only trusted signature, and
+	// that must surface as a signature failure at the first such
+	// checkpoint — never silent acceptance. (Post-boundary checkpoints
+	// are cosigned by the new key and would still verify.)
+	pubs := live.PublicKeys()
+	if len(pubs) != 2 {
+		t.Fatalf("keyring holds %d keys, want 2", len(pubs))
+	}
+	oldID := dsse.KeyID(pubs[0])
+	if oldID == loaded.ActiveKeyID() {
+		oldID = dsse.KeyID(pubs[1])
+	}
+	if err := loaded.Retire(oldID); err != nil {
+		t.Fatal(err)
+	}
+	rep = audit.VerifyJournalBytes(data, loaded)
+	if rep.OK() || rep.FirstBad.Class != audit.BadSignature {
+		t.Fatalf("retired-key checkpoint: %+v, want %s", rep.FirstBad, audit.BadSignature)
+	}
+}
+
+// TestChaosCustodyWalkPinpointsArtifact drives the aggregate walk the
+// CLI uses: audit + outbox together, tamper exactly one artifact, and
+// the report must name that artifact and the record inside it.
+func TestChaosCustodyWalkPinpointsArtifact(t *testing.T) {
+	dir := t.TempDir()
+	auditPath, krPath, kr := buildSealedJournal(t, dir)
+
+	// Outbox with sealed revocations.
+	outboxPath := filepath.Join(dir, "outbox.wal")
+	ob, err := webhook.OpenOutbox(store.OS(), outboxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveries []webhook.PendingDelivery
+	for i := 0; i < 4; i++ {
+		note := webhook.Notification{
+			AgentID: fmt.Sprintf("agent-%d", i), Type: "revocation",
+			Detail: "integrity failure", Time: baseTime(),
+			DedupKey: fmt.Sprintf("dk-%d", i),
+		}
+		body, _ := json.Marshal(note)
+		env, err := kr.Sign(webhook.RevocationPayloadType, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envJSON, _ := dsse.Encode(env)
+		deliveries = append(deliveries, webhook.PendingDelivery{
+			Endpoint: "http://hook.example/revocations", Note: note, Env: envJSON,
+		})
+	}
+	if err := ob.EnqueueBatch(deliveries); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := dsse.LoadKeyringFile(store.OS(), krPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{AuditLog: auditPath, Outbox: outboxPath, Keyring: loaded}
+	rep, err := Verify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean walk broken: %s", rep.FirstBroken)
+	}
+	if rep.Outbox.Signed != 4 || rep.Outbox.Unsigned != 0 {
+		t.Fatalf("outbox report: %+v", rep.Outbox)
+	}
+
+	// Tamper the outbox only: swap one sealed notification's agent for
+	// another (suppressing the real culprit's revocation).
+	data, err := store.OS().ReadFile(outboxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _, err := store.ScanRecords(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := make([][]byte, len(frames))
+	for i, fr := range frames {
+		payloads[i] = fr.Payload
+	}
+	var rec map[string]json.RawMessage
+	if err := json.Unmarshal(payloads[2], &rec); err != nil {
+		t.Fatal(err)
+	}
+	var note webhook.Notification
+	if err := json.Unmarshal(rec["note"], &note); err != nil {
+		t.Fatal(err)
+	}
+	note.AgentID = "agent-innocent"
+	nb, _ := json.Marshal(note)
+	rec["note"] = nb
+	payloads[2], _ = json.Marshal(rec)
+	if err := os.WriteFile(outboxPath, reassemble(payloads), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err = Verify(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered outbox passed the walk")
+	}
+	fb := rep.FirstBroken
+	if fb.Artifact != "outbox" || fb.Index != 2 {
+		t.Fatalf("first broken = %+v, want outbox record 2", fb)
+	}
+	if fb.Class != webhook.OutboxBadMismatch {
+		t.Fatalf("class = %s, want %s", fb.Class, webhook.OutboxBadMismatch)
+	}
+	// The audit side of the same walk still verifies — tampering one
+	// artifact never contaminates the verdict on another.
+	if rep.Audit == nil || rep.Audit.FirstBad != nil {
+		t.Fatalf("audit verdict polluted: %+v", rep.Audit)
+	}
+}

@@ -1,0 +1,231 @@
+// Package dsse implements DSSE v1 (Dead Simple Signing Envelope)
+// signing and verification for the evidence the verifier emits: audit
+// checkpoints, revocation notifications, rollout policy bundles, and
+// cluster replication frames. Every hop seals its payload in an
+// Envelope so a later reader can prove the bytes came from a holder of
+// the signing key — a compromised disk or a forged replication stream
+// cannot silently rewrite history.
+//
+// The envelope and its pre-authentication encoding (PAE) follow the
+// DSSE protocol: the signature covers PAE(payloadType, payload), never
+// the raw payload, so an attacker cannot move a signed body between
+// payload types. Multi-signature envelopes carry one signature per
+// live signing key, which is what makes key-rotation overlap windows
+// work: a reader that only trusts the old key and a reader that only
+// trusts the new key both accept the same envelope.
+package dsse
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Errors form the strict degradation taxonomy: a signature failure is
+// its own class of failure — callers quarantine the artifact and alert,
+// but must never let it stand in for (or suppress) an integrity
+// verdict.
+var (
+	// ErrNoSignature reports an envelope with no signatures at all.
+	ErrNoSignature = errors.New("dsse: envelope has no signatures")
+	// ErrUnknownKey reports that no signature matched a key the
+	// verifier trusts (wrong keyid, or a retired key).
+	ErrUnknownKey = errors.New("dsse: no signature by a trusted key")
+	// ErrBadSignature reports a signature by a trusted keyid that does
+	// not verify — the payload or signature bytes were altered.
+	ErrBadSignature = errors.New("dsse: signature verification failed")
+	// ErrBadPayloadType reports a type confusion: the envelope's
+	// payload type is not the one the caller expected.
+	ErrBadPayloadType = errors.New("dsse: unexpected payload type")
+)
+
+// Signature is one signature over PAE(payloadType, payload). KeyID is
+// advisory (it routes verification to the right key) but unauthenticated,
+// exactly as in the DSSE spec: trust comes from the signature verifying,
+// not from the keyid matching.
+type Signature struct {
+	KeyID string `json:"keyid"`
+	Sig   []byte `json:"sig"`
+}
+
+// Envelope is a DSSE v1 envelope. encoding/json base64s the []byte
+// fields, which matches the DSSE JSON serialization.
+type Envelope struct {
+	PayloadType string      `json:"payloadType"`
+	Payload     []byte      `json:"payload"`
+	Signatures  []Signature `json:"signatures"`
+}
+
+// PAE computes the DSSE v1 pre-authentication encoding:
+//
+//	"DSSEv1" SP LEN(type) SP type SP LEN(payload) SP payload
+//
+// Lengths are decimal byte counts, so the encoding is unambiguous even
+// when type or payload contain spaces.
+func PAE(payloadType string, payload []byte) []byte {
+	buf := make([]byte, 0, len("DSSEv1  ")+len(payloadType)+len(payload)+24)
+	buf = append(buf, "DSSEv1 "...)
+	buf = strconv.AppendInt(buf, int64(len(payloadType)), 10)
+	buf = append(buf, ' ')
+	buf = append(buf, payloadType...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(len(payload)), 10)
+	buf = append(buf, ' ')
+	buf = append(buf, payload...)
+	return buf
+}
+
+// KeyID derives the key identifier for an Ed25519 public key: the hex
+// SHA-256 of the raw 32-byte key (same fingerprint idiom as the policy
+// trust store's KeyIDOf).
+func KeyID(pub ed25519.PublicKey) string {
+	sum := sha256.Sum256(pub)
+	return hex.EncodeToString(sum[:])
+}
+
+// Signer signs payloads with one Ed25519 key.
+type Signer struct {
+	priv  ed25519.PrivateKey
+	keyid string
+}
+
+// NewSigner wraps an Ed25519 private key.
+func NewSigner(priv ed25519.PrivateKey) *Signer {
+	return &Signer{priv: priv, keyid: KeyID(priv.Public().(ed25519.PublicKey))}
+}
+
+// GenerateSigner creates a fresh Ed25519 signing key from crypto/rand.
+func GenerateSigner() (*Signer, error) {
+	_, priv, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		return nil, fmt.Errorf("dsse: generate key: %w", err)
+	}
+	return NewSigner(priv), nil
+}
+
+// KeyID returns the signer's key identifier.
+func (s *Signer) KeyID() string { return s.keyid }
+
+// Public returns the signer's public key.
+func (s *Signer) Public() ed25519.PublicKey { return s.priv.Public().(ed25519.PublicKey) }
+
+// Sign seals payload under payloadType in a single-signature envelope.
+func (s *Signer) Sign(payloadType string, payload []byte) *Envelope {
+	sig := ed25519.Sign(s.priv, PAE(payloadType, payload))
+	return &Envelope{
+		PayloadType: payloadType,
+		Payload:     payload,
+		Signatures:  []Signature{{KeyID: s.keyid, Sig: sig}},
+	}
+}
+
+// Cosign appends this signer's signature to an existing envelope
+// (rotation overlap: old and new key both sign during the window).
+// Signing the same envelope twice with the same key is a no-op.
+func (s *Signer) Cosign(env *Envelope) {
+	for _, sig := range env.Signatures {
+		if sig.KeyID == s.keyid {
+			return
+		}
+	}
+	sig := ed25519.Sign(s.priv, PAE(env.PayloadType, env.Payload))
+	env.Signatures = append(env.Signatures, Signature{KeyID: s.keyid, Sig: sig})
+}
+
+// Verifier verifies envelopes against a set of trusted Ed25519 keys.
+type Verifier struct {
+	keys map[string]ed25519.PublicKey
+}
+
+// NewVerifier builds a verifier trusting the given public keys.
+func NewVerifier(pubs ...ed25519.PublicKey) *Verifier {
+	v := &Verifier{keys: make(map[string]ed25519.PublicKey, len(pubs))}
+	for _, pub := range pubs {
+		v.Add(pub)
+	}
+	return v
+}
+
+// Add trusts another public key.
+func (v *Verifier) Add(pub ed25519.PublicKey) { v.keys[KeyID(pub)] = pub }
+
+// Remove stops trusting a key (retirement after a rotation window).
+func (v *Verifier) Remove(keyid string) { delete(v.keys, keyid) }
+
+// Len reports how many keys are trusted.
+func (v *Verifier) Len() int { return len(v.keys) }
+
+// Verify checks the envelope: the payload type must match wantType (""
+// accepts any), and at least one signature must verify under a trusted
+// key. It returns the payload on success. The error distinguishes the
+// taxonomy classes: ErrBadPayloadType, ErrNoSignature, ErrUnknownKey,
+// ErrBadSignature.
+func (v *Verifier) Verify(env *Envelope, wantType string) ([]byte, error) {
+	if env == nil {
+		return nil, ErrNoSignature
+	}
+	if wantType != "" && env.PayloadType != wantType {
+		return nil, fmt.Errorf("%w: got %q, want %q", ErrBadPayloadType, env.PayloadType, wantType)
+	}
+	if len(env.Signatures) == 0 {
+		return nil, ErrNoSignature
+	}
+	pae := PAE(env.PayloadType, env.Payload)
+	sawTrusted := false
+	for _, sig := range env.Signatures {
+		pub, ok := v.keys[sig.KeyID]
+		if !ok {
+			continue
+		}
+		sawTrusted = true
+		if len(pub) == ed25519.PublicKeySize && ed25519.Verify(pub, pae, sig.Sig) {
+			return env.Payload, nil
+		}
+	}
+	if !sawTrusted {
+		return nil, fmt.Errorf("%w (envelope keyids: %v)", ErrUnknownKey, keyids(env))
+	}
+	return nil, ErrBadSignature
+}
+
+func keyids(env *Envelope) []string {
+	ids := make([]string, len(env.Signatures))
+	for i, sig := range env.Signatures {
+		ids[i] = short(sig.KeyID)
+	}
+	return ids
+}
+
+func short(keyid string) string {
+	if len(keyid) > 12 {
+		return keyid[:12]
+	}
+	return keyid
+}
+
+// Decode parses a JSON envelope, rejecting structurally invalid ones
+// (empty payload type, or no parse at all) so callers get a clean
+// "envelope-parse" failure instead of a nil-field panic downstream.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("dsse: decode envelope: %w", err)
+	}
+	if env.PayloadType == "" {
+		return nil, errors.New("dsse: decode envelope: empty payloadType")
+	}
+	return &env, nil
+}
+
+// Encode serializes an envelope to JSON.
+func Encode(env *Envelope) ([]byte, error) {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("dsse: encode envelope: %w", err)
+	}
+	return b, nil
+}

@@ -1,0 +1,228 @@
+package dsse
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestPAE pins the pre-authentication encoding to the DSSE v1 golden
+// vectors; a drift here would silently invalidate every stored
+// signature.
+func TestPAE(t *testing.T) {
+	cases := []struct {
+		name        string
+		payloadType string
+		payload     string
+		want        string
+	}{
+		{"empty", "", "", "DSSEv1 0  0 "},
+		{"empty-type", "", "hello world", "DSSEv1 0  11 hello world"},
+		{"empty-body", "http://example.com/HelloWorld", "", "DSSEv1 29 http://example.com/HelloWorld 0 "},
+		{"hello-world", "http://example.com/HelloWorld", "hello world", "DSSEv1 29 http://example.com/HelloWorld 11 hello world"},
+		{"unicode", "application/example", "entrée", "DSSEv1 19 application/example 7 entrée"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := PAE(tc.payloadType, []byte(tc.payload))
+			if string(got) != tc.want {
+				t.Fatalf("PAE(%q, %q) = %q, want %q", tc.payloadType, tc.payload, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	s, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := s.Sign("application/test", []byte("payload bytes"))
+	if len(env.Signatures) != 1 || env.Signatures[0].KeyID != s.KeyID() {
+		t.Fatalf("unexpected signatures: %+v", env.Signatures)
+	}
+	v := NewVerifier(s.Public())
+	got, err := v.Verify(env, "application/test")
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if !bytes.Equal(got, []byte("payload bytes")) {
+		t.Fatalf("payload = %q", got)
+	}
+	// JSON round-trip preserves verifiability (base64 payload/sig).
+	b, err := Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Verify(dec, "application/test"); err != nil {
+		t.Fatalf("Verify after round-trip: %v", err)
+	}
+}
+
+func TestVerifyTaxonomy(t *testing.T) {
+	s, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(s.Public())
+	env := s.Sign("t", []byte("x"))
+
+	if _, err := v.Verify(env, "u"); !errors.Is(err, ErrBadPayloadType) {
+		t.Fatalf("wrong type: %v", err)
+	}
+	if _, err := v.Verify(&Envelope{PayloadType: "t", Payload: []byte("x")}, "t"); !errors.Is(err, ErrNoSignature) {
+		t.Fatalf("no signatures: %v", err)
+	}
+	if _, err := v.Verify(nil, "t"); !errors.Is(err, ErrNoSignature) {
+		t.Fatalf("nil envelope: %v", err)
+	}
+	if _, err := v.Verify(other.Sign("t", []byte("x")), "t"); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("untrusted key: %v", err)
+	}
+	// Tampered payload under a trusted keyid: the hard failure class.
+	bad := *env
+	bad.Payload = []byte("y")
+	if _, err := v.Verify(&bad, "t"); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered payload: %v", err)
+	}
+	// Tampered signature bytes likewise.
+	bad2 := *env
+	bad2.Signatures = []Signature{{KeyID: env.Signatures[0].KeyID, Sig: append([]byte(nil), env.Signatures[0].Sig...)}}
+	bad2.Signatures[0].Sig[0] ^= 0x01
+	if _, err := v.Verify(&bad2, "t"); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered signature: %v", err)
+	}
+	// A moved payload type fails even with wantType == "" because the
+	// signature covers PAE(type, payload).
+	moved := *env
+	moved.PayloadType = "u"
+	if _, err := v.Verify(&moved, ""); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("type confusion: %v", err)
+	}
+}
+
+// TestMultiSignature exercises the rotation overlap shape: an envelope
+// signed by old+new keys verifies for a reader that only trusts either
+// one.
+func TestMultiSignature(t *testing.T) {
+	oldKey, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	newKey, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newKey.Sign("t", []byte("overlap"))
+	oldKey.Cosign(env)
+	if len(env.Signatures) != 2 {
+		t.Fatalf("signatures = %d, want 2", len(env.Signatures))
+	}
+	// Cosign is idempotent per key.
+	oldKey.Cosign(env)
+	if len(env.Signatures) != 2 {
+		t.Fatalf("cosign not idempotent: %d signatures", len(env.Signatures))
+	}
+	for _, v := range []*Verifier{NewVerifier(oldKey.Public()), NewVerifier(newKey.Public()), NewVerifier(oldKey.Public(), newKey.Public())} {
+		if _, err := v.Verify(env, "t"); err != nil {
+			t.Fatalf("Verify with %d trusted keys: %v", v.Len(), err)
+		}
+	}
+	// One valid signature is enough even if another is garbage.
+	env.Signatures[0].Sig[0] ^= 0xff
+	if _, err := NewVerifier(oldKey.Public(), newKey.Public()).Verify(env, "t"); err != nil {
+		t.Fatalf("one-of-two valid: %v", err)
+	}
+}
+
+func TestKeyIDStable(t *testing.T) {
+	pub, _, err := ed25519.GenerateKey(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KeyID(pub) != KeyID(pub) {
+		t.Fatal("KeyID not deterministic")
+	}
+	if len(KeyID(pub)) != 64 {
+		t.Fatalf("KeyID length = %d, want 64 hex chars", len(KeyID(pub)))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("decoded garbage")
+	}
+	if _, err := Decode([]byte(`{"payload":"aGk=","signatures":[]}`)); err == nil {
+		t.Fatal("decoded envelope with empty payloadType")
+	}
+}
+
+// FuzzEnvelopeDecode asserts Decode never panics and that any envelope
+// it accepts survives an encode/decode round trip with signatures and
+// payload intact.
+func FuzzEnvelopeDecode(f *testing.F) {
+	s, err := GenerateSigner()
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed := s.Sign("application/vnd.keylime.audit-checkpoint+json", []byte(`{"seq":7}`))
+	seedJSON, _ := Encode(seed)
+	f.Add(seedJSON)
+	f.Add([]byte(`{"payloadType":"t","payload":"","signatures":[{"keyid":"","sig":""}]}`))
+	f.Add([]byte(`{"payloadType":"t","payload":"aGVsbG8=","signatures":[{"keyid":"a","sig":"AA=="},{"keyid":"b","sig":"AQ=="}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Decode(data)
+		if err != nil {
+			return
+		}
+		out, err := Encode(env)
+		if err != nil {
+			t.Fatalf("Encode after Decode: %v", err)
+		}
+		env2, err := Decode(out)
+		if err != nil {
+			t.Fatalf("Decode(Encode(env)): %v", err)
+		}
+		if env.PayloadType != env2.PayloadType || !bytes.Equal(env.Payload, env2.Payload) || len(env.Signatures) != len(env2.Signatures) {
+			t.Fatalf("round trip changed envelope: %+v vs %+v", env, env2)
+		}
+	})
+}
+
+// TestEnvelopeJSONShape pins the wire field names to the DSSE spec so a
+// struct-tag typo cannot quietly fork the format.
+func TestEnvelopeJSONShape(t *testing.T) {
+	env := &Envelope{PayloadType: "t", Payload: []byte("hi"), Signatures: []Signature{{KeyID: "k", Sig: []byte{1}}}}
+	b, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"payloadType", "payload", "signatures"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("missing %q in %s", key, b)
+		}
+	}
+	sig := m["signatures"].([]any)[0].(map[string]any)
+	for _, key := range []string{"keyid", "sig"} {
+		if _, ok := sig[key]; !ok {
+			t.Fatalf("missing signature field %q in %s", key, b)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+package dsse
+
+import (
+	"crypto/ed25519"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/keylime/store"
+)
+
+// Keyring manages the verifier's signing keys with first-class
+// rotation: the newest key signs, every non-retired key still
+// verifies, and during an overlap window envelopes carry signatures
+// from both the outgoing and incoming key so readers pinned to either
+// keyid accept them. State is a store.Journal of key/retire records —
+// the same commit-before-ack discipline as every other journal in the
+// system, so a crash mid-rotation recovers to a prefix (the old key)
+// rather than a keyless verifier.
+type Keyring struct {
+	mu      sync.Mutex
+	jr      *store.Journal // nil for an in-memory ring
+	signers []*Signer      // journal order; last is the active signer
+	retired map[string]bool
+	ver     *Verifier
+}
+
+// keyringRecord is one journaled keyring mutation.
+type keyringRecord struct {
+	Op    string `json:"op"` // "key" | "retire"
+	Priv  []byte `json:"priv,omitempty"`
+	KeyID string `json:"keyid,omitempty"`
+}
+
+// ErrNoSigningKey reports a keyring asked to sign before any Rotate.
+var ErrNoSigningKey = errors.New("dsse: keyring has no signing key")
+
+// NewKeyring builds an empty in-memory keyring (tests, or verify-only
+// use via AddVerifier).
+func NewKeyring() *Keyring {
+	return &Keyring{retired: make(map[string]bool), ver: NewVerifier()}
+}
+
+// OpenKeyring opens (creating if absent) the keyring journal at path
+// and replays its key history. A fresh keyring has no signing key —
+// call Rotate to mint the first.
+func OpenKeyring(fsys store.FS, path string, opts ...store.JournalOption) (*Keyring, error) {
+	jr, payloads, err := store.OpenJournal(fsys, path, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("dsse: open keyring: %w", err)
+	}
+	k := NewKeyring()
+	k.jr = jr
+	for _, p := range payloads {
+		if err := k.apply(p); err != nil {
+			_ = jr.Close()
+			return nil, fmt.Errorf("dsse: replay keyring: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// LoadKeyringFile replays a keyring journal read-only — it never opens
+// the file for append, so an offline tool (verify-chain) can point at a
+// live verifier's keyring. A torn tail is skipped exactly as OpenKeyring
+// would truncate it.
+func LoadKeyringFile(fsys store.FS, path string) (*Keyring, error) {
+	recs, _, err := store.ScanFile(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("dsse: load keyring: %w", err)
+	}
+	k := NewKeyring()
+	for _, r := range recs {
+		if err := k.apply(r.Payload); err != nil {
+			return nil, fmt.Errorf("dsse: load keyring: %w", err)
+		}
+	}
+	return k, nil
+}
+
+// apply replays one journal record into the in-memory state.
+func (k *Keyring) apply(payload []byte) error {
+	var rec keyringRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("bad record: %w", err)
+	}
+	switch rec.Op {
+	case "key":
+		if len(rec.Priv) != ed25519.PrivateKeySize {
+			return fmt.Errorf("bad key record: %d-byte private key", len(rec.Priv))
+		}
+		s := NewSigner(ed25519.PrivateKey(rec.Priv))
+		k.signers = append(k.signers, s)
+		k.ver.Add(s.Public())
+	case "retire":
+		k.retired[rec.KeyID] = true
+		k.ver.Remove(rec.KeyID)
+		for i, s := range k.signers {
+			if s.KeyID() == rec.KeyID {
+				k.signers = append(k.signers[:i], k.signers[i+1:]...)
+				break
+			}
+		}
+	default:
+		return fmt.Errorf("bad record op %q", rec.Op)
+	}
+	return nil
+}
+
+// journal durably appends a record before the in-memory state changes —
+// a rotation is real only once it would survive a crash.
+func (k *Keyring) journal(rec keyringRecord) error {
+	if k.jr == nil {
+		return nil
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return k.jr.Append(b)
+}
+
+// Rotate mints a new signing key. The new key becomes the active
+// signer; the previous keys keep verifying (and co-signing) until
+// Retire ends their overlap window.
+func (k *Keyring) Rotate() (keyid string, err error) {
+	s, err := GenerateSigner()
+	if err != nil {
+		return "", err
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.journal(keyringRecord{Op: "key", Priv: s.priv}); err != nil {
+		return "", fmt.Errorf("dsse: journal rotation: %w", err)
+	}
+	k.signers = append(k.signers, s)
+	k.ver.Add(s.Public())
+	return s.KeyID(), nil
+}
+
+// Retire ends a key's overlap window: it stops signing and stops
+// verifying. The active (newest) key cannot be retired.
+func (k *Keyring) Retire(keyid string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n := len(k.signers); n > 0 && k.signers[n-1].KeyID() == keyid {
+		return fmt.Errorf("dsse: cannot retire the active signing key %s", short(keyid))
+	}
+	if err := k.journal(keyringRecord{Op: "retire", KeyID: keyid}); err != nil {
+		return fmt.Errorf("dsse: journal retirement: %w", err)
+	}
+	k.retired[keyid] = true
+	k.ver.Remove(keyid)
+	for i, s := range k.signers {
+		if s.KeyID() == keyid {
+			k.signers = append(k.signers[:i], k.signers[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Sign seals payload with the active key and co-signs with every other
+// live key — the multi-signature overlap that keeps the chain
+// verifiable across a keyid boundary.
+func (k *Keyring) Sign(payloadType string, payload []byte) (*Envelope, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	n := len(k.signers)
+	if n == 0 {
+		return nil, ErrNoSigningKey
+	}
+	env := k.signers[n-1].Sign(payloadType, payload)
+	for _, s := range k.signers[:n-1] {
+		s.Cosign(env)
+	}
+	return env, nil
+}
+
+// CanSign reports whether the keyring holds at least one signing key.
+func (k *Keyring) CanSign() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.signers) > 0
+}
+
+// ActiveKeyID returns the signing key's id, or "" when none exists.
+func (k *Keyring) ActiveKeyID() string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if n := len(k.signers); n > 0 {
+		return k.signers[n-1].KeyID()
+	}
+	return ""
+}
+
+// AddVerifier trusts a peer's public key (cluster members trust each
+// other's replication seals this way) without granting it sign access.
+func (k *Keyring) AddVerifier(pub ed25519.PublicKey) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.retired[KeyID(pub)] {
+		k.ver.Add(pub)
+	}
+}
+
+// PublicKeys returns every currently trusted public key held with a
+// private counterpart, newest last — what a node publishes to peers.
+func (k *Keyring) PublicKeys() []ed25519.PublicKey {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pubs := make([]ed25519.PublicKey, 0, len(k.signers))
+	for _, s := range k.signers {
+		pubs = append(pubs, s.Public())
+	}
+	return pubs
+}
+
+// Verify checks an envelope against every trusted, non-retired key.
+func (k *Keyring) Verify(env *Envelope, wantType string) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.ver.Verify(env, wantType)
+}
+
+// Close releases the keyring journal (no-op for in-memory rings).
+func (k *Keyring) Close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.jr == nil {
+		return nil
+	}
+	return k.jr.Close()
+}

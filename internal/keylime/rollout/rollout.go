@@ -41,19 +41,26 @@
 package rollout
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/store"
 	"repro/internal/keylime/verifier"
 	"repro/internal/mirror"
 	"repro/internal/policy"
 	"repro/internal/simclock"
 )
+
+// PolicyBundlePayloadType is the DSSE payload type of a sealed rollout
+// policy bundle.
+const PolicyBundlePayloadType = "application/vnd.keylime.policy-bundle+json"
 
 // Fleet is the verifier surface the controller drives. *verifier.Verifier
 // satisfies it; tests substitute a fake to crash-sweep cheaply.
@@ -105,6 +112,14 @@ var (
 	ErrRolloutInProgress = errors.New("rollout: another rollout is in flight")
 	ErrNoAgents          = errors.New("rollout: no agents to roll out to")
 	ErrNoRollout         = errors.New("rollout: no rollout in flight")
+	// ErrBundleSignature reports that the rollout's sealed policy bundle
+	// failed verification: the journaled candidate (or its rollback
+	// restore points) does not match what was signed at rollout-begin.
+	// The controller freezes — nothing is installed in either direction,
+	// because a forged record's restore points are as untrustworthy as
+	// its candidate. It extends the ErrStalePolicy anti-downgrade check:
+	// that one stops an old generation, this one stops a forged one.
+	ErrBundleSignature = errors.New("rollout: policy bundle signature verification failed")
 )
 
 // HoldEvent records one update window held by the freshness gate.
@@ -133,6 +148,9 @@ type Stats struct {
 	ShadowRounds    int `json:"shadow_rounds"`
 	ShadowWouldFail int `json:"shadow_would_fail"`
 	ShadowWouldPass int `json:"shadow_would_pass"`
+	// SigFailures counts policy-bundle signature verification failures —
+	// each one is a rollout frozen with nothing installed.
+	SigFailures int `json:"sig_failures,omitempty"`
 }
 
 // Status is the controller's externally visible state (JSON-ready; served
@@ -169,6 +187,14 @@ type Config struct {
 	// Store journals generations and stage transitions for crash recovery
 	// (nil keeps the rollout state in memory only).
 	Store *store.Store
+	// Keyring, when set, seals every rollout's policy bundle (candidate
+	// plus rollback restore points) with a DSSE envelope at Begin and
+	// verifies it before any stage installs anything — including after a
+	// crash, when the journaled record is all the controller has. A
+	// verification failure freezes the rollout as Tripped with a
+	// signature-failure detail; it never auto-rolls-back, because the
+	// restore points inside a forged record cannot be trusted either.
+	Keyring *dsse.Keyring
 	// Clock stamps events (default real time).
 	Clock simclock.Clock
 	// ShadowRounds is how many consecutive clean shadow rounds every
@@ -265,6 +291,20 @@ type record struct {
 	ShadowRounds    int `json:"shadow_rounds,omitempty"`
 	ShadowWouldFail int `json:"shadow_would_fail,omitempty"`
 	ShadowWouldPass int `json:"shadow_would_pass,omitempty"`
+	// Bundle is the DSSE envelope sealed over the rollout's bundleBody at
+	// Begin (absent when no keyring is configured). Tampering with Gen,
+	// Policy, PrevPolicies, or PrevGens in the journal breaks it.
+	Bundle json.RawMessage `json:"bundle,omitempty"`
+}
+
+// bundleBody is what the rollout keyring signs: the candidate policy AND
+// the rollback restore points, so a forged restore point is caught just
+// like a forged candidate.
+type bundleBody struct {
+	Gen          uint64                     `json:"gen"`
+	Policy       json.RawMessage            `json:"policy"`
+	PrevPolicies map[string]json.RawMessage `json:"prev_policies,omitempty"`
+	PrevGens     map[string]uint64          `json:"prev_gens,omitempty"`
 }
 
 // meta is the journaled terminal-state bookkeeping.
@@ -318,7 +358,13 @@ func New(cfg Config) (*Controller, error) {
 			}
 			c.logf("rollout: recovered generation %d at stage %s", r.Gen, r.Stage)
 			if err := c.Recover(); err != nil {
-				return nil, fmt.Errorf("rollout: recovering stage %s: %w", r.Stage, err)
+				// A bundle that fails verification freezes the rollout but
+				// must not stop the verifier from starting: agents keep
+				// attesting under their active policies while the operator
+				// investigates. Anything else is a real recovery failure.
+				if !errors.Is(err, ErrBundleSignature) {
+					return nil, fmt.Errorf("rollout: recovering stage %s: %w", r.Stage, err)
+				}
 			}
 		}
 	}
@@ -478,6 +524,26 @@ func (c *Controller) Begin(pol *policy.RuntimePolicy) (uint64, error) {
 		Targets: targets, Canaries: canaries,
 		PrevPolicies: prevPolicies, PrevGens: prevGens,
 	}
+	if c.cfg.Keyring != nil {
+		if !c.cfg.Keyring.CanSign() {
+			return 0, fmt.Errorf("rollout: keyring configured but holds no signing key")
+		}
+		body, err := json.Marshal(bundleBody{
+			Gen: gen, Policy: polJSON, PrevPolicies: prevPolicies, PrevGens: prevGens,
+		})
+		if err != nil {
+			return 0, fmt.Errorf("rollout: encoding policy bundle: %w", err)
+		}
+		env, err := c.cfg.Keyring.Sign(PolicyBundlePayloadType, body)
+		if err != nil {
+			return 0, fmt.Errorf("rollout: sealing policy bundle: %w", err)
+		}
+		raw, err := json.Marshal(env)
+		if err != nil {
+			return 0, fmt.Errorf("rollout: encoding policy bundle envelope: %w", err)
+		}
+		r.Bundle = raw
+	}
 	// Journal the stage BEFORE applying it: a crash from here on recovers
 	// by re-applying the shadow installs, which are generation-idempotent.
 	if err := c.putJSON(keyCurrent, r); err != nil {
@@ -545,6 +611,9 @@ func selectCanaries(targets []string, n int, cohortOf func(string) string) []str
 // applied, so repetition is safe. Agents that vanished from the fleet are
 // dropped from the rollout's sets.
 func (c *Controller) applyStageLocked() error {
+	if err := c.verifyBundleLocked(); err != nil {
+		return err
+	}
 	r := c.cur
 	switch r.Stage {
 	case StageShadowing:
@@ -566,6 +635,7 @@ func (c *Controller) applyStageLocked() error {
 				!errors.Is(err, verifier.ErrUnknownAgent) {
 				return err
 			}
+			c.attachProvenance(id)
 		}
 		for _, id := range r.Targets {
 			if isIn(id, r.Canaries) {
@@ -588,6 +658,7 @@ func (c *Controller) applyStageLocked() error {
 				!errors.Is(err, verifier.ErrUnknownAgent) {
 				return err
 			}
+			c.attachProvenance(id)
 		}
 	case StageRollingBack:
 		for _, id := range r.Canaries {
@@ -618,6 +689,96 @@ func (c *Controller) applyStageLocked() error {
 		}
 	}
 	return nil
+}
+
+// ProvenanceFleet is implemented by fleets that can record the sealed
+// bundle envelope alongside an installed policy (chain-of-custody
+// provenance in state snapshots). Optional: plain Fleets work unchanged.
+type ProvenanceFleet interface {
+	SetPolicyEnvelope(agentID string, env json.RawMessage) error
+}
+
+// attachProvenance hands the in-flight record's sealed bundle envelope to
+// the fleet after a generation install, when both sides support it. Best
+// effort: provenance is an audit aid, not a gate — the install already
+// happened and the bundle already verified.
+func (c *Controller) attachProvenance(id string) {
+	pf, ok := c.cfg.Fleet.(ProvenanceFleet)
+	if !ok || len(c.cur.Bundle) == 0 {
+		return
+	}
+	if err := pf.SetPolicyEnvelope(id, c.cur.Bundle); err != nil &&
+		!errors.Is(err, verifier.ErrUnknownAgent) {
+		c.logf("rollout: provenance for %s: %v", id, err)
+	}
+}
+
+// verifyBundleLocked checks the in-flight record against its sealed
+// bundle. With no keyring it is a no-op; with one, every field the
+// bundle covers must match what was signed at Begin, byte for byte
+// (both sides come from the same deterministic json.Marshal). It runs
+// at the top of applyStageLocked, so it gates every install path:
+// fresh Begin, every Tick, and crash recovery.
+func (c *Controller) verifyBundleLocked() error {
+	if c.cfg.Keyring == nil {
+		return nil
+	}
+	detail, err := checkBundle(c.cur, c.cfg.Keyring)
+	if err != nil {
+		return err
+	}
+	if detail != "" {
+		return c.sigFailLocked(detail)
+	}
+	return nil
+}
+
+// checkBundle verifies one journaled record against its sealed bundle.
+// It returns a non-empty problem description on a verification failure
+// (missing bundle, bad envelope, bad signature, field mismatch); the
+// error return is reserved for local faults like marshal failures.
+// Shared between the live controller and the offline verify-chain walk.
+func checkBundle(r *record, kr *dsse.Keyring) (string, error) {
+	if len(r.Bundle) == 0 {
+		return "journaled record carries no sealed bundle", nil
+	}
+	var env dsse.Envelope
+	if err := json.Unmarshal(r.Bundle, &env); err != nil {
+		return fmt.Sprintf("bundle envelope: %v", err), nil
+	}
+	body, err := kr.Verify(&env, PolicyBundlePayloadType)
+	if err != nil {
+		return err.Error(), nil
+	}
+	want, err := json.Marshal(bundleBody{
+		Gen: r.Gen, Policy: r.Policy, PrevPolicies: r.PrevPolicies, PrevGens: r.PrevGens,
+	})
+	if err != nil {
+		return "", fmt.Errorf("rollout: encoding bundle body: %w", err)
+	}
+	if !bytes.Equal(body, want) {
+		return "journaled record disagrees with the sealed bundle", nil
+	}
+	return "", nil
+}
+
+// sigFailLocked freezes the rollout on a bundle verification failure.
+// Unlike a canary trip there is no auto-rollback: the restore points
+// live inside the record that just failed verification, so installing
+// them would act on forged evidence. Agents keep their active policy;
+// the journal is left untouched as evidence. The trip bookkeeping and
+// notification fire once; the error is returned on every attempt.
+func (c *Controller) sigFailLocked(detail string) error {
+	r := c.cur
+	if !c.tripped || !strings.HasPrefix(r.TripDetail, "signature-failure") {
+		c.tripped = true
+		r.TripDetail = "signature-failure: " + detail
+		c.meta.Stats.SigFailures++
+		c.logf("rollout: generation %d FROZEN: policy bundle failed verification: %s", r.Gen, detail)
+		c.notify(Event{Type: "signature-failure", Generation: r.Gen,
+			Time: c.cfg.Clock.Now(), Detail: detail})
+	}
+	return fmt.Errorf("%w: generation %d: %s", ErrBundleSignature, r.Gen, detail)
 }
 
 // dropTargetLocked removes a vanished agent from the rollout's sets.

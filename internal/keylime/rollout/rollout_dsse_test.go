@@ -1,0 +1,203 @@
+package rollout
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+	"repro/internal/policy"
+)
+
+func signingKeyring(t *testing.T) *dsse.Keyring {
+	t.Helper()
+	kr := dsse.NewKeyring()
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	return kr
+}
+
+// An honest journal verifies across a crash-restart, and a key rotation
+// between Begin and the restart must not break it: the old key stays in
+// the trust set until retired.
+func TestBundleVerifiesAcrossRestartAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	f := newFakeFleet("a1", "a2", "a3")
+	kr := signingKeyring(t)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Fleet: f, Store: st, Keyring: kr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := c.Begin(candidate(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2, err := New(Config{Fleet: f, Store: st2, Keyring: kr})
+	if err != nil {
+		t.Fatalf("recovery with rotated keyring: %v", err)
+	}
+	got := c2.Status()
+	if got.Stage != StageShadowing || got.Generation != gen || got.Tripped {
+		t.Fatalf("recovered status = %+v, want shadowing gen %d untripped", got, gen)
+	}
+}
+
+// Forging the journaled candidate policy must freeze the rollout as a
+// signature failure: nothing installs in either direction, the verifier
+// still starts, and the trip fires exactly once.
+func TestForgedBundleFreezesRollout(t *testing.T) {
+	dir := t.TempDir()
+	f := newFakeFleet("a1", "a2")
+	kr := signingKeyring(t)
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Fleet: f, Store: st, Keyring: kr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge: swap the journaled candidate for a policy that admits an
+	// extra binary, leaving the sealed bundle untouched.
+	raw, ok := st.Get(keyCurrent)
+	if !ok {
+		t.Fatal("no journaled rollout record")
+	}
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	evil := policy.New()
+	evil.Add("/usr/bin/backdoor", policy.Digest{0xEE})
+	evilJSON, err := json.Marshal(evil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields["policy"] = evilJSON
+	forged, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(keyCurrent, forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	var events []Event
+	c2, err := New(Config{Fleet: f, Store: st2, Keyring: kr,
+		AutoRollback: true, // must be ignored: restore points are untrusted
+		Notify:       func(ev Event) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatalf("New must start frozen, not fail: %v", err)
+	}
+	got := c2.Status()
+	if !got.Tripped || !strings.HasPrefix(got.TripDetail, "signature-failure") {
+		t.Fatalf("status = %+v, want signature-failure trip", got)
+	}
+	if got.Stage != StageShadowing {
+		t.Fatalf("stage = %s, want frozen at shadowing (no rollback on forged evidence)", got.Stage)
+	}
+	// Nothing installed: agents keep generation 0 active policy.
+	for _, id := range []string{"a1", "a2"} {
+		if pol, gen, _ := f.ActivePolicy(id); gen != 0 || pol.Has("/usr/bin/backdoor") || pol.Has("/usr/bin/newtool") {
+			t.Fatalf("%s: active gen %d pol %v, want untouched", id, gen, pol.Paths())
+		}
+	}
+	// Every Tick re-reports the error but the trip counted once.
+	for i := 0; i < 3; i++ {
+		if _, err := c2.Tick(); !errors.Is(err, ErrBundleSignature) {
+			t.Fatalf("tick %d err = %v, want ErrBundleSignature", i, err)
+		}
+	}
+	if got := c2.Status().Stats.SigFailures; got != 1 {
+		t.Fatalf("SigFailures = %d, want 1 (one-shot)", got)
+	}
+	var sigEvents int
+	for _, ev := range events {
+		if ev.Type == "signature-failure" {
+			sigEvents++
+		}
+	}
+	if sigEvents != 1 {
+		t.Fatalf("signature-failure events = %d, want 1", sigEvents)
+	}
+}
+
+// A record journaled before the keyring was introduced (no bundle at
+// all) must also freeze when a keyring is later required — silently
+// trusting unsigned state would let an attacker strip the envelope.
+func TestUnsignedRecordFreezesUnderKeyring(t *testing.T) {
+	dir := t.TempDir()
+	f := newFakeFleet("a1")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{Fleet: f, Store: st}) // unsigned era
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2, err := New(Config{Fleet: f, Store: st2, Keyring: signingKeyring(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c2.Status()
+	if !got.Tripped || !strings.Contains(got.TripDetail, "no sealed bundle") {
+		t.Fatalf("status = %+v, want no-sealed-bundle trip", got)
+	}
+}
+
+// A keyring with no signing key must refuse Begin outright rather than
+// silently starting an unsigned rollout.
+func TestBeginRequiresSigningKey(t *testing.T) {
+	f := newFakeFleet("a1")
+	c, err := New(Config{Fleet: f, Keyring: dsse.NewKeyring()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Begin(candidate(t)); err == nil {
+		t.Fatal("Begin with keyless keyring must fail")
+	}
+}

@@ -1,0 +1,66 @@
+package rollout
+
+// Offline rollout-state verification for the chain-of-custody walk.
+// The rollout store's journaled record is what a restarted verifier
+// trusts to decide which policy to install fleet-wide; verify-chain
+// re-checks its sealed bundle without booting a controller (and without
+// touching the store — the walk is read-only).
+
+import (
+	"encoding/json"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+)
+
+// StateReport is the result of verifying a rollout store directory.
+type StateReport struct {
+	// InFlight is false when no rollout record is journaled (nothing to
+	// verify — an idle controller).
+	InFlight bool   `json:"in_flight"`
+	Gen      uint64 `json:"gen,omitempty"`
+	Stage    Stage  `json:"stage,omitempty"`
+	// Signed reports whether the record carries a sealed bundle at all.
+	Signed bool `json:"signed"`
+	// Class/Detail name the first problem ("" when the state verifies):
+	// "bad-record" for an undecodable record, "signature-failure" for a
+	// bundle that is missing, mis-sealed, or disagrees with the record.
+	Class  string `json:"class,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// OK reports whether the rollout state verified.
+func (r *StateReport) OK() bool { return r.Class == "" }
+
+// VerifyState loads the rollout store at dir read-only and verifies the
+// in-flight record's sealed bundle against kr. kr nil skips signature
+// checks (the record is still decoded and described).
+func VerifyState(fsys store.FS, dir string, kr *dsse.Keyring) (*StateReport, error) {
+	state, err := store.LoadState(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	rep := &StateReport{}
+	raw, ok := state[keyCurrent]
+	if !ok {
+		return rep, nil
+	}
+	rep.InFlight = true
+	var r record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		rep.Class, rep.Detail = "bad-record", err.Error()
+		return rep, nil
+	}
+	rep.Gen, rep.Stage, rep.Signed = r.Gen, r.Stage, len(r.Bundle) > 0
+	if kr == nil {
+		return rep, nil
+	}
+	detail, err := checkBundle(&r, kr)
+	if err != nil {
+		return nil, err
+	}
+	if detail != "" {
+		rep.Class, rep.Detail = "signature-failure", detail
+	}
+	return rep, nil
+}

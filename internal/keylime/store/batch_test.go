@@ -282,12 +282,12 @@ func (g gateFS) OpenFile(name string, flag int, perm fs.FileMode) (store.File, e
 	}
 	return gateFile{File: f, g: g}, nil
 }
-func (g gateFS) ReadFile(name string) ([]byte, error)    { return g.base.ReadFile(name) }
-func (g gateFS) Rename(o, n string) error                { return g.base.Rename(o, n) }
-func (g gateFS) Remove(name string) error                { return g.base.Remove(name) }
+func (g gateFS) ReadFile(name string) ([]byte, error)         { return g.base.ReadFile(name) }
+func (g gateFS) Rename(o, n string) error                     { return g.base.Rename(o, n) }
+func (g gateFS) Remove(name string) error                     { return g.base.Remove(name) }
 func (g gateFS) MkdirAll(path string, perm fs.FileMode) error { return g.base.MkdirAll(path, perm) }
 func (g gateFS) Stat(name string) (fs.FileInfo, error)        { return g.base.Stat(name) }
-func (g gateFS) SyncDir(name string) error               { return g.base.SyncDir(name) }
+func (g gateFS) SyncDir(name string) error                    { return g.base.SyncDir(name) }
 
 type gateFile struct {
 	store.File

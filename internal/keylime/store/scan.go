@@ -1,0 +1,147 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"path/filepath"
+)
+
+// ScannedRecord is one intact journal record together with where its
+// frame starts in the file — the byte offset forensic tools (the
+// chain-of-custody walker, verify-chain) report when they pinpoint the
+// first tampered record.
+type ScannedRecord struct {
+	// Index is the record's position in the journal (0-based).
+	Index int
+	// Offset is the file offset of the record's frame header.
+	Offset int64
+	// Payload is the record body (a private copy).
+	Payload []byte
+}
+
+// ScanInfo summarizes a read-only journal scan.
+type ScanInfo struct {
+	// FileSize is the total length of the file on disk.
+	FileSize int64
+	// ValidLen is the length of the intact prefix; anything past it is a
+	// torn or corrupt tail.
+	ValidLen int64
+}
+
+// ScanRecords walks raw journal bytes and returns every intact record
+// with its byte offset. Unlike OpenJournal it never opens the file for
+// append or truncates anything, so it is safe to point at a live
+// journal owned by another process. A torn or checksum-failing tail
+// ends the scan (reflected in ScanInfo.ValidLen); only a corrupt header
+// is an error.
+func ScanRecords(data []byte) ([]ScannedRecord, ScanInfo, error) {
+	info := ScanInfo{FileSize: int64(len(data))}
+	if len(data) == 0 {
+		return nil, info, nil
+	}
+	if len(data) < journalHeaderSize {
+		if string(data) == journalMagic[:len(data)] {
+			return nil, info, nil
+		}
+		return nil, info, fmt.Errorf("%w: bad journal header", ErrCorrupt)
+	}
+	if string(data[:journalHeaderSize]) != journalMagic {
+		return nil, info, fmt.Errorf("%w: bad journal magic", ErrCorrupt)
+	}
+	var recs []ScannedRecord
+	off := int64(journalHeaderSize)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < recordHeaderSize {
+			break
+		}
+		length := binary.BigEndian.Uint32(rest[:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if length > maxRecordSize || int64(len(rest)) < recordHeaderSize+int64(length) {
+			break
+		}
+		payload := rest[recordHeaderSize : recordHeaderSize+int64(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break
+		}
+		recs = append(recs, ScannedRecord{
+			Index:   len(recs),
+			Offset:  off,
+			Payload: append([]byte(nil), payload...),
+		})
+		off += recordHeaderSize + int64(length)
+	}
+	info.ValidLen = off
+	return recs, info, nil
+}
+
+// ScanFile reads and scans the journal at path via ScanRecords. A
+// missing file scans as empty only if the FS reports it so; callers
+// that care should Stat first.
+func ScanFile(fsys FS, path string) ([]ScannedRecord, ScanInfo, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, ScanInfo{}, fmt.Errorf("store: reading %s: %w", path, err)
+	}
+	recs, info, err := ScanRecords(data)
+	if err != nil {
+		return recs, info, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return recs, info, nil
+}
+
+// LoadState replays a Store directory (snapshot + journal) read-only
+// and returns its key/value state, without taking the append lock or
+// truncating a torn tail — safe on a live store owned by another
+// process, and exactly what offline forensic tools (verify-chain) need
+// to inspect journaled state the way recovery would see it.
+func LoadState(fsys FS, dir string) (map[string][]byte, error) {
+	state := make(map[string][]byte)
+	apply := func(p []byte) error {
+		op, key, value, err := decodeMutation(p)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case opPut:
+			state[key] = value
+		case opDelete:
+			delete(state, key)
+		default:
+			return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+		}
+		return nil
+	}
+	snapPath := filepath.Join(dir, SnapshotFile)
+	if data, err := fsys.ReadFile(snapPath); err == nil {
+		recs, info, serr := ScanRecords(data)
+		if serr != nil || info.ValidLen != info.FileSize {
+			return nil, fmt.Errorf("store: %w: snapshot %s", ErrCorrupt, snapPath)
+		}
+		for _, r := range recs {
+			if err := apply(r.Payload); err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: %w", snapPath, err)
+			}
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	jPath := filepath.Join(dir, JournalFile)
+	if data, err := fsys.ReadFile(jPath); err == nil {
+		recs, _, serr := ScanRecords(data)
+		if serr != nil {
+			return nil, fmt.Errorf("store: %s: %w", jPath, serr)
+		}
+		for _, r := range recs {
+			if err := apply(r.Payload); err != nil {
+				return nil, fmt.Errorf("store: journal %s: %w", jPath, err)
+			}
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("store: reading journal: %w", err)
+	}
+	return state, nil
+}

@@ -1,0 +1,116 @@
+package verifier_test
+
+// Chain-of-custody provenance on the verifier: the DSSE envelope that
+// sealed an installed policy rides along in state snapshots, and a row
+// whose envelope no longer parses is a corrupt row with its own lenient
+// skip reason — never a silently-dropped field.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/verifier"
+)
+
+func TestPolicyEnvelopeRoundTripsThroughSnapshot(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policyFromMachine(t, s.m))
+	id := s.m.UUID()
+
+	kr := dsse.NewKeyring()
+	if _, err := kr.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	env, err := kr.Sign("application/vnd.keylime.policy-bundle+json", []byte(`{"gen":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := dsse.Encode(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.v.SetPolicyEnvelope(id, raw); err != nil {
+		t.Fatalf("SetPolicyEnvelope: %v", err)
+	}
+	// A non-envelope is rejected at the door.
+	if err := s.v.SetPolicyEnvelope(id, json.RawMessage(`{"payload":42}`)); err == nil {
+		t.Fatal("SetPolicyEnvelope accepted a non-envelope")
+	}
+
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	if string(snap.Agents[0].PolicyEnvelope) != string(raw) {
+		t.Fatalf("exported envelope = %s, want %s", snap.Agents[0].PolicyEnvelope, raw)
+	}
+
+	v2 := verifier.New(s.regSrv.URL)
+	if err := v2.RestoreState(snap); err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	snap2, err := v2.ExportState()
+	if err != nil {
+		t.Fatalf("re-export: %v", err)
+	}
+	if string(snap2.Agents[0].PolicyEnvelope) != string(raw) {
+		t.Fatalf("envelope lost in restore round trip: %s", snap2.Agents[0].PolicyEnvelope)
+	}
+
+	// A new generation install clears stale provenance: the envelope
+	// sealed the old bundle, not whatever just landed.
+	pol, _, err := v2.ActivePolicy(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.InstallPolicyGeneration(id, 9, pol); err != nil {
+		t.Fatalf("InstallPolicyGeneration: %v", err)
+	}
+	snap3, err := v2.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap3.Agents[0].PolicyEnvelope) != 0 {
+		t.Fatalf("stale envelope survived install: %s", snap3.Agents[0].PolicyEnvelope)
+	}
+}
+
+func TestRestoreLenientSkipsBadPolicyEnvelope(t *testing.T) {
+	s := newStack(t, nil)
+	addAgent(t, s, policyFromMachine(t, s.m))
+	snap, err := s.v.ExportState()
+	if err != nil {
+		t.Fatalf("ExportState: %v", err)
+	}
+	good := snap.Agents[0]
+	bad := good
+	bad.AgentID = "agent-bad-envelope"
+	bad.PolicyEnvelope = json.RawMessage(`{"payloadType":7,"not":"an envelope"`)
+
+	// Strict restore refuses the row outright.
+	if err := verifier.New(s.regSrv.URL).RestoreState(verifier.Snapshot{
+		Agents: []verifier.AgentState{bad},
+	}); err == nil {
+		t.Fatal("strict RestoreState accepted an undecodable policy envelope")
+	}
+
+	// Lenient restore skips it with the envelope named as the bad field,
+	// and the intact row still comes up.
+	v2 := verifier.New(s.regSrv.URL)
+	skipped, err := v2.RestoreStateLenient(verifier.Snapshot{
+		Agents: []verifier.AgentState{bad, good},
+	})
+	if err != nil {
+		t.Fatalf("RestoreStateLenient: %v", err)
+	}
+	if len(skipped) != 1 {
+		t.Fatalf("skipped = %v, want 1 row", skipped)
+	}
+	if skipped[0].AgentID != "agent-bad-envelope" || skipped[0].Field != "policy_envelope" {
+		t.Fatalf("skip reason = %+v, want field policy_envelope", skipped[0])
+	}
+	if v2.AgentCount() != 1 {
+		t.Fatalf("agents after lenient restore = %d, want 1", v2.AgentCount())
+	}
+}

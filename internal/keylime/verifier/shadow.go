@@ -20,9 +20,11 @@ package verifier
 // was installed at enrollment or through the legacy UpdatePolicy path.
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
+	"repro/internal/keylime/dsse"
 	"repro/internal/policy"
 )
 
@@ -150,6 +152,10 @@ func (v *Verifier) InstallPolicyGeneration(agentID string, gen uint64, pol *poli
 	}
 	a.pol = cloned
 	a.policyGen = gen
+	// Provenance belongs to the bundle that carried this policy; the
+	// controller re-attaches it via SetPolicyEnvelope after a sealed
+	// install, and a rollback to an unsealed restore point leaves none.
+	a.polEnvelope = nil
 	if a.shadowPol != nil && a.shadowGen == gen {
 		a.shadowPol = nil
 		a.shadowGen = 0
@@ -157,6 +163,29 @@ func (v *Verifier) InstallPolicyGeneration(agentID string, gen uint64, pol *poli
 		a.shadowClean = 0
 		a.shadowDivergences = nil
 	}
+	a.mu.Unlock()
+	v.markDirty(agentID)
+	return nil
+}
+
+// SetPolicyEnvelope records the DSSE envelope that sealed the agent's
+// active policy bundle — chain-of-custody provenance that rides along in
+// state snapshots. The envelope is opaque to the verifier but must parse;
+// nil clears the slot.
+func (v *Verifier) SetPolicyEnvelope(agentID string, env json.RawMessage) error {
+	a, ok := v.agents.get(agentID)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAgent, agentID)
+	}
+	var cp json.RawMessage
+	if len(env) > 0 {
+		if _, err := dsse.Decode(env); err != nil {
+			return fmt.Errorf("verifier: policy envelope for %s: %w", agentID, err)
+		}
+		cp = append(json.RawMessage(nil), env...)
+	}
+	a.mu.Lock()
+	a.polEnvelope = cp
 	a.mu.Unlock()
 	v.markDirty(agentID)
 	return nil

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/keylime/api"
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/session"
 	"repro/internal/measuredboot"
 	"repro/internal/policy"
@@ -70,7 +71,12 @@ type AgentState struct {
 	// Persisting both means a verifier restart mid-rollout resumes shadow
 	// evaluation (and generation idempotency) instead of silently dropping
 	// the candidate.
-	PolicyGeneration  uint64          `json:"policy_generation,omitempty"`
+	PolicyGeneration uint64 `json:"policy_generation,omitempty"`
+	// PolicyEnvelope is the DSSE envelope that sealed the active policy's
+	// rollout bundle (chain-of-custody provenance), absent for unmanaged
+	// or rolled-back policies. It is carried opaque but must at least
+	// parse as an envelope: an undecodable one is a corrupt row.
+	PolicyEnvelope    json.RawMessage `json:"policy_envelope,omitempty"`
 	ShadowGeneration  uint64          `json:"shadow_generation,omitempty"`
 	ShadowPolicy      json.RawMessage `json:"shadow_policy,omitempty"`
 	ShadowRounds      int             `json:"shadow_rounds,omitempty"`
@@ -167,6 +173,7 @@ func exportAgentLocked(a *monitored) (*AgentState, error) {
 			}
 		}
 		as.PolicyGeneration = a.policyGen
+		as.PolicyEnvelope = a.polEnvelope
 		as.LastCheckLevel = int(a.lastCheck)
 		if s := a.sess; s != nil {
 			as.SessionID = hex.EncodeToString(s.id[:])
@@ -375,6 +382,12 @@ func restoreAgent(as AgentState) (*monitored, error) {
 		}
 	}
 	a.policyGen = as.PolicyGeneration
+	if len(as.PolicyEnvelope) > 0 {
+		if _, err := dsse.Decode(as.PolicyEnvelope); err != nil {
+			return nil, fieldErr{"policy_envelope", err}
+		}
+		a.polEnvelope = append(json.RawMessage(nil), as.PolicyEnvelope...)
+	}
 	if len(as.ShadowPolicy) > 0 {
 		shadow := policy.New()
 		if err := json.Unmarshal(as.ShadowPolicy, shadow); err != nil {

@@ -274,7 +274,11 @@ type monitored struct {
 	// of the active policy (0 = unmanaged), and the shadow slot holds a
 	// candidate evaluated side by side with the active policy, recording
 	// would-be verdict divergence instead of alerting.
-	policyGen         uint64
+	policyGen uint64
+	// polEnvelope is the DSSE envelope that sealed the active policy's
+	// rollout bundle — provenance, carried opaque. Cleared whenever a
+	// policy installs without one (rollback to an unsealed restore point).
+	polEnvelope       json.RawMessage
 	shadowPol         *policy.RuntimePolicy
 	shadowGen         uint64
 	shadowRounds      int

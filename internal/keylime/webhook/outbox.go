@@ -15,6 +15,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,12 +38,26 @@ type outboxRecord struct {
 	Key      string        `json:"key"`
 	Endpoint string        `json:"endpoint"`
 	Note     *Notification `json:"note,omitempty"`
+	// Env is the DSSE envelope sealed over the notification before it
+	// was enqueued. Journaling the envelope (not just the notification)
+	// is what makes the chain of custody hold across a crash: a replay
+	// delivers the original signed bytes, it never re-signs.
+	Env json.RawMessage `json:"env,omitempty"`
+	// At is when the delivery was enqueued, preserved across restarts so
+	// OldestPendingAge reflects how long a revocation has truly been
+	// stuck, not how long the current process has been up.
+	At time.Time `json:"at,omitempty"`
 }
 
 // PendingDelivery is one not-yet-acknowledged notification.
 type PendingDelivery struct {
 	Endpoint string
 	Note     Notification
+	// Env is the sealed envelope to deliver verbatim (nil when the
+	// notifier runs unsigned).
+	Env json.RawMessage
+	// EnqueuedAt is when the delivery first entered the outbox.
+	EnqueuedAt time.Time
 }
 
 // DedupKey derives the receiver-side deduplication key for a
@@ -68,6 +83,8 @@ type Outbox struct {
 	j        *store.Journal
 	pending  map[string]PendingDelivery // key: dedup key + "|" + endpoint
 	retryAt  map[string]time.Time       // scheduled replay time per pending key
+	attempts map[string]int             // delivery attempts per pending key (in-memory)
+	now      func() time.Time
 	broken   bool
 	enqueued int
 	acked    int
@@ -102,6 +119,34 @@ type OutboxStats struct {
 	// deliveries (zero when none is scheduled): when the receiver will
 	// next hear from this outbox without an operator doing anything.
 	NextRetry time.Time `json:"next_retry,omitempty"`
+	// OldestPendingAge is how long the oldest unacknowledged delivery has
+	// been waiting, measured from its original enqueue (surviving
+	// restarts). A signed revocation stuck past the alert threshold means
+	// the receiver has not confirmed a quarantine.
+	OldestPendingAge time.Duration `json:"oldest_pending_age,omitempty"`
+	// Oldest lists the longest-stuck pending deliveries (capped at
+	// oldestListCap), each with its per-entry delivery attempt count.
+	Oldest []PendingInfo `json:"oldest,omitempty"`
+}
+
+// oldestListCap bounds the per-entry detail in Stats so a huge backlog
+// cannot turn a stats poll into a megabyte dump.
+const oldestListCap = 16
+
+// PendingInfo is per-entry operational detail for one stuck delivery.
+type PendingInfo struct {
+	Endpoint   string    `json:"endpoint"`
+	DedupKey   string    `json:"dedup_key"`
+	AgentID    string    `json:"agent_id"`
+	EnqueuedAt time.Time `json:"enqueued_at"`
+	// Age duplicates now-EnqueuedAt for scrapers that want a number.
+	Age time.Duration `json:"age"`
+	// Attempts counts delivery attempts made by this process.
+	Attempts int `json:"attempts"`
+	// NextRetry is when the notifier will try again (zero if unscheduled).
+	NextRetry time.Time `json:"next_retry,omitempty"`
+	// Signed reports whether the delivery carries a DSSE envelope.
+	Signed bool `json:"signed,omitempty"`
 }
 
 // Stats returns the outbox's operational counters.
@@ -117,15 +162,65 @@ func (o *Outbox) Stats() OutboxStats {
 			next = t
 		}
 	}
-	return OutboxStats{
-		Enqueued:       o.enqueued,
-		Acked:          o.acked,
-		Replayed:       o.replayed,
-		Pending:        len(o.pending),
-		JournalRecords: o.j.Records(),
-		Broken:         o.broken,
-		NextRetry:      next,
+	now := o.now()
+	infos := make([]PendingInfo, 0, len(o.pending))
+	for id, pd := range o.pending {
+		info := PendingInfo{
+			Endpoint:   pd.Endpoint,
+			DedupKey:   pd.Note.DedupKey,
+			AgentID:    pd.Note.AgentID,
+			EnqueuedAt: pd.EnqueuedAt,
+			Attempts:   o.attempts[id],
+			NextRetry:  o.retryAt[id],
+			Signed:     len(pd.Env) > 0,
+		}
+		if !pd.EnqueuedAt.IsZero() {
+			info.Age = now.Sub(pd.EnqueuedAt)
+		}
+		infos = append(infos, info)
 	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Age > infos[j].Age })
+	var oldestAge time.Duration
+	if len(infos) > 0 {
+		oldestAge = infos[0].Age
+	}
+	if oldestAge < 0 {
+		oldestAge = 0
+	}
+	if len(infos) > oldestListCap {
+		infos = infos[:oldestListCap]
+	}
+	return OutboxStats{
+		Enqueued:         o.enqueued,
+		Acked:            o.acked,
+		Replayed:         o.replayed,
+		Pending:          len(o.pending),
+		JournalRecords:   o.j.Records(),
+		Broken:           o.broken,
+		NextRetry:        next,
+		OldestPendingAge: oldestAge,
+		Oldest:           infos,
+	}
+}
+
+// RecordAttempt counts one delivery attempt against a pending entry,
+// feeding the per-entry attempt counts in Stats. Attempts are in-memory
+// only: a restart resets them, but the entry's age does not.
+func (o *Outbox) RecordAttempt(endpoint, dedupKey string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	id := dedupKey + "|" + endpoint
+	if _, ok := o.pending[id]; !ok {
+		return
+	}
+	o.attempts[id]++
+}
+
+// SetClock overrides the outbox's time source (tests). Call before use.
+func (o *Outbox) SetClock(now func() time.Time) {
+	o.mu.Lock()
+	o.now = now
+	o.mu.Unlock()
 }
 
 // SetNextRetry records when a pending delivery's replay is scheduled, for
@@ -168,7 +263,7 @@ func OpenOutbox(fsys store.FS, path string, opts ...store.JournalOption) (*Outbo
 				_ = j.Close()
 				return nil, fmt.Errorf("webhook: outbox record %d: enqueue without notification", i)
 			}
-			pending[id] = PendingDelivery{Endpoint: rec.Endpoint, Note: *rec.Note}
+			pending[id] = PendingDelivery{Endpoint: rec.Endpoint, Note: *rec.Note, Env: rec.Env, EnqueuedAt: rec.At}
 		case outboxOpAck:
 			delete(pending, id)
 		default:
@@ -176,7 +271,10 @@ func OpenOutbox(fsys store.FS, path string, opts ...store.JournalOption) (*Outbo
 			return nil, fmt.Errorf("webhook: outbox record %d: unknown op %q", i, rec.Op)
 		}
 	}
-	return &Outbox{j: j, pending: pending, replayed: len(pending)}, nil
+	return &Outbox{
+		j: j, pending: pending, replayed: len(pending),
+		attempts: make(map[string]int), now: time.Now,
+	}, nil
 }
 
 // Enqueue journals a notification for an endpoint before any delivery
@@ -199,6 +297,9 @@ func (o *Outbox) EnqueueBatch(deliveries []PendingDelivery) error {
 	if len(deliveries) == 0 {
 		return nil
 	}
+	o.mu.Lock()
+	enqueueTime := o.now()
+	o.mu.Unlock()
 	payloads := make([][]byte, len(deliveries))
 	for i := range deliveries {
 		d := &deliveries[i]
@@ -206,8 +307,12 @@ func (o *Outbox) EnqueueBatch(deliveries []PendingDelivery) error {
 			return fmt.Errorf("webhook: enqueue without dedup key")
 		}
 		d.Note.Attempt = 0 // per-delivery field; not part of the durable event
+		if d.EnqueuedAt.IsZero() {
+			d.EnqueuedAt = enqueueTime
+		}
 		payload, err := json.Marshal(outboxRecord{
 			Op: outboxOpEnqueue, Key: d.Note.DedupKey, Endpoint: d.Endpoint, Note: &d.Note,
+			Env: d.Env, At: d.EnqueuedAt,
 		})
 		if err != nil {
 			return fmt.Errorf("webhook: encoding outbox record: %w", err)
@@ -246,6 +351,7 @@ func (o *Outbox) Ack(endpoint, dedupKey string) error {
 	}
 	delete(o.pending, id)
 	delete(o.retryAt, id)
+	delete(o.attempts, id)
 	o.acked++
 	o.maybeCompactLocked()
 	return nil
@@ -278,6 +384,7 @@ func (o *Outbox) maybeCompactLocked() {
 	for _, pd := range o.pending {
 		payload, err := json.Marshal(outboxRecord{
 			Op: outboxOpEnqueue, Key: pd.Note.DedupKey, Endpoint: pd.Endpoint, Note: &pd.Note,
+			Env: pd.Env, At: pd.EnqueuedAt,
 		})
 		if err != nil {
 			return

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -339,8 +340,12 @@ func TestOutboxStatsCounters(t *testing.T) {
 		t.Fatalf("Ack: %v", err)
 	}
 	got := ob.Stats()
+	if len(got.Oldest) != 1 || got.OldestPendingAge < 0 {
+		t.Fatalf("Stats per-entry detail = %+v", got)
+	}
+	got.Oldest, got.OldestPendingAge = nil, 0
 	want := OutboxStats{Enqueued: 2, Acked: 1, Replayed: 0, Pending: 1, JournalRecords: 3}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Stats = %+v, want %+v", got, want)
 	}
 	_ = ob.Close()
@@ -353,8 +358,9 @@ func TestOutboxStatsCounters(t *testing.T) {
 	}
 	defer func() { _ = ob2.Close() }()
 	got = ob2.Stats()
+	got.Oldest, got.OldestPendingAge = nil, 0
 	want = OutboxStats{Enqueued: 0, Acked: 0, Replayed: 1, Pending: 1, JournalRecords: 3}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Stats after replay = %+v, want %+v", got, want)
 	}
 }

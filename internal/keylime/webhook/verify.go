@@ -1,0 +1,151 @@
+package webhook
+
+// Offline outbox verification for the chain-of-custody walk. The outbox
+// journal is the durable record of which revocations were promised to
+// which endpoints; a tampered entry here means a revocation could be
+// suppressed or forged at the delivery hop. Enqueue records sealed at
+// notify time carry their DSSE envelope in the journal, so the walk can
+// re-verify the exact bytes a replay would deliver.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/keylime/dsse"
+	"repro/internal/keylime/store"
+)
+
+// Outbox bad-link classes.
+const (
+	OutboxBadFrame     = "torn-frame"        // CRC/length failure in the journal framing
+	OutboxBadRecord    = "bad-record"        // frame intact, JSON is not an outbox record
+	OutboxBadSignature = "signature-failure" // sealed envelope fails DSSE verification
+	OutboxBadMismatch  = "envelope-mismatch" // envelope verifies but seals a different notification
+)
+
+// OutboxBadLink pinpoints the first outbox record verification could
+// not accept.
+type OutboxBadLink struct {
+	Index  int    `json:"index"`
+	Offset int64  `json:"offset"`
+	Class  string `json:"class"`
+	Detail string `json:"detail"`
+}
+
+func (b *OutboxBadLink) String() string {
+	return fmt.Sprintf("%s at record %d (byte offset %d): %s", b.Class, b.Index, b.Offset, b.Detail)
+}
+
+// OutboxReport is the result of verifying one outbox journal file.
+type OutboxReport struct {
+	Records  int `json:"records"`
+	Enqueues int `json:"enqueues"`
+	Acks     int `json:"acks"`
+	// Signed / Unsigned split the enqueues by whether they carry a DSSE
+	// envelope. Unsigned entries are legal (pre-keyring era, or a
+	// signing outage that degraded to unsigned delivery) and are
+	// reported, not failed — the taxonomy never manufactures an
+	// integrity failure out of a missing signature.
+	Signed   int `json:"signed"`
+	Unsigned int `json:"unsigned"`
+	// FileSize / TornBytes describe the raw file.
+	FileSize  int64 `json:"file_size"`
+	TornBytes int64 `json:"torn_bytes"`
+	// FirstBad is nil when the whole journal verifies.
+	FirstBad *OutboxBadLink `json:"first_bad,omitempty"`
+}
+
+// OK reports whether the outbox journal verified end to end.
+func (r *OutboxReport) OK() bool { return r.FirstBad == nil }
+
+// VerifyOutboxBytes verifies raw outbox-journal bytes. kr may be nil,
+// which skips signature checks but still validates framing and record
+// shape. The walk stops at the first bad link.
+func VerifyOutboxBytes(data []byte, kr *dsse.Keyring) *OutboxReport {
+	rep := &OutboxReport{FileSize: int64(len(data))}
+	frames, info, err := store.ScanRecords(data)
+	if err != nil {
+		rep.FirstBad = &OutboxBadLink{Class: OutboxBadFrame, Detail: err.Error()}
+		return rep
+	}
+	rep.TornBytes = info.FileSize - info.ValidLen
+	for _, fr := range frames {
+		var rec outboxRecord
+		if err := json.Unmarshal(fr.Payload, &rec); err != nil {
+			rep.FirstBad = &OutboxBadLink{Index: fr.Index, Offset: fr.Offset,
+				Class: OutboxBadRecord, Detail: err.Error()}
+			return rep
+		}
+		switch rec.Op {
+		case outboxOpEnqueue:
+			rep.Enqueues++
+		case outboxOpAck:
+			rep.Acks++
+		default:
+			rep.FirstBad = &OutboxBadLink{Index: fr.Index, Offset: fr.Offset,
+				Class: OutboxBadRecord, Detail: fmt.Sprintf("unknown op %q", rec.Op)}
+			return rep
+		}
+		if rec.Op != outboxOpEnqueue {
+			rep.Records++
+			continue
+		}
+		if len(rec.Env) == 0 {
+			rep.Unsigned++
+			rep.Records++
+			continue
+		}
+		if bad := verifyOutboxEnvelope(&rec, kr); bad != nil {
+			bad.Index, bad.Offset = fr.Index, fr.Offset
+			rep.FirstBad = bad
+			return rep
+		}
+		rep.Signed++
+		rep.Records++
+	}
+	if rep.TornBytes > 0 {
+		rep.FirstBad = &OutboxBadLink{Index: len(frames), Offset: info.ValidLen,
+			Class: OutboxBadFrame, Detail: fmt.Sprintf("%d trailing bytes fail CRC framing", rep.TornBytes)}
+	}
+	return rep
+}
+
+// verifyOutboxEnvelope checks one sealed enqueue: the envelope decodes,
+// its signature verifies (when a keyring is supplied), and the sealed
+// notification is byte-identical to the journaled one — an attacker
+// cannot swap the plaintext Note while keeping a valid envelope.
+func verifyOutboxEnvelope(rec *outboxRecord, kr *dsse.Keyring) *OutboxBadLink {
+	env, err := dsse.Decode(rec.Env)
+	if err != nil {
+		return &OutboxBadLink{Class: OutboxBadSignature, Detail: fmt.Sprintf("envelope: %v", err)}
+	}
+	payload := env.Payload
+	if kr != nil {
+		payload, err = kr.Verify(env, RevocationPayloadType)
+		if err != nil {
+			return &OutboxBadLink{Class: OutboxBadSignature, Detail: err.Error()}
+		}
+	}
+	if rec.Note == nil {
+		return &OutboxBadLink{Class: OutboxBadMismatch, Detail: "sealed enqueue has no notification"}
+	}
+	want, err := json.Marshal(*rec.Note)
+	if err != nil {
+		return &OutboxBadLink{Class: OutboxBadMismatch, Detail: fmt.Sprintf("encoding notification: %v", err)}
+	}
+	if !bytes.Equal(payload, want) {
+		return &OutboxBadLink{Class: OutboxBadMismatch,
+			Detail: "journaled notification disagrees with the sealed envelope"}
+	}
+	return nil
+}
+
+// VerifyOutboxFile reads and verifies the outbox journal at path.
+func VerifyOutboxFile(fsys store.FS, path string, kr *dsse.Keyring) (*OutboxReport, error) {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("webhook: reading outbox journal %s: %w", path, err)
+	}
+	return VerifyOutboxBytes(data, kr), nil
+}

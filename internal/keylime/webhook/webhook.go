@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/keylime/dsse"
 	"repro/internal/keylime/httppool"
 	"repro/internal/keylime/verifier"
 	"repro/internal/simclock"
@@ -28,6 +29,14 @@ import (
 
 // SignatureHeader carries the hex HMAC-SHA256 of the request body.
 const SignatureHeader = "X-Keylime-Signature"
+
+// RevocationPayloadType is the DSSE payload type of a sealed
+// revocation notification (the payload is the Notification JSON).
+const RevocationPayloadType = "application/vnd.keylime.revocation+json"
+
+// DSSEContentType is the Content-Type of a delivery whose body is a
+// DSSE envelope rather than a bare notification.
+const DSSEContentType = "application/vnd.keylime.revocation+dsse"
 
 // Notification is the JSON body delivered to webhook receivers.
 type Notification struct {
@@ -84,6 +93,12 @@ type Config struct {
 	// acknowledges it after the receiver accepts: deliveries pending at a
 	// crash are replayed on the next construction (at-least-once).
 	Outbox *Outbox
+	// Keyring, when set (and holding a signing key), seals every
+	// notification in a DSSE envelope BEFORE it is journaled or
+	// delivered: the outbox stores the envelope and replays deliver the
+	// original signed bytes, so a receiver can prove a revocation came
+	// from this verifier even when it arrives via a post-crash replay.
+	Keyring *dsse.Keyring
 	// Logf receives operational warnings (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -131,6 +146,7 @@ type Notifier struct {
 type queued struct {
 	endpoint string
 	n        Notification
+	env      json.RawMessage // sealed envelope; nil when unsigned
 	replayed bool
 }
 
@@ -225,7 +241,7 @@ func (n *Notifier) replayer(replay []PendingDelivery) {
 				}
 			}
 		}
-		n.queue <- queued{endpoint: it.pd.Endpoint, n: it.pd.Note, replayed: true}
+		n.queue <- queued{endpoint: it.pd.Endpoint, n: it.pd.Note, env: it.pd.Env, replayed: true}
 		n.mu.Lock()
 		n.stats.Enqueued++
 		n.stats.Replayed++
@@ -277,12 +293,18 @@ func (n *Notifier) Notify(note Notification) {
 	if note.DedupKey == "" {
 		note.DedupKey = DedupKey(note)
 	}
+	// Seal before enqueue: the envelope is computed once, journaled with
+	// the delivery, and every attempt (including post-crash replays)
+	// posts those exact signed bytes. A sealing failure degrades to
+	// unsigned delivery with a warning — losing the signature must not
+	// also lose the revocation.
+	env := n.seal(note)
 	if n.cfg.Outbox != nil && len(n.cfg.Endpoints) > 0 {
 		// One batched journal append (one fsync) covers the fan-out to
 		// every endpoint, instead of one fsync per endpoint.
 		batch := make([]PendingDelivery, len(n.cfg.Endpoints))
 		for i, ep := range n.cfg.Endpoints {
-			batch[i] = PendingDelivery{Endpoint: ep, Note: note}
+			batch[i] = PendingDelivery{Endpoint: ep, Note: note, Env: env}
 		}
 		if err := n.cfg.Outbox.EnqueueBatch(batch); err != nil {
 			// Keep delivering: losing durability must not also lose the
@@ -292,7 +314,7 @@ func (n *Notifier) Notify(note Notification) {
 	}
 	for _, ep := range n.cfg.Endpoints {
 		select {
-		case n.queue <- queued{endpoint: ep, n: note}:
+		case n.queue <- queued{endpoint: ep, n: note, env: env}:
 			n.mu.Lock()
 			n.stats.Enqueued++
 			n.mu.Unlock()
@@ -349,10 +371,35 @@ func (n *Notifier) record(r DeliveryResult) {
 // worker drains the queue, delivering with retries. A delivery the
 // receiver accepted is acknowledged in the outbox; one that exhausted its
 // retry budget is left pending there, to be replayed on the next restart.
+// seal signs a notification into its DSSE envelope, or returns nil
+// when signing is not configured (or fails — logged, never fatal).
+func (n *Notifier) seal(note Notification) json.RawMessage {
+	kr := n.cfg.Keyring
+	if kr == nil || !kr.CanSign() {
+		return nil
+	}
+	body, err := json.Marshal(note)
+	if err != nil {
+		n.cfg.Logf("webhook: encoding notification for sealing: %v", err)
+		return nil
+	}
+	env, err := kr.Sign(RevocationPayloadType, body)
+	if err != nil {
+		n.cfg.Logf("webhook: sealing notification: %v", err)
+		return nil
+	}
+	raw, err := dsse.Encode(env)
+	if err != nil {
+		n.cfg.Logf("webhook: encoding envelope: %v", err)
+		return nil
+	}
+	return raw
+}
+
 func (n *Notifier) worker() {
 	defer close(n.done)
 	for q := range n.queue {
-		attempts, err := n.deliver(q.endpoint, q.n)
+		attempts, err := n.deliver(q)
 		n.record(DeliveryResult{Endpoint: q.endpoint, AgentID: q.n.AgentID, Attempts: attempts, Err: err})
 		n.mu.Lock()
 		if err == nil {
@@ -372,12 +419,16 @@ func (n *Notifier) worker() {
 }
 
 // deliver posts one notification with capped, jittered retry backoff.
-func (n *Notifier) deliver(endpoint string, note Notification) (int, error) {
+func (n *Notifier) deliver(q queued) (int, error) {
+	endpoint, note := q.endpoint, q.n
 	backoff := n.cfg.InitialBackoff
 	var lastErr error
 	for attempt := 1; attempt <= n.cfg.MaxAttempts; attempt++ {
 		note.Attempt = attempt
-		lastErr = n.post(endpoint, note)
+		if n.cfg.Outbox != nil {
+			n.cfg.Outbox.RecordAttempt(endpoint, note.DedupKey)
+		}
+		lastErr = n.post(endpoint, note, q.env)
 		if lastErr == nil {
 			return attempt, nil
 		}
@@ -425,16 +476,27 @@ func VerifySignature(secret, body []byte, signature string) bool {
 	return hmac.Equal(want, mac.Sum(nil))
 }
 
-func (n *Notifier) post(endpoint string, note Notification) error {
+func (n *Notifier) post(endpoint string, note Notification, env json.RawMessage) error {
+	// A sealed delivery posts the envelope verbatim (the signature holds
+	// only over the exact sealed bytes); per-attempt metadata rides in a
+	// header instead of mutating the signed body.
+	contentType := "application/json"
 	body, err := json.Marshal(note)
 	if err != nil {
 		return fmt.Errorf("webhook: encoding notification: %w", err)
+	}
+	if len(env) > 0 {
+		body = env
+		contentType = DSSEContentType
 	}
 	req, err := http.NewRequest(http.MethodPost, endpoint, bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("webhook: building request: %w", err)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", contentType)
+	if len(env) > 0 {
+		req.Header.Set("X-Keylime-Attempt", fmt.Sprint(note.Attempt))
+	}
 	if len(n.cfg.Secret) > 0 {
 		req.Header.Set(SignatureHeader, Sign(n.cfg.Secret, body))
 	}
